@@ -1,0 +1,94 @@
+// Ablation: the JBSQ bound k (§3.2).
+//
+// Two regimes, teased apart:
+//  - WITHOUT preemption, the synchronous single queue pays its per-request
+//    handshake in sustainable load; bounded queues recover it, and because
+//    the dispatcher pushes to the *shortest* queue, extra depth beyond what
+//    hides the communication delay changes little.
+//  - WITH Concord's preemption, every depth improves further: queued shorts
+//    get CPU within a quantum even when committed behind a long request.
+// Net: k=2 captures the benefit, deeper queues buy nothing — the paper's
+// choice (§3.2).
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/experiment.h"
+#include "src/model/systems.h"
+#include "src/stats/table.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+SystemConfig JbsqNoPreempt(int depth) {
+  SystemConfig config = MakeConcordNoDispatcherWork(14, UsToNs(5.0), depth);
+  config.name = "JBSQ(" + std::to_string(depth) + ") no-preempt";
+  config.preempt = PreemptMechanism::kNone;
+  config.instrumented_workers = false;
+  return config;
+}
+
+void Run() {
+  PrintFigureHeader("Ablation: JBSQ depth k",
+                    "Bimodal(99.5:0.5, 0.5:500), 14 workers; depth sweep with and without "
+                    "preemption (q=5us)",
+                    "the synchronous single queue pays its handshake in sustainable load; "
+                    "bounded queues recover it, and with shortest-queue dispatch extra "
+                    "depth beyond k=2 buys nothing (paper §3.2: k=2 suffices, larger k "
+                    "cannot help) — adding co-op preemption lifts every depth further");
+
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  const CostModel costs = DefaultCosts();
+  ExperimentParams params;
+  params.request_count = BenchRequestCount(60000);
+  const double probe_load = 1200.0;  // ~40% utilization: the balancing regime
+
+  {
+    std::cout << "--- without preemption ---\n";
+    TablePrinter table({"queue", "p999@1200krps", "max_load_krps@50x"});
+    {
+      const SystemConfig sync_sq = MakePersephoneFcfs(14);
+      const double p999 =
+          RunLoadPoint(sync_sq, costs, *spec.distribution, probe_load, params).p999_slowdown;
+      const double crossover = FindMaxLoadUnderSlo(sync_sq, costs, *spec.distribution,
+                                                   kPaperSloSlowdown, 100.0, 3750.0, params);
+      table.AddRow({"sync single queue", TablePrinter::Fixed(p999, 1),
+                    TablePrinter::Fixed(crossover, 1)});
+    }
+    for (int depth : {1, 2, 4, 8}) {
+      const SystemConfig config = JbsqNoPreempt(depth);
+      const double p999 =
+          RunLoadPoint(config, costs, *spec.distribution, probe_load, params).p999_slowdown;
+      const double crossover = FindMaxLoadUnderSlo(config, costs, *spec.distribution,
+                                                   kPaperSloSlowdown, 100.0, 3750.0, params);
+      table.AddRow({config.name, TablePrinter::Fixed(p999, 1),
+                    TablePrinter::Fixed(crossover, 1)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  {
+    std::cout << "--- with co-op preemption (q=5us) ---\n";
+    TablePrinter table({"queue", "p999@1200krps", "max_load_krps@50x"});
+    for (int depth : {1, 2, 4, 8}) {
+      const SystemConfig config = MakeConcordNoDispatcherWork(14, UsToNs(5.0), depth);
+      const double p999 =
+          RunLoadPoint(config, costs, *spec.distribution, probe_load, params).p999_slowdown;
+      const double crossover = FindMaxLoadUnderSlo(config, costs, *spec.distribution,
+                                                   kPaperSloSlowdown, 100.0, 3750.0, params);
+      table.AddRow({"JBSQ(" + std::to_string(depth) + ")+co-op",
+                    TablePrinter::Fixed(p999, 1), TablePrinter::Fixed(crossover, 1)});
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

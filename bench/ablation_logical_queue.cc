@@ -1,0 +1,73 @@
+// Ablation: single logical queue + cooperative preemption (§6).
+//
+// The paper sketches how Concord's mechanisms transfer to work-stealing
+// systems (Shenango/Caladan): the networker steers requests to per-worker
+// queues, idle workers steal, and a scheduler hyperthread posts cooperative
+// preemption signals. This removes the dispatch serialization entirely —
+// "such a system would also overcome the throughput bottleneck of a single
+// dispatcher" — at the cost of weaker centralized load balancing.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/experiment.h"
+#include "src/model/systems.h"
+#include "src/stats/table.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+void Run() {
+  PrintFigureHeader("Ablation: single logical queue (work stealing) + co-op preemption",
+                    "Concord (JBSQ, single dispatcher) vs co-op work stealing, 14 workers, "
+                    "q=5us",
+                    "work stealing wins when the single dispatcher saturates (short "
+                    "requests, fast NIC); the dispatcher's global view wins on load "
+                    "balancing for dispersed workloads");
+
+  ExperimentParams params;
+  params.request_count = BenchRequestCount(60000);
+
+  {
+    std::cout << "--- dispatcher-stress: Fixed(1us), fast NIC (networker 80ns) ---\n";
+    const WorkloadSpec spec = MakeWorkload(WorkloadId::kFixed1us);
+    CostModel costs = DefaultCosts();
+    costs.networker_ns = 80.0;
+    TablePrinter table({"system", "max_load_krps@50x"});
+    for (const SystemConfig& config :
+         {MakeConcordNoDispatcherWork(14, UsToNs(100.0)),
+          MakeCoopWorkStealing(14, UsToNs(100.0))}) {
+      const double crossover = FindMaxLoadUnderSlo(config, costs, *spec.distribution,
+                                                   kPaperSloSlowdown, 500.0, 13500.0, params);
+      table.AddRow({config.name, TablePrinter::Fixed(crossover, 0)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  {
+    std::cout << "--- balancing-stress: Bimodal(99.5:0.5, 0.5:500), q=5us ---\n";
+    const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+    const CostModel costs = DefaultCosts();
+    TablePrinter table({"system", "p999@2000krps", "max_load_krps@50x"});
+    for (const SystemConfig& config :
+         {MakeConcord(14, UsToNs(5.0)), MakeCoopWorkStealing(14, UsToNs(5.0))}) {
+      const double p999 =
+          RunLoadPoint(config, costs, *spec.distribution, 2000.0, params).p999_slowdown;
+      const double crossover = FindMaxLoadUnderSlo(config, costs, *spec.distribution,
+                                                   kPaperSloSlowdown, 100.0, 3750.0, params);
+      table.AddRow({config.name, TablePrinter::Fixed(p999, 1),
+                    TablePrinter::Fixed(crossover, 1)});
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

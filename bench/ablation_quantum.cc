@@ -1,0 +1,53 @@
+// Ablation: the scheduling quantum.
+//
+// Smaller quanta bound short requests' queueing behind long ones more
+// tightly but multiply preemption overhead. Concord's cheap preemption keeps
+// small quanta affordable (its crossover degrades slowly as q shrinks);
+// Shinjuku's IPI tax makes them expensive — the gap the whole paper is
+// about, as one sweep.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/experiment.h"
+#include "src/model/systems.h"
+#include "src/stats/table.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+void Run() {
+  PrintFigureHeader("Ablation: scheduling quantum",
+                    "LevelDB 50% GET / 50% SCAN, 14 workers, quanta from 1us to 50us",
+                    "Concord's sustainable load is nearly flat in q; Shinjuku's collapses "
+                    "as q shrinks (per-quantum IPI + handoff costs)");
+
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  const CostModel costs = DefaultCosts();
+  ExperimentParams params;
+  params.request_count = BenchRequestCount(40000);
+
+  TablePrinter table({"quantum_us", "shinjuku_max_krps", "concord_max_krps", "concord_gain"});
+  for (double q_us : {1.0, 2.0, 5.0, 10.0, 25.0, 50.0}) {
+    const double shinjuku =
+        FindMaxLoadUnderSlo(MakeShinjuku(14, UsToNs(q_us)), costs, *spec.distribution,
+                            kPaperSloSlowdown, 2.0, 58.0, params);
+    const double concord =
+        FindMaxLoadUnderSlo(MakeConcord(14, UsToNs(q_us)), costs, *spec.distribution,
+                            kPaperSloSlowdown, 2.0, 58.0, params);
+    table.AddRow({TablePrinter::Fixed(q_us, 0), TablePrinter::Fixed(shinjuku, 1),
+                  TablePrinter::Fixed(concord, 1),
+                  TablePrinter::Percent(concord / shinjuku - 1.0, 0)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: multi-dispatcher replication (§6).
+//
+// The paper's proposed fix for the single-dispatcher bottleneck: several
+// single-dispatcher instances over disjoint worker sets. Two regimes:
+//  - dispatcher-bound workloads (short fixed service, fast NIC): replication
+//    multiplies dispatch capacity and raises the sustainable load;
+//  - worker-bound, high-dispersion workloads: replication only fragments
+//    the worker pool and hurts the tail (less statistical multiplexing).
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/replication.h"
+#include "src/model/systems.h"
+#include "src/stats/table.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+void Run() {
+  PrintFigureHeader("Ablation: multi-dispatcher replication",
+                    "Concord split into N instances over 14 workers total",
+                    "replication helps when the dispatcher is the bottleneck and hurts the "
+                    "tail when the workers are");
+
+  ExperimentParams params;
+  params.request_count = BenchRequestCount(60000);
+
+  {
+    std::cout << "--- dispatcher-bound: Fixed(1us), fast NIC (networker 80ns), q=100us ---\n";
+    const WorkloadSpec spec = MakeWorkload(WorkloadId::kFixed1us);
+    CostModel costs = DefaultCosts();
+    costs.networker_ns = 80.0;  // per-instance NIC queue (RSS)
+    const SystemConfig config = MakeConcordNoDispatcherWork(14, UsToNs(100.0));
+    TablePrinter table({"instances", "workers_each", "max_total_krps@50x"});
+    for (int instances : {1, 2, 7}) {
+      const double crossover =
+          FindReplicatedMaxLoadUnderSlo(config, costs, *spec.distribution, kPaperSloSlowdown,
+                                        500.0, 13500.0, instances, 14, params);
+      table.AddRow({std::to_string(instances), std::to_string(14 / instances),
+                    TablePrinter::Fixed(crossover, 0)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  {
+    std::cout << "--- worker-bound: Bimodal(50:1, 50:100), q=5us ---\n";
+    const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+    const CostModel costs = DefaultCosts();
+    const SystemConfig config = MakeConcord(14, UsToNs(5.0));
+    TablePrinter table({"instances", "workers_each", "p999@160krps", "max_total_krps@50x"});
+    for (int instances : {1, 2, 7}) {
+      const ReplicatedRunResult point = RunReplicatedLoadPoint(
+          config, costs, *spec.distribution, 160.0, instances, 14, params);
+      const double crossover =
+          FindReplicatedMaxLoadUnderSlo(config, costs, *spec.distribution, kPaperSloSlowdown,
+                                        20.0, 290.0, instances, 14, params);
+      table.AddRow({std::to_string(instances), std::to_string(14 / instances),
+                    TablePrinter::Fixed(point.aggregate.p999_slowdown, 1),
+                    TablePrinter::Fixed(crossover, 1)});
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

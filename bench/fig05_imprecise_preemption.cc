@@ -1,0 +1,62 @@
+// Figure 5: impact of non-instantaneous preemption on p99.9 slowdown.
+//
+// An idealized queueing simulation (all mechanism costs zero) of the
+// Bimodal(99.5:0.5, 0.5:500) workload with a 5us quantum, where the yield
+// happens a one-sided-normal delay after the quantum: N(5,0) is precise
+// preemption, N(5,1) and N(5,2) are Concord-like imprecision, and a
+// no-preemption FCFS single queue is the lower bound.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/systems.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+SystemConfig PreciseVariant(double sigma_us) {
+  SystemConfig config = MakeShinjuku(14, UsToNs(5.0));
+  config.name = sigma_us == 0.0 ? "precise N(5,0)"
+                                : "imprecise N(5," + std::to_string(static_cast<int>(sigma_us)) +
+                                      ")";
+  config.preempt = PreemptMechanism::kCoopCacheLine;  // delay draws use sigma
+  config.preempt_delay_sigma_ns = UsToNs(sigma_us);
+  return config;
+}
+
+void Run() {
+  PrintFigureHeader("Figure 5",
+                    "p99.9 slowdown vs load under idealized costs: precise vs imprecise "
+                    "preemption, Bimodal(99.5:0.5, 0.5:500), q=5us, 14 workers",
+                    "N(5,1) and N(5,2) track precise preemption closely; no preemption "
+                    "diverges at far lower load");
+
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  const CostModel costs = IdealizedCosts();
+  ExperimentParams params;
+  params.request_count = BenchRequestCount(100000);
+
+  SystemConfig no_preempt = MakePersephoneFcfs(14);
+  no_preempt.name = "no preemption (SQ)";
+
+  // Max idealized load = 14 workers / 2.9975us = 4671 kRps; plot load as a
+  // fraction of it like the paper.
+  const double max_krps = 14.0 / NsToUs(spec.distribution->MeanNs()) * 1000.0;
+  std::vector<double> loads;
+  for (double fraction : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    loads.push_back(fraction * max_krps);
+  }
+  RunSlowdownSweep({no_preempt, PreciseVariant(0.0), PreciseVariant(1.0), PreciseVariant(2.0)},
+                   costs, *spec.distribution, loads, params);
+  std::cout << "(loads are 10%..95% of the idealized max " << max_krps << " kRps)\n";
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

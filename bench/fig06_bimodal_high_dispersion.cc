@@ -1,0 +1,45 @@
+// Figure 6: p99.9 slowdown vs load for Bimodal(50:1, 50:100) (YCSB-A-like),
+// 14 workers, quanta of 5us and 2us, for Persephone-FCFS, Shinjuku and
+// Concord.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/systems.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+void Run() {
+  PrintFigureHeader("Figure 6",
+                    "p99.9 slowdown vs load, Bimodal(50:1, 50:100) us, 14 workers",
+                    "Concord sustains ~18% more load than Shinjuku at the 50x SLO for q=5us "
+                    "and ~45% more for q=2us; Persephone-FCFS crosses earlier");
+
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  const CostModel costs = DefaultCosts();
+  ExperimentParams params;
+  params.request_count = BenchRequestCount();
+
+  for (double q_us : {5.0, 2.0}) {
+    std::cout << "--- scheduling quantum " << q_us << " us ---\n";
+    const std::vector<SystemConfig> systems = {
+        MakePersephoneFcfs(14),
+        MakeShinjuku(14, UsToNs(q_us)),
+        MakeConcord(14, UsToNs(q_us)),
+    };
+    RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(25.0, 275.0, 11), params);
+    PrintSloCrossovers(systems, costs, *spec.distribution, 20.0, 290.0, params,
+                       /*baseline_index=*/1);
+  }
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8: low-dispersion workloads where preemption cannot help:
+// Fixed(1us) (left, q=5us and 2us) and the TPCC in-memory-database mix
+// (right, q=10us to avoid pointless preemptions).
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/systems.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+void Run() {
+  PrintFigureHeader("Figure 8",
+                    "p99.9 slowdown vs load for Fixed(1us) and TPCC, 14 workers",
+                    "Fixed(1): all three systems saturate together (dispatcher/networker "
+                    "bound), Concord within ~2%. TPCC: Persephone-FCFS best, Concord above "
+                    "Shinjuku (cheaper preemption)");
+
+  const CostModel costs = DefaultCosts();
+  ExperimentParams params;
+  params.request_count = BenchRequestCount();
+
+  {
+    std::cout << "--- Fixed(1us), quantum 5us ---\n";
+    const WorkloadSpec spec = MakeWorkload(WorkloadId::kFixed1us);
+    const std::vector<SystemConfig> systems = {
+        MakePersephoneFcfs(14),
+        MakeShinjuku(14, UsToNs(5.0)),
+        MakeConcord(14, UsToNs(5.0)),
+    };
+    RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(400.0, 3200.0, 8), params);
+    PrintSloCrossovers(systems, costs, *spec.distribution, 200.0, 3600.0, params, 1);
+  }
+  {
+    std::cout << "--- TPCC, quantum 10us ---\n";
+    const WorkloadSpec spec = MakeWorkload(WorkloadId::kTpcc);
+    const std::vector<SystemConfig> systems = {
+        MakePersephoneFcfs(14),
+        MakeShinjuku(14, UsToNs(10.0)),
+        MakeConcord(14, UsToNs(10.0)),
+    };
+    RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(100.0, 725.0, 10), params);
+    PrintSloCrossovers(systems, costs, *spec.distribution, 50.0, 740.0, params, 1);
+  }
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

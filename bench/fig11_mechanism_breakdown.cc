@@ -1,0 +1,44 @@
+// Figure 11: contribution of each Concord mechanism, cumulatively enabled on
+// top of Shinjuku, for the LevelDB GET/SCAN workload at q=2us:
+//   Shinjuku (IPIs+SQ) -> Co-op+SQ -> Co-op+JBSQ(2) -> full Concord.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/systems.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+void Run() {
+  PrintFigureHeader("Figure 11",
+                    "Cumulative mechanism ablation, LevelDB 50% GET / 50% SCAN, q=2us",
+                    "each step raises the sustainable load: Shinjuku < Co-op+SQ < "
+                    "Co-op+JBSQ(2) < Concord (paper: ~19 -> 22.5 -> 32 -> 35 kRps)");
+
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  const CostModel costs = DefaultCosts();
+  ExperimentParams params;
+  params.request_count = BenchRequestCount(60000);
+
+  const double q_ns = UsToNs(2.0);
+  const std::vector<SystemConfig> systems = {
+      MakeShinjuku(14, q_ns),
+      MakeCoopSingleQueue(14, q_ns),
+      MakeCoopJbsq(14, q_ns),
+      MakeConcord(14, q_ns),
+  };
+  RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(5.0, 55.0, 11), params);
+  PrintSloCrossovers(systems, costs, *spec.distribution, 2.0, 58.0, params,
+                     /*baseline_index=*/0);
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 13: does the work-conserving dispatcher help on a small VM?
+// 4-core configuration (dispatcher + networker + 2 workers), LevelDB
+// GET/SCAN, q=5us: Concord with vs without dispatcher work stealing.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "src/common/cycles.h"
+#include "src/model/systems.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+void Run() {
+  PrintFigureHeader("Figure 13",
+                    "p99.9 slowdown vs load on a 4-core VM (2 workers), LevelDB GET/SCAN, "
+                    "q=5us: dedicated vs work-conserving dispatcher",
+                    "running application logic on the dispatcher raises the sustainable "
+                    "load by ~33%");
+
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  const CostModel costs = DefaultCosts();
+  ExperimentParams params;
+  params.request_count = BenchRequestCount(60000);
+
+  SystemConfig without = MakeConcordNoDispatcherWork(2, UsToNs(5.0));
+  without.name = "Concord w/o dispatcher work";
+  SystemConfig with = MakeConcord(2, UsToNs(5.0));
+
+  const std::vector<SystemConfig> systems = {without, with};
+  RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(1.0, 11.0, 11), params);
+  PrintSloCrossovers(systems, costs, *spec.distribution, 0.5, 12.0, params,
+                     /*baseline_index=*/0);
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bench/figure_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/stats/table.h"
+
+namespace concord {
+
+std::size_t BenchRequestCount(std::size_t default_count) {
+  const char* env = std::getenv("CONCORD_BENCH_REQUESTS");
+  if (env != nullptr) {
+    const long value = std::atol(env);
+    if (value > 0) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  return default_count;
+}
+
+void PrintFigureHeader(const std::string& figure, const std::string& description,
+                       const std::string& paper_expectation) {
+  std::cout << "=== " << figure << " ===\n"
+            << description << "\n"
+            << "Paper expectation: " << paper_expectation << "\n\n";
+}
+
+void RunSlowdownSweep(const std::vector<SystemConfig>& systems, const CostModel& costs,
+                      const ServiceDistribution& distribution,
+                      const std::vector<double>& loads_krps, const ExperimentParams& params) {
+  std::vector<std::string> headers = {"load_krps"};
+  for (const SystemConfig& system : systems) {
+    headers.push_back("p999_slowdown[" + system.name + "]");
+  }
+  TablePrinter table(std::move(headers));
+  std::vector<std::vector<LoadPoint>> sweeps;
+  sweeps.reserve(systems.size());
+  for (const SystemConfig& system : systems) {
+    sweeps.push_back(RunLoadSweep(system, costs, distribution, loads_krps, params));
+  }
+  for (std::size_t i = 0; i < loads_krps.size(); ++i) {
+    std::vector<std::string> row = {TablePrinter::Fixed(loads_krps[i], 1)};
+    for (const auto& sweep : sweeps) {
+      row.push_back(TablePrinter::Fixed(sweep[i].p999_slowdown, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void PrintSloCrossovers(const std::vector<SystemConfig>& systems, const CostModel& costs,
+                        const ServiceDistribution& distribution, double lo_krps, double hi_krps,
+                        const ExperimentParams& params, std::size_t baseline_index) {
+  TablePrinter table({"system", "max_load_krps@50x", "vs_" + systems[baseline_index].name});
+  std::vector<double> crossovers;
+  crossovers.reserve(systems.size());
+  for (const SystemConfig& system : systems) {
+    crossovers.push_back(FindMaxLoadUnderSlo(system, costs, distribution, kPaperSloSlowdown,
+                                             lo_krps, hi_krps, params));
+  }
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const double ratio = crossovers[i] / crossovers[baseline_index] - 1.0;
+    table.AddRow({systems[i].name, TablePrinter::Fixed(crossovers[i], 1),
+                  i == baseline_index ? "-" : TablePrinter::Percent(ratio, 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace concord

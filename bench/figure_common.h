@@ -1,0 +1,37 @@
+// Shared plumbing for the figure-regeneration benches: environment-tunable
+// request counts, slowdown-vs-load sweeps and SLO-crossover summaries.
+
+#ifndef CONCORD_BENCH_FIGURE_COMMON_H_
+#define CONCORD_BENCH_FIGURE_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/costs.h"
+#include "src/model/experiment.h"
+#include "src/workload/distribution.h"
+
+namespace concord {
+
+// Requests per load point; override with CONCORD_BENCH_REQUESTS=<n>.
+std::size_t BenchRequestCount(std::size_t default_count = 100000);
+
+// Prints the figure banner: what the paper shows and what to compare.
+void PrintFigureHeader(const std::string& figure, const std::string& description,
+                       const std::string& paper_expectation);
+
+// Runs each system across `loads_krps` and prints one aligned table:
+// columns are load plus the p99.9 slowdown of every system.
+void RunSlowdownSweep(const std::vector<SystemConfig>& systems, const CostModel& costs,
+                      const ServiceDistribution& distribution,
+                      const std::vector<double>& loads_krps, const ExperimentParams& params);
+
+// Finds each system's maximum load under the 50x p99.9-slowdown SLO and
+// prints it, plus every system's improvement over `baseline_index`.
+void PrintSloCrossovers(const std::vector<SystemConfig>& systems, const CostModel& costs,
+                        const ServiceDistribution& distribution, double lo_krps, double hi_krps,
+                        const ExperimentParams& params, std::size_t baseline_index = 0);
+
+}  // namespace concord
+
+#endif  // CONCORD_BENCH_FIGURE_COMMON_H_

@@ -1,0 +1,160 @@
+// Component microbenchmarks (google-benchmark): the building blocks' costs
+// on the host. Cycle-level absolute numbers depend on the machine (and this
+// container is shared), but the relative costs — probe vs rdtsc vs context
+// switch — are the mechanism story of §3.1.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/common/cycles.h"
+#include "src/common/rng.h"
+#include "src/kvstore/db.h"
+#include "src/runtime/context.h"
+#include "src/runtime/instrument.h"
+#include "src/runtime/spsc_ring.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+
+namespace concord {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(2);
+  for (auto _ : state) {
+    histogram.Record(rng.Exponential(1000.0));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(3);
+  for (int i = 0; i < 1000000; ++i) {
+    histogram.Record(rng.Exponential(1000.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.Quantile(0.999));
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_ProbeUnbound(benchmark::State& state) {
+  SetProbeBinding({});
+  for (auto _ : state) {
+    CONCORD_PROBE();
+  }
+}
+BENCHMARK(BM_ProbeUnbound);
+
+void BM_ProbeBoundNoSignal(benchmark::State& state) {
+  SignalLine line;
+  struct State {
+    SignalLine* signal;
+  } probe_state{&line};
+  ProbeBinding binding;
+  binding.fn = [](void* arg) {
+    auto* s = static_cast<State*>(arg);
+    benchmark::DoNotOptimize(s->signal->word.load(std::memory_order_acquire));
+  };
+  binding.arg = &probe_state;
+  SetProbeBinding(binding);
+  for (auto _ : state) {
+    CONCORD_PROBE();
+  }
+  SetProbeBinding({});
+}
+BENCHMARK(BM_ProbeBoundNoSignal);
+
+void BM_Rdtsc(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadTsc());
+  }
+}
+BENCHMARK(BM_Rdtsc);
+
+void BM_FiberSwitchRoundTrip(benchmark::State& state) {
+  Fiber fiber;
+  bool stop = false;
+  fiber.Reset([&] {
+    while (!stop) {
+      Fiber::Yield();
+    }
+  });
+  for (auto _ : state) {
+    fiber.Run();  // one switch in, one switch out
+  }
+  stop = true;
+  fiber.Run();
+}
+BENCHMARK(BM_FiberSwitchRoundTrip);
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  SpscRing<int> ring(64);
+  for (auto _ : state) {
+    ring.TryPush(1);
+    int out = 0;
+    ring.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_SimulatorEvent(benchmark::State& state) {
+  Simulator sim;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    sim.ScheduleAt(t, [] {});
+    sim.Step();
+  }
+}
+BENCHMARK(BM_SimulatorEvent);
+
+void BM_DbGet(benchmark::State& state) {
+  Db db;
+  PopulateDb(&db, 15000, 64);  // the paper's 15k-key setup
+  Rng rng(4);
+  std::string value;
+  char key[32];
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "key%08d", static_cast<int>(rng.UniformU64(15000)));
+    benchmark::DoNotOptimize(db.Get(Slice(key), &value));
+  }
+}
+BENCHMARK(BM_DbGet);
+
+void BM_DbPut(benchmark::State& state) {
+  Db db;
+  Rng rng(5);
+  const std::string value(64, 'v');
+  char key[32];
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "key%08d", static_cast<int>(rng.UniformU64(15000)));
+    db.Put(Slice(key), Slice(value));
+  }
+}
+BENCHMARK(BM_DbPut);
+
+void BM_DbScan15k(benchmark::State& state) {
+  Db db;
+  PopulateDb(&db, 15000, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.ScanCount());
+  }
+}
+BENCHMARK(BM_DbScan15k);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Runtime microbenchmarks (google-benchmark): end-to-end costs of the real
+// runtime's moving parts on the host. On a machine with >= workers+2 cores
+// these approximate the paper's component numbers; on smaller hosts they
+// measure functional overhead only.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/runtime/instrument.h"
+#include "src/runtime/runtime.h"
+
+namespace concord {
+namespace {
+
+void BM_SubmitCompleteRoundTrip(benchmark::State& state) {
+  // Single in-flight request at a time: measures the full submit -> dispatch
+  // -> fiber run -> completion path.
+  std::atomic<std::uint64_t> completed{0};
+  Runtime::Options options;
+  options.worker_count = 1;
+  options.quantum_us = 1000.0;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView&) {};
+  callbacks.on_complete = [&completed](const RequestView&, std::uint64_t) {
+    completed.fetch_add(1, std::memory_order_release);
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    const std::uint64_t target = completed.load(std::memory_order_acquire) + 1;
+    while (!runtime.Submit(id++, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+    while (completed.load(std::memory_order_acquire) < target) {
+      CpuRelax();
+    }
+  }
+  runtime.Shutdown();
+}
+BENCHMARK(BM_SubmitCompleteRoundTrip);
+
+void BM_PipelinedThroughput(benchmark::State& state) {
+  // Keeps a window of requests in flight: the runtime's sustainable
+  // request rate for no-op handlers.
+  Runtime::Options options;
+  options.worker_count = 2;
+  options.quantum_us = 1000.0;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView&) {};
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    while (!runtime.Submit(id, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+    ++id;
+    if (id % 64 == 0) {
+      runtime.WaitIdle();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  state.SetItemsProcessed(static_cast<std::int64_t>(id));
+}
+BENCHMARK(BM_PipelinedThroughput);
+
+void BM_SpinWithProbes1us(benchmark::State& state) {
+  for (auto _ : state) {
+    SpinWithProbesUs(1.0);
+  }
+}
+BENCHMARK(BM_SpinWithProbes1us);
+
+void BM_GuardedMutexLockUnlock(benchmark::State& state) {
+  GuardedMutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(PreemptionDisabled());
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_GuardedMutexLockUnlock);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

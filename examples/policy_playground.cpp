@@ -1,0 +1,92 @@
+// Policy playground: compare scheduling systems on any named workload using
+// the calibrated server model — the instrument behind Figs. 6-14.
+//
+// Usage: policy_playground [workload] [quantum_us] [workers] [max_krps]
+//   workload: bimodal-ycsb | bimodal-usr | fixed-1us | tpcc |
+//             leveldb-getscan | leveldb-zippydb
+//
+// Prints the slowdown-vs-load series for Persephone-FCFS, Shinjuku, Concord
+// and the Fig. 11 ablations, plus each system's maximum load under the 50x
+// p99.9-slowdown SLO.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/common/cycles.h"
+#include "src/model/experiment.h"
+#include "src/model/systems.h"
+#include "src/stats/table.h"
+#include "src/workload/workload_factory.h"
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "bimodal-ycsb";
+  const double quantum_us = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const int workers = argc > 3 ? std::atoi(argv[3]) : 14;
+
+  concord::WorkloadId id;
+  if (!concord::ParseWorkloadName(workload_name, &id)) {
+    std::fprintf(stderr,
+                 "unknown workload '%s'; choose from: bimodal-ycsb bimodal-usr fixed-1us tpcc "
+                 "leveldb-getscan leveldb-zippydb\n",
+                 workload_name.c_str());
+    return 1;
+  }
+  const concord::WorkloadSpec spec = concord::MakeWorkload(id);
+  // Default sweep ceiling: a bit above the worker-bound capacity.
+  const double capacity_krps =
+      static_cast<double>(workers) / concord::NsToUs(spec.distribution->MeanNs()) * 1000.0;
+  const double max_krps = argc > 4 ? std::atof(argv[4]) : 1.1 * capacity_krps;
+
+  std::printf("workload: %s (%s), mean service %.2f us, dispersion %.0fx\n", spec.name.c_str(),
+              spec.description.c_str(), concord::NsToUs(spec.distribution->MeanNs()),
+              spec.distribution->Dispersion());
+  std::printf("systems: %d workers, quantum %.1f us, sweep up to %.0f kRps\n\n", workers,
+              quantum_us, max_krps);
+
+  const concord::CostModel costs = concord::DefaultCosts();
+  concord::ExperimentParams params;
+  params.request_count = 100000;
+  const double q_ns = concord::UsToNs(quantum_us);
+
+  const std::vector<concord::SystemConfig> systems = {
+      concord::MakePersephoneFcfs(workers),     concord::MakeShinjuku(workers, q_ns),
+      concord::MakeCoopSingleQueue(workers, q_ns), concord::MakeCoopJbsq(workers, q_ns),
+      concord::MakeConcord(workers, q_ns),
+  };
+
+  concord::TablePrinter sweep({"load_krps", "Persephone-FCFS", "Shinjuku", "Co-op+SQ",
+                               "Co-op+JBSQ(2)", "Concord"});
+  for (double load : concord::LinearLoads(0.1 * max_krps, max_krps, 10)) {
+    std::vector<std::string> row = {concord::TablePrinter::Fixed(load, 1)};
+    for (const concord::SystemConfig& system : systems) {
+      const concord::LoadPoint point =
+          concord::RunLoadPoint(system, costs, *spec.distribution, load, params);
+      row.push_back(concord::TablePrinter::Fixed(point.p999_slowdown, 1));
+    }
+    sweep.AddRow(std::move(row));
+  }
+  sweep.Print(std::cout);
+
+  std::cout << "\nmax load meeting the 50x p99.9-slowdown SLO:\n";
+  concord::TablePrinter crossovers({"system", "max_krps", "vs_Shinjuku"});
+  double shinjuku_crossover = 0.0;
+  std::vector<double> results;
+  for (const concord::SystemConfig& system : systems) {
+    const double crossover = concord::FindMaxLoadUnderSlo(
+        system, costs, *spec.distribution, concord::kPaperSloSlowdown, 0.02 * max_krps,
+        1.05 * max_krps, params);
+    results.push_back(crossover);
+    if (system.name == "Shinjuku") {
+      shinjuku_crossover = crossover;
+    }
+  }
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    crossovers.AddRow({systems[i].name, concord::TablePrinter::Fixed(results[i], 1),
+                       shinjuku_crossover > 0.0
+                           ? concord::TablePrinter::Percent(results[i] / shinjuku_crossover - 1.0, 0)
+                           : "-"});
+  }
+  crossovers.Print(std::cout);
+  return 0;
+}

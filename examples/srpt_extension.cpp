@@ -1,0 +1,53 @@
+// Extending Concord's dispatcher with a new policy: Shortest Remaining
+// Processing Time (SRPT).
+//
+// §3.1 argues that keeping a dispatcher with global visibility makes it easy
+// to go beyond FCFS/PS — single-logical-queue systems cannot, because no
+// core sees all requests. This example flips the central queue policy to
+// SRPT and shows the effect on a high-dispersion workload: the short
+// requests' tail tightens because nearly-finished work is never stuck
+// behind fresh long requests (SRPT's classic starvation risk only bites
+// near saturation; try higher loads to see it).
+//
+// Usage: srpt_extension [krps] [count]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/common/cycles.h"
+#include "src/model/server_model.h"
+#include "src/model/systems.h"
+#include "src/stats/table.h"
+#include "src/workload/workload_factory.h"
+
+int main(int argc, char** argv) {
+  const double krps = argc > 1 ? std::atof(argv[1]) : 200.0;
+  const std::size_t count = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 150000;
+
+  const concord::WorkloadSpec spec = concord::MakeWorkload(concord::WorkloadId::kBimodalYcsb);
+  const concord::CostModel costs = concord::DefaultCosts();
+
+  concord::SystemConfig fcfs = concord::MakeConcord(14, concord::UsToNs(5.0));
+  fcfs.name = "Concord (FCFS queue)";
+  concord::SystemConfig srpt = fcfs;
+  srpt.name = "Concord (SRPT queue)";
+  srpt.central_policy = concord::CentralQueuePolicy::kSrpt;
+
+  std::cout << "Bimodal(50:1, 50:100) at " << krps << " kRps, 14 workers, q=5us\n\n";
+  concord::TablePrinter table({"policy", "mean_slowdown", "p50", "p99.9(all)", "p99.9(short)",
+                               "p99.9(long)"});
+  for (const concord::SystemConfig& config : {fcfs, srpt}) {
+    concord::ServerModel model(config, costs, /*seed=*/11);
+    const concord::RunResult result = model.Run(*spec.distribution, krps, count);
+    table.AddRow({config.name, concord::TablePrinter::Fixed(result.slowdown.MeanSlowdown(), 2),
+                  concord::TablePrinter::Fixed(result.slowdown.QuantileSlowdown(0.5), 2),
+                  concord::TablePrinter::Fixed(result.slowdown.P999Slowdown(), 2),
+                  concord::TablePrinter::Fixed(result.slowdown.ClassQuantileSlowdown(0, 0.999), 2),
+                  concord::TablePrinter::Fixed(result.slowdown.ClassQuantileSlowdown(1, 0.999), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nSRPT tightens the short-request tail (nearly-finished work is never stuck\n"
+               "behind fresh long requests) — a policy swap that required changing one\n"
+               "dispatcher setting, possible because the dispatcher sees every request.\n";
+  return 0;
+}

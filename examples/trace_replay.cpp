@@ -1,0 +1,62 @@
+// Trace replay: generate a ZippyDB-style trace, write it to disk, read it
+// back and replay it through the simulated server — the workflow for
+// evaluating Concord against recorded production traffic.
+//
+// Usage: trace_replay [trace_file] [count] [krps]
+
+#include <fstream>
+#include <iostream>
+
+#include "src/common/cycles.h"
+#include "src/model/server_model.h"
+#include "src/model/systems.h"
+#include "src/stats/table.h"
+#include "src/workload/trace.h"
+#include "src/workload/workload_factory.h"
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/zippydb.trace";
+  const std::size_t count = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 100000;
+  const double krps = argc > 3 ? std::atof(argv[3]) : 400.0;
+
+  // 1. Synthesize the trace (stand-in for recorded production traffic).
+  const concord::WorkloadSpec spec = concord::MakeWorkload(concord::WorkloadId::kLevelDbZippyDb);
+  concord::Rng rng(2024);
+  concord::PoissonArrivals arrivals(concord::KrpsToInterarrivalNs(krps));
+  concord::Trace trace = concord::GenerateTrace(*spec.distribution, arrivals, count, rng);
+  {
+    std::ofstream out(path);
+    concord::WriteTrace(trace, out);
+  }
+  std::cout << "wrote " << trace.requests.size() << " requests ("
+            << trace.DurationNs() / 1e6 << " ms of traffic) to " << path << "\n";
+
+  // 2. Read it back (what a user with a real trace file would start from).
+  concord::Trace loaded;
+  {
+    std::ifstream in(path);
+    if (!concord::ReadTrace(in, &loaded)) {
+      std::cerr << "failed to parse " << path << "\n";
+      return 1;
+    }
+  }
+
+  // 3. Replay through each system.
+  const concord::CostModel costs = concord::DefaultCosts();
+  concord::TablePrinter table(
+      {"system", "p50_slowdown", "p99_slowdown", "p999_slowdown", "preemptions"});
+  for (const concord::SystemConfig& config :
+       {concord::MakePersephoneFcfs(14), concord::MakeShinjuku(14, concord::UsToNs(5.0)),
+        concord::MakeConcord(14, concord::UsToNs(5.0))}) {
+    concord::ServerModel model(config, costs, /*seed=*/3);
+    const concord::RunResult result = model.RunTrace(loaded);
+    table.AddRow({config.name,
+                  concord::TablePrinter::Fixed(result.slowdown.QuantileSlowdown(0.50), 2),
+                  concord::TablePrinter::Fixed(result.slowdown.QuantileSlowdown(0.99), 2),
+                  concord::TablePrinter::Fixed(result.slowdown.P999Slowdown(), 2),
+                  std::to_string(result.preemptions)});
+  }
+  std::cout << "replay at " << krps << " kRps, 14 workers, q=5us:\n";
+  table.Print(std::cout);
+  return 0;
+}

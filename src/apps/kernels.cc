@@ -1,0 +1,126 @@
+#include "src/apps/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/runtime/instrument.h"
+
+namespace concord {
+
+std::uint64_t KernelHistogram(const std::vector<std::uint8_t>& data) {
+  std::uint64_t buckets[256] = {};
+  for (const std::uint8_t byte : data) {
+    ++buckets[byte];
+    CONCORD_PROBE_LOOP_BACKEDGE();
+  }
+  std::uint64_t checksum = 0;
+  for (int i = 0; i < 256; ++i) {
+    checksum += buckets[i] * static_cast<std::uint64_t>(i);
+    CONCORD_PROBE_LOOP_BACKEDGE();
+  }
+  return checksum;
+}
+
+std::uint64_t KernelKmeansAssign(const std::vector<double>& points,
+                                 const std::vector<double>& centroids) {
+  std::uint64_t assignment_sum = 0;
+  for (const double point : points) {
+    std::size_t best = 0;
+    double best_distance = std::abs(point - centroids[0]);
+    for (std::size_t c = 1; c < centroids.size(); ++c) {
+      const double distance = std::abs(point - centroids[c]);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = c;
+      }
+      CONCORD_PROBE_LOOP_BACKEDGE();
+    }
+    assignment_sum += best;
+    CONCORD_PROBE_LOOP_BACKEDGE();
+  }
+  return assignment_sum;
+}
+
+std::uint64_t KernelStringMatch(const std::string& haystack, const std::string& needle) {
+  if (needle.empty() || haystack.size() < needle.size()) {
+    return 0;
+  }
+  std::uint64_t matches = 0;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (std::memcmp(haystack.data() + i, needle.data(), needle.size()) == 0) {
+      ++matches;
+    }
+    CONCORD_PROBE_LOOP_BACKEDGE();
+  }
+  return matches;
+}
+
+std::int64_t KernelLinearRegression(const std::vector<double>& xs,
+                                    const std::vector<double>& ys) {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+    sum_xx += xs[i] * xs[i];
+    sum_xy += xs[i] * ys[i];
+    CONCORD_PROBE_LOOP_BACKEDGE();
+  }
+  const double slope = (n * sum_xy - sum_x * sum_y) / (n * sum_xx - sum_x * sum_x);
+  return static_cast<std::int64_t>(slope * 1000.0);
+}
+
+std::uint64_t KernelWordCount(const std::string& text) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    while (start < text.size() && text[start] == ' ') {
+      ++start;
+    }
+    std::size_t end = start;
+    while (end < text.size() && text[end] != ' ') {
+      ++end;
+    }
+    if (end > start) {
+      ++counts[text.substr(start, end - start)];
+    }
+    start = end;
+    CONCORD_PROBE_LOOP_BACKEDGE();
+  }
+  std::uint64_t best = 0;
+  for (const auto& [word, count] : counts) {
+    best = std::max(best, count);
+    CONCORD_PROBE_LOOP_BACKEDGE();
+  }
+  return best;
+}
+
+std::uint64_t KernelMatmulChecksum(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto size = static_cast<std::size_t>(n);
+  std::vector<std::uint64_t> a(size * size);
+  std::vector<std::uint64_t> b(size * size);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextU64() & 0xffff;
+    b[i] = rng.NextU64() & 0xffff;
+  }
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = 0; j < size; ++j) {
+      std::uint64_t cell = 0;
+      for (std::size_t k = 0; k < size; ++k) {
+        cell += a[i * size + k] * b[k * size + j];
+      }
+      checksum ^= cell + 0x9e3779b97f4a7c15ULL + (checksum << 6) + (checksum >> 2);
+      CONCORD_PROBE_LOOP_BACKEDGE();
+    }
+  }
+  return checksum;
+}
+
+}  // namespace concord

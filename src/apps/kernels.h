@@ -1,0 +1,43 @@
+// Probe-instrumented compute kernels.
+//
+// Miniature versions of the Phoenix-style benchmarks used to validate the
+// source-level instrumentation on real code: each kernel places
+// CONCORD_PROBE at its loop back-edges (exactly where the pass would) and
+// returns a checksum so tests can verify the instrumentation does not
+// perturb results. The microbenchmark suite measures their probe overhead on
+// the host.
+
+#ifndef CONCORD_SRC_APPS_KERNELS_H_
+#define CONCORD_SRC_APPS_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace concord {
+
+// Histogram of byte values; returns the sum of bucket counts weighted by
+// bucket index.
+std::uint64_t KernelHistogram(const std::vector<std::uint8_t>& data);
+
+// One k-means assignment step over 1-D points; returns the sum of assigned
+// cluster indices.
+std::uint64_t KernelKmeansAssign(const std::vector<double>& points,
+                                 const std::vector<double>& centroids);
+
+// Counts occurrences of `needle` in `haystack` (naive scan).
+std::uint64_t KernelStringMatch(const std::string& haystack, const std::string& needle);
+
+// Least-squares fit y = a + b*x; returns b scaled to an integer checksum.
+std::int64_t KernelLinearRegression(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Word frequency: returns the count of the most frequent word.
+std::uint64_t KernelWordCount(const std::string& text);
+
+// Dense matrix multiply checksum: sum of C = A*B entries for n x n inputs
+// filled from a seed.
+std::uint64_t KernelMatmulChecksum(int n, std::uint64_t seed);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_APPS_KERNELS_H_

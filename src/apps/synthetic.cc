@@ -1,0 +1,34 @@
+#include "src/apps/synthetic.h"
+
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+
+namespace concord {
+
+SyntheticService::SyntheticService(std::vector<double> class_service_us)
+    : class_service_us_(std::move(class_service_us)) {
+  CONCORD_CHECK(!class_service_us_.empty()) << "need at least one request class";
+}
+
+SyntheticService SyntheticService::FromDistribution(
+    const DiscreteMixtureDistribution& distribution) {
+  std::vector<double> durations;
+  durations.reserve(distribution.components().size());
+  for (const auto& component : distribution.components()) {
+    durations.push_back(NsToUs(component.service_ns));
+  }
+  return SyntheticService(std::move(durations));
+}
+
+void SyntheticService::Handle(const RequestView& view) const {
+  SpinWithProbesUs(ServiceUs(view.request_class));
+}
+
+double SyntheticService::ServiceUs(int request_class) const {
+  CONCORD_CHECK(request_class >= 0 &&
+                request_class < static_cast<int>(class_service_us_.size()))
+      << "unknown request class " << request_class;
+  return class_service_us_[static_cast<std::size_t>(request_class)];
+}
+
+}  // namespace concord

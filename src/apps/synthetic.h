@@ -1,0 +1,40 @@
+// The synthetic server application of §5.1: spins for the time each request
+// demands, with probe instrumentation, so any service-time distribution can
+// be evaluated on the real runtime.
+
+#ifndef CONCORD_SRC_APPS_SYNTHETIC_H_
+#define CONCORD_SRC_APPS_SYNTHETIC_H_
+
+#include <vector>
+
+#include "src/runtime/runtime.h"
+#include "src/workload/distribution.h"
+
+namespace concord {
+
+// Maps request classes to spin durations. Build one from a
+// DiscreteMixtureDistribution so the real runtime serves exactly the
+// workloads the simulator uses.
+class SyntheticService {
+ public:
+  // One duration per request class, in microseconds.
+  explicit SyntheticService(std::vector<double> class_service_us);
+
+  // Builds the class table from a named workload's mixture components.
+  static SyntheticService FromDistribution(const DiscreteMixtureDistribution& distribution);
+
+  // The runtime handler: spins (with probes) for the class's duration.
+  void Handle(const RequestView& view) const;
+
+  // Clean (un-instrumented) service time for slowdown computation.
+  double ServiceUs(int request_class) const;
+
+  int ClassCount() const { return static_cast<int>(class_service_us_.size()); }
+
+ private:
+  std::vector<double> class_service_us_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_APPS_SYNTHETIC_H_

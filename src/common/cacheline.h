@@ -1,0 +1,52 @@
+// Cache-line utilities.
+//
+// Concord's preemption mechanism communicates through dedicated cache lines:
+// one line per worker, written by the dispatcher and polled by the worker.
+// Anything that shares a line with unrelated state would reintroduce the
+// coherence traffic the design exists to avoid, so the runtime's shared flags
+// are all wrapped in CacheLineAligned.
+
+#ifndef CONCORD_SRC_COMMON_CACHELINE_H_
+#define CONCORD_SRC_COMMON_CACHELINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace concord {
+
+// Fixed at 64 bytes (every x86-64 and mainstream ARM server line size) rather
+// than std::hardware_destructive_interference_size, whose value depends on
+// compiler tuning flags and would silently change struct layouts across
+// builds.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps a value so it occupies (at least) one full cache line by itself.
+template <typename T>
+struct alignas(kCacheLineSize) CacheLineAligned {
+  T value{};
+  // Pads to a full line so adjacent array elements never share a line.
+  char padding[kCacheLineSize > sizeof(T) ? kCacheLineSize - sizeof(T) : 1] = {};
+};
+
+// A single cache line carrying one atomic word: the dispatcher->worker
+// preemption signal of §3.1 and the worker->dispatcher acknowledgement both
+// live in lines of this shape.
+struct alignas(kCacheLineSize) SignalLine {
+  std::atomic<std::uint64_t> word{0};
+};
+
+static_assert(sizeof(SignalLine) == kCacheLineSize);
+
+// Hint to the CPU that we are in a spin loop (PAUSE on x86).
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  asm volatile("pause");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMMON_CACHELINE_H_

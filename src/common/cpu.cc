@@ -1,0 +1,29 @@
+#include "src/common/cpu.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+namespace concord {
+
+int AvailableCpuCount() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    return CPU_COUNT(&set);
+  }
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+bool PinThisThreadToCpu(int cpu) {
+  if (cpu < 0) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace concord

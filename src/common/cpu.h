@@ -1,0 +1,23 @@
+// CPU affinity helpers for the real runtime.
+//
+// The paper pins every dispatcher and worker thread to its own physical core.
+// On hosts with fewer cores than threads (such as CI containers) pinning is
+// skipped gracefully: the runtime stays functionally correct, only the timing
+// fidelity degrades.
+
+#ifndef CONCORD_SRC_COMMON_CPU_H_
+#define CONCORD_SRC_COMMON_CPU_H_
+
+namespace concord {
+
+// Number of CPUs the process may run on.
+int AvailableCpuCount();
+
+// Pins the calling thread to `cpu`. Returns false (without side effects) when
+// the CPU does not exist or the affinity call fails; callers treat pinning as
+// best-effort.
+bool PinThisThreadToCpu(int cpu);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMMON_CPU_H_

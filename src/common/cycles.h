@@ -1,0 +1,68 @@
+// Cycle/time conversions.
+//
+// All cost constants in the Concord cost model are expressed in CPU cycles
+// (that is how the paper reports them: an IPI costs ~1200 cycles, a coherence
+// miss ~150, an rdtsc ~30). The simulator works in nanoseconds, so every model
+// carries a CpuClock describing the simulated core frequency. The paper's
+// testbed runs Xeon Gold 6142 cores at 2.60 GHz; that is the default.
+
+#ifndef CONCORD_SRC_COMMON_CYCLES_H_
+#define CONCORD_SRC_COMMON_CYCLES_H_
+
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+// Converts between CPU cycles and nanoseconds for a fixed core frequency.
+class CpuClock {
+ public:
+  static constexpr double kDefaultGhz = 2.6;
+
+  constexpr CpuClock() : ghz_(kDefaultGhz) {}
+  constexpr explicit CpuClock(double ghz) : ghz_(ghz) {}
+
+  constexpr double ghz() const { return ghz_; }
+  constexpr double CyclesToNs(double cycles) const { return cycles / ghz_; }
+  constexpr double NsToCycles(double ns) const { return ns * ghz_; }
+  constexpr double UsToCycles(double us) const { return us * 1000.0 * ghz_; }
+  constexpr double CyclesToUs(double cycles) const { return cycles / (1000.0 * ghz_); }
+
+ private:
+  double ghz_;
+};
+
+// Nanosecond helpers for readability at call sites.
+constexpr double kNsPerUs = 1000.0;
+constexpr double kNsPerMs = 1000.0 * 1000.0;
+constexpr double kNsPerSec = 1000.0 * 1000.0 * 1000.0;
+
+constexpr double UsToNs(double us) { return us * kNsPerUs; }
+constexpr double NsToUs(double ns) { return ns / kNsPerUs; }
+constexpr double MsToNs(double ms) { return ms * kNsPerMs; }
+constexpr double SecToNs(double sec) { return sec * kNsPerSec; }
+
+// Converts an offered load in kilo-requests-per-second into a mean
+// inter-arrival gap in nanoseconds.
+inline double KrpsToInterarrivalNs(double krps) {
+  CONCORD_DCHECK(krps > 0.0) << "load must be positive, got " << krps;
+  return kNsPerSec / (krps * 1000.0);
+}
+
+// Reads the host timestamp counter. Only used by the real runtime and the
+// probe-validation kernels; the simulator never calls this.
+inline std::uint64_t ReadTsc() {
+#if defined(__x86_64__)
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMMON_CYCLES_H_

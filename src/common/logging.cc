@@ -1,0 +1,36 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace concord {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+               message.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace concord

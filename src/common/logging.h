@@ -1,0 +1,71 @@
+// Minimal logging and assertion facilities for the Concord libraries.
+//
+// These are intentionally tiny: the runtime's hot paths must never log, so the
+// only users are setup/teardown code, tests, benches and fatal invariant
+// violations.
+
+#ifndef CONCORD_SRC_COMMON_LOGGING_H_
+#define CONCORD_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace concord {
+
+enum class LogLevel {
+  kInfo,
+  kWarning,
+  kError,
+  kFatal,
+};
+
+// Writes one formatted line to stderr. Exits the process for kFatal.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Stream-style helper used by the macros below. Collects the message and
+// emits it on destruction so `CONCORD_LOG(kInfo) << "x=" << x;` works.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() {
+    LogMessage(level_, file_, line_, stream_.str());
+    if (level_ == LogLevel::kFatal) {
+      std::abort();
+    }
+  }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace concord
+
+#define CONCORD_LOG(level) ::concord::LogStream(::concord::LogLevel::level, __FILE__, __LINE__)
+
+// Always-on invariant check. Use for conditions whose violation means the
+// process state is corrupt; the failure message should say what was expected.
+#define CONCORD_CHECK(cond)                                                        \
+  if (!(cond))                                                                     \
+  ::concord::LogStream(::concord::LogLevel::kFatal, __FILE__, __LINE__)            \
+      << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define CONCORD_DCHECK(cond) \
+  if (false) CONCORD_CHECK(cond)
+#else
+#define CONCORD_DCHECK(cond) CONCORD_CHECK(cond)
+#endif
+
+#endif  // CONCORD_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in this repository (arrival processes, service-time
+// draws, probe-spacing jitter) flows through Rng so that experiments are
+// reproducible bit-for-bit from a seed. The generator is xoshiro256**, which
+// is fast, has a 2^256-1 period, and passes BigCrush.
+
+#ifndef CONCORD_SRC_COMMON_RNG_H_
+#define CONCORD_SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  // Re-seeds via SplitMix64 so that nearby seeds produce unrelated streams.
+  void Seed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    cached_normal_valid_ = false;
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, bound). Uses rejection to avoid modulo bias.
+  std::uint64_t UniformU64(std::uint64_t bound) {
+    CONCORD_DCHECK(bound > 0) << "bound must be positive";
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (inverse-CDF method).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0); u == 0 occurs with probability 2^-53.
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Box-Muller; caches the second variate.
+  double StandardNormal() {
+    if (cached_normal_valid_) {
+      cached_normal_valid_ = false;
+      return cached_normal_;
+    }
+    double u1 = NextDouble();
+    const double u2 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = 0x1.0p-53;
+    }
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = radius * std::sin(angle);
+    cached_normal_valid_ = true;
+    return radius * std::cos(angle);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * StandardNormal(); }
+
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_normal_ = 0.0;
+  bool cached_normal_valid_ = false;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMMON_RNG_H_

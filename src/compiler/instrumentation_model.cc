@@ -1,0 +1,93 @@
+#include "src/compiler/instrumentation_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+OverheadEstimate EstimateOverhead(const InstrumentationReport& report, const ProbeCosts& costs,
+                                  double ipc) {
+  CONCORD_CHECK(ipc > 0.0) << "ipc must be positive";
+  const double baseline_ns = report.TotalTimeNs();
+  OverheadEstimate estimate;
+  if (baseline_ns <= 0.0) {
+    return estimate;
+  }
+  const double probes = static_cast<double>(report.probes_executed);
+  const double saved_ns =
+      static_cast<double>(report.instructions_saved_by_unrolling) / ipc / costs.ghz;
+  const double coop_ns = probes * costs.coop_probe_cycles / costs.ghz;
+  const double rdtsc_ns = probes * costs.rdtsc_probe_cycles / costs.ghz;
+  estimate.coop_fraction = (coop_ns - saved_ns) / baseline_ns;
+  estimate.rdtsc_fraction = (rdtsc_ns - saved_ns) / baseline_ns;
+  return estimate;
+}
+
+TimelinessEstimate EstimateTimeliness(const InstrumentationReport& report) {
+  TimelinessEstimate estimate;
+  double total_time = 0.0;
+  for (const auto& [gap, count] : report.gaps) {
+    total_time += gap * static_cast<double>(count);
+  }
+  if (total_time <= 0.0) {
+    return estimate;
+  }
+  // Length-biased expectation: P(land in a gap of length g) = g*count/total;
+  // the delay within that gap is U(0, g), so E[d | g] = g/2, E[d^2 | g] =
+  // g^2/3.
+  double mean = 0.0;
+  double second_moment = 0.0;
+  for (const auto& [gap, count] : report.gaps) {
+    const double weight = gap * static_cast<double>(count) / total_time;
+    mean += weight * gap / 2.0;
+    second_moment += weight * gap * gap / 3.0;
+  }
+  estimate.mean_delay_ns = mean;
+  estimate.stddev_ns = std::sqrt(std::max(second_moment - mean * mean, 0.0));
+  estimate.max_delay_ns = report.max_gap_ns;
+
+  // p99 of the delay: walk gaps in increasing order. For a delay threshold t,
+  // P(delay > t) = sum over gaps g > t of (g*count/total) * (g - t)/g
+  //             = sum count*(g - t)/total.
+  // Solve P(delay > t) = 0.01 by scanning candidate thresholds at gap edges.
+  std::vector<std::pair<double, double>> gaps_sorted;  // (gap, count)
+  gaps_sorted.reserve(report.gaps.size());
+  for (const auto& [gap, count] : report.gaps) {
+    gaps_sorted.emplace_back(gap, static_cast<double>(count));
+  }
+  std::sort(gaps_sorted.begin(), gaps_sorted.end());
+  // Suffix sums of count and count*gap above each candidate.
+  const double target = 0.01 * total_time;  // P(delay > t) * total
+  double suffix_count = 0.0;
+  double suffix_weight = 0.0;  // sum count*(g) for g > t region
+  for (const auto& [gap, count] : gaps_sorted) {
+    suffix_count += count;
+    suffix_weight += count * gap;
+  }
+  double p99 = 0.0;
+  double below_count = 0.0;
+  double below_weight = 0.0;
+  for (const auto& [gap, count] : gaps_sorted) {
+    // With threshold t in [prev_gap, gap): excess = suffix_weight' - t*suffix_count'
+    const double remaining_count = suffix_count - below_count;
+    const double remaining_weight = suffix_weight - below_weight;
+    // Solve remaining_weight - t * remaining_count = target for t.
+    if (remaining_count > 0.0) {
+      const double t = (remaining_weight - target) / remaining_count;
+      if (t <= gap) {
+        p99 = std::max(t, 0.0);
+        break;
+      }
+    }
+    below_count += count;
+    below_weight += count * gap;
+    p99 = gap;
+  }
+  estimate.p99_delay_ns = p99;
+  return estimate;
+}
+
+}  // namespace concord

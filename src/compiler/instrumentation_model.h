@@ -1,0 +1,45 @@
+// Converts a probe-placement report into the two Table 1 metrics:
+// instrumentation overhead (%) and preemption timeliness (mean / stddev /
+// 99th percentile of the signal-to-yield delay).
+
+#ifndef CONCORD_SRC_COMPILER_INSTRUMENTATION_MODEL_H_
+#define CONCORD_SRC_COMPILER_INSTRUMENTATION_MODEL_H_
+
+#include "src/compiler/probe_placement.h"
+
+namespace concord {
+
+struct ProbeCosts {
+  // Concord probe: L1 load of the dedicated line + compare (~2 cycles).
+  double coop_probe_cycles = 2.0;
+  // rdtsc()-based probe (Compiler Interrupts): ~30 cycles.
+  double rdtsc_probe_cycles = 30.0;
+  double ghz = 2.6;
+};
+
+struct OverheadEstimate {
+  double coop_fraction = 0.0;   // Concord instrumentation overhead (can be < 0)
+  double rdtsc_fraction = 0.0;  // rdtsc instrumentation at the same placement
+};
+
+// Overhead = (probe time - time saved by extra unrolling) / baseline time.
+// IPC converts saved instructions into time.
+OverheadEstimate EstimateOverhead(const InstrumentationReport& report, const ProbeCosts& costs,
+                                  double ipc);
+
+struct TimelinessEstimate {
+  double mean_delay_ns = 0.0;
+  double stddev_ns = 0.0;
+  double p99_delay_ns = 0.0;
+  double max_delay_ns = 0.0;
+};
+
+// Distribution of the delay between a preemption signal landing and the next
+// probe observing it. The signal arrives at a uniformly random point in
+// time, so the chance of landing inside a gap is proportional to the gap's
+// length (length-biased sampling) and the residual within the gap is uniform.
+TimelinessEstimate EstimateTimeliness(const InstrumentationReport& report);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMPILER_INSTRUMENTATION_MODEL_H_

@@ -1,0 +1,45 @@
+#include "src/compiler/ir.h"
+
+namespace concord {
+
+IrNode IrNode::Straight(std::int64_t instr) {
+  IrNode node;
+  node.kind = Kind::kStraight;
+  node.instructions = instr;
+  return node;
+}
+
+IrNode IrNode::Loop(std::int64_t trips, std::vector<IrNode> body) {
+  IrNode node;
+  node.kind = Kind::kLoop;
+  node.trip_count = trips;
+  node.children = std::move(body);
+  return node;
+}
+
+IrNode IrNode::UninstrumentedCall(double ns) {
+  IrNode node;
+  node.kind = Kind::kCall;
+  node.callee_instrumented = false;
+  node.callee_ns = ns;
+  return node;
+}
+
+std::int64_t DynamicInstructions(const std::vector<IrNode>& nodes) {
+  std::int64_t total = 0;
+  for (const IrNode& node : nodes) {
+    switch (node.kind) {
+      case IrNode::Kind::kStraight:
+        total += node.instructions;
+        break;
+      case IrNode::Kind::kLoop:
+        total += node.trip_count * DynamicInstructions(node.children);
+        break;
+      case IrNode::Kind::kCall:
+        break;  // opaque
+    }
+  }
+  return total;
+}
+
+}  // namespace concord

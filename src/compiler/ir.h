@@ -1,0 +1,74 @@
+// A miniature intermediate representation for modeling probe placement.
+//
+// The Concord compiler (§4.3) is two LLVM passes that insert preemption
+// probes (a) at the beginning of each function, (b) before and after calls to
+// un-instrumented code, and (c) at every loop back-edge, unrolling loop
+// bodies until they contain at least 200 IR instructions. Reproducing the
+// passes' *effects* — probe density (instrumentation overhead) and probe
+// spacing (preemption timeliness) — only needs the program shapes those
+// rules react to: straight-line instruction runs, loops with known trip
+// counts, and calls into un-instrumented libraries. This IR models exactly
+// that and nothing more.
+
+#ifndef CONCORD_SRC_COMPILER_IR_H_
+#define CONCORD_SRC_COMPILER_IR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace concord {
+
+// One node of a function body. A node is either a straight-line run of IR
+// instructions, a loop over child nodes, or a call.
+struct IrNode {
+  enum class Kind {
+    kStraight,  // `instructions` straight-line IR instructions
+    kLoop,      // `trip_count` iterations over `children`
+    kCall,      // call; un-instrumented callees execute `callee_ns` opaquely
+  };
+
+  Kind kind = Kind::kStraight;
+
+  // kStraight: number of IR instructions.
+  std::int64_t instructions = 0;
+
+  // kLoop: iterations and body.
+  std::int64_t trip_count = 0;
+  std::vector<IrNode> children;
+
+  // kCall: whether the callee is compiled with Concord instrumentation. An
+  // un-instrumented callee (libc, syscalls) runs for callee_ns with no
+  // probes inside, creating the long probe gaps that dominate preemption
+  // timeliness.
+  bool callee_instrumented = true;
+  double callee_ns = 0.0;
+
+  static IrNode Straight(std::int64_t instr);
+  static IrNode Loop(std::int64_t trips, std::vector<IrNode> body);
+  static IrNode UninstrumentedCall(double ns);
+};
+
+struct IrFunction {
+  std::string name;
+  // How many times the function is invoked over the modeled execution.
+  std::int64_t invocations = 1;
+  std::vector<IrNode> body;
+};
+
+struct IrProgram {
+  std::string name;
+  std::vector<IrFunction> functions;
+  // Instructions retired per cycle for this program's dynamic mix.
+  double ipc = 1.8;
+};
+
+// Total IR instructions executed by one invocation of the node list
+// (un-instrumented callees contribute no IR instructions; their time is
+// tracked separately).
+std::int64_t DynamicInstructions(const std::vector<IrNode>& nodes);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMPILER_IR_H_

@@ -1,0 +1,331 @@
+#include "src/compiler/probe_placement.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+// Walks the IR accumulating time since the last probe; closes gaps at probe
+// points. Loop iterations past the second are recorded by scaling the
+// steady-state iteration captured on the second pass.
+class Walker {
+ public:
+  Walker(const PlacementConfig& config, double ipc, InstrumentationReport* report)
+      : config_(config), ipc_(ipc), report_(report) {}
+
+  void WalkSequence(const std::vector<IrNode>& nodes, std::int64_t repeat) {
+    if (repeat <= 0) {
+      return;
+    }
+    const bool has_probes = SequenceHasProbes(nodes);
+    if (!has_probes) {
+      // Pure straight-line content: fold all repetitions into the gap.
+      for (std::int64_t i = 0; i < repeat; ++i) {
+        WalkOnce(nodes);
+      }
+      return;
+    }
+    // First iteration (entered with whatever gap was carried in).
+    WalkOnce(nodes);
+    if (repeat == 1) {
+      return;
+    }
+    // Second iteration: capture its gap pattern, then scale for the rest.
+    // After the first probe inside an iteration, the state is stationary
+    // across iterations, so iterations 2..repeat are identical.
+    capturing_ = true;
+    captured_gaps_.clear();
+    captured_probes_ = 0;
+    captured_instructions_ = 0;
+    captured_saved_ = 0;
+    captured_instr_time_ = 0.0;
+    captured_opaque_time_ = 0.0;
+    WalkOnce(nodes);
+    capturing_ = false;
+    const std::int64_t extra = repeat - 2;
+    if (extra > 0) {
+      const auto scale = static_cast<double>(extra);
+      for (const auto& [gap, count] : captured_gaps_) {
+        report_->gaps[gap] += count * extra;
+      }
+      report_->probes_executed += captured_probes_ * extra;
+      report_->instructions_executed += captured_instructions_ * extra;
+      report_->instructions_saved_by_unrolling += captured_saved_ * extra;
+      report_->instrumented_time_ns += captured_instr_time_ * scale;
+      report_->uninstrumented_time_ns += captured_opaque_time_ * scale;
+    }
+  }
+
+  // Flush the trailing partial gap (end of program).
+  void Finish() {
+    if (carry_ns_ > 0.0) {
+      RecordGap(carry_ns_);
+      carry_ns_ = 0.0;
+    }
+  }
+
+ private:
+  void WalkOnce(const std::vector<IrNode>& nodes) {
+    for (const IrNode& node : nodes) {
+      switch (node.kind) {
+        case IrNode::Kind::kStraight:
+          Advance(node.instructions);
+          break;
+        case IrNode::Kind::kLoop:
+          WalkLoop(node);
+          break;
+        case IrNode::Kind::kCall:
+          WalkCall(node);
+          break;
+      }
+    }
+  }
+
+  void WalkLoop(const IrNode& loop) {
+    const std::int64_t body_instr = std::max<std::int64_t>(DynamicInstructions(loop.children), 1);
+    std::int64_t unroll = 1;
+    if (body_instr < config_.min_loop_body_instructions && !SequenceHasProbes(loop.children)) {
+      unroll = std::min((config_.min_loop_body_instructions + body_instr - 1) / body_instr,
+                        config_.max_unroll_factor);
+    }
+    const std::int64_t super_iterations = (loop.trip_count + unroll - 1) / unroll;
+    // Each unrolled copy drops one back-edge compare+branch (2 instructions)
+    // relative to the baseline, discounted for the unrolling the baseline
+    // compiler already performed.
+    AccountSavedInstructions(static_cast<std::int64_t>(
+        2.0 * static_cast<double>(loop.trip_count - super_iterations) *
+        config_.unroll_saving_discount));
+    // Walk super-iterations with a back-edge probe between them.
+    if (SequenceHasProbes(loop.children)) {
+      // Probes inside the body: walk in compressed repeat form; the body's
+      // own probes bound the gaps, and each super-iteration ends with the
+      // back-edge probe.
+      std::vector<IrNode> super_body;
+      for (std::int64_t copy = 0; copy < unroll; ++copy) {
+        for (const IrNode& child : loop.children) {
+          super_body.push_back(child);
+        }
+      }
+      // Iteration 1 enters with the carried gap; every later iteration is
+      // preceded by a back-edge probe. Iterations 3..N share the same gap
+      // pattern (the state is stationary after the first internal probe), so
+      // walk one of them and scale.
+      WalkOnce(super_body);
+      if (super_iterations >= 2) {
+        Probe();
+        WalkOnce(super_body);
+      }
+      if (super_iterations >= 3) {
+        const GapSnapshot before = Snapshot();
+        Probe();
+        WalkOnce(super_body);
+        ScaleSince(before, super_iterations - 3);
+      }
+      return;
+    }
+    // No probes inside the body: each super-iteration is a pure advance of
+    // `unroll * body_time`, separated by back-edge probes.
+    const double super_ns = InstructionsToNs(body_instr) * static_cast<double>(unroll);
+    const std::int64_t instr_per_super = body_instr * unroll;
+    if (super_iterations == 0) {
+      return;
+    }
+    // First super-iteration absorbs the carried gap.
+    AdvanceTime(super_ns, instr_per_super);
+    if (super_iterations == 1) {
+      return;
+    }
+    Probe();
+    // Middle super-iterations: gap == super_ns each, closed by a probe.
+    const std::int64_t middle = super_iterations - 2;
+    if (middle > 0) {
+      RecordGapRepeated(super_ns, middle);
+      AccountInstructions(instr_per_super * middle);
+      AccountTime(super_ns * static_cast<double>(middle), 0.0);
+      AccountProbes(middle);
+    }
+    // Final super-iteration: no back-edge probe; its time carries out.
+    AdvanceTime(super_ns, instr_per_super);
+  }
+
+  void WalkCall(const IrNode& call) {
+    if (call.callee_instrumented) {
+      // Instrumented callee: rule 1 places a probe at its entry; the callee
+      // body is modeled by the caller inlining its nodes, so entry alone.
+      Probe();
+      return;
+    }
+    // Un-instrumented callee: probes before and after; the opaque execution
+    // is one long gap.
+    Probe();
+    AdvanceOpaque(call.callee_ns);
+    Probe();
+  }
+
+  // --- primitive state updates ---
+
+  void Advance(std::int64_t instructions) {
+    AdvanceTime(InstructionsToNs(instructions), instructions);
+  }
+
+  void AdvanceTime(double ns, std::int64_t instructions) {
+    carry_ns_ += ns;
+    AccountInstructions(instructions);
+    AccountTime(ns, 0.0);
+  }
+
+  void AdvanceOpaque(double ns) {
+    carry_ns_ += ns;
+    AccountTime(0.0, ns);
+  }
+
+  void Probe() {
+    RecordGap(carry_ns_);
+    carry_ns_ = 0.0;
+    AccountProbes(1);
+  }
+
+  void RecordGap(double gap_ns) {
+    report_->gaps[gap_ns] += 1;
+    report_->max_gap_ns = std::max(report_->max_gap_ns, gap_ns);
+    if (capturing_) {
+      captured_gaps_[gap_ns] += 1;
+    }
+  }
+
+  void RecordGapRepeated(double gap_ns, std::int64_t count) {
+    report_->gaps[gap_ns] += count;
+    report_->max_gap_ns = std::max(report_->max_gap_ns, gap_ns);
+    if (capturing_) {
+      captured_gaps_[gap_ns] += count;
+    }
+  }
+
+  void AccountProbes(std::int64_t n) {
+    report_->probes_executed += n;
+    if (capturing_) {
+      captured_probes_ += n;
+    }
+  }
+
+  void AccountInstructions(std::int64_t n) {
+    report_->instructions_executed += n;
+    if (capturing_) {
+      captured_instructions_ += n;
+    }
+  }
+
+  void AccountSavedInstructions(std::int64_t n) {
+    report_->instructions_saved_by_unrolling += n;
+    if (capturing_) {
+      captured_saved_ += n;
+    }
+  }
+
+  void AccountTime(double instr_ns, double opaque_ns) {
+    report_->instrumented_time_ns += instr_ns;
+    report_->uninstrumented_time_ns += opaque_ns;
+    if (capturing_) {
+      captured_instr_time_ += instr_ns;
+      captured_opaque_time_ += opaque_ns;
+    }
+  }
+
+  // --- nested-loop steady-state scaling ---
+
+  struct GapSnapshot {
+    std::int64_t probes;
+    std::int64_t instructions;
+    std::int64_t saved;
+    double instr_time;
+    double opaque_time;
+    GapHistogram gaps;
+  };
+
+  GapSnapshot Snapshot() const {
+    return GapSnapshot{report_->probes_executed, report_->instructions_executed,
+                       report_->instructions_saved_by_unrolling, report_->instrumented_time_ns,
+                       report_->uninstrumented_time_ns, report_->gaps};
+  }
+
+  void ScaleSince(const GapSnapshot& before, std::int64_t extra) {
+    if (extra <= 0) {
+      return;
+    }
+    for (const auto& [gap, count] : report_->gaps) {
+      auto it = before.gaps.find(gap);
+      const std::int64_t delta = count - (it == before.gaps.end() ? 0 : it->second);
+      if (delta > 0) {
+        report_->gaps[gap] += delta * extra;
+      }
+    }
+    const auto scale = static_cast<double>(extra);
+    report_->probes_executed += (report_->probes_executed - before.probes) * extra;
+    report_->instructions_executed +=
+        (report_->instructions_executed - before.instructions) * extra;
+    report_->instructions_saved_by_unrolling +=
+        (report_->instructions_saved_by_unrolling - before.saved) * extra;
+    report_->instrumented_time_ns += (report_->instrumented_time_ns - before.instr_time) * scale;
+    report_->uninstrumented_time_ns +=
+        (report_->uninstrumented_time_ns - before.opaque_time) * scale;
+  }
+
+  static bool SequenceHasProbes(const std::vector<IrNode>& nodes) {
+    for (const IrNode& node : nodes) {
+      switch (node.kind) {
+        case IrNode::Kind::kStraight:
+          break;
+        case IrNode::Kind::kCall:
+          return true;  // every call placement inserts probes
+        case IrNode::Kind::kLoop:
+          return true;  // back-edge probes
+      }
+    }
+    return false;
+  }
+
+  double InstructionsToNs(std::int64_t instructions) const {
+    return static_cast<double>(instructions) / ipc_ / config_.ghz;
+  }
+
+  const PlacementConfig& config_;
+  double ipc_;
+  InstrumentationReport* report_;
+  double carry_ns_ = 0.0;
+
+  bool capturing_ = false;
+  GapHistogram captured_gaps_;
+  std::int64_t captured_probes_ = 0;
+  std::int64_t captured_instructions_ = 0;
+  std::int64_t captured_saved_ = 0;
+  double captured_instr_time_ = 0.0;
+  double captured_opaque_time_ = 0.0;
+};
+
+}  // namespace
+
+InstrumentationReport AnalyzeProgram(const IrProgram& program, const PlacementConfig& config) {
+  CONCORD_CHECK(program.ipc > 0.0) << "ipc must be positive";
+  InstrumentationReport report;
+  Walker walker(config, program.ipc, &report);
+  for (const IrFunction& function : program.functions) {
+    // Rule 1: probe at function entry, once per invocation. Model the
+    // invocations as a repeated (probe, body) sequence.
+    std::vector<IrNode> unit;
+    IrNode entry_probe;  // an instrumented call models the entry probe
+    entry_probe.kind = IrNode::Kind::kCall;
+    entry_probe.callee_instrumented = true;
+    unit.push_back(entry_probe);
+    for (const IrNode& node : function.body) {
+      unit.push_back(node);
+    }
+    walker.WalkSequence(unit, function.invocations);
+  }
+  walker.Finish();
+  return report;
+}
+
+}  // namespace concord

@@ -1,0 +1,41 @@
+// Synthetic stand-ins for the 24 SPLASH-2 / Phoenix / PARSEC programs of
+// Table 1.
+//
+// The real benchmark binaries are not available offline, and Table 1's two
+// metrics are functions of program *shape*: how many IR instructions sit
+// between probe sites (overhead) and how long the longest un-probed stretches
+// are (timeliness). Each stand-in is a miniature IR program whose hot-loop
+// body size, call structure and un-instrumented library-call profile are
+// derived from the published per-program numbers; the probe-placement pass
+// and the instrumentation model then *compute* overhead and timeliness from
+// that structure. The published Compiler-Interrupts overheads are carried
+// verbatim as the comparison column, exactly as the paper did (§5.4 states
+// the authors also used CI's published numbers).
+
+#ifndef CONCORD_SRC_COMPILER_PROGRAMS_H_
+#define CONCORD_SRC_COMPILER_PROGRAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/ir.h"
+
+namespace concord {
+
+struct Table1Program {
+  std::string name;
+  std::string suite;
+  // Published numbers (Table 1), used as the comparison column and as test
+  // tolerances for the model's output.
+  double paper_concord_overhead_pct;
+  double paper_ci_overhead_pct;
+  double paper_stddev_us;
+  IrProgram ir;
+};
+
+// All 24 programs, in Table 1 order.
+const std::vector<Table1Program>& Table1Programs();
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMPILER_PROGRAMS_H_

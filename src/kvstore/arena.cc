@@ -1,0 +1,43 @@
+#include "src/kvstore/arena.h"
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+char* Arena::AllocateFallback(std::size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocations get their own block so the current block's remaining
+    // space is not wasted.
+    return AllocateNewBlock(bytes);
+  }
+  char* block = AllocateNewBlock(kBlockSize);
+  alloc_ptr_ = block + bytes;
+  alloc_bytes_remaining_ = kBlockSize - bytes;
+  return block;
+}
+
+char* Arena::AllocateAligned(std::size_t bytes) {
+  constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be a power of two");
+  const std::size_t current_mod = reinterpret_cast<std::uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  const std::size_t slop = current_mod == 0 ? 0 : kAlign - current_mod;
+  const std::size_t needed = bytes + slop;
+  if (needed <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+    return result;
+  }
+  // Fallback blocks are max_align_t-aligned by operator new[].
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateNewBlock(std::size_t block_bytes) {
+  auto block = std::make_unique<char[]>(block_bytes);
+  char* result = block.get();
+  blocks_.push_back(std::move(block));
+  memory_usage_ += block_bytes + sizeof(char*);
+  return result;
+}
+
+}  // namespace concord

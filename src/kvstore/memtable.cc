@@ -1,0 +1,179 @@
+#include "src/kvstore/memtable.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+std::uint32_t LoadU32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t LoadU64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t MakeTag(SequenceNumber seq, ValueType type) {
+  return (seq << 8) | static_cast<std::uint64_t>(type);
+}
+
+}  // namespace
+
+Slice MemTable::EntryKey(const char* entry) {
+  const std::uint32_t key_len = LoadU32(entry);
+  return Slice(entry + sizeof(std::uint32_t), key_len);
+}
+
+std::uint64_t MemTable::EntryTag(const char* entry) {
+  const std::uint32_t key_len = LoadU32(entry);
+  return LoadU64(entry + sizeof(std::uint32_t) + key_len);
+}
+
+Slice MemTable::EntryValue(const char* entry) {
+  const std::uint32_t key_len = LoadU32(entry);
+  const char* p = entry + sizeof(std::uint32_t) + key_len + sizeof(std::uint64_t);
+  const std::uint32_t val_len = LoadU32(p);
+  return Slice(p + sizeof(std::uint32_t), val_len);
+}
+
+int MemTable::EntryComparator::operator()(const char* a, const char* b) const {
+  const int r = EntryKey(a).compare(EntryKey(b));
+  if (r != 0) {
+    return r;
+  }
+  // Same user key: newer (larger tag) first.
+  const std::uint64_t tag_a = EntryTag(a);
+  const std::uint64_t tag_b = EntryTag(b);
+  if (tag_a > tag_b) {
+    return -1;
+  }
+  if (tag_a < tag_b) {
+    return +1;
+  }
+  return 0;
+}
+
+MemTable::MemTable() : table_(EntryComparator{}, &arena_) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key, const Slice& value) {
+  const std::size_t encoded = sizeof(std::uint32_t) + key.size() + sizeof(std::uint64_t) +
+                              sizeof(std::uint32_t) + value.size();
+  char* buf = arena_.Allocate(encoded);
+  char* p = buf;
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  std::memcpy(p, &key_len, sizeof(key_len));
+  p += sizeof(key_len);
+  std::memcpy(p, key.data(), key.size());
+  p += key.size();
+  const std::uint64_t tag = MakeTag(seq, type);
+  std::memcpy(p, &tag, sizeof(tag));
+  p += sizeof(tag);
+  const auto val_len = static_cast<std::uint32_t>(value.size());
+  std::memcpy(p, &val_len, sizeof(val_len));
+  p += sizeof(val_len);
+  std::memcpy(p, value.data(), value.size());
+  table_.Insert(buf);
+}
+
+bool MemTable::Get(const Slice& key, SequenceNumber seq, std::string* value,
+                   bool* deleted) const {
+  // Seek to the first entry for `key` with sequence <= seq: encode a lookup
+  // entry with the max visible tag.
+  std::string lookup;
+  lookup.resize(sizeof(std::uint32_t) + key.size() + sizeof(std::uint64_t));
+  char* p = lookup.data();
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  std::memcpy(p, &key_len, sizeof(key_len));
+  p += sizeof(key_len);
+  std::memcpy(p, key.data(), key.size());
+  p += key.size();
+  const std::uint64_t tag = MakeTag(seq, ValueType::kValue);  // kValue > kDeletion
+  std::memcpy(p, &tag, sizeof(tag));
+
+  Table::Iterator it(&table_);
+  it.Seek(lookup.data());
+  if (!it.Valid() || EntryKey(it.key()) != key) {
+    return false;
+  }
+  const std::uint64_t found_tag = EntryTag(it.key());
+  const auto type = static_cast<ValueType>(found_tag & 0xff);
+  if (type == ValueType::kDeletion) {
+    *deleted = true;
+    return true;
+  }
+  *deleted = false;
+  const Slice v = EntryValue(it.key());
+  value->assign(v.data(), v.size());
+  return true;
+}
+
+void MemTable::Scan(SequenceNumber seq,
+                    const std::function<bool(const Slice&, const Slice&)>& visit,
+                    const std::function<void()>& probe) const {
+  RangeScan(Slice(), Slice(), seq, visit, probe);
+}
+
+void MemTable::RangeScan(const Slice& start, const Slice& end, SequenceNumber seq,
+                         const std::function<bool(const Slice&, const Slice&)>& visit,
+                         const std::function<void()>& probe) const {
+  Table::Iterator it(&table_);
+  if (start.empty()) {
+    it.SeekToFirst();
+  } else {
+    // Seek to the first entry with key >= start: encode a lookup entry with
+    // the maximal tag so every version of `start` sorts at or after it.
+    std::string lookup;
+    lookup.resize(sizeof(std::uint32_t) + start.size() + sizeof(std::uint64_t));
+    char* p = lookup.data();
+    const auto key_len = static_cast<std::uint32_t>(start.size());
+    std::memcpy(p, &key_len, sizeof(key_len));
+    p += sizeof(key_len);
+    std::memcpy(p, start.data(), start.size());
+    p += start.size();
+    const std::uint64_t tag = MakeTag(kMaxSequenceNumber, ValueType::kValue);
+    std::memcpy(p, &tag, sizeof(tag));
+    it.Seek(lookup.data());
+  }
+  // Entry whose key has already been decided (its newest visible version was
+  // found); older versions of the same key are skipped.
+  const char* decided = nullptr;
+  while (it.Valid()) {
+    if (probe) {
+      probe();
+    }
+    const char* entry = it.key();
+    const Slice key = EntryKey(entry);
+    if (!end.empty() && !(key < end)) {
+      return;  // past the half-open range
+    }
+    if (decided != nullptr && EntryKey(decided) == key) {
+      it.Next();
+      continue;
+    }
+    const std::uint64_t tag = EntryTag(entry);
+    const SequenceNumber entry_seq = tag >> 8;
+    if (entry_seq > seq) {
+      // Newer than the snapshot: an older version may still be visible, so
+      // the key is not decided yet.
+      it.Next();
+      continue;
+    }
+    // Newest visible version of this key.
+    decided = entry;
+    if (static_cast<ValueType>(tag & 0xff) == ValueType::kValue) {
+      if (!visit(key, EntryValue(entry))) {
+        return;
+      }
+    }
+    it.Next();
+  }
+}
+
+}  // namespace concord

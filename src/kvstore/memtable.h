@@ -1,0 +1,81 @@
+// In-memory write buffer: a skiplist of (key, sequence, type, value) entries,
+// after LevelDB's MemTable.
+//
+// Entries are immutable once inserted; updates and deletes are new entries
+// with higher sequence numbers. A read at sequence S sees the newest entry
+// with sequence <= S, which gives snapshot reads for free.
+
+#ifndef CONCORD_SRC_KVSTORE_MEMTABLE_H_
+#define CONCORD_SRC_KVSTORE_MEMTABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/kvstore/arena.h"
+#include "src/kvstore/skiplist.h"
+#include "src/kvstore/slice.h"
+
+namespace concord {
+
+using SequenceNumber = std::uint64_t;
+inline constexpr SequenceNumber kMaxSequenceNumber = ~0ULL >> 8;
+
+enum class ValueType : std::uint8_t {
+  kDeletion = 0,
+  kValue = 1,
+};
+
+class MemTable {
+ public:
+  MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Adds an entry. Writes must be externally serialized.
+  void Add(SequenceNumber seq, ValueType type, const Slice& key, const Slice& value);
+
+  // Looks up `key` at snapshot `seq`. Returns true and fills `*value` if the
+  // newest visible entry is a value; returns true with `*deleted` set if it
+  // is a deletion; returns false if the key is unknown at that snapshot.
+  bool Get(const Slice& key, SequenceNumber seq, std::string* value, bool* deleted) const;
+
+  // Visits every live (non-deleted) key at snapshot `seq` in key order.
+  // `visit` returning false stops the scan early. `probe` (if set) runs once
+  // per visited entry — the loop back-edge instrumentation point.
+  void Scan(SequenceNumber seq, const std::function<bool(const Slice&, const Slice&)>& visit,
+            const std::function<void()>& probe = nullptr) const;
+
+  // Range variant: visits live keys in [start, end) at snapshot `seq`. An
+  // empty `end` means "to the last key".
+  void RangeScan(const Slice& start, const Slice& end, SequenceNumber seq,
+                 const std::function<bool(const Slice&, const Slice&)>& visit,
+                 const std::function<void()>& probe = nullptr) const;
+
+  std::uint64_t EntryCount() const { return table_.size(); }
+  std::size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+ private:
+  friend class PlainTableBuilder;
+
+  // Entries are length-prefixed buffers in the arena:
+  //   u32 key_len | key bytes | u64 tag | u32 val_len | val bytes
+  // tag = (sequence << 8) | type; ordering is (key asc, tag desc) so the
+  // newest entry for a key comes first.
+  struct EntryComparator {
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, EntryComparator>;
+
+  static Slice EntryKey(const char* entry);
+  static std::uint64_t EntryTag(const char* entry);
+  static Slice EntryValue(const char* entry);
+
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_KVSTORE_MEMTABLE_H_

@@ -1,0 +1,39 @@
+#include "src/kvstore/plain_table.h"
+
+#include <algorithm>
+
+namespace concord {
+
+PlainTable PlainTable::Build(const MemTable& table, SequenceNumber seq) {
+  PlainTable result;
+  table.Scan(seq, [&result](const Slice& key, const Slice& value) {
+    result.entries_.push_back(Entry{key.ToString(), value.ToString()});
+    return true;
+  });
+  return result;
+}
+
+bool PlainTable::Get(const Slice& key, std::string* value) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& entry, const Slice& target) { return Slice(entry.key) < target; });
+  if (it == entries_.end() || Slice(it->key) != key) {
+    return false;
+  }
+  *value = it->value;
+  return true;
+}
+
+void PlainTable::Scan(const std::function<bool(const Slice&, const Slice&)>& visit,
+                      const std::function<void()>& probe) const {
+  for (const Entry& entry : entries_) {
+    if (probe) {
+      probe();
+    }
+    if (!visit(entry.key, entry.value)) {
+      return;
+    }
+  }
+}
+
+}  // namespace concord

@@ -1,0 +1,46 @@
+// An immutable, sorted key-value snapshot.
+//
+// Stands in for the "memory-mapped plain tables" the paper uses to keep all
+// LevelDB data in memory (§5.3): a frozen memtable is compacted into one
+// flat sorted array that serves GETs by binary search and SCANs by linear
+// walk — the cheapest possible read path, which is what gives the paper's
+// 600ns GETs.
+
+#ifndef CONCORD_SRC_KVSTORE_PLAIN_TABLE_H_
+#define CONCORD_SRC_KVSTORE_PLAIN_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/kvstore/memtable.h"
+#include "src/kvstore/slice.h"
+
+namespace concord {
+
+class PlainTable {
+ public:
+  // Compacts the live entries of `table` at snapshot `seq`.
+  static PlainTable Build(const MemTable& table, SequenceNumber seq);
+
+  bool Get(const Slice& key, std::string* value) const;
+
+  // Visits all pairs in key order; `visit` returning false stops early.
+  // `probe` runs per visited pair (loop back-edge instrumentation point).
+  void Scan(const std::function<bool(const Slice&, const Slice&)>& visit,
+            const std::function<void()>& probe = nullptr) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_KVSTORE_PLAIN_TABLE_H_

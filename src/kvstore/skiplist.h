@@ -1,0 +1,146 @@
+// Arena-backed skiplist, after LevelDB's.
+//
+// Single writer, multiple readers: Insert must be externally serialized
+// (the Db facade holds its mutex across writes); readers may traverse
+// concurrently with an insert because nodes are linked bottom-up with
+// release stores and never removed.
+
+#ifndef CONCORD_SRC_KVSTORE_SKIPLIST_H_
+#define CONCORD_SRC_KVSTORE_SKIPLIST_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/kvstore/arena.h"
+
+namespace concord {
+
+// Comparator returns <0, 0, >0 like Slice::compare.
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  SkipList(Comparator cmp, Arena* arena)
+      : compare_(cmp), arena_(arena), head_(NewNode(Key{}, kMaxHeight)), rng_(0xdeadbeef) {
+    for (int i = 0; i < kMaxHeight; ++i) {
+      head_->SetNext(i, nullptr);
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // Requires: nothing equal to `key` is in the list.
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    CONCORD_DCHECK(x == nullptr || !Equal(key, x->key)) << "duplicate skiplist key";
+    const int height = RandomHeight();
+    if (height > max_height_.load(std::memory_order_relaxed)) {
+      for (int i = max_height_.load(std::memory_order_relaxed); i < height; ++i) {
+        prev[i] = head_;
+      }
+      max_height_.store(height, std::memory_order_relaxed);
+    }
+    Node* node = NewNode(key, height);
+    for (int i = 0; i < height; ++i) {
+      node->NoBarrierSetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, node);
+    }
+    ++size_;
+  }
+
+  bool Contains(const Key& key) const {
+    const Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && Equal(key, x->key);
+  }
+
+  std::uint64_t size() const { return size_; }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      CONCORD_DCHECK(Valid());
+      return node_->key;
+    }
+    void Next() {
+      CONCORD_DCHECK(Valid());
+      node_ = node_->Next(0);
+    }
+    void Seek(const Key& target) { node_ = list_->FindGreaterOrEqual(target, nullptr); }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr unsigned kBranching = 4;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+    const Key key;
+
+    Node* Next(int level) const { return next_[level].load(std::memory_order_acquire); }
+    void SetNext(int level, Node* node) { next_[level].store(node, std::memory_order_release); }
+    void NoBarrierSetNext(int level, Node* node) {
+      next_[level].store(node, std::memory_order_relaxed);
+    }
+
+   private:
+    // Flexible-length tail: the node is allocated with `height` slots.
+    std::atomic<Node*> next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* memory = arena_->AllocateAligned(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * static_cast<std::size_t>(height - 1));
+    return new (memory) Node(key);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rng_.UniformU64(kBranching) == 0) {
+      ++height;
+    }
+    return height;
+  }
+
+  bool Equal(const Key& a, const Key& b) const { return compare_(a, b) == 0; }
+
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = max_height_.load(std::memory_order_relaxed) - 1;
+    for (;;) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) {
+          prev[level] = x;
+        }
+        if (level == 0) {
+          return next;
+        }
+        --level;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  std::atomic<int> max_height_{1};
+  std::uint64_t size_ = 0;
+  Rng rng_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_KVSTORE_SKIPLIST_H_

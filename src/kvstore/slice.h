@@ -1,0 +1,57 @@
+// A non-owning byte-string view with LevelDB-style comparison semantics.
+
+#ifndef CONCORD_SRC_KVSTORE_SLICE_H_
+#define CONCORD_SRC_KVSTORE_SLICE_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace concord {
+
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, std::size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT(runtime/explicit)
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT(runtime/explicit)
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](std::size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return {data_, size_}; }
+
+  // Three-way lexicographic byte comparison: <0, 0, >0.
+  int compare(const Slice& other) const {
+    const std::size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) {
+        r = -1;
+      } else if (size_ > other.size_) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ && std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) { return a.compare(b) == 0; }
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) { return a.compare(b) < 0; }
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_KVSTORE_SLICE_H_

@@ -1,0 +1,50 @@
+// A batch of updates applied atomically under one sequence number range,
+// after LevelDB's WriteBatch.
+
+#ifndef CONCORD_SRC_KVSTORE_WRITE_BATCH_H_
+#define CONCORD_SRC_KVSTORE_WRITE_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kvstore/memtable.h"
+#include "src/kvstore/slice.h"
+
+namespace concord {
+
+class WriteBatch {
+ public:
+  void Put(const Slice& key, const Slice& value) {
+    ops_.push_back(Op{ValueType::kValue, key.ToString(), value.ToString()});
+  }
+
+  void Delete(const Slice& key) {
+    ops_.push_back(Op{ValueType::kDeletion, key.ToString(), std::string()});
+  }
+
+  void Clear() { ops_.clear(); }
+  std::size_t Count() const { return ops_.size(); }
+
+  // Applies all operations to `table`, numbering them base_seq, base_seq+1...
+  // Returns the number of sequence numbers consumed.
+  SequenceNumber ApplyTo(MemTable* table, SequenceNumber base_seq) const {
+    SequenceNumber seq = base_seq;
+    for (const Op& op : ops_) {
+      table->Add(seq++, op.type, op.key, op.value);
+    }
+    return seq - base_seq;
+  }
+
+ private:
+  struct Op {
+    ValueType type;
+    std::string key;
+    std::string value;
+  };
+
+  std::vector<Op> ops_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_KVSTORE_WRITE_BATCH_H_

@@ -1,0 +1,92 @@
+#include "src/loadgen/loadgen.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/cacheline.h"
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+
+namespace concord {
+
+OpenLoopLoadgen::OpenLoopLoadgen(const ServiceDistribution& distribution,
+                                 std::vector<double> class_service_us, std::uint64_t seed)
+    : distribution_(distribution), class_service_us_(std::move(class_service_us)), rng_(seed) {
+  CONCORD_CHECK(!class_service_us_.empty()) << "need class service times";
+}
+
+std::function<void(const RequestView&, std::uint64_t)> OpenLoopLoadgen::CompletionHook() {
+  return [this](const RequestView& view, std::uint64_t latency_tsc) {
+    OnComplete(view, latency_tsc);
+  };
+}
+
+void OpenLoopLoadgen::OnComplete(const RequestView& view, std::uint64_t latency_tsc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  if (view.id < warmup_ids_) {
+    return;  // §5.1: discard warmup samples
+  }
+  const double latency_ns = static_cast<double>(latency_tsc) / tsc_ghz_;
+  const double service_ns =
+      class_service_us_[static_cast<std::size_t>(view.request_class)] * 1000.0;
+  tracker_.Record(latency_ns, service_ns, view.request_class);
+}
+
+LoadgenReport OpenLoopLoadgen::Run(Runtime* runtime, double offered_krps, std::uint64_t count,
+                                   double warmup_fraction) {
+  CONCORD_CHECK(offered_krps > 0.0) << "load must be positive";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracker_.Reset();
+    completed_ = 0;
+    warmup_ids_ = static_cast<std::uint64_t>(warmup_fraction * static_cast<double>(count));
+    tsc_ghz_ = runtime->tsc_ghz();
+  }
+
+  const double mean_gap_ns = KrpsToInterarrivalNs(offered_krps);
+  LoadgenReport report;
+  report.offered_krps = offered_krps;
+
+  const auto start = std::chrono::steady_clock::now();
+  double next_arrival_ns = 0.0;
+  for (std::uint64_t id = 0; id < count; ++id) {
+    next_arrival_ns += rng_.Exponential(mean_gap_ns);
+    // Open loop: wait until the scheduled instant, then submit.
+    for (;;) {
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      const double elapsed_ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+      if (elapsed_ns >= next_arrival_ns) {
+        break;
+      }
+      if (next_arrival_ns - elapsed_ns > 50000.0) {
+        std::this_thread::yield();
+      } else {
+        CpuRelax();
+      }
+    }
+    const ServiceSample sample = distribution_.Sample(rng_);
+    if (runtime->Submit(id, sample.request_class, nullptr)) {
+      ++report.issued;
+    } else {
+      ++report.dropped;  // open loop: ingress full means overload
+    }
+  }
+  runtime->WaitIdle();
+  const auto total = std::chrono::steady_clock::now() - start;
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(total).count());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  report.completed = completed_;
+  report.achieved_krps =
+      total_ns > 0.0 ? static_cast<double>(completed_) / (total_ns / kNsPerSec) / 1000.0 : 0.0;
+  report.mean_slowdown = tracker_.MeanSlowdown();
+  report.p50_slowdown = tracker_.QuantileSlowdown(0.50);
+  report.p99_slowdown = tracker_.QuantileSlowdown(0.99);
+  report.p999_slowdown = tracker_.P999Slowdown();
+  return report;
+}
+
+}  // namespace concord

@@ -1,0 +1,68 @@
+// In-process open-loop load generator for the real runtime.
+//
+// Plays the role of the paper's client machine (§5.1): issues requests on a
+// Poisson schedule regardless of completions (open loop, so queueing delays
+// are not masked), draws each request's class from a workload distribution,
+// and computes per-request slowdown from completion notifications. The
+// network RTT is the one component intentionally absent: the paper's
+// slowdown metric measures time at the server.
+
+#ifndef CONCORD_SRC_LOADGEN_LOADGEN_H_
+#define CONCORD_SRC_LOADGEN_LOADGEN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/runtime/runtime.h"
+#include "src/stats/slowdown.h"
+#include "src/workload/distribution.h"
+
+namespace concord {
+
+struct LoadgenReport {
+  std::uint64_t issued = 0;
+  std::uint64_t dropped = 0;  // ingress-full rejections
+  std::uint64_t completed = 0;
+  double offered_krps = 0.0;
+  double achieved_krps = 0.0;
+  double mean_slowdown = 0.0;
+  double p50_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+  double p999_slowdown = 0.0;
+};
+
+class OpenLoopLoadgen {
+ public:
+  // `class_service_us[c]` is the clean service time of class c, used for
+  // slowdown computation. The distribution's Sample() drives class choice.
+  OpenLoopLoadgen(const ServiceDistribution& distribution, std::vector<double> class_service_us,
+                  std::uint64_t seed);
+
+  // The completion hook to install as Runtime::Callbacks::on_complete before
+  // Start(). Thread-safe.
+  std::function<void(const RequestView&, std::uint64_t)> CompletionHook();
+
+  // Issues `count` requests at `offered_krps` into `runtime`, waits for all
+  // of them, and reports. Blocks the calling thread for the duration.
+  LoadgenReport Run(Runtime* runtime, double offered_krps, std::uint64_t count,
+                    double warmup_fraction = 0.1);
+
+ private:
+  void OnComplete(const RequestView& view, std::uint64_t latency_tsc);
+
+  const ServiceDistribution& distribution_;
+  std::vector<double> class_service_us_;
+  Rng rng_;
+
+  std::mutex mu_;
+  SlowdownTracker tracker_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t warmup_ids_ = 0;
+  double tsc_ghz_ = 1.0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_LOADGEN_LOADGEN_H_

@@ -1,0 +1,99 @@
+// System configuration: which scheduling mechanisms a simulated system uses.
+//
+// A SystemConfig plus a CostModel fully determines a simulated server. The
+// presets in systems.h compose the configurations evaluated in the paper
+// (Shinjuku, Persephone-FCFS, Concord and its ablations); custom configs are
+// how the SRPT example and the sensitivity tests explore beyond it.
+
+#ifndef CONCORD_SRC_MODEL_CONFIG_H_
+#define CONCORD_SRC_MODEL_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+namespace concord {
+
+// How requests reach workers.
+enum class QueueDiscipline {
+  // One physical queue at the dispatcher; workers handshake synchronously for
+  // every request (Shinjuku, Persephone).
+  kSingleQueue,
+  // Bounded per-worker queues of depth k fed by the central queue (Concord).
+  kJbsq,
+  // Single *logical* queue (Shenango/Caladan style, §6): the networker
+  // steers arrivals to per-worker queues round-robin, idle workers steal
+  // from the most loaded peer, and a scheduler hyperthread (the "dispatcher"
+  // entity, §6) only monitors quanta and posts cooperative preemption
+  // signals. Preempted requests rejoin their own worker's queue.
+  kWorkStealing,
+};
+
+// How a running request is preempted at the end of its quantum.
+enum class PreemptMechanism {
+  kNone,           // run to completion (Persephone-FCFS)
+  kIpi,            // dispatcher-posted inter-processor interrupts (Shinjuku)
+  kCoopCacheLine,  // compiler-enforced cooperation via dedicated lines (Concord)
+  kRdtscSelf,      // self-preemption on rdtsc() probes (Compiler Interrupts)
+  kUipi,           // Intel user-space IPIs (Fig. 15)
+};
+
+// Ordering policy of the central queue.
+enum class CentralQueuePolicy {
+  kFcfs,  // arrival order; preempted requests rejoin the tail (quantum RR ~ PS)
+  kSrpt,  // shortest remaining processing time first (§3.1 extension)
+};
+
+// Models application critical sections during which preemption must be
+// deferred (§3.1 "safety-first preemption").
+struct LockBehavior {
+  // Probability that a preemption signal lands while the request holds a lock.
+  double hold_probability = 0.0;
+  // Mean remaining critical-section time when it does (exponential).
+  double mean_remaining_ns = 0.0;
+};
+
+struct SystemConfig {
+  std::string name = "unnamed";
+
+  int worker_count = 14;
+  QueueDiscipline queue = QueueDiscipline::kSingleQueue;
+  // Maximum outstanding requests per worker (running + queued) in JBSQ mode.
+  int jbsq_depth = 2;
+
+  PreemptMechanism preempt = PreemptMechanism::kNone;
+  // Scheduling quantum; ignored when preempt == kNone.
+  double quantum_ns = 5000.0;
+  // Preemption is only worth its cost when another request could use the
+  // core; when true the dispatcher skips the signal if the central queue is
+  // empty (all systems modeled here do this).
+  bool preempt_only_when_queue_nonempty = true;
+
+  CentralQueuePolicy central_policy = CentralQueuePolicy::kFcfs;
+
+  // §3.3: the dispatcher runs not-yet-started requests when all worker
+  // queues are full, under rdtsc() self-preemption.
+  bool work_conserving_dispatcher = false;
+
+  // One-sided imprecision of cooperative preemption: the yield happens
+  // |N(0, sigma)| after the signal is observed-able. Table 1 measures sigma
+  // between 0.02 us and 1.8 us across applications; 0 means "next probe".
+  double preempt_delay_sigma_ns = 290.0;
+
+  // Critical-section behaviour of the application (0-probability = none).
+  LockBehavior locks;
+
+  // Request classes that must run to completion: models prototypes that
+  // ensure lock safety by disabling preemption for entire API calls (the
+  // Shinjuku-LevelDB behaviour of §3.1) instead of Concord's fine-grained
+  // lock counter.
+  std::vector<int> nonpreemptible_classes;
+
+  // When true, the application code running on workers is NOT instrumented
+  // (the paper runs baselines on un-instrumented binaries, §5.1), so no
+  // c_proc inflation applies even if the mechanism would normally add it.
+  bool instrumented_workers = true;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_MODEL_CONFIG_H_

@@ -1,0 +1,33 @@
+#include "src/model/costs.h"
+
+namespace concord {
+
+CostModel DefaultCosts() { return CostModel{}; }
+
+CostModel IdealizedCosts() {
+  CostModel costs;
+  costs.ipi_notify_ns = 0.0;
+  costs.uipi_notify_ns = 0.0;
+  costs.coop_notify_ns = 0.0;
+  costs.ipi_delivery_ns = 0.0;
+  costs.rdtsc_instr_fraction = 0.0;
+  costs.coop_instr_fraction = 0.0;
+  costs.probe_gap_ns = 0.0;
+  costs.context_switch_ns = 0.0;
+  costs.interrupt_switch_extra_ns = 0.0;
+  costs.networker_ns = 0.0;
+  costs.dispatch_arrival_ns = 0.0;
+  costs.dispatch_sq_handoff_ns = 0.0;
+  costs.dispatch_jbsq_push_ns = 0.0;
+  costs.jbsq_select_ns = 0.0;
+  costs.dispatch_requeue_ns = 0.0;
+  costs.signal_coop_ns = 0.0;
+  costs.signal_ipi_ns = 0.0;
+  costs.signal_uipi_ns = 0.0;
+  costs.jbsq_local_pop_ns = 0.0;
+  costs.steal_ns = 0.0;
+  costs.sq_receive_ns = 0.0;
+  return costs;
+}
+
+}  // namespace concord

@@ -1,0 +1,116 @@
+// The cost model: every per-event CPU cost charged by the server model.
+//
+// These constants are the paper's measured numbers (§2, §3) on its testbed
+// (Xeon Gold 6142, 2.60 GHz), expressed in nanoseconds:
+//
+//  - Receiving a Shinjuku posted IPI costs ~1200 cycles at the 2 GHz clock the
+//    paper's §2.2.1 arithmetic assumes, i.e. ~600 ns: a 12% overhead at a 5 us
+//    quantum and ~30% at 2 us, matching Fig. 2.
+//  - Concord's final cache-line check is a Read-after-Write coherence miss,
+//    ~150 cycles (~58 ns); all earlier checks are L1 hits (~2 cycles) and show
+//    up as the ~1% instrumentation fraction instead of a per-event cost.
+//  - An rdtsc() costs ~30 cycles; probes every ~200 LLVM IR instructions make
+//    Compiler-Interrupts-style instrumentation a flat ~21% tax (Fig. 2).
+//  - A cooperative user-level context switch is ~100 ns (§3.1).
+//  - The single-queue handshake costs at least two coherence misses, ~400
+//    cycles (~154 ns), before dispatcher queueing delay is added (§2.2.2).
+//  - Intel UIPIs halve neither coherence nor delivery work; Fig. 15 shows
+//    them at ~2x Concord's overhead, which calibrates their receive cost.
+
+#ifndef CONCORD_SRC_MODEL_COSTS_H_
+#define CONCORD_SRC_MODEL_COSTS_H_
+
+#include "src/common/cycles.h"
+
+namespace concord {
+
+struct CostModel {
+  CpuClock clock{2.6};
+
+  // --- Preemption-notification costs (worker side) ---
+  // Stall in the worker when a posted IPI is received (Shinjuku).
+  double ipi_notify_ns = 600.0;
+  // Stall for Intel user-space IPIs: cheaper than kernel IPIs but still an
+  // interrupt delivery + receive sequence; calibrated to ~2x Concord (Fig 15).
+  double uipi_notify_ns = 230.0;
+  // Read-after-Write coherence miss on the dedicated cache line: the final
+  // probe check that observes the dispatcher's signal (~150 cycles).
+  double coop_notify_ns = 58.0;
+  // Latency from the dispatcher posting an IPI to the worker starting the
+  // receive sequence (interconnect delivery).
+  double ipi_delivery_ns = 40.0;
+
+  // --- Instrumentation (c_proc) ---
+  // Fractional service-time inflation of rdtsc()-probe instrumentation
+  // (Compiler Interrupts), flat across quanta.
+  double rdtsc_instr_fraction = 0.21;
+  // Fractional inflation of Concord's cache-line-polling instrumentation
+  // (L1 hit + compare per probe; Table 1 average ~1%).
+  double coop_instr_fraction = 0.012;
+  // Mean spacing between instrumentation probes in executed time. Bounds how
+  // late a cooperative worker notices a signal and how late the dispatcher
+  // notices pending work while running stolen requests.
+  double probe_gap_ns = 120.0;
+
+  // --- Context switching ---
+  // Cooperative user-level switch between request contexts (§3.1: ~100 ns).
+  double context_switch_ns = 100.0;
+  // Additional trap/IRET-style cost when yielding from an interrupt handler
+  // rather than a poll point (IPI systems pay it on top of the switch).
+  double interrupt_switch_extra_ns = 50.0;
+
+  // --- Networker stage (serialized, off the dispatcher) ---
+  // Shinjuku and Concord dedicate a hyperthread to network RX/TX; Persephone
+  // colocates it with the dispatcher but pays the same per-packet work. The
+  // networker is modeled as a serial stage every request crosses before
+  // reaching the dispatcher; it is what caps all three systems near 3.1 MRps
+  // on Fixed(1us) (Fig. 8 left).
+  double networker_ns = 320.0;
+
+  // --- Dispatcher micro-operation costs (dispatcher side, serialized) ---
+  // Accepting one request from the networker and appending to the queue.
+  double dispatch_arrival_ns = 30.0;
+  // Single-queue handshake, dispatcher side: poll the worker's done-flag
+  // (RaW miss), select the next request and write it out (WaR miss) — the
+  // c_next of §2.2.2. The worker additionally stalls for sq_receive_ns.
+  double dispatch_sq_handoff_ns = 180.0;
+  // JBSQ push of one request into a per-worker bounded queue: a one-way
+  // write, no flag round trip, hence much cheaper than an SQ handoff.
+  double dispatch_jbsq_push_ns = 130.0;
+  // Extra per-dispatch cost of computing the shortest queue for JBSQ: the
+  // ~2% dispatcher penalty visible in Fig. 8 (left).
+  double jbsq_select_ns = 6.0;
+  // Re-placing a preempted request on the central queue.
+  double dispatch_requeue_ns = 15.0;
+  // Posting the preemption signal: writing the dedicated cache line (co-op)
+  // vs. programming the APIC/posted-interrupt descriptors (IPI/UIPI).
+  double signal_coop_ns = 25.0;
+  double signal_ipi_ns = 50.0;
+  double signal_uipi_ns = 45.0;
+
+  // --- Worker-side queue operations (JBSQ) ---
+  // Popping the core-local bounded queue plus starting the quantum timer
+  // (the residual c_next that JBSQ does not eliminate, §3.2).
+  double jbsq_local_pop_ns = 30.0;
+  // Stealing one request from another worker's queue (single-logical-queue
+  // systems, §6): several coherence misses on the victim's deque.
+  double steal_ns = 250.0;
+  // Worker-side stall reading the request line the dispatcher just wrote in
+  // single-queue mode (Read-after-Write coherence miss).
+  double sq_receive_ns = 150.0;
+
+  // Convenience: cycles -> ns at this model's clock.
+  double CyclesToNs(double cycles) const { return clock.CyclesToNs(cycles); }
+};
+
+// Returns the paper-calibrated default cost model.
+CostModel DefaultCosts();
+
+// Returns an all-zero cost model (infinitely fast hardware): used by the
+// idealized queueing simulations of Fig. 5, where only scheduling policy and
+// preemption imprecision matter.
+CostModel IdealizedCosts();
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_MODEL_COSTS_H_

@@ -1,0 +1,76 @@
+#include "src/model/experiment.h"
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+LoadPoint RunLoadPoint(const SystemConfig& config, const CostModel& costs,
+                       const ServiceDistribution& distribution, double offered_krps,
+                       const ExperimentParams& params) {
+  ServerModel model(config, costs, params.seed);
+  const RunResult result =
+      model.Run(distribution, offered_krps, params.request_count, params.warmup_fraction);
+  LoadPoint point;
+  point.offered_krps = offered_krps;
+  point.p999_slowdown = result.slowdown.QuantileSlowdown(0.999);
+  point.p99_slowdown = result.slowdown.QuantileSlowdown(0.99);
+  point.p50_slowdown = result.slowdown.QuantileSlowdown(0.50);
+  point.mean_slowdown = result.slowdown.MeanSlowdown();
+  point.achieved_krps = result.achieved_krps;
+  point.dispatcher_busy_fraction = result.dispatcher_busy_fraction;
+  point.dispatcher_app_fraction = result.dispatcher_app_fraction;
+  point.preemptions = result.preemptions;
+  point.dispatcher_stolen = result.dispatcher_stolen;
+  return point;
+}
+
+std::vector<LoadPoint> RunLoadSweep(const SystemConfig& config, const CostModel& costs,
+                                    const ServiceDistribution& distribution,
+                                    const std::vector<double>& loads_krps,
+                                    const ExperimentParams& params) {
+  std::vector<LoadPoint> points;
+  points.reserve(loads_krps.size());
+  for (double load : loads_krps) {
+    points.push_back(RunLoadPoint(config, costs, distribution, load, params));
+  }
+  return points;
+}
+
+double FindMaxLoadUnderSlo(const SystemConfig& config, const CostModel& costs,
+                           const ServiceDistribution& distribution, double slo, double lo_krps,
+                           double hi_krps, const ExperimentParams& params, double tolerance) {
+  CONCORD_CHECK(lo_krps > 0.0 && hi_krps > lo_krps) << "bad bisection range";
+  auto meets_slo = [&](double load) {
+    return RunLoadPoint(config, costs, distribution, load, params).p999_slowdown <= slo;
+  };
+  if (!meets_slo(lo_krps)) {
+    return lo_krps;
+  }
+  if (meets_slo(hi_krps)) {
+    return hi_krps;
+  }
+  double lo = lo_krps;
+  double hi = hi_krps;
+  while ((hi - lo) / hi > tolerance) {
+    const double mid = (lo + hi) / 2.0;
+    if (meets_slo(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<double> LinearLoads(double lo_krps, double hi_krps, int points) {
+  CONCORD_CHECK(points >= 2) << "need at least two points";
+  std::vector<double> loads;
+  loads.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    loads.push_back(lo_krps +
+                    (hi_krps - lo_krps) * static_cast<double>(i) / static_cast<double>(points - 1));
+  }
+  return loads;
+}
+
+}  // namespace concord

@@ -1,0 +1,67 @@
+// Experiment harness: load sweeps and SLO-crossover search.
+//
+// Every slowdown-vs-load figure (Figs. 5-10, 13, 14) is produced by sweeping
+// offered load and reporting the p99.9 slowdown at each point; the headline
+// numbers ("Concord sustains X% more throughput") come from finding the
+// highest load at which each system still meets the 50x p99.9-slowdown SLO.
+
+#ifndef CONCORD_SRC_MODEL_EXPERIMENT_H_
+#define CONCORD_SRC_MODEL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/costs.h"
+#include "src/model/server_model.h"
+#include "src/workload/distribution.h"
+
+namespace concord {
+
+// The paper's SLO: p99.9 slowdown <= 50x the service time (§5.1).
+inline constexpr double kPaperSloSlowdown = 50.0;
+
+struct LoadPoint {
+  double offered_krps = 0.0;
+  double p999_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+  double p50_slowdown = 0.0;
+  double mean_slowdown = 0.0;
+  double achieved_krps = 0.0;
+  double dispatcher_busy_fraction = 0.0;
+  double dispatcher_app_fraction = 0.0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t dispatcher_stolen = 0;
+};
+
+struct ExperimentParams {
+  std::size_t request_count = 200000;
+  double warmup_fraction = 0.1;
+  std::uint64_t seed = 42;
+};
+
+// Runs one load point.
+LoadPoint RunLoadPoint(const SystemConfig& config, const CostModel& costs,
+                       const ServiceDistribution& distribution, double offered_krps,
+                       const ExperimentParams& params);
+
+// Runs a sweep over the given offered loads (kRps).
+std::vector<LoadPoint> RunLoadSweep(const SystemConfig& config, const CostModel& costs,
+                                    const ServiceDistribution& distribution,
+                                    const std::vector<double>& loads_krps,
+                                    const ExperimentParams& params);
+
+// Finds (by bisection, to a relative tolerance of `tolerance`) the highest
+// offered load in [lo_krps, hi_krps] whose p99.9 slowdown stays at or below
+// `slo`. Returns lo_krps if even that violates the SLO.
+double FindMaxLoadUnderSlo(const SystemConfig& config, const CostModel& costs,
+                           const ServiceDistribution& distribution, double slo, double lo_krps,
+                           double hi_krps, const ExperimentParams& params,
+                           double tolerance = 0.02);
+
+// Evenly spaced loads in [lo, hi], inclusive of both ends.
+std::vector<double> LinearLoads(double lo_krps, double hi_krps, int points);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_MODEL_EXPERIMENT_H_

@@ -1,0 +1,62 @@
+#include "src/model/overhead_model.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+OverheadBreakdown PreemptionOverhead(const CostModel& costs, PreemptMechanism mechanism,
+                                     QueueDiscipline queue, double quantum_ns, double service_ns,
+                                     bool include_switch_and_fetch) {
+  CONCORD_CHECK(quantum_ns > 0.0 && service_ns > 0.0) << "quantum and service must be positive";
+  const double preemptions = std::floor(service_ns / quantum_ns);
+
+  OverheadBreakdown breakdown;
+  double notify_ns = 0.0;
+  double switch_ns = 0.0;
+  switch (mechanism) {
+    case PreemptMechanism::kIpi:
+      notify_ns = costs.ipi_notify_ns;
+      switch_ns = costs.context_switch_ns + costs.interrupt_switch_extra_ns;
+      break;
+    case PreemptMechanism::kUipi:
+      notify_ns = costs.uipi_notify_ns;
+      switch_ns = costs.context_switch_ns + costs.interrupt_switch_extra_ns;
+      break;
+    case PreemptMechanism::kCoopCacheLine:
+      notify_ns = costs.coop_notify_ns;
+      switch_ns = costs.context_switch_ns;
+      breakdown.instrumentation = costs.coop_instr_fraction;
+      break;
+    case PreemptMechanism::kRdtscSelf:
+      notify_ns = 0.0;  // the probes themselves are the mechanism
+      switch_ns = costs.context_switch_ns;
+      breakdown.instrumentation = costs.rdtsc_instr_fraction;
+      break;
+    case PreemptMechanism::kNone:
+      break;
+  }
+
+  breakdown.notification = preemptions * notify_ns / service_ns;
+  if (include_switch_and_fetch && mechanism != PreemptMechanism::kNone) {
+    const double next_ns = queue == QueueDiscipline::kSingleQueue
+                               ? costs.dispatch_sq_handoff_ns + costs.sq_receive_ns
+                               : costs.jbsq_local_pop_ns;
+    // Eq. 3 charges (c_notif + c_switch + c_next) per preemption; Eq. 4 adds
+    // one more (c_switch + c_next) when the request finally completes.
+    breakdown.switching = (preemptions + 1.0) * switch_ns / service_ns;
+    breakdown.next_request = (preemptions + 1.0) * next_ns / service_ns;
+  }
+  breakdown.total = breakdown.notification + breakdown.instrumentation + breakdown.switching +
+                    breakdown.next_request;
+  return breakdown;
+}
+
+double SystemOverhead(double worker_overhead, int workers, double dispatcher_overhead) {
+  CONCORD_CHECK(workers > 0) << "need at least one worker";
+  return (static_cast<double>(workers) * worker_overhead + dispatcher_overhead) /
+         (static_cast<double>(workers) + 1.0);
+}
+
+}  // namespace concord

@@ -1,0 +1,50 @@
+// Analytic preemption-overhead model: the paper's Eqs. 1-4 (§2.1).
+//
+// Figures 2, 12 and 15 measure the pure mechanism overhead by servicing 1M
+// requests of 500us each with no-op preemption handlers and comparing against
+// uninterrupted execution. That experiment is exactly the paper's analytic
+// model evaluated at S=500us, so this module computes it in closed form from
+// the cost model:
+//
+//   Overhead_w = (c_proc + c_pre + c_fin) / S                 (Eq. 2)
+//   c_pre   = floor(S/q) * (c_notif + c_switch + c_next)      (Eq. 3)
+//   c_fin   = c_switch + c_next                               (Eq. 4)
+//
+// Fig. 2 and Fig. 15 exclude the context switch and next-request fetch
+// ("this overhead excludes the time required to context switch and receive a
+// new request"), while Fig. 12 includes them to show JBSQ's contribution.
+
+#ifndef CONCORD_SRC_MODEL_OVERHEAD_MODEL_H_
+#define CONCORD_SRC_MODEL_OVERHEAD_MODEL_H_
+
+#include "src/model/config.h"
+#include "src/model/costs.h"
+
+namespace concord {
+
+struct OverheadBreakdown {
+  double notification = 0.0;   // c_notif component, as a fraction of S
+  double instrumentation = 0.0;  // c_proc component
+  double switching = 0.0;      // c_switch component (0 when excluded)
+  double next_request = 0.0;   // c_next component (0 when excluded)
+  double total = 0.0;
+};
+
+// Per-request overhead fraction for a preemption mechanism at quantum
+// `quantum_ns` and service time `service_ns`.
+//
+// `include_switch_and_fetch` selects between the Fig. 2/15 accounting
+// (notification + instrumentation only) and the Fig. 12 accounting
+// (full Eq. 3 with c_switch and the queue-discipline-dependent c_next).
+OverheadBreakdown PreemptionOverhead(const CostModel& costs, PreemptMechanism mechanism,
+                                     QueueDiscipline queue, double quantum_ns, double service_ns,
+                                     bool include_switch_and_fetch);
+
+// System-level overhead with n workers and one dedicated dispatcher (Eq. 1):
+// (n * overhead_w + overhead_d) / (n + 1), with overhead_d = 1 for a
+// dedicated dispatcher and `dispatcher_overhead` otherwise.
+double SystemOverhead(double worker_overhead, int workers, double dispatcher_overhead = 1.0);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_MODEL_OVERHEAD_MODEL_H_

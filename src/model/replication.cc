@@ -1,0 +1,83 @@
+#include "src/model/replication.h"
+
+#include "src/common/logging.h"
+#include "src/model/server_model.h"
+
+namespace concord {
+
+ReplicatedRunResult RunReplicatedLoadPoint(const SystemConfig& config, const CostModel& costs,
+                                           const ServiceDistribution& distribution,
+                                           double total_offered_krps, int instances,
+                                           int total_workers, const ExperimentParams& params) {
+  CONCORD_CHECK(instances >= 1) << "need at least one instance";
+  CONCORD_CHECK(total_workers % instances == 0)
+      << total_workers << " workers do not split evenly across " << instances << " instances";
+  SystemConfig instance_config = config;
+  instance_config.worker_count = total_workers / instances;
+
+  SlowdownTracker merged;
+  double achieved = 0.0;
+  double dispatcher_busy = 0.0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t stolen = 0;
+  for (int i = 0; i < instances; ++i) {
+    ServerModel model(instance_config, costs, params.seed + static_cast<std::uint64_t>(i));
+    const RunResult result =
+        model.Run(distribution, total_offered_krps / instances,
+                  params.request_count / static_cast<std::size_t>(instances),
+                  params.warmup_fraction);
+    // Merge per-class slowdown histograms through the tracker's internals:
+    // re-recording is avoided by merging the overall histograms directly.
+    merged.Merge(result.slowdown);
+    achieved += result.achieved_krps;
+    dispatcher_busy += result.dispatcher_busy_fraction / instances;
+    preemptions += result.preemptions;
+    stolen += result.dispatcher_stolen;
+  }
+
+  ReplicatedRunResult result;
+  result.instances = instances;
+  result.workers_per_instance = instance_config.worker_count;
+  result.aggregate.offered_krps = total_offered_krps;
+  result.aggregate.p999_slowdown = merged.QuantileSlowdown(0.999);
+  result.aggregate.p99_slowdown = merged.QuantileSlowdown(0.99);
+  result.aggregate.p50_slowdown = merged.QuantileSlowdown(0.50);
+  result.aggregate.mean_slowdown = merged.MeanSlowdown();
+  result.aggregate.achieved_krps = achieved;
+  result.aggregate.dispatcher_busy_fraction = dispatcher_busy;
+  result.aggregate.preemptions = preemptions;
+  result.aggregate.dispatcher_stolen = stolen;
+  return result;
+}
+
+double FindReplicatedMaxLoadUnderSlo(const SystemConfig& config, const CostModel& costs,
+                                     const ServiceDistribution& distribution, double slo,
+                                     double lo_krps, double hi_krps, int instances,
+                                     int total_workers, const ExperimentParams& params,
+                                     double tolerance) {
+  CONCORD_CHECK(lo_krps > 0.0 && hi_krps > lo_krps) << "bad bisection range";
+  auto meets_slo = [&](double load) {
+    return RunReplicatedLoadPoint(config, costs, distribution, load, instances, total_workers,
+                                  params)
+               .aggregate.p999_slowdown <= slo;
+  };
+  if (!meets_slo(lo_krps)) {
+    return lo_krps;
+  }
+  if (meets_slo(hi_krps)) {
+    return hi_krps;
+  }
+  double lo = lo_krps;
+  double hi = hi_krps;
+  while ((hi - lo) / hi > tolerance) {
+    const double mid = (lo + hi) / 2.0;
+    if (meets_slo(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace concord

@@ -1,0 +1,44 @@
+// Multi-dispatcher replication (§6).
+//
+// The paper's stated remedy for the single-dispatcher bottleneck: "creating
+// multiple single-dispatcher instances that feed disjoint sets of cores".
+// With random request assignment, a Poisson arrival stream splits into
+// independent Poisson streams, so replication is modeled exactly by running
+// N independent server instances at load/N each and merging their slowdown
+// statistics. The trade-off this exposes: more instances relieve the
+// dispatcher but shrink each instance's worker pool, hurting tail latency
+// through reduced statistical multiplexing.
+
+#ifndef CONCORD_SRC_MODEL_REPLICATION_H_
+#define CONCORD_SRC_MODEL_REPLICATION_H_
+
+#include <cstdint>
+
+#include "src/model/experiment.h"
+
+namespace concord {
+
+struct ReplicatedRunResult {
+  int instances = 0;
+  int workers_per_instance = 0;
+  LoadPoint aggregate;  // merged across instances; offered = total load
+};
+
+// Splits `total_workers` and the offered load evenly across `instances`
+// copies of `config` and merges the results. `total_workers` must be
+// divisible by `instances`.
+ReplicatedRunResult RunReplicatedLoadPoint(const SystemConfig& config, const CostModel& costs,
+                                           const ServiceDistribution& distribution,
+                                           double total_offered_krps, int instances,
+                                           int total_workers, const ExperimentParams& params);
+
+// Maximum total load meeting `slo`, by bisection, for a replicated setup.
+double FindReplicatedMaxLoadUnderSlo(const SystemConfig& config, const CostModel& costs,
+                                     const ServiceDistribution& distribution, double slo,
+                                     double lo_krps, double hi_krps, int instances,
+                                     int total_workers, const ExperimentParams& params,
+                                     double tolerance = 0.02);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_MODEL_REPLICATION_H_

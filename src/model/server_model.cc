@@ -1,0 +1,924 @@
+#include "src/model/server_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+// Work remainders below this are treated as "complete" to absorb the
+// double-precision error of repeated clean/actual conversions.
+constexpr double kWorkEpsilonNs = 1e-6;
+
+}  // namespace
+
+ServerModel::ServerModel(SystemConfig config, CostModel costs, std::uint64_t seed)
+    : config_(std::move(config)), costs_(costs), rng_(seed) {
+  CONCORD_CHECK(config_.worker_count > 0) << "need at least one worker";
+  CONCORD_CHECK(config_.jbsq_depth >= 1) << "JBSQ depth must be >= 1";
+  CONCORD_CHECK(config_.quantum_ns > 0.0) << "quantum must be positive";
+}
+
+// ---------------------------------------------------------------------------
+// Derived parameters.
+
+double ServerModel::WorkerInflation() const {
+  if (!config_.instrumented_workers) {
+    return 1.0;
+  }
+  switch (config_.preempt) {
+    case PreemptMechanism::kCoopCacheLine:
+      return 1.0 + costs_.coop_instr_fraction;
+    case PreemptMechanism::kRdtscSelf:
+      return 1.0 + costs_.rdtsc_instr_fraction;
+    case PreemptMechanism::kNone:
+    case PreemptMechanism::kIpi:
+    case PreemptMechanism::kUipi:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double ServerModel::DispatcherInflation() const { return 1.0 + costs_.rdtsc_instr_fraction; }
+
+double ServerModel::SamplePreemptDelay() {
+  double delay = 0.0;
+  switch (config_.preempt) {
+    case PreemptMechanism::kIpi:
+    case PreemptMechanism::kUipi:
+      delay = costs_.ipi_delivery_ns;
+      break;
+    case PreemptMechanism::kCoopCacheLine:
+      // One-sided imprecision: the yield happens at the first probe after the
+      // signal, |N(0, sigma)| past the signal (§3.1, Fig. 5).
+      delay = std::abs(rng_.Normal(0.0, config_.preempt_delay_sigma_ns));
+      break;
+    case PreemptMechanism::kRdtscSelf:
+      delay = rng_.Uniform(0.0, std::max(costs_.probe_gap_ns, 1e-9));
+      break;
+    case PreemptMechanism::kNone:
+      break;
+  }
+  // Safety-first preemption: a signal landing inside a critical section is
+  // deferred until the lock is released (§3.1).
+  if (config_.locks.hold_probability > 0.0 && rng_.Bernoulli(config_.locks.hold_probability)) {
+    delay += rng_.Exponential(config_.locks.mean_remaining_ns);
+  }
+  return delay;
+}
+
+double ServerModel::NotificationStallNs() const {
+  switch (config_.preempt) {
+    case PreemptMechanism::kIpi:
+      return costs_.ipi_notify_ns + costs_.context_switch_ns + costs_.interrupt_switch_extra_ns;
+    case PreemptMechanism::kUipi:
+      return costs_.uipi_notify_ns + costs_.context_switch_ns + costs_.interrupt_switch_extra_ns;
+    case PreemptMechanism::kCoopCacheLine:
+      return costs_.coop_notify_ns + costs_.context_switch_ns;
+    case PreemptMechanism::kRdtscSelf:
+      return costs_.context_switch_ns;
+    case PreemptMechanism::kNone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Request pool.
+
+ServerModel::ReqState* ServerModel::AllocRequest() {
+  if (!free_list_.empty()) {
+    ReqState* req = free_list_.back();
+    free_list_.pop_back();
+    *req = ReqState{};
+    return req;
+  }
+  pool_.emplace_back();
+  return &pool_.back();
+}
+
+void ServerModel::FreeRequest(ReqState* req) { free_list_.push_back(req); }
+
+// ---------------------------------------------------------------------------
+// Central queue.
+
+void ServerModel::CentralPush(ReqState* req) { central_.push_back(req); }
+
+ServerModel::ReqState* ServerModel::CentralPopForWorker() {
+  if (central_.empty()) {
+    return nullptr;
+  }
+  if (config_.central_policy == CentralQueuePolicy::kFcfs) {
+    ReqState* req = central_.front();
+    central_.pop_front();
+    return req;
+  }
+  // SRPT: shortest remaining processing time first.
+  auto best = central_.begin();
+  for (auto it = central_.begin(); it != central_.end(); ++it) {
+    if ((*it)->remaining_clean_ns < (*best)->remaining_clean_ns) {
+      best = it;
+    }
+  }
+  ReqState* req = *best;
+  central_.erase(best);
+  return req;
+}
+
+ServerModel::ReqState* ServerModel::CentralTakeFirstUnstarted() {
+  for (auto it = central_.begin(); it != central_.end(); ++it) {
+    if (!(*it)->started) {
+      ReqState* req = *it;
+      central_.erase(it);
+      return req;
+    }
+  }
+  return nullptr;
+}
+
+void ServerModel::OnCentralQueueGrew() {
+  // Deliberately empty: workers whose quantum elapsed while nothing was
+  // runnable are re-examined by the dispatcher cycle only after dispatching
+  // is exhausted (see DispatcherCycle step 3) — a freshly arrived request
+  // that an idle worker will absorb must not trigger a pointless preemption.
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher.
+
+void ServerModel::WakeDispatcher() {
+  if (dispatcher_running_app_) {
+    InterruptDispatcherApp();
+  } else if (!dispatcher_busy_) {
+    DispatcherCycle();
+  }
+}
+
+void ServerModel::DispatcherCycle() {
+  if (dispatcher_busy_) {
+    return;
+  }
+  // 1. Serve pending micro-operations in FIFO order.
+  if (!ops_.empty()) {
+    MicroOp op = ops_.front();
+    ops_.pop_front();
+    double cost = 0.0;
+    switch (op.kind) {
+      case OpKind::kArrival:
+        cost = costs_.dispatch_arrival_ns;
+        break;
+      case OpKind::kRequeue:
+        cost = costs_.dispatch_requeue_ns;
+        break;
+      case OpKind::kSignal:
+        switch (config_.preempt) {
+          case PreemptMechanism::kIpi:
+            cost = costs_.signal_ipi_ns;
+            break;
+          case PreemptMechanism::kUipi:
+            cost = costs_.signal_uipi_ns;
+            break;
+          default:
+            cost = costs_.signal_coop_ns;
+            break;
+        }
+        break;
+    }
+    dispatcher_busy_ = true;
+    dispatcher_op_ns_ += cost;
+    sim_->ScheduleAfter(cost, [this, op] {
+      dispatcher_busy_ = false;
+      FinishMicroOp(op);
+      DispatcherCycle();
+    });
+    return;
+  }
+  // 2. Hand requests to workers.
+  if (TryDispatch()) {
+    return;
+  }
+  // 3. With dispatching exhausted, requests still queued justify preempting
+  // workers whose quantum elapsed earlier (their signals become micro-ops;
+  // TriggerPreempt re-enters this cycle through WakeDispatcher).
+  for (int w = 0; w < config_.worker_count; ++w) {
+    MaybeRetriggerPreempt(w);
+  }
+  if (dispatcher_busy_) {
+    return;
+  }
+  // 4. Work conservation: run application code (§3.3).
+  if (config_.work_conserving_dispatcher) {
+    bool stealable = !central_.empty();
+    if (config_.queue == QueueDiscipline::kWorkStealing) {
+      stealable = false;
+      for (const WorkerState& w : workers_) {
+        if (!w.local_queue.empty()) {
+          stealable = true;
+          break;
+        }
+      }
+    }
+    if (dispatcher_req_ != nullptr || (AllWorkerQueuesFull() && stealable)) {
+      StartDispatcherAppSegment();
+      return;
+    }
+  }
+  // 5. Idle; stimuli re-enter via WakeDispatcher().
+}
+
+void ServerModel::FinishMicroOp(MicroOp op) {
+  switch (op.kind) {
+    case OpKind::kArrival:
+    case OpKind::kRequeue:
+      CentralPush(op.req);
+      OnCentralQueueGrew();
+      break;
+    case OpKind::kSignal: {
+      WorkerState& w = workers_[static_cast<std::size_t>(op.worker)];
+      if (w.epoch != op.epoch || w.current == nullptr) {
+        break;  // stale: the segment already ended
+      }
+      if (config_.preempt_only_when_queue_nonempty && !ShouldPreempt(op.worker)) {
+        // Nothing would benefit from the preemption; remember that the
+        // quantum elapsed and retry when work appears.
+        w.preempt_pending = false;
+        w.quantum_elapsed = true;
+        break;
+      }
+      DeliverPreemption(op.worker, op.epoch);
+      break;
+    }
+  }
+}
+
+bool ServerModel::TryDispatch() {
+  if (config_.queue == QueueDiscipline::kWorkStealing) {
+    return false;  // the networker steers; there is nothing to dispatch
+  }
+  if (config_.queue == QueueDiscipline::kSingleQueue) {
+    if (sq_waiting_.empty() || central_.empty()) {
+      return false;
+    }
+    const int worker = sq_waiting_.front();
+    sq_waiting_.pop_front();
+    ReqState* req = CentralPopForWorker();
+    const double cost = costs_.dispatch_sq_handoff_ns;
+    dispatcher_busy_ = true;
+    dispatcher_op_ns_ += cost;
+    sim_->ScheduleAfter(cost, [this, worker, req] {
+      dispatcher_busy_ = false;
+      AssignToWorkerSq(worker, req, sim_->NowNs());
+      DispatcherCycle();
+    });
+    return true;
+  }
+  // JBSQ: push the head of the central queue to the shortest bounded queue.
+  if (central_.empty()) {
+    return false;
+  }
+  int best = -1;
+  for (int w = 0; w < config_.worker_count; ++w) {
+    const WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    if (ws.outstanding >= config_.jbsq_depth) {
+      continue;
+    }
+    if (best < 0 || ws.outstanding < workers_[static_cast<std::size_t>(best)].outstanding) {
+      best = w;
+    }
+  }
+  if (best < 0) {
+    return false;
+  }
+  ReqState* req = CentralPopForWorker();
+  // Reserve the slot now so concurrent decisions never overfill the queue.
+  workers_[static_cast<std::size_t>(best)].outstanding += 1;
+  const double cost = costs_.dispatch_jbsq_push_ns + costs_.jbsq_select_ns;
+  dispatcher_busy_ = true;
+  dispatcher_op_ns_ += cost;
+  sim_->ScheduleAfter(cost, [this, best, req] {
+    dispatcher_busy_ = false;
+    PushToWorkerJbsq(best, req, sim_->NowNs());
+    DispatcherCycle();
+  });
+  return true;
+}
+
+bool ServerModel::AllWorkerQueuesFull() const {
+  switch (config_.queue) {
+    case QueueDiscipline::kSingleQueue:
+      return sq_waiting_.empty();
+    case QueueDiscipline::kWorkStealing:
+      // The scheduler only helps when every worker is busy processing.
+      for (const WorkerState& w : workers_) {
+        if (w.current == nullptr) {
+          return false;
+        }
+      }
+      return true;
+    case QueueDiscipline::kJbsq:
+      break;
+  }
+  for (const WorkerState& w : workers_) {
+    if (w.outstanding < config_.jbsq_depth) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ServerModel::StartDispatcherAppSegment() {
+  const double now = sim_->NowNs();
+  if (dispatcher_req_ == nullptr) {
+    // Only requests that have never run elsewhere are eligible: the
+    // dispatcher's instrumentation differs from the workers' (§3.3).
+    dispatcher_req_ = config_.queue == QueueDiscipline::kWorkStealing
+                          ? StealTakeUnstartedForDispatcher()
+                          : CentralTakeFirstUnstarted();
+    if (dispatcher_req_ == nullptr) {
+      return;
+    }
+    dispatcher_req_->started = true;
+    dispatcher_req_->on_dispatcher = true;
+    dispatcher_quantum_used_ns_ = 0.0;
+    ++stolen_;
+  }
+  const double remaining_actual = dispatcher_req_->remaining_clean_ns * DispatcherInflation();
+  double quantum_left = config_.quantum_ns - dispatcher_quantum_used_ns_;
+  if (quantum_left <= 0.0) {
+    dispatcher_quantum_used_ns_ = 0.0;
+    quantum_left = config_.quantum_ns;
+  }
+  const double segment = std::min(remaining_actual, quantum_left);
+  dispatcher_busy_ = true;
+  dispatcher_running_app_ = true;
+  dispatcher_app_interrupted_ = false;
+  dispatcher_segment_start_ns_ = now;
+  dispatcher_segment_end_ns_ = now + segment;
+  dispatcher_segment_event_ =
+      sim_->ScheduleAt(dispatcher_segment_end_ns_, [this] { DispatcherSegmentEnd(); });
+}
+
+void ServerModel::InterruptDispatcherApp() {
+  if (dispatcher_app_interrupted_) {
+    return;
+  }
+  // The dispatcher notices pending events at its next rdtsc() probe.
+  const double notice = sim_->NowNs() + rng_.Uniform(0.0, std::max(costs_.probe_gap_ns, 1e-9));
+  if (notice < dispatcher_segment_end_ns_) {
+    dispatcher_app_interrupted_ = true;
+    sim_->Cancel(dispatcher_segment_event_);
+    dispatcher_segment_end_ns_ = notice;
+    dispatcher_segment_event_ = sim_->ScheduleAt(notice, [this] { DispatcherSegmentEnd(); });
+  }
+}
+
+void ServerModel::DispatcherSegmentEnd() {
+  const double now = sim_->NowNs();
+  const double executed = now - dispatcher_segment_start_ns_;
+  dispatcher_app_ns_ += executed;
+  dispatcher_running_app_ = false;
+  dispatcher_segment_event_ = kInvalidEventId;
+  ReqState* req = dispatcher_req_;
+  req->remaining_clean_ns =
+      std::max(req->remaining_clean_ns - executed / DispatcherInflation(), 0.0);
+  dispatcher_quantum_used_ns_ += executed;
+  if (req->remaining_clean_ns <= kWorkEpsilonNs) {
+    CompleteRequest(req, now, /*on_dispatcher=*/true);
+    dispatcher_req_ = nullptr;
+  } else if (dispatcher_quantum_used_ns_ >= config_.quantum_ns - kWorkEpsilonNs) {
+    // Self-preemption at the quantum boundary; the request stays parked in
+    // the dispatcher's dedicated buffer (it cannot migrate).
+    dispatcher_quantum_used_ns_ = 0.0;
+  }
+  // Context-switch out of the request context before dispatching again.
+  const double switch_cost = costs_.context_switch_ns;
+  dispatcher_op_ns_ += switch_cost;
+  sim_->ScheduleAfter(switch_cost, [this] {
+    dispatcher_busy_ = false;
+    DispatcherCycle();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing (single logical queue, §6).
+
+void ServerModel::StealingEnqueue(ReqState* req) {
+  // Round-robin steering by the networker; no dispatcher involvement.
+  const int target = steer_next_;
+  steer_next_ = (steer_next_ + 1) % config_.worker_count;
+  WorkerState& w = workers_[static_cast<std::size_t>(target)];
+  w.outstanding += 1;
+  if (w.waiting_for_work) {
+    const double now = sim_->NowNs();
+    w.waiting_for_work = false;
+    w.wait_ns += now - w.wait_since_ns;
+    w.fetch_ns += costs_.jbsq_local_pop_ns;
+    StartWorkerSegment(target, req, now + costs_.jbsq_local_pop_ns);
+    return;
+  }
+  w.local_queue.push_back(req);
+  // The running request may now be preemptable, or an idle peer may help.
+  MaybeRetriggerPreempt(target);
+  WakeIdleStealerFor(target);
+  if (config_.work_conserving_dispatcher) {
+    // With every worker busy, the scheduler thread may pick this up (§6).
+    WakeDispatcher();
+  }
+}
+
+bool ServerModel::TryStealFor(int thief, double now_ns) {
+  // Steal from the most loaded peer's queue tail.
+  int victim = -1;
+  std::size_t victim_depth = 0;
+  for (int w = 0; w < config_.worker_count; ++w) {
+    if (w == thief) {
+      continue;
+    }
+    const std::size_t depth = workers_[static_cast<std::size_t>(w)].local_queue.size();
+    if (depth > victim_depth) {
+      victim_depth = depth;
+      victim = w;
+    }
+  }
+  if (victim < 0) {
+    return false;
+  }
+  WorkerState& v = workers_[static_cast<std::size_t>(victim)];
+  ReqState* req = v.local_queue.back();
+  v.local_queue.pop_back();
+  v.outstanding -= 1;
+  WorkerState& t = workers_[static_cast<std::size_t>(thief)];
+  t.outstanding += 1;
+  t.fetch_ns += costs_.steal_ns;
+  StartWorkerSegment(thief, req, now_ns + costs_.steal_ns);
+  return true;
+}
+
+void ServerModel::WakeIdleStealerFor(int victim) {
+  WorkerState& v = workers_[static_cast<std::size_t>(victim)];
+  if (v.local_queue.empty()) {
+    return;
+  }
+  for (int w = 0; w < config_.worker_count; ++w) {
+    WorkerState& candidate = workers_[static_cast<std::size_t>(w)];
+    if (!candidate.waiting_for_work) {
+      continue;
+    }
+    const double now = sim_->NowNs();
+    candidate.waiting_for_work = false;
+    candidate.wait_ns += now - candidate.wait_since_ns;
+    ReqState* req = v.local_queue.back();
+    v.local_queue.pop_back();
+    v.outstanding -= 1;
+    candidate.outstanding += 1;
+    candidate.fetch_ns += costs_.steal_ns;
+    StartWorkerSegment(w, req, now + costs_.steal_ns);
+    return;
+  }
+}
+
+ServerModel::ReqState* ServerModel::StealTakeUnstartedForDispatcher() {
+  // The scheduler thread steals the newest un-started request from the most
+  // loaded worker (§6: "the scheduler can steal requests safely").
+  int victim = -1;
+  std::size_t victim_depth = 0;
+  for (int w = 0; w < config_.worker_count; ++w) {
+    const std::size_t depth = workers_[static_cast<std::size_t>(w)].local_queue.size();
+    if (depth > victim_depth) {
+      victim_depth = depth;
+      victim = w;
+    }
+  }
+  if (victim < 0) {
+    return nullptr;
+  }
+  WorkerState& v = workers_[static_cast<std::size_t>(victim)];
+  for (auto it = v.local_queue.rbegin(); it != v.local_queue.rend(); ++it) {
+    if (!(*it)->started) {
+      ReqState* req = *it;
+      v.local_queue.erase(std::next(it).base());
+      v.outstanding -= 1;
+      return req;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Workers.
+
+void ServerModel::StartWorkerSegment(int worker, ReqState* req, double start_ns) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  CONCORD_DCHECK(w.current == nullptr) << "worker " << worker << " already busy";
+  w.current = req;
+  req->started = true;
+  w.segment_start_ns = start_ns;
+  w.preempt_pending = false;
+  w.quantum_elapsed = false;
+  const double total_actual = req->remaining_clean_ns * WorkerInflation();
+  const std::uint64_t epoch = w.epoch;
+  w.completion_event = sim_->ScheduleAt(
+      start_ns + total_actual, [this, worker, epoch] { WorkerComplete(worker, epoch); });
+  if (config_.preempt != PreemptMechanism::kNone && RequestIsPreemptible(*req) &&
+      total_actual > config_.quantum_ns + kWorkEpsilonNs) {
+    w.quantum_event = sim_->ScheduleAt(start_ns + config_.quantum_ns, [this, worker, epoch] {
+      OnQuantumExpiry(worker, epoch);
+    });
+  } else {
+    w.quantum_event = kInvalidEventId;
+  }
+}
+
+bool ServerModel::RequestIsPreemptible(const ReqState& req) const {
+  for (const int cls : config_.nonpreemptible_classes) {
+    if (cls == req.request_class) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ServerModel::ShouldPreempt(int worker) const {
+  if (!central_.empty()) {
+    return true;
+  }
+  if (config_.queue != QueueDiscipline::kSingleQueue) {
+    return !workers_[static_cast<std::size_t>(worker)].local_queue.empty();
+  }
+  return false;
+}
+
+void ServerModel::TriggerPreempt(int worker) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  CONCORD_DCHECK(w.current != nullptr);
+  w.preempt_pending = true;
+  w.quantum_elapsed = false;
+  if (config_.preempt == PreemptMechanism::kRdtscSelf) {
+    // Self-preemption needs no dispatcher involvement.
+    DeliverPreemption(worker, w.epoch);
+    return;
+  }
+  ops_.push_back(MicroOp{OpKind::kSignal, nullptr, worker, w.epoch});
+  WakeDispatcher();
+}
+
+void ServerModel::MaybeRetriggerPreempt(int worker) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  if (w.quantum_elapsed && !w.preempt_pending && w.current != nullptr &&
+      ShouldPreempt(worker)) {
+    TriggerPreempt(worker);
+  }
+}
+
+void ServerModel::OnQuantumExpiry(int worker, std::uint64_t epoch) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  if (w.epoch != epoch || w.current == nullptr || w.preempt_pending) {
+    return;
+  }
+  w.quantum_event = kInvalidEventId;
+  if (config_.preempt_only_when_queue_nonempty && !ShouldPreempt(worker)) {
+    // Nothing to switch to: remember and retry when the queue grows.
+    w.quantum_elapsed = true;
+    return;
+  }
+  TriggerPreempt(worker);
+}
+
+void ServerModel::DeliverPreemption(int worker, std::uint64_t epoch) {
+  const double delay = SamplePreemptDelay();
+  sim_->ScheduleAfter(delay, [this, worker, epoch] { WorkerYield(worker, epoch); });
+}
+
+void ServerModel::WorkerYield(int worker, std::uint64_t epoch) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  if (w.epoch != epoch || w.current == nullptr) {
+    return;  // the request completed before the yield took effect
+  }
+  const double now = sim_->NowNs();
+  ReqState* req = w.current;
+  const double executed_actual = now - w.segment_start_ns;
+  req->remaining_clean_ns =
+      std::max(req->remaining_clean_ns - executed_actual / WorkerInflation(), kWorkEpsilonNs);
+  sim_->Cancel(w.completion_event);
+  sim_->Cancel(w.quantum_event);
+  w.completion_event = kInvalidEventId;
+  w.quantum_event = kInvalidEventId;
+  ++w.epoch;
+  w.current = nullptr;
+  w.preempt_pending = false;
+  w.quantum_elapsed = false;
+  w.busy_ns += executed_actual;
+  ++preemptions_;
+  const double stall = NotificationStallNs();
+  w.stall_ns += stall;
+  if (config_.queue == QueueDiscipline::kWorkStealing) {
+    // Preempted requests rejoin their own worker's queue tail (local RR);
+    // no central queue is involved. `outstanding` is unchanged: the request
+    // stays at this worker.
+    w.local_queue.push_back(req);
+  } else {
+    if (config_.queue == QueueDiscipline::kJbsq) {
+      w.outstanding -= 1;
+    }
+    // The dispatcher re-places the preempted request on the central queue.
+    ops_.push_back(MicroOp{OpKind::kRequeue, req, worker, 0});
+    WakeDispatcher();
+  }
+  sim_->ScheduleAfter(stall, [this, worker] { WorkerFetchNext(worker, sim_->NowNs()); });
+}
+
+void ServerModel::WorkerComplete(int worker, std::uint64_t epoch) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  if (w.epoch != epoch || w.current == nullptr) {
+    return;
+  }
+  const double now = sim_->NowNs();
+  ReqState* req = w.current;
+  w.busy_ns += now - w.segment_start_ns;
+  sim_->Cancel(w.quantum_event);
+  w.completion_event = kInvalidEventId;
+  w.quantum_event = kInvalidEventId;
+  ++w.epoch;
+  w.current = nullptr;
+  w.preempt_pending = false;
+  w.quantum_elapsed = false;
+  if (config_.queue != QueueDiscipline::kSingleQueue) {
+    w.outstanding -= 1;
+    if (config_.queue == QueueDiscipline::kJbsq) {
+      // The freed slot may let the dispatcher push a queued request.
+      WakeDispatcher();
+    }
+  }
+  req->remaining_clean_ns = 0.0;
+  CompleteRequest(req, now, /*on_dispatcher=*/false);
+  const double stall = costs_.context_switch_ns;
+  w.stall_ns += stall;
+  sim_->ScheduleAfter(stall, [this, worker] { WorkerFetchNext(worker, sim_->NowNs()); });
+}
+
+void ServerModel::WorkerFetchNext(int worker, double now_ns) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  if (config_.queue == QueueDiscipline::kWorkStealing) {
+    if (!w.local_queue.empty()) {
+      ReqState* req = w.local_queue.front();
+      w.local_queue.pop_front();
+      w.fetch_ns += costs_.jbsq_local_pop_ns;
+      StartWorkerSegment(worker, req, now_ns + costs_.jbsq_local_pop_ns);
+      return;
+    }
+    if (TryStealFor(worker, now_ns)) {
+      return;
+    }
+    w.waiting_for_work = true;
+    w.wait_since_ns = now_ns;
+    return;
+  }
+  if (config_.queue == QueueDiscipline::kJbsq) {
+    if (!w.local_queue.empty()) {
+      ReqState* req = w.local_queue.front();
+      w.local_queue.pop_front();
+      w.fetch_ns += costs_.jbsq_local_pop_ns;
+      StartWorkerSegment(worker, req, now_ns + costs_.jbsq_local_pop_ns);
+      return;
+    }
+    w.waiting_for_work = true;
+    w.wait_since_ns = now_ns;
+    // A freed slot may allow a new push.
+    WakeDispatcher();
+    return;
+  }
+  // Single queue: set the done-flag and wait for the dispatcher handshake.
+  w.waiting_for_work = true;
+  w.wait_since_ns = now_ns;
+  sq_waiting_.push_back(worker);
+  WakeDispatcher();
+}
+
+void ServerModel::AssignToWorkerSq(int worker, ReqState* req, double handoff_done_ns) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  CONCORD_DCHECK(w.waiting_for_work) << "SQ handoff to non-waiting worker";
+  w.waiting_for_work = false;
+  w.wait_ns += handoff_done_ns - w.wait_since_ns;
+  w.fetch_ns += costs_.sq_receive_ns;
+  StartWorkerSegment(worker, req, handoff_done_ns + costs_.sq_receive_ns);
+}
+
+void ServerModel::PushToWorkerJbsq(int worker, ReqState* req, double push_done_ns) {
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  // `outstanding` was reserved at dispatch-decision time.
+  w.local_queue.push_back(req);
+  if (w.waiting_for_work) {
+    ReqState* next = w.local_queue.front();
+    w.local_queue.pop_front();
+    w.waiting_for_work = false;
+    w.wait_ns += push_done_ns - w.wait_since_ns;
+    w.fetch_ns += costs_.jbsq_local_pop_ns;
+    StartWorkerSegment(worker, next, push_done_ns + costs_.jbsq_local_pop_ns);
+    return;
+  }
+  // The queue grew: the running request may now be worth preempting.
+  MaybeRetriggerPreempt(worker);
+}
+
+// ---------------------------------------------------------------------------
+// Request lifecycle.
+
+void ServerModel::InjectArrival(Request request, bool warmup) {
+  ReqState* req = AllocRequest();
+  req->id = request.id;
+  req->request_class = request.request_class;
+  req->arrival_ns = sim_->NowNs();
+  req->clean_service_ns = request.service_ns;
+  req->remaining_clean_ns = request.service_ns;
+  req->warmup = warmup;
+  // The networker is a serial stage ahead of the dispatcher: each request
+  // occupies it for networker_ns before reaching the dispatcher's ingress
+  // (or, in work-stealing mode, before being steered to a worker queue).
+  const double now = sim_->NowNs();
+  networker_free_ns_ = std::max(networker_free_ns_, now) + costs_.networker_ns;
+  const bool stealing = config_.queue == QueueDiscipline::kWorkStealing;
+  auto deliver = [this, req, stealing] {
+    if (stealing) {
+      StealingEnqueue(req);
+    } else {
+      ops_.push_back(MicroOp{OpKind::kArrival, req, -1, 0});
+      WakeDispatcher();
+    }
+  };
+  if (networker_free_ns_ <= now) {
+    deliver();
+    return;
+  }
+  sim_->ScheduleAt(networker_free_ns_, deliver);
+}
+
+void ServerModel::CompleteRequest(ReqState* req, double now_ns, bool on_dispatcher) {
+  const double residence = now_ns - req->arrival_ns;
+  if (!req->warmup) {
+    tracker_.Record(residence, req->clean_service_ns, req->request_class);
+  }
+  ++completed_;
+  if (on_dispatcher) {
+    ++dispatcher_completed_;
+  }
+  last_completion_ns_ = now_ns;
+  FreeRequest(req);
+}
+
+// ---------------------------------------------------------------------------
+// Run drivers.
+
+void ServerModel::ScheduleNextArrival() {
+  if (gen_next_ >= gen_count_) {
+    return;
+  }
+  const std::size_t index = gen_next_++;
+  double at_ns = 0.0;
+  Request request;
+  if (gen_trace_ != nullptr) {
+    request = gen_trace_->requests[index];
+    at_ns = request.arrival_ns;
+  } else {
+    gen_clock_ns_ += rng_.Exponential(gen_mean_gap_ns_);
+    at_ns = gen_clock_ns_;
+    request.id = index;
+    const ServiceSample sample = gen_dist_->Sample(rng_);
+    request.request_class = sample.request_class;
+    request.service_ns = sample.service_ns;
+    request.arrival_ns = at_ns;
+  }
+  const bool warmup = index < warmup_count_;
+  sim_->ScheduleAt(at_ns, [this, request, warmup] {
+    InjectArrival(request, warmup);
+    ScheduleNextArrival();
+  });
+}
+
+void ServerModel::ResetState() {
+  sim_.emplace();
+  pool_.clear();
+  free_list_.clear();
+  workers_.assign(static_cast<std::size_t>(config_.worker_count), WorkerState{});
+  central_.clear();
+  sq_waiting_.clear();
+  steer_next_ = 0;
+  // All workers start idle, ready for their first request.
+  for (int w = 0; w < config_.worker_count; ++w) {
+    workers_[static_cast<std::size_t>(w)].waiting_for_work = true;
+    if (config_.queue == QueueDiscipline::kSingleQueue) {
+      sq_waiting_.push_back(w);
+    }
+  }
+  ops_.clear();
+  dispatcher_busy_ = false;
+  dispatcher_op_ns_ = 0.0;
+  dispatcher_app_ns_ = 0.0;
+  dispatcher_req_ = nullptr;
+  dispatcher_running_app_ = false;
+  dispatcher_app_interrupted_ = false;
+  dispatcher_segment_start_ns_ = 0.0;
+  dispatcher_segment_end_ns_ = 0.0;
+  dispatcher_quantum_used_ns_ = 0.0;
+  dispatcher_segment_event_ = kInvalidEventId;
+  networker_free_ns_ = 0.0;
+  gen_dist_ = nullptr;
+  gen_trace_ = nullptr;
+  gen_mean_gap_ns_ = 0.0;
+  gen_clock_ns_ = 0.0;
+  gen_next_ = 0;
+  gen_count_ = 0;
+  warmup_count_ = 0;
+  completed_ = 0;
+  target_count_ = 0;
+  preemptions_ = 0;
+  stolen_ = 0;
+  dispatcher_completed_ = 0;
+  last_completion_ns_ = 0.0;
+  tracker_.Reset();
+}
+
+RunResult ServerModel::Run(const ServiceDistribution& distribution, double offered_krps,
+                           std::size_t count, double warmup_fraction) {
+  CONCORD_CHECK(count > 0) << "need at least one request";
+  ResetState();
+  gen_dist_ = &distribution;
+  gen_count_ = count;
+  target_count_ = count;
+  gen_mean_gap_ns_ = KrpsToInterarrivalNs(offered_krps);
+  warmup_count_ = static_cast<std::size_t>(warmup_fraction * static_cast<double>(count));
+  ScheduleNextArrival();
+  sim_->RunUntil();
+  CONCORD_CHECK(completed_ == count)
+      << "run did not drain: " << completed_ << " of " << count << " completed";
+  RunResult result = Collect(last_completion_ns_);
+  result.offered_krps = offered_krps;
+  return result;
+}
+
+RunResult ServerModel::RunTrace(const Trace& trace, double warmup_fraction) {
+  CONCORD_CHECK(!trace.requests.empty()) << "empty trace";
+  ResetState();
+  gen_trace_ = &trace;
+  gen_count_ = trace.requests.size();
+  target_count_ = gen_count_;
+  warmup_count_ =
+      static_cast<std::size_t>(warmup_fraction * static_cast<double>(gen_count_));
+  ScheduleNextArrival();
+  sim_->RunUntil();
+  CONCORD_CHECK(completed_ == gen_count_)
+      << "trace replay did not drain: " << completed_ << " of " << gen_count_;
+  RunResult result = Collect(last_completion_ns_);
+  result.offered_krps = trace.DurationNs() > 0.0
+                            ? static_cast<double>(trace.requests.size()) /
+                                  (trace.DurationNs() / kNsPerSec) / 1000.0
+                            : 0.0;
+  return result;
+}
+
+RunResult ServerModel::Collect(double duration_ns) {
+  RunResult result;
+  result.slowdown = tracker_;
+  result.completed = completed_;
+  result.measured = tracker_.Count();
+  result.preemptions = preemptions_;
+  result.dispatcher_stolen = stolen_;
+  result.dispatcher_completed = dispatcher_completed_;
+  result.sim_duration_ns = duration_ns;
+  if (duration_ns > 0.0) {
+    result.achieved_krps =
+        static_cast<double>(completed_) / (duration_ns / kNsPerSec) / 1000.0;
+    result.dispatcher_busy_fraction = (dispatcher_op_ns_ + dispatcher_app_ns_) / duration_ns;
+    result.dispatcher_app_fraction = dispatcher_app_ns_ / duration_ns;
+  }
+  std::vector<double> wait_fractions;
+  for (WorkerState& w : workers_) {
+    // Close out any wait interval still open at the end of the run.
+    double wait = w.wait_ns;
+    if (w.waiting_for_work && duration_ns > w.wait_since_ns) {
+      wait += duration_ns - w.wait_since_ns;
+    }
+    const double total = w.busy_ns + w.stall_ns + w.fetch_ns + wait;
+    const double busy_frac = total > 0.0 ? w.busy_ns / total : 0.0;
+    const double stall_frac = total > 0.0 ? w.stall_ns / total : 0.0;
+    // c_next = time idle-waiting for the dispatcher plus the fetch stall
+    // (SQ receive miss / JBSQ pop): the Fig. 3 quantity.
+    const double wait_frac = total > 0.0 ? (wait + w.fetch_ns) / total : 0.0;
+    result.worker_busy_fraction.push_back(busy_frac);
+    result.worker_stall_fraction.push_back(stall_frac);
+    result.worker_wait_fraction.push_back(wait_frac);
+    wait_fractions.push_back(wait_frac);
+  }
+  if (!wait_fractions.empty()) {
+    const auto mid = wait_fractions.begin() +
+                     static_cast<std::ptrdiff_t>(wait_fractions.size() / 2);
+    std::nth_element(wait_fractions.begin(), mid, wait_fractions.end());
+    result.median_worker_wait_fraction = *mid;
+  }
+  return result;
+}
+
+}  // namespace concord

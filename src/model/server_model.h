@@ -1,0 +1,224 @@
+// The simulated server: one dispatcher, n workers, and the scheduling
+// mechanisms of §2-§3 executed over the discrete-event engine.
+//
+// The model executes the *logic* of each system — queue discipline, quantum
+// monitoring, preemption signalling, JBSQ pushes, work conservation — and
+// charges the calibrated per-event costs from CostModel. The dispatcher is a
+// serial resource: every micro-operation (accepting an arrival, a single
+// -queue handoff, a JBSQ push, posting a preemption signal, re-queueing a
+// preempted request) occupies it for that operation's cost, so dispatcher
+// saturation and the queueing delays workers suffer behind it are emergent
+// rather than assumed. This is what makes the crossovers in Figs. 6-10 come
+// out of the simulation instead of being baked in.
+
+#ifndef CONCORD_SRC_MODEL_SERVER_MODEL_H_
+#define CONCORD_SRC_MODEL_SERVER_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/model/config.h"
+#include "src/model/costs.h"
+#include "src/sim/simulator.h"
+#include "src/stats/slowdown.h"
+#include "src/workload/distribution.h"
+#include "src/workload/trace.h"
+
+namespace concord {
+
+// Aggregate outcome of one simulated run at one load point.
+struct RunResult {
+  SlowdownTracker slowdown;  // measured (post-warmup) requests only
+
+  std::uint64_t completed = 0;
+  std::uint64_t measured = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t dispatcher_stolen = 0;     // requests started on the dispatcher
+  std::uint64_t dispatcher_completed = 0;  // ... and completed there
+
+  double offered_krps = 0.0;
+  double achieved_krps = 0.0;
+  double sim_duration_ns = 0.0;
+
+  // Dispatcher time split, as fractions of the run duration.
+  double dispatcher_busy_fraction = 0.0;  // micro-ops + app work
+  double dispatcher_app_fraction = 0.0;   // app work only
+
+  // Per-worker time split fractions (busy running requests, stalled on
+  // notification/switch costs, waiting for the next request).
+  std::vector<double> worker_busy_fraction;
+  std::vector<double> worker_stall_fraction;
+  std::vector<double> worker_wait_fraction;
+
+  // Median across workers of worker_wait_fraction: the Fig. 3 metric.
+  double median_worker_wait_fraction = 0.0;
+};
+
+class ServerModel {
+ public:
+  ServerModel(SystemConfig config, CostModel costs, std::uint64_t seed);
+
+  // Open-loop Poisson arrivals at `offered_krps`; `count` requests drawn from
+  // `distribution`. Requests arriving in the first `warmup_fraction` of the
+  // stream are excluded from the slowdown statistics (§5.1 discards the first
+  // 10% of samples).
+  RunResult Run(const ServiceDistribution& distribution, double offered_krps, std::size_t count,
+                double warmup_fraction = 0.1);
+
+  // Replays a pre-generated trace through the same machinery.
+  RunResult RunTrace(const Trace& trace, double warmup_fraction = 0.1);
+
+  const SystemConfig& config() const { return config_; }
+  const CostModel& costs() const { return costs_; }
+
+ private:
+  struct ReqState {
+    std::uint64_t id = 0;
+    int request_class = 0;
+    double arrival_ns = 0.0;
+    double clean_service_ns = 0.0;
+    double remaining_clean_ns = 0.0;
+    bool started = false;
+    bool on_dispatcher = false;
+    bool warmup = false;
+  };
+
+  struct WorkerState {
+    ReqState* current = nullptr;
+    std::uint64_t epoch = 0;  // bumps whenever the current segment ends
+    double segment_start_ns = 0.0;
+    EventId completion_event = kInvalidEventId;
+    EventId quantum_event = kInvalidEventId;
+    bool preempt_pending = false;  // a signal for this segment is in flight
+    bool quantum_elapsed = false;  // expired while the central queue was empty
+    std::deque<ReqState*> local_queue;  // JBSQ only (excludes `current`)
+    int outstanding = 0;                // running + locally queued (JBSQ)
+    bool waiting_for_work = false;
+    double wait_since_ns = 0.0;
+    // Time accounting.
+    double busy_ns = 0.0;
+    double stall_ns = 0.0;
+    double wait_ns = 0.0;
+    // Worker-side cost of fetching the next request (SQ receive miss / JBSQ
+    // local pop): the other half of c_next, reported with wait_ns in the
+    // Fig. 3 metric.
+    double fetch_ns = 0.0;
+  };
+
+  enum class OpKind { kArrival, kSignal, kRequeue };
+
+  struct MicroOp {
+    OpKind kind;
+    ReqState* req = nullptr;
+    int worker = -1;
+    std::uint64_t epoch = 0;
+  };
+
+  // --- request lifecycle ---
+  ReqState* AllocRequest();
+  void FreeRequest(ReqState* req);
+  void InjectArrival(Request request, bool warmup);
+  void CompleteRequest(ReqState* req, double now_ns, bool on_dispatcher);
+
+  // --- central queue ---
+  void CentralPush(ReqState* req);
+  ReqState* CentralPopForWorker();
+  ReqState* CentralTakeFirstUnstarted();
+  void OnCentralQueueGrew();
+
+  // --- dispatcher ---
+  void WakeDispatcher();
+  void DispatcherCycle();
+  void FinishMicroOp(MicroOp op);
+  bool TryDispatch();
+  bool AllWorkerQueuesFull() const;
+  void StartDispatcherAppSegment();
+  void InterruptDispatcherApp();
+  void DispatcherSegmentEnd();
+
+  // --- work stealing (single logical queue, §6) ---
+  void StealingEnqueue(ReqState* req);
+  bool TryStealFor(int thief, double now_ns);
+  void WakeIdleStealerFor(int victim);
+  ReqState* StealTakeUnstartedForDispatcher();
+
+  // --- workers ---
+  void StartWorkerSegment(int worker, ReqState* req, double start_ns);
+  bool RequestIsPreemptible(const ReqState& req) const;
+  bool ShouldPreempt(int worker) const;
+  void TriggerPreempt(int worker);
+  void MaybeRetriggerPreempt(int worker);
+  void OnQuantumExpiry(int worker, std::uint64_t epoch);
+  void DeliverPreemption(int worker, std::uint64_t epoch);
+  void WorkerYield(int worker, std::uint64_t epoch);
+  void WorkerComplete(int worker, std::uint64_t epoch);
+  void WorkerFetchNext(int worker, double now_ns);
+  void AssignToWorkerSq(int worker, ReqState* req, double handoff_done_ns);
+  void PushToWorkerJbsq(int worker, ReqState* req, double push_done_ns);
+
+  double WorkerInflation() const;
+  double DispatcherInflation() const;
+  double SamplePreemptDelay();
+  double NotificationStallNs() const;
+  void ScheduleNextArrival();
+
+  RunResult Collect(double duration_ns);
+  void ResetState();
+
+  SystemConfig config_;
+  CostModel costs_;
+  Rng rng_;
+  // Recreated for every run so simulated clocks restart at zero.
+  std::optional<Simulator> sim_;
+
+  // Request pool.
+  std::deque<ReqState> pool_;
+  std::vector<ReqState*> free_list_;
+
+  std::vector<WorkerState> workers_;
+  std::deque<ReqState*> central_;
+  std::deque<int> sq_waiting_;  // workers awaiting a single-queue handoff
+  int steer_next_ = 0;          // round-robin steering (work-stealing mode)
+
+  std::deque<MicroOp> ops_;
+  // Time until which the serial networker stage is occupied.
+  double networker_free_ns_ = 0.0;
+  bool dispatcher_busy_ = false;
+  double dispatcher_op_ns_ = 0.0;
+  double dispatcher_app_ns_ = 0.0;
+
+  // Dispatcher work-conservation state.
+  ReqState* dispatcher_req_ = nullptr;
+  bool dispatcher_running_app_ = false;
+  bool dispatcher_app_interrupted_ = false;
+  double dispatcher_segment_start_ns_ = 0.0;
+  double dispatcher_segment_end_ns_ = 0.0;
+  double dispatcher_quantum_used_ns_ = 0.0;
+  EventId dispatcher_segment_event_ = kInvalidEventId;
+
+  // Open-loop arrival generation state (one of gen_dist_/gen_trace_ is set).
+  const ServiceDistribution* gen_dist_ = nullptr;
+  const Trace* gen_trace_ = nullptr;
+  double gen_mean_gap_ns_ = 0.0;
+  double gen_clock_ns_ = 0.0;
+  std::size_t gen_next_ = 0;
+  std::size_t gen_count_ = 0;
+  std::size_t warmup_count_ = 0;
+
+  // Run bookkeeping.
+  std::uint64_t completed_ = 0;
+  std::uint64_t target_count_ = 0;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t stolen_ = 0;
+  std::uint64_t dispatcher_completed_ = 0;
+  double last_completion_ns_ = 0.0;
+  SlowdownTracker tracker_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_MODEL_SERVER_MODEL_H_

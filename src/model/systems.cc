@@ -1,0 +1,81 @@
+#include "src/model/systems.h"
+
+namespace concord {
+
+SystemConfig MakeShinjuku(int workers, double quantum_ns) {
+  SystemConfig config;
+  config.name = "Shinjuku";
+  config.worker_count = workers;
+  config.queue = QueueDiscipline::kSingleQueue;
+  config.preempt = PreemptMechanism::kIpi;
+  config.quantum_ns = quantum_ns;
+  config.instrumented_workers = false;  // baselines run un-instrumented code
+  return config;
+}
+
+SystemConfig MakePersephoneFcfs(int workers) {
+  SystemConfig config;
+  config.name = "Persephone-FCFS";
+  config.worker_count = workers;
+  config.queue = QueueDiscipline::kSingleQueue;
+  config.preempt = PreemptMechanism::kNone;
+  config.instrumented_workers = false;
+  return config;
+}
+
+SystemConfig MakeConcord(int workers, double quantum_ns, int jbsq_depth) {
+  SystemConfig config = MakeConcordNoDispatcherWork(workers, quantum_ns, jbsq_depth);
+  config.name = "Concord";
+  config.work_conserving_dispatcher = true;
+  return config;
+}
+
+SystemConfig MakeConcordNoDispatcherWork(int workers, double quantum_ns, int jbsq_depth) {
+  SystemConfig config;
+  config.name = "Concord-no-dispatcher-work";
+  config.worker_count = workers;
+  config.queue = QueueDiscipline::kJbsq;
+  config.jbsq_depth = jbsq_depth;
+  config.preempt = PreemptMechanism::kCoopCacheLine;
+  config.quantum_ns = quantum_ns;
+  config.instrumented_workers = true;
+  return config;
+}
+
+SystemConfig MakeCoopSingleQueue(int workers, double quantum_ns) {
+  SystemConfig config;
+  config.name = "Co-op+SQ";
+  config.worker_count = workers;
+  config.queue = QueueDiscipline::kSingleQueue;
+  config.preempt = PreemptMechanism::kCoopCacheLine;
+  config.quantum_ns = quantum_ns;
+  config.instrumented_workers = true;
+  return config;
+}
+
+SystemConfig MakeCoopJbsq(int workers, double quantum_ns, int jbsq_depth) {
+  SystemConfig config = MakeConcordNoDispatcherWork(workers, quantum_ns, jbsq_depth);
+  config.name = "Co-op+JBSQ(2)";
+  return config;
+}
+
+SystemConfig MakeUipiSystem(int workers, double quantum_ns) {
+  SystemConfig config = MakeShinjuku(workers, quantum_ns);
+  config.name = "UIPI";
+  config.preempt = PreemptMechanism::kUipi;
+  return config;
+}
+
+SystemConfig MakeCoopWorkStealing(int workers, double quantum_ns, bool scheduler_steals_work) {
+  SystemConfig config;
+  config.name = "Co-op+work-stealing";
+  config.worker_count = workers;
+  config.queue = QueueDiscipline::kWorkStealing;
+  config.preempt = PreemptMechanism::kCoopCacheLine;
+  config.quantum_ns = quantum_ns;
+  config.instrumented_workers = true;
+  config.work_conserving_dispatcher = scheduler_steals_work;
+  return config;
+}
+
+}  // namespace concord

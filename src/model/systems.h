@@ -1,0 +1,48 @@
+// System presets: the configurations evaluated in the paper.
+//
+// Baselines (§5.1): Shinjuku (single queue + posted-IPI preemption) for
+// high-dispersion workloads and Persephone in C-FCFS mode (single queue, no
+// preemption) for low-dispersion ones. Concord = compiler-enforced
+// cooperation + JBSQ(2) + work-conserving dispatcher. The ablations of
+// Fig. 11 cumulatively enable Concord's mechanisms on top of Shinjuku.
+
+#ifndef CONCORD_SRC_MODEL_SYSTEMS_H_
+#define CONCORD_SRC_MODEL_SYSTEMS_H_
+
+#include "src/model/config.h"
+
+namespace concord {
+
+// Shinjuku: single physical queue, preemptive scheduling via posted IPIs.
+// Baselines run un-instrumented application code (§5.1).
+SystemConfig MakeShinjuku(int workers, double quantum_ns);
+
+// Persephone configured with the blind C-FCFS policy: single queue, no
+// preemption.
+SystemConfig MakePersephoneFcfs(int workers);
+
+// Concord: cache-line cooperation + JBSQ(k) + work-conserving dispatcher.
+SystemConfig MakeConcord(int workers, double quantum_ns, int jbsq_depth = 2);
+
+// Concord with the dispatcher's work stealing disabled (§5.5 opt-out and the
+// Fig. 13 baseline).
+SystemConfig MakeConcordNoDispatcherWork(int workers, double quantum_ns, int jbsq_depth = 2);
+
+// Fig. 11 ablations, cumulative on top of Shinjuku:
+// cooperation replacing IPIs, still single queue.
+SystemConfig MakeCoopSingleQueue(int workers, double quantum_ns);
+// cooperation + JBSQ(2) (== Concord without dispatcher work).
+SystemConfig MakeCoopJbsq(int workers, double quantum_ns, int jbsq_depth = 2);
+
+// Fig. 15: preemption via Intel user-space IPIs, otherwise like Shinjuku.
+SystemConfig MakeUipiSystem(int workers, double quantum_ns);
+
+// §6 extension: Concord's cooperative preemption grafted onto a single
+// *logical* queue (Shenango/Caladan-style work stealing) with an optional
+// work-conserving scheduler thread.
+SystemConfig MakeCoopWorkStealing(int workers, double quantum_ns,
+                                  bool scheduler_steals_work = true);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_MODEL_SYSTEMS_H_

@@ -1,0 +1,161 @@
+#include "src/runtime/context.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+#if !defined(__x86_64__)
+#error "the Concord runtime's context switch is implemented for x86-64 only"
+#endif
+
+namespace concord {
+
+extern "C" {
+// void concord_ctx_switch(void** save_sp, void* load_sp)
+//
+// Saves the callee-saved register set on the current stack, publishes the
+// stack pointer through *save_sp, switches to load_sp and restores. The
+// System V ABI makes everything else caller-saved, so this is a complete
+// context switch for cooperative code.
+void concord_ctx_switch(void** save_sp, void* load_sp);
+
+void concord_fiber_entry(void* fiber);
+}
+
+asm(R"(
+.text
+.globl concord_ctx_switch
+.type concord_ctx_switch, @function
+concord_ctx_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size concord_ctx_switch, . - concord_ctx_switch
+
+.globl concord_ctx_trampoline
+.type concord_ctx_trampoline, @function
+concord_ctx_trampoline:
+  movq %rbx, %rdi
+  subq $8, %rsp   /* re-align: callq must see rsp == 0 mod 16 */
+  callq concord_fiber_entry
+  ud2
+.size concord_ctx_trampoline, . - concord_ctx_trampoline
+)");
+
+extern "C" void concord_ctx_trampoline();
+
+namespace {
+
+// Per-thread switch state: where Run() should resume, and which fiber is
+// executing.
+thread_local void* t_scheduler_sp = nullptr;
+thread_local Fiber* t_current_fiber = nullptr;
+
+// Fibers migrate between threads, so any code running inside one must
+// re-resolve thread-locals after every potential yield. Forcing the reads
+// through noinline functions stops the compiler from caching a TLS address
+// across a context switch.
+__attribute__((noinline)) void* CurrentSchedulerSp() {
+  void* sp = t_scheduler_sp;
+  asm volatile("" : "+r"(sp));  // opaque to the optimizer
+  return sp;
+}
+
+__attribute__((noinline)) Fiber* CurrentFiberSlow() {
+  Fiber* fiber = t_current_fiber;
+  asm volatile("" : "+r"(fiber));
+  return fiber;
+}
+
+}  // namespace
+
+void FiberEntryForTrampoline(void* fiber) { static_cast<Fiber*>(fiber)->Entry(); }
+
+extern "C" void concord_fiber_entry(void* fiber) { FiberEntryForTrampoline(fiber); }
+
+Fiber::Fiber(std::size_t stack_bytes) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  stack_bytes_ = (stack_bytes + page - 1) & ~(page - 1);
+  mapped_bytes_ = stack_bytes_ + page;  // one guard page below the stack
+  void* mapping = mmap(nullptr, mapped_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  CONCORD_CHECK(mapping != MAP_FAILED) << "fiber stack mmap failed";
+  CONCORD_CHECK(mprotect(mapping, page, PROT_NONE) == 0) << "guard page mprotect failed";
+  stack_ = static_cast<char*>(mapping) + page;
+}
+
+Fiber::~Fiber() {
+  CONCORD_CHECK(finished_) << "destroying a fiber with a live request context";
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  munmap(stack_ - page, mapped_bytes_);
+}
+
+void Fiber::Reset(std::function<void()> fn) {
+  CONCORD_CHECK(finished_) << "resetting a fiber that has not finished";
+  fn_ = std::move(fn);
+  finished_ = false;
+  armed_ = true;
+
+  // Build the initial frame the switch will pop: callee-saved registers
+  // (rbx carries the fiber pointer for the trampoline), then the trampoline
+  // as the return address, then a null frame terminator. Keep the stack
+  // 16-byte aligned at the trampoline's entry.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_ + stack_bytes_);
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* frame = reinterpret_cast<std::uintptr_t*>(top);
+  *--frame = 0;  // backtrace terminator
+  *--frame = reinterpret_cast<std::uintptr_t>(&concord_ctx_trampoline);  // ret target
+  *--frame = 0;                                      // rbp
+  *--frame = reinterpret_cast<std::uintptr_t>(this);  // rbx -> trampoline arg
+  *--frame = 0;                                      // r12
+  *--frame = 0;                                      // r13
+  *--frame = 0;                                      // r14
+  *--frame = 0;                                      // r15
+  sp_ = frame;
+}
+
+bool Fiber::Run() {
+  CONCORD_CHECK(armed_ && !finished_) << "running an unarmed fiber";
+  CONCORD_CHECK(t_current_fiber == nullptr) << "nested fiber Run()";
+  t_current_fiber = this;
+  concord_ctx_switch(&t_scheduler_sp, sp_);
+  t_current_fiber = nullptr;
+  return finished_;
+}
+
+void Fiber::Yield() {
+  Fiber* fiber = CurrentFiberSlow();
+  CONCORD_CHECK(fiber != nullptr) << "Yield() outside a fiber";
+  concord_ctx_switch(&fiber->sp_, CurrentSchedulerSp());
+}
+
+Fiber* Fiber::Current() { return CurrentFiberSlow(); }
+
+void Fiber::Entry() {
+  fn_();
+  finished_ = true;
+  armed_ = false;
+  // Hand control back to Run(); the fiber must never fall off its stack.
+  // The scheduler pointer is re-read through the noinline helper because
+  // fn_() may have yielded and resumed on a different thread.
+  concord_ctx_switch(&sp_, CurrentSchedulerSp());
+  CONCORD_CHECK(false) << "finished fiber resumed";
+}
+
+}  // namespace concord

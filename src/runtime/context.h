@@ -1,0 +1,65 @@
+// User-level execution contexts (fibers) for request scheduling.
+//
+// Concord's workers switch between request contexts cooperatively in ~100ns
+// (§3.1); that rules out ucontext (whose swapcontext makes a sigprocmask
+// syscall per switch). The switch here is the classic fcontext-style x86-64
+// sequence: push callee-saved registers, swap stack pointers, pop, ret.
+//
+// A preempted request's fiber carries its full stack, so it can resume on a
+// different worker thread — exactly how the dispatcher migrates preempted
+// requests between cores.
+
+#ifndef CONCORD_SRC_RUNTIME_CONTEXT_H_
+#define CONCORD_SRC_RUNTIME_CONTEXT_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace concord {
+
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 64 * 1024;
+
+  explicit Fiber(std::size_t stack_bytes = kDefaultStackBytes);
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
+
+  // Arms the fiber to run `fn` on its next Run(). The previous function must
+  // have finished (fibers are reused across requests, never abandoned
+  // mid-flight).
+  void Reset(std::function<void()> fn);
+
+  // Switches the calling thread into the fiber until it yields or finishes.
+  // Returns true if the fiber finished.
+  bool Run();
+
+  bool finished() const { return finished_; }
+
+  // Yields the currently running fiber back to its Run() caller. Must be
+  // called from inside a fiber.
+  static void Yield();
+
+  // The fiber currently executing on this thread, or nullptr.
+  static Fiber* Current();
+
+ private:
+  friend void FiberEntryForTrampoline(void* fiber);
+
+  void Entry();
+
+  // mmap-backed stack with a PROT_NONE guard page at the low end, so an
+  // overflowing request faults immediately instead of corrupting the heap.
+  char* stack_ = nullptr;
+  std::size_t stack_bytes_;
+  std::size_t mapped_bytes_ = 0;
+  void* sp_ = nullptr;
+  std::function<void()> fn_;
+  bool armed_ = false;
+  bool finished_ = true;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_CONTEXT_H_

@@ -1,0 +1,103 @@
+// Source-level instrumentation API: the stand-in for Concord's LLVM pass.
+//
+// The paper's compiler pass (§4.3) rewrites application code to poll a
+// dedicated cache line at function entries, loop back-edges and around
+// un-instrumented calls. Building an LLVM pass is out of scope offline, so
+// instrumentation here is source-level: application code places
+// CONCORD_PROBE() at the same program points the pass would, and the macro
+// expands to the identical runtime behaviour — a thread-local check of the
+// worker's preemption binding that yields cooperatively when signalled.
+//
+// Code instrumented this way runs unchanged outside a Concord runtime: with
+// no binding installed, a probe is a predictable-branch + thread-local load.
+//
+// Lock safety (§3.1): the paper's 4-line LevelDB change increments a counter
+// when a mutex is acquired and decrements it on release, and the runtime
+// refuses to yield while the counter is non-zero. PreemptGuard and
+// GuardedMutex implement that pattern.
+
+#ifndef CONCORD_SRC_RUNTIME_INSTRUMENT_H_
+#define CONCORD_SRC_RUNTIME_INSTRUMENT_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace concord {
+
+// The per-thread probe binding. The Concord runtime installs one on each
+// worker thread; the function checks the worker's dedicated cache line and
+// yields if the dispatcher has signalled.
+struct ProbeBinding {
+  using ProbeFn = void (*)(void* arg);
+  ProbeFn fn = nullptr;
+  void* arg = nullptr;
+};
+
+namespace probe_internal {
+inline thread_local ProbeBinding g_binding{};
+inline thread_local std::int32_t g_preempt_disable_count = 0;
+inline thread_local std::uint64_t g_probe_count = 0;
+}  // namespace probe_internal
+
+// Installs (or clears, with {}) the calling thread's probe binding.
+inline void SetProbeBinding(ProbeBinding binding) { probe_internal::g_binding = binding; }
+
+// True while a PreemptGuard (or GuardedMutex lock) is live on this thread.
+inline bool PreemptionDisabled() { return probe_internal::g_preempt_disable_count > 0; }
+
+// Number of probes executed by this thread (diagnostics and tests).
+inline std::uint64_t ProbeCount() { return probe_internal::g_probe_count; }
+inline void ResetProbeCount() { probe_internal::g_probe_count = 0; }
+
+// The probe itself. Deliberately out-of-line (probe.cc): probes execute
+// inside fibers that migrate between threads, and an inline body would let
+// the compiler cache a thread-local address across a yield — after which the
+// fiber would read another thread's binding. The call also mirrors the real
+// instrumentation cost more honestly than a fully inlined check would.
+void Probe();
+
+// Marks a critical section during which the runtime must not preempt.
+class PreemptGuard {
+ public:
+  PreemptGuard() { ++probe_internal::g_preempt_disable_count; }
+  PreemptGuard(const PreemptGuard&) = delete;
+  PreemptGuard& operator=(const PreemptGuard&) = delete;
+  ~PreemptGuard() { --probe_internal::g_preempt_disable_count; }
+};
+
+// A mutex that defers preemption while held: the paper's 4-line LevelDB
+// change, packaged. Satisfies the Lockable requirements, so it works with
+// std::lock_guard / std::unique_lock.
+class GuardedMutex {
+ public:
+  void lock() {
+    mu_.lock();
+    ++probe_internal::g_preempt_disable_count;
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    ++probe_internal::g_preempt_disable_count;
+    return true;
+  }
+
+  void unlock() {
+    --probe_internal::g_preempt_disable_count;
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace concord
+
+// The program points the LLVM pass would instrument. Using distinct macros
+// documents *why* a probe sits where it does.
+#define CONCORD_PROBE() ::concord::Probe()
+#define CONCORD_PROBE_FUNCTION_ENTRY() ::concord::Probe()
+#define CONCORD_PROBE_LOOP_BACKEDGE() ::concord::Probe()
+
+#endif  // CONCORD_SRC_RUNTIME_INSTRUMENT_H_

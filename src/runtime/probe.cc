@@ -1,0 +1,15 @@
+#include "src/runtime/instrument.h"
+
+namespace concord {
+
+// Out-of-line so every call re-resolves the thread-local binding; see the
+// declaration comment for why that matters for migrating fibers.
+void Probe() {
+  ++probe_internal::g_probe_count;
+  const ProbeBinding& binding = probe_internal::g_binding;
+  if (binding.fn != nullptr && probe_internal::g_preempt_disable_count == 0) {
+    binding.fn(binding.arg);
+  }
+}
+
+}  // namespace concord

@@ -1,0 +1,429 @@
+#include "src/runtime/runtime.h"
+
+#include <chrono>
+
+#include "src/common/cpu.h"
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+#include "src/runtime/instrument.h"
+
+namespace concord {
+
+namespace {
+
+// Spin-loop backoff for the polling loops: stay hot for a while, then hand
+// the core back so the runtime also works on machines with fewer CPUs than
+// threads (the paper's deployment pins one thread per core and never needs
+// this).
+class Backoff {
+ public:
+  void Idle() {
+    if (++idle_count_ < 256) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void Reset() { idle_count_ = 0; }
+
+ private:
+  int idle_count_ = 0;
+};
+
+// Worker-side probe state: the dedicated signal line and the generation the
+// worker is currently running. Lives on the worker thread.
+struct WorkerProbeState {
+  SignalLine* signal = nullptr;
+  std::uint64_t current_generation = 0;
+};
+
+void WorkerProbeFn(void* arg) {
+  auto* state = static_cast<WorkerProbeState*>(arg);
+  // Cheap path: the line is in L1 until the dispatcher writes it.
+  if (state->signal->word.load(std::memory_order_acquire) == state->current_generation &&
+      Fiber::Current() != nullptr) {
+    // Acknowledge and yield; the worker loop reports the preempted request.
+    state->signal->word.store(0, std::memory_order_release);
+    Fiber::Yield();
+  }
+}
+
+struct DispatcherProbeState {
+  std::uint64_t deadline_tsc = 0;
+};
+
+void DispatcherProbeFn(void* arg) {
+  auto* state = static_cast<DispatcherProbeState*>(arg);
+  if (Fiber::Current() != nullptr && ReadTsc() >= state->deadline_tsc) {
+    Fiber::Yield();
+  }
+}
+
+thread_local DispatcherProbeState t_dispatcher_probe_state;
+
+}  // namespace
+
+Runtime::Runtime(Options options, Callbacks callbacks)
+    : options_(std::move(options)), callbacks_(std::move(callbacks)) {
+  CONCORD_CHECK(options_.worker_count >= 1) << "need at least one worker";
+  CONCORD_CHECK(options_.jbsq_depth >= 1) << "JBSQ depth must be >= 1";
+  CONCORD_CHECK(options_.quantum_us > 0.0) << "quantum must be positive";
+  CONCORD_CHECK(callbacks_.handle_request != nullptr) << "handle_request is required";
+}
+
+Runtime::~Runtime() {
+  if (started_.load() && !stop_.load()) {
+    Shutdown();
+  }
+}
+
+double Runtime::MeasureTscGhz() {
+  const auto start_time = std::chrono::steady_clock::now();
+  const std::uint64_t start_tsc = ReadTsc();
+  // 20ms calibration window.
+  for (;;) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_time;
+    if (elapsed >= std::chrono::milliseconds(20)) {
+      const std::uint64_t tsc_delta = ReadTsc() - start_tsc;
+      const double ns =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+      return static_cast<double>(tsc_delta) / ns;
+    }
+    CpuRelax();
+  }
+}
+
+void Runtime::Start() {
+  CONCORD_CHECK(!started_.exchange(true)) << "runtime already started";
+  tsc_ghz_ = MeasureTscGhz();
+  quantum_tsc_ = static_cast<std::uint64_t>(options_.quantum_us * 1000.0 * tsc_ghz_);
+
+  if (callbacks_.setup) {
+    callbacks_.setup();
+  }
+
+  workers_.reserve(static_cast<std::size_t>(options_.worker_count));
+  for (int i = 0; i < options_.worker_count; ++i) {
+    workers_.push_back(
+        std::make_unique<WorkerShared>(static_cast<std::size_t>(options_.jbsq_depth)));
+  }
+  outstanding_.assign(static_cast<std::size_t>(options_.worker_count), 0);
+  signaled_generation_.assign(static_cast<std::size_t>(options_.worker_count), 0);
+
+  const bool pin = options_.pin_threads && AvailableCpuCount() > options_.worker_count;
+  threads_.emplace_back([this, pin] {
+    if (pin) {
+      PinThisThreadToCpu(0);
+    }
+    DispatcherLoop();
+  });
+  for (int i = 0; i < options_.worker_count; ++i) {
+    threads_.emplace_back([this, i, pin] {
+      if (pin) {
+        PinThisThreadToCpu(1 + i);
+      }
+      WorkerLoop(i);
+    });
+  }
+}
+
+bool Runtime::Submit(std::uint64_t id, int request_class, void* payload) {
+  CONCORD_CHECK(started_.load()) << "runtime not started";
+  RuntimeRequest* request = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!request_free_list_.empty()) {
+      request = request_free_list_.back();
+      request_free_list_.pop_back();
+    } else {
+      request_storage_.push_back(std::make_unique<RuntimeRequest>());
+      request = request_storage_.back().get();
+    }
+  }
+  *request = RuntimeRequest{};
+  request->id = id;
+  request->request_class = request_class;
+  request->payload = payload;
+  request->arrival_tsc = ReadTsc();
+  {
+    std::lock_guard<std::mutex> lock(ingress_mu_);
+    if (ingress_.size() >= options_.ingress_capacity) {
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      request_free_list_.push_back(request);
+      return false;
+    }
+    ingress_.push_back(request);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Runtime::WaitIdle() {
+  while (completed_.load(std::memory_order_acquire) <
+         submitted_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void Runtime::Shutdown() {
+  if (!started_.load()) {
+    return;
+  }
+  WaitIdle();
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+  threads_.clear();
+}
+
+Runtime::Stats Runtime::GetStats() const {
+  Stats stats;
+  stats.submitted = submitted_.load();
+  stats.completed = completed_.load();
+  stats.preemptions = preemptions_.load();
+  stats.dispatcher_started = dispatcher_started_count_.load();
+  stats.dispatcher_completed = dispatcher_completed_count_.load();
+  return stats;
+}
+
+Fiber* Runtime::AcquireFiber() {
+  if (!fiber_free_list_.empty()) {
+    Fiber* fiber = fiber_free_list_.back();
+    fiber_free_list_.pop_back();
+    return fiber;
+  }
+  fiber_storage_.push_back(std::make_unique<Fiber>(options_.fiber_stack_bytes));
+  return fiber_storage_.back().get();
+}
+
+void Runtime::ReleaseFiber(Fiber* fiber) { fiber_free_list_.push_back(fiber); }
+
+void Runtime::CompleteRequest(RuntimeRequest* request, bool on_dispatcher) {
+  if (callbacks_.on_complete) {
+    callbacks_.on_complete(RequestView{request->id, request->request_class, request->payload},
+                           ReadTsc() - request->arrival_tsc);
+  }
+  ReleaseFiber(request->fiber);
+  request->fiber = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    request_free_list_.push_back(request);
+  }
+  if (on_dispatcher) {
+    dispatcher_completed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  completed_.fetch_add(1, std::memory_order_release);
+}
+
+Runtime::RuntimeRequest* Runtime::TakeFirstUnstarted() {
+  for (auto it = central_.begin(); it != central_.end(); ++it) {
+    if (!(*it)->started) {
+      RuntimeRequest* request = *it;
+      central_.erase(it);
+      return request;
+    }
+  }
+  return nullptr;
+}
+
+void Runtime::DrainOutboxes(bool* progress) {
+  for (int w = 0; w < options_.worker_count; ++w) {
+    WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
+    RuntimeRequest* request = nullptr;
+    while (shared.outbox.TryPop(&request)) {
+      *progress = true;
+      outstanding_[static_cast<std::size_t>(w)] -= 1;
+      if (request->finished) {
+        CompleteRequest(request, /*on_dispatcher=*/false);
+      } else {
+        // Preempted: back on the central queue tail (quantum round-robin).
+        preemptions_.fetch_add(1, std::memory_order_relaxed);
+        central_.push_back(request);
+      }
+    }
+  }
+}
+
+void Runtime::PushJbsq(bool* progress) {
+  while (!central_.empty()) {
+    // Shortest queue with a free slot; ties to the lowest index.
+    int best = -1;
+    for (int w = 0; w < options_.worker_count; ++w) {
+      if (outstanding_[static_cast<std::size_t>(w)] >= options_.jbsq_depth) {
+        continue;
+      }
+      if (best < 0 ||
+          outstanding_[static_cast<std::size_t>(w)] < outstanding_[static_cast<std::size_t>(best)]) {
+        best = w;
+      }
+    }
+    if (best < 0) {
+      return;
+    }
+    RuntimeRequest* request = central_.front();
+    central_.pop_front();
+    if (!request->started) {
+      request->fiber = AcquireFiber();
+      RuntimeRequest* captured = request;
+      request->fiber->Reset([this, captured] {
+        callbacks_.handle_request(
+            RequestView{captured->id, captured->request_class, captured->payload});
+      });
+      request->started = true;
+    }
+    const bool pushed = workers_[static_cast<std::size_t>(best)]->inbox.TryPush(request);
+    CONCORD_CHECK(pushed) << "JBSQ inbox overflow despite outstanding bound";
+    outstanding_[static_cast<std::size_t>(best)] += 1;
+    *progress = true;
+  }
+}
+
+void Runtime::SendPreemptSignals() {
+  const std::uint64_t now = ReadTsc();
+  for (int w = 0; w < options_.worker_count; ++w) {
+    WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
+    const std::uint64_t start = shared.run_start_tsc.value.load(std::memory_order_acquire);
+    if (start == 0 || now - start < quantum_tsc_) {
+      continue;
+    }
+    // Preemption only pays off when something else could run (§2/§3).
+    if (central_.empty() && outstanding_[static_cast<std::size_t>(w)] <= 1) {
+      continue;
+    }
+    const std::uint64_t generation = shared.generation.value.load(std::memory_order_acquire);
+    if (generation == 0 || signaled_generation_[static_cast<std::size_t>(w)] == generation) {
+      continue;  // idle or already signalled this segment
+    }
+    shared.preempt_signal.word.store(generation, std::memory_order_release);
+    signaled_generation_[static_cast<std::size_t>(w)] = generation;
+  }
+}
+
+void Runtime::MaybeRunAppRequest() {
+  if (dispatcher_request_ == nullptr) {
+    if (!options_.work_conserving_dispatcher) {
+      return;
+    }
+    // Steal only when every worker queue is full (§3.3).
+    for (int w = 0; w < options_.worker_count; ++w) {
+      if (outstanding_[static_cast<std::size_t>(w)] < options_.jbsq_depth) {
+        return;
+      }
+    }
+    RuntimeRequest* request = TakeFirstUnstarted();
+    if (request == nullptr) {
+      return;
+    }
+    request->fiber = AcquireFiber();
+    RuntimeRequest* captured = request;
+    request->fiber->Reset([this, captured] {
+      callbacks_.handle_request(
+          RequestView{captured->id, captured->request_class, captured->payload});
+    });
+    request->started = true;
+    request->on_dispatcher = true;
+    dispatcher_started_count_.fetch_add(1, std::memory_order_relaxed);
+    dispatcher_request_ = request;
+  }
+  // Run (or resume) the dispatcher's request for one quantum under
+  // rdtsc-based self-preemption.
+  t_dispatcher_probe_state.deadline_tsc = ReadTsc() + quantum_tsc_;
+  const bool finished = dispatcher_request_->fiber->Run();
+  if (finished) {
+    CompleteRequest(dispatcher_request_, /*on_dispatcher=*/true);
+    dispatcher_request_ = nullptr;
+  }
+  // Unfinished requests stay parked here: their instrumentation (and in the
+  // real system, their code version) pins them to the dispatcher.
+}
+
+void Runtime::DispatcherLoop() {
+  if (callbacks_.setup_worker) {
+    callbacks_.setup_worker(-1);
+  }
+  SetProbeBinding(ProbeBinding{&DispatcherProbeFn, &t_dispatcher_probe_state});
+  Backoff backoff;
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool progress = false;
+    // Ingress.
+    {
+      std::lock_guard<std::mutex> lock(ingress_mu_);
+      while (!ingress_.empty()) {
+        central_.push_back(ingress_.front());
+        ingress_.pop_front();
+        progress = true;
+      }
+    }
+    DrainOutboxes(&progress);
+    PushJbsq(&progress);
+    SendPreemptSignals();
+    MaybeRunAppRequest();
+    if (progress || dispatcher_request_ != nullptr) {
+      backoff.Reset();
+    } else {
+      backoff.Idle();
+    }
+  }
+  SetProbeBinding({});
+}
+
+void Runtime::WorkerLoop(int worker_index) {
+  if (callbacks_.setup_worker) {
+    callbacks_.setup_worker(worker_index);
+  }
+  WorkerShared& shared = *workers_[static_cast<std::size_t>(worker_index)];
+  WorkerProbeState probe_state;
+  probe_state.signal = &shared.preempt_signal;
+  SetProbeBinding(ProbeBinding{&WorkerProbeFn, &probe_state});
+
+  std::uint64_t generation = 0;
+  Backoff backoff;
+  while (!stop_.load(std::memory_order_acquire)) {
+    RuntimeRequest* request = nullptr;
+    if (!shared.inbox.TryPop(&request)) {
+      backoff.Idle();
+      continue;
+    }
+    backoff.Reset();
+    // New segment: clear any stale signal, publish generation + start time.
+    generation += 1;
+    probe_state.current_generation = generation;
+    shared.preempt_signal.word.store(0, std::memory_order_release);
+    shared.generation.value.store(generation, std::memory_order_release);
+    shared.run_start_tsc.value.store(ReadTsc(), std::memory_order_release);
+
+    const bool finished = request->fiber->Run();
+
+    shared.run_start_tsc.value.store(0, std::memory_order_release);
+    shared.generation.value.store(0, std::memory_order_release);
+    request->finished = finished;
+    Backoff push_backoff;
+    while (!shared.outbox.TryPush(request)) {
+      push_backoff.Idle();  // dispatcher drains; bounded wait
+    }
+  }
+  SetProbeBinding({});
+}
+
+void SpinWithProbesUs(double us) {
+  // Calibrate once; the loop condition re-reads the TSC every iteration.
+  static const double ghz = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t c0 = ReadTsc();
+    while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(5)) {
+    }
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    return static_cast<double>(ReadTsc() - c0) / static_cast<double>(ns);
+  }();
+  const auto target = static_cast<std::uint64_t>(us * 1000.0 * ghz);
+  const std::uint64_t start = ReadTsc();
+  while (ReadTsc() - start < target) {
+    CONCORD_PROBE_LOOP_BACKEDGE();
+  }
+}
+
+}  // namespace concord

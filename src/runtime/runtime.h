@@ -1,0 +1,188 @@
+// The Concord runtime: dispatcher + workers with compiler-enforced
+// cooperation, JBSQ(k) queues and a work-conserving dispatcher (§3, §4).
+//
+// This is the real, thread-based implementation of the paper's design. The
+// application provides the three callbacks of §4.1 (setup, setup_worker,
+// handle_request); its request-handling code is instrumented with
+// CONCORD_PROBE() (see instrument.h), which stands in for the LLVM pass.
+//
+// Data paths:
+//   submitters --(ingress queue)--> dispatcher --(per-worker SPSC inboxes,
+//   depth k)--> workers --(SPSC outboxes: finished + preempted)--> dispatcher
+//
+// Preemption: each worker publishes (generation, start timestamp) when it
+// begins running a request. The dispatcher monitors elapsed time and, when a
+// request exceeds its quantum and other work is pending, writes the worker's
+// dedicated signal cache line. The worker's next probe observes the signal
+// and yields its fiber; the dispatcher re-places the preempted request on
+// the central queue, from where any worker can resume it.
+//
+// Work conservation: when every inbox is full and un-started requests wait
+// in the central queue, the dispatcher runs one itself under timer-based
+// self-preemption; such a request is pinned to the dispatcher (§3.3).
+
+#ifndef CONCORD_SRC_RUNTIME_RUNTIME_H_
+#define CONCORD_SRC_RUNTIME_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/cacheline.h"
+#include "src/runtime/context.h"
+#include "src/runtime/spsc_ring.h"
+
+namespace concord {
+
+// What the application's handler sees.
+struct RequestView {
+  std::uint64_t id = 0;
+  int request_class = 0;
+  void* payload = nullptr;
+};
+
+class Runtime {
+ public:
+  struct Options {
+    int worker_count = 2;
+    double quantum_us = 5.0;
+    int jbsq_depth = 2;
+    bool work_conserving_dispatcher = true;
+    // Pin dispatcher/workers to consecutive CPUs (best effort; skipped when
+    // the host has too few cores).
+    bool pin_threads = false;
+    std::size_t fiber_stack_bytes = Fiber::kDefaultStackBytes;
+    std::size_t ingress_capacity = 4096;
+  };
+
+  struct Callbacks {
+    // Initializes global application state (paper: setup()).
+    std::function<void()> setup;
+    // Per-worker initialization (paper: setup_worker(core)). Worker ids are
+    // 0..worker_count-1; the dispatcher calls it with -1 before stealing.
+    std::function<void(int worker)> setup_worker;
+    // Processes one request (paper: handle_request). Runs inside a fiber and
+    // may be preempted at any CONCORD_PROBE() it executes.
+    std::function<void(const RequestView&)> handle_request;
+    // Completion notification, invoked on the dispatcher thread.
+    std::function<void(const RequestView&, std::uint64_t latency_tsc)> on_complete;
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t dispatcher_started = 0;
+    std::uint64_t dispatcher_completed = 0;
+  };
+
+  Runtime(Options options, Callbacks callbacks);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  // Spawns the dispatcher and worker threads (calls setup callbacks).
+  void Start();
+
+  // Enqueues a request. Thread-safe. Returns false when the ingress queue is
+  // full (open-loop callers drop or retry).
+  bool Submit(std::uint64_t id, int request_class, void* payload);
+
+  // Blocks until every submitted request has completed.
+  void WaitIdle();
+
+  // Drains in-flight work, stops all threads and joins them.
+  void Shutdown();
+
+  Stats GetStats() const;
+
+  // Measured TSC frequency used for quantum arithmetic.
+  double tsc_ghz() const { return tsc_ghz_; }
+
+ private:
+  struct RuntimeRequest {
+    std::uint64_t id = 0;
+    int request_class = 0;
+    void* payload = nullptr;
+    std::uint64_t arrival_tsc = 0;
+    Fiber* fiber = nullptr;
+    bool started = false;
+    bool on_dispatcher = false;
+    bool finished = false;
+  };
+
+  struct WorkerShared {
+    explicit WorkerShared(std::size_t depth)
+        : inbox(depth), outbox(2 * depth + 8) {}
+    SpscRing<RuntimeRequest*> inbox;
+    SpscRing<RuntimeRequest*> outbox;
+    // Dispatcher -> worker preemption signal: holds the generation to
+    // preempt, 0 when clear. One dedicated cache line (§3.1).
+    SignalLine preempt_signal;
+    // Worker -> dispatcher status: generation (odd while running) and the
+    // TSC at which the current request started.
+    CacheLineAligned<std::atomic<std::uint64_t>> generation{};
+    CacheLineAligned<std::atomic<std::uint64_t>> run_start_tsc{};
+  };
+
+  class WorkerThread;
+
+  void DispatcherLoop();
+  void WorkerLoop(int worker_index);
+  void DrainOutboxes(bool* progress);
+  void PushJbsq(bool* progress);
+  void SendPreemptSignals();
+  void MaybeRunAppRequest();
+  void CompleteRequest(RuntimeRequest* request, bool on_dispatcher);
+  RuntimeRequest* TakeFirstUnstarted();
+  Fiber* AcquireFiber();
+  void ReleaseFiber(Fiber* fiber);
+
+  static double MeasureTscGhz();
+
+  Options options_;
+  Callbacks callbacks_;
+  double tsc_ghz_ = 0.0;
+  std::uint64_t quantum_tsc_ = 0;
+
+  // Ingress: multi-producer, consumed by the dispatcher.
+  std::mutex ingress_mu_;
+  std::deque<RuntimeRequest*> ingress_;
+
+  // Dispatcher-owned state.
+  std::deque<RuntimeRequest*> central_;
+  std::vector<std::unique_ptr<WorkerShared>> workers_;
+  std::vector<int> outstanding_;        // per worker, dispatcher-owned
+  std::vector<std::uint64_t> signaled_generation_;  // last preempt signal sent
+  RuntimeRequest* dispatcher_request_ = nullptr;
+
+  // Request / fiber pools (dispatcher-owned after start).
+  std::mutex pool_mu_;  // guards request pool for Submit()
+  std::vector<std::unique_ptr<RuntimeRequest>> request_storage_;
+  std::vector<RuntimeRequest*> request_free_list_;
+  std::vector<std::unique_ptr<Fiber>> fiber_storage_;
+  std::vector<Fiber*> fiber_free_list_;
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> preemptions_{0};
+  std::atomic<std::uint64_t> dispatcher_started_count_{0};
+  std::atomic<std::uint64_t> dispatcher_completed_count_{0};
+};
+
+// Spins for `us` microseconds of wall-clock time, executing a CONCORD_PROBE
+// per iteration: the instrumented synthetic application of §5.1.
+void SpinWithProbesUs(double us);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_RUNTIME_H_

@@ -1,0 +1,87 @@
+// Bounded single-producer/single-consumer ring.
+//
+// The JBSQ per-worker queues (§3.2) and the worker->dispatcher completion
+// queues are SPSC by construction: only the dispatcher pushes to a worker's
+// inbox and only that worker pops it (and vice versa for the outbox). Head
+// and tail live on separate cache lines so producer and consumer do not
+// bounce a line between cores on every operation — the exact coherence
+// traffic JBSQ exists to avoid.
+
+#ifndef CONCORD_SRC_RUNTIME_SPSC_RING_H_
+#define CONCORD_SRC_RUNTIME_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/cacheline.h"
+#include "src/common/logging.h"
+
+namespace concord {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Holds exactly `capacity` items: a JBSQ(k) inbox must never accept a
+  // k+1-th request, so the bound is enforced here and not just by callers.
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity), mask_(RoundUpPow2(capacity + 1) - 1), slots_(mask_ + 1) {
+    CONCORD_CHECK(capacity >= 1) << "ring capacity must be positive";
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when full.
+  bool TryPush(T value) {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.value.load(std::memory_order_acquire);
+    if (((head - tail) & mask_) >= capacity_) {
+      return false;
+    }
+    const std::size_t next = (head + 1) & mask_;
+    slots_[head] = std::move(value);
+    head_.value.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail == head_.value.load(std::memory_order_acquire)) {
+      return false;
+    }
+    *out = std::move(slots_[tail]);
+    tail_.value.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate occupancy; exact when called by either endpoint between its
+  // own operations.
+  std::size_t SizeApprox() const {
+    const std::size_t head = head_.value.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.value.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  static std::size_t RoundUpPow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  CacheLineAligned<std::atomic<std::size_t>> head_{};  // producer-owned
+  CacheLineAligned<std::atomic<std::size_t>> tail_{};  // consumer-owned
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_SPSC_RING_H_

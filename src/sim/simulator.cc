@@ -1,0 +1,54 @@
+#include "src/sim/simulator.h"
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+EventId Simulator::ScheduleAt(double at_ns, Action action) {
+  CONCORD_DCHECK(at_ns >= now_ns_) << "cannot schedule in the past: " << at_ns << " < " << now_ns_;
+  CONCORD_DCHECK(action != nullptr) << "null action";
+  const EventId id = next_id_++;
+  actions_.emplace(id, std::move(action));
+  queue_.push(QueueEntry{at_ns, id});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  // The heap entry stays behind as a tombstone and is skipped on pop.
+  return actions_.erase(id) > 0;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = actions_.find(entry.id);
+    if (it == actions_.end()) {
+      continue;  // cancelled
+    }
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ns_ = entry.at_ns;
+    ++executed_events_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(double until_ns) {
+  while (!queue_.empty()) {
+    // Peek past tombstones to honor the time bound without executing.
+    const QueueEntry entry = queue_.top();
+    if (!actions_.contains(entry.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.at_ns > until_ns) {
+      return;
+    }
+    Step();
+  }
+}
+
+}  // namespace concord

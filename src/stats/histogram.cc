@@ -1,0 +1,125 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+bool IsPowerOfTwo(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Histogram::Histogram(int sub_buckets_per_octave) : sub_buckets_(sub_buckets_per_octave) {
+  CONCORD_CHECK(IsPowerOfTwo(sub_buckets_)) << "sub-buckets must be a power of two";
+  sub_bucket_shift_ = 0;
+  while ((1 << sub_bucket_shift_) < sub_buckets_) {
+    ++sub_bucket_shift_;
+  }
+  // Pre-size for values up to 2^32 (≈4.3 seconds in nanoseconds); grows on
+  // demand beyond that.
+  buckets_.assign(static_cast<std::size_t>(sub_buckets_) * 33, 0);
+}
+
+std::size_t Histogram::BucketIndex(double value) const {
+  if (value < 1.0) {
+    // Linear region [0, 1): one octave's worth of sub-buckets.
+    auto sub = static_cast<std::size_t>(value * sub_buckets_);
+    return std::min(sub, static_cast<std::size_t>(sub_buckets_ - 1));
+  }
+  const int octave = std::ilogb(value);
+  const double base = std::ldexp(1.0, octave);  // 2^octave <= value < 2^(octave+1)
+  auto sub = static_cast<std::size_t>((value / base - 1.0) * sub_buckets_);
+  sub = std::min(sub, static_cast<std::size_t>(sub_buckets_ - 1));
+  return static_cast<std::size_t>(octave + 1) * static_cast<std::size_t>(sub_buckets_) + sub;
+}
+
+double Histogram::BucketUpperEdge(std::size_t index) const {
+  const auto sub_buckets = static_cast<std::size_t>(sub_buckets_);
+  if (index < sub_buckets) {
+    return static_cast<double>(index + 1) / static_cast<double>(sub_buckets_);
+  }
+  const std::size_t octave = index / sub_buckets - 1;
+  const std::size_t sub = index % sub_buckets;
+  const double base = std::ldexp(1.0, static_cast<int>(octave));
+  return base * (1.0 + static_cast<double>(sub + 1) / static_cast<double>(sub_buckets_));
+}
+
+void Histogram::Record(double value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(double value, std::uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  CONCORD_DCHECK(value >= 0.0 && std::isfinite(value)) << "bad histogram value " << value;
+  value = std::max(value, 0.0);
+  const std::size_t index = BucketIndex(value);
+  if (index >= buckets_.size()) {
+    buckets_.resize(index + 1, 0);
+  }
+  buckets_[index] += count;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * static_cast<double>(count);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; q=1 maps to the last sample.
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t rank = std::max<std::uint64_t>(target, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp to the observed range so Quantile(1.0) <= Max().
+      return std::clamp(BucketUpperEdge(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  CONCORD_CHECK(sub_buckets_ == other.sub_buckets_) << "histogram precision mismatch";
+  if (other.count_ == 0) {
+    return;
+  }
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace concord

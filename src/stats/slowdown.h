@@ -1,0 +1,73 @@
+// Per-request slowdown accounting.
+//
+// The paper's primary metric (§5.1): slowdown of a request is the ratio of
+// the total time it spends at the server to its un-instrumented service time,
+// and systems are compared by the load they sustain while keeping the 99.9th
+// percentile slowdown under an SLO (50x throughout the paper). Using slowdown
+// instead of latency lets workloads whose absolute service times differ by
+// three orders of magnitude share one SLO.
+
+#ifndef CONCORD_SRC_STATS_SLOWDOWN_H_
+#define CONCORD_SRC_STATS_SLOWDOWN_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/logging.h"
+#include "src/stats/histogram.h"
+#include "src/stats/summary.h"
+
+namespace concord {
+
+class SlowdownTracker {
+ public:
+  // Records one completed request. `residence_ns` is departure minus arrival
+  // at the server; `clean_service_ns` is the un-instrumented service demand.
+  // `request_class` groups requests for per-class breakdowns (e.g. GET vs
+  // SCAN); pass 0 when classes are irrelevant.
+  void Record(double residence_ns, double clean_service_ns, int request_class = 0) {
+    CONCORD_DCHECK(clean_service_ns > 0.0) << "service time must be positive";
+    const double slowdown = residence_ns / clean_service_ns;
+    overall_.Record(slowdown);
+    latency_ns_.Record(residence_ns);
+    per_class_[request_class].Record(slowdown);
+  }
+
+  double QuantileSlowdown(double q) const { return overall_.Quantile(q); }
+  double P999Slowdown() const { return overall_.Quantile(0.999); }
+  double MeanSlowdown() const { return overall_.Mean(); }
+  double QuantileLatencyNs(double q) const { return latency_ns_.Quantile(q); }
+  std::uint64_t Count() const { return overall_.Count(); }
+
+  // Per-class p-quantile slowdown; returns 0 for unknown classes.
+  double ClassQuantileSlowdown(int request_class, double q) const {
+    auto it = per_class_.find(request_class);
+    return it == per_class_.end() ? 0.0 : it->second.Quantile(q);
+  }
+
+  const std::map<int, Histogram>& per_class() const { return per_class_; }
+
+  // Merges another tracker's samples (replicated instances, shard merges).
+  void Merge(const SlowdownTracker& other) {
+    overall_.Merge(other.overall_);
+    latency_ns_.Merge(other.latency_ns_);
+    for (const auto& [cls, histogram] : other.per_class_) {
+      per_class_[cls].Merge(histogram);
+    }
+  }
+
+  void Reset() {
+    overall_.Reset();
+    latency_ns_.Reset();
+    per_class_.clear();
+  }
+
+ private:
+  Histogram overall_;
+  Histogram latency_ns_;
+  std::map<int, Histogram> per_class_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_STATS_SLOWDOWN_H_

@@ -1,0 +1,73 @@
+// Streaming mean/variance/extrema accumulator (Welford's algorithm).
+//
+// Used wherever a full histogram is overkill: preemption-timeliness standard
+// deviations (Table 1), per-mechanism cost accounting, test assertions on
+// distribution moments.
+
+#ifndef CONCORD_SRC_STATS_SUMMARY_H_
+#define CONCORD_SRC_STATS_SUMMARY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace concord {
+
+class Summary {
+ public:
+  void Record(double value) {
+    ++count_;
+    if (count_ == 1) {
+      min_ = value;
+      max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+  }
+
+  std::uint64_t Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+  // Population variance / standard deviation.
+  double Variance() const { return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_); }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  void Merge(const Summary& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(count_) * static_cast<double>(other.count_) / total;
+    mean_ = (mean_ * static_cast<double>(count_) + other.mean_ * static_cast<double>(other.count_)) /
+            total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+  }
+
+  void Reset() { *this = Summary(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_STATS_SUMMARY_H_

@@ -1,0 +1,78 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CONCORD_CHECK(!headers_.empty()) << "table needs at least one column";
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CONCORD_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 < widths.size()) {
+      rule.append("  ");
+    }
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::Fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::Percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace concord

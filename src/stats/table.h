@@ -1,0 +1,39 @@
+// Plain-text table output for benches.
+//
+// Every figure-regeneration bench prints its series as an aligned text table
+// (and optionally CSV) so results can be diffed against EXPERIMENTS.md and
+// re-plotted without extra tooling.
+
+#ifndef CONCORD_SRC_STATS_TABLE_H_
+#define CONCORD_SRC_STATS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace concord {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t RowCount() const { return rows_.size(); }
+
+  // Formatting helpers for numeric cells.
+  static std::string Fixed(double value, int decimals);
+  static std::string Percent(double fraction, int decimals);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_STATS_TABLE_H_

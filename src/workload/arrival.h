@@ -1,0 +1,102 @@
+// Arrival processes.
+//
+// The paper's load generator is open-loop Poisson (§5.1) "to mimic the bursty
+// behavior of production traffic". A deterministic process is provided for
+// closed-form sanity tests and an interrupted-Poisson (two-state burst)
+// process for stress experiments beyond the paper.
+
+#ifndef CONCORD_SRC_WORKLOAD_ARRIVAL_H_
+#define CONCORD_SRC_WORKLOAD_ARRIVAL_H_
+
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace concord {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Gap until the next arrival, in nanoseconds.
+  virtual double NextGapNs(Rng& rng) = 0;
+
+  // Long-run mean gap in nanoseconds.
+  virtual double MeanGapNs() const = 0;
+};
+
+// Poisson process: exponential inter-arrival gaps.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double mean_gap_ns) : mean_gap_ns_(mean_gap_ns) {
+    CONCORD_CHECK(mean_gap_ns_ > 0.0) << "mean gap must be positive";
+  }
+
+  double NextGapNs(Rng& rng) override { return rng.Exponential(mean_gap_ns_); }
+  double MeanGapNs() const override { return mean_gap_ns_; }
+
+ private:
+  double mean_gap_ns_;
+};
+
+// Deterministic process: every gap is exactly the mean.
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(double gap_ns) : gap_ns_(gap_ns) {
+    CONCORD_CHECK(gap_ns_ > 0.0) << "gap must be positive";
+  }
+
+  double NextGapNs(Rng& rng) override {
+    (void)rng;
+    return gap_ns_;
+  }
+  double MeanGapNs() const override { return gap_ns_; }
+
+ private:
+  double gap_ns_;
+};
+
+// Interrupted Poisson process: alternates between an ON state that emits a
+// Poisson stream and an OFF state that emits nothing. Burstier than Poisson
+// at the same average rate (used by stress tests, not by any paper figure).
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  // `on_rate_gap_ns` is the mean gap while ON; the process is ON a fraction
+  // `duty` of the time, in alternating exponential ON/OFF periods with mean
+  // `burst_len_ns`.
+  BurstyArrivals(double on_rate_gap_ns, double duty, double burst_len_ns)
+      : on_gap_ns_(on_rate_gap_ns), duty_(duty), burst_len_ns_(burst_len_ns) {
+    CONCORD_CHECK(on_gap_ns_ > 0.0) << "gap must be positive";
+    CONCORD_CHECK(duty_ > 0.0 && duty_ <= 1.0) << "duty must be in (0, 1]";
+    CONCORD_CHECK(burst_len_ns_ > 0.0) << "burst length must be positive";
+  }
+
+  double NextGapNs(Rng& rng) override {
+    double gap = rng.Exponential(on_gap_ns_);
+    // Consume remaining ON budget; splice in OFF periods as they elapse.
+    while (gap > on_remaining_ns_) {
+      gap -= on_remaining_ns_;
+      const double off_ns = rng.Exponential(burst_len_ns_ * (1.0 - duty_) / duty_);
+      accumulated_off_ns_ += off_ns;
+      on_remaining_ns_ = rng.Exponential(burst_len_ns_);
+    }
+    on_remaining_ns_ -= gap;
+    const double total = gap + accumulated_off_ns_;
+    accumulated_off_ns_ = 0.0;
+    return total;
+  }
+
+  double MeanGapNs() const override { return on_gap_ns_ / duty_; }
+
+ private:
+  double on_gap_ns_;
+  double duty_;
+  double burst_len_ns_;
+  double on_remaining_ns_ = 0.0;
+  double accumulated_off_ns_ = 0.0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_WORKLOAD_ARRIVAL_H_

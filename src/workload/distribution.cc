@@ -1,0 +1,163 @@
+#include "src/workload/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+
+namespace concord {
+
+FixedDistribution::FixedDistribution(double service_ns) : service_ns_(service_ns) {
+  CONCORD_CHECK(service_ns_ > 0.0) << "service time must be positive";
+}
+
+ServiceSample FixedDistribution::Sample(Rng& rng) const {
+  (void)rng;
+  return {service_ns_, 0};
+}
+
+std::vector<std::string> FixedDistribution::ClassNames() const { return {"fixed"}; }
+
+ExponentialDistribution::ExponentialDistribution(double mean_ns) : mean_ns_(mean_ns) {
+  CONCORD_CHECK(mean_ns_ > 0.0) << "mean must be positive";
+}
+
+ServiceSample ExponentialDistribution::Sample(Rng& rng) const {
+  return {rng.Exponential(mean_ns_), 0};
+}
+
+std::vector<std::string> ExponentialDistribution::ClassNames() const { return {"exp"}; }
+
+double ExponentialDistribution::Dispersion() const {
+  // Unbounded support; report the p99.99-to-p1 ratio as a practical figure.
+  return std::log(1.0 / 0.0001) / std::log(1.0 / 0.99);
+}
+
+LognormalDistribution::LognormalDistribution(double mean_ns, double sigma)
+    : mean_ns_(mean_ns), sigma_(sigma) {
+  CONCORD_CHECK(mean_ns_ > 0.0) << "mean must be positive";
+  CONCORD_CHECK(sigma_ > 0.0) << "sigma must be positive";
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); solve for mu.
+  mu_ = std::log(mean_ns_) - sigma_ * sigma_ / 2.0;
+}
+
+ServiceSample LognormalDistribution::Sample(Rng& rng) const {
+  return {rng.LogNormal(mu_, sigma_), 0};
+}
+
+std::vector<std::string> LognormalDistribution::ClassNames() const { return {"lognormal"}; }
+
+double LognormalDistribution::Dispersion() const {
+  // p99.99 / p0.01 ratio = exp(2 * z * sigma) with z ~ 3.719.
+  return std::exp(2.0 * 3.719 * sigma_);
+}
+
+WeibullDistribution::WeibullDistribution(double mean_ns, double shape)
+    : mean_ns_(mean_ns), shape_(shape) {
+  CONCORD_CHECK(mean_ns_ > 0.0) << "mean must be positive";
+  CONCORD_CHECK(shape_ > 0.0) << "shape must be positive";
+  // E[Weibull(scale, shape)] = scale * Gamma(1 + 1/shape); solve for scale.
+  scale_ = mean_ns_ / std::tgamma(1.0 + 1.0 / shape_);
+}
+
+ServiceSample WeibullDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  // Inverse CDF: scale * (-ln(1-u))^(1/shape); u is uniform so use u directly.
+  return {scale_ * std::pow(-std::log(u), 1.0 / shape_), 0};
+}
+
+std::vector<std::string> WeibullDistribution::ClassNames() const { return {"weibull"}; }
+
+double WeibullDistribution::Dispersion() const {
+  // Practical figure: p99.99-to-p1 quantile ratio.
+  const double hi = std::pow(-std::log(0.0001), 1.0 / shape_);
+  const double lo = std::pow(-std::log(0.99), 1.0 / shape_);
+  return hi / lo;
+}
+
+BoundedParetoDistribution::BoundedParetoDistribution(double min_ns, double max_ns, double alpha)
+    : min_ns_(min_ns), max_ns_(max_ns), alpha_(alpha) {
+  CONCORD_CHECK(min_ns_ > 0.0 && max_ns_ > min_ns_) << "need 0 < min < max";
+  CONCORD_CHECK(alpha_ > 0.0) << "alpha must be positive";
+}
+
+ServiceSample BoundedParetoDistribution::Sample(Rng& rng) const {
+  // Inverse CDF of the bounded Pareto.
+  const double u = rng.NextDouble();
+  const double l_a = std::pow(min_ns_, alpha_);
+  const double h_a = std::pow(max_ns_, alpha_);
+  const double x = std::pow(-(u * h_a - u * l_a - h_a) / (h_a * l_a), -1.0 / alpha_);
+  return {std::clamp(x, min_ns_, max_ns_), 0};
+}
+
+double BoundedParetoDistribution::MeanNs() const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    return min_ns_ * max_ns_ / (max_ns_ - min_ns_) * std::log(max_ns_ / min_ns_);
+  }
+  const double l_a = std::pow(min_ns_, alpha_);
+  const double h_a = std::pow(max_ns_, alpha_);
+  return l_a / (1.0 - l_a / h_a) * alpha_ / (alpha_ - 1.0) *
+         (1.0 / std::pow(min_ns_, alpha_ - 1.0) - 1.0 / std::pow(max_ns_, alpha_ - 1.0));
+}
+
+std::vector<std::string> BoundedParetoDistribution::ClassNames() const {
+  return {"bounded-pareto"};
+}
+
+DiscreteMixtureDistribution::DiscreteMixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)) {
+  CONCORD_CHECK(!components_.empty()) << "mixture needs at least one component";
+  double total = 0.0;
+  cumulative_.reserve(components_.size());
+  for (const Component& c : components_) {
+    CONCORD_CHECK(c.probability > 0.0) << "component '" << c.name << "' has non-positive weight";
+    CONCORD_CHECK(c.service_ns > 0.0) << "component '" << c.name << "' has non-positive service";
+    total += c.probability;
+    cumulative_.push_back(total);
+    mean_ns_ += c.probability * c.service_ns;
+  }
+  CONCORD_CHECK(std::abs(total - 1.0) < 1e-9) << "probabilities sum to " << total << ", not 1";
+  cumulative_.back() = 1.0;  // guard against accumulated rounding at the top
+}
+
+ServiceSample DiscreteMixtureDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto index = static_cast<int>(std::min<std::ptrdiff_t>(
+      it - cumulative_.begin(), static_cast<std::ptrdiff_t>(components_.size()) - 1));
+  return {components_[static_cast<std::size_t>(index)].service_ns, index};
+}
+
+std::vector<std::string> DiscreteMixtureDistribution::ClassNames() const {
+  std::vector<std::string> names;
+  names.reserve(components_.size());
+  for (const Component& c : components_) {
+    names.push_back(c.name);
+  }
+  return names;
+}
+
+double DiscreteMixtureDistribution::Dispersion() const {
+  double lo = components_.front().service_ns;
+  double hi = lo;
+  for (const Component& c : components_) {
+    lo = std::min(lo, c.service_ns);
+    hi = std::max(hi, c.service_ns);
+  }
+  return hi / lo;
+}
+
+std::unique_ptr<DiscreteMixtureDistribution> MakeBimodal(double short_percent, double short_us,
+                                                         double long_percent, double long_us) {
+  return std::make_unique<DiscreteMixtureDistribution>(
+      std::vector<DiscreteMixtureDistribution::Component>{
+          {"short", short_percent / 100.0, UsToNs(short_us)},
+          {"long", long_percent / 100.0, UsToNs(long_us)},
+      });
+}
+
+}  // namespace concord

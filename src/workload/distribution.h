@@ -1,0 +1,161 @@
+// Service-time distributions.
+//
+// Every workload in the paper's evaluation (§5) is a service-time
+// distribution: synthetic bimodals derived from YCSB-A and Meta's USR
+// workload, Fixed(1us), the TPCC in-memory-database mix, LevelDB operation
+// mixes, and the ZippyDB production mix. All of them are expressible as a
+// discrete mixture of (probability, service-time) classes; continuous
+// distributions (exponential, lognormal) are provided for sensitivity
+// studies beyond the paper.
+
+#ifndef CONCORD_SRC_WORKLOAD_DISTRIBUTION_H_
+#define CONCORD_SRC_WORKLOAD_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace concord {
+
+// One service-time draw: the demand in nanoseconds plus the class it came
+// from (for per-class slowdown breakdowns).
+struct ServiceSample {
+  double service_ns = 0.0;
+  int request_class = 0;
+};
+
+class ServiceDistribution {
+ public:
+  virtual ~ServiceDistribution() = default;
+
+  virtual ServiceSample Sample(Rng& rng) const = 0;
+
+  // Exact mean of the distribution in nanoseconds (not an estimate).
+  virtual double MeanNs() const = 0;
+
+  // Human-readable names of the request classes, indexed by request_class.
+  virtual std::vector<std::string> ClassNames() const = 0;
+
+  // Dispersion ratio: max class service time over min (1 for Fixed).
+  virtual double Dispersion() const = 0;
+};
+
+// Every request takes exactly `service_ns`.
+class FixedDistribution final : public ServiceDistribution {
+ public:
+  explicit FixedDistribution(double service_ns);
+
+  ServiceSample Sample(Rng& rng) const override;
+  double MeanNs() const override { return service_ns_; }
+  std::vector<std::string> ClassNames() const override;
+  double Dispersion() const override { return 1.0; }
+
+ private:
+  double service_ns_;
+};
+
+// Exponentially distributed service times (single class).
+class ExponentialDistribution final : public ServiceDistribution {
+ public:
+  explicit ExponentialDistribution(double mean_ns);
+
+  ServiceSample Sample(Rng& rng) const override;
+  double MeanNs() const override { return mean_ns_; }
+  std::vector<std::string> ClassNames() const override;
+  double Dispersion() const override;
+
+ private:
+  double mean_ns_;
+};
+
+// Log-normal service times (single class), parameterized by the target mean
+// and the sigma of the underlying normal.
+class LognormalDistribution final : public ServiceDistribution {
+ public:
+  LognormalDistribution(double mean_ns, double sigma);
+
+  ServiceSample Sample(Rng& rng) const override;
+  double MeanNs() const override { return mean_ns_; }
+  std::vector<std::string> ClassNames() const override;
+  double Dispersion() const override;
+
+ private:
+  double mean_ns_;
+  double mu_;
+  double sigma_;
+};
+
+// Weibull service times (single class). shape < 1 gives a heavier-than-
+// exponential tail — the queueing community's standard knob for tail-weight
+// sensitivity studies beyond the paper's discrete mixtures.
+class WeibullDistribution final : public ServiceDistribution {
+ public:
+  // Parameterized by the target mean and the Weibull shape k.
+  WeibullDistribution(double mean_ns, double shape);
+
+  ServiceSample Sample(Rng& rng) const override;
+  double MeanNs() const override { return mean_ns_; }
+  std::vector<std::string> ClassNames() const override;
+  double Dispersion() const override;
+
+ private:
+  double mean_ns_;
+  double shape_;
+  double scale_;
+};
+
+// Bounded Pareto service times (single class): power-law tail truncated at
+// `max_ns` so simulated runs terminate. alpha in (1, 2] gives the
+// heavy-tailed regime where processor sharing beats FCFS hardest.
+class BoundedParetoDistribution final : public ServiceDistribution {
+ public:
+  BoundedParetoDistribution(double min_ns, double max_ns, double alpha);
+
+  ServiceSample Sample(Rng& rng) const override;
+  double MeanNs() const override;
+  std::vector<std::string> ClassNames() const override;
+  double Dispersion() const override { return max_ns_ / min_ns_; }
+
+ private:
+  double min_ns_;
+  double max_ns_;
+  double alpha_;
+};
+
+// General discrete mixture: class i occurs with probability `probability`
+// and takes `service_ns`. This covers Bimodal, TPCC, LevelDB and ZippyDB.
+class DiscreteMixtureDistribution final : public ServiceDistribution {
+ public:
+  struct Component {
+    std::string name;
+    double probability = 0.0;
+    double service_ns = 0.0;
+  };
+
+  // Probabilities must be positive and sum to 1 (within 1e-9).
+  explicit DiscreteMixtureDistribution(std::vector<Component> components);
+
+  ServiceSample Sample(Rng& rng) const override;
+  double MeanNs() const override { return mean_ns_; }
+  std::vector<std::string> ClassNames() const override;
+  double Dispersion() const override;
+
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> cumulative_;
+  double mean_ns_ = 0.0;
+};
+
+// Convenience constructor for the paper's Bimodal(p1:s1, p2:s2) notation,
+// with percentages and microseconds exactly as written in §5.2, e.g.
+// MakeBimodal(50, 1, 50, 100) for Bimodal(50:1, 50:100).
+std::unique_ptr<DiscreteMixtureDistribution> MakeBimodal(double short_percent, double short_us,
+                                                         double long_percent, double long_us);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_WORKLOAD_DISTRIBUTION_H_

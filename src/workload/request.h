@@ -1,0 +1,25 @@
+// The request descriptor shared by the simulator, the trace tooling and the
+// real runtime's load generator.
+
+#ifndef CONCORD_SRC_WORKLOAD_REQUEST_H_
+#define CONCORD_SRC_WORKLOAD_REQUEST_H_
+
+#include <cstdint>
+
+namespace concord {
+
+struct Request {
+  std::uint64_t id = 0;
+  // Workload-defined request class (e.g. GET vs SCAN); indexes the class
+  // names of the generating distribution.
+  int request_class = 0;
+  // Arrival time at the server, in simulated nanoseconds.
+  double arrival_ns = 0.0;
+  // Un-instrumented service demand in nanoseconds. Slowdown is measured
+  // against this value even when instrumentation inflates actual execution.
+  double service_ns = 0.0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_WORKLOAD_REQUEST_H_

@@ -1,0 +1,103 @@
+#include "src/workload/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+
+namespace concord {
+
+Trace GenerateTrace(const ServiceDistribution& distribution, ArrivalProcess& arrivals,
+                    std::size_t count, Rng& rng) {
+  Trace trace;
+  trace.class_names = distribution.ClassNames();
+  trace.requests.reserve(count);
+  double now_ns = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    now_ns += arrivals.NextGapNs(rng);
+    const ServiceSample sample = distribution.Sample(rng);
+    trace.requests.push_back(Request{
+        .id = i,
+        .request_class = sample.request_class,
+        .arrival_ns = now_ns,
+        .service_ns = sample.service_ns,
+    });
+  }
+  return trace;
+}
+
+void WriteTrace(const Trace& trace, std::ostream& os) {
+  // Full double precision so a write/read round trip is lossless.
+  os.precision(17);
+  os << "# classes:";
+  for (const std::string& name : trace.class_names) {
+    os << ' ' << name;
+  }
+  os << '\n';
+  for (const Request& r : trace.requests) {
+    os << r.arrival_ns << ' ' << r.request_class << ' ' << r.service_ns << '\n';
+  }
+}
+
+bool ReadTrace(std::istream& is, Trace* out) {
+  out->class_names.clear();
+  out->requests.clear();
+  std::string line;
+  if (!std::getline(is, line)) {
+    return false;
+  }
+  {
+    std::istringstream header(line);
+    std::string hash;
+    std::string tag;
+    header >> hash >> tag;
+    if (hash != "#" || tag != "classes:") {
+      return false;
+    }
+    std::string name;
+    while (header >> name) {
+      out->class_names.push_back(name);
+    }
+  }
+  std::uint64_t id = 0;
+  double previous_arrival = 0.0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream record(line);
+    Request r;
+    if (!(record >> r.arrival_ns >> r.request_class >> r.service_ns)) {
+      return false;
+    }
+    if (r.arrival_ns < previous_arrival || r.service_ns <= 0.0 || r.request_class < 0 ||
+        static_cast<std::size_t>(r.request_class) >= out->class_names.size()) {
+      return false;
+    }
+    previous_arrival = r.arrival_ns;
+    r.id = id++;
+    out->requests.push_back(r);
+  }
+  return true;
+}
+
+void RescaleTraceLoad(Trace* trace, double target_krps) {
+  CONCORD_CHECK(target_krps > 0.0) << "target load must be positive";
+  if (trace->requests.size() < 2) {
+    return;
+  }
+  const double current_duration = trace->DurationNs();
+  if (current_duration <= 0.0) {
+    return;
+  }
+  const double target_duration =
+      KrpsToInterarrivalNs(target_krps) * static_cast<double>(trace->requests.size());
+  const double scale = target_duration / current_duration;
+  for (Request& r : trace->requests) {
+    r.arrival_ns *= scale;
+  }
+}
+
+}  // namespace concord

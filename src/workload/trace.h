@@ -1,0 +1,52 @@
+// Request traces: generation, (de)serialization and replay.
+//
+// Stands in for the production traces the paper replays (Meta's ZippyDB):
+// a trace is a sequence of (arrival, class, service) records that can be
+// written to disk, read back, and replayed through the simulator or the real
+// runtime's load generator. The text format is one record per line so traces
+// can be inspected and hand-edited.
+
+#ifndef CONCORD_SRC_WORKLOAD_TRACE_H_
+#define CONCORD_SRC_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/arrival.h"
+#include "src/workload/distribution.h"
+#include "src/workload/request.h"
+
+namespace concord {
+
+struct Trace {
+  std::vector<std::string> class_names;
+  std::vector<Request> requests;
+
+  double DurationNs() const {
+    return requests.empty() ? 0.0 : requests.back().arrival_ns;
+  }
+};
+
+// Synthesizes a trace of `count` requests with the given arrival process and
+// service distribution. Request ids are assigned 0..count-1 in arrival order.
+Trace GenerateTrace(const ServiceDistribution& distribution, ArrivalProcess& arrivals,
+                    std::size_t count, Rng& rng);
+
+// Text serialization. Format:
+//   # classes: name0 name1 ...
+//   <arrival_ns> <class> <service_ns>
+void WriteTrace(const Trace& trace, std::ostream& os);
+
+// Parses a trace written by WriteTrace. Returns false on malformed input and
+// leaves `*out` unspecified.
+bool ReadTrace(std::istream& is, Trace* out);
+
+// Rescales a trace's arrival times so its average offered load matches
+// `target_krps`. Service times are untouched.
+void RescaleTraceLoad(Trace* trace, double target_krps);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,84 @@
+#include "src/workload/workload_factory.h"
+
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+using Component = DiscreteMixtureDistribution::Component;
+
+std::unique_ptr<ServiceDistribution> MakeTpcc() {
+  // Request mix and service times of TPCC on an in-memory database, as
+  // reported in §5.2 (from Persephone).
+  return std::make_unique<DiscreteMixtureDistribution>(std::vector<Component>{
+      {"Payment", 0.44, UsToNs(5.7)},
+      {"OrderStatus", 0.04, UsToNs(6.0)},
+      {"NewOrder", 0.44, UsToNs(20.0)},
+      {"Delivery", 0.04, UsToNs(88.0)},
+      {"StockLevel", 0.04, UsToNs(100.0)},
+  });
+}
+
+std::unique_ptr<ServiceDistribution> MakeLevelDbGetScan() {
+  // §5.3: GETs take ~600ns, SCANs over the whole 15k-key database ~500us.
+  return std::make_unique<DiscreteMixtureDistribution>(std::vector<Component>{
+      {"GET", 0.50, UsToNs(0.6)},
+      {"SCAN", 0.50, UsToNs(500.0)},
+  });
+}
+
+std::unique_ptr<ServiceDistribution> MakeLevelDbZippyDb() {
+  // §5.3: ZippyDB trace mix — 78% GET, 13% PUT, 6% DELETE, 3% SCAN, with the
+  // LevelDB service times measured in the paper's setup (GET 600ns,
+  // PUT/DELETE 2.3us, SCAN 500us).
+  return std::make_unique<DiscreteMixtureDistribution>(std::vector<Component>{
+      {"GET", 0.78, UsToNs(0.6)},
+      {"PUT", 0.13, UsToNs(2.3)},
+      {"DELETE", 0.06, UsToNs(2.3)},
+      {"SCAN", 0.03, UsToNs(500.0)},
+  });
+}
+
+}  // namespace
+
+WorkloadSpec MakeWorkload(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kBimodalYcsb:
+      return {id, "bimodal-ycsb", "Bimodal(50:1, 50:100) us, after YCSB workload A",
+              MakeBimodal(50, 1, 50, 100)};
+    case WorkloadId::kBimodalUsr:
+      return {id, "bimodal-usr", "Bimodal(99.5:0.5, 0.5:500) us, after Meta USR",
+              MakeBimodal(99.5, 0.5, 0.5, 500)};
+    case WorkloadId::kFixed1us:
+      return {id, "fixed-1us", "Fixed 1us service time",
+              std::make_unique<FixedDistribution>(UsToNs(1.0))};
+    case WorkloadId::kTpcc:
+      return {id, "tpcc", "TPCC on an in-memory database (Persephone mix)", MakeTpcc()};
+    case WorkloadId::kLevelDbGetScan:
+      return {id, "leveldb-getscan", "LevelDB 50% GET / 50% SCAN", MakeLevelDbGetScan()};
+    case WorkloadId::kLevelDbZippyDb:
+      return {id, "leveldb-zippydb", "LevelDB with Meta ZippyDB mix", MakeLevelDbZippyDb()};
+  }
+  CONCORD_CHECK(false) << "unknown workload id";
+  return {};
+}
+
+std::vector<WorkloadId> AllWorkloadIds() {
+  return {WorkloadId::kBimodalYcsb,    WorkloadId::kBimodalUsr, WorkloadId::kFixed1us,
+          WorkloadId::kTpcc,           WorkloadId::kLevelDbGetScan,
+          WorkloadId::kLevelDbZippyDb};
+}
+
+bool ParseWorkloadName(const std::string& name, WorkloadId* out) {
+  for (WorkloadId id : AllWorkloadIds()) {
+    if (MakeWorkload(id).name == name) {
+      *out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace concord

@@ -1,0 +1,50 @@
+// Named workloads: one factory entry per service-time distribution evaluated
+// in the paper (§5.2, §5.3), with the exact mixes and service times it
+// reports.
+
+#ifndef CONCORD_SRC_WORKLOAD_WORKLOAD_FACTORY_H_
+#define CONCORD_SRC_WORKLOAD_WORKLOAD_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workload/distribution.h"
+
+namespace concord {
+
+enum class WorkloadId {
+  // Bimodal(50:1, 50:100) — based on YCSB workload A. Figs. 6, 14.
+  kBimodalYcsb,
+  // Bimodal(99.5:0.5, 0.5:500) — based on Meta's USR workload. Figs. 5, 7.
+  kBimodalUsr,
+  // Fixed(1us). Fig. 8 (left).
+  kFixed1us,
+  // TPCC on an in-memory database, from Persephone. Fig. 8 (right).
+  kTpcc,
+  // LevelDB: 50% GET (600ns), 50% full-database SCAN (500us). Figs. 9, 11, 13.
+  kLevelDbGetScan,
+  // LevelDB: ZippyDB production mix, 78/13/6/3 GET/PUT/DELETE/SCAN. Fig. 10.
+  kLevelDbZippyDb,
+};
+
+struct WorkloadSpec {
+  WorkloadId id;
+  std::string name;
+  std::string description;
+  std::unique_ptr<ServiceDistribution> distribution;
+};
+
+// Builds the named workload with the paper's parameters.
+WorkloadSpec MakeWorkload(WorkloadId id);
+
+// All paper workloads, for sweep-everything tests.
+std::vector<WorkloadId> AllWorkloadIds();
+
+// Parses a workload name ("bimodal-ycsb", "tpcc", ...) as used by example
+// binaries' command lines. Returns true on success.
+bool ParseWorkloadName(const std::string& name, WorkloadId* out);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_WORKLOAD_WORKLOAD_FACTORY_H_

@@ -1,0 +1,129 @@
+// Tests for the instrumented applications and the in-process load generator.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/apps/kernels.h"
+#include "src/apps/synthetic.h"
+#include "src/loadgen/loadgen.h"
+#include "src/runtime/instrument.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+TEST(KernelTest, HistogramChecksum) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i % 7));
+  }
+  // counts: value v in 0..6; value*count checksum computed directly.
+  std::uint64_t expected = 0;
+  std::uint64_t counts[7] = {};
+  for (const std::uint8_t byte : data) {
+    ++counts[byte];
+  }
+  for (int v = 0; v < 7; ++v) {
+    expected += counts[v] * static_cast<std::uint64_t>(v);
+  }
+  EXPECT_EQ(KernelHistogram(data), expected);
+}
+
+TEST(KernelTest, KmeansAssignsNearestCentroid) {
+  const std::vector<double> points = {0.1, 0.9, 5.1, 4.9, 10.0};
+  const std::vector<double> centroids = {0.0, 5.0, 10.0};
+  // Assignments: 0, 0, 1, 1, 2 -> sum 4.
+  EXPECT_EQ(KernelKmeansAssign(points, centroids), 4u);
+}
+
+TEST(KernelTest, StringMatchCounts) {
+  EXPECT_EQ(KernelStringMatch("abababa", "aba"), 3u);
+  EXPECT_EQ(KernelStringMatch("hello", "xyz"), 0u);
+  EXPECT_EQ(KernelStringMatch("aaa", ""), 0u);
+}
+
+TEST(KernelTest, LinearRegressionSlope) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  EXPECT_EQ(KernelLinearRegression(xs, ys), 3000);  // slope 3.0 * 1000
+}
+
+TEST(KernelTest, WordCountFindsMostFrequent) {
+  EXPECT_EQ(KernelWordCount("the cat and the dog and the bird"), 3u);  // "the"
+  EXPECT_EQ(KernelWordCount(""), 0u);
+  EXPECT_EQ(KernelWordCount("   spaced   out   "), 1u);
+}
+
+TEST(KernelTest, MatmulDeterministic) {
+  const std::uint64_t a = KernelMatmulChecksum(16, 42);
+  const std::uint64_t b = KernelMatmulChecksum(16, 42);
+  const std::uint64_t c = KernelMatmulChecksum(16, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(KernelTest, KernelsExecuteProbes) {
+  ResetProbeCount();
+  std::vector<std::uint8_t> data(500, 1);
+  KernelHistogram(data);
+  EXPECT_GE(ProbeCount(), 500u);
+}
+
+TEST(SyntheticServiceTest, FromDistributionMapsClasses) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kTpcc);
+  const auto* mixture = dynamic_cast<const DiscreteMixtureDistribution*>(spec.distribution.get());
+  ASSERT_NE(mixture, nullptr);
+  const SyntheticService service = SyntheticService::FromDistribution(*mixture);
+  EXPECT_EQ(service.ClassCount(), 5);
+  EXPECT_DOUBLE_EQ(service.ServiceUs(0), 5.7);   // Payment
+  EXPECT_DOUBLE_EQ(service.ServiceUs(4), 100.0);  // StockLevel
+}
+
+TEST(SyntheticServiceTest, SpinTakesRoughlyRequestedTime) {
+  const SyntheticService service({200.0});
+  const auto start = std::chrono::steady_clock::now();
+  service.Handle(RequestView{0, 0, nullptr});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double us =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  // Shared CI hosts overshoot; never undershoot.
+  EXPECT_GE(us, 180.0);
+}
+
+TEST(LoadgenTest, DrivesRuntimeAndReports) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  const auto* mixture = dynamic_cast<const DiscreteMixtureDistribution*>(spec.distribution.get());
+  ASSERT_NE(mixture, nullptr);
+  const SyntheticService service = SyntheticService::FromDistribution(*mixture);
+  OpenLoopLoadgen loadgen(*mixture, {1.0, 100.0}, /*seed=*/5);
+
+  Runtime::Options options;
+  options.worker_count = 2;
+  options.quantum_us = 20.0;
+  options.work_conserving_dispatcher = true;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&service](const RequestView& view) { service.Handle(view); };
+  callbacks.on_complete = loadgen.CompletionHook();
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  // Mean service ~50.5us on 2 workers -> capacity ~40 kRps; drive gently at
+  // 2 kRps so this passes even on a single-CPU host.
+  const LoadgenReport report = loadgen.Run(&runtime, 2.0, 300);
+  runtime.Shutdown();
+
+  EXPECT_EQ(report.issued, 300u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.completed, 300u);
+  EXPECT_GE(report.p50_slowdown, 1.0);
+  EXPECT_GE(report.p999_slowdown, report.p50_slowdown);
+  EXPECT_GT(report.achieved_krps, 0.0);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,188 @@
+// Unit tests for src/common: RNG statistical properties and determinism,
+// clock conversions, cache-line layout, CPU helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/cacheline.h"
+#include "src/common/cpu.h"
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace concord {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanAndRange) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.Uniform(2.0, 6.0);
+    ASSERT_GE(u, 2.0);
+    ASSERT_LT(u, 6.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.02);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.UniformU64(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(250.0);
+  }
+  EXPECT_NEAR(sum / n, 250.0, 2.5);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.02);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, LogNormalMeanMatchesFormula) {
+  Rng rng(29);
+  const double mu = 1.0;
+  const double sigma = 0.5;
+  double sum = 0.0;
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.LogNormal(mu, sigma);
+  }
+  const double expected = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(sum / n, expected, expected * 0.01);
+}
+
+TEST(CpuClockTest, RoundTripConversions) {
+  const CpuClock clock(2.6);
+  EXPECT_DOUBLE_EQ(clock.CyclesToNs(2600.0), 1000.0);
+  EXPECT_DOUBLE_EQ(clock.NsToCycles(1000.0), 2600.0);
+  EXPECT_DOUBLE_EQ(clock.UsToCycles(1.0), 2600.0);
+  EXPECT_DOUBLE_EQ(clock.CyclesToUs(2600.0), 1.0);
+  EXPECT_NEAR(clock.CyclesToNs(clock.NsToCycles(123.456)), 123.456, 1e-12);
+}
+
+TEST(CpuClockTest, DefaultIsPaperTestbed) {
+  const CpuClock clock;
+  EXPECT_DOUBLE_EQ(clock.ghz(), 2.6);
+}
+
+TEST(TimeConversionTest, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(UsToNs(5.0), 5000.0);
+  EXPECT_DOUBLE_EQ(NsToUs(5000.0), 5.0);
+  EXPECT_DOUBLE_EQ(MsToNs(1.0), 1e6);
+  EXPECT_DOUBLE_EQ(SecToNs(1.0), 1e9);
+}
+
+TEST(TimeConversionTest, KrpsToInterarrival) {
+  // 100 kRps = 100000 requests/sec = one request every 10 us.
+  EXPECT_DOUBLE_EQ(KrpsToInterarrivalNs(100.0), 10000.0);
+  EXPECT_DOUBLE_EQ(KrpsToInterarrivalNs(1.0), 1e6);
+}
+
+TEST(CacheLineTest, SignalLineIsExactlyOneLine) {
+  EXPECT_EQ(sizeof(SignalLine), kCacheLineSize);
+  EXPECT_EQ(alignof(SignalLine), kCacheLineSize);
+}
+
+TEST(CacheLineTest, AlignedValuesDoNotShareLines) {
+  CacheLineAligned<int> values[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&values[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&values[i + 1].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+}
+
+TEST(CpuTest, AvailableCountPositive) { EXPECT_GE(AvailableCpuCount(), 1); }
+
+TEST(CpuTest, PinToInvalidCpuFails) { EXPECT_FALSE(PinThisThreadToCpu(-1)); }
+
+TEST(CpuTest, PinToCpuZeroSucceeds) {
+  // CPU 0 exists on every host this runs on.
+  EXPECT_TRUE(PinThisThreadToCpu(0));
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  CONCORD_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ CONCORD_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(TscTest, MonotonicOnX86) {
+#if defined(__x86_64__)
+  const std::uint64_t a = ReadTsc();
+  const std::uint64_t b = ReadTsc();
+  EXPECT_GE(b, a);
+#else
+  GTEST_SKIP() << "no TSC on this architecture";
+#endif
+}
+
+}  // namespace
+}  // namespace concord

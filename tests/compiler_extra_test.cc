@@ -1,0 +1,138 @@
+// Additional probe-placement tests: nested structures, unroll clamping,
+// placement-rule interactions and estimator edge cases.
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/instrumentation_model.h"
+#include "src/compiler/ir.h"
+#include "src/compiler/probe_placement.h"
+
+namespace concord {
+namespace {
+
+IrProgram Program(std::vector<IrNode> body, std::int64_t invocations = 1) {
+  IrProgram program;
+  program.name = "t";
+  program.ipc = 2.0;
+  IrFunction fn;
+  fn.name = "f";
+  fn.invocations = invocations;
+  fn.body = std::move(body);
+  program.functions.push_back(std::move(fn));
+  return program;
+}
+
+TEST(ProbePlacementExtraTest, NestedLoopsProbeBothLevels) {
+  // outer(100) { straight(300); inner(50){ straight(400) } }
+  const IrProgram program = Program({IrNode::Loop(
+      100, {IrNode::Straight(300), IrNode::Loop(50, {IrNode::Straight(400)})})});
+  const InstrumentationReport report = AnalyzeProgram(program, PlacementConfig{});
+  // Inner back-edges: 49 per outer iteration; outer back-edges: 99; entry: 1.
+  EXPECT_EQ(report.probes_executed, 1 + 100 * 49 + 99);
+  EXPECT_EQ(report.instructions_executed, 100 * (300 + 50 * 400));
+}
+
+TEST(ProbePlacementExtraTest, UnrollFactorIsClamped) {
+  PlacementConfig config;
+  config.max_unroll_factor = 4;
+  // 1-instruction body would want 200x unrolling; the clamp caps it at 4.
+  const IrProgram program = Program({IrNode::Loop(4000, {IrNode::Straight(1)})});
+  const InstrumentationReport report = AnalyzeProgram(program, config);
+  // 4000/4 = 1000 super-iterations: 999 back-edges + entry.
+  EXPECT_EQ(report.probes_executed, 1 + 999);
+}
+
+TEST(ProbePlacementExtraTest, LoopWithCallIsNotUnrolled) {
+  // A call inside the body pins probes, so unrolling is disabled even for a
+  // tiny body; every iteration carries a back-edge probe plus a call probe.
+  IrNode helper;
+  helper.kind = IrNode::Kind::kCall;
+  helper.callee_instrumented = true;
+  const IrProgram program = Program({IrNode::Loop(1000, {helper, IrNode::Straight(10)})});
+  const InstrumentationReport report = AnalyzeProgram(program, PlacementConfig{});
+  // Entry + 1000 call probes + 999 back-edge probes.
+  EXPECT_EQ(report.probes_executed, 1 + 1000 + 999);
+  EXPECT_EQ(report.instructions_saved_by_unrolling, 0);
+}
+
+TEST(ProbePlacementExtraTest, ZeroDiscountMeansNoCreditedSavings) {
+  PlacementConfig config;
+  config.unroll_saving_discount = 0.0;
+  const IrProgram program = Program({IrNode::Loop(100000, {IrNode::Straight(5)})});
+  const InstrumentationReport report = AnalyzeProgram(program, config);
+  EXPECT_EQ(report.instructions_saved_by_unrolling, 0);
+  const OverheadEstimate estimate = EstimateOverhead(report, ProbeCosts{}, 2.0);
+  EXPECT_GT(estimate.coop_fraction, 0.0);
+}
+
+TEST(ProbePlacementExtraTest, UninstrumentedCallInsideLoopDominatesGaps) {
+  const IrProgram program = Program({IrNode::Loop(
+      1000, {IrNode::Straight(500), IrNode::UninstrumentedCall(20000.0)})});
+  const InstrumentationReport report = AnalyzeProgram(program, PlacementConfig{});
+  EXPECT_DOUBLE_EQ(report.max_gap_ns, 20000.0);
+  EXPECT_NEAR(report.uninstrumented_time_ns, 1000 * 20000.0, 1.0);
+  const TimelinessEstimate timeliness = EstimateTimeliness(report);
+  // The opaque call is ~99% of the time: the delay distribution is close to
+  // U(0, 20us): mean ~10us, stddev ~5.8us.
+  EXPECT_NEAR(timeliness.mean_delay_ns, 10000.0, 500.0);
+  EXPECT_NEAR(timeliness.stddev_ns, 5773.5, 500.0);
+  EXPECT_GT(timeliness.p99_delay_ns, 19000.0);
+}
+
+TEST(ProbePlacementExtraTest, MultipleFunctionsAccumulate) {
+  IrProgram program;
+  program.name = "multi";
+  program.ipc = 2.0;
+  for (int f = 0; f < 3; ++f) {
+    IrFunction fn;
+    fn.name = "f" + std::to_string(f);
+    fn.invocations = 10;
+    fn.body.push_back(IrNode::Straight(1000));
+    program.functions.push_back(std::move(fn));
+  }
+  const InstrumentationReport report = AnalyzeProgram(program, PlacementConfig{});
+  EXPECT_EQ(report.probes_executed, 3 * 10);  // entry probes only
+  EXPECT_EQ(report.instructions_executed, 3 * 10 * 1000);
+}
+
+TEST(ProbePlacementExtraTest, InvocationRepeatCompressionMatchesLiteral) {
+  // 1000 invocations analyzed via the capture/scale path must match 4
+  // literal invocations scaled by counting arithmetic: compare densities.
+  std::vector<IrNode> body = {IrNode::Straight(777), IrNode::UninstrumentedCall(50.0)};
+  const IrProgram few = Program(body, 4);
+  const IrProgram many = Program(body, 1000);
+  const InstrumentationReport report_few = AnalyzeProgram(few, PlacementConfig{});
+  const InstrumentationReport report_many = AnalyzeProgram(many, PlacementConfig{});
+  EXPECT_EQ(report_many.probes_executed % report_few.probes_executed, 0);
+  EXPECT_EQ(report_many.probes_executed / 250, report_few.probes_executed);
+  EXPECT_NEAR(report_many.TotalTimeNs() / 250.0, report_few.TotalTimeNs(), 1e-6);
+}
+
+TEST(InstrumentationModelExtraTest, P99BelowMaxAndAboveMean) {
+  InstrumentationReport report;
+  report.gaps[50.0] = 10000;
+  report.gaps[5000.0] = 10;
+  report.max_gap_ns = 5000.0;
+  const TimelinessEstimate t = EstimateTimeliness(report);
+  EXPECT_GT(t.p99_delay_ns, t.mean_delay_ns);
+  EXPECT_LE(t.p99_delay_ns, t.max_delay_ns);
+}
+
+TEST(InstrumentationModelExtraTest, OverheadScalesWithProgramIpc) {
+  // A higher-IPC program spends less time per 200-instruction probe window,
+  // so the same probes cost relatively more.
+  IrProgram slow = Program({IrNode::Loop(100000, {IrNode::Straight(200)})});
+  IrProgram fast = slow;
+  slow.ipc = 1.0;
+  fast.ipc = 2.0;
+  const double slow_overhead =
+      EstimateOverhead(AnalyzeProgram(slow, PlacementConfig{}), ProbeCosts{}, slow.ipc)
+          .coop_fraction;
+  const double fast_overhead =
+      EstimateOverhead(AnalyzeProgram(fast, PlacementConfig{}), ProbeCosts{}, fast.ipc)
+          .coop_fraction;
+  EXPECT_NEAR(fast_overhead, slow_overhead * 2.0, slow_overhead * 0.1);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,474 @@
+// Tests for the LevelDB-like store: slice/arena/skiplist primitives,
+// memtable sequence semantics, write batches, snapshots, plain tables and
+// the instrumented Db facade.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kvstore/arena.h"
+#include "src/kvstore/db.h"
+#include "src/kvstore/memtable.h"
+#include "src/kvstore/plain_table.h"
+#include "src/kvstore/skiplist.h"
+#include "src/kvstore/slice.h"
+#include "src/kvstore/write_batch.h"
+#include "src/runtime/instrument.h"
+
+namespace concord {
+namespace {
+
+TEST(SliceTest, CompareSemantics) {
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+  EXPECT_TRUE(Slice("") == Slice(""));
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena;
+  Rng rng(1);
+  std::vector<std::pair<char*, std::size_t>> allocations;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t size = 1 + rng.UniformU64(300);
+    char* p = arena.Allocate(size);
+    std::memset(p, static_cast<int>(i & 0xff), size);
+    allocations.emplace_back(p, size);
+  }
+  // Every allocation still holds its fill pattern: no overlap.
+  for (int i = 0; i < 1000; ++i) {
+    const auto& [p, size] = allocations[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < size; ++j) {
+      ASSERT_EQ(static_cast<unsigned char>(p[j]), static_cast<unsigned char>(i & 0xff));
+    }
+  }
+  EXPECT_GT(arena.MemoryUsage(), 0u);
+}
+
+TEST(ArenaTest, AlignedAllocationsAreAligned) {
+  Arena arena;
+  for (int i = 0; i < 100; ++i) {
+    arena.Allocate(3);  // misalign the bump pointer
+    char* p = arena.AllocateAligned(16);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::max_align_t), 0u);
+  }
+}
+
+struct IntComparator {
+  int operator()(int a, int b) const { return a < b ? -1 : (a > b ? 1 : 0); }
+};
+
+TEST(SkipListTest, InsertAndContains) {
+  Arena arena;
+  SkipList<int, IntComparator> list(IntComparator{}, &arena);
+  for (int i = 0; i < 2000; i += 2) {
+    list.Insert(i);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(list.Contains(i), i % 2 == 0) << i;
+  }
+  EXPECT_EQ(list.size(), 1000u);
+}
+
+TEST(SkipListTest, IteratorVisitsInOrder) {
+  Arena arena;
+  SkipList<int, IntComparator> list(IntComparator{}, &arena);
+  Rng rng(3);
+  std::set<int> reference;
+  while (reference.size() < 500) {
+    const int v = static_cast<int>(rng.UniformU64(100000));
+    if (reference.insert(v).second) {
+      list.Insert(v);
+    }
+  }
+  SkipList<int, IntComparator>::Iterator it(&list);
+  it.SeekToFirst();
+  for (int expected : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), expected);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, SeekFindsFirstGreaterOrEqual) {
+  Arena arena;
+  SkipList<int, IntComparator> list(IntComparator{}, &arena);
+  for (int v : {10, 20, 30, 40}) {
+    list.Insert(v);
+  }
+  SkipList<int, IntComparator>::Iterator it(&list);
+  it.Seek(25);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30);
+  it.Seek(40);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 40);
+  it.Seek(41);
+  EXPECT_FALSE(it.Valid());
+}
+
+// Property test: the skiplist agrees with std::set across random workloads.
+class SkipListPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkipListPropertyTest, MatchesReferenceSet) {
+  Arena arena;
+  SkipList<int, IntComparator> list(IntComparator{}, &arena);
+  std::set<int> reference;
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const int v = static_cast<int>(rng.UniformU64(5000));
+    if (reference.insert(v).second) {
+      list.Insert(v);
+    }
+  }
+  EXPECT_EQ(list.size(), reference.size());
+  for (int probe = 0; probe < 5000; probe += 7) {
+    EXPECT_EQ(list.Contains(probe), reference.count(probe) > 0) << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(MemTableTest, LatestValueWins) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "k", "v1");
+  table.Add(2, ValueType::kValue, "k", "v2");
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(table.Get("k", kMaxSequenceNumber, &value, &deleted));
+  EXPECT_FALSE(deleted);
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(MemTableTest, SnapshotReadsSeeOldVersions) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "k", "v1");
+  table.Add(5, ValueType::kValue, "k", "v5");
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(table.Get("k", 3, &value, &deleted));
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE(table.Get("k", 5, &value, &deleted));
+  EXPECT_EQ(value, "v5");
+  EXPECT_FALSE(table.Get("k", 0, &value, &deleted));  // before any version
+}
+
+TEST(MemTableTest, DeletionShadowsValue) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "k", "v");
+  table.Add(2, ValueType::kDeletion, "k", "");
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(table.Get("k", kMaxSequenceNumber, &value, &deleted));
+  EXPECT_TRUE(deleted);
+  // The older snapshot still sees the value.
+  ASSERT_TRUE(table.Get("k", 1, &value, &deleted));
+  EXPECT_FALSE(deleted);
+  EXPECT_EQ(value, "v");
+}
+
+TEST(MemTableTest, ScanSkipsDeletedAndStaleVersions) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "a", "1");
+  table.Add(2, ValueType::kValue, "b", "2");
+  table.Add(3, ValueType::kDeletion, "a", "");
+  table.Add(4, ValueType::kValue, "c", "3");
+  table.Add(5, ValueType::kValue, "b", "2new");
+  std::vector<std::pair<std::string, std::string>> seen;
+  table.Scan(kMaxSequenceNumber, [&](const Slice& k, const Slice& v) {
+    seen.emplace_back(k.ToString(), v.ToString());
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, "b");
+  EXPECT_EQ(seen[0].second, "2new");
+  EXPECT_EQ(seen[1].first, "c");
+}
+
+TEST(MemTableTest, ScanAtSnapshotSeesConsistentState) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "a", "old");
+  table.Add(2, ValueType::kValue, "b", "old");
+  table.Add(3, ValueType::kValue, "a", "new");
+  table.Add(4, ValueType::kDeletion, "b", "");
+  std::map<std::string, std::string> seen;
+  table.Scan(2, [&](const Slice& k, const Slice& v) {
+    seen[k.ToString()] = v.ToString();
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen["a"], "old");
+  EXPECT_EQ(seen["b"], "old");
+}
+
+TEST(MemTableTest, ScanEarlyStop) {
+  MemTable table;
+  for (int i = 0; i < 10; ++i) {
+    table.Add(static_cast<SequenceNumber>(i + 1), ValueType::kValue,
+              std::string(1, static_cast<char>('a' + i)), "v");
+  }
+  int visited = 0;
+  table.Scan(kMaxSequenceNumber, [&](const Slice&, const Slice&) {
+    ++visited;
+    return visited < 3;
+  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(MemTableTest, ProbeRunsPerEntry) {
+  MemTable table;
+  for (int i = 0; i < 50; ++i) {
+    table.Add(static_cast<SequenceNumber>(i + 1), ValueType::kValue, std::to_string(i), "v");
+  }
+  int probes = 0;
+  table.Scan(
+      kMaxSequenceNumber, [](const Slice&, const Slice&) { return true; },
+      [&] { ++probes; });
+  EXPECT_EQ(probes, 50);
+}
+
+TEST(WriteBatchTest, AppliesAllOpsInOrder) {
+  MemTable table;
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  EXPECT_EQ(batch.Count(), 3u);
+  const SequenceNumber used = batch.ApplyTo(&table, 10);
+  EXPECT_EQ(used, 3u);
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(table.Get("a", kMaxSequenceNumber, &value, &deleted));
+  EXPECT_TRUE(deleted);
+  ASSERT_TRUE(table.Get("b", kMaxSequenceNumber, &value, &deleted));
+  EXPECT_EQ(value, "2");
+}
+
+TEST(PlainTableTest, BuildAndGet) {
+  MemTable table;
+  table.Add(1, ValueType::kValue, "x", "1");
+  table.Add(2, ValueType::kValue, "y", "2");
+  table.Add(3, ValueType::kDeletion, "x", "");
+  const PlainTable snapshot = PlainTable::Build(table, kMaxSequenceNumber);
+  EXPECT_EQ(snapshot.size(), 1u);
+  std::string value;
+  EXPECT_FALSE(snapshot.Get("x", &value));
+  ASSERT_TRUE(snapshot.Get("y", &value));
+  EXPECT_EQ(value, "2");
+  EXPECT_FALSE(snapshot.Get("z", &value));
+}
+
+TEST(PlainTableTest, ScanMatchesMemtable) {
+  MemTable table;
+  Rng rng(7);
+  std::map<std::string, std::string> reference;
+  SequenceNumber seq = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "k" + std::to_string(rng.UniformU64(500));
+    if (rng.Bernoulli(0.2)) {
+      table.Add(++seq, ValueType::kDeletion, key, "");
+      reference.erase(key);
+    } else {
+      const std::string value = "v" + std::to_string(i);
+      table.Add(++seq, ValueType::kValue, key, value);
+      reference[key] = value;
+    }
+  }
+  const PlainTable snapshot = PlainTable::Build(table, kMaxSequenceNumber);
+  EXPECT_EQ(snapshot.size(), reference.size());
+  std::map<std::string, std::string> scanned;
+  snapshot.Scan([&](const Slice& k, const Slice& v) {
+    scanned[k.ToString()] = v.ToString();
+    return true;
+  });
+  EXPECT_EQ(scanned, reference);
+}
+
+TEST(DbTest, PutGetDelete) {
+  Db db;
+  db.Put("hello", "world");
+  std::string value;
+  ASSERT_TRUE(db.Get("hello", &value));
+  EXPECT_EQ(value, "world");
+  db.Delete("hello");
+  EXPECT_FALSE(db.Get("hello", &value));
+}
+
+TEST(DbTest, OverwriteReturnsLatest) {
+  Db db;
+  db.Put("k", "v1");
+  db.Put("k", "v2");
+  std::string value;
+  ASSERT_TRUE(db.Get("k", &value));
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(DbTest, WriteBatchIsAtomicallyVisible) {
+  Db db;
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  db.Write(batch);
+  std::string value;
+  EXPECT_TRUE(db.Get("a", &value));
+  EXPECT_TRUE(db.Get("b", &value));
+}
+
+TEST(DbTest, ScanVisitsAllLiveKeysInOrder) {
+  Db db;
+  PopulateDb(&db, 100, 8);
+  db.Delete("key00000050");
+  std::vector<std::string> keys;
+  const std::uint64_t visited = db.Scan([&](const Slice& k, const Slice&) {
+    keys.push_back(k.ToString());
+    return true;
+  });
+  EXPECT_EQ(visited, 99u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), "key00000050"), 0);
+}
+
+TEST(DbTest, RangeScanHalfOpenInterval) {
+  Db db;
+  PopulateDb(&db, 100, 8);  // key00000000 .. key00000099
+  std::vector<std::string> keys;
+  const std::uint64_t visited =
+      db.RangeScan("key00000010", "key00000020", [&](const Slice& k, const Slice&) {
+        keys.push_back(k.ToString());
+        return true;
+      });
+  EXPECT_EQ(visited, 10u);
+  EXPECT_EQ(keys.front(), "key00000010");
+  EXPECT_EQ(keys.back(), "key00000019");  // end is exclusive
+}
+
+TEST(DbTest, RangeScanOpenEndedAndEmpty) {
+  Db db;
+  PopulateDb(&db, 20, 8);
+  // Open-ended: from key 15 to the end.
+  EXPECT_EQ(db.RangeScan("key00000015", Slice(),
+                         [](const Slice&, const Slice&) { return true; }),
+            5u);
+  // Range with no keys.
+  EXPECT_EQ(db.RangeScan("zzz", Slice(), [](const Slice&, const Slice&) { return true; }), 0u);
+  // start == end: empty half-open interval.
+  EXPECT_EQ(db.RangeScan("key00000005", "key00000005",
+                         [](const Slice&, const Slice&) { return true; }),
+            0u);
+}
+
+TEST(DbTest, RangeScanSkipsDeletedAndSeesLatest) {
+  Db db;
+  PopulateDb(&db, 10, 8);
+  db.Delete("key00000003");
+  db.Put("key00000004", "fresh");
+  std::map<std::string, std::string> seen;
+  db.RangeScan("key00000002", "key00000006", [&](const Slice& k, const Slice& v) {
+    seen[k.ToString()] = v.ToString();
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 3u);  // 2, 4, 5 (3 deleted)
+  EXPECT_EQ(seen.count("key00000003"), 0u);
+  EXPECT_EQ(seen["key00000004"], "fresh");
+}
+
+TEST(DbTest, ScanCountMatchesPopulation) {
+  Db db;
+  PopulateDb(&db, 15000, 64);  // the paper's 15k-key setup
+  EXPECT_EQ(db.ScanCount(), 15000u);
+}
+
+TEST(DbTest, DbAgreesWithReferenceModelUnderRandomOps) {
+  Db db;
+  std::map<std::string, std::string> reference;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string key = "k" + std::to_string(rng.UniformU64(300));
+    const double action = rng.NextDouble();
+    if (action < 0.6) {
+      const std::string value = "v" + std::to_string(i);
+      db.Put(key, value);
+      reference[key] = value;
+    } else if (action < 0.8) {
+      db.Delete(key);
+      reference.erase(key);
+    } else {
+      std::string value;
+      const bool found = db.Get(key, &value);
+      const auto it = reference.find(key);
+      ASSERT_EQ(found, it != reference.end()) << key;
+      if (found) {
+        ASSERT_EQ(value, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(db.ScanCount(), reference.size());
+}
+
+TEST(DbTest, ScanProbesAtLoopBackEdges) {
+  Db db;
+  PopulateDb(&db, 200, 8);
+  ResetProbeCount();
+  db.ScanCount();
+  // At least one probe per visited entry (entries include versions).
+  EXPECT_GE(ProbeCount(), 200u);
+}
+
+TEST(InstrumentTest, ProbeInvokesBinding) {
+  int fired = 0;
+  ProbeBinding binding;
+  binding.fn = [](void* arg) { ++*static_cast<int*>(arg); };
+  binding.arg = &fired;
+  SetProbeBinding(binding);
+  CONCORD_PROBE();
+  CONCORD_PROBE();
+  SetProbeBinding({});
+  CONCORD_PROBE();  // unbound: no effect
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InstrumentTest, PreemptGuardSuppressesYield) {
+  int fired = 0;
+  ProbeBinding binding;
+  binding.fn = [](void* arg) { ++*static_cast<int*>(arg); };
+  binding.arg = &fired;
+  SetProbeBinding(binding);
+  {
+    PreemptGuard guard;
+    EXPECT_TRUE(PreemptionDisabled());
+    CONCORD_PROBE();  // suppressed
+    {
+      PreemptGuard nested;
+      CONCORD_PROBE();  // still suppressed
+    }
+    EXPECT_TRUE(PreemptionDisabled());
+  }
+  EXPECT_FALSE(PreemptionDisabled());
+  CONCORD_PROBE();
+  SetProbeBinding({});
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(InstrumentTest, GuardedMutexDefersPreemptionWhileHeld) {
+  GuardedMutex mu;
+  EXPECT_FALSE(PreemptionDisabled());
+  mu.lock();
+  EXPECT_TRUE(PreemptionDisabled());
+  mu.unlock();
+  EXPECT_FALSE(PreemptionDisabled());
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_TRUE(PreemptionDisabled());
+  mu.unlock();
+}
+
+}  // namespace
+}  // namespace concord

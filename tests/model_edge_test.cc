@@ -1,0 +1,231 @@
+// Edge cases and conservation properties of the server model that the
+// mainline tests do not pin down: overload recovery, warmup accounting,
+// trace-vs-open-loop equivalences, accounting identities and configuration
+// corner cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/cycles.h"
+#include "src/model/experiment.h"
+#include "src/model/server_model.h"
+#include "src/model/systems.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+constexpr std::size_t kRun = 15000;
+
+TEST(ModelEdgeTest, SingleWorkerSingleRequest) {
+  FixedDistribution dist(UsToNs(10.0));
+  ServerModel model(MakePersephoneFcfs(1), DefaultCosts(), 1);
+  const RunResult result = model.Run(dist, 1.0, 1, /*warmup_fraction=*/0.0);
+  EXPECT_EQ(result.completed, 1u);
+  EXPECT_EQ(result.measured, 1u);
+  // Residence = networker + dispatch path + service; slowdown slightly > 1.
+  EXPECT_GT(result.slowdown.MeanSlowdown(), 1.0);
+  EXPECT_LT(result.slowdown.MeanSlowdown(), 1.2);
+}
+
+TEST(ModelEdgeTest, OverloadStillDrainsAndReportsHugeSlowdown) {
+  // 3x overload: the queue grows for the whole run; every request still
+  // completes after arrivals stop, and the tail reflects the pile-up.
+  FixedDistribution dist(UsToNs(10.0));
+  ServerModel model(MakePersephoneFcfs(2), DefaultCosts(), 2);
+  const RunResult result = model.Run(dist, 600.0, kRun);
+  EXPECT_EQ(result.completed, kRun);
+  EXPECT_GT(result.slowdown.P999Slowdown(), 100.0);
+}
+
+TEST(ModelEdgeTest, WarmupFractionControlsMeasuredCount) {
+  FixedDistribution dist(UsToNs(5.0));
+  ServerModel model(MakePersephoneFcfs(2), DefaultCosts(), 3);
+  for (double warmup : {0.0, 0.25, 0.5}) {
+    const RunResult result = model.Run(dist, 100.0, 10000, warmup);
+    EXPECT_EQ(result.completed, 10000u);
+    EXPECT_EQ(result.measured, 10000u - static_cast<std::uint64_t>(warmup * 10000));
+  }
+}
+
+TEST(ModelEdgeTest, TraceReplayMatchesOpenLoopDistribution) {
+  // A trace generated from (distribution, Poisson(rate)) and an open-loop
+  // run at the same rate are statistically equivalent: median slowdowns
+  // within a few percent.
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kTpcc);
+  const double krps = 400.0;
+  PoissonArrivals arrivals(KrpsToInterarrivalNs(krps));
+  Rng rng(4);
+  const Trace trace = GenerateTrace(*spec.distribution, arrivals, 30000, rng);
+
+  const SystemConfig config = MakePersephoneFcfs(14);
+  ServerModel replay_model(config, DefaultCosts(), 5);
+  ServerModel openloop_model(config, DefaultCosts(), 5);
+  const double replay_p50 =
+      replay_model.RunTrace(trace).slowdown.QuantileSlowdown(0.5);
+  const double open_p50 =
+      openloop_model.Run(*spec.distribution, krps, 30000).slowdown.QuantileSlowdown(0.5);
+  EXPECT_NEAR(replay_p50, open_p50, open_p50 * 0.1);
+}
+
+TEST(ModelEdgeTest, QuantumLargerThanEveryServiceTimeMeansNoPreemption) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kTpcc);  // max 100us
+  ServerModel model(MakeConcord(8, UsToNs(200.0)), DefaultCosts(), 6);
+  const RunResult result = model.Run(*spec.distribution, 200.0, kRun);
+  EXPECT_EQ(result.preemptions, 0u);
+}
+
+TEST(ModelEdgeTest, PreemptionCountScalesInverselyWithQuantum) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  const double load = 150.0;  // high enough that the queue is rarely empty
+  ServerModel model5(MakeShinjuku(14, UsToNs(5.0)), DefaultCosts(), 7);
+  ServerModel model2(MakeShinjuku(14, UsToNs(2.0)), DefaultCosts(), 7);
+  const auto preempts5 = model5.Run(*spec.distribution, load, kRun).preemptions;
+  const auto preempts2 = model2.Run(*spec.distribution, load, kRun).preemptions;
+  // ~19 vs ~49 preemptions per long request; ratio ~2.5.
+  EXPECT_GT(static_cast<double>(preempts2), 1.8 * static_cast<double>(preempts5));
+}
+
+TEST(ModelEdgeTest, NoPreemptionWhenQueueStaysEmpty) {
+  // At very low load on many workers, the central queue is empty whenever a
+  // quantum expires, so preempt_only_when_queue_nonempty suppresses all
+  // preemption even for 100us requests at a 5us quantum.
+  FixedDistribution dist(UsToNs(100.0));
+  ServerModel model(MakeConcord(14, UsToNs(5.0)), DefaultCosts(), 8);
+  const RunResult result = model.Run(dist, 5.0, 5000);  // ~3.5% utilization
+  EXPECT_EQ(result.preemptions, 0u);
+}
+
+TEST(ModelEdgeTest, WorkerTimeFractionsSumToOne) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  ServerModel model(MakeConcord(8, UsToNs(5.0)), DefaultCosts(), 9);
+  const RunResult result = model.Run(*spec.distribution, 120.0, kRun);
+  for (std::size_t w = 0; w < result.worker_busy_fraction.size(); ++w) {
+    const double sum = result.worker_busy_fraction[w] + result.worker_stall_fraction[w] +
+                       result.worker_wait_fraction[w];
+    EXPECT_NEAR(sum, 1.0, 0.02) << "worker " << w;
+  }
+}
+
+TEST(ModelEdgeTest, DispatcherBusyFractionBounded) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  ServerModel model(MakeShinjuku(14, UsToNs(2.0)), DefaultCosts(), 10);
+  const RunResult result = model.Run(*spec.distribution, 1500.0, kRun);
+  EXPECT_GT(result.dispatcher_busy_fraction, 0.0);
+  EXPECT_LE(result.dispatcher_busy_fraction, 1.0 + 1e-9);
+}
+
+TEST(ModelEdgeTest, AchievedMatchesOfferedBelowSaturation) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kTpcc);
+  ServerModel model(MakeConcord(14, UsToNs(10.0)), DefaultCosts(), 11);
+  const RunResult result = model.Run(*spec.distribution, 300.0, kRun);
+  EXPECT_NEAR(result.achieved_krps, 300.0, 15.0);
+}
+
+TEST(ModelEdgeTest, IdealizedUnloadedSlowdownIsExactlyOne) {
+  FixedDistribution dist(UsToNs(10.0));
+  SystemConfig config = MakePersephoneFcfs(4);
+  ServerModel model(config, IdealizedCosts(), 12);
+  const RunResult result = model.Run(dist, 0.5, 2000);  // ~0.1% load
+  EXPECT_NEAR(result.slowdown.QuantileSlowdown(0.999), 1.0, 0.01);
+}
+
+TEST(ModelEdgeTest, UipiSystemRunsAndPreempts) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  ServerModel model(MakeUipiSystem(8, UsToNs(5.0)), DefaultCosts(), 13);
+  const RunResult result = model.Run(*spec.distribution, 100.0, kRun);
+  EXPECT_EQ(result.completed, kRun);
+  EXPECT_GT(result.preemptions, 0u);
+}
+
+TEST(ModelEdgeTest, RdtscSelfPreemptionWorksWithoutDispatcherSignals) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  SystemConfig config = MakeShinjuku(8, UsToNs(5.0));
+  config.name = "compiler-interrupts";
+  config.preempt = PreemptMechanism::kRdtscSelf;
+  config.instrumented_workers = true;
+  ServerModel model(config, DefaultCosts(), 14);
+  const RunResult result = model.Run(*spec.distribution, 100.0, kRun);
+  EXPECT_EQ(result.completed, kRun);
+  EXPECT_GT(result.preemptions, 0u);
+}
+
+TEST(ModelEdgeTest, LockDeferralInflatesPreemptionDelaysNotCounts) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  SystemConfig no_locks = MakeConcord(8, UsToNs(5.0));
+  SystemConfig locks = no_locks;
+  locks.locks.hold_probability = 0.5;
+  locks.locks.mean_remaining_ns = UsToNs(3.0);
+  ServerModel model_a(no_locks, DefaultCosts(), 15);
+  ServerModel model_b(locks, DefaultCosts(), 15);
+  const RunResult a = model_a.Run(*spec.distribution, 120.0, kRun);
+  const RunResult b = model_b.Run(*spec.distribution, 120.0, kRun);
+  EXPECT_EQ(a.completed, b.completed);
+  // Deferral stretches segments (fewer, later preemptions) but only moderately.
+  const double ratio = static_cast<double>(b.preemptions) /
+                       std::max<double>(static_cast<double>(a.preemptions), 1.0);
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(ModelEdgeTest, HigherSigmaWorsensTailOnlyMildly) {
+  // Table 1's worst observed sigma (1.8us) versus near-precise cooperation.
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  SystemConfig tight = MakeConcord(14, UsToNs(5.0));
+  tight.preempt_delay_sigma_ns = 100.0;
+  SystemConfig loose = tight;
+  loose.preempt_delay_sigma_ns = UsToNs(1.8);
+  ExperimentParams params;
+  params.request_count = 60000;
+  const double load = 2000.0;
+  const double p_tight =
+      RunLoadPoint(tight, DefaultCosts(), *spec.distribution, load, params).p999_slowdown;
+  const double p_loose =
+      RunLoadPoint(loose, DefaultCosts(), *spec.distribution, load, params).p999_slowdown;
+  EXPECT_LT(p_loose, p_tight * 2.5 + 3.0);
+}
+
+TEST(ModelEdgeTest, JbsqDepthOneStillBeatsSyncSingleQueueThroughput) {
+  // Even k=1 avoids the synchronous handshake: pushes overlap processing.
+  FixedDistribution dist(UsToNs(2.0));
+  CostModel costs = DefaultCosts();
+  costs.networker_ns = 0.0;
+  costs.dispatch_arrival_ns = 0.0;
+  ServerModel sq(MakePersephoneFcfs(8), costs, 16);
+  ServerModel jbsq1(MakeConcordNoDispatcherWork(8, UsToNs(1000.0), 1), costs, 16);
+  const double saturating = 8000.0;
+  const RunResult r_sq = sq.Run(dist, saturating, kRun);
+  const RunResult r_jbsq = jbsq1.Run(dist, saturating, kRun);
+  EXPECT_GT(r_jbsq.achieved_krps, r_sq.achieved_krps);
+}
+
+TEST(ModelEdgeTest, SloCrossoverAtBoundsReturnsBounds) {
+  FixedDistribution dist(UsToNs(1.0));
+  ExperimentParams params;
+  params.request_count = 5000;
+  const SystemConfig config = MakePersephoneFcfs(14);
+  // Entire range below the knee: returns hi.
+  EXPECT_DOUBLE_EQ(FindMaxLoadUnderSlo(config, DefaultCosts(), dist, kPaperSloSlowdown, 10.0,
+                                       100.0, params),
+                   100.0);
+  // Entire range above the knee: returns lo.
+  EXPECT_DOUBLE_EQ(FindMaxLoadUnderSlo(config, DefaultCosts(), dist, kPaperSloSlowdown, 8000.0,
+                                       9000.0, params),
+                   8000.0);
+}
+
+TEST(ModelEdgeDeathTest, RejectsZeroWorkers) {
+  SystemConfig config;
+  config.worker_count = 0;
+  EXPECT_DEATH(ServerModel(config, DefaultCosts(), 1), "Check failed");
+}
+
+TEST(ModelEdgeDeathTest, RejectsZeroRequests) {
+  FixedDistribution dist(1000.0);
+  ServerModel model(MakePersephoneFcfs(1), DefaultCosts(), 1);
+  EXPECT_DEATH(model.Run(dist, 10.0, 0), "Check failed");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,340 @@
+// Tests for the server model: conservation laws, queueing-theory sanity
+// checks, the behaviour of each Concord mechanism, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "src/common/cycles.h"
+#include "src/model/costs.h"
+#include "src/model/experiment.h"
+#include "src/model/overhead_model.h"
+#include "src/model/server_model.h"
+#include "src/model/systems.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+constexpr std::size_t kSmallRun = 20000;
+
+TEST(ServerModelTest, CompletesEveryRequest) {
+  FixedDistribution dist(UsToNs(1.0));
+  ServerModel model(MakePersephoneFcfs(4), DefaultCosts(), /*seed=*/1);
+  const RunResult result = model.Run(dist, /*krps=*/500.0, kSmallRun);
+  EXPECT_EQ(result.completed, kSmallRun);
+  EXPECT_EQ(result.measured, kSmallRun - kSmallRun / 10);  // 10% warmup dropped
+}
+
+TEST(ServerModelTest, LowLoadSlowdownNearOne) {
+  // At 1% load with idealized costs, requests almost never queue, so the
+  // slowdown should be ~1.
+  FixedDistribution dist(UsToNs(10.0));
+  SystemConfig config = MakePersephoneFcfs(4);
+  ServerModel model(config, IdealizedCosts(), 2);
+  const RunResult result = model.Run(dist, /*krps=*/4.0, kSmallRun);
+  EXPECT_LT(result.slowdown.QuantileSlowdown(0.5), 1.01);
+  EXPECT_LT(result.slowdown.P999Slowdown(), 1.5);
+}
+
+TEST(ServerModelTest, SlowdownGrowsWithLoad) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  SystemConfig config = MakePersephoneFcfs(8);
+  ServerModel model(config, DefaultCosts(), 3);
+  // Capacity ~ 8 / 50.5us = 158 kRps.
+  const RunResult low = model.Run(*spec.distribution, 30.0, kSmallRun);
+  const RunResult high = model.Run(*spec.distribution, 140.0, kSmallRun);
+  EXPECT_GT(high.slowdown.P999Slowdown(), low.slowdown.P999Slowdown());
+}
+
+TEST(ServerModelTest, DeterministicForSameSeed) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  SystemConfig config = MakeConcord(8, UsToNs(5.0));
+  ServerModel a(config, DefaultCosts(), 77);
+  ServerModel b(config, DefaultCosts(), 77);
+  const RunResult ra = a.Run(*spec.distribution, 400.0, kSmallRun);
+  const RunResult rb = b.Run(*spec.distribution, 400.0, kSmallRun);
+  EXPECT_DOUBLE_EQ(ra.slowdown.P999Slowdown(), rb.slowdown.P999Slowdown());
+  EXPECT_EQ(ra.preemptions, rb.preemptions);
+  EXPECT_DOUBLE_EQ(ra.sim_duration_ns, rb.sim_duration_ns);
+}
+
+TEST(ServerModelTest, DifferentSeedsDifferSlightly) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  SystemConfig config = MakeConcord(8, UsToNs(5.0));
+  ServerModel a(config, DefaultCosts(), 1);
+  ServerModel b(config, DefaultCosts(), 2);
+  const RunResult ra = a.Run(*spec.distribution, 400.0, kSmallRun);
+  const RunResult rb = b.Run(*spec.distribution, 400.0, kSmallRun);
+  EXPECT_NE(ra.sim_duration_ns, rb.sim_duration_ns);
+}
+
+TEST(ServerModelTest, NoPreemptionsWhenRequestsShorterThanQuantum) {
+  FixedDistribution dist(UsToNs(1.0));  // 1us requests, 5us quantum
+  ServerModel model(MakeConcord(4, UsToNs(5.0)), DefaultCosts(), 4);
+  const RunResult result = model.Run(dist, 300.0, kSmallRun);
+  EXPECT_EQ(result.preemptions, 0u);
+}
+
+TEST(ServerModelTest, LongRequestsArePreempted) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  ServerModel model(MakeShinjuku(8, UsToNs(5.0)), DefaultCosts(), 5);
+  // Moderate load so the queue is frequently non-empty.
+  const RunResult result = model.Run(*spec.distribution, 100.0, kSmallRun);
+  EXPECT_GT(result.preemptions, kSmallRun / 4);  // ~half the requests are 100us
+}
+
+TEST(ServerModelTest, PreemptionImprovesHeavyTailedP999) {
+  // The core queueing-theory claim: with 99.5% short / 0.5% very long
+  // requests, preemptive scheduling massively improves the short requests'
+  // tail slowdown versus FCFS at moderate load. Idealized costs isolate the
+  // policy effect.
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  SystemConfig fcfs = MakePersephoneFcfs(8);
+  SystemConfig preemptive = MakeShinjuku(8, UsToNs(5.0));
+  preemptive.preempt_delay_sigma_ns = 0.0;
+  ServerModel model_fcfs(fcfs, IdealizedCosts(), 6);
+  ServerModel model_preempt(preemptive, IdealizedCosts(), 6);
+  // Mean service = 2.9975us; capacity on 8 idealized workers ~ 2669 kRps.
+  const double load = 1600.0;  // ~60% utilization
+  const std::size_t count = 60000;
+  const double p999_fcfs =
+      model_fcfs.Run(*spec.distribution, load, count).slowdown.P999Slowdown();
+  const double p999_preempt =
+      model_preempt.Run(*spec.distribution, load, count).slowdown.P999Slowdown();
+  EXPECT_LT(p999_preempt, p999_fcfs / 2.0);
+}
+
+TEST(ServerModelTest, JbsqCutsWorkerWaitVersusSingleQueue) {
+  // Fig. 3's mechanism: with a backlogged queue and short requests,
+  // single-queue workers idle on the dispatcher handshake; JBSQ(2) workers
+  // do not. The Fig. 3 experiment pre-loads the queue, so ingress costs are
+  // zeroed and the offered load is far beyond capacity.
+  FixedDistribution dist(UsToNs(1.0));
+  SystemConfig sq = MakePersephoneFcfs(8);
+  SystemConfig jbsq = MakeConcordNoDispatcherWork(8, UsToNs(100.0));
+  CostModel costs = DefaultCosts();
+  costs.networker_ns = 0.0;
+  costs.dispatch_arrival_ns = 0.0;
+  ServerModel model_sq(sq, costs, 7);
+  ServerModel model_jbsq(jbsq, costs, 7);
+  const double load = 9000.0;  // far beyond capacity: saturated
+  const RunResult r_sq = model_sq.Run(dist, load, kSmallRun);
+  const RunResult r_jbsq = model_jbsq.Run(dist, load, kSmallRun);
+  EXPECT_GT(r_sq.median_worker_wait_fraction, 0.10);
+  EXPECT_LT(r_jbsq.median_worker_wait_fraction, r_sq.median_worker_wait_fraction / 3.0);
+}
+
+TEST(ServerModelTest, JbsqDepthNeverExceeded) {
+  // Indirect invariant check: with depth k and n workers, at most n*k
+  // requests can be outside the central queue, so a saturated JBSQ system's
+  // achieved throughput still matches completions (conservation), and the
+  // run must drain. A violated bound would deadlock or crash the model.
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  for (int depth : {1, 2, 4}) {
+    SystemConfig config = MakeConcordNoDispatcherWork(4, UsToNs(5.0), depth);
+    ServerModel model(config, DefaultCosts(), 8);
+    const RunResult result = model.Run(*spec.distribution, 60.0, kSmallRun / 2);
+    EXPECT_EQ(result.completed, kSmallRun / 2) << "depth=" << depth;
+  }
+}
+
+TEST(ServerModelTest, WorkConservingDispatcherStealsUnderPressure) {
+  // 2 workers + tiny JBSQ depth + heavy load => all queues full often, so the
+  // dispatcher must pick up requests (§3.3).
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  SystemConfig config = MakeConcord(2, UsToNs(5.0));
+  ServerModel model(config, DefaultCosts(), 9);
+  // 2 workers at mean 250.3us -> capacity ~8 kRps; run at ~75%.
+  const RunResult result = model.Run(*spec.distribution, 6.0, kSmallRun / 2);
+  EXPECT_GT(result.dispatcher_stolen, 0u);
+  EXPECT_EQ(result.dispatcher_stolen, result.dispatcher_completed);
+  EXPECT_GT(result.dispatcher_app_fraction, 0.01);
+}
+
+TEST(ServerModelTest, DispatcherWorkImprovesTailAtSmallCoreCount) {
+  // Fig. 13's mechanism: with 2 workers near saturation, letting the mostly
+  // idle dispatcher run requests lowers the tail slowdown at a given load.
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  SystemConfig with = MakeConcord(2, UsToNs(5.0));
+  SystemConfig without = MakeConcordNoDispatcherWork(2, UsToNs(5.0));
+  ServerModel model_with(with, DefaultCosts(), 15);
+  ServerModel model_without(without, DefaultCosts(), 15);
+  const double load = 7.2;  // ~90% of the 2-worker capacity (~8 kRps)
+  const double p999_with =
+      model_with.Run(*spec.distribution, load, kSmallRun).slowdown.P999Slowdown();
+  const double p999_without =
+      model_without.Run(*spec.distribution, load, kSmallRun).slowdown.P999Slowdown();
+  EXPECT_LT(p999_with, p999_without);
+}
+
+TEST(ServerModelTest, NoStealingWhenDisabled) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  SystemConfig config = MakeConcordNoDispatcherWork(2, UsToNs(5.0));
+  ServerModel model(config, DefaultCosts(), 10);
+  const RunResult result = model.Run(*spec.distribution, 6.0, kSmallRun / 2);
+  EXPECT_EQ(result.dispatcher_stolen, 0u);
+  EXPECT_DOUBLE_EQ(result.dispatcher_app_fraction, 0.0);
+}
+
+TEST(ServerModelTest, SrptBeatsFcfsMeanSlowdownForBimodal) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  SystemConfig fcfs = MakePersephoneFcfs(4);
+  SystemConfig srpt = MakePersephoneFcfs(4);
+  srpt.central_policy = CentralQueuePolicy::kSrpt;
+  ServerModel model_fcfs(fcfs, IdealizedCosts(), 11);
+  ServerModel model_srpt(srpt, IdealizedCosts(), 11);
+  const double load = 65.0;  // ~80% of 4-worker capacity (79 kRps)
+  const double mean_fcfs =
+      model_fcfs.Run(*spec.distribution, load, kSmallRun).slowdown.MeanSlowdown();
+  const double mean_srpt =
+      model_srpt.Run(*spec.distribution, load, kSmallRun).slowdown.MeanSlowdown();
+  EXPECT_LT(mean_srpt, mean_fcfs);
+}
+
+TEST(ServerModelTest, LockDeferralDelaysButDoesNotBreak) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  SystemConfig config = MakeConcord(4, UsToNs(5.0));
+  config.locks.hold_probability = 0.3;
+  config.locks.mean_remaining_ns = UsToNs(2.0);
+  ServerModel model(config, DefaultCosts(), 12);
+  const RunResult result = model.Run(*spec.distribution, 50.0, kSmallRun);
+  EXPECT_EQ(result.completed, kSmallRun);
+  EXPECT_GT(result.preemptions, 0u);
+}
+
+TEST(ServerModelTest, TraceReplayMatchesGeneratedLoad) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kTpcc);
+  PoissonArrivals arrivals(KrpsToInterarrivalNs(300.0));
+  Rng rng(13);
+  const Trace trace = GenerateTrace(*spec.distribution, arrivals, kSmallRun, rng);
+  ServerModel model(MakePersephoneFcfs(8), DefaultCosts(), 14);
+  const RunResult result = model.RunTrace(trace);
+  EXPECT_EQ(result.completed, kSmallRun);
+  EXPECT_NEAR(result.offered_krps, 300.0, 10.0);
+}
+
+// --- Analytic overhead model (Eqs. 1-4) ---
+
+TEST(OverheadModelTest, IpiMatchesPaperArithmetic) {
+  // §2.2.1: ~12% overhead at q=5us and ~30% at q=2us for a ~600ns IPI.
+  const CostModel costs = DefaultCosts();
+  const auto at5 = PreemptionOverhead(costs, PreemptMechanism::kIpi,
+                                      QueueDiscipline::kSingleQueue, UsToNs(5.0), UsToNs(500.0),
+                                      /*include_switch_and_fetch=*/false);
+  EXPECT_NEAR(at5.total, 0.12, 0.01);
+  const auto at2 = PreemptionOverhead(costs, PreemptMechanism::kIpi,
+                                      QueueDiscipline::kSingleQueue, UsToNs(2.0), UsToNs(500.0),
+                                      false);
+  EXPECT_NEAR(at2.total, 0.30, 0.01);
+}
+
+TEST(OverheadModelTest, RdtscIsFlatAcrossQuanta) {
+  const CostModel costs = DefaultCosts();
+  const auto at1 = PreemptionOverhead(costs, PreemptMechanism::kRdtscSelf,
+                                      QueueDiscipline::kSingleQueue, UsToNs(1.0), UsToNs(500.0),
+                                      false);
+  const auto at100 = PreemptionOverhead(costs, PreemptMechanism::kRdtscSelf,
+                                        QueueDiscipline::kSingleQueue, UsToNs(100.0),
+                                        UsToNs(500.0), false);
+  EXPECT_NEAR(at1.total, 0.21, 0.01);
+  EXPECT_NEAR(at100.total, 0.21, 0.01);
+}
+
+TEST(OverheadModelTest, CoopIsNearOnePercent) {
+  const CostModel costs = DefaultCosts();
+  const auto at5 = PreemptionOverhead(costs, PreemptMechanism::kCoopCacheLine,
+                                      QueueDiscipline::kJbsq, UsToNs(5.0), UsToNs(500.0), false);
+  EXPECT_LT(at5.total, 0.03);
+  EXPECT_GT(at5.total, 0.005);
+}
+
+TEST(OverheadModelTest, CoopBeatsIpiAtSmallQuanta) {
+  const CostModel costs = DefaultCosts();
+  for (double q_us : {1.0, 2.0, 5.0, 10.0}) {
+    const double ipi = PreemptionOverhead(costs, PreemptMechanism::kIpi,
+                                          QueueDiscipline::kSingleQueue, UsToNs(q_us),
+                                          UsToNs(500.0), false)
+                           .total;
+    const double coop = PreemptionOverhead(costs, PreemptMechanism::kCoopCacheLine,
+                                           QueueDiscipline::kJbsq, UsToNs(q_us), UsToNs(500.0),
+                                           false)
+                            .total;
+    EXPECT_LT(coop, ipi) << "q=" << q_us;
+  }
+}
+
+TEST(OverheadModelTest, UipiBetweenIpiAndCoop) {
+  const CostModel costs = DefaultCosts();
+  for (double q_us : {1.0, 2.0, 5.0}) {
+    const double ipi = PreemptionOverhead(costs, PreemptMechanism::kIpi,
+                                          QueueDiscipline::kSingleQueue, UsToNs(q_us),
+                                          UsToNs(500.0), false)
+                           .total;
+    const double uipi = PreemptionOverhead(costs, PreemptMechanism::kUipi,
+                                           QueueDiscipline::kSingleQueue, UsToNs(q_us),
+                                           UsToNs(500.0), false)
+                            .total;
+    const double coop = PreemptionOverhead(costs, PreemptMechanism::kCoopCacheLine,
+                                           QueueDiscipline::kJbsq, UsToNs(q_us), UsToNs(500.0),
+                                           false)
+                            .total;
+    EXPECT_LT(uipi, ipi) << "q=" << q_us;
+    EXPECT_GT(uipi, coop) << "q=" << q_us;
+  }
+}
+
+TEST(OverheadModelTest, JbsqShrinksNextRequestComponent) {
+  const CostModel costs = DefaultCosts();
+  const auto sq = PreemptionOverhead(costs, PreemptMechanism::kCoopCacheLine,
+                                     QueueDiscipline::kSingleQueue, UsToNs(5.0), UsToNs(500.0),
+                                     /*include_switch_and_fetch=*/true);
+  const auto jbsq = PreemptionOverhead(costs, PreemptMechanism::kCoopCacheLine,
+                                       QueueDiscipline::kJbsq, UsToNs(5.0), UsToNs(500.0), true);
+  EXPECT_GT(sq.next_request, jbsq.next_request * 4.0);
+  EXPECT_LT(jbsq.total, sq.total);
+}
+
+TEST(OverheadModelTest, SystemOverheadFormula) {
+  // Eq. 1 with a dedicated dispatcher (overhead 1) and 4 workers at 10%:
+  // (4*0.1 + 1) / 5 = 0.28.
+  EXPECT_DOUBLE_EQ(SystemOverhead(0.1, 4), 0.28);
+  // A perfectly work-conserving dispatcher with no overhead:
+  EXPECT_DOUBLE_EQ(SystemOverhead(0.1, 4, 0.1), 0.1);
+}
+
+// --- experiment harness ---
+
+TEST(ExperimentTest, LinearLoadsEndpoints) {
+  const auto loads = LinearLoads(10.0, 50.0, 5);
+  ASSERT_EQ(loads.size(), 5u);
+  EXPECT_DOUBLE_EQ(loads.front(), 10.0);
+  EXPECT_DOUBLE_EQ(loads.back(), 50.0);
+  EXPECT_DOUBLE_EQ(loads[2], 30.0);
+}
+
+TEST(ExperimentTest, SweepProducesMonotonicTailAtHighLoads) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kFixed1us);
+  ExperimentParams params;
+  params.request_count = kSmallRun;
+  const auto points = RunLoadSweep(MakePersephoneFcfs(4), DefaultCosts(), *spec.distribution,
+                                   {500.0, 3000.0, 3800.0}, params);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].p999_slowdown, points[2].p999_slowdown);
+}
+
+TEST(ExperimentTest, SloCrossoverIsBracketed) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  ExperimentParams params;
+  params.request_count = kSmallRun;
+  const SystemConfig config = MakePersephoneFcfs(8);
+  const CostModel costs = DefaultCosts();
+  const double max_load = FindMaxLoadUnderSlo(config, costs, *spec.distribution,
+                                              kPaperSloSlowdown, 5.0, 160.0, params, 0.05);
+  EXPECT_GT(max_load, 5.0);
+  EXPECT_LT(max_load, 160.0);
+  // The found load meets the SLO...
+  EXPECT_LE(RunLoadPoint(config, costs, *spec.distribution, max_load, params).p999_slowdown,
+            kPaperSloSlowdown * 1.2);
+}
+
+}  // namespace
+}  // namespace concord

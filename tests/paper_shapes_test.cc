@@ -1,0 +1,194 @@
+// Integration tests: the paper's headline results as assertions.
+//
+// Each test pins one claim from the evaluation (§5) at reduced sample counts
+// — orderings and coarse magnitudes, robust to simulation noise. The bench
+// binaries regenerate the full figures; these tests keep the claims true as
+// the code evolves.
+
+#include <gtest/gtest.h>
+
+#include "src/common/cycles.h"
+#include "src/model/experiment.h"
+#include "src/model/overhead_model.h"
+#include "src/model/systems.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+ExperimentParams QuickParams() {
+  ExperimentParams params;
+  params.request_count = 30000;
+  return params;
+}
+
+double Crossover(const SystemConfig& config, const ServiceDistribution& distribution,
+                 double lo_krps, double hi_krps) {
+  return FindMaxLoadUnderSlo(config, DefaultCosts(), distribution, kPaperSloSlowdown, lo_krps,
+                             hi_krps, QuickParams(), /*tolerance=*/0.04);
+}
+
+// Fig. 6 (q=2us): Concord sustains substantially more load than Shinjuku on
+// the YCSB-like bimodal; Shinjuku in turn beats Persephone-FCFS... at this
+// quantum Persephone's lack of preemption and Shinjuku's IPI tax land close,
+// so only the Concord gap is pinned tightly.
+TEST(PaperShapesTest, Fig6ConcordBeatsShinjukuAtSmallQuantum) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  const double shinjuku = Crossover(MakeShinjuku(14, UsToNs(2.0)), *spec.distribution, 20, 290);
+  const double concord = Crossover(MakeConcord(14, UsToNs(2.0)), *spec.distribution, 20, 290);
+  EXPECT_GT(concord, shinjuku * 1.25);  // paper: +45%
+}
+
+// Fig. 7: on the heavy-tailed USR-like bimodal, Persephone-FCFS crosses the
+// SLO well before the preemptive systems (q=5us, where preemption is cheap
+// for both), and Concord's margin over Shinjuku widens at q=2us.
+TEST(PaperShapesTest, Fig7FcfsCrossesMuchEarlierOnHeavyTail) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  const double persephone =
+      Crossover(MakePersephoneFcfs(14), *spec.distribution, 100, 3700);
+  const double shinjuku5 =
+      Crossover(MakeShinjuku(14, UsToNs(5.0)), *spec.distribution, 100, 3700);
+  EXPECT_GT(shinjuku5, persephone * 1.2);
+
+  const double shinjuku2 =
+      Crossover(MakeShinjuku(14, UsToNs(2.0)), *spec.distribution, 100, 3700);
+  const double concord2 = Crossover(MakeConcord(14, UsToNs(2.0)), *spec.distribution, 100, 3700);
+  EXPECT_GT(concord2, shinjuku2 * 1.15);  // paper: +52% at q=2us
+}
+
+// Fig. 8 (left): on Fixed(1us) no mechanism matters — all three systems
+// saturate together at the ingress bound, Concord within a few percent.
+TEST(PaperShapesTest, Fig8FixedWorkloadIsAWash) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kFixed1us);
+  const double persephone = Crossover(MakePersephoneFcfs(14), *spec.distribution, 200, 3600);
+  const double shinjuku =
+      Crossover(MakeShinjuku(14, UsToNs(5.0)), *spec.distribution, 200, 3600);
+  const double concord = Crossover(MakeConcord(14, UsToNs(5.0)), *spec.distribution, 200, 3600);
+  EXPECT_NEAR(concord / shinjuku, 1.0, 0.06);
+  EXPECT_NEAR(persephone / shinjuku, 1.0, 0.06);
+}
+
+// Fig. 9 (q=2us): on LevelDB GET/SCAN, the full ordering holds with a wide
+// Concord margin.
+TEST(PaperShapesTest, Fig9LevelDbOrdering) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  const double persephone = Crossover(MakePersephoneFcfs(14), *spec.distribution, 2, 58);
+  const double shinjuku = Crossover(MakeShinjuku(14, UsToNs(2.0)), *spec.distribution, 2, 58);
+  const double concord = Crossover(MakeConcord(14, UsToNs(2.0)), *spec.distribution, 2, 58);
+  EXPECT_GT(shinjuku, persephone);
+  EXPECT_GT(concord, shinjuku * 1.15);  // paper: +83%
+}
+
+// Fig. 11: cumulative mechanisms never hurt: Shinjuku <= Co-op+SQ <=
+// Co-op+JBSQ(2) <= Concord (small tolerance for bisection noise).
+TEST(PaperShapesTest, Fig11AblationIsMonotone) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  const double q = UsToNs(2.0);
+  const double shinjuku = Crossover(MakeShinjuku(14, q), *spec.distribution, 2, 58);
+  const double coop_sq = Crossover(MakeCoopSingleQueue(14, q), *spec.distribution, 2, 58);
+  const double coop_jbsq = Crossover(MakeCoopJbsq(14, q), *spec.distribution, 2, 58);
+  const double concord = Crossover(MakeConcord(14, q), *spec.distribution, 2, 58);
+  EXPECT_GE(coop_sq, shinjuku * 0.97);
+  EXPECT_GE(coop_jbsq, coop_sq * 0.97);
+  // Work conservation is a small effect at high load and, in this model,
+  // roughly neutral-to-slightly-negative at a 2us quantum (the paper
+  // measured +9%; see EXPERIMENTS.md); it must not cost more than ~15%, and
+  // it clearly helps at small core counts (Fig. 13 test below).
+  EXPECT_GE(concord, coop_jbsq * 0.85);
+  EXPECT_GT(concord, shinjuku * 1.15);
+}
+
+// Fig. 12: the combined mechanisms cut total preemption overhead by ~4x at
+// microsecond quanta.
+TEST(PaperShapesTest, Fig12FourTimesLowerPreemptionOverhead) {
+  const CostModel costs = DefaultCosts();
+  for (double q_us : {1.0, 2.0, 5.0}) {
+    const double shinjuku =
+        PreemptionOverhead(costs, PreemptMechanism::kIpi, QueueDiscipline::kSingleQueue,
+                           UsToNs(q_us), UsToNs(500.0), /*include_switch_and_fetch=*/true)
+            .total;
+    const double concord =
+        PreemptionOverhead(costs, PreemptMechanism::kCoopCacheLine, QueueDiscipline::kJbsq,
+                           UsToNs(q_us), UsToNs(500.0), true)
+            .total;
+    EXPECT_GT(shinjuku / concord, 3.0) << "q=" << q_us;
+  }
+}
+
+// Fig. 13: on a 2-worker "small VM", the work-conserving dispatcher raises
+// the sustainable load substantially (paper: +33%).
+TEST(PaperShapesTest, Fig13DispatcherWorkHelpsSmallVms) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  const double without =
+      Crossover(MakeConcordNoDispatcherWork(2, UsToNs(5.0)), *spec.distribution, 0.5, 12.0);
+  const double with = Crossover(MakeConcord(2, UsToNs(5.0)), *spec.distribution, 0.5, 12.0);
+  EXPECT_GT(with, without * 1.12);
+}
+
+// Fig. 5: imprecise preemption with sigma <= 2us behaves like precise
+// preemption at moderate load, while no preemption blows up.
+TEST(PaperShapesTest, Fig5ImprecisionIsBenign) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
+  const CostModel costs = IdealizedCosts();
+  ExperimentParams params = QuickParams();
+  params.request_count = 60000;
+  const double load = 0.7 * 14.0 / NsToUs(spec.distribution->MeanNs()) * 1000.0;
+
+  SystemConfig precise = MakeShinjuku(14, UsToNs(5.0));
+  precise.preempt = PreemptMechanism::kCoopCacheLine;
+  precise.preempt_delay_sigma_ns = 0.0;
+  SystemConfig imprecise = precise;
+  imprecise.preempt_delay_sigma_ns = UsToNs(2.0);
+
+  const double p_precise =
+      RunLoadPoint(precise, costs, *spec.distribution, load, params).p999_slowdown;
+  const double p_imprecise =
+      RunLoadPoint(imprecise, costs, *spec.distribution, load, params).p999_slowdown;
+  const double p_none = RunLoadPoint(MakePersephoneFcfs(14), costs, *spec.distribution, load,
+                                     params)
+                            .p999_slowdown;
+  // "Almost identical" in the figure; at this sample count the p99.9 of the
+  // imprecise variant wobbles, so pin the order of magnitude.
+  EXPECT_LT(p_imprecise, p_precise * 3.0 + 5.0);
+  EXPECT_GT(p_none, p_precise * 4.0);
+}
+
+// Fig. 15: cooperation stays well under user-space IPIs at small quanta.
+TEST(PaperShapesTest, Fig15CoopBeatsUipiAtSmallQuanta) {
+  const CostModel costs = DefaultCosts();
+  for (double q_us : {1.0, 2.0, 5.0}) {
+    const double uipi = PreemptionOverhead(costs, PreemptMechanism::kUipi,
+                                           QueueDiscipline::kSingleQueue, UsToNs(q_us),
+                                           UsToNs(500.0), false)
+                            .total;
+    const double coop = PreemptionOverhead(costs, PreemptMechanism::kCoopCacheLine,
+                                           QueueDiscipline::kJbsq, UsToNs(q_us), UsToNs(500.0),
+                                           false)
+                            .total;
+    EXPECT_GT(uipi / coop, 1.5) << "q=" << q_us;
+  }
+}
+
+// Fig. 14: at low load, Concord's stealing adds a little p99.9 slowdown over
+// the no-stealing configuration (the documented drawback, §5.5) — and the
+// opt-out removes it.
+TEST(PaperShapesTest, Fig14LowLoadDrawbackExistsAndIsBounded) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
+  ExperimentParams params = QuickParams();
+  params.request_count = 60000;
+  const CostModel costs = DefaultCosts();
+  const double load = 80.0;  // ~30% of capacity
+  const double with_steal =
+      RunLoadPoint(MakeConcord(14, UsToNs(5.0)), costs, *spec.distribution, load, params)
+          .p999_slowdown;
+  const double without_steal =
+      RunLoadPoint(MakeConcordNoDispatcherWork(14, UsToNs(5.0)), costs, *spec.distribution,
+                   load, params)
+          .p999_slowdown;
+  EXPECT_GE(with_steal, without_steal - 0.5);
+  // ... but stays far below the 50x SLO (the paper's "acceptable" argument).
+  EXPECT_LT(with_steal, 25.0);
+}
+
+}  // namespace
+}  // namespace concord

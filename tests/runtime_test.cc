@@ -1,0 +1,405 @@
+// Tests for the real Concord runtime: fibers, SPSC rings, end-to-end
+// scheduling, preemption, lock safety and dispatcher work conservation.
+//
+// These tests run on whatever CPU count the host provides (including one);
+// they verify behaviour, not timing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/context.h"
+#include "src/runtime/instrument.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/spsc_ring.h"
+
+namespace concord {
+namespace {
+
+TEST(FiberTest, RunsToCompletion) {
+  Fiber fiber;
+  int value = 0;
+  fiber.Reset([&] { value = 42; });
+  EXPECT_TRUE(fiber.Run());
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(fiber.finished());
+}
+
+TEST(FiberTest, YieldAndResume) {
+  Fiber fiber;
+  std::vector<int> trace;
+  fiber.Reset([&] {
+    trace.push_back(1);
+    Fiber::Yield();
+    trace.push_back(2);
+    Fiber::Yield();
+    trace.push_back(3);
+  });
+  EXPECT_FALSE(fiber.Run());
+  trace.push_back(10);
+  EXPECT_FALSE(fiber.Run());
+  trace.push_back(20);
+  EXPECT_TRUE(fiber.Run());
+  EXPECT_EQ(trace, (std::vector<int>{1, 10, 2, 20, 3}));
+}
+
+TEST(FiberTest, CurrentTracksExecution) {
+  Fiber fiber;
+  Fiber* observed = nullptr;
+  EXPECT_EQ(Fiber::Current(), nullptr);
+  fiber.Reset([&] { observed = Fiber::Current(); });
+  fiber.Run();
+  EXPECT_EQ(observed, &fiber);
+  EXPECT_EQ(Fiber::Current(), nullptr);
+}
+
+TEST(FiberTest, ReusableAfterFinish) {
+  Fiber fiber;
+  int runs = 0;
+  for (int i = 0; i < 100; ++i) {
+    fiber.Reset([&] { ++runs; });
+    EXPECT_TRUE(fiber.Run());
+  }
+  EXPECT_EQ(runs, 100);
+}
+
+// pthread_self() is declared __attribute__((const)), so an inline call
+// would be cached across Fiber::Yield() and hide the migration; force a
+// fresh read. (Application code inside fibers must take the same care with
+// anything thread-identity-derived.)
+__attribute__((noinline)) std::thread::id CurrentThreadIdNoCache() {
+  std::thread::id id = std::this_thread::get_id();
+  asm volatile("" : "+m"(id));
+  return id;
+}
+
+TEST(FiberTest, ResumesOnDifferentThread) {
+  Fiber fiber;
+  std::thread::id first_id;
+  std::thread::id second_id;
+  fiber.Reset([&] {
+    first_id = CurrentThreadIdNoCache();
+    Fiber::Yield();
+    second_id = CurrentThreadIdNoCache();
+  });
+  // Keep both threads alive through the whole test so the OS cannot reuse a
+  // thread id and mask the migration.
+  std::atomic<int> stage{0};
+  std::thread a([&] {
+    EXPECT_FALSE(fiber.Run());
+    stage.store(1);
+    while (stage.load() < 2) {
+      std::this_thread::yield();
+    }
+  });
+  std::thread b([&] {
+    while (stage.load() < 1) {
+      std::this_thread::yield();
+    }
+    EXPECT_TRUE(fiber.Run());
+    stage.store(2);
+  });
+  a.join();
+  b.join();
+  EXPECT_NE(first_id, second_id);
+}
+
+TEST(FiberTest, DeepStackUsage) {
+  Fiber fiber(1024 * 1024);
+  std::uint64_t sum = 0;
+  fiber.Reset([&] {
+    // Recursion with yields sprinkled in: exercises stack integrity across
+    // switches.
+    std::function<std::uint64_t(int)> rec = [&](int n) -> std::uint64_t {
+      if (n == 0) {
+        return 0;
+      }
+      if (n % 50 == 0) {
+        Fiber::Yield();
+      }
+      return static_cast<std::uint64_t>(n) + rec(n - 1);
+    };
+    sum = rec(400);
+  });
+  while (!fiber.Run()) {
+  }
+  EXPECT_EQ(sum, 400u * 401u / 2u);
+}
+
+TEST(SpscRingTest, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(ring.TryPop(&out));  // empty
+}
+
+TEST(SpscRingTest, CapacityIsExact) {
+  // JBSQ(k) semantics: the inbox accepts exactly k items, never k+1.
+  for (std::size_t cap : {1u, 2u, 3u, 5u, 8u}) {
+    SpscRing<int> ring(cap);
+    std::size_t pushed = 0;
+    while (ring.TryPush(1)) {
+      ++pushed;
+    }
+    EXPECT_EQ(pushed, cap) << "capacity " << cap;
+  }
+}
+
+TEST(SpscRingTest, TwoThreadStress) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 200000;
+  std::atomic<bool> producer_done{false};
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t received = 0;
+    while (received < kCount) {
+      std::uint64_t value = 0;
+      if (ring.TryPop(&value)) {
+        sum += value;
+        ++received;
+      } else if (producer_done.load() && ring.EmptyApprox()) {
+        break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kCount; ++i) {
+    while (!ring.TryPush(i)) {
+      std::this_thread::yield();
+    }
+  }
+  producer_done.store(true);
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+// --- end-to-end runtime tests ---
+
+Runtime::Options SmallOptions() {
+  Runtime::Options options;
+  options.worker_count = 2;
+  options.quantum_us = 50.0;  // generous: hosts here are slow and shared
+  options.jbsq_depth = 2;
+  options.work_conserving_dispatcher = false;
+  return options;
+}
+
+TEST(RuntimeTest, CompletesAllRequests) {
+  std::atomic<int> handled{0};
+  std::atomic<int> completions{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) {
+    SpinWithProbesUs(2.0);
+    handled.fetch_add(1);
+  };
+  callbacks.on_complete = [&](const RequestView&, std::uint64_t latency) {
+    EXPECT_GT(latency, 0u);
+    completions.fetch_add(1);
+  };
+  Runtime runtime(SmallOptions(), callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_EQ(handled.load(), 500);
+  EXPECT_EQ(completions.load(), 500);
+  const Runtime::Stats stats = runtime.GetStats();
+  EXPECT_EQ(stats.completed, 500u);
+  EXPECT_EQ(stats.submitted, 500u);
+}
+
+TEST(RuntimeTest, SetupCallbacksFire) {
+  std::atomic<int> setup_calls{0};
+  std::atomic<int> worker_setups{0};
+  Runtime::Callbacks callbacks;
+  callbacks.setup = [&] { setup_calls.fetch_add(1); };
+  callbacks.setup_worker = [&](int worker) {
+    if (worker >= 0) {
+      worker_setups.fetch_add(1);
+    }
+  };
+  callbacks.handle_request = [](const RequestView&) {};
+  Runtime runtime(SmallOptions(), callbacks);
+  runtime.Start();
+  runtime.Submit(1, 0, nullptr);
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_EQ(setup_calls.load(), 1);
+  EXPECT_EQ(worker_setups.load(), 2);
+}
+
+TEST(RuntimeTest, LongRequestsGetPreempted) {
+  Runtime::Options options = SmallOptions();
+  options.worker_count = 1;
+  options.quantum_us = 0.2;  // tiny quantum to force preemption
+  options.jbsq_depth = 1;
+  std::atomic<int> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView& view) {
+    // Request 0 spins long; the rest are short and queue behind it.
+    SpinWithProbesUs(view.request_class == 1 ? 2000.0 : 5.0);
+    handled.fetch_add(1);
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  runtime.Submit(0, 1, nullptr);  // long
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_EQ(handled.load(), 21);
+  EXPECT_GT(runtime.GetStats().preemptions, 0u);
+}
+
+TEST(RuntimeTest, ShortRequestsOvertakeALongOne) {
+  // With preemptive round-robin, shorts submitted after a long request must
+  // not wait for its full 20ms: they complete while it is still running.
+  Runtime::Options options = SmallOptions();
+  options.worker_count = 1;
+  options.quantum_us = 0.5;
+  options.jbsq_depth = 2;
+  std::atomic<bool> long_done{false};
+  std::atomic<int> shorts_before_long{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView& view) {
+    if (view.request_class == 1) {
+      SpinWithProbesUs(20000.0);
+      long_done.store(true);
+    } else {
+      SpinWithProbesUs(5.0);
+      if (!long_done.load()) {
+        shorts_before_long.fetch_add(1);
+      }
+    }
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  runtime.Submit(0, 1, nullptr);
+  // Give the long request a head start.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_GT(shorts_before_long.load(), 0);
+}
+
+TEST(RuntimeTest, PreemptionDeferredWhileLockHeld) {
+  // A request that holds a GuardedMutex through its entire spin can never be
+  // preempted, no matter how small the quantum.
+  Runtime::Options options = SmallOptions();
+  options.worker_count = 1;
+  options.quantum_us = 0.2;
+  GuardedMutex app_mutex;
+  std::atomic<std::uint64_t> preempts_inside_lock{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView& view) {
+    if (view.request_class == 1) {
+      std::lock_guard<GuardedMutex> lock(app_mutex);
+      SpinWithProbesUs(500.0);
+    } else {
+      SpinWithProbesUs(2.0);
+    }
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  const std::uint64_t preempts_before = runtime.GetStats().preemptions;
+  runtime.Submit(0, 1, nullptr);
+  runtime.WaitIdle();
+  preempts_inside_lock = runtime.GetStats().preemptions - preempts_before;
+  runtime.Shutdown();
+  EXPECT_EQ(preempts_inside_lock.load(), 0u);
+}
+
+TEST(RuntimeTest, WorkConservingDispatcherCompletesRequests) {
+  Runtime::Options options = SmallOptions();
+  options.worker_count = 1;
+  options.jbsq_depth = 1;
+  options.work_conserving_dispatcher = true;
+  options.quantum_us = 100.0;
+  std::atomic<int> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) {
+    SpinWithProbesUs(200.0);
+    handled.fetch_add(1);
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  // Burst far beyond the single worker's queue: the dispatcher must steal.
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_EQ(handled.load(), 40);
+  const Runtime::Stats stats = runtime.GetStats();
+  EXPECT_GT(stats.dispatcher_completed, 0u);
+  EXPECT_EQ(stats.dispatcher_started, stats.dispatcher_completed);
+}
+
+TEST(RuntimeTest, PayloadRoundTrip) {
+  int payloads[8] = {};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView& view) {
+    *static_cast<int*>(view.payload) = static_cast<int>(view.id) + 100;
+  };
+  Runtime runtime(SmallOptions(), callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    runtime.Submit(i, 0, &payloads[i]);
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(payloads[i], i + 100);
+  }
+}
+
+TEST(RuntimeTest, StressManyShortRequests) {
+  Runtime::Options options = SmallOptions();
+  options.worker_count = 3;
+  options.work_conserving_dispatcher = true;
+  options.quantum_us = 5.0;
+  std::atomic<int> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) {
+    SpinWithProbesUs(1.0);
+    handled.fetch_add(1);
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_EQ(handled.load(), 5000);
+}
+
+}  // namespace
+}  // namespace concord

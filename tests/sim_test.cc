@@ -1,0 +1,144 @@
+// Tests for the discrete-event engine: ordering, ties, cancellation, bounds.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace concord {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(10.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(20.0, [&] { order.push_back(2); });
+  sim.RunUntil();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.NowNs(), 30.0);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntil();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(100.0, [&] {
+    sim.ScheduleAfter(50.0, [&] { fired_at = sim.NowNs(); });
+  });
+  sim.RunUntil();
+  EXPECT_DOUBLE_EQ(fired_at, 150.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(10.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.RunUntil();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelInvalidIdIsSafe) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(9999));
+}
+
+TEST(SimulatorTest, CancelFromWithinEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId victim = sim.ScheduleAt(20.0, [&] { fired = true; });
+  sim.ScheduleAt(10.0, [&] { sim.Cancel(victim); });
+  sim.RunUntil();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilRespectsBound) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(static_cast<double>(i) * 10.0, [&] { ++count; });
+  }
+  sim.RunUntil(45.0);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.pending_events(), 6u);
+  sim.RunUntil();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(1.0, [&] { ++count; });
+  sim.ScheduleAt(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleChains) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 1000) {
+      sim.ScheduleAfter(1.0, chain);
+    }
+  };
+  sim.ScheduleAt(0.0, chain);
+  sim.RunUntil();
+  EXPECT_EQ(depth, 1000);
+  EXPECT_DOUBLE_EQ(sim.NowNs(), 999.0);
+}
+
+TEST(SimulatorTest, ZeroDelayFiresInOrderAfterCurrent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(10.0, [&] {
+    order.push_back(1);
+    sim.ScheduleAfter(0.0, [&] { order.push_back(2); });
+  });
+  sim.ScheduleAt(10.0, [&] { order.push_back(3); });
+  sim.RunUntil();
+  // The same-time event scheduled earlier (3) runs before the zero-delay
+  // event scheduled later (2): insertion order breaks the tie.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  double last = -1.0;
+  bool ordered = true;
+  for (int i = 0; i < 50000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 10007);
+    sim.ScheduleAt(t, [&, t] {
+      if (t < last) {
+        ordered = false;
+      }
+      last = t;
+    });
+  }
+  sim.RunUntil();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sim.executed_events(), 50000u);
+}
+
+}  // namespace
+}  // namespace concord

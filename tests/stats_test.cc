@@ -1,0 +1,302 @@
+// Unit and property tests for src/stats: histogram quantile error bounds,
+// summary statistics, slowdown tracking, table formatting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/stats/histogram.h"
+#include "src/stats/slowdown.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+namespace concord {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramReturnsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1234.5);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Min(), 1234.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 1234.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1234.5);
+  // Any quantile of a single sample is (up to bucket width) that sample.
+  EXPECT_NEAR(h.Quantile(0.5), 1234.5, 1234.5 / 128.0 + 1e-9);
+}
+
+TEST(HistogramTest, ExactMeanTracking) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+}
+
+TEST(HistogramTest, QuantilesMonotonic) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.Exponential(1000.0));
+  }
+  double previous = 0.0;
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, previous) << "at q=" << q;
+    previous = value;
+  }
+  EXPECT_LE(h.Quantile(1.0), h.Max());
+  EXPECT_GE(h.Quantile(0.0), h.Min() - 1e-12);
+}
+
+TEST(HistogramTest, RecordManyEquivalentToRepeatedRecord) {
+  Histogram a;
+  Histogram b;
+  a.RecordMany(500.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    b.Record(500.0);
+  }
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), b.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  Rng rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.Exponential(100.0);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  // The sums accumulate in different orders, so allow float rounding.
+  EXPECT_NEAR(a.Mean(), combined.Mean(), combined.Mean() * 1e-9);
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(100.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.999), 0.0);
+}
+
+TEST(HistogramTest, ZeroAndSubUnitValues) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(0.25);
+  h.Record(0.75);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_LE(h.Quantile(0.34), 0.3);
+  EXPECT_GE(h.Quantile(1.0), 0.7);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Record(1e12);  // beyond the pre-sized range; must grow
+  h.Record(1.0);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_NEAR(h.Quantile(1.0), 1e12, 1e12 / 100.0);
+}
+
+// Property: quantile relative error is bounded by the bucket resolution for
+// several shapes of data.
+class HistogramAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramAccuracyTest, QuantileRelativeErrorBounded) {
+  const int shape = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shape) + 100);
+  std::vector<double> values;
+  Histogram h;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = 0.0;
+    switch (shape) {
+      case 0:
+        v = rng.Uniform(1.0, 1e6);
+        break;
+      case 1:
+        v = rng.Exponential(5000.0);
+        break;
+      case 2:
+        v = rng.LogNormal(8.0, 2.0);
+        break;
+      case 3:
+        v = rng.Bernoulli(0.995) ? 500.0 : 500000.0;  // bimodal like the paper
+        break;
+      default:
+        v = rng.Uniform(0.0, 2.0);  // stresses the sub-unit linear region
+        break;
+    }
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n))) - 1;
+    const double exact = values[rank];
+    const double approx = h.Quantile(q);
+    // 1/128 bucket resolution plus slack for rank-vs-edge conventions; the
+    // absolute floor covers the sub-unit linear region.
+    EXPECT_NEAR(approx, exact, std::max(exact * 0.02, 0.02))
+        << "shape=" << shape << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HistogramAccuracyTest, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(SummaryTest, KnownValues) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Record(v);
+  }
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(SummaryTest, MergeMatchesCombined) {
+  Summary a;
+  Summary b;
+  Summary combined;
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Normal(10.0, 3.0);
+    if (i < 3000) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_NEAR(a.Mean(), combined.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), combined.Variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+}
+
+TEST(SummaryTest, MergeIntoEmpty) {
+  Summary a;
+  Summary b;
+  b.Record(1.0);
+  b.Record(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SlowdownTrackerTest, ComputesRatio) {
+  SlowdownTracker t;
+  t.Record(/*residence=*/5000.0, /*service=*/1000.0);
+  EXPECT_EQ(t.Count(), 1u);
+  EXPECT_NEAR(t.MeanSlowdown(), 5.0, 0.05);
+}
+
+TEST(SlowdownTrackerTest, PerClassBreakdown) {
+  SlowdownTracker t;
+  for (int i = 0; i < 1000; ++i) {
+    t.Record(2000.0, 1000.0, /*request_class=*/0);  // slowdown 2
+    t.Record(50000.0, 1000.0, /*request_class=*/1);  // slowdown 50
+  }
+  EXPECT_NEAR(t.ClassQuantileSlowdown(0, 0.5), 2.0, 0.05);
+  EXPECT_NEAR(t.ClassQuantileSlowdown(1, 0.5), 50.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.ClassQuantileSlowdown(99, 0.5), 0.0);
+  // Overall median sits between the two class values.
+  const double overall = t.QuantileSlowdown(0.5);
+  EXPECT_GE(overall, 2.0 * 0.95);
+  EXPECT_LE(overall, 50.0 * 1.05);
+}
+
+TEST(SlowdownTrackerTest, TailDominatedByWorstClass) {
+  SlowdownTracker t;
+  Rng rng(37);
+  // 0.2% of requests are pathologically slow: solidly past the p99.9 rank.
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.998)) {
+      t.Record(1100.0, 1000.0, 0);
+    } else {
+      t.Record(100000.0, 1000.0, 1);
+    }
+  }
+  EXPECT_GT(t.P999Slowdown(), 50.0);
+  EXPECT_LT(t.QuantileSlowdown(0.99), 2.0);
+}
+
+TEST(SlowdownTrackerTest, LatencyQuantiles) {
+  SlowdownTracker t;
+  for (int i = 1; i <= 100; ++i) {
+    t.Record(static_cast<double>(i) * 100.0, 100.0);
+  }
+  EXPECT_NEAR(t.QuantileLatencyNs(0.5), 5000.0, 100.0);
+}
+
+TEST(TablePrinterTest, AlignedOutputContainsAllCells) {
+  TablePrinter table({"load", "p999"});
+  table.AddRow({"100", "3.5"});
+  table.AddRow({"200", "17.2"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("load"), std::string::npos);
+  EXPECT_NE(out.find("17.2"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.RowCount(), 2u);
+}
+
+TEST(TablePrinterTest, CsvFormat) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Percent(0.1234, 1), "12.3%");
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatch) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,115 @@
+// Parameterized property tests over every named workload: empirical moments
+// match the analytic ones, class frequencies match the mixture weights, and
+// traces survive generation -> rescale -> replay round trips.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "src/common/cycles.h"
+#include "src/common/rng.h"
+#include "src/stats/summary.h"
+#include "src/workload/trace.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+class WorkloadPropertyTest : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(WorkloadPropertyTest, EmpiricalMeanMatchesAnalytic) {
+  const WorkloadSpec spec = MakeWorkload(GetParam());
+  Rng rng(101);
+  Summary summary;
+  for (int i = 0; i < 400000; ++i) {
+    summary.Record(spec.distribution->Sample(rng).service_ns);
+  }
+  const double analytic = spec.distribution->MeanNs();
+  // Tolerance covers heavy-tailed mixtures: with 0.5%-probability 500us
+  // components, the sample mean's sigma is ~1.8% at this sample size.
+  EXPECT_NEAR(summary.Mean(), analytic, analytic * 0.06) << spec.name;
+}
+
+TEST_P(WorkloadPropertyTest, SampledClassesAreValidIndices) {
+  const WorkloadSpec spec = MakeWorkload(GetParam());
+  const auto class_count = static_cast<int>(spec.distribution->ClassNames().size());
+  Rng rng(102);
+  for (int i = 0; i < 50000; ++i) {
+    const ServiceSample sample = spec.distribution->Sample(rng);
+    ASSERT_GE(sample.request_class, 0);
+    ASSERT_LT(sample.request_class, class_count);
+    ASSERT_GT(sample.service_ns, 0.0);
+  }
+}
+
+TEST_P(WorkloadPropertyTest, ClassFrequenciesMatchMixtureWeights) {
+  const WorkloadSpec spec = MakeWorkload(GetParam());
+  const auto* mixture = dynamic_cast<const DiscreteMixtureDistribution*>(spec.distribution.get());
+  if (mixture == nullptr) {
+    GTEST_SKIP() << "not a discrete mixture";
+  }
+  Rng rng(103);
+  std::map<int, int> counts;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[spec.distribution->Sample(rng).request_class];
+  }
+  for (std::size_t c = 0; c < mixture->components().size(); ++c) {
+    const double expected = mixture->components()[c].probability;
+    const double observed =
+        static_cast<double>(counts[static_cast<int>(c)]) / static_cast<double>(n);
+    EXPECT_NEAR(observed, expected, 0.003 + expected * 0.05)
+        << spec.name << " class " << mixture->components()[c].name;
+  }
+}
+
+TEST_P(WorkloadPropertyTest, TraceRoundTripPreservesEverything) {
+  const WorkloadSpec spec = MakeWorkload(GetParam());
+  PoissonArrivals arrivals(5000.0);
+  Rng rng(104);
+  const Trace original = GenerateTrace(*spec.distribution, arrivals, 2000, rng);
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  Trace loaded;
+  ASSERT_TRUE(ReadTrace(buffer, &loaded)) << spec.name;
+  ASSERT_EQ(loaded.requests.size(), original.requests.size());
+  for (std::size_t i = 0; i < original.requests.size(); ++i) {
+    ASSERT_DOUBLE_EQ(loaded.requests[i].arrival_ns, original.requests[i].arrival_ns);
+    ASSERT_DOUBLE_EQ(loaded.requests[i].service_ns, original.requests[i].service_ns);
+    ASSERT_EQ(loaded.requests[i].request_class, original.requests[i].request_class);
+  }
+}
+
+TEST_P(WorkloadPropertyTest, RescalePreservesServiceTimesAndOrder) {
+  const WorkloadSpec spec = MakeWorkload(GetParam());
+  PoissonArrivals arrivals(2000.0);
+  Rng rng(105);
+  Trace trace = GenerateTrace(*spec.distribution, arrivals, 5000, rng);
+  const Trace before = trace;
+  RescaleTraceLoad(&trace, 42.0);
+  double previous = 0.0;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    ASSERT_DOUBLE_EQ(trace.requests[i].service_ns, before.requests[i].service_ns);
+    ASSERT_GE(trace.requests[i].arrival_ns, previous);
+    previous = trace.requests[i].arrival_ns;
+  }
+  const double achieved = static_cast<double>(trace.requests.size()) /
+                          (trace.DurationNs() / kNsPerSec) / 1000.0;
+  EXPECT_NEAR(achieved, 42.0, 1.0) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadPropertyTest,
+                         ::testing::ValuesIn(AllWorkloadIds()),
+                         [](const ::testing::TestParamInfo<WorkloadId>& param) {
+                           std::string name = MakeWorkload(param.param).name;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace concord

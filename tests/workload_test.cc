@@ -1,0 +1,298 @@
+// Tests for src/workload: distribution moments, the paper's named workloads,
+// arrival processes and trace round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/cycles.h"
+#include "src/common/rng.h"
+#include "src/stats/summary.h"
+#include "src/workload/arrival.h"
+#include "src/workload/distribution.h"
+#include "src/workload/trace.h"
+#include "src/workload/workload_factory.h"
+
+namespace concord {
+namespace {
+
+TEST(FixedDistributionTest, AlwaysSameValue) {
+  FixedDistribution d(UsToNs(1.0));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const ServiceSample s = d.Sample(rng);
+    EXPECT_DOUBLE_EQ(s.service_ns, 1000.0);
+    EXPECT_EQ(s.request_class, 0);
+  }
+  EXPECT_DOUBLE_EQ(d.MeanNs(), 1000.0);
+  EXPECT_DOUBLE_EQ(d.Dispersion(), 1.0);
+}
+
+TEST(ExponentialDistributionTest, EmpiricalMeanMatches) {
+  ExponentialDistribution d(5000.0);
+  Rng rng(2);
+  Summary s;
+  for (int i = 0; i < 300000; ++i) {
+    s.Record(d.Sample(rng).service_ns);
+  }
+  EXPECT_NEAR(s.Mean(), 5000.0, 50.0);
+  EXPECT_NEAR(s.StdDev(), 5000.0, 75.0);  // exponential: sigma == mean
+}
+
+TEST(LognormalDistributionTest, EmpiricalMeanMatchesTarget) {
+  LognormalDistribution d(10000.0, 1.5);
+  Rng rng(3);
+  Summary s;
+  for (int i = 0; i < 500000; ++i) {
+    s.Record(d.Sample(rng).service_ns);
+  }
+  EXPECT_NEAR(s.Mean(), 10000.0, 300.0);
+  EXPECT_DOUBLE_EQ(d.MeanNs(), 10000.0);
+}
+
+TEST(BimodalTest, PaperNotationYcsb) {
+  auto d = MakeBimodal(50, 1, 50, 100);
+  EXPECT_DOUBLE_EQ(d->MeanNs(), UsToNs(50.5));
+  EXPECT_DOUBLE_EQ(d->Dispersion(), 100.0);
+  const auto names = d->ClassNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "short");
+  EXPECT_EQ(names[1], "long");
+}
+
+TEST(BimodalTest, PaperNotationUsr) {
+  auto d = MakeBimodal(99.5, 0.5, 0.5, 500);
+  EXPECT_DOUBLE_EQ(d->MeanNs(), 0.995 * 500.0 + 0.005 * 500000.0);
+  EXPECT_DOUBLE_EQ(d->Dispersion(), 1000.0);
+}
+
+TEST(BimodalTest, EmpiricalClassProportions) {
+  auto d = MakeBimodal(99.5, 0.5, 0.5, 500);
+  Rng rng(4);
+  int longs = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const ServiceSample s = d->Sample(rng);
+    if (s.request_class == 1) {
+      ++longs;
+      EXPECT_DOUBLE_EQ(s.service_ns, UsToNs(500.0));
+    } else {
+      EXPECT_DOUBLE_EQ(s.service_ns, UsToNs(0.5));
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(longs) / n, 0.005, 0.0005);
+}
+
+TEST(DiscreteMixtureDeathTest, RejectsBadProbabilities) {
+  using Component = DiscreteMixtureDistribution::Component;
+  EXPECT_DEATH(DiscreteMixtureDistribution(std::vector<Component>{{"a", 0.5, 100.0}}),
+               "Check failed");
+}
+
+TEST(WorkloadFactoryTest, TpccMeanMatchesPaperMix) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kTpcc);
+  // 44% 5.7us + 4% 6us + 44% 20us + 4% 88us + 4% 100us = 19.068 us.
+  EXPECT_NEAR(spec.distribution->MeanNs(), UsToNs(19.068), 1.0);
+  EXPECT_EQ(spec.distribution->ClassNames().size(), 5u);
+}
+
+TEST(WorkloadFactoryTest, LevelDbGetScanMean) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbGetScan);
+  EXPECT_NEAR(spec.distribution->MeanNs(), UsToNs(250.3), 1.0);
+  EXPECT_DOUBLE_EQ(spec.distribution->Dispersion(), 500.0 / 0.6);
+}
+
+TEST(WorkloadFactoryTest, ZippyDbMixSumsToOne) {
+  const WorkloadSpec spec = MakeWorkload(WorkloadId::kLevelDbZippyDb);
+  // 0.78*0.6 + 0.13*2.3 + 0.06*2.3 + 0.03*500 = 15.905 us.
+  EXPECT_NEAR(spec.distribution->MeanNs(), UsToNs(15.905), 1.0);
+}
+
+TEST(WorkloadFactoryTest, AllWorkloadsConstructible) {
+  for (WorkloadId id : AllWorkloadIds()) {
+    const WorkloadSpec spec = MakeWorkload(id);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GT(spec.distribution->MeanNs(), 0.0);
+  }
+}
+
+TEST(WorkloadFactoryTest, ParseByName) {
+  WorkloadId id;
+  EXPECT_TRUE(ParseWorkloadName("tpcc", &id));
+  EXPECT_EQ(id, WorkloadId::kTpcc);
+  EXPECT_TRUE(ParseWorkloadName("bimodal-usr", &id));
+  EXPECT_EQ(id, WorkloadId::kBimodalUsr);
+  EXPECT_FALSE(ParseWorkloadName("nope", &id));
+}
+
+TEST(ArrivalTest, PoissonMeanGap) {
+  PoissonArrivals arrivals(1000.0);
+  Rng rng(5);
+  Summary s;
+  for (int i = 0; i < 300000; ++i) {
+    s.Record(arrivals.NextGapNs(rng));
+  }
+  EXPECT_NEAR(s.Mean(), 1000.0, 10.0);
+  EXPECT_DOUBLE_EQ(arrivals.MeanGapNs(), 1000.0);
+}
+
+TEST(ArrivalTest, UniformIsDeterministic) {
+  UniformArrivals arrivals(500.0);
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(arrivals.NextGapNs(rng), 500.0);
+  }
+}
+
+TEST(ArrivalTest, BurstyPreservesAverageRate) {
+  // ON gap of 100ns, 25% duty -> average gap 400ns.
+  BurstyArrivals arrivals(100.0, 0.25, 10000.0);
+  Rng rng(7);
+  double total = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    total += arrivals.NextGapNs(rng);
+  }
+  EXPECT_NEAR(total / n, 400.0, 20.0);
+  EXPECT_DOUBLE_EQ(arrivals.MeanGapNs(), 400.0);
+}
+
+TEST(ArrivalTest, BurstyIsBurstierThanPoisson) {
+  BurstyArrivals bursty(100.0, 0.25, 10000.0);
+  PoissonArrivals poisson(400.0);
+  Rng rng_a(8);
+  Rng rng_b(8);
+  Summary gap_bursty;
+  Summary gap_poisson;
+  for (int i = 0; i < 200000; ++i) {
+    gap_bursty.Record(bursty.NextGapNs(rng_a));
+    gap_poisson.Record(poisson.NextGapNs(rng_b));
+  }
+  // Coefficient of variation of an IPP exceeds Poisson's 1.0.
+  EXPECT_GT(gap_bursty.StdDev() / gap_bursty.Mean(),
+            gap_poisson.StdDev() / gap_poisson.Mean());
+}
+
+TEST(TraceTest, GenerateHasMonotoneArrivals) {
+  auto dist = MakeBimodal(50, 1, 50, 100);
+  PoissonArrivals arrivals(1000.0);
+  Rng rng(9);
+  const Trace trace = GenerateTrace(*dist, arrivals, 10000, rng);
+  ASSERT_EQ(trace.requests.size(), 10000u);
+  double previous = 0.0;
+  for (const Request& r : trace.requests) {
+    EXPECT_GE(r.arrival_ns, previous);
+    previous = r.arrival_ns;
+    EXPECT_GT(r.service_ns, 0.0);
+  }
+  EXPECT_EQ(trace.class_names.size(), 2u);
+}
+
+TEST(TraceTest, WriteReadRoundTrip) {
+  auto dist = MakeBimodal(90, 1, 10, 50);
+  PoissonArrivals arrivals(2000.0);
+  Rng rng(10);
+  const Trace original = GenerateTrace(*dist, arrivals, 500, rng);
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  Trace loaded;
+  ASSERT_TRUE(ReadTrace(buffer, &loaded));
+  ASSERT_EQ(loaded.requests.size(), original.requests.size());
+  EXPECT_EQ(loaded.class_names, original.class_names);
+  for (std::size_t i = 0; i < original.requests.size(); ++i) {
+    EXPECT_NEAR(loaded.requests[i].arrival_ns, original.requests[i].arrival_ns, 1e-3);
+    EXPECT_NEAR(loaded.requests[i].service_ns, original.requests[i].service_ns, 1e-3);
+    EXPECT_EQ(loaded.requests[i].request_class, original.requests[i].request_class);
+  }
+}
+
+TEST(TraceTest, ReadRejectsMalformedHeader) {
+  std::istringstream bad("not a trace\n1 0 100\n");
+  Trace out;
+  EXPECT_FALSE(ReadTrace(bad, &out));
+}
+
+TEST(TraceTest, ReadRejectsOutOfOrderArrivals) {
+  std::istringstream bad("# classes: a\n100 0 10\n50 0 10\n");
+  Trace out;
+  EXPECT_FALSE(ReadTrace(bad, &out));
+}
+
+TEST(TraceTest, ReadRejectsUnknownClass) {
+  std::istringstream bad("# classes: a\n100 3 10\n");
+  Trace out;
+  EXPECT_FALSE(ReadTrace(bad, &out));
+}
+
+TEST(WeibullDistributionTest, EmpiricalMeanMatchesTarget) {
+  WeibullDistribution d(2000.0, 0.5);  // heavy-ish tail
+  Rng rng(41);
+  Summary s;
+  for (int i = 0; i < 500000; ++i) {
+    s.Record(d.Sample(rng).service_ns);
+  }
+  EXPECT_NEAR(s.Mean(), 2000.0, 60.0);
+  EXPECT_DOUBLE_EQ(d.MeanNs(), 2000.0);
+}
+
+TEST(WeibullDistributionTest, ShapeOneIsExponential) {
+  WeibullDistribution weibull(1000.0, 1.0);
+  Rng rng(42);
+  Summary s;
+  for (int i = 0; i < 300000; ++i) {
+    s.Record(weibull.Sample(rng).service_ns);
+  }
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.StdDev(), s.Mean(), s.Mean() * 0.02);
+}
+
+TEST(WeibullDistributionTest, SmallerShapeHasHeavierTail) {
+  EXPECT_GT(WeibullDistribution(1000.0, 0.5).Dispersion(),
+            WeibullDistribution(1000.0, 2.0).Dispersion());
+}
+
+TEST(BoundedParetoTest, SamplesStayInRange) {
+  BoundedParetoDistribution d(500.0, 500000.0, 1.2);
+  Rng rng(43);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = d.Sample(rng).service_ns;
+    ASSERT_GE(x, 500.0);
+    ASSERT_LE(x, 500000.0);
+  }
+  EXPECT_DOUBLE_EQ(d.Dispersion(), 1000.0);
+}
+
+TEST(BoundedParetoTest, EmpiricalMeanMatchesFormula) {
+  BoundedParetoDistribution d(500.0, 500000.0, 1.5);
+  Rng rng(44);
+  Summary s;
+  for (int i = 0; i < 1000000; ++i) {
+    s.Record(d.Sample(rng).service_ns);
+  }
+  EXPECT_NEAR(s.Mean(), d.MeanNs(), d.MeanNs() * 0.03);
+}
+
+TEST(BoundedParetoTest, AlphaOneSpecialCase) {
+  BoundedParetoDistribution d(100.0, 10000.0, 1.0);
+  Rng rng(45);
+  Summary s;
+  for (int i = 0; i < 500000; ++i) {
+    s.Record(d.Sample(rng).service_ns);
+  }
+  EXPECT_NEAR(s.Mean(), d.MeanNs(), d.MeanNs() * 0.03);
+}
+
+TEST(TraceTest, RescaleHitsTargetLoad) {
+  auto dist = std::make_unique<FixedDistribution>(1000.0);
+  PoissonArrivals arrivals(5000.0);  // 200 kRps originally
+  Rng rng(11);
+  Trace trace = GenerateTrace(*dist, arrivals, 20000, rng);
+  RescaleTraceLoad(&trace, 50.0);  // retarget to 50 kRps
+  const double achieved_krps = static_cast<double>(trace.requests.size()) /
+                               (trace.DurationNs() / kNsPerSec) / 1000.0;
+  EXPECT_NEAR(achieved_krps, 50.0, 0.5);
+}
+
+}  // namespace
+}  // namespace concord
