@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jbsq_depth.dir/ablation_jbsq_depth.cc.o"
+  "CMakeFiles/ablation_jbsq_depth.dir/ablation_jbsq_depth.cc.o.d"
+  "ablation_jbsq_depth"
+  "ablation_jbsq_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jbsq_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

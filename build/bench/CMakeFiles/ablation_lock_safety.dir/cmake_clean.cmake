@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_safety.dir/ablation_lock_safety.cc.o"
+  "CMakeFiles/ablation_lock_safety.dir/ablation_lock_safety.cc.o.d"
+  "ablation_lock_safety"
+  "ablation_lock_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_logical_queue.dir/ablation_logical_queue.cc.o"
+  "CMakeFiles/ablation_logical_queue.dir/ablation_logical_queue.cc.o.d"
+  "ablation_logical_queue"
+  "ablation_logical_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_logical_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_bench_common.dir/figure_common.cc.o"
+  "CMakeFiles/concord_bench_common.dir/figure_common.cc.o.d"
+  "libconcord_bench_common.a"
+  "libconcord_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

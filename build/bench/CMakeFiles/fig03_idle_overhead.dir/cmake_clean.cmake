@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_idle_overhead.dir/fig03_idle_overhead.cc.o"
+  "CMakeFiles/fig03_idle_overhead.dir/fig03_idle_overhead.cc.o.d"
+  "fig03_idle_overhead"
+  "fig03_idle_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_idle_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

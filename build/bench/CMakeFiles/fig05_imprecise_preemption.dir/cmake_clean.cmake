@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_imprecise_preemption.dir/fig05_imprecise_preemption.cc.o"
+  "CMakeFiles/fig05_imprecise_preemption.dir/fig05_imprecise_preemption.cc.o.d"
+  "fig05_imprecise_preemption"
+  "fig05_imprecise_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_imprecise_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

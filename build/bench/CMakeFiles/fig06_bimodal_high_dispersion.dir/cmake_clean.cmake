@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bimodal_high_dispersion.dir/fig06_bimodal_high_dispersion.cc.o"
+  "CMakeFiles/fig06_bimodal_high_dispersion.dir/fig06_bimodal_high_dispersion.cc.o.d"
+  "fig06_bimodal_high_dispersion"
+  "fig06_bimodal_high_dispersion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bimodal_high_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

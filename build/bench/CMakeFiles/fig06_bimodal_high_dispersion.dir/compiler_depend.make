@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_bimodal_high_dispersion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bimodal_heavy_tail.dir/fig07_bimodal_heavy_tail.cc.o"
+  "CMakeFiles/fig07_bimodal_heavy_tail.dir/fig07_bimodal_heavy_tail.cc.o.d"
+  "fig07_bimodal_heavy_tail"
+  "fig07_bimodal_heavy_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bimodal_heavy_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_low_dispersion.dir/fig08_low_dispersion.cc.o"
+  "CMakeFiles/fig08_low_dispersion.dir/fig08_low_dispersion.cc.o.d"
+  "fig08_low_dispersion"
+  "fig08_low_dispersion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_low_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

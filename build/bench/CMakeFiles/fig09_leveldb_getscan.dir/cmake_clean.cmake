@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_leveldb_getscan.dir/fig09_leveldb_getscan.cc.o"
+  "CMakeFiles/fig09_leveldb_getscan.dir/fig09_leveldb_getscan.cc.o.d"
+  "fig09_leveldb_getscan"
+  "fig09_leveldb_getscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_leveldb_getscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_leveldb_zippydb.dir/fig10_leveldb_zippydb.cc.o"
+  "CMakeFiles/fig10_leveldb_zippydb.dir/fig10_leveldb_zippydb.cc.o.d"
+  "fig10_leveldb_zippydb"
+  "fig10_leveldb_zippydb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_leveldb_zippydb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

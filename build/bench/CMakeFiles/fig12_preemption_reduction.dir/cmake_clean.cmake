@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_preemption_reduction.dir/fig12_preemption_reduction.cc.o"
+  "CMakeFiles/fig12_preemption_reduction.dir/fig12_preemption_reduction.cc.o.d"
+  "fig12_preemption_reduction"
+  "fig12_preemption_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_preemption_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

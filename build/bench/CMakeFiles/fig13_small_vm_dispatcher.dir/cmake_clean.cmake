@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_small_vm_dispatcher.dir/fig13_small_vm_dispatcher.cc.o"
+  "CMakeFiles/fig13_small_vm_dispatcher.dir/fig13_small_vm_dispatcher.cc.o.d"
+  "fig13_small_vm_dispatcher"
+  "fig13_small_vm_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_small_vm_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

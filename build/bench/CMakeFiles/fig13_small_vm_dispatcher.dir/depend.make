@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_small_vm_dispatcher.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_low_load_drawback.dir/fig14_low_load_drawback.cc.o"
+  "CMakeFiles/fig14_low_load_drawback.dir/fig14_low_load_drawback.cc.o.d"
+  "fig14_low_load_drawback"
+  "fig14_low_load_drawback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_low_load_drawback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_low_load_drawback.
+# This may be replaced when dependencies are built.

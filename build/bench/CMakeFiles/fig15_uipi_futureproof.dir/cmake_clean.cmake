@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_uipi_futureproof.dir/fig15_uipi_futureproof.cc.o"
+  "CMakeFiles/fig15_uipi_futureproof.dir/fig15_uipi_futureproof.cc.o.d"
+  "fig15_uipi_futureproof"
+  "fig15_uipi_futureproof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_uipi_futureproof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

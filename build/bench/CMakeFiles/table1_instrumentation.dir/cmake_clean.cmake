@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_instrumentation.dir/table1_instrumentation.cc.o"
+  "CMakeFiles/table1_instrumentation.dir/table1_instrumentation.cc.o.d"
+  "table1_instrumentation"
+  "table1_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpt_extension.dir/srpt_extension.cpp.o"
+  "CMakeFiles/srpt_extension.dir/srpt_extension.cpp.o.d"
+  "srpt_extension"
+  "srpt_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpt_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

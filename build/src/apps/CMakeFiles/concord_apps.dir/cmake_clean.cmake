@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_apps.dir/kernels.cc.o"
+  "CMakeFiles/concord_apps.dir/kernels.cc.o.d"
+  "CMakeFiles/concord_apps.dir/synthetic.cc.o"
+  "CMakeFiles/concord_apps.dir/synthetic.cc.o.d"
+  "libconcord_apps.a"
+  "libconcord_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

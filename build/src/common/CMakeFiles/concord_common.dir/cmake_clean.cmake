@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_common.dir/cpu.cc.o"
+  "CMakeFiles/concord_common.dir/cpu.cc.o.d"
+  "CMakeFiles/concord_common.dir/logging.cc.o"
+  "CMakeFiles/concord_common.dir/logging.cc.o.d"
+  "libconcord_common.a"
+  "libconcord_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

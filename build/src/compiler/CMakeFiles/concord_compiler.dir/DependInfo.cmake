@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/instrumentation_model.cc" "src/compiler/CMakeFiles/concord_compiler.dir/instrumentation_model.cc.o" "gcc" "src/compiler/CMakeFiles/concord_compiler.dir/instrumentation_model.cc.o.d"
+  "/root/repo/src/compiler/ir.cc" "src/compiler/CMakeFiles/concord_compiler.dir/ir.cc.o" "gcc" "src/compiler/CMakeFiles/concord_compiler.dir/ir.cc.o.d"
+  "/root/repo/src/compiler/probe_placement.cc" "src/compiler/CMakeFiles/concord_compiler.dir/probe_placement.cc.o" "gcc" "src/compiler/CMakeFiles/concord_compiler.dir/probe_placement.cc.o.d"
+  "/root/repo/src/compiler/programs.cc" "src/compiler/CMakeFiles/concord_compiler.dir/programs.cc.o" "gcc" "src/compiler/CMakeFiles/concord_compiler.dir/programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/concord_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/concord_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_compiler.dir/instrumentation_model.cc.o"
+  "CMakeFiles/concord_compiler.dir/instrumentation_model.cc.o.d"
+  "CMakeFiles/concord_compiler.dir/ir.cc.o"
+  "CMakeFiles/concord_compiler.dir/ir.cc.o.d"
+  "CMakeFiles/concord_compiler.dir/probe_placement.cc.o"
+  "CMakeFiles/concord_compiler.dir/probe_placement.cc.o.d"
+  "CMakeFiles/concord_compiler.dir/programs.cc.o"
+  "CMakeFiles/concord_compiler.dir/programs.cc.o.d"
+  "libconcord_compiler.a"
+  "libconcord_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/arena.cc" "src/kvstore/CMakeFiles/concord_kvstore.dir/arena.cc.o" "gcc" "src/kvstore/CMakeFiles/concord_kvstore.dir/arena.cc.o.d"
+  "/root/repo/src/kvstore/db.cc" "src/kvstore/CMakeFiles/concord_kvstore.dir/db.cc.o" "gcc" "src/kvstore/CMakeFiles/concord_kvstore.dir/db.cc.o.d"
+  "/root/repo/src/kvstore/memtable.cc" "src/kvstore/CMakeFiles/concord_kvstore.dir/memtable.cc.o" "gcc" "src/kvstore/CMakeFiles/concord_kvstore.dir/memtable.cc.o.d"
+  "/root/repo/src/kvstore/plain_table.cc" "src/kvstore/CMakeFiles/concord_kvstore.dir/plain_table.cc.o" "gcc" "src/kvstore/CMakeFiles/concord_kvstore.dir/plain_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/concord_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/concord_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

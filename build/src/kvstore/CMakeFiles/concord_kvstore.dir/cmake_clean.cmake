@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_kvstore.dir/arena.cc.o"
+  "CMakeFiles/concord_kvstore.dir/arena.cc.o.d"
+  "CMakeFiles/concord_kvstore.dir/db.cc.o"
+  "CMakeFiles/concord_kvstore.dir/db.cc.o.d"
+  "CMakeFiles/concord_kvstore.dir/memtable.cc.o"
+  "CMakeFiles/concord_kvstore.dir/memtable.cc.o.d"
+  "CMakeFiles/concord_kvstore.dir/plain_table.cc.o"
+  "CMakeFiles/concord_kvstore.dir/plain_table.cc.o.d"
+  "libconcord_kvstore.a"
+  "libconcord_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadgen/loadgen.cc" "src/loadgen/CMakeFiles/concord_loadgen.dir/loadgen.cc.o" "gcc" "src/loadgen/CMakeFiles/concord_loadgen.dir/loadgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/concord_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/concord_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/concord_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/concord_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/concord_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_loadgen.dir/loadgen.cc.o"
+  "CMakeFiles/concord_loadgen.dir/loadgen.cc.o.d"
+  "libconcord_loadgen.a"
+  "libconcord_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/costs.cc" "src/model/CMakeFiles/concord_model.dir/costs.cc.o" "gcc" "src/model/CMakeFiles/concord_model.dir/costs.cc.o.d"
+  "/root/repo/src/model/experiment.cc" "src/model/CMakeFiles/concord_model.dir/experiment.cc.o" "gcc" "src/model/CMakeFiles/concord_model.dir/experiment.cc.o.d"
+  "/root/repo/src/model/overhead_model.cc" "src/model/CMakeFiles/concord_model.dir/overhead_model.cc.o" "gcc" "src/model/CMakeFiles/concord_model.dir/overhead_model.cc.o.d"
+  "/root/repo/src/model/replication.cc" "src/model/CMakeFiles/concord_model.dir/replication.cc.o" "gcc" "src/model/CMakeFiles/concord_model.dir/replication.cc.o.d"
+  "/root/repo/src/model/server_model.cc" "src/model/CMakeFiles/concord_model.dir/server_model.cc.o" "gcc" "src/model/CMakeFiles/concord_model.dir/server_model.cc.o.d"
+  "/root/repo/src/model/systems.cc" "src/model/CMakeFiles/concord_model.dir/systems.cc.o" "gcc" "src/model/CMakeFiles/concord_model.dir/systems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/concord_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/concord_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/concord_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/concord_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

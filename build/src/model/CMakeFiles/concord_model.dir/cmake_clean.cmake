@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_model.dir/costs.cc.o"
+  "CMakeFiles/concord_model.dir/costs.cc.o.d"
+  "CMakeFiles/concord_model.dir/experiment.cc.o"
+  "CMakeFiles/concord_model.dir/experiment.cc.o.d"
+  "CMakeFiles/concord_model.dir/overhead_model.cc.o"
+  "CMakeFiles/concord_model.dir/overhead_model.cc.o.d"
+  "CMakeFiles/concord_model.dir/replication.cc.o"
+  "CMakeFiles/concord_model.dir/replication.cc.o.d"
+  "CMakeFiles/concord_model.dir/server_model.cc.o"
+  "CMakeFiles/concord_model.dir/server_model.cc.o.d"
+  "CMakeFiles/concord_model.dir/systems.cc.o"
+  "CMakeFiles/concord_model.dir/systems.cc.o.d"
+  "libconcord_model.a"
+  "libconcord_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_instrument.dir/probe.cc.o"
+  "CMakeFiles/concord_instrument.dir/probe.cc.o.d"
+  "libconcord_instrument.a"
+  "libconcord_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

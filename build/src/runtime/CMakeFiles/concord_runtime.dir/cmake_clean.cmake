@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_runtime.dir/context.cc.o"
+  "CMakeFiles/concord_runtime.dir/context.cc.o.d"
+  "CMakeFiles/concord_runtime.dir/runtime.cc.o"
+  "CMakeFiles/concord_runtime.dir/runtime.cc.o.d"
+  "libconcord_runtime.a"
+  "libconcord_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_sim.dir/simulator.cc.o"
+  "CMakeFiles/concord_sim.dir/simulator.cc.o.d"
+  "libconcord_sim.a"
+  "libconcord_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_stats.dir/histogram.cc.o"
+  "CMakeFiles/concord_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/concord_stats.dir/table.cc.o"
+  "CMakeFiles/concord_stats.dir/table.cc.o.d"
+  "libconcord_stats.a"
+  "libconcord_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_workload.dir/distribution.cc.o"
+  "CMakeFiles/concord_workload.dir/distribution.cc.o.d"
+  "CMakeFiles/concord_workload.dir/trace.cc.o"
+  "CMakeFiles/concord_workload.dir/trace.cc.o.d"
+  "CMakeFiles/concord_workload.dir/workload_factory.cc.o"
+  "CMakeFiles/concord_workload.dir/workload_factory.cc.o.d"
+  "libconcord_workload.a"
+  "libconcord_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

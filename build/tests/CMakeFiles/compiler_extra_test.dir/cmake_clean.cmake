@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_extra_test.dir/compiler_extra_test.cc.o"
+  "CMakeFiles/compiler_extra_test.dir/compiler_extra_test.cc.o.d"
+  "compiler_extra_test"
+  "compiler_extra_test.pdb"
+  "compiler_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

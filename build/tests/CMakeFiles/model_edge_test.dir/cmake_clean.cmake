@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_edge_test.dir/model_edge_test.cc.o"
+  "CMakeFiles/model_edge_test.dir/model_edge_test.cc.o.d"
+  "model_edge_test"
+  "model_edge_test.pdb"
+  "model_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

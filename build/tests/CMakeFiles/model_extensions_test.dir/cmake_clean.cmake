@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_extensions_test.dir/model_extensions_test.cc.o"
+  "CMakeFiles/model_extensions_test.dir/model_extensions_test.cc.o.d"
+  "model_extensions_test"
+  "model_extensions_test.pdb"
+  "model_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
