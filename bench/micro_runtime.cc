@@ -29,6 +29,7 @@ void BM_SubmitCompleteRoundTrip(benchmark::State& state) {
   Runtime runtime(options, callbacks);
   runtime.Start();
   std::uint64_t id = 0;
+  // Driver loop on the bench thread, not handler code. concord-lint: allow-no-probe
   for (auto _ : state) {
     const std::uint64_t target = completed.load(std::memory_order_acquire) + 1;
     while (!runtime.Submit(id++, 0, nullptr)) {
@@ -53,6 +54,7 @@ void BM_PipelinedThroughput(benchmark::State& state) {
   Runtime runtime(options, callbacks);
   runtime.Start();
   std::uint64_t id = 0;
+  // Driver loop on the bench thread, not handler code. concord-lint: allow-no-probe
   for (auto _ : state) {
     while (!runtime.Submit(id, 0, nullptr)) {
       std::this_thread::yield();

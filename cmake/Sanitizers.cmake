@@ -1,0 +1,46 @@
+# Sanitizer toolchain plumbing.
+#
+# Usage:
+#   cmake -B build-asan -S . -DCONCORD_SANITIZE=address,undefined
+#   cmake -B build-tsan -S . -DCONCORD_SANITIZE=thread
+#
+# The flags apply to every target in the tree (libraries, tests, benches,
+# tools) so instrumented and un-instrumented objects are never mixed, which
+# is exactly the mismatch that produces bogus sanitizer reports.
+#
+# src/runtime/context.cc keys fiber-switch annotations off the compiler's
+# __SANITIZE_ADDRESS__ / __SANITIZE_THREAD__ (or __has_feature) macros, so no
+# extra defines are needed here.
+
+set(CONCORD_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to build with: address, undefined, leak, thread")
+
+if(NOT CONCORD_SANITIZE)
+  return()
+endif()
+
+string(REPLACE "," ";" _concord_san_list "${CONCORD_SANITIZE}")
+
+set(_concord_san_known address undefined leak thread)
+foreach(_san IN LISTS _concord_san_list)
+  if(NOT _san IN_LIST _concord_san_known)
+    message(FATAL_ERROR "CONCORD_SANITIZE=${CONCORD_SANITIZE}: unknown sanitizer '${_san}' "
+                        "(known: ${_concord_san_known})")
+  endif()
+endforeach()
+
+if("thread" IN_LIST _concord_san_list AND
+   ("address" IN_LIST _concord_san_list OR "leak" IN_LIST _concord_san_list))
+  message(FATAL_ERROR "thread sanitizer cannot be combined with address/leak")
+endif()
+
+string(REPLACE ";" "," _concord_san_flag "${_concord_san_list}")
+message(STATUS "Building with -fsanitize=${_concord_san_flag}")
+
+add_compile_options(
+  -fsanitize=${_concord_san_flag}
+  -fno-omit-frame-pointer
+  -fno-sanitize-recover=all
+  -g
+)
+add_link_options(-fsanitize=${_concord_san_flag})

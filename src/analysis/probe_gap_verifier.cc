@@ -1,0 +1,377 @@
+#include "src/analysis/probe_gap_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+// Interval summary of an IR fragment. Composition over these summaries is
+// exact for the branch-free miniature IR: every probe-to-probe interval in
+// any execution of the fragment is accounted for either as an interior
+// interval or as part of the prefix/suffix that neighbouring fragments close.
+struct Summary {
+  bool has_probe = false;
+
+  // Time from fragment entry to its first probe. Equal to total_ns when the
+  // fragment contains no probe.
+  double prefix_ns = 0.0;
+  std::string prefix_path;
+
+  // Time from the fragment's last probe to its exit (== total_ns when no
+  // probe).
+  double suffix_ns = 0.0;
+  std::string suffix_path;
+
+  double total_ns = 0.0;
+
+  // Longest intervals strictly inside the fragment (closed by probes on both
+  // sides), split by kind: instrumented code vs. a single opaque callee.
+  double worst_instrumented_ns = 0.0;
+  std::string worst_instrumented_path;
+  double worst_opaque_ns = 0.0;
+  std::string worst_opaque_path;
+};
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  // Cap provenance strings: the bound matters, the path is a hint.
+  if (a.size() + b.size() > 160) {
+    return a.size() >= b.size() ? a : b;
+  }
+  return a + " + " + b;
+}
+
+void RaiseInstrumented(Summary* s, double ns, const std::string& path) {
+  if (ns > s->worst_instrumented_ns) {
+    s->worst_instrumented_ns = ns;
+    s->worst_instrumented_path = path;
+  }
+}
+
+void RaiseOpaque(Summary* s, double ns, const std::string& path) {
+  if (ns > s->worst_opaque_ns) {
+    s->worst_opaque_ns = ns;
+    s->worst_opaque_path = path;
+  }
+}
+
+Summary Compose(const Summary& a, const Summary& b) {
+  Summary out;
+  out.total_ns = a.total_ns + b.total_ns;
+  out.worst_instrumented_ns = a.worst_instrumented_ns;
+  out.worst_instrumented_path = a.worst_instrumented_path;
+  out.worst_opaque_ns = a.worst_opaque_ns;
+  out.worst_opaque_path = a.worst_opaque_path;
+  RaiseInstrumented(&out, b.worst_instrumented_ns, b.worst_instrumented_path);
+  RaiseOpaque(&out, b.worst_opaque_ns, b.worst_opaque_path);
+
+  if (!a.has_probe && !b.has_probe) {
+    out.has_probe = false;
+    out.prefix_ns = out.suffix_ns = out.total_ns;
+    out.prefix_path = out.suffix_path = JoinPath(a.prefix_path, b.prefix_path);
+    return out;
+  }
+  out.has_probe = true;
+  if (a.has_probe && b.has_probe) {
+    out.prefix_ns = a.prefix_ns;
+    out.prefix_path = a.prefix_path;
+    out.suffix_ns = b.suffix_ns;
+    out.suffix_path = b.suffix_path;
+    // The interval bridging the seam is closed by a's last probe and b's
+    // first probe. Opaque callees are probe-bracketed on both sides, so any
+    // bridging interval is pure instrumented code.
+    RaiseInstrumented(&out, a.suffix_ns + b.prefix_ns,
+                      JoinPath(a.suffix_path, b.prefix_path));
+  } else if (a.has_probe) {
+    out.prefix_ns = a.prefix_ns;
+    out.prefix_path = a.prefix_path;
+    out.suffix_ns = a.suffix_ns + b.total_ns;
+    out.suffix_path = JoinPath(a.suffix_path, b.prefix_path);
+  } else {
+    out.prefix_ns = a.total_ns + b.prefix_ns;
+    out.prefix_path = JoinPath(a.prefix_path, b.prefix_path);
+    out.suffix_ns = b.suffix_ns;
+    out.suffix_path = b.suffix_path;
+  }
+  return out;
+}
+
+Summary ProbePoint() {
+  Summary s;
+  s.has_probe = true;
+  return s;
+}
+
+std::string FormatNs(double ns) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << ns << "ns";
+  return os.str();
+}
+
+class Verifier {
+ public:
+  Verifier(const PlacementConfig& config, double ipc) : config_(config), ipc_(ipc) {
+    CONCORD_CHECK(ipc_ > 0.0) << "ipc must be positive";
+    CONCORD_CHECK(config_.ghz > 0.0) << "clock must be positive";
+  }
+
+  Summary SummarizeSequence(const std::vector<IrNode>& nodes) const {
+    Summary acc;  // empty fragment: no probe, zero time
+    for (const IrNode& node : nodes) {
+      acc = Compose(acc, SummarizeNode(node));
+    }
+    return acc;
+  }
+
+ private:
+  Summary SummarizeNode(const IrNode& node) const {
+    switch (node.kind) {
+      case IrNode::Kind::kStraight:
+        return SummarizeStraight(node);
+      case IrNode::Kind::kLoop:
+        return SummarizeLoop(node);
+      case IrNode::Kind::kCall:
+        return SummarizeCall(node);
+    }
+    CONCORD_CHECK(false) << "unknown IR node kind";
+    return Summary{};
+  }
+
+  Summary SummarizeStraight(const IrNode& node) const {
+    Summary s;
+    s.total_ns = InstructionsToNs(node.instructions);
+    s.prefix_ns = s.suffix_ns = s.total_ns;
+    if (s.total_ns > 0.0) {
+      std::ostringstream os;
+      os << "straight run of " << node.instructions << " instr (" << FormatNs(s.total_ns) << ")";
+      s.prefix_path = s.suffix_path = os.str();
+    }
+    return s;
+  }
+
+  Summary SummarizeCall(const IrNode& node) const {
+    if (node.callee_instrumented) {
+      // Rule 1: probe at the callee's entry; the callee body is modeled
+      // inline by the caller.
+      return ProbePoint();
+    }
+    // Rule 2: probes before and after; the callee runs opaquely in between.
+    Summary s;
+    s.has_probe = true;
+    s.total_ns = node.callee_ns;
+    s.prefix_ns = 0.0;
+    s.suffix_ns = 0.0;
+    std::ostringstream os;
+    os << "un-instrumented call (" << FormatNs(node.callee_ns) << ")";
+    RaiseOpaque(&s, node.callee_ns, os.str());
+    return s;
+  }
+
+  Summary SummarizeLoop(const IrNode& loop) const {
+    if (loop.trip_count <= 0) {
+      return Summary{};  // zero-trip loop: contributes nothing
+    }
+    // Mirror the placement pass exactly (probe_placement.cc): bodies without
+    // probes below the instruction threshold are unrolled, capped by
+    // max_unroll_factor; the back-edge probe then fires once per
+    // super-iteration.
+    const std::int64_t body_instr =
+        std::max<std::int64_t>(DynamicInstructions(loop.children), 1);
+    const bool body_has_probes = SequenceHasProbes(loop.children);
+    std::int64_t unroll = 1;
+    bool saturated = false;
+    if (!body_has_probes && body_instr < config_.min_loop_body_instructions) {
+      const std::int64_t wanted =
+          (config_.min_loop_body_instructions + body_instr - 1) / body_instr;
+      unroll = std::min(wanted, config_.max_unroll_factor);
+      saturated = wanted > config_.max_unroll_factor;
+    }
+    const std::int64_t super_iterations = (loop.trip_count + unroll - 1) / unroll;
+
+    Summary body = SummarizeSequence(loop.children);
+    if (!body_has_probes && unroll > 1) {
+      CONCORD_CHECK(!body.has_probe) << "probe-free body must summarize probe-free";
+      Summary unrolled;
+      unrolled.total_ns = body.total_ns * static_cast<double>(unroll);
+      unrolled.prefix_ns = unrolled.suffix_ns = unrolled.total_ns;
+      std::ostringstream os;
+      os << "loop body x" << unroll << " unrolled copies (" << body_instr << " instr each, "
+         << FormatNs(unrolled.total_ns) << (saturated ? ", unroll saturated)" : ")");
+      unrolled.prefix_path = unrolled.suffix_path = os.str();
+      body = unrolled;
+    }
+
+    const std::int64_t n = super_iterations;
+    if (n == 1) {
+      return body;
+    }
+    Summary out;
+    out.total_ns = body.total_ns * static_cast<double>(n);
+    out.worst_instrumented_ns = body.worst_instrumented_ns;
+    out.worst_instrumented_path = body.worst_instrumented_path;
+    out.worst_opaque_ns = body.worst_opaque_ns;
+    out.worst_opaque_path = body.worst_opaque_path;
+    out.has_probe = true;  // n >= 2 executes at least one back-edge probe
+    if (!body.has_probe) {
+      // Back-edge probes are the only probes: they separate consecutive
+      // super-iterations, so each full super-iteration between two of them
+      // is an interior interval (needs n >= 3 to exist).
+      out.prefix_ns = body.total_ns;
+      out.prefix_path = body.prefix_path;
+      out.suffix_ns = body.total_ns;
+      out.suffix_path = body.suffix_path;
+      if (n >= 3) {
+        RaiseInstrumented(&out, body.total_ns, body.prefix_path);
+      }
+      return out;
+    }
+    // Probes inside the body: the back-edge probe closes each iteration's
+    // suffix and opens the next iteration's prefix.
+    out.prefix_ns = body.prefix_ns;
+    out.prefix_path = body.prefix_path;
+    out.suffix_ns = body.suffix_ns;
+    out.suffix_path = body.suffix_path;
+    RaiseInstrumented(&out, body.suffix_ns, body.suffix_path);
+    RaiseInstrumented(&out, body.prefix_ns, body.prefix_path);
+    return out;
+  }
+
+  static bool SequenceHasProbes(const std::vector<IrNode>& nodes) {
+    for (const IrNode& node : nodes) {
+      if (node.kind != IrNode::Kind::kStraight) {
+        return true;  // calls and loop back-edges both carry probes
+      }
+    }
+    return false;
+  }
+
+  double InstructionsToNs(std::int64_t instructions) const {
+    return static_cast<double>(instructions) / ipc_ / config_.ghz;
+  }
+
+  const PlacementConfig& config_;
+  double ipc_;
+};
+
+void AppendJsonString(std::ostringstream* os, const std::string& s) {
+  *os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *os << ' ';
+        } else {
+          *os << c;
+        }
+    }
+  }
+  *os << '"';
+}
+
+void AppendJsonNumber(std::ostringstream* os, double v) {
+  std::ostringstream num;
+  num.precision(3);
+  num << std::fixed << v;
+  *os << num.str();
+}
+
+}  // namespace
+
+ProgramGapReport VerifyProgram(const IrProgram& program, const GapVerifierConfig& config) {
+  CONCORD_CHECK(config.quantum_us > 0.0) << "quantum must be positive";
+  CONCORD_CHECK(config.opaque_slack >= 1.0) << "opaque slack below 1 makes the opaque "
+                                               "bound tighter than the instrumented one";
+  ProgramGapReport report;
+  report.program = program.name;
+  report.quantum_ns = config.quantum_us * 1000.0;
+  report.opaque_bound_ns = report.quantum_ns * config.opaque_slack;
+
+  const Verifier verifier(config.placement, program.ipc);
+  for (const IrFunction& function : program.functions) {
+    // Rule 1: every invocation starts with an entry probe; the summary of one
+    // invocation therefore has prefix 0, and across repeated invocations the
+    // steady-state seam interval is exactly the invocation's suffix.
+    Summary unit = Compose(ProbePoint(), verifier.SummarizeSequence(function.body));
+
+    FunctionGapReport fn;
+    fn.function = function.name;
+    fn.worst_instrumented_gap_ns = unit.worst_instrumented_ns;
+    fn.instrumented_gap_path = unit.worst_instrumented_path;
+    fn.worst_opaque_gap_ns = unit.worst_opaque_ns;
+    fn.opaque_gap_path = unit.worst_opaque_path;
+    // The trailing stretch after the last probe is an interval too: it is
+    // closed by whatever probe runs next (the next invocation's entry probe,
+    // another function, or the end of the modeled execution).
+    if (unit.suffix_ns > fn.worst_instrumented_gap_ns) {
+      fn.worst_instrumented_gap_ns = unit.suffix_ns;
+      fn.instrumented_gap_path = JoinPath(unit.suffix_path, "(open tail interval)");
+    }
+    if (unit.prefix_ns > fn.worst_instrumented_gap_ns) {
+      fn.worst_instrumented_gap_ns = unit.prefix_ns;
+      fn.instrumented_gap_path = JoinPath(unit.prefix_path, "(open head interval)");
+    }
+    fn.pass = fn.worst_instrumented_gap_ns <= report.quantum_ns &&
+              fn.worst_opaque_gap_ns <= report.opaque_bound_ns;
+    report.worst_instrumented_gap_ns =
+        std::max(report.worst_instrumented_gap_ns, fn.worst_instrumented_gap_ns);
+    report.worst_opaque_gap_ns = std::max(report.worst_opaque_gap_ns, fn.worst_opaque_gap_ns);
+    report.functions.push_back(std::move(fn));
+  }
+  report.pass = true;
+  for (const FunctionGapReport& fn : report.functions) {
+    report.pass = report.pass && fn.pass;
+  }
+  return report;
+}
+
+std::string ProgramGapReport::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"program\":";
+  AppendJsonString(&os, program);
+  os << ",\"quantum_ns\":";
+  AppendJsonNumber(&os, quantum_ns);
+  os << ",\"opaque_bound_ns\":";
+  AppendJsonNumber(&os, opaque_bound_ns);
+  os << ",\"worst_instrumented_gap_ns\":";
+  AppendJsonNumber(&os, worst_instrumented_gap_ns);
+  os << ",\"worst_opaque_gap_ns\":";
+  AppendJsonNumber(&os, worst_opaque_gap_ns);
+  os << ",\"pass\":" << (pass ? "true" : "false");
+  os << ",\"functions\":[";
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const FunctionGapReport& fn = functions[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":";
+    AppendJsonString(&os, fn.function);
+    os << ",\"worst_instrumented_gap_ns\":";
+    AppendJsonNumber(&os, fn.worst_instrumented_gap_ns);
+    os << ",\"worst_opaque_gap_ns\":";
+    AppendJsonNumber(&os, fn.worst_opaque_gap_ns);
+    os << ",\"instrumented_gap_path\":";
+    AppendJsonString(&os, fn.instrumented_gap_path);
+    os << ",\"opaque_gap_path\":";
+    AppendJsonString(&os, fn.opaque_gap_path);
+    os << ",\"pass\":" << (fn.pass ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace concord

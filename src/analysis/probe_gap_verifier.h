@@ -1,0 +1,85 @@
+// Static worst-case probe-gap verification.
+//
+// AnalyzeProgram (src/compiler/probe_placement.h) executes the §4.3 placement
+// rules over the miniature IR and reports how probe gaps are *distributed*
+// over a modeled run — an average-case view. That is the right input for the
+// overhead and timeliness models, but it proves nothing: a histogram built
+// from one modeled execution cannot certify that no execution exceeds the
+// scheduling quantum between probes.
+//
+// This verifier computes a provable bound instead. It folds the IR bottom-up
+// into interval summaries (time to the first probe, time after the last
+// probe, the longest probe-to-probe interval strictly inside) and composes
+// them across sequences, unrolled loop iterations and call sites — a
+// path-sensitive *max*, in the spirit of the worst-case interrupt-interval
+// analysis shipped with Compiler Interrupts (PLDI '21). Because the rules of
+// §4.3 bracket every un-instrumented call with probes, each interval is
+// either pure instrumented code (placement's responsibility, checked against
+// the quantum) or exactly one opaque callee (unavoidable at any placement,
+// checked against a separate, looser bound).
+//
+// The result is a machine-checkable contract: every IrFunction gets a finite
+// worst-case gap, a verdict against the target quantum, and a human-readable
+// description of the path that achieves the bound.
+
+#ifndef CONCORD_SRC_ANALYSIS_PROBE_GAP_VERIFIER_H_
+#define CONCORD_SRC_ANALYSIS_PROBE_GAP_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/ir.h"
+#include "src/compiler/probe_placement.h"
+
+namespace concord {
+
+struct GapVerifierConfig {
+  // Placement rules under which the bound is computed (unrolling thresholds,
+  // clock). Must match what the runtime's instrumentation actually does.
+  PlacementConfig placement;
+
+  // Target scheduling quantum. Instrumented probe-to-probe intervals longer
+  // than this fail verification: they mean the §4.3 rules left a straight
+  // run, an unrolled loop body, or an inter-probe stretch that can outlive
+  // the quantum.
+  double quantum_us = 5.0;
+
+  // Opaque intervals (un-instrumented callees, already bracketed by probes on
+  // both sides) cannot be shortened by any placement; they fail only beyond
+  // quantum_us * opaque_slack. Set to 1.0 for strict verification where any
+  // gap past the quantum — avoidable or not — is an error.
+  double opaque_slack = 2.0;
+};
+
+// Worst-case interval bound for one function, with provenance.
+struct FunctionGapReport {
+  std::string function;
+  // Longest interval between consecutive probes consisting of instrumented
+  // code only.
+  double worst_instrumented_gap_ns = 0.0;
+  // Longest opaque interval (a single un-instrumented callee).
+  double worst_opaque_gap_ns = 0.0;
+  // Where each bound is realized, e.g. "loop body x40 (unroll saturated)".
+  std::string instrumented_gap_path;
+  std::string opaque_gap_path;
+  bool pass = false;
+};
+
+struct ProgramGapReport {
+  std::string program;
+  double quantum_ns = 0.0;
+  double opaque_bound_ns = 0.0;
+  double worst_instrumented_gap_ns = 0.0;
+  double worst_opaque_gap_ns = 0.0;
+  bool pass = false;
+  std::vector<FunctionGapReport> functions;
+
+  // Machine-readable verdict for CI and tooling.
+  std::string ToJson() const;
+};
+
+ProgramGapReport VerifyProgram(const IrProgram& program, const GapVerifierConfig& config);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_ANALYSIS_PROBE_GAP_VERIFIER_H_

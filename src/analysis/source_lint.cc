@@ -1,0 +1,562 @@
+#include "src/analysis/source_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace concord {
+
+namespace {
+
+constexpr const char* kSuppressTag = "concord-lint: allow-no-probe";
+constexpr const char* kProbeToken = "CONCORD_PROBE";
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// The scanner's working form: comments and literals blanked out (newlines
+// preserved, so offsets and line numbers survive), plus per-line metadata.
+struct ScannedSource {
+  std::string code;               // content with comments/literals blanked
+  std::vector<std::size_t> line_start;  // offset of each line (0-based lines)
+  std::vector<bool> suppressed;   // line carries the suppression tag
+  std::vector<std::size_t> probe_offsets;
+
+  int LineOf(std::size_t offset) const {
+    const auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
+    return static_cast<int>(it - line_start.begin());  // 1-based
+  }
+
+  bool HasProbeIn(std::size_t begin, std::size_t end) const {
+    for (const std::size_t off : probe_offsets) {
+      if (off >= begin && off < end) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Number of lines inside [begin, end) containing any code.
+  int CodeLines(std::size_t begin, std::size_t end) const {
+    int lines = 0;
+    std::size_t i = begin;
+    while (i < end) {
+      std::size_t line_end = code.find('\n', i);
+      if (line_end == std::string::npos || line_end > end) {
+        line_end = end;
+      }
+      for (std::size_t j = i; j < line_end; ++j) {
+        if (std::isspace(static_cast<unsigned char>(code[j])) == 0) {
+          ++lines;
+          break;
+        }
+      }
+      i = line_end + 1;
+    }
+    return lines;
+  }
+
+  bool SuppressedAt(int line_1based) const {
+    const auto check = [&](int line) {
+      return line >= 1 && line <= static_cast<int>(suppressed.size()) &&
+             suppressed[static_cast<std::size_t>(line - 1)];
+    };
+    return check(line_1based) || check(line_1based - 1);
+  }
+};
+
+ScannedSource Scan(const std::string& content) {
+  ScannedSource out;
+  out.code.assign(content.size(), ' ');
+  out.line_start.push_back(0);
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      out.line_start.push_back(i + 1);
+      if (state == State::kLineComment) {
+        state = State::kCode;
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim".
+          raw_delim = ")";
+          for (std::size_t j = i + 1; j < content.size() && content[j] != '('; ++j) {
+            raw_delim += content[j];
+          }
+          raw_delim += '"';
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+
+  // Per-line suppression tags (searched in the raw content: they live in
+  // comments, which the code view blanks).
+  out.suppressed.assign(out.line_start.size(), false);
+  std::size_t pos = 0;
+  while ((pos = content.find(kSuppressTag, pos)) != std::string::npos) {
+    out.suppressed[static_cast<std::size_t>(out.LineOf(pos) - 1)] = true;
+    pos += 1;
+  }
+
+  // Probe macro occurrences (in code: probe calls in comments don't count).
+  pos = 0;
+  while ((pos = out.code.find(kProbeToken, pos)) != std::string::npos) {
+    const bool boundary_before = pos == 0 || !IsIdentChar(out.code[pos - 1]);
+    if (boundary_before) {
+      out.probe_offsets.push_back(pos);
+    }
+    pos += 1;
+  }
+  return out;
+}
+
+std::size_t SkipWhitespace(const std::string& code, std::size_t i) {
+  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+// Offset one past the delimiter that matches the opener at `open` (which must
+// be '(' or '{'), or npos when unbalanced.
+std::size_t MatchDelimiter(const std::string& code, std::size_t open) {
+  const char open_c = code[open];
+  const char close_c = open_c == '(' ? ')' : '}';
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == open_c) {
+      ++depth;
+    } else if (code[i] == close_c) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// End of the single statement starting at `i` (past its terminating ';'),
+// tracking nested parens/braces so `for (a; b; c) x = f(1, 2);` works.
+std::size_t StatementEnd(const std::string& code, std::size_t i) {
+  int paren = 0;
+  int brace = 0;
+  for (; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      --paren;
+    } else if (c == '{') {
+      ++brace;
+    } else if (c == '}') {
+      if (brace == 0) {
+        return i;  // malformed; stop at enclosing block end
+      }
+      --brace;
+    } else if (c == ';' && paren == 0 && brace == 0) {
+      return i + 1;
+    }
+  }
+  return code.size();
+}
+
+struct LoopSpan {
+  int line = 0;               // 1-based line of the loop keyword
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  const char* keyword = "";
+};
+
+// Previous non-whitespace character before `i`, or '\0'.
+char PrevNonSpace(const std::string& code, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (std::isspace(static_cast<unsigned char>(code[i])) == 0) {
+      return code[i];
+    }
+  }
+  return '\0';
+}
+
+std::vector<LoopSpan> FindLoops(const ScannedSource& src) {
+  const std::string& code = src.code;
+  std::vector<LoopSpan> loops;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdentChar(code[i]) || (i > 0 && IsIdentChar(code[i - 1]))) {
+      continue;
+    }
+    std::size_t end = i;
+    while (end < code.size() && IsIdentChar(code[end])) {
+      ++end;
+    }
+    const std::string word = code.substr(i, end - i);
+    LoopSpan span;
+    span.line = src.LineOf(i);
+    if (word == "for" || word == "while") {
+      // `} while (...)` is a do-while tail; the `do` owns the body.
+      if (word == "while" && PrevNonSpace(code, i) == '}') {
+        i = end - 1;
+        continue;
+      }
+      std::size_t open = SkipWhitespace(code, end);
+      if (open >= code.size() || code[open] != '(') {
+        continue;
+      }
+      const std::size_t after_header = MatchDelimiter(code, open);
+      if (after_header == std::string::npos) {
+        continue;
+      }
+      std::size_t body = SkipWhitespace(code, after_header);
+      if (body < code.size() && code[body] == '{') {
+        span.body_begin = body + 1;
+        span.body_end = MatchDelimiter(code, body);
+      } else {
+        span.body_begin = body;
+        span.body_end = StatementEnd(code, body);
+      }
+    } else if (word == "do") {
+      std::size_t body = SkipWhitespace(code, end);
+      if (body >= code.size() || code[body] != '{') {
+        continue;
+      }
+      span.body_begin = body + 1;
+      span.body_end = MatchDelimiter(code, body);
+    } else {
+      i = end - 1;
+      continue;
+    }
+    if (span.body_end == std::string::npos) {
+      i = end - 1;
+      continue;
+    }
+    span.keyword = word == "do" ? "do" : (code[i] == 'f' ? "for" : "while");
+    loops.push_back(span);
+    i = end - 1;
+  }
+  return loops;
+}
+
+struct FunctionSpan {
+  int line = 0;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  bool is_lambda = false;
+};
+
+// Heuristic function-body finder: a `{` whose backward context reads
+// `... ( params ) [qualifiers] {` and whose header word is not a control
+// keyword. Catches functions, methods and lambdas; deliberately misses exotic
+// shapes (trailing return types) — this is a lint, not a frontend.
+std::vector<FunctionSpan> FindFunctions(const ScannedSource& src) {
+  const std::string& code = src.code;
+  std::vector<FunctionSpan> functions;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] != '{') {
+      continue;
+    }
+    // Walk back over qualifier words to the closing paren of the parameter
+    // list.
+    std::size_t j = i;
+    for (int words = 0; words < 3; ++words) {
+      while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1])) != 0) {
+        --j;
+      }
+      if (j == 0 || !IsIdentChar(code[j - 1])) {
+        break;
+      }
+      const std::size_t word_end = j;
+      while (j > 0 && IsIdentChar(code[j - 1])) {
+        --j;
+      }
+      const std::string qual = code.substr(j, word_end - j);
+      if (qual != "const" && qual != "noexcept" && qual != "mutable" && qual != "override" &&
+          qual != "final") {
+        j = 0;  // not a function header
+        break;
+      }
+    }
+    if (j == 0) {
+      continue;
+    }
+    while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1])) != 0) {
+      --j;
+    }
+    if (j == 0 || code[j - 1] != ')') {
+      continue;
+    }
+    // Find the matching '(' backwards.
+    int depth = 0;
+    std::size_t open = std::string::npos;
+    for (std::size_t k = j; k > 0; --k) {
+      const char c = code[k - 1];
+      if (c == ')') {
+        ++depth;
+      } else if (c == '(') {
+        if (--depth == 0) {
+          open = k - 1;
+          break;
+        }
+      }
+    }
+    if (open == std::string::npos) {
+      continue;
+    }
+    std::size_t h = open;
+    while (h > 0 && std::isspace(static_cast<unsigned char>(code[h - 1])) != 0) {
+      --h;
+    }
+    FunctionSpan span;
+    if (h > 0 && code[h - 1] == ']') {
+      span.is_lambda = true;
+    } else {
+      std::size_t word_end = h;
+      while (h > 0 && IsIdentChar(code[h - 1])) {
+        --h;
+      }
+      const std::string name = code.substr(h, word_end - h);
+      if (name.empty() || name == "if" || name == "for" || name == "while" ||
+          name == "switch" || name == "catch" || name == "return" || name == "constexpr") {
+        continue;
+      }
+    }
+    span.body_begin = i + 1;
+    span.body_end = MatchDelimiter(code, i);
+    if (span.body_end == std::string::npos) {
+      continue;
+    }
+    span.line = src.LineOf(i);
+    functions.push_back(span);
+  }
+  return functions;
+}
+
+// Spans of lambdas assigned to `handle_request` — the §4.1 handler entry
+// point, which runs inside the runtime and must be probe-covered even in
+// files that do not include the instrumentation API themselves.
+std::vector<FunctionSpan> FindHandlerLambdas(const ScannedSource& src) {
+  const std::string& code = src.code;
+  std::vector<FunctionSpan> handlers;
+  std::size_t pos = 0;
+  while ((pos = code.find("handle_request", pos)) != std::string::npos) {
+    const std::size_t after = pos + std::string("handle_request").size();
+    pos = after;
+    std::size_t i = SkipWhitespace(code, after);
+    if (i >= code.size() || code[i] != '=') {
+      continue;
+    }
+    i = SkipWhitespace(code, i + 1);
+    if (i >= code.size() || code[i] != '[') {
+      continue;
+    }
+    const std::size_t body_open = code.find('{', i);
+    if (body_open == std::string::npos) {
+      continue;
+    }
+    FunctionSpan span;
+    span.is_lambda = true;
+    span.line = src.LineOf(body_open);
+    span.body_begin = body_open + 1;
+    span.body_end = MatchDelimiter(code, body_open);
+    if (span.body_end == std::string::npos) {
+      continue;
+    }
+    handlers.push_back(span);
+  }
+  return handlers;
+}
+
+bool IsInstrumentedFile(const std::string& content, const ScannedSource& src) {
+  return !src.probe_offsets.empty() ||
+         content.find("src/runtime/instrument.h") != std::string::npos;
+}
+
+void LintLoopsIn(const ScannedSource& src, const std::vector<LoopSpan>& loops, std::size_t begin,
+                 std::size_t end, LintViolation::Kind kind, const std::string& file,
+                 const LintConfig& config, std::vector<LintViolation>* out) {
+  for (const LoopSpan& loop : loops) {
+    if (loop.body_begin < begin || loop.body_end > end) {
+      continue;
+    }
+    if (src.HasProbeIn(loop.body_begin, loop.body_end)) {
+      continue;
+    }
+    const int body_lines = src.CodeLines(loop.body_begin, loop.body_end);
+    if (body_lines <= config.short_body_lines) {
+      continue;
+    }
+    if (src.SuppressedAt(loop.line)) {
+      continue;
+    }
+    LintViolation violation;
+    violation.file = file;
+    violation.line = loop.line;
+    violation.kind = kind;
+    std::ostringstream msg;
+    msg << loop.keyword << " loop with " << body_lines
+        << "-line body contains no CONCORD_PROBE(); its longest path is invisible to the "
+           "preemption quantum";
+    violation.message = msg.str();
+    out->push_back(std::move(violation));
+  }
+}
+
+}  // namespace
+
+std::vector<LintViolation> LintSource(const std::string& file_label, const std::string& content,
+                                      const LintConfig& config) {
+  std::vector<LintViolation> violations;
+  const ScannedSource src = Scan(content);
+  const std::vector<LoopSpan> loops = FindLoops(src);
+  const bool instrumented = IsInstrumentedFile(content, src) || config.lint_everything;
+
+  if (instrumented) {
+    LintLoopsIn(src, loops, 0, src.code.size(), LintViolation::Kind::kLoopWithoutProbe,
+                file_label, config, &violations);
+    for (const FunctionSpan& fn : FindFunctions(src)) {
+      if (src.HasProbeIn(fn.body_begin, fn.body_end)) {
+        continue;
+      }
+      const int body_lines = src.CodeLines(fn.body_begin, fn.body_end);
+      if (body_lines <= config.long_function_lines) {
+        continue;
+      }
+      bool has_loop = false;
+      for (const LoopSpan& loop : loops) {
+        has_loop = has_loop || (loop.body_begin >= fn.body_begin && loop.body_end <= fn.body_end);
+      }
+      if (!has_loop || src.SuppressedAt(fn.line)) {
+        continue;
+      }
+      LintViolation violation;
+      violation.file = file_label;
+      violation.line = fn.line;
+      violation.kind = LintViolation::Kind::kFunctionWithoutProbe;
+      std::ostringstream msg;
+      msg << (fn.is_lambda ? "lambda" : "function") << " body spans " << body_lines
+          << " code lines with loops but no CONCORD_PROBE(); worst-case probe gap is unbounded "
+             "by placement";
+      violation.message = msg.str();
+      violations.push_back(std::move(violation));
+    }
+  } else {
+    for (const FunctionSpan& handler : FindHandlerLambdas(src)) {
+      LintLoopsIn(src, loops, handler.body_begin, handler.body_end,
+                  LintViolation::Kind::kHandlerLoopWithoutProbe, file_label, config, &violations);
+    }
+  }
+  return violations;
+}
+
+std::vector<LintViolation> LintFile(const std::string& path, const LintConfig& config) {
+  std::ifstream in(path);
+  if (!in) {
+    LintViolation violation;
+    violation.file = path;
+    violation.line = 0;
+    violation.kind = LintViolation::Kind::kFunctionWithoutProbe;
+    violation.message = "unreadable file (lint cannot vouch for it)";
+    return {violation};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintSource(path, buffer.str(), config);
+}
+
+std::vector<LintViolation> LintTree(const std::string& path, const LintConfig& config) {
+  namespace fs = std::filesystem;
+  std::vector<LintViolation> violations;
+  const auto lintable = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+  };
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& file : files) {
+      const auto file_violations = LintFile(file, config);
+      violations.insert(violations.end(), file_violations.begin(), file_violations.end());
+    }
+  } else {
+    const auto file_violations = LintFile(path, config);
+    violations.insert(violations.end(), file_violations.begin(), file_violations.end());
+  }
+  return violations;
+}
+
+std::string ViolationToString(const LintViolation& violation) {
+  std::ostringstream os;
+  os << violation.file << ":" << violation.line << ": ";
+  switch (violation.kind) {
+    case LintViolation::Kind::kLoopWithoutProbe:
+      os << "[loop-without-probe] ";
+      break;
+    case LintViolation::Kind::kFunctionWithoutProbe:
+      os << "[function-without-probe] ";
+      break;
+    case LintViolation::Kind::kHandlerLoopWithoutProbe:
+      os << "[handler-loop-without-probe] ";
+      break;
+  }
+  os << violation.message;
+  return os.str();
+}
+
+}  // namespace concord

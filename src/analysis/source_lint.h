@@ -1,0 +1,75 @@
+// Source-level probe-coverage lint.
+//
+// The runtime's preemption timeliness depends on handler code executing a
+// CONCORD_PROBE() frequently enough (instrument.h stands in for the §4.3
+// LLVM pass). Nothing enforced that: a handler loop with no probe reachable
+// in its body silently regresses the preemption bound for every request that
+// takes that path. This lint is the static check — a lightweight,
+// brace/comment-aware scanner, not a C++ frontend — that CI runs over
+// handler code (src/apps/, examples/, bench/).
+//
+// Rules (mirroring §4.3 at source granularity):
+//   * In an *instrumented file* (one that uses the probe API or includes
+//     src/runtime/instrument.h), every loop whose body is longer than
+//     `short_body_lines` of code must contain a probe macro. Short bodies
+//     are exempt: they correspond to loops the placement pass unrolls into
+//     an enclosing probe interval.
+//   * A function longer than `long_function_lines` that contains a loop but
+//     no probe anywhere is flagged even if each individual loop is short.
+//   * In non-instrumented files, only `handle_request` handler lambdas are
+//     checked (driver loops feeding the load generator run outside the
+//     runtime and need no probes).
+//
+// A finding can be suppressed with a comment containing
+// `concord-lint: allow-no-probe` on the construct's first line or the line
+// above it; suppressions should say why (e.g. bounded by caller's probes).
+
+#ifndef CONCORD_SRC_ANALYSIS_SOURCE_LINT_H_
+#define CONCORD_SRC_ANALYSIS_SOURCE_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace concord {
+
+struct LintConfig {
+  // Loop bodies at most this many code lines are assumed unrolled into the
+  // enclosing probe interval (the source-level analogue of the pass's
+  // min_loop_body_instructions rule).
+  int short_body_lines = 6;
+  // Functions longer than this with loops but no probes are flagged.
+  int long_function_lines = 40;
+  // Lint every function in every file, not just instrumented files and
+  // handler lambdas. Advisory mode for exploring a tree.
+  bool lint_everything = false;
+};
+
+struct LintViolation {
+  enum class Kind {
+    kLoopWithoutProbe,
+    kFunctionWithoutProbe,
+    kHandlerLoopWithoutProbe,
+  };
+  std::string file;
+  int line = 0;  // 1-based
+  Kind kind = Kind::kLoopWithoutProbe;
+  std::string message;
+};
+
+// Lints one in-memory translation unit; `file_label` is used in violations.
+std::vector<LintViolation> LintSource(const std::string& file_label, const std::string& content,
+                                      const LintConfig& config);
+
+// Lints one file on disk. Missing/unreadable files produce a violation so CI
+// cannot silently skip them.
+std::vector<LintViolation> LintFile(const std::string& path, const LintConfig& config);
+
+// Recursively lints every .h/.hpp/.cc/.cpp file under `path` (or the single
+// file if `path` is one).
+std::vector<LintViolation> LintTree(const std::string& path, const LintConfig& config);
+
+std::string ViolationToString(const LintViolation& violation);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_ANALYSIS_SOURCE_LINT_H_

@@ -12,6 +12,43 @@
 #error "the Concord runtime's context switch is implemented for x86-64 only"
 #endif
 
+// Sanitizer awareness. ASan tracks a fake stack per execution stack and TSan
+// models each stack as a "fiber"; a raw rsp swap behind their backs makes both
+// report nonsense (stack-use-after-return on yields, false races across
+// switches). The hooks below tell them about every switch. Declared by hand
+// rather than via <sanitizer/...> headers so non-sanitizer builds need no
+// extra includes.
+#if defined(__SANITIZE_ADDRESS__)
+#define CONCORD_ASAN_FIBERS 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define CONCORD_TSAN_FIBERS 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CONCORD_ASAN_FIBERS 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define CONCORD_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(CONCORD_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
+#if defined(CONCORD_TSAN_FIBERS)
+extern "C" {
+void* __tsan_get_current_fiber();
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace concord {
 
 extern "C" {
@@ -66,6 +103,11 @@ namespace {
 // executing.
 thread_local void* t_scheduler_sp = nullptr;
 thread_local Fiber* t_current_fiber = nullptr;
+#if defined(CONCORD_TSAN_FIBERS)
+// The TSan identity of the thread currently acting as scheduler; a yielding
+// fiber must name it as the switch target.
+thread_local void* t_scheduler_tsan_fiber = nullptr;
+#endif
 
 // Fibers migrate between threads, so any code running inside one must
 // re-resolve thread-locals after every potential yield. Forcing the reads
@@ -83,6 +125,14 @@ __attribute__((noinline)) Fiber* CurrentFiberSlow() {
   return fiber;
 }
 
+#if defined(CONCORD_TSAN_FIBERS)
+__attribute__((noinline)) void* CurrentSchedulerTsanFiber() {
+  void* fiber = t_scheduler_tsan_fiber;
+  asm volatile("" : "+r"(fiber));
+  return fiber;
+}
+#endif
+
 }  // namespace
 
 void FiberEntryForTrampoline(void* fiber) { static_cast<Fiber*>(fiber)->Entry(); }
@@ -98,10 +148,16 @@ Fiber::Fiber(std::size_t stack_bytes) {
   CONCORD_CHECK(mapping != MAP_FAILED) << "fiber stack mmap failed";
   CONCORD_CHECK(mprotect(mapping, page, PROT_NONE) == 0) << "guard page mprotect failed";
   stack_ = static_cast<char*>(mapping) + page;
+#if defined(CONCORD_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber() {
   CONCORD_CHECK(finished_) << "destroying a fiber with a live request context";
+#if defined(CONCORD_TSAN_FIBERS)
+  __tsan_destroy_fiber(tsan_fiber_);
+#endif
   const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
   munmap(stack_ - page, mapped_bytes_);
 }
@@ -134,7 +190,22 @@ bool Fiber::Run() {
   CONCORD_CHECK(armed_ && !finished_) << "running an unarmed fiber";
   CONCORD_CHECK(t_current_fiber == nullptr) << "nested fiber Run()";
   t_current_fiber = this;
+#if defined(CONCORD_TSAN_FIBERS)
+  t_scheduler_tsan_fiber = __tsan_get_current_fiber();
+#endif
+#if defined(CONCORD_ASAN_FIBERS)
+  // Leaving the scheduler stack for the fiber stack. `fake` lives in this
+  // frame, which is exactly where the fiber's eventual switch-back lands.
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, stack_, stack_bytes_);
+#endif
+#if defined(CONCORD_TSAN_FIBERS)
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   concord_ctx_switch(&t_scheduler_sp, sp_);
+#if defined(CONCORD_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
   t_current_fiber = nullptr;
   return finished_;
 }
@@ -142,18 +213,45 @@ bool Fiber::Run() {
 void Fiber::Yield() {
   Fiber* fiber = CurrentFiberSlow();
   CONCORD_CHECK(fiber != nullptr) << "Yield() outside a fiber";
+#if defined(CONCORD_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&fiber->asan_fake_stack_, fiber->sched_stack_bottom_,
+                                 fiber->sched_stack_size_);
+#endif
+#if defined(CONCORD_TSAN_FIBERS)
+  __tsan_switch_to_fiber(CurrentSchedulerTsanFiber(), 0);
+#endif
   concord_ctx_switch(&fiber->sp_, CurrentSchedulerSp());
+#if defined(CONCORD_ASAN_FIBERS)
+  // Resumed — possibly by a different thread. Re-capture the bounds of
+  // whichever scheduler stack just switched us in; the next Yield returns
+  // there, not to the thread that ran us before the preemption.
+  __sanitizer_finish_switch_fiber(fiber->asan_fake_stack_, &fiber->sched_stack_bottom_,
+                                  &fiber->sched_stack_size_);
+#endif
 }
 
 Fiber* Fiber::Current() { return CurrentFiberSlow(); }
 
 void Fiber::Entry() {
+#if defined(CONCORD_ASAN_FIBERS)
+  // First frame on the fiber stack: complete the switch Run() started and
+  // record the scheduler stack we came from so Yield can switch back to it.
+  __sanitizer_finish_switch_fiber(nullptr, &sched_stack_bottom_, &sched_stack_size_);
+#endif
   fn_();
   finished_ = true;
   armed_ = false;
   // Hand control back to Run(); the fiber must never fall off its stack.
   // The scheduler pointer is re-read through the noinline helper because
   // fn_() may have yielded and resumed on a different thread.
+#if defined(CONCORD_ASAN_FIBERS)
+  // Final exit: a null save slot tells ASan to free this stack's fake frames
+  // (the next Reset() starts the stack from scratch anyway).
+  __sanitizer_start_switch_fiber(nullptr, sched_stack_bottom_, sched_stack_size_);
+#endif
+#if defined(CONCORD_TSAN_FIBERS)
+  __tsan_switch_to_fiber(CurrentSchedulerTsanFiber(), 0);
+#endif
   concord_ctx_switch(&sp_, CurrentSchedulerSp());
   CONCORD_CHECK(false) << "finished fiber resumed";
 }

@@ -58,6 +58,15 @@ class Fiber {
   std::function<void()> fn_;
   bool armed_ = false;
   bool finished_ = true;
+  // Sanitizer bookkeeping (context.cc). Unconditional members so the class
+  // layout does not depend on the build flavor; a few pointers per fiber is
+  // noise next to its stack. sched_stack_* track the bounds of the scheduler
+  // stack that most recently resumed this fiber — re-captured at every
+  // resume, because preempted fibers migrate between worker threads.
+  void* tsan_fiber_ = nullptr;
+  void* asan_fake_stack_ = nullptr;
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
 };
 
 }  // namespace concord

@@ -99,5 +99,8 @@ class GuardedMutex {
 #define CONCORD_PROBE() ::concord::Probe()
 #define CONCORD_PROBE_FUNCTION_ENTRY() ::concord::Probe()
 #define CONCORD_PROBE_LOOP_BACKEDGE() ::concord::Probe()
+// Placed on the return path of a handler: closes the final probe interval so
+// the trailing stretch of a request is bounded like any other.
+#define CONCORD_PROBE_FINAL() ::concord::Probe()
 
 #endif  // CONCORD_SRC_RUNTIME_INSTRUMENT_H_

@@ -235,6 +235,12 @@ void Runtime::DrainOutboxes(bool* progress) {
     while (shared.outbox.TryPop(&request)) {
       *progress = true;
       outstanding_[static_cast<std::size_t>(w)] -= 1;
+      CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(w)] >= 0)
+          << "worker " << w << " returned more requests than were dispatched";
+      // §3.3: self-preempted dispatcher requests are pinned; one must never
+      // surface in a worker outbox.
+      CONCORD_DCHECK(!request->on_dispatcher)
+          << "dispatcher-pinned request flowed through worker " << w;
       if (request->finished) {
         CompleteRequest(request, /*on_dispatcher=*/false);
       } else {
@@ -273,6 +279,8 @@ void Runtime::PushJbsq(bool* progress) {
       });
       request->started = true;
     }
+    CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(best)] < options_.jbsq_depth)
+        << "JBSQ(k) bound about to be exceeded for worker " << best;
     const bool pushed = workers_[static_cast<std::size_t>(best)]->inbox.TryPush(request);
     CONCORD_CHECK(pushed) << "JBSQ inbox overflow despite outstanding bound";
     outstanding_[static_cast<std::size_t>(best)] += 1;
@@ -284,6 +292,15 @@ void Runtime::SendPreemptSignals() {
   const std::uint64_t now = ReadTsc();
   for (int w = 0; w < options_.worker_count; ++w) {
     WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
+    // Handshake order matters: the worker publishes run_start_tsc *before*
+    // generation (release), so once a generation is observed (acquire) the
+    // paired start time — or a later segment's — is all this loop can read.
+    // Reading in the opposite order could pair a stale, long-elapsed start
+    // with a brand-new generation and preempt a request that just began.
+    const std::uint64_t generation = shared.generation.value.load(std::memory_order_acquire);
+    if (generation == 0 || signaled_generation_[static_cast<std::size_t>(w)] == generation) {
+      continue;  // idle or already signalled this segment
+    }
     const std::uint64_t start = shared.run_start_tsc.value.load(std::memory_order_acquire);
     if (start == 0 || now - start < quantum_tsc_) {
       continue;
@@ -292,9 +309,11 @@ void Runtime::SendPreemptSignals() {
     if (central_.empty() && outstanding_[static_cast<std::size_t>(w)] <= 1) {
       continue;
     }
-    const std::uint64_t generation = shared.generation.value.load(std::memory_order_acquire);
-    if (generation == 0 || signaled_generation_[static_cast<std::size_t>(w)] == generation) {
-      continue;  // idle or already signalled this segment
+    // The worker may have finished the segment between the two loads; a
+    // changed generation means `start` belongs to a different segment, so
+    // skip and re-evaluate next pass rather than signal on mixed state.
+    if (shared.generation.value.load(std::memory_order_acquire) != generation) {
+      continue;
     }
     shared.preempt_signal.word.store(generation, std::memory_order_release);
     signaled_generation_[static_cast<std::size_t>(w)] = generation;
@@ -329,6 +348,8 @@ void Runtime::MaybeRunAppRequest() {
   }
   // Run (or resume) the dispatcher's request for one quantum under
   // rdtsc-based self-preemption.
+  CONCORD_DCHECK(dispatcher_request_->on_dispatcher)
+      << "dispatcher resumed a request it does not own";
   t_dispatcher_probe_state.deadline_tsc = ReadTsc() + quantum_tsc_;
   const bool finished = dispatcher_request_->fiber->Run();
   if (finished) {
@@ -387,17 +408,22 @@ void Runtime::WorkerLoop(int worker_index) {
       continue;
     }
     backoff.Reset();
-    // New segment: clear any stale signal, publish generation + start time.
+    // New segment: clear any stale signal, publish start time then
+    // generation. The generation store is the release edge the dispatcher
+    // acquires, which guarantees it never pairs a fresh generation with a
+    // previous segment's start time (see SendPreemptSignals).
     generation += 1;
     probe_state.current_generation = generation;
     shared.preempt_signal.word.store(0, std::memory_order_release);
+    shared.run_start_tsc.value.store(ReadTsc(), std::memory_order_relaxed);
     shared.generation.value.store(generation, std::memory_order_release);
-    shared.run_start_tsc.value.store(ReadTsc(), std::memory_order_release);
 
     const bool finished = request->fiber->Run();
 
-    shared.run_start_tsc.value.store(0, std::memory_order_release);
+    // Teardown mirrors the publish: retract the generation first so the
+    // dispatcher stops considering this segment before the start time resets.
     shared.generation.value.store(0, std::memory_order_release);
+    shared.run_start_tsc.value.store(0, std::memory_order_release);
     request->finished = finished;
     Backoff push_backoff;
     while (!shared.outbox.TryPush(request)) {

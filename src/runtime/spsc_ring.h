@@ -6,6 +6,15 @@
 // and tail live on separate cache lines so producer and consumer do not
 // bounce a line between cores on every operation — the exact coherence
 // traffic JBSQ exists to avoid.
+//
+// Index arithmetic: head_ and tail_ store already-masked slot indices in
+// [0, mask_]. Because the slot count (mask_ + 1) is a power of two that
+// strictly exceeds `capacity` — RoundUpPow2(capacity + 1) — the masked
+// difference `(head - tail) & mask_` equals the true occupancy even after
+// the indices wrap, for any capacity including non-powers of two. Debug
+// builds additionally pin each endpoint to the first thread that uses it,
+// turning an SPSC contract violation into an immediate check failure instead
+// of silent data corruption.
 
 #ifndef CONCORD_SRC_RUNTIME_SPSC_RING_H_
 #define CONCORD_SRC_RUNTIME_SPSC_RING_H_
@@ -13,6 +22,11 @@
 #include <atomic>
 #include <cstddef>
 #include <vector>
+
+#ifndef NDEBUG
+#include <functional>
+#include <thread>
+#endif
 
 #include "src/common/cacheline.h"
 #include "src/common/logging.h"
@@ -34,6 +48,7 @@ class SpscRing {
 
   // Producer side. Returns false when full.
   bool TryPush(T value) {
+    AssertRole(&producer_tid_, "producer");
     const std::size_t head = head_.value.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.value.load(std::memory_order_acquire);
     if (((head - tail) & mask_) >= capacity_) {
@@ -47,6 +62,7 @@ class SpscRing {
 
   // Consumer side. Returns false when empty.
   bool TryPop(T* out) {
+    AssertRole(&consumer_tid_, "consumer");
     const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
     if (tail == head_.value.load(std::memory_order_acquire)) {
       return false;
@@ -56,15 +72,22 @@ class SpscRing {
     return true;
   }
 
-  // Approximate occupancy; exact when called by either endpoint between its
-  // own operations.
+  // Approximate occupancy, always in [0, capacity]. Exact when called by
+  // either endpoint between its own operations. Tail is read first: a
+  // concurrent pop between the two loads then only inflates the estimate,
+  // and the clamp keeps a racing estimate inside the ring's real bounds
+  // (reading head first could make head appear *behind* tail, which the
+  // masked subtraction would turn into a bogus near-mask_ occupancy).
   std::size_t SizeApprox() const {
-    const std::size_t head = head_.value.load(std::memory_order_acquire);
     const std::size_t tail = tail_.value.load(std::memory_order_acquire);
-    return (head - tail) & mask_;
+    const std::size_t head = head_.value.load(std::memory_order_acquire);
+    const std::size_t size = (head - tail) & mask_;
+    return size <= capacity_ ? size : capacity_;
   }
 
   bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  std::size_t capacity() const { return capacity_; }
 
  private:
   static std::size_t RoundUpPow2(std::size_t v) {
@@ -75,11 +98,32 @@ class SpscRing {
     return p;
   }
 
+#ifndef NDEBUG
+  // Pins an endpoint to the first thread that exercises it. Debug-only: the
+  // release/acquire protocol above is only sound under that ownership
+  // discipline, so a violation is a real bug even if a given interleaving
+  // happens to survive it.
+  void AssertRole(std::atomic<std::size_t>* owner, const char* role) const {
+    const std::size_t self = std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+    std::size_t expected = 0;
+    if (owner->compare_exchange_strong(expected, self, std::memory_order_relaxed)) {
+      return;
+    }
+    CONCORD_CHECK(expected == self)
+        << "SPSC contract violation: second thread acting as " << role;
+  }
+#else
+  void AssertRole(std::atomic<std::size_t>*, const char*) const {}
+#endif
+
   const std::size_t capacity_;
   const std::size_t mask_;
   std::vector<T> slots_;
   CacheLineAligned<std::atomic<std::size_t>> head_{};  // producer-owned
   CacheLineAligned<std::atomic<std::size_t>> tail_{};  // consumer-owned
+  // Ownership pins; cold in release builds where AssertRole is a no-op.
+  mutable std::atomic<std::size_t> producer_tid_{0};
+  mutable std::atomic<std::size_t> consumer_tid_{0};
 };
 
 }  // namespace concord

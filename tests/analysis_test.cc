@@ -1,0 +1,187 @@
+// Tests for the static probe-gap verifier (src/analysis/probe_gap_verifier.h).
+
+#include "src/analysis/probe_gap_verifier.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/probe_placement.h"
+#include "src/compiler/programs.h"
+
+namespace concord {
+namespace {
+
+constexpr double kDefaultIpc = 1.8;
+constexpr double kDefaultGhz = 2.6;
+
+double InstrNs(std::int64_t instructions, double ipc = kDefaultIpc, double ghz = kDefaultGhz) {
+  return static_cast<double>(instructions) / ipc / ghz;
+}
+
+IrProgram SingleFunctionProgram(std::vector<IrNode> body, std::int64_t invocations = 1) {
+  IrProgram program;
+  program.name = "unit";
+  IrFunction fn;
+  fn.name = "f";
+  fn.invocations = invocations;
+  fn.body = std::move(body);
+  program.functions.push_back(std::move(fn));
+  return program;
+}
+
+TEST(ProbeGapVerifier, EveryTable1ProgramVerifiesAtDefaultQuantum) {
+  GapVerifierConfig config;  // 5us quantum, default placement
+  for (const Table1Program& program : Table1Programs()) {
+    const ProgramGapReport report = VerifyProgram(program.ir, config);
+    EXPECT_TRUE(report.pass) << program.name << ": instrumented "
+                             << report.worst_instrumented_gap_ns << "ns, opaque "
+                             << report.worst_opaque_gap_ns << "ns";
+    EXPECT_TRUE(std::isfinite(report.worst_instrumented_gap_ns)) << program.name;
+    EXPECT_TRUE(std::isfinite(report.worst_opaque_gap_ns)) << program.name;
+    EXPECT_GT(report.worst_instrumented_gap_ns, 0.0) << program.name;
+    ASSERT_EQ(report.functions.size(), 1u);
+    EXPECT_EQ(report.functions[0].function, "main");
+  }
+}
+
+// The verifier's bound must dominate every gap the average-case walker
+// observes: the histogram's max is one realized execution, the verifier's
+// max is over all of them.
+TEST(ProbeGapVerifier, BoundDominatesObservedHistogramMax) {
+  GapVerifierConfig config;
+  for (const Table1Program& program : Table1Programs()) {
+    const InstrumentationReport observed = AnalyzeProgram(program.ir, config.placement);
+    const ProgramGapReport verdict = VerifyProgram(program.ir, config);
+    const double bound =
+        std::max(verdict.worst_instrumented_gap_ns, verdict.worst_opaque_gap_ns);
+    EXPECT_GE(bound, observed.max_gap_ns - 1e-6) << program.name;
+  }
+}
+
+// Acceptance shape from the issue: a long un-instrumented call inside a loop
+// must fail, and the reported gap must be within 10% of the analytically
+// known worst case. Here it is exact: the §4.3 rules bracket the call with
+// probes, so the worst interval *is* the callee duration.
+TEST(ProbeGapVerifier, PathologicalUninstrumentedCallInLoopFails) {
+  constexpr double kCalleeNs = 50000.0;  // 50us callee vs 5us quantum
+  const IrProgram program = SingleFunctionProgram(
+      {IrNode::Loop(100, {IrNode::Straight(100), IrNode::UninstrumentedCall(kCalleeNs)})});
+  const ProgramGapReport report = VerifyProgram(program, GapVerifierConfig{});
+  EXPECT_FALSE(report.pass);
+  EXPECT_NEAR(report.worst_opaque_gap_ns, kCalleeNs, 0.10 * kCalleeNs);
+  ASSERT_EQ(report.functions.size(), 1u);
+  EXPECT_FALSE(report.functions[0].pass);
+  EXPECT_NE(report.functions[0].opaque_gap_path.find("un-instrumented call"), std::string::npos);
+}
+
+TEST(ProbeGapVerifier, LongStraightRunFailsWithExactBound) {
+  constexpr std::int64_t kInstr = 1000000;
+  const IrProgram program = SingleFunctionProgram({IrNode::Straight(kInstr)});
+  const ProgramGapReport report = VerifyProgram(program, GapVerifierConfig{});
+  EXPECT_FALSE(report.pass);
+  // Entry probe, then one unbroken run: the whole body is the interval.
+  EXPECT_NEAR(report.worst_instrumented_gap_ns, InstrNs(kInstr), 1e-6);
+  EXPECT_EQ(report.worst_opaque_gap_ns, 0.0);
+}
+
+TEST(ProbeGapVerifier, EmptyFunctionBodyPassesWithZeroGap) {
+  const IrProgram program = SingleFunctionProgram({});
+  const ProgramGapReport report = VerifyProgram(program, GapVerifierConfig{});
+  EXPECT_TRUE(report.pass);
+  EXPECT_EQ(report.worst_instrumented_gap_ns, 0.0);
+  EXPECT_EQ(report.worst_opaque_gap_ns, 0.0);
+}
+
+TEST(ProbeGapVerifier, ZeroTripLoopContributesNothing) {
+  const IrProgram quiet = SingleFunctionProgram(
+      {IrNode::Loop(0, {IrNode::Straight(1000000), IrNode::UninstrumentedCall(1e9)})});
+  const ProgramGapReport report = VerifyProgram(quiet, GapVerifierConfig{});
+  EXPECT_TRUE(report.pass);
+  EXPECT_EQ(report.worst_instrumented_gap_ns, 0.0);
+  EXPECT_EQ(report.worst_opaque_gap_ns, 0.0);
+}
+
+TEST(ProbeGapVerifier, NestedUninstrumentedCallsReportDeepestWorst) {
+  const IrProgram program = SingleFunctionProgram({IrNode::Loop(
+      10, {IrNode::Loop(5, {IrNode::Straight(50), IrNode::UninstrumentedCall(2000.0)}),
+           IrNode::UninstrumentedCall(3000.0)})});
+  const ProgramGapReport report = VerifyProgram(program, GapVerifierConfig{});
+  // Both callees are probe-bracketed; the outer one is the worst interval.
+  EXPECT_NEAR(report.worst_opaque_gap_ns, 3000.0, 1e-9);
+  EXPECT_TRUE(report.pass);  // 3000 < 5000 quantum, and under the opaque bound
+}
+
+TEST(ProbeGapVerifier, UnrollSaturationBoundsBackEdgeInterval) {
+  constexpr std::int64_t kBodyInstr = 3;
+  GapVerifierConfig saturated;
+  saturated.placement.max_unroll_factor = 16;
+  const IrProgram program =
+      SingleFunctionProgram({IrNode::Loop(1000, {IrNode::Straight(kBodyInstr)})});
+
+  // Saturated: ceil(200/3) = 67 copies wanted, capped at 16.
+  const ProgramGapReport capped = VerifyProgram(program, saturated);
+  EXPECT_NEAR(capped.worst_instrumented_gap_ns, InstrNs(16 * kBodyInstr), 1e-9);
+  EXPECT_NE(capped.functions[0].instrumented_gap_path.find("unroll saturated"),
+            std::string::npos);
+
+  // Unsaturated default (cap 256): the pass unrolls to the full 67 copies.
+  const ProgramGapReport uncapped = VerifyProgram(program, GapVerifierConfig{});
+  EXPECT_NEAR(uncapped.worst_instrumented_gap_ns, InstrNs(67 * kBodyInstr), 1e-9);
+  EXPECT_TRUE(capped.pass);
+  EXPECT_TRUE(uncapped.pass);
+}
+
+TEST(ProbeGapVerifier, RepeatedInvocationsCountTrailingSuffix) {
+  // Entry probe, then 1000 instructions that no probe ever closes within the
+  // function: the interval is closed only by the *next* invocation's entry
+  // probe, and must still be counted.
+  const IrProgram program = SingleFunctionProgram({IrNode::Straight(1000)}, /*invocations=*/100);
+  const ProgramGapReport report = VerifyProgram(program, GapVerifierConfig{});
+  EXPECT_NEAR(report.worst_instrumented_gap_ns, InstrNs(1000), 1e-9);
+}
+
+TEST(ProbeGapVerifier, OpaqueSlackDistinguishesStrictMode) {
+  // A 6us callee: unavoidable at any placement, within 2x the 5us quantum.
+  const IrProgram program =
+      SingleFunctionProgram({IrNode::Loop(100, {IrNode::UninstrumentedCall(6000.0)})});
+  GapVerifierConfig relaxed;  // opaque_slack = 2.0
+  EXPECT_TRUE(VerifyProgram(program, relaxed).pass);
+
+  GapVerifierConfig strict = relaxed;
+  strict.opaque_slack = 1.0;
+  EXPECT_FALSE(VerifyProgram(program, strict).pass);
+}
+
+TEST(ProbeGapVerifier, JsonVerdictIsMachineReadable) {
+  const IrProgram program = SingleFunctionProgram({IrNode::Straight(100)});
+  const ProgramGapReport report = VerifyProgram(program, GapVerifierConfig{});
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"program\":\"unit\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pass\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"quantum_ns\":5000.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"functions\":[{"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "verdict must be one line";
+}
+
+TEST(ProbeGapVerifier, MultiFunctionProgramsReportPerFunction) {
+  IrProgram program;
+  program.name = "multi";
+  IrFunction ok;
+  ok.name = "ok";
+  ok.body = {IrNode::Straight(100)};
+  IrFunction bad;
+  bad.name = "bad";
+  bad.body = {IrNode::Straight(10000000)};
+  program.functions.push_back(std::move(ok));
+  program.functions.push_back(std::move(bad));
+
+  const ProgramGapReport report = VerifyProgram(program, GapVerifierConfig{});
+  ASSERT_EQ(report.functions.size(), 2u);
+  EXPECT_TRUE(report.functions[0].pass);
+  EXPECT_FALSE(report.functions[1].pass);
+  EXPECT_FALSE(report.pass);
+}
+
+}  // namespace
+}  // namespace concord

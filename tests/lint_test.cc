@@ -1,0 +1,265 @@
+// Tests for the source-level probe lint (src/analysis/source_lint.h).
+//
+// The ProbeCoverage suite at the bottom runs the real lint over the shipped
+// handler code (src/apps/, examples/) and fails on any violation, so probe
+// coverage regressions fail CI.
+
+#include "src/analysis/source_lint.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+// A file is "instrumented" if it mentions the probe API; prepend this so the
+// full rule set applies.
+const char kInstrumentedPreamble[] = "#include \"src/runtime/instrument.h\"\n";
+
+std::string Instrumented(const std::string& body) { return kInstrumentedPreamble + body; }
+
+TEST(SourceLint, FlagsLongLoopWithoutProbe) {
+  const std::string source = Instrumented(R"cc(
+    void Handler(int n) {
+      for (int i = 0; i < n; ++i) {
+        a(i);
+        b(i);
+        c(i);
+        d(i);
+        e(i);
+        f(i);
+        g(i);
+      }
+    }
+  )cc");
+  const auto violations = LintSource("t.cc", source, LintConfig{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, LintViolation::Kind::kLoopWithoutProbe);
+  EXPECT_EQ(violations[0].line, 4);
+  EXPECT_EQ(violations[0].file, "t.cc");
+}
+
+TEST(SourceLint, ProbeInBodySatisfiesTheLoop) {
+  const std::string source = Instrumented(R"cc(
+    void Handler(int n) {
+      for (int i = 0; i < n; ++i) {
+        a(i);
+        b(i);
+        c(i);
+        d(i);
+        e(i);
+        f(i);
+        CONCORD_PROBE_LOOP_BACKEDGE();
+      }
+    }
+  )cc");
+  EXPECT_TRUE(LintSource("t.cc", source, LintConfig{}).empty());
+}
+
+TEST(SourceLint, ShortBodiesAreExemptAsUnrollable) {
+  // A two-line body models a loop the pass would unroll into the enclosing
+  // probe interval (min_loop_body_instructions rule).
+  const std::string source = Instrumented(R"cc(
+    void Handler(int n) {
+      for (int i = 0; i < n; ++i) {
+        acc += i;
+        acc ^= i << 1;
+      }
+      CONCORD_PROBE();
+    }
+  )cc");
+  EXPECT_TRUE(LintSource("t.cc", source, LintConfig{}).empty());
+}
+
+TEST(SourceLint, NestedProbeCountsForOuterLoop) {
+  const std::string source = Instrumented(R"cc(
+    void Handler(int n) {
+      for (int i = 0; i < n; ++i) {
+        prepare(i);
+        for (int j = 0; j < n; ++j) {
+          work(i, j);
+          CONCORD_PROBE_LOOP_BACKEDGE();
+        }
+        finish(i);
+        publish(i);
+        log(i);
+      }
+    }
+  )cc");
+  EXPECT_TRUE(LintSource("t.cc", source, LintConfig{}).empty());
+}
+
+TEST(SourceLint, SuppressionCommentSilencesFinding) {
+  const std::string source = Instrumented(R"cc(
+    void Handler(int n) {
+      // concord-lint: allow-no-probe (bounded: caller probes every row)
+      while (n > 0) {
+        a(n);
+        b(n);
+        c(n);
+        d(n);
+        e(n);
+        f(n);
+        --n;
+      }
+    }
+  )cc");
+  EXPECT_TRUE(LintSource("t.cc", source, LintConfig{}).empty());
+}
+
+TEST(SourceLint, ProbeMentionedInCommentOrStringDoesNotCount) {
+  const std::string source = Instrumented(R"cc(
+    void Handler(int n) {
+      for (int i = 0; i < n; ++i) {
+        // CONCORD_PROBE() would go here some day
+        log("CONCORD_PROBE");
+        b(i);
+        c(i);
+        d(i);
+        e(i);
+        f(i);
+        g(i);
+      }
+    }
+  )cc");
+  const auto violations = LintSource("t.cc", source, LintConfig{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, LintViolation::Kind::kLoopWithoutProbe);
+}
+
+TEST(SourceLint, DoWhileBodyIsChecked) {
+  const std::string source = Instrumented(R"cc(
+    void Handler(int n) {
+      do {
+        a(n);
+        b(n);
+        c(n);
+        d(n);
+        e(n);
+        f(n);
+        g(n);
+      } while (--n > 0);
+    }
+  )cc");
+  const auto violations = LintSource("t.cc", source, LintConfig{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 4);
+}
+
+TEST(SourceLint, LongFunctionWithOnlyShortLoopsIsFlagged) {
+  // Each loop individually falls under the unroll exemption, but 45 lines of
+  // handler code with no probe at all is a quantum-sized hole.
+  std::string body;
+  for (int block = 0; block < 14; ++block) {
+    body += "  for (int i = 0; i < n; ++i) {\n    acc += i;\n  }\n";
+  }
+  const std::string source =
+      Instrumented("void Handler(int n) {\nint acc = 0;\n" + body + "}\n");
+  const auto violations = LintSource("t.cc", source, LintConfig{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, LintViolation::Kind::kFunctionWithoutProbe);
+}
+
+TEST(SourceLint, DriverLoopsInUninstrumentedFilesAreIgnored) {
+  // Load-sweep drivers run on the main thread, outside the runtime: no probe
+  // obligations unless the file participates in instrumentation.
+  const std::string source = R"cc(
+    int main() {
+      for (double load : loads) {
+        auto row = MakeRow(load);
+        for (const auto& system : systems) {
+          row.push_back(RunLoadPoint(system, load));
+          record(row);
+          publish(row);
+          flush(row);
+          archive(row);
+        }
+        print(row);
+      }
+    }
+  )cc";
+  EXPECT_TRUE(LintSource("driver.cc", source, LintConfig{}).empty());
+}
+
+TEST(SourceLint, HandlerLambdaInUninstrumentedFileIsChecked) {
+  const std::string source = R"cc(
+    int main() {
+      callbacks.handle_request = [&](const concord::RequestView& view) {
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          parse(rows[i]);
+          validate(rows[i]);
+          apply(rows[i]);
+          index(rows[i]);
+          publish(rows[i]);
+          audit(rows[i]);
+          archive(rows[i]);
+        }
+      };
+      runtime.Start();
+    }
+  )cc";
+  const auto violations = LintSource("server.cc", source, LintConfig{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, LintViolation::Kind::kHandlerLoopWithoutProbe);
+}
+
+TEST(SourceLint, HandlerLambdaDelegatingToInstrumentedCodeIsClean) {
+  const std::string source = R"cc(
+    int main() {
+      callbacks.handle_request = [&service](const concord::RequestView& view) {
+        service.Handle(view);
+      };
+    }
+  )cc";
+  EXPECT_TRUE(LintSource("server.cc", source, LintConfig{}).empty());
+}
+
+TEST(SourceLint, EverythingModeLintsUninstrumentedFiles) {
+  const std::string source = R"cc(
+    void NotAHandler(int n) {
+      while (n > 0) {
+        a(n);
+        b(n);
+        c(n);
+        d(n);
+        e(n);
+        f(n);
+        --n;
+      }
+    }
+  )cc";
+  LintConfig advisory;
+  advisory.lint_everything = true;
+  EXPECT_EQ(LintSource("any.cc", source, advisory).size(), 1u);
+  EXPECT_TRUE(LintSource("any.cc", source, LintConfig{}).empty());
+}
+
+TEST(SourceLint, UnreadableFileIsAViolation) {
+  const auto violations = LintFile("/nonexistent/concord/file.cc", LintConfig{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].message.find("unreadable"), std::string::npos);
+}
+
+// --- the CI gate: shipped handler code must be probe-clean ---
+
+#ifndef CONCORD_SOURCE_DIR
+#error "tests/CMakeLists.txt must define CONCORD_SOURCE_DIR"
+#endif
+
+TEST(ProbeCoverage, AppsTreeIsClean) {
+  const auto violations = LintTree(std::string(CONCORD_SOURCE_DIR) + "/src/apps", LintConfig{});
+  for (const LintViolation& violation : violations) {
+    ADD_FAILURE() << ViolationToString(violation);
+  }
+}
+
+TEST(ProbeCoverage, ExamplesTreeIsClean) {
+  const auto violations = LintTree(std::string(CONCORD_SOURCE_DIR) + "/examples", LintConfig{});
+  for (const LintViolation& violation : violations) {
+    ADD_FAILURE() << ViolationToString(violation);
+  }
+}
+
+}  // namespace
+}  // namespace concord

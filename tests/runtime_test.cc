@@ -155,6 +155,88 @@ TEST(SpscRingTest, CapacityIsExact) {
   }
 }
 
+TEST(SpscRingTest, WraparoundKeepsFifoAtNonPowerOfTwoCapacity) {
+  // Capacity 5 lives in 8 slots, so the masked indices wrap every 8
+  // operations while the ring wraps every 5 — sustained cycling walks
+  // through every (head, tail) phase alignment.
+  SpscRing<int> ring(5);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const int batch = 1 + round % 5;
+    for (int i = 0; i < batch; ++i) {
+      ASSERT_TRUE(ring.TryPush(next_push));
+      ++next_push;
+    }
+    ASSERT_EQ(ring.SizeApprox(), static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      int out = -1;
+      ASSERT_TRUE(ring.TryPop(&out));
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+    ASSERT_TRUE(ring.EmptyApprox());
+  }
+}
+
+TEST(SpscRingTest, FullRingStaysFullAcrossWraparound) {
+  // Pop one, push one, at permanent capacity: the full/empty distinction
+  // must survive arbitrarily many index wraps.
+  SpscRing<int> ring(3);
+  int next_push = 0;
+  while (ring.TryPush(next_push)) {
+    ++next_push;
+  }
+  ASSERT_EQ(next_push, 3);
+  for (int round = 0; round < 500; ++round) {
+    EXPECT_FALSE(ring.TryPush(999)) << "round " << round;
+    EXPECT_EQ(ring.SizeApprox(), 3u);
+    int out = -1;
+    ASSERT_TRUE(ring.TryPop(&out));
+    ASSERT_EQ(out, round);
+    ASSERT_TRUE(ring.TryPush(next_push));
+    ++next_push;
+  }
+}
+
+TEST(SpscRingTest, SizeApproxIsBoundedUnderConcurrency) {
+  // SizeApprox reads two indices non-atomically; the contract is that a torn
+  // read may only be stale, never out of [0, capacity]. Capacity 5 makes the
+  // clamp observable: the slot array holds 8, so an unclamped torn read
+  // could report 6 or 7.
+  SpscRing<std::uint64_t> ring(5);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (ring.SizeApprox() > ring.capacity()) {
+        violation.store(true);
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    std::uint64_t received = 0;
+    std::uint64_t value = 0;
+    while (received < 20000) {
+      if (ring.TryPop(&value)) {
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    while (!ring.TryPush(i)) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  stop.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_FALSE(violation.load());
+}
+
 TEST(SpscRingTest, TwoThreadStress) {
   SpscRing<std::uint64_t> ring(64);
   constexpr std::uint64_t kCount = 200000;
@@ -257,15 +339,23 @@ TEST(RuntimeTest, LongRequestsGetPreempted) {
   };
   Runtime runtime(options, callbacks);
   runtime.Start();
-  runtime.Submit(0, 1, nullptr);  // long
-  for (std::uint64_t i = 1; i <= 20; ++i) {
-    while (!runtime.Submit(i, 0, nullptr)) {
-      std::this_thread::yield();
+  // On a single-CPU host the worker can occasionally burn through the whole
+  // long request inside one OS timeslice before the dispatcher runs; retry a
+  // few rounds so the test asserts the mechanism, not one scheduling roll.
+  int rounds = 0;
+  std::uint64_t id = 0;
+  while (runtime.GetStats().preemptions == 0 && rounds < 10) {
+    ++rounds;
+    runtime.Submit(id++, 1, nullptr);  // long
+    for (int i = 0; i < 20; ++i) {
+      while (!runtime.Submit(id++, 0, nullptr)) {
+        std::this_thread::yield();
+      }
     }
+    runtime.WaitIdle();
   }
-  runtime.WaitIdle();
   runtime.Shutdown();
-  EXPECT_EQ(handled.load(), 21);
+  EXPECT_EQ(handled.load(), rounds * 21);
   EXPECT_GT(runtime.GetStats().preemptions, 0u);
 }
 

@@ -1,0 +1,107 @@
+// concord-verify: static probe-gap verification over the canned IR programs.
+//
+// Computes the provable worst-case probe-to-probe interval for every program
+// in src/compiler/programs.cc (the 24 Table 1 stand-ins) and checks it
+// against the target scheduling quantum. Exit status 0 means every program
+// verifies; 1 means at least one has an interval the placement rules cannot
+// bound below the quantum.
+//
+// Usage:
+//   concord_verify [--quantum_us=5.0] [--opaque_slack=2.0] [--strict]
+//                  [--json] [--program=NAME]
+//
+//   --quantum_us    target quantum for instrumented intervals
+//   --opaque_slack  multiplier on the quantum tolerated for un-instrumented
+//                   callees (probe-bracketed, unavoidable at any placement)
+//   --strict        shorthand for --opaque_slack=1.0
+//   --json          emit one machine-readable JSON verdict per line
+//   --program       verify only the named program
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/analysis/probe_gap_verifier.h"
+#include "src/compiler/programs.h"
+
+namespace {
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = std::atof(arg + len + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  concord::GapVerifierConfig config;
+  bool json = false;
+  std::string only_program;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseDoubleFlag(arg, "--quantum_us", &config.quantum_us) ||
+        ParseDoubleFlag(arg, "--opaque_slack", &config.opaque_slack)) {
+      continue;
+    }
+    if (std::strcmp(arg, "--strict") == 0) {
+      config.opaque_slack = 1.0;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(arg, "--program=", 10) == 0) {
+      only_program = arg + 10;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+  if (config.quantum_us <= 0.0 || config.opaque_slack < 1.0) {
+    std::fprintf(stderr, "invalid flags: quantum_us must be > 0, opaque_slack >= 1\n");
+    return 2;
+  }
+
+  int failures = 0;
+  int verified = 0;
+  for (const concord::Table1Program& program : concord::Table1Programs()) {
+    if (!only_program.empty() && program.name != only_program) {
+      continue;
+    }
+    const concord::ProgramGapReport report = concord::VerifyProgram(program.ir, config);
+    ++verified;
+    failures += report.pass ? 0 : 1;
+    if (json) {
+      std::printf("%s\n", report.ToJson().c_str());
+      continue;
+    }
+    std::printf("%-20s %-6s worst instrumented gap %9.1f ns (quantum %8.1f ns), "
+                "worst opaque gap %9.1f ns (bound %8.1f ns)\n",
+                report.program.c_str(), report.pass ? "PASS" : "FAIL",
+                report.worst_instrumented_gap_ns, report.quantum_ns, report.worst_opaque_gap_ns,
+                report.opaque_bound_ns);
+    if (!report.pass) {
+      for (const concord::FunctionGapReport& fn : report.functions) {
+        if (fn.pass) {
+          continue;
+        }
+        std::printf("  %s: instrumented %.1f ns via %s\n", fn.function.c_str(),
+                    fn.worst_instrumented_gap_ns, fn.instrumented_gap_path.c_str());
+        if (!fn.opaque_gap_path.empty()) {
+          std::printf("  %s: opaque %.1f ns via %s\n", fn.function.c_str(),
+                      fn.worst_opaque_gap_ns, fn.opaque_gap_path.c_str());
+        }
+      }
+    }
+  }
+  if (verified == 0) {
+    std::fprintf(stderr, "no program matched %s\n", only_program.c_str());
+    return 2;
+  }
+  if (!json) {
+    std::printf("%d/%d programs verified\n", verified - failures, verified);
+  }
+  return failures == 0 ? 0 : 1;
+}
