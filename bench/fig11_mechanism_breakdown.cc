@@ -12,6 +12,19 @@
 namespace concord {
 namespace {
 
+// Runs the real runtime once and prints its mechanism counters next to the
+// model's Eq. 3 prediction; the snapshot honors --telemetry-out=FILE.
+void RunLiveSection(int argc, char** argv) {
+  constexpr double kQuantumUs = 500.0;
+  constexpr double kServiceUs = 2600.0;  // floor(S/q) = 5 preemptions/request
+  std::cout << "--- live runtime cross-check (q=" << kQuantumUs << "us, S=" << kServiceUs
+            << "us spin) ---\n";
+  const telemetry::TelemetrySnapshot snapshot =
+      RunLiveSpinTelemetry(kQuantumUs, kServiceUs, /*request_count=*/24, /*worker_count=*/2);
+  PrintLiveCounterCheck(snapshot, kQuantumUs, kServiceUs);
+  MaybeWriteTelemetry(snapshot, argc, argv);
+}
+
 void Run() {
   PrintFigureHeader("Figure 11",
                     "Cumulative mechanism ablation, LevelDB 50% GET / 50% SCAN, q=2us",
@@ -38,7 +51,8 @@ void Run() {
 }  // namespace
 }  // namespace concord
 
-int main() {
+int main(int argc, char** argv) {
   concord::Run();
+  concord::RunLiveSection(argc, argv);
   return 0;
 }

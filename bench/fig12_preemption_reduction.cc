@@ -44,12 +44,27 @@ void Run() {
                   TablePrinter::Fixed(shinjuku / concord, 1)});
   }
   table.Print(std::cout);
+  std::cout << "\n";
+}
+
+// Live counterpart of the table above: the runtime's own preemption
+// counters, per request, against floor(S/q). Honors --telemetry-out=FILE.
+void RunLiveSection(int argc, char** argv) {
+  constexpr double kQuantumUs = 250.0;
+  constexpr double kServiceUs = 2000.0;  // floor(S/q) = 8 preemptions/request
+  std::cout << "--- live runtime cross-check (q=" << kQuantumUs << "us, S=" << kServiceUs
+            << "us spin) ---\n";
+  const telemetry::TelemetrySnapshot snapshot =
+      RunLiveSpinTelemetry(kQuantumUs, kServiceUs, /*request_count=*/24, /*worker_count=*/2);
+  PrintLiveCounterCheck(snapshot, kQuantumUs, kServiceUs);
+  MaybeWriteTelemetry(snapshot, argc, argv);
 }
 
 }  // namespace
 }  // namespace concord
 
-int main() {
+int main(int argc, char** argv) {
   concord::Run();
+  concord::RunLiveSection(argc, argv);
   return 0;
 }

@@ -1,9 +1,13 @@
 #include "bench/figure_common.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
+#include "src/runtime/runtime.h"
 #include "src/stats/table.h"
+#include "src/telemetry/export.h"
 
 namespace concord {
 
@@ -66,6 +70,60 @@ void PrintSloCrossovers(const std::vector<SystemConfig>& systems, const CostMode
   }
   table.Print(std::cout);
   std::cout << "\n";
+}
+
+telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double service_us,
+                                                  int request_count, int worker_count) {
+  Runtime::Options options;
+  options.worker_count = worker_count;
+  options.quantum_us = quantum_us;
+  options.jbsq_depth = 2;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [service_us](const RequestView&) { SpinWithProbesUs(service_us); };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  // Submit the whole batch up front: the backlog keeps "other work pending"
+  // true, so the dispatcher actually requests preemptions (§3.1).
+  for (int i = 0; i < request_count; ++i) {
+    while (!runtime.Submit(static_cast<std::uint64_t>(i), 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  telemetry::TelemetrySnapshot snapshot = runtime.GetTelemetry();
+  runtime.Shutdown();
+  return snapshot;
+}
+
+void PrintLiveCounterCheck(const telemetry::TelemetrySnapshot& snapshot, double quantum_us,
+                           double service_us) {
+  if (!snapshot.enabled) {
+    std::cout << "live counters: telemetry compiled out (CONCORD_TELEMETRY=OFF)\n\n";
+    return;
+  }
+  const telemetry::WorkerSnapshot totals = snapshot.Totals();
+  const auto completed = snapshot.RequestsCompleted();
+  const double model_preemptions = std::floor(service_us / quantum_us);
+  const double live_preemptions =
+      completed > 0 ? static_cast<double>(totals.probe_yields) / static_cast<double>(completed)
+                    : 0.0;
+  TablePrinter table({"live counter", "value"});
+  table.AddRow({"requests completed", std::to_string(completed)});
+  table.AddRow({"probe polls", std::to_string(totals.probe_polls)});
+  table.AddRow({"preemptions requested", std::to_string(totals.preemptions_requested)});
+  table.AddRow({"preemptions honored", std::to_string(totals.probe_yields)});
+  table.AddRow({"work-conserving quanta", std::to_string(snapshot.dispatcher.quanta_run)});
+  table.AddRow({"preemptions/request (live)", TablePrinter::Fixed(live_preemptions, 2)});
+  table.AddRow({"preemptions/request (model floor(S/q))",
+                TablePrinter::Fixed(model_preemptions, 2)});
+  table.Print(std::cout);
+  std::cout << "(live counts trail the model on small or contended hosts: a "
+               "request that outlives its quantum while the scheduler starves "
+               "the dispatcher is preempted late or not at all)\n\n";
+}
+
+void MaybeWriteTelemetry(const telemetry::TelemetrySnapshot& snapshot, int argc, char** argv) {
+  telemetry::MaybeExportSnapshot(snapshot, argc, argv);
 }
 
 }  // namespace concord

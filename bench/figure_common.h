@@ -9,6 +9,7 @@
 
 #include "src/model/costs.h"
 #include "src/model/experiment.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/distribution.h"
 
 namespace concord {
@@ -31,6 +32,22 @@ void RunSlowdownSweep(const std::vector<SystemConfig>& systems, const CostModel&
 void PrintSloCrossovers(const std::vector<SystemConfig>& systems, const CostModel& costs,
                         const ServiceDistribution& distribution, double lo_krps, double hi_krps,
                         const ExperimentParams& params, std::size_t baseline_index = 0);
+
+// Runs the real runtime under a fixed-length spin workload (`request_count`
+// requests of `service_us` each, submitted up front) and returns its
+// telemetry snapshot. The mechanism figures use this to print live counters
+// next to the model's predictions (Eq. 3: floor(S/q) preemptions/request).
+telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double service_us,
+                                                  int request_count, int worker_count);
+
+// Prints the live mechanism counters of `snapshot` against the model's
+// preemptions-per-request prediction for (quantum_us, service_us).
+void PrintLiveCounterCheck(const telemetry::TelemetrySnapshot& snapshot, double quantum_us,
+                           double service_us);
+
+// Writes `snapshot` to the --telemetry-out=FILE (or CONCORD_TELEMETRY_OUT)
+// destination; no-op when neither is set.
+void MaybeWriteTelemetry(const telemetry::TelemetrySnapshot& snapshot, int argc, char** argv);
 
 }  // namespace concord
 

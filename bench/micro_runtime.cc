@@ -6,10 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/runtime/instrument.h"
 #include "src/runtime/runtime.h"
+#include "src/telemetry/event_ring.h"
+#include "src/telemetry/export.h"
 
 namespace concord {
 namespace {
@@ -87,7 +92,77 @@ void BM_GuardedMutexLockUnlock(benchmark::State& state) {
 }
 BENCHMARK(BM_GuardedMutexLockUnlock);
 
+void BM_TelemetryEventRingPush(benchmark::State& state) {
+  // The per-completion cost a worker pays to publish a lifecycle record.
+  telemetry::EventRing<telemetry::RequestLifecycle> ring(256);
+  telemetry::RequestLifecycle lifecycle;
+  lifecycle.id = 1;
+  for (auto _ : state) {
+    ring.Push(lifecycle);
+    benchmark::DoNotOptimize(ring.produced());
+  }
+}
+BENCHMARK(BM_TelemetryEventRingPush);
+
+void BM_TelemetrySnapshot(benchmark::State& state) {
+  // Cost of GetTelemetry() against a live runtime (cold path; called by
+  // monitoring, not by the request path).
+  Runtime::Options options;
+  options.worker_count = 1;
+  options.quantum_us = 1000.0;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView&) {};
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  // Monitoring-path measurement, not handler code. concord-lint: allow-no-probe
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.GetTelemetry());
+  }
+  runtime.Shutdown();
+}
+BENCHMARK(BM_TelemetrySnapshot);
+
 }  // namespace
 }  // namespace concord
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus --telemetry-out=FILE: after the benchmarks run, drive
+// one small pipelined workload and export its telemetry snapshot. The CI
+// overhead smoke compares BM_PipelinedThroughput between CONCORD_TELEMETRY
+// ON and OFF builds.
+int main(int argc, char** argv) {
+  const std::string telemetry_out = concord::telemetry::TelemetryOutPath(argc, argv);
+  std::vector<char*> bench_args;  // benchmark::Initialize rejects foreign flags
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--telemetry-out=", 16) != 0) {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!telemetry_out.empty()) {
+    concord::Runtime::Options options;
+    options.worker_count = 2;
+    options.quantum_us = 1000.0;
+    concord::Runtime::Callbacks callbacks;
+    callbacks.handle_request = [](const concord::RequestView&) {};
+    concord::Runtime runtime(options, callbacks);
+    runtime.Start();
+    for (std::uint64_t id = 0; id < 512; ++id) {
+      while (!runtime.Submit(id, 0, nullptr)) {
+        std::this_thread::yield();
+      }
+    }
+    runtime.WaitIdle();
+    const concord::telemetry::TelemetrySnapshot snapshot = runtime.GetTelemetry();
+    runtime.Shutdown();
+    if (!concord::telemetry::WriteSnapshotJson(snapshot, telemetry_out)) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+# Compiles the probe hot path (src/runtime/probe.cc) to assembly twice — once
+# with CONCORD_TELEMETRY_ENABLED=1 and once with =0 — and requires the output
+# to be byte-identical. This is the CONCORD_TELEMETRY=OFF zero-cost guarantee
+# at the codegen level; the companion source-level test
+# (telemetry.TelemetryCodegenTest.ProbeHotPathSourcesAreTelemetryFree)
+# explains why it holds by construction.
+#
+# Invoked by ctest as:
+#   cmake -DCXX=<compiler> -DSRC=<source dir> -DOUT=<scratch dir>
+#         -P CheckProbeCodegen.cmake
+
+foreach(var CXX SRC OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+foreach(mode 0 1)
+  execute_process(
+    COMMAND "${CXX}" -std=c++17 -O2 -S -I "${SRC}"
+            -DCONCORD_TELEMETRY_ENABLED=${mode}
+            "${SRC}/src/runtime/probe.cc"
+            -o "${OUT}/probe_telemetry_${mode}.s"
+    RESULT_VARIABLE status
+    ERROR_VARIABLE errors)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "compiling probe.cc with CONCORD_TELEMETRY_ENABLED=${mode} failed:\n${errors}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT}/probe_telemetry_0.s" "${OUT}/probe_telemetry_1.s"
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+      "probe.cc assembly differs between CONCORD_TELEMETRY_ENABLED=0 and =1; "
+      "the probe hot path must stay telemetry-free "
+      "(diff ${OUT}/probe_telemetry_0.s ${OUT}/probe_telemetry_1.s)")
+endif()
+message(STATUS "probe.cc codegen is byte-identical with telemetry ON and OFF")

@@ -9,14 +9,18 @@
 // counter and are never preempted mid-mutation.
 //
 // Usage: kvstore_server [offered_krps] [request_count] [scan_percent]
+//                       [--telemetry-out=FILE]
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "src/kvstore/db.h"
 #include "src/loadgen/loadgen.h"
 #include "src/runtime/runtime.h"
+#include "src/telemetry/export.h"
 #include "src/workload/distribution.h"
 
 namespace {
@@ -26,9 +30,16 @@ enum RequestClass { kGet = 0, kPut = 1, kDelete = 2, kScan = 3 };
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double offered_krps = argc > 1 ? std::atof(argv[1]) : 3.0;
-  const std::uint64_t count = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 3000;
-  const double scan_percent = argc > 3 ? std::atof(argv[3]) : 3.0;
+  std::vector<const char*> positional;  // flags (--*) are not positional
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      positional.push_back(argv[i]);
+    }
+  }
+  const double offered_krps = !positional.empty() ? std::atof(positional[0]) : 3.0;
+  const std::uint64_t count =
+      positional.size() > 1 ? static_cast<std::uint64_t>(std::atoll(positional[1])) : 3000;
+  const double scan_percent = positional.size() > 2 ? std::atof(positional[2]) : 3.0;
 
   concord::Db db;
   constexpr int kKeys = 15000;
@@ -100,6 +111,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(count), offered_krps, scan_percent);
   const concord::LoadgenReport report = loadgen.Run(&runtime, offered_krps, count);
   const concord::Runtime::Stats stats = runtime.GetStats();
+  const concord::telemetry::TelemetrySnapshot telemetry = runtime.GetTelemetry();
   runtime.Shutdown();
 
   std::printf("\nops: %llu GET, %llu PUT, %llu DELETE, %llu SCAN (%llu pairs walked)\n",
@@ -113,5 +125,14 @@ int main(int argc, char** argv) {
   std::printf("preemptions=%llu (scans yielding to point queries), dispatcher_completed=%llu\n",
               static_cast<unsigned long long>(stats.preemptions),
               static_cast<unsigned long long>(stats.dispatcher_completed));
-  return 0;
+  if (telemetry.enabled) {
+    const concord::telemetry::WorkerSnapshot totals = telemetry.Totals();
+    std::printf("telemetry: probe_polls=%llu preempt_requested=%llu preempt_honored=%llu "
+                "dispatcher_quanta=%llu\n",
+                static_cast<unsigned long long>(totals.probe_polls),
+                static_cast<unsigned long long>(totals.preemptions_requested),
+                static_cast<unsigned long long>(totals.probe_yields),
+                static_cast<unsigned long long>(telemetry.dispatcher.quanta_run));
+  }
+  return concord::telemetry::MaybeExportSnapshot(telemetry, argc, argv) ? 0 : 1;
 }

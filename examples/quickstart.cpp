@@ -6,19 +6,29 @@
 // yet the preemptive quantum keeps the short requests' tail slowdown far
 // below what run-to-completion would produce.
 //
-// Usage: quickstart [offered_krps] [request_count]
+// Usage: quickstart [offered_krps] [request_count] [--telemetry-out=FILE]
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "src/apps/synthetic.h"
 #include "src/loadgen/loadgen.h"
 #include "src/runtime/runtime.h"
+#include "src/telemetry/export.h"
 #include "src/workload/workload_factory.h"
 
 int main(int argc, char** argv) {
-  const double offered_krps = argc > 1 ? std::atof(argv[1]) : 2.0;
-  const std::uint64_t count = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 2000;
+  std::vector<const char*> positional;  // flags (--*) are not positional
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      positional.push_back(argv[i]);
+    }
+  }
+  const double offered_krps = !positional.empty() ? std::atof(positional[0]) : 2.0;
+  const std::uint64_t count =
+      positional.size() > 1 ? static_cast<std::uint64_t>(std::atoll(positional[1])) : 2000;
 
   // A bimodal workload: mostly 20us requests with occasional 2ms monsters.
   concord::DiscreteMixtureDistribution workload({
@@ -50,6 +60,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(count), offered_krps);
   const concord::LoadgenReport report = loadgen.Run(&runtime, offered_krps, count);
   const concord::Runtime::Stats stats = runtime.GetStats();
+  const concord::telemetry::TelemetrySnapshot telemetry = runtime.GetTelemetry();
   runtime.Shutdown();
 
   std::printf("\ncompleted %llu/%llu (dropped %llu), achieved %.2f kRps\n",
@@ -61,5 +72,14 @@ int main(int argc, char** argv) {
   std::printf("preemptions=%llu dispatcher_completed=%llu\n",
               static_cast<unsigned long long>(stats.preemptions),
               static_cast<unsigned long long>(stats.dispatcher_completed));
-  return 0;
+  if (telemetry.enabled) {
+    const concord::telemetry::WorkerSnapshot totals = telemetry.Totals();
+    std::printf("telemetry: probe_polls=%llu preempt_requested=%llu preempt_honored=%llu "
+                "dispatcher_quanta=%llu\n",
+                static_cast<unsigned long long>(totals.probe_polls),
+                static_cast<unsigned long long>(totals.preemptions_requested),
+                static_cast<unsigned long long>(totals.probe_yields),
+                static_cast<unsigned long long>(telemetry.dispatcher.quanta_run));
+  }
+  return concord::telemetry::MaybeExportSnapshot(telemetry, argc, argv) ? 0 : 1;
 }

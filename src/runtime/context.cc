@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/telemetry/telemetry.h"
 
 #if !defined(__x86_64__)
 #error "the Concord runtime's context switch is implemented for x86-64 only"
@@ -189,6 +190,7 @@ void Fiber::Reset(std::function<void()> fn) {
 bool Fiber::Run() {
   CONCORD_CHECK(armed_ && !finished_) << "running an unarmed fiber";
   CONCORD_CHECK(t_current_fiber == nullptr) << "nested fiber Run()";
+  telemetry::CountFiberSwitch();  // one switch-in per segment; no-op when OFF
   t_current_fiber = this;
 #if defined(CONCORD_TSAN_FIBERS)
   t_scheduler_tsan_fiber = __tsan_get_current_fiber();

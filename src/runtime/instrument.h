@@ -37,6 +37,7 @@ namespace probe_internal {
 inline thread_local ProbeBinding g_binding{};
 inline thread_local std::int32_t g_preempt_disable_count = 0;
 inline thread_local std::uint64_t g_probe_count = 0;
+inline thread_local std::uint64_t g_probe_yield_count = 0;
 }  // namespace probe_internal
 
 // Installs (or clears, with {}) the calling thread's probe binding.
@@ -48,6 +49,14 @@ inline bool PreemptionDisabled() { return probe_internal::g_preempt_disable_coun
 // Number of probes executed by this thread (diagnostics and tests).
 inline std::uint64_t ProbeCount() { return probe_internal::g_probe_count; }
 inline void ResetProbeCount() { probe_internal::g_probe_count = 0; }
+
+// Number of probe-triggered yields taken on this thread. Maintained on the
+// *yield* path only — a probe binding calls NoteProbeYield() immediately
+// before suspending the fiber — so the poll fast path is untouched. The
+// runtime folds deltas of this counter into its per-worker telemetry at
+// segment boundaries.
+inline std::uint64_t ProbeYieldCount() { return probe_internal::g_probe_yield_count; }
+inline void NoteProbeYield() { ++probe_internal::g_probe_yield_count; }
 
 // The probe itself. Deliberately out-of-line (probe.cc): probes execute
 // inside fibers that migrate between threads, and an inline body would let

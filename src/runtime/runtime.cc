@@ -1,5 +1,6 @@
 #include "src/runtime/runtime.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/common/cpu.h"
@@ -44,6 +45,7 @@ void WorkerProbeFn(void* arg) {
       Fiber::Current() != nullptr) {
     // Acknowledge and yield; the worker loop reports the preempted request.
     state->signal->word.store(0, std::memory_order_release);
+    NoteProbeYield();
     Fiber::Yield();
   }
 }
@@ -55,6 +57,7 @@ struct DispatcherProbeState {
 void DispatcherProbeFn(void* arg) {
   auto* state = static_cast<DispatcherProbeState*>(arg);
   if (Fiber::Current() != nullptr && ReadTsc() >= state->deadline_tsc) {
+    NoteProbeYield();
     Fiber::Yield();
   }
 }
@@ -103,10 +106,17 @@ void Runtime::Start() {
     callbacks_.setup();
   }
 
+  // A 1-slot ring when telemetry is compiled out: WorkerShared keeps a fixed
+  // layout in both modes, but an OFF build should not pay for dead slots.
+  const std::size_t ring_capacity =
+      telemetry::kEnabled ? std::max<std::size_t>(std::size_t{1}, options_.telemetry_ring_capacity)
+                          : std::size_t{1};
   workers_.reserve(static_cast<std::size_t>(options_.worker_count));
   for (int i = 0; i < options_.worker_count; ++i) {
-    workers_.push_back(
-        std::make_unique<WorkerShared>(static_cast<std::size_t>(options_.jbsq_depth)));
+    workers_.push_back(std::make_unique<WorkerShared>(
+        static_cast<std::size_t>(options_.jbsq_depth), ring_capacity));
+    dispatcher_worker_telemetry_.push_back(
+        std::make_unique<telemetry::DispatcherWorkerCounters>());
   }
   outstanding_.assign(static_cast<std::size_t>(options_.worker_count), 0);
   signaled_generation_.assign(static_cast<std::size_t>(options_.worker_count), 0);
@@ -146,6 +156,11 @@ bool Runtime::Submit(std::uint64_t id, int request_class, void* payload) {
   request->request_class = request_class;
   request->payload = payload;
   request->arrival_tsc = ReadTsc();
+  if constexpr (telemetry::kEnabled) {
+    request->lifecycle.id = id;
+    request->lifecycle.request_class = request_class;
+    request->lifecycle.arrival_tsc = request->arrival_tsc;
+  }
   {
     std::lock_guard<std::mutex> lock(ingress_mu_);
     if (ingress_.size() >= options_.ingress_capacity) {
@@ -186,6 +201,29 @@ Runtime::Stats Runtime::GetStats() const {
   stats.dispatcher_started = dispatcher_started_count_.load();
   stats.dispatcher_completed = dispatcher_completed_count_.load();
   return stats;
+}
+
+telemetry::TelemetrySnapshot Runtime::GetTelemetry() const {
+  telemetry::TelemetrySnapshot snapshot;
+  snapshot.tsc_ghz = tsc_ghz_;
+  snapshot.workers.resize(workers_.size());
+  if constexpr (!telemetry::kEnabled) {
+    return snapshot;  // enabled=false, all zeros
+  }
+  std::uint64_t ring_dropped = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    snapshot.workers[w] = telemetry::WorkerSnapshot::Capture(workers_[w]->counters,
+                                                             *dispatcher_worker_telemetry_[w]);
+    ring_dropped += workers_[w]->lifecycle_ring.dropped();
+  }
+  snapshot.dispatcher = telemetry::DispatcherSnapshot::Capture(dispatcher_telemetry_);
+  // ring_dropped lives in the rings themselves; fold it into the snapshot.
+  snapshot.dispatcher.ring_dropped += ring_dropped;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    snapshot.lifecycles.assign(lifecycle_history_.begin(), lifecycle_history_.end());
+  }
+  return snapshot;
 }
 
 Fiber* Runtime::AcquireFiber() {
@@ -281,9 +319,24 @@ void Runtime::PushJbsq(bool* progress) {
     }
     CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(best)] < options_.jbsq_depth)
         << "JBSQ(k) bound about to be exceeded for worker " << best;
+    if constexpr (telemetry::kEnabled) {
+      // Stamp before the push: past it, the worker owns the request.
+      if (request->lifecycle.dispatch_tsc == 0) {
+        request->lifecycle.dispatch_tsc = ReadTsc();
+      }
+    }
     const bool pushed = workers_[static_cast<std::size_t>(best)]->inbox.TryPush(request);
     CONCORD_CHECK(pushed) << "JBSQ inbox overflow despite outstanding bound";
     outstanding_[static_cast<std::size_t>(best)] += 1;
+    if constexpr (telemetry::kEnabled) {
+      telemetry::DispatcherWorkerCounters& counters =
+          *dispatcher_worker_telemetry_[static_cast<std::size_t>(best)];
+      counters.jbsq_pushes.fetch_add(1, std::memory_order_relaxed);
+      const auto inflight = static_cast<std::uint64_t>(outstanding_[static_cast<std::size_t>(best)]);
+      if (inflight > counters.max_inflight.load(std::memory_order_relaxed)) {
+        counters.max_inflight.store(inflight, std::memory_order_relaxed);
+      }
+    }
     *progress = true;
   }
 }
@@ -315,6 +368,13 @@ void Runtime::SendPreemptSignals() {
     if (shared.generation.value.load(std::memory_order_acquire) != generation) {
       continue;
     }
+    if constexpr (telemetry::kEnabled) {
+      // Count before the signal store: the worker can only honor (and count
+      // a yield for) a request that is already accounted, so honored <=
+      // requested holds for quiescent snapshots.
+      dispatcher_worker_telemetry_[static_cast<std::size_t>(w)]->preempt_signals_sent.fetch_add(
+          1, std::memory_order_relaxed);
+    }
     shared.preempt_signal.word.store(generation, std::memory_order_release);
     signaled_generation_[static_cast<std::size_t>(w)] = generation;
   }
@@ -344,20 +404,84 @@ void Runtime::MaybeRunAppRequest() {
     request->started = true;
     request->on_dispatcher = true;
     dispatcher_started_count_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (telemetry::kEnabled) {
+      if (request->lifecycle.dispatch_tsc == 0) {
+        request->lifecycle.dispatch_tsc = ReadTsc();
+      }
+      dispatcher_telemetry_.requests_started.fetch_add(1, std::memory_order_relaxed);
+    }
     dispatcher_request_ = request;
   }
   // Run (or resume) the dispatcher's request for one quantum under
   // rdtsc-based self-preemption.
   CONCORD_DCHECK(dispatcher_request_->on_dispatcher)
       << "dispatcher resumed a request it does not own";
-  t_dispatcher_probe_state.deadline_tsc = ReadTsc() + quantum_tsc_;
+  const std::uint64_t quantum_start_tsc = ReadTsc();
+  if constexpr (telemetry::kEnabled) {
+    if (dispatcher_request_->lifecycle.first_run_tsc == 0) {
+      dispatcher_request_->lifecycle.first_run_tsc = quantum_start_tsc;
+      dispatcher_request_->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
+    }
+    dispatcher_telemetry_.quanta_run.fetch_add(1, std::memory_order_relaxed);
+  }
+  t_dispatcher_probe_state.deadline_tsc = quantum_start_tsc + quantum_tsc_;
   const bool finished = dispatcher_request_->fiber->Run();
+  if constexpr (telemetry::kEnabled) {
+    // Probes only run on this thread inside dispatcher quanta, so folding
+    // the thread-local here captures them all.
+    const std::uint64_t probe_count = ProbeCount();
+    dispatcher_telemetry_.probe_polls.fetch_add(probe_count - dispatcher_probe_count_baseline_,
+                                                std::memory_order_relaxed);
+    dispatcher_probe_count_baseline_ = probe_count;
+    if (finished) {
+      dispatcher_request_->lifecycle.finish_tsc = ReadTsc();
+      dispatcher_request_->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
+      dispatcher_telemetry_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      AppendLifecycle(dispatcher_request_->lifecycle);
+    } else {
+      dispatcher_request_->lifecycle.RecordPreemption(ReadTsc());
+    }
+  }
   if (finished) {
     CompleteRequest(dispatcher_request_, /*on_dispatcher=*/true);
     dispatcher_request_ = nullptr;
   }
   // Unfinished requests stay parked here: their instrumentation (and in the
   // real system, their code version) pins them to the dispatcher.
+}
+
+// Moves completed lifecycles out of the worker rings into the bounded
+// history. Called from the dispatcher loop; cheap when the rings are empty
+// (one acquire load per worker).
+void Runtime::DrainTelemetryRings() {
+  if constexpr (!telemetry::kEnabled) {
+    return;
+  }
+  for (auto& worker : workers_) {
+    telemetry_drain_scratch_.clear();
+    const std::size_t drained = worker->lifecycle_ring.Drain(&telemetry_drain_scratch_);
+    if (drained == 0) {
+      continue;
+    }
+    dispatcher_telemetry_.events_drained.fetch_add(drained, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    for (const telemetry::RequestLifecycle& lifecycle : telemetry_drain_scratch_) {
+      lifecycle_history_.push_back(lifecycle);
+    }
+    while (lifecycle_history_.size() > options_.telemetry_history_capacity) {
+      lifecycle_history_.pop_front();
+      dispatcher_telemetry_.history_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Runtime::AppendLifecycle(const telemetry::RequestLifecycle& lifecycle) {
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  lifecycle_history_.push_back(lifecycle);
+  while (lifecycle_history_.size() > options_.telemetry_history_capacity) {
+    lifecycle_history_.pop_front();
+    dispatcher_telemetry_.history_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Runtime::DispatcherLoop() {
@@ -381,12 +505,16 @@ void Runtime::DispatcherLoop() {
     PushJbsq(&progress);
     SendPreemptSignals();
     MaybeRunAppRequest();
+    DrainTelemetryRings();
     if (progress || dispatcher_request_ != nullptr) {
       backoff.Reset();
     } else {
       backoff.Idle();
     }
   }
+  // Final drain: events published between the last pass and the stop flag
+  // must still reach the history before the threads join.
+  DrainTelemetryRings();
   SetProbeBinding({});
 }
 
@@ -399,15 +527,42 @@ void Runtime::WorkerLoop(int worker_index) {
   probe_state.signal = &shared.preempt_signal;
   SetProbeBinding(ProbeBinding{&WorkerProbeFn, &probe_state});
 
+  // Telemetry fold state: thread-local instrument counters are sampled at
+  // segment boundaries and their deltas attributed to this worker's block.
+  telemetry::WorkerCounters& counters = shared.counters;
+  std::uint64_t last_probe_count = ProbeCount();
+  std::uint64_t last_probe_yields = ProbeYieldCount();
+  std::uint64_t last_fiber_switches = telemetry::ThreadFiberSwitches();
+  std::uint64_t idle_start_tsc = 0;
+
   std::uint64_t generation = 0;
   Backoff backoff;
   while (!stop_.load(std::memory_order_acquire)) {
     RuntimeRequest* request = nullptr;
     if (!shared.inbox.TryPop(&request)) {
+      if constexpr (telemetry::kEnabled) {
+        if (idle_start_tsc == 0) {
+          idle_start_tsc = ReadTsc();
+        }
+      }
       backoff.Idle();
       continue;
     }
     backoff.Reset();
+    const std::uint64_t segment_start_tsc = ReadTsc();
+    if constexpr (telemetry::kEnabled) {
+      if (idle_start_tsc != 0) {
+        counters.idle_cycles.fetch_add(segment_start_tsc - idle_start_tsc,
+                                       std::memory_order_relaxed);
+        idle_start_tsc = 0;
+      }
+      if (request->lifecycle.first_run_tsc == 0) {
+        request->lifecycle.first_run_tsc = segment_start_tsc;
+        request->lifecycle.first_worker = worker_index;
+        counters.requests_started.fetch_add(1, std::memory_order_relaxed);
+      }
+      counters.segments_run.fetch_add(1, std::memory_order_relaxed);
+    }
     // New segment: clear any stale signal, publish start time then
     // generation. The generation store is the release edge the dispatcher
     // acquires, which guarantees it never pairs a fresh generation with a
@@ -415,7 +570,7 @@ void Runtime::WorkerLoop(int worker_index) {
     generation += 1;
     probe_state.current_generation = generation;
     shared.preempt_signal.word.store(0, std::memory_order_release);
-    shared.run_start_tsc.value.store(ReadTsc(), std::memory_order_relaxed);
+    shared.run_start_tsc.value.store(segment_start_tsc, std::memory_order_relaxed);
     shared.generation.value.store(generation, std::memory_order_release);
 
     const bool finished = request->fiber->Run();
@@ -424,6 +579,32 @@ void Runtime::WorkerLoop(int worker_index) {
     // dispatcher stops considering this segment before the start time resets.
     shared.generation.value.store(0, std::memory_order_release);
     shared.run_start_tsc.value.store(0, std::memory_order_release);
+    if constexpr (telemetry::kEnabled) {
+      const std::uint64_t segment_end_tsc = ReadTsc();
+      counters.busy_cycles.fetch_add(segment_end_tsc - segment_start_tsc,
+                                     std::memory_order_relaxed);
+      const std::uint64_t probe_count = ProbeCount();
+      counters.probe_polls.fetch_add(probe_count - last_probe_count, std::memory_order_relaxed);
+      last_probe_count = probe_count;
+      const std::uint64_t probe_yields = ProbeYieldCount();
+      counters.probe_yields.fetch_add(probe_yields - last_probe_yields,
+                                      std::memory_order_relaxed);
+      last_probe_yields = probe_yields;
+      const std::uint64_t fiber_switches = telemetry::ThreadFiberSwitches();
+      counters.fiber_switches.fetch_add(fiber_switches - last_fiber_switches,
+                                        std::memory_order_relaxed);
+      last_fiber_switches = fiber_switches;
+      if (finished) {
+        request->lifecycle.finish_tsc = segment_end_tsc;
+        request->lifecycle.completion_worker = worker_index;
+        counters.requests_completed.fetch_add(1, std::memory_order_relaxed);
+        // Published by value: the dispatcher may recycle the request the
+        // instant it pops the outbox below.
+        shared.lifecycle_ring.Push(request->lifecycle);
+      } else {
+        request->lifecycle.RecordPreemption(segment_end_tsc);
+      }
+    }
     request->finished = finished;
     Backoff push_backoff;
     while (!shared.outbox.TryPush(request)) {

@@ -36,6 +36,8 @@
 #include "src/common/cacheline.h"
 #include "src/runtime/context.h"
 #include "src/runtime/spsc_ring.h"
+#include "src/telemetry/event_ring.h"
+#include "src/telemetry/telemetry.h"
 
 namespace concord {
 
@@ -58,6 +60,11 @@ class Runtime {
     bool pin_threads = false;
     std::size_t fiber_stack_bytes = Fiber::kDefaultStackBytes;
     std::size_t ingress_capacity = 4096;
+    // Telemetry sizing (ignored when CONCORD_TELEMETRY=OFF): per-worker
+    // lifecycle ring slots and the bounded completed-request history the
+    // dispatcher maintains. Both drop oldest on overflow, with counters.
+    std::size_t telemetry_ring_capacity = 256;
+    std::size_t telemetry_history_capacity = 4096;
   };
 
   struct Callbacks {
@@ -101,6 +108,13 @@ class Runtime {
 
   Stats GetStats() const;
 
+  // Mechanism-level counters and recent request lifecycles
+  // (docs/telemetry.md). Counters are individually exact; cross-counter
+  // invariants (e.g. honored <= requested) are exact once the runtime is
+  // quiescent (after WaitIdle). Returns an all-zero snapshot with
+  // enabled=false when built with CONCORD_TELEMETRY=OFF.
+  telemetry::TelemetrySnapshot GetTelemetry() const;
+
   // Measured TSC frequency used for quantum arithmetic.
   double tsc_ghz() const { return tsc_ghz_; }
 
@@ -114,13 +128,21 @@ class Runtime {
     bool started = false;
     bool on_dispatcher = false;
     bool finished = false;
+    // Lifecycle telemetry. Plain fields: every stamp is written by the
+    // thread that exclusively owns the request at that moment, and ownership
+    // hands over through release/acquire ring operations.
+    telemetry::RequestLifecycle lifecycle;
   };
 
   struct WorkerShared {
-    explicit WorkerShared(std::size_t depth)
-        : inbox(depth), outbox(2 * depth + 8) {}
+    WorkerShared(std::size_t depth, std::size_t telemetry_ring_capacity)
+        : inbox(depth), outbox(2 * depth + 8), lifecycle_ring(telemetry_ring_capacity) {}
     SpscRing<RuntimeRequest*> inbox;
     SpscRing<RuntimeRequest*> outbox;
+    // Worker-written telemetry counters (own cache lines) and the lock-free
+    // lifecycle ring the dispatcher drains (overwrite-oldest on overflow).
+    telemetry::WorkerCounters counters;
+    telemetry::EventRing<telemetry::RequestLifecycle> lifecycle_ring;
     // Dispatcher -> worker preemption signal: holds the generation to
     // preempt, 0 when clear. One dedicated cache line (§3.1).
     SignalLine preempt_signal;
@@ -138,6 +160,8 @@ class Runtime {
   void PushJbsq(bool* progress);
   void SendPreemptSignals();
   void MaybeRunAppRequest();
+  void DrainTelemetryRings();
+  void AppendLifecycle(const telemetry::RequestLifecycle& lifecycle);
   void CompleteRequest(RuntimeRequest* request, bool on_dispatcher);
   RuntimeRequest* TakeFirstUnstarted();
   Fiber* AcquireFiber();
@@ -160,6 +184,16 @@ class Runtime {
   std::vector<int> outstanding_;        // per worker, dispatcher-owned
   std::vector<std::uint64_t> signaled_generation_;  // last preempt signal sent
   RuntimeRequest* dispatcher_request_ = nullptr;
+
+  // Telemetry: dispatcher-written per-worker blocks (kept apart from the
+  // worker-written WorkerCounters so the two writers never share a line),
+  // dispatcher globals, and the bounded completed-lifecycle history.
+  std::vector<std::unique_ptr<telemetry::DispatcherWorkerCounters>> dispatcher_worker_telemetry_;
+  telemetry::DispatcherCounters dispatcher_telemetry_;
+  std::uint64_t dispatcher_probe_count_baseline_ = 0;  // dispatcher-owned fold state
+  std::vector<telemetry::RequestLifecycle> telemetry_drain_scratch_;
+  mutable std::mutex telemetry_mu_;  // guards lifecycle_history_
+  std::deque<telemetry::RequestLifecycle> lifecycle_history_;
 
   // Request / fiber pools (dispatcher-owned after start).
   std::mutex pool_mu_;  // guards request pool for Submit()

@@ -54,7 +54,11 @@ void Histogram::RecordMany(double value, std::uint64_t count) {
   if (count == 0) {
     return;
   }
-  CONCORD_DCHECK(value >= 0.0 && std::isfinite(value)) << "bad histogram value " << value;
+  // Always-on (not a DCHECK): in a release build a NaN or infinity would
+  // otherwise flow into std::ilogb below — NaN/inf have no octave — and be
+  // binned at a nonsense index, silently corrupting every later quantile.
+  CONCORD_CHECK(std::isfinite(value)) << "non-finite histogram value " << value;
+  CONCORD_DCHECK(value >= 0.0) << "bad histogram value " << value;
   value = std::max(value, 0.0);
   const std::size_t index = BucketIndex(value);
   if (index >= buckets_.size()) {

@@ -22,6 +22,9 @@ class Histogram {
   // `sub_buckets_per_octave` controls precision; must be a power of two.
   explicit Histogram(int sub_buckets_per_octave = 128);
 
+  // Values must be finite (checked in all build modes; a NaN or infinity has
+  // no bucket and would silently corrupt quantiles). Negatives are clamped
+  // to zero.
   void Record(double value);
   void RecordMany(double value, std::uint64_t count);
 
@@ -35,7 +38,10 @@ class Histogram {
   double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
   std::uint64_t Count() const { return count_; }
 
-  // Merges `other` into this histogram. Both must use the same precision.
+  // Merges `other` into this histogram. Precondition (checked in all build
+  // modes): both histograms use the same sub-buckets-per-octave precision —
+  // bucket indices are only commensurable at equal precision, so merging
+  // across precisions would scramble every quantile.
   void Merge(const Histogram& other);
 
   void Reset();

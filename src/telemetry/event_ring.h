@@ -1,0 +1,140 @@
+// Lock-free single-producer/single-consumer telemetry ring with
+// overwrite-oldest semantics.
+//
+// Unlike the runtime's SpscRing (which enforces exact capacity because a
+// JBSQ(k) inbox must never hold a k+1-th request), a telemetry ring must
+// never block or reject the producer: a worker on the request hot path
+// records its lifecycle event and moves on. When the dispatcher falls behind,
+// the *oldest* unread events are overwritten and accounted in a
+// dropped-events counter — losing stale history is preferable to losing the
+// most recent events or stalling a worker.
+//
+// The implementation is a per-slot sequence-validated ring (the seqlock
+// pattern of Boehm, "Can seqlocks get along with programming language memory
+// models?"): the producer marks a slot odd, stores the payload as relaxed
+// atomic words, then publishes an even sequence with release ordering. The
+// consumer validates the sequence on both sides of its read and discards torn
+// slots as dropped. Every shared access is atomic, so the protocol is
+// TSan-clean by construction and lock-free on both sides.
+
+#ifndef CONCORD_SRC_TELEMETRY_EVENT_RING_H_
+#define CONCORD_SRC_TELEMETRY_EVENT_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/cacheline.h"
+#include "src/common/logging.h"
+
+namespace concord::telemetry {
+
+template <typename T>
+class EventRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "EventRing payloads cross threads as raw words");
+
+ public:
+  explicit EventRing(std::size_t capacity) : mask_(RoundUpPow2(capacity) - 1) {
+    CONCORD_CHECK(capacity >= 1) << "ring capacity must be positive";
+    slots_ = std::make_unique<Slot[]>(mask_ + 1);
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  // Producer side. Never fails; overwrites the oldest unread slot when the
+  // consumer lags by more than the capacity.
+  void Push(const T& value) {
+    const std::uint64_t seq = head_.value.load(std::memory_order_relaxed);
+    Slot& slot = slots_[seq & mask_];
+    slot.seq.store(2 * seq + 1, std::memory_order_relaxed);  // mark: writing
+    std::atomic_thread_fence(std::memory_order_release);     // odd before words
+    std::uint64_t words[kWords] = {};
+    std::memcpy(words, &value, sizeof(T));
+    for (std::size_t w = 0; w < kWords; ++w) {
+      slot.words[w].store(words[w], std::memory_order_relaxed);
+    }
+    slot.seq.store(2 * seq + 2, std::memory_order_release);  // publish: even
+    head_.value.store(seq + 1, std::memory_order_release);
+  }
+
+  // Consumer side: appends every event published since the last Drain to
+  // `out` and returns how many were read. Events overwritten before the
+  // consumer reached them are counted in dropped() instead.
+  std::size_t Drain(std::vector<T>* out) {
+    const std::uint64_t head = head_.value.load(std::memory_order_acquire);
+    const std::size_t capacity = mask_ + 1;
+    if (head - cursor_ > capacity) {
+      // Producer lapped us: everything older than one full ring is gone.
+      dropped_.fetch_add(head - capacity - cursor_, std::memory_order_relaxed);
+      cursor_ = head - capacity;
+    }
+    std::size_t read = 0;
+    while (cursor_ < head) {
+      Slot& slot = slots_[cursor_ & mask_];
+      const std::uint64_t expected = 2 * cursor_ + 2;
+      const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before != expected) {
+        // Already overwritten (or mid-overwrite) by a later lap.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        ++cursor_;
+        continue;
+      }
+      std::uint64_t words[kWords];
+      for (std::size_t w = 0; w < kWords; ++w) {
+        words[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);  // words before re-check
+      if (slot.seq.load(std::memory_order_relaxed) != seq_before) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        ++cursor_;
+        continue;
+      }
+      T value;
+      std::memcpy(&value, words, sizeof(T));
+      out->push_back(value);
+      ++read;
+      ++cursor_;
+    }
+    return read;
+  }
+
+  // Total events overwritten or torn before the consumer could read them.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Total events ever pushed (producer-side sequence).
+  std::uint64_t produced() const { return head_.value.load(std::memory_order_acquire); }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 2n+1 while writing event n, 2n+2 after
+    std::atomic<std::uint64_t> words[kWords] = {};
+  };
+
+  static std::size_t RoundUpPow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  CacheLineAligned<std::atomic<std::uint64_t>> head_{};  // producer-owned next sequence
+  std::uint64_t cursor_ = 0;                             // consumer-owned read position
+  std::atomic<std::uint64_t> dropped_{0};                // consumer-updated, anyone may read
+};
+
+}  // namespace concord::telemetry
+
+#endif  // CONCORD_SRC_TELEMETRY_EVENT_RING_H_

@@ -1,0 +1,58 @@
+#include "src/telemetry/export.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+namespace concord::telemetry {
+
+namespace {
+constexpr const char kFlag[] = "--telemetry-out=";
+}  // namespace
+
+std::string TelemetryOutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return std::string(argv[i] + sizeof(kFlag) - 1);
+    }
+  }
+  const char* env = std::getenv("CONCORD_TELEMETRY_OUT");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+bool WriteSnapshotJson(const TelemetrySnapshot& snapshot, const std::string& path) {
+  const std::string json = snapshot.ToJson();
+  if (path == "-") {
+    std::cout << json << "\n";
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "telemetry: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << json << "\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "telemetry: write to " << path << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+bool MaybeExportSnapshot(const TelemetrySnapshot& snapshot, int argc, char** argv) {
+  const std::string path = TelemetryOutPath(argc, argv);
+  if (path.empty()) {
+    return true;
+  }
+  if (!WriteSnapshotJson(snapshot, path)) {
+    return false;
+  }
+  if (path != "-") {
+    std::cout << "telemetry snapshot written to " << path << "\n";
+  }
+  return true;
+}
+
+}  // namespace concord::telemetry

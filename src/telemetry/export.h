@@ -1,0 +1,28 @@
+// Snapshot export plumbing shared by the bench and example binaries: every
+// one of them accepts --telemetry-out=FILE (or the CONCORD_TELEMETRY_OUT
+// environment variable) and writes the final TelemetrySnapshot as JSON.
+
+#ifndef CONCORD_SRC_TELEMETRY_EXPORT_H_
+#define CONCORD_SRC_TELEMETRY_EXPORT_H_
+
+#include <string>
+
+#include "src/telemetry/telemetry.h"
+
+namespace concord::telemetry {
+
+// The export destination: the value of a `--telemetry-out=FILE` argument,
+// else the CONCORD_TELEMETRY_OUT environment variable, else "".
+std::string TelemetryOutPath(int argc, char** argv);
+
+// Writes snapshot.ToJson() to `path` ("-" means stdout). Returns false (and
+// logs to stderr) when the file cannot be written.
+bool WriteSnapshotJson(const TelemetrySnapshot& snapshot, const std::string& path);
+
+// Writes the snapshot to the configured destination, printing a one-line
+// notice. No-op (returning true) when no destination is configured.
+bool MaybeExportSnapshot(const TelemetrySnapshot& snapshot, int argc, char** argv);
+
+}  // namespace concord::telemetry
+
+#endif  // CONCORD_SRC_TELEMETRY_EXPORT_H_

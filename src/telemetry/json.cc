@@ -1,0 +1,479 @@
+#include "src/telemetry/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace concord::telemetry {
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeUint(std::uint64_t u) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = static_cast<double>(u);
+  v.uint_ = u;
+  v.int_ = static_cast<std::int64_t>(u);
+  v.integral_ = true;
+  return v;
+}
+
+JsonValue JsonValue::MakeInt(std::int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = static_cast<double>(i);
+  v.int_ = i;
+  v.uint_ = i < 0 ? 0 : static_cast<std::uint64_t>(i);
+  v.integral_ = true;
+  v.negative_ = i < 0;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  for (const auto& [k, value] : object_) {
+    if (k == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+std::uint64_t JsonValue::GetUint(const std::string& key, std::uint64_t fallback) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_number() ? v->AsUint() : fallback;
+}
+
+std::int64_t JsonValue::GetInt(const std::string& key, std::int64_t fallback) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_number() ? v->AsInt() : fallback;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->type() == Type::kBool ? v->AsBool() : fallback;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendIndent(std::string* out, int indent) {
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent) const {
+  char buf[64];
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      if (integral_) {
+        if (negative_) {
+          std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+        } else {
+          std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(uint_));
+        }
+      } else {
+        // %.17g round-trips any finite double.
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      *out += buf;
+      break;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        array_[i].DumpTo(out, indent + 1);
+        *out += i + 1 < array_.size() ? ",\n" : "\n";
+      }
+      AppendIndent(out, indent);
+      *out += "]";
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        AppendEscaped(out, object_[i].first);
+        *out += ": ";
+        object_[i].second.DumpTo(out, indent + 1);
+        *out += i + 1 < object_.size() ? ",\n" : "\n";
+      }
+      AppendIndent(out, indent);
+      *out += "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out += "\n";
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') {
+      ++n;
+    }
+    if (text_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      *out = JsonValue::MakeString(std::move(s));
+      return true;
+    }
+    if (c == 't') {
+      if (!ConsumeLiteral("true")) {
+        return false;
+      }
+      *out = JsonValue::MakeBool(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!ConsumeLiteral("false")) {
+        return false;
+      }
+      *out = JsonValue::MakeBool(false);
+      return true;
+    }
+    if (c == 'n') {
+      if (!ConsumeLiteral("null")) {
+        return false;
+      }
+      *out = JsonValue();
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // Telemetry strings are ASCII; reject anything beyond Latin-1 so
+          // we never emit invalid UTF-8 on re-dump.
+          if (code > 0xFF) {
+            return false;
+          }
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      if (token[0] == '-') {
+        *out = JsonValue::MakeInt(std::strtoll(token.c_str(), nullptr, 10));
+      } else {
+        *out = JsonValue::MakeUint(std::strtoull(token.c_str(), nullptr, 10));
+      }
+    } else {
+      char* end = nullptr;
+      const double d = std::strtod(token.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return false;
+      }
+      *out = JsonValue::MakeNumber(d);
+    }
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) {
+      return false;
+    }
+    *out = JsonValue::MakeArray();
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      out->MutableArray().push_back(std::move(element));
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) {
+      return false;
+    }
+    *out = JsonValue::MakeObject();
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return false;
+      }
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->Set(key, std::move(value));
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::Parse(const std::string& text, JsonValue* out) {
+  Parser parser(text);
+  return parser.ParseDocument(out);
+}
+
+}  // namespace concord::telemetry

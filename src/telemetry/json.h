@@ -1,0 +1,81 @@
+// Minimal JSON document model for telemetry export/import.
+//
+// Deliberately tiny (no external dependency is available in the build
+// image): supports exactly what the telemetry schema needs — objects,
+// arrays, strings, bools, null and numbers. Unsigned 64-bit integers are
+// preserved exactly (TSC timestamps and event counters overflow a double's
+// 53-bit mantissa after weeks of uptime), which is why the parser keeps an
+// integer sidecar next to the double value.
+
+#ifndef CONCORD_SRC_TELEMETRY_JSON_H_
+#define CONCORD_SRC_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace concord::telemetry {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeUint(std::uint64_t u);
+  static JsonValue MakeInt(std::int64_t i);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  std::uint64_t AsUint() const { return uint_; }
+  std::int64_t AsInt() const { return int_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  std::vector<JsonValue>& MutableArray() { return array_; }
+
+  // Object access. Get returns nullptr when the key is absent.
+  const JsonValue* Get(const std::string& key) const;
+  void Set(const std::string& key, JsonValue value);
+
+  // Typed object lookups with defaults; return false-y defaults when the key
+  // is missing or of the wrong type.
+  std::uint64_t GetUint(const std::string& key, std::uint64_t fallback = 0) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  // Serializes with 2-space indentation and stable (insertion) key order.
+  std::string Dump() const;
+
+  // Parses a complete JSON document; returns false on any syntax error or
+  // trailing garbage.
+  static bool Parse(const std::string& text, JsonValue* out);
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  bool integral_ = false;  // emit as integer, not double
+  bool negative_ = false;  // integral and negative: emit int_
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;  // insertion-ordered
+};
+
+}  // namespace concord::telemetry
+
+#endif  // CONCORD_SRC_TELEMETRY_JSON_H_

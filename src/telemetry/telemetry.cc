@@ -1,0 +1,243 @@
+#include "src/telemetry/telemetry.h"
+
+#include "src/telemetry/json.h"
+
+namespace concord::telemetry {
+
+namespace {
+
+std::uint64_t Load(const std::atomic<std::uint64_t>& counter) {
+  return counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+WorkerSnapshot WorkerSnapshot::Capture(const WorkerCounters& worker,
+                                       const DispatcherWorkerCounters& dispatcher) {
+  WorkerSnapshot snapshot;
+  snapshot.probe_polls = Load(worker.probe_polls);
+  snapshot.probe_yields = Load(worker.probe_yields);
+  snapshot.preemptions_requested = Load(dispatcher.preempt_signals_sent);
+  snapshot.requests_started = Load(worker.requests_started);
+  snapshot.segments_run = Load(worker.segments_run);
+  snapshot.requests_completed = Load(worker.requests_completed);
+  snapshot.idle_cycles = Load(worker.idle_cycles);
+  snapshot.busy_cycles = Load(worker.busy_cycles);
+  snapshot.fiber_switches = Load(worker.fiber_switches);
+  snapshot.jbsq_pushes = Load(dispatcher.jbsq_pushes);
+  snapshot.max_inflight = Load(dispatcher.max_inflight);
+  return snapshot;
+}
+
+DispatcherSnapshot DispatcherSnapshot::Capture(const DispatcherCounters& counters) {
+  DispatcherSnapshot snapshot;
+  snapshot.probe_polls = Load(counters.probe_polls);
+  snapshot.quanta_run = Load(counters.quanta_run);
+  snapshot.requests_started = Load(counters.requests_started);
+  snapshot.requests_completed = Load(counters.requests_completed);
+  snapshot.events_drained = Load(counters.events_drained);
+  snapshot.ring_dropped = Load(counters.ring_dropped);
+  snapshot.history_dropped = Load(counters.history_dropped);
+  return snapshot;
+}
+
+WorkerSnapshot TelemetrySnapshot::Totals() const {
+  WorkerSnapshot totals;
+  for (const WorkerSnapshot& worker : workers) {
+    totals.probe_polls += worker.probe_polls;
+    totals.probe_yields += worker.probe_yields;
+    totals.preemptions_requested += worker.preemptions_requested;
+    totals.requests_started += worker.requests_started;
+    totals.segments_run += worker.segments_run;
+    totals.requests_completed += worker.requests_completed;
+    totals.idle_cycles += worker.idle_cycles;
+    totals.busy_cycles += worker.busy_cycles;
+    totals.fiber_switches += worker.fiber_switches;
+    totals.jbsq_pushes += worker.jbsq_pushes;
+    // max over workers, not a sum: the JBSQ(k) bound is per queue.
+    if (worker.max_inflight > totals.max_inflight) {
+      totals.max_inflight = worker.max_inflight;
+    }
+  }
+  return totals;
+}
+
+TelemetrySnapshot TelemetrySnapshot::Diff(const TelemetrySnapshot& before,
+                                          const TelemetrySnapshot& after) {
+  TelemetrySnapshot diff = after;
+  const std::size_t workers = std::min(before.workers.size(), after.workers.size());
+  for (std::size_t w = 0; w < workers; ++w) {
+    const WorkerSnapshot& b = before.workers[w];
+    WorkerSnapshot& d = diff.workers[w];
+    d.probe_polls -= b.probe_polls;
+    d.probe_yields -= b.probe_yields;
+    d.preemptions_requested -= b.preemptions_requested;
+    d.requests_started -= b.requests_started;
+    d.segments_run -= b.segments_run;
+    d.requests_completed -= b.requests_completed;
+    d.idle_cycles -= b.idle_cycles;
+    d.busy_cycles -= b.busy_cycles;
+    d.fiber_switches -= b.fiber_switches;
+    d.jbsq_pushes -= b.jbsq_pushes;
+    // High-water marks do not subtract; keep the later value.
+  }
+  diff.dispatcher.probe_polls -= before.dispatcher.probe_polls;
+  diff.dispatcher.quanta_run -= before.dispatcher.quanta_run;
+  diff.dispatcher.requests_started -= before.dispatcher.requests_started;
+  diff.dispatcher.requests_completed -= before.dispatcher.requests_completed;
+  diff.dispatcher.events_drained -= before.dispatcher.events_drained;
+  diff.dispatcher.ring_dropped -= before.dispatcher.ring_dropped;
+  diff.dispatcher.history_dropped -= before.dispatcher.history_dropped;
+  return diff;
+}
+
+namespace {
+
+JsonValue WorkerToJson(const WorkerSnapshot& worker) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("probe_polls", JsonValue::MakeUint(worker.probe_polls));
+  object.Set("probe_yields", JsonValue::MakeUint(worker.probe_yields));
+  object.Set("preemptions_requested", JsonValue::MakeUint(worker.preemptions_requested));
+  object.Set("requests_started", JsonValue::MakeUint(worker.requests_started));
+  object.Set("segments_run", JsonValue::MakeUint(worker.segments_run));
+  object.Set("requests_completed", JsonValue::MakeUint(worker.requests_completed));
+  object.Set("idle_cycles", JsonValue::MakeUint(worker.idle_cycles));
+  object.Set("busy_cycles", JsonValue::MakeUint(worker.busy_cycles));
+  object.Set("fiber_switches", JsonValue::MakeUint(worker.fiber_switches));
+  object.Set("jbsq_pushes", JsonValue::MakeUint(worker.jbsq_pushes));
+  object.Set("max_inflight", JsonValue::MakeUint(worker.max_inflight));
+  return object;
+}
+
+WorkerSnapshot WorkerFromJson(const JsonValue& object) {
+  WorkerSnapshot worker;
+  worker.probe_polls = object.GetUint("probe_polls");
+  worker.probe_yields = object.GetUint("probe_yields");
+  worker.preemptions_requested = object.GetUint("preemptions_requested");
+  worker.requests_started = object.GetUint("requests_started");
+  worker.segments_run = object.GetUint("segments_run");
+  worker.requests_completed = object.GetUint("requests_completed");
+  worker.idle_cycles = object.GetUint("idle_cycles");
+  worker.busy_cycles = object.GetUint("busy_cycles");
+  worker.fiber_switches = object.GetUint("fiber_switches");
+  worker.jbsq_pushes = object.GetUint("jbsq_pushes");
+  worker.max_inflight = object.GetUint("max_inflight");
+  return worker;
+}
+
+JsonValue LifecycleToJson(const RequestLifecycle& lifecycle) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("id", JsonValue::MakeUint(lifecycle.id));
+  object.Set("class", JsonValue::MakeInt(lifecycle.request_class));
+  object.Set("first_worker", JsonValue::MakeInt(lifecycle.first_worker));
+  object.Set("completion_worker", JsonValue::MakeInt(lifecycle.completion_worker));
+  object.Set("preemptions", JsonValue::MakeInt(lifecycle.preemptions));
+  object.Set("arrival_tsc", JsonValue::MakeUint(lifecycle.arrival_tsc));
+  object.Set("dispatch_tsc", JsonValue::MakeUint(lifecycle.dispatch_tsc));
+  object.Set("first_run_tsc", JsonValue::MakeUint(lifecycle.first_run_tsc));
+  object.Set("finish_tsc", JsonValue::MakeUint(lifecycle.finish_tsc));
+  JsonValue preemptions = JsonValue::MakeArray();
+  const int stamps = lifecycle.preemptions < kMaxRecordedPreemptions ? lifecycle.preemptions
+                                                                     : kMaxRecordedPreemptions;
+  for (int i = 0; i < stamps; ++i) {
+    preemptions.MutableArray().push_back(JsonValue::MakeUint(lifecycle.preempt_tsc[i]));
+  }
+  object.Set("preempt_tsc", std::move(preemptions));
+  return object;
+}
+
+RequestLifecycle LifecycleFromJson(const JsonValue& object) {
+  RequestLifecycle lifecycle;
+  lifecycle.id = object.GetUint("id");
+  lifecycle.request_class = static_cast<std::int32_t>(object.GetInt("class"));
+  lifecycle.first_worker = static_cast<std::int32_t>(object.GetInt("first_worker"));
+  lifecycle.completion_worker = static_cast<std::int32_t>(object.GetInt("completion_worker"));
+  lifecycle.preemptions = static_cast<std::int32_t>(object.GetInt("preemptions"));
+  lifecycle.arrival_tsc = object.GetUint("arrival_tsc");
+  lifecycle.dispatch_tsc = object.GetUint("dispatch_tsc");
+  lifecycle.first_run_tsc = object.GetUint("first_run_tsc");
+  lifecycle.finish_tsc = object.GetUint("finish_tsc");
+  if (const JsonValue* stamps = object.Get("preempt_tsc");
+      stamps != nullptr && stamps->is_array()) {
+    int i = 0;
+    for (const JsonValue& stamp : stamps->AsArray()) {
+      if (i >= kMaxRecordedPreemptions) {
+        break;
+      }
+      lifecycle.preempt_tsc[i++] = stamp.AsUint();
+    }
+  }
+  return lifecycle;
+}
+
+}  // namespace
+
+std::string TelemetrySnapshot::ToJson() const {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("schema", JsonValue::MakeString("concord.telemetry.v1"));
+  root.Set("enabled", JsonValue::MakeBool(enabled));
+  root.Set("tsc_ghz", JsonValue::MakeNumber(tsc_ghz));
+
+  JsonValue worker_array = JsonValue::MakeArray();
+  for (const WorkerSnapshot& worker : workers) {
+    worker_array.MutableArray().push_back(WorkerToJson(worker));
+  }
+  root.Set("workers", std::move(worker_array));
+
+  JsonValue dispatcher_object = JsonValue::MakeObject();
+  dispatcher_object.Set("probe_polls", JsonValue::MakeUint(dispatcher.probe_polls));
+  dispatcher_object.Set("quanta_run", JsonValue::MakeUint(dispatcher.quanta_run));
+  dispatcher_object.Set("requests_started", JsonValue::MakeUint(dispatcher.requests_started));
+  dispatcher_object.Set("requests_completed", JsonValue::MakeUint(dispatcher.requests_completed));
+  dispatcher_object.Set("events_drained", JsonValue::MakeUint(dispatcher.events_drained));
+  dispatcher_object.Set("ring_dropped", JsonValue::MakeUint(dispatcher.ring_dropped));
+  dispatcher_object.Set("history_dropped", JsonValue::MakeUint(dispatcher.history_dropped));
+  root.Set("dispatcher", std::move(dispatcher_object));
+
+  JsonValue lifecycle_array = JsonValue::MakeArray();
+  for (const RequestLifecycle& lifecycle : lifecycles) {
+    lifecycle_array.MutableArray().push_back(LifecycleToJson(lifecycle));
+  }
+  root.Set("lifecycles", std::move(lifecycle_array));
+  return root.Dump();
+}
+
+bool TelemetrySnapshot::FromJson(const std::string& json, TelemetrySnapshot* out) {
+  JsonValue root;
+  if (!JsonValue::Parse(json, &root) || !root.is_object()) {
+    return false;
+  }
+  const JsonValue* schema = root.Get("schema");
+  if (schema == nullptr || schema->AsString() != "concord.telemetry.v1") {
+    return false;
+  }
+  out->enabled = root.GetBool("enabled");
+  out->tsc_ghz = root.GetDouble("tsc_ghz");
+  out->workers.clear();
+  if (const JsonValue* workers = root.Get("workers"); workers != nullptr && workers->is_array()) {
+    for (const JsonValue& worker : workers->AsArray()) {
+      out->workers.push_back(WorkerFromJson(worker));
+    }
+  }
+  out->dispatcher = DispatcherSnapshot{};
+  if (const JsonValue* dispatcher = root.Get("dispatcher");
+      dispatcher != nullptr && dispatcher->is_object()) {
+    out->dispatcher.probe_polls = dispatcher->GetUint("probe_polls");
+    out->dispatcher.quanta_run = dispatcher->GetUint("quanta_run");
+    out->dispatcher.requests_started = dispatcher->GetUint("requests_started");
+    out->dispatcher.requests_completed = dispatcher->GetUint("requests_completed");
+    out->dispatcher.events_drained = dispatcher->GetUint("events_drained");
+    out->dispatcher.ring_dropped = dispatcher->GetUint("ring_dropped");
+    out->dispatcher.history_dropped = dispatcher->GetUint("history_dropped");
+  }
+  out->lifecycles.clear();
+  if (const JsonValue* lifecycles = root.Get("lifecycles");
+      lifecycles != nullptr && lifecycles->is_array()) {
+    for (const JsonValue& lifecycle : lifecycles->AsArray()) {
+      out->lifecycles.push_back(LifecycleFromJson(lifecycle));
+    }
+  }
+  return true;
+}
+
+}  // namespace concord::telemetry

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -296,6 +297,39 @@ TEST(TablePrinterTest, Formatters) {
 TEST(TablePrinterDeathTest, RowArityMismatch) {
   TablePrinter table({"a", "b"});
   EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(HistogramDeathTest, MergeRejectsPrecisionMismatch) {
+  // Regression: bucket indices are only commensurable at equal precision;
+  // merging a 64-sub-bucket histogram into a 128-sub-bucket one must abort in
+  // every build mode rather than scramble quantiles.
+  Histogram fine(128);
+  Histogram coarse(64);
+  coarse.Record(10.0);
+  EXPECT_DEATH(fine.Merge(coarse), "precision mismatch");
+}
+
+TEST(HistogramDeathTest, RejectsNonFiniteValuesInAllBuildModes) {
+  // Regression: this used to be a DCHECK, so release builds fed NaN/inf into
+  // ilogb and binned them at a nonsense index, silently corrupting quantiles.
+  Histogram h;
+  EXPECT_DEATH(h.Record(std::numeric_limits<double>::quiet_NaN()), "non-finite");
+  EXPECT_DEATH(h.Record(std::numeric_limits<double>::infinity()), "non-finite");
+  EXPECT_DEATH(h.RecordMany(-std::numeric_limits<double>::infinity(), 3), "non-finite");
+}
+
+TEST(HistogramTest, MergeAtEqualPrecisionCombinesCountsAndExtrema) {
+  Histogram a(64);
+  Histogram b(64);
+  a.Record(1.0);
+  a.Record(100.0);
+  b.Record(0.5);
+  b.Record(1000.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 4u);
+  EXPECT_DOUBLE_EQ(a.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.Max(), 1000.0);
+  EXPECT_GT(a.Quantile(0.99), 100.0);
 }
 
 }  // namespace

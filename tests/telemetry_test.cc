@@ -1,0 +1,457 @@
+// Unit tests for the telemetry layer: EventRing semantics (drop-oldest,
+// dropped-events accounting, concurrent producer), snapshot aggregation and
+// diffing, JSON round-trips with exact 64-bit integers, the recording-cost
+// budget, and the probe-hot-path purity argument behind the
+// CONCORD_TELEMETRY=OFF byte-identical-codegen guarantee.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/cycles.h"
+#include "src/runtime/runtime.h"
+#include "src/telemetry/event_ring.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/json.h"
+#include "src/telemetry/telemetry.h"
+
+namespace concord::telemetry {
+namespace {
+
+struct Event {
+  std::uint64_t seq = 0;
+  std::uint64_t payload = 0;
+};
+
+TEST(EventRingTest, PushThenDrainPreservesOrderAndValues) {
+  EventRing<Event> ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ring.Push(Event{i, 3 * i + 1});
+  }
+  std::vector<Event> out;
+  EXPECT_EQ(ring.Drain(&out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].seq, i);
+    EXPECT_EQ(out[i].payload, 3 * i + 1);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.produced(), 5u);
+}
+
+TEST(EventRingTest, OverflowDropsOldestAndCountsEveryLoss) {
+  EventRing<Event> ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.Push(Event{i, i});
+  }
+  std::vector<Event> out;
+  EXPECT_EQ(ring.Drain(&out), 8u);
+  ASSERT_EQ(out.size(), 8u);
+  // The newest `capacity` events survive; everything older was overwritten.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i].seq, 12 + i);
+  }
+  EXPECT_EQ(ring.dropped(), 12u);
+  EXPECT_EQ(ring.produced(), 20u);
+}
+
+TEST(EventRingTest, DrainInBatchesSeesEveryEventExactlyOnce) {
+  EventRing<Event> ring(16);
+  std::vector<Event> out;
+  std::uint64_t next = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    for (int i = 0; i < 7; ++i) {
+      ring.Push(Event{next, 0});
+      ++next;
+    }
+    ring.Drain(&out);
+  }
+  ASSERT_EQ(out.size(), 70u);
+  for (std::uint64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].seq, i);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(EventRingTest, RoundsCapacityUpToPowerOfTwo) {
+  EventRing<Event> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(EventRingTest, ConcurrentProducerNeverBlocksAndEveryEventIsAccounted) {
+  // The producer free-runs (never waits on the consumer); the consumer
+  // drains in parallel. Every pushed event must end up either read intact
+  // or counted as dropped — no loss, no duplication, no tearing.
+  constexpr std::uint64_t kEvents = 100000;
+  EventRing<Event> ring(64);
+  std::vector<Event> out;
+  std::atomic<bool> done{false};
+  std::thread producer([&ring, &done] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      ring.Push(Event{i, i * 7 + 3});
+    }
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    ring.Drain(&out);
+  }
+  ring.Drain(&out);
+  producer.join();
+
+  EXPECT_EQ(out.size() + ring.dropped(), kEvents);
+  std::uint64_t last = 0;
+  bool first = true;
+  for (const Event& event : out) {
+    // Values must never be torn (payload is a function of seq)...
+    EXPECT_EQ(event.payload, event.seq * 7 + 3);
+    // ...and reads arrive in publication order.
+    if (!first) {
+      EXPECT_GT(event.seq, last);
+    }
+    last = event.seq;
+    first = false;
+  }
+}
+
+TelemetrySnapshot MakeFilledSnapshot() {
+  TelemetrySnapshot snapshot;
+  snapshot.enabled = true;
+  snapshot.tsc_ghz = 2.25;
+  WorkerSnapshot w0;
+  w0.probe_polls = (std::uint64_t{1} << 62) + 12345;  // exceeds double's mantissa
+  w0.probe_yields = 7;
+  w0.preemptions_requested = 9;
+  w0.requests_started = 100;
+  w0.segments_run = 107;
+  w0.requests_completed = 100;
+  w0.idle_cycles = 11;
+  w0.busy_cycles = 22;
+  w0.fiber_switches = 107;
+  w0.jbsq_pushes = 107;
+  w0.max_inflight = 2;
+  WorkerSnapshot w1;
+  w1.probe_polls = 3;
+  w1.max_inflight = 1;
+  snapshot.workers = {w0, w1};
+  snapshot.dispatcher.probe_polls = 5;
+  snapshot.dispatcher.quanta_run = 6;
+  snapshot.dispatcher.requests_started = 2;
+  snapshot.dispatcher.requests_completed = 2;
+  snapshot.dispatcher.events_drained = 100;
+  snapshot.dispatcher.ring_dropped = 1;
+  snapshot.dispatcher.history_dropped = 4;
+  RequestLifecycle lifecycle;
+  lifecycle.id = (std::uint64_t{1} << 61) + 99;
+  lifecycle.request_class = 3;
+  lifecycle.first_worker = 0;
+  lifecycle.completion_worker = 1;
+  lifecycle.arrival_tsc = (std::uint64_t{1} << 60) + 1;
+  lifecycle.dispatch_tsc = (std::uint64_t{1} << 60) + 2;
+  lifecycle.first_run_tsc = (std::uint64_t{1} << 60) + 3;
+  lifecycle.finish_tsc = (std::uint64_t{1} << 60) + 9;
+  lifecycle.RecordPreemption((std::uint64_t{1} << 60) + 4);
+  lifecycle.RecordPreemption((std::uint64_t{1} << 60) + 6);
+  snapshot.lifecycles.push_back(lifecycle);
+  return snapshot;
+}
+
+TEST(TelemetrySnapshotTest, TotalsSumCountersButMaxInflightIsAMax) {
+  const TelemetrySnapshot snapshot = MakeFilledSnapshot();
+  const WorkerSnapshot totals = snapshot.Totals();
+  EXPECT_EQ(totals.probe_polls, (std::uint64_t{1} << 62) + 12345 + 3);
+  EXPECT_EQ(totals.probe_yields, 7u);
+  EXPECT_EQ(totals.preemptions_requested, 9u);
+  EXPECT_EQ(totals.max_inflight, 2u);  // max(2, 1), not 3
+  EXPECT_EQ(snapshot.PreemptionsHonored(), 7u);
+  EXPECT_EQ(snapshot.PreemptionsRequested(), 9u);
+  EXPECT_EQ(snapshot.RequestsCompleted(), 102u);  // workers + dispatcher
+}
+
+TEST(TelemetrySnapshotTest, DiffSubtractsCounterWise) {
+  TelemetrySnapshot before = MakeFilledSnapshot();
+  TelemetrySnapshot after = MakeFilledSnapshot();
+  after.workers[0].probe_polls += 50;
+  after.workers[1].probe_polls += 1;
+  after.dispatcher.quanta_run += 10;
+  const TelemetrySnapshot diff = TelemetrySnapshot::Diff(before, after);
+  EXPECT_EQ(diff.workers[0].probe_polls, 50u);
+  EXPECT_EQ(diff.workers[1].probe_polls, 1u);
+  EXPECT_EQ(diff.workers[0].probe_yields, 0u);
+  EXPECT_EQ(diff.dispatcher.quanta_run, 10u);
+  // High-water marks and lifecycles come from `after`, not a subtraction.
+  EXPECT_EQ(diff.workers[0].max_inflight, after.workers[0].max_inflight);
+  EXPECT_EQ(diff.lifecycles.size(), after.lifecycles.size());
+}
+
+TEST(TelemetryJsonTest, SnapshotRoundTripPreservesEveryFieldExactly) {
+  const TelemetrySnapshot snapshot = MakeFilledSnapshot();
+  const std::string json = snapshot.ToJson();
+  TelemetrySnapshot parsed;
+  ASSERT_TRUE(TelemetrySnapshot::FromJson(json, &parsed));
+
+  EXPECT_EQ(parsed.enabled, snapshot.enabled);
+  EXPECT_DOUBLE_EQ(parsed.tsc_ghz, snapshot.tsc_ghz);
+  ASSERT_EQ(parsed.workers.size(), snapshot.workers.size());
+  // The 2^62-magnitude counter survives exactly (doubles would round it).
+  EXPECT_EQ(parsed.workers[0].probe_polls, (std::uint64_t{1} << 62) + 12345);
+  EXPECT_EQ(parsed.workers[0].probe_yields, snapshot.workers[0].probe_yields);
+  EXPECT_EQ(parsed.workers[0].preemptions_requested,
+            snapshot.workers[0].preemptions_requested);
+  EXPECT_EQ(parsed.workers[0].idle_cycles, snapshot.workers[0].idle_cycles);
+  EXPECT_EQ(parsed.workers[0].busy_cycles, snapshot.workers[0].busy_cycles);
+  EXPECT_EQ(parsed.workers[0].max_inflight, snapshot.workers[0].max_inflight);
+  EXPECT_EQ(parsed.workers[1].probe_polls, snapshot.workers[1].probe_polls);
+  EXPECT_EQ(parsed.dispatcher.quanta_run, snapshot.dispatcher.quanta_run);
+  EXPECT_EQ(parsed.dispatcher.ring_dropped, snapshot.dispatcher.ring_dropped);
+  EXPECT_EQ(parsed.dispatcher.history_dropped, snapshot.dispatcher.history_dropped);
+  ASSERT_EQ(parsed.lifecycles.size(), 1u);
+  EXPECT_EQ(parsed.lifecycles[0].id, snapshot.lifecycles[0].id);
+  EXPECT_EQ(parsed.lifecycles[0].request_class, snapshot.lifecycles[0].request_class);
+  EXPECT_EQ(parsed.lifecycles[0].first_worker, snapshot.lifecycles[0].first_worker);
+  EXPECT_EQ(parsed.lifecycles[0].completion_worker,
+            snapshot.lifecycles[0].completion_worker);
+  EXPECT_EQ(parsed.lifecycles[0].preemptions, 2);
+  EXPECT_EQ(parsed.lifecycles[0].arrival_tsc, snapshot.lifecycles[0].arrival_tsc);
+  EXPECT_EQ(parsed.lifecycles[0].dispatch_tsc, snapshot.lifecycles[0].dispatch_tsc);
+  EXPECT_EQ(parsed.lifecycles[0].first_run_tsc, snapshot.lifecycles[0].first_run_tsc);
+  EXPECT_EQ(parsed.lifecycles[0].finish_tsc, snapshot.lifecycles[0].finish_tsc);
+  EXPECT_EQ(parsed.lifecycles[0].preempt_tsc[0], snapshot.lifecycles[0].preempt_tsc[0]);
+  EXPECT_EQ(parsed.lifecycles[0].preempt_tsc[1], snapshot.lifecycles[0].preempt_tsc[1]);
+
+  // Serializing the parsed snapshot reproduces the document byte-for-byte.
+  EXPECT_EQ(parsed.ToJson(), json);
+}
+
+TEST(TelemetryJsonTest, FromJsonRejectsMalformedDocuments) {
+  TelemetrySnapshot out;
+  EXPECT_FALSE(TelemetrySnapshot::FromJson("", &out));
+  EXPECT_FALSE(TelemetrySnapshot::FromJson("not json", &out));
+  EXPECT_FALSE(TelemetrySnapshot::FromJson("[1, 2, 3]", &out));
+  EXPECT_FALSE(TelemetrySnapshot::FromJson(R"({"schema": "something.else"})", &out));
+  const std::string valid = MakeFilledSnapshot().ToJson();
+  EXPECT_FALSE(TelemetrySnapshot::FromJson(valid.substr(0, valid.size() / 2), &out));
+  EXPECT_FALSE(TelemetrySnapshot::FromJson(valid + "trailing", &out));
+}
+
+TEST(TelemetryJsonTest, JsonValueKeepsUint64Exact) {
+  const std::uint64_t big = (std::uint64_t{1} << 63) + 7;
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("value", JsonValue::MakeUint(big));
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(object.Dump(), &parsed));
+  EXPECT_EQ(parsed.GetUint("value"), big);
+}
+
+TEST(TelemetryExportTest, TelemetryOutPathParsesFlagAndWritesFile) {
+  std::string flag = "--telemetry-out=/tmp/concord_telemetry_test.json";
+  char prog[] = "prog";
+  char* argv[] = {prog, flag.data()};
+  EXPECT_EQ(TelemetryOutPath(2, argv), "/tmp/concord_telemetry_test.json");
+  char* no_flag_argv[] = {prog};
+  EXPECT_EQ(TelemetryOutPath(1, no_flag_argv), "");
+
+  const TelemetrySnapshot snapshot = MakeFilledSnapshot();
+  ASSERT_TRUE(WriteSnapshotJson(snapshot, "/tmp/concord_telemetry_test.json"));
+  std::ifstream in("/tmp/concord_telemetry_test.json");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  TelemetrySnapshot parsed;
+  ASSERT_TRUE(TelemetrySnapshot::FromJson(buffer.str(), &parsed));
+  EXPECT_EQ(parsed.workers.size(), snapshot.workers.size());
+  EXPECT_FALSE(WriteSnapshotJson(snapshot, "/nonexistent-dir/x.json"));
+}
+
+// ---------------------------------------------------------------------------
+// Live runtime coverage
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryRuntimeTest, SnapshotAccountsEveryRequestAfterShutdown) {
+  constexpr std::uint64_t kRequests = 300;
+  Runtime::Options options;
+  options.worker_count = 2;
+  options.quantum_us = 1000.0;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView&) {};
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();  // joins threads; the dispatcher's final ring drain ran
+  const TelemetrySnapshot snapshot = runtime.GetTelemetry();
+
+  EXPECT_EQ(snapshot.enabled, kEnabled);
+  ASSERT_EQ(snapshot.workers.size(), 2u);
+  if (!kEnabled) {
+    const WorkerSnapshot totals = snapshot.Totals();
+    EXPECT_EQ(totals.probe_polls + totals.probe_yields + totals.requests_completed, 0u);
+    EXPECT_EQ(snapshot.lifecycles.size(), 0u);
+    return;  // the rest of the contract only applies to enabled builds
+  }
+  const WorkerSnapshot totals = snapshot.Totals();
+  EXPECT_EQ(snapshot.RequestsCompleted(), kRequests);
+  EXPECT_EQ(totals.requests_started + snapshot.dispatcher.requests_started, kRequests);
+  EXPECT_GE(totals.segments_run, totals.requests_started);
+  EXPECT_GT(snapshot.tsc_ghz, 0.0);
+  // Every worker-completed lifecycle was drained or accounted as dropped.
+  EXPECT_EQ(snapshot.dispatcher.events_drained + snapshot.dispatcher.ring_dropped,
+            totals.requests_completed);
+  // The default history (4096) holds all 300 lifecycles.
+  EXPECT_EQ(snapshot.lifecycles.size() + snapshot.dispatcher.ring_dropped +
+                snapshot.dispatcher.history_dropped,
+            kRequests);
+}
+
+TEST(TelemetryRuntimeTest, HistoryOverflowDropsOldestWithExactAccounting) {
+  if (!kEnabled) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  constexpr std::uint64_t kRequests = 60;
+  Runtime::Options options;
+  options.worker_count = 1;
+  options.quantum_us = 1000.0;
+  options.telemetry_history_capacity = 8;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView&) {};
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  const TelemetrySnapshot snapshot = runtime.GetTelemetry();
+  EXPECT_EQ(snapshot.lifecycles.size(), 8u);
+  EXPECT_EQ(snapshot.dispatcher.ring_dropped, 0u);  // 60 events never lap a 256 ring
+  EXPECT_EQ(snapshot.dispatcher.history_dropped, kRequests - 8);
+}
+
+TEST(TelemetryRuntimeTest, AgreesWithRuntimeStatsAndCrossLayerInvariants) {
+  if (!kEnabled) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  // Force some preemptions: one worker, 50us quantum, multi-millisecond
+  // probed spins with short requests queued behind them (segments must
+  // outlast an OS timeslice for the dispatcher to observe quantum expiry on
+  // a one-CPU host).
+  Runtime::Options options;
+  options.worker_count = 1;
+  options.jbsq_depth = 1;
+  options.quantum_us = 50.0;
+  options.work_conserving_dispatcher = false;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView& view) {
+    SpinWithProbesUs(view.request_class == 1 ? 10000.0 : 1.0);
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    while (!runtime.Submit(i, i < 3 ? 1 : 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  const Runtime::Stats stats = runtime.GetStats();
+  const TelemetrySnapshot snapshot = runtime.GetTelemetry();
+  const WorkerSnapshot totals = snapshot.Totals();
+
+  // A worker segment ends unfinished exactly when a probe yielded, and each
+  // such request is re-queued once by the dispatcher: the two layers count
+  // the same thing.
+  EXPECT_EQ(totals.probe_yields, stats.preemptions);
+  EXPECT_GT(stats.preemptions, 0u);  // the forced-preemption setup worked
+  // Fiber switch-ins on worker threads are exactly the worker segments.
+  EXPECT_EQ(totals.fiber_switches, totals.segments_run);
+  // Each preemption consumed one signal; extra signals may go unhonored.
+  EXPECT_GE(totals.preemptions_requested, totals.probe_yields);
+  // Resumes traverse the JBSQ inboxes too.
+  EXPECT_EQ(totals.jbsq_pushes, totals.segments_run);
+  EXPECT_EQ(totals.requests_completed, 40u);
+}
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define CONCORD_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define CONCORD_TEST_SANITIZED 1
+#endif
+#endif
+
+TEST(TelemetryRuntimeTest, RecordingCostStaysWithinPerRequestBudget) {
+#ifdef CONCORD_TEST_SANITIZED
+  GTEST_SKIP() << "cycle budget is meaningless under sanitizer instrumentation";
+#endif
+  // docs/telemetry.md budgets the per-request recording cost (a handful of
+  // relaxed increments, TSC reads, and one EventRing push) at well under a
+  // microsecond — <1% of any paper workload with >= 100us of service time.
+  // Measure the dominant term, the ring push, and assert a generous bound.
+  EventRing<RequestLifecycle> ring(256);
+  RequestLifecycle lifecycle;
+  lifecycle.id = 1;
+  constexpr int kTrials = 5;
+  constexpr std::uint64_t kPushes = 20000;
+  double best_mean_cycles = 1e18;
+  std::vector<RequestLifecycle> sink;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint64_t start = ReadTsc();
+    for (std::uint64_t i = 0; i < kPushes; ++i) {
+      ring.Push(lifecycle);
+    }
+    const std::uint64_t elapsed = ReadTsc() - start;
+    best_mean_cycles =
+        std::min(best_mean_cycles, static_cast<double>(elapsed) / static_cast<double>(kPushes));
+    sink.clear();
+    ring.Drain(&sink);
+  }
+  // ~40-100 cycles in practice; 2000 cycles (~1us at 2GHz) is the budget
+  // ceiling with a wide margin for contended CI hosts.
+  EXPECT_LT(best_mean_cycles, 2000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Probe hot-path purity (the CONCORD_TELEMETRY=OFF codegen guarantee)
+// ---------------------------------------------------------------------------
+
+std::string ReadSourceFile(const std::string& relative) {
+  std::ifstream in(std::string(CONCORD_SOURCE_DIR) + "/" + relative);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(TelemetryCodegenTest, ProbeHotPathSourcesAreTelemetryFree) {
+  // The OFF-build guarantee that probe() codegen is byte-identical to an
+  // untelemetered build holds *by construction*: the code a CONCORD_PROBE()
+  // expands through (probe.cc and instrument.h) contains no telemetry
+  // reference and no CONCORD_TELEMETRY conditional at all, in either build
+  // mode. Probe polls are derived from the pre-existing thread-local probe
+  // counter at segment boundaries instead. This test pins that construction.
+  const std::string probe_cc = ReadSourceFile("src/runtime/probe.cc");
+  ASSERT_FALSE(probe_cc.empty());
+  EXPECT_EQ(probe_cc.find("telemetry"), std::string::npos);
+  EXPECT_EQ(probe_cc.find("TELEMETRY"), std::string::npos);
+  EXPECT_EQ(probe_cc.find("#if"), std::string::npos);
+
+  const std::string instrument_h = ReadSourceFile("src/runtime/instrument.h");
+  ASSERT_FALSE(instrument_h.empty());
+  EXPECT_EQ(instrument_h.find("CONCORD_TELEMETRY"), std::string::npos);
+  EXPECT_EQ(instrument_h.find("telemetry::"), std::string::npos);
+  EXPECT_EQ(instrument_h.find("src/telemetry"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace concord::telemetry
