@@ -19,8 +19,8 @@ void RunLiveSection(int argc, char** argv) {
   constexpr double kServiceUs = 2600.0;  // floor(S/q) = 5 preemptions/request
   std::cout << "--- live runtime cross-check (q=" << kQuantumUs << "us, S=" << kServiceUs
             << "us spin) ---\n";
-  const telemetry::TelemetrySnapshot snapshot =
-      RunLiveSpinTelemetry(kQuantumUs, kServiceUs, /*request_count=*/24, /*worker_count=*/2);
+  const telemetry::TelemetrySnapshot snapshot = RunLiveSpinTelemetry(
+      kQuantumUs, kServiceUs, /*request_count=*/24, /*worker_count=*/2, argc, argv);
   PrintLiveCounterCheck(snapshot, kQuantumUs, kServiceUs);
   MaybeWriteTelemetry(snapshot, argc, argv);
 }

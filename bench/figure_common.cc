@@ -3,11 +3,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "src/runtime/runtime.h"
 #include "src/stats/table.h"
 #include "src/telemetry/export.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/metrics_sampler.h"
 
 namespace concord {
 
@@ -74,14 +77,39 @@ void PrintSloCrossovers(const std::vector<SystemConfig>& systems, const CostMode
 
 telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double service_us,
                                                   int request_count, int worker_count) {
+  return RunLiveSpinTelemetry(quantum_us, service_us, request_count, worker_count, 0, nullptr);
+}
+
+telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double service_us,
+                                                  int request_count, int worker_count, int argc,
+                                                  char** argv) {
+  const std::string trace_path = telemetry::TraceOutPath(argc, argv);
+  const std::string metrics_path = telemetry::MetricsOutPath(argc, argv);
   Runtime::Options options;
   options.worker_count = worker_count;
   options.quantum_us = quantum_us;
   options.jbsq_depth = 2;
+  if (!trace_path.empty()) {
+    // Bounded but generous: ~4 records/request for typical live sections, so
+    // even the largest figure run fits with zero drops (any excess is
+    // exactly counted and reported by concord_trace).
+    options.trace_buffer_capacity = std::size_t{1} << 18;
+  }
   Runtime::Callbacks callbacks;
   callbacks.handle_request = [service_us](const RequestView&) { SpinWithProbesUs(service_us); };
   Runtime runtime(options, callbacks);
   runtime.Start();
+  std::unique_ptr<trace::MetricsSampler> sampler;
+  if (!metrics_path.empty()) {
+    trace::MetricsSampler::Options sampler_options;
+    sampler_options.window_ms = telemetry::MetricsWindowMs(argc, argv);
+    if (metrics_path != "-") {
+      sampler_options.exposition_path = metrics_path + ".prom";
+    }
+    sampler = std::make_unique<trace::MetricsSampler>(
+        sampler_options, [&runtime] { return runtime.GetTelemetry(); });
+    sampler->Start();
+  }
   // Submit the whole batch up front: the backlog keeps "other work pending"
   // true, so the dispatcher actually requests preemptions (§3.1).
   for (int i = 0; i < request_count; ++i) {
@@ -91,7 +119,16 @@ telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double serv
   }
   runtime.WaitIdle();
   telemetry::TelemetrySnapshot snapshot = runtime.GetTelemetry();
+  if (sampler != nullptr) {
+    sampler->Stop();  // flushes the final partial window
+    sampler->WriteSeries(metrics_path);
+  }
   runtime.Shutdown();
+  if (!trace_path.empty()) {
+    // After Shutdown the dispatcher's final ring drain has run: the capture
+    // is complete up to its exactly-counted drops.
+    trace::WriteChromeTrace(runtime.GetTrace(), trace_path);
+  }
   return snapshot;
 }
 

@@ -40,6 +40,15 @@ void PrintSloCrossovers(const std::vector<SystemConfig>& systems, const CostMode
 telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double service_us,
                                                   int request_count, int worker_count);
 
+// Observability-aware variant: when --trace-out= / --metrics-out= (or
+// CONCORD_TRACE_OUT / CONCORD_METRICS_OUT) are present, the run additionally
+// captures a scheduling trace and samples windowed metrics, exporting both
+// (docs/tracing.md). Called repeatedly, later runs overwrite the artifacts:
+// the files describe the last live section.
+telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double service_us,
+                                                  int request_count, int worker_count, int argc,
+                                                  char** argv);
+
 // Prints the live mechanism counters of `snapshot` against the model's
 // preemptions-per-request prediction for (quantum_us, service_us).
 void PrintLiveCounterCheck(const telemetry::TelemetrySnapshot& snapshot, double quantum_us,

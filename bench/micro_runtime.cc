@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,9 +17,20 @@
 #include "src/runtime/runtime.h"
 #include "src/telemetry/event_ring.h"
 #include "src/telemetry/export.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/metrics_sampler.h"
 
 namespace concord {
 namespace {
+
+// CONCORD_BENCH_TRACE=1: run the throughput bench with the full
+// observability stack live (scheduling-trace capture plus a 10 ms metrics
+// sampler). The CI telemetry-overhead gate measures this configuration
+// against a CONCORD_TELEMETRY=OFF build.
+bool BenchTraceEnabled() {
+  const char* env = std::getenv("CONCORD_BENCH_TRACE");
+  return env != nullptr && env[0] == '1';
+}
 
 void BM_SubmitCompleteRoundTrip(benchmark::State& state) {
   // Single in-flight request at a time: measures the full submit -> dispatch
@@ -54,10 +67,20 @@ void BM_PipelinedThroughput(benchmark::State& state) {
   Runtime::Options options;
   options.worker_count = 2;
   options.quantum_us = 1000.0;
+  const bool traced = BenchTraceEnabled();
+  if (traced) {
+    options.trace_buffer_capacity = std::size_t{1} << 16;
+  }
   Runtime::Callbacks callbacks;
   callbacks.handle_request = [](const RequestView&) {};
   Runtime runtime(options, callbacks);
   runtime.Start();
+  std::unique_ptr<trace::MetricsSampler> sampler;
+  if (traced) {
+    sampler = std::make_unique<trace::MetricsSampler>(
+        trace::MetricsSampler::Options{}, [&runtime] { return runtime.GetTelemetry(); });
+    sampler->Start();
+  }
   std::uint64_t id = 0;
   // Driver loop on the bench thread, not handler code. concord-lint: allow-no-probe
   for (auto _ : state) {
@@ -70,6 +93,9 @@ void BM_PipelinedThroughput(benchmark::State& state) {
     }
   }
   runtime.WaitIdle();
+  if (sampler != nullptr) {
+    sampler->Stop();
+  }
   runtime.Shutdown();
   state.SetItemsProcessed(static_cast<std::int64_t>(id));
 }
@@ -125,17 +151,98 @@ BENCHMARK(BM_TelemetrySnapshot);
 }  // namespace
 }  // namespace concord
 
-// BENCHMARK_MAIN, plus --telemetry-out=FILE: after the benchmarks run, drive
-// one small pipelined workload and export its telemetry snapshot. The CI
-// overhead smoke compares BM_PipelinedThroughput between CONCORD_TELEMETRY
-// ON and OFF builds.
+namespace concord {
+
+// Post-benchmark export workload behind --telemetry-out= / --trace-out= /
+// --metrics-out=: a mixed short/long spin mix (90% 5us, 10% 100us at
+// q=20us) that exercises preemption signals, co-op yields, JBSQ
+// re-dispatch and dispatcher adoption, sized to span several 10 ms metrics
+// windows. CI feeds the resulting trace and series to concord_trace --check.
+int RunExportWorkload(int argc, char** argv) {
+  const std::string telemetry_out = telemetry::TelemetryOutPath(argc, argv);
+  const std::string trace_out = telemetry::TraceOutPath(argc, argv);
+  const std::string metrics_out = telemetry::MetricsOutPath(argc, argv);
+
+  std::size_t request_count = 12000;  // ~90ms of work on two workers
+  if (const char* env = std::getenv("CONCORD_BENCH_REQUESTS")) {
+    const long value = std::atol(env);
+    if (value > 0) {
+      request_count = static_cast<std::size_t>(value);
+    }
+  }
+
+  Runtime::Options options;
+  options.worker_count = 2;
+  options.quantum_us = 20.0;
+  options.jbsq_depth = 2;
+  if (!trace_out.empty()) {
+    // Sized for zero drops at the default request count; any overflow is
+    // exactly counted and surfaced by the analyzer.
+    options.trace_buffer_capacity = std::size_t{1} << 17;
+  }
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView& view) {
+    SpinWithProbesUs(view.request_class == 1 ? 100.0 : 5.0);
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  std::unique_ptr<trace::MetricsSampler> sampler;
+  if (!metrics_out.empty()) {
+    trace::MetricsSampler::Options sampler_options;
+    sampler_options.window_ms = telemetry::MetricsWindowMs(argc, argv);
+    if (metrics_out != "-") {
+      sampler_options.exposition_path = metrics_out + ".prom";
+    }
+    sampler = std::make_unique<trace::MetricsSampler>(
+        sampler_options, [&runtime] { return runtime.GetTelemetry(); });
+    sampler->Start();
+  }
+  // Driver loop on the main thread, not handler code. concord-lint: allow-no-probe
+  for (std::size_t i = 0; i < request_count; ++i) {
+    const int request_class = i % 10 == 9 ? 1 : 0;
+    while (!runtime.Submit(static_cast<std::uint64_t>(i), request_class, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  const telemetry::TelemetrySnapshot snapshot = runtime.GetTelemetry();
+  bool ok = true;
+  if (sampler != nullptr) {
+    sampler->Stop();  // flushes the final partial window
+    ok = sampler->WriteSeries(metrics_out) && ok;
+  }
+  runtime.Shutdown();
+  if (!trace_out.empty()) {
+    // Post-Shutdown: the dispatcher's final ring drain has run.
+    ok = trace::WriteChromeTrace(runtime.GetTrace(), trace_out) && ok;
+  }
+  if (!telemetry_out.empty()) {
+    ok = telemetry::WriteSnapshotJson(snapshot, telemetry_out) && ok;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace concord
+
+// BENCHMARK_MAIN, plus the shared observability flags: after the benchmarks
+// run, any of --telemetry-out= / --trace-out= / --metrics-out= (or their
+// CONCORD_*_OUT envs) drives one instrumented workload and exports the
+// requested artifacts. The CI overhead smoke compares BM_PipelinedThroughput
+// between CONCORD_TELEMETRY ON and OFF builds (and, with
+// CONCORD_BENCH_TRACE=1, with tracing + sampling live).
 int main(int argc, char** argv) {
-  const std::string telemetry_out = concord::telemetry::TelemetryOutPath(argc, argv);
+  const bool want_export = !concord::telemetry::TelemetryOutPath(argc, argv).empty() ||
+                           !concord::telemetry::TraceOutPath(argc, argv).empty() ||
+                           !concord::telemetry::MetricsOutPath(argc, argv).empty();
   std::vector<char*> bench_args;  // benchmark::Initialize rejects foreign flags
   for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--telemetry-out=", 16) != 0) {
-      bench_args.push_back(argv[i]);
+    if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0 ||
+        std::strncmp(argv[i], "--trace-out=", 12) == 0 ||
+        std::strncmp(argv[i], "--metrics-out=", 14) == 0 ||
+        std::strncmp(argv[i], "--metrics-window-ms=", 20) == 0) {
+      continue;
     }
+    bench_args.push_back(argv[i]);
   }
   int bench_argc = static_cast<int>(bench_args.size());
   benchmark::Initialize(&bench_argc, bench_args.data());
@@ -144,25 +251,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!telemetry_out.empty()) {
-    concord::Runtime::Options options;
-    options.worker_count = 2;
-    options.quantum_us = 1000.0;
-    concord::Runtime::Callbacks callbacks;
-    callbacks.handle_request = [](const concord::RequestView&) {};
-    concord::Runtime runtime(options, callbacks);
-    runtime.Start();
-    for (std::uint64_t id = 0; id < 512; ++id) {
-      while (!runtime.Submit(id, 0, nullptr)) {
-        std::this_thread::yield();
-      }
-    }
-    runtime.WaitIdle();
-    const concord::telemetry::TelemetrySnapshot snapshot = runtime.GetTelemetry();
-    runtime.Shutdown();
-    if (!concord::telemetry::WriteSnapshotJson(snapshot, telemetry_out)) {
-      return 1;
-    }
+  if (want_export) {
+    return concord::RunExportWorkload(argc, argv);
   }
   return 0;
 }

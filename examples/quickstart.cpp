@@ -7,16 +7,22 @@
 // below what run-to-completion would produce.
 //
 // Usage: quickstart [offered_krps] [request_count] [--telemetry-out=FILE]
+//                   [--trace-out=FILE] [--metrics-out=FILE]
+//                   [--metrics-window-ms=MS]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/apps/synthetic.h"
 #include "src/loadgen/loadgen.h"
 #include "src/runtime/runtime.h"
 #include "src/telemetry/export.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/metrics_sampler.h"
 #include "src/workload/workload_factory.h"
 
 int main(int argc, char** argv) {
@@ -38,11 +44,17 @@ int main(int argc, char** argv) {
   const concord::SyntheticService service = concord::SyntheticService::FromDistribution(workload);
   concord::OpenLoopLoadgen loadgen(workload, {20.0, 2000.0}, /*seed=*/1);
 
+  const std::string trace_out = concord::telemetry::TraceOutPath(argc, argv);
+  const std::string metrics_out = concord::telemetry::MetricsOutPath(argc, argv);
+
   concord::Runtime::Options options;
   options.worker_count = 2;
   options.quantum_us = 50.0;
   options.jbsq_depth = 2;
   options.work_conserving_dispatcher = true;
+  if (!trace_out.empty()) {
+    options.trace_buffer_capacity = std::size_t{1} << 17;  // scheduling-trace capture on
+  }
 
   concord::Runtime::Callbacks callbacks;
   callbacks.setup = [] { std::puts("setup(): global state initialized"); };
@@ -56,12 +68,31 @@ int main(int argc, char** argv) {
 
   concord::Runtime runtime(options, callbacks);
   runtime.Start();
+  std::unique_ptr<concord::trace::MetricsSampler> sampler;
+  if (!metrics_out.empty()) {
+    concord::trace::MetricsSampler::Options sampler_options;
+    sampler_options.window_ms = concord::telemetry::MetricsWindowMs(argc, argv);
+    if (metrics_out != "-") {
+      sampler_options.exposition_path = metrics_out + ".prom";
+    }
+    sampler = std::make_unique<concord::trace::MetricsSampler>(
+        sampler_options, [&runtime] { return runtime.GetTelemetry(); });
+    sampler->Start();
+  }
   std::printf("driving %llu requests at %.1f kRps...\n",
               static_cast<unsigned long long>(count), offered_krps);
   const concord::LoadgenReport report = loadgen.Run(&runtime, offered_krps, count);
   const concord::Runtime::Stats stats = runtime.GetStats();
   const concord::telemetry::TelemetrySnapshot telemetry = runtime.GetTelemetry();
+  bool export_ok = true;
+  if (sampler != nullptr) {
+    sampler->Stop();  // flushes the final partial window
+    export_ok = sampler->WriteSeries(metrics_out) && export_ok;
+  }
   runtime.Shutdown();
+  if (!trace_out.empty()) {
+    export_ok = concord::trace::WriteChromeTrace(runtime.GetTrace(), trace_out) && export_ok;
+  }
 
   std::printf("\ncompleted %llu/%llu (dropped %llu), achieved %.2f kRps\n",
               static_cast<unsigned long long>(report.completed),
@@ -81,5 +112,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(totals.probe_yields),
                 static_cast<unsigned long long>(telemetry.dispatcher.quanta_run));
   }
-  return concord::telemetry::MaybeExportSnapshot(telemetry, argc, argv) ? 0 : 1;
+  export_ok = concord::telemetry::MaybeExportSnapshot(telemetry, argc, argv) && export_ok;
+  return export_ok ? 0 : 1;
 }

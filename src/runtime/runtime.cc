@@ -111,10 +111,19 @@ void Runtime::Start() {
   const std::size_t ring_capacity =
       telemetry::kEnabled ? std::max<std::size_t>(std::size_t{1}, options_.telemetry_ring_capacity)
                           : std::size_t{1};
+  tracing_ = telemetry::kEnabled && options_.trace_buffer_capacity > 0;
+  const std::size_t trace_ring_capacity =
+      tracing_ ? std::max<std::size_t>(std::size_t{1}, options_.trace_ring_capacity)
+               : std::size_t{1};
+  if (tracing_) {
+    trace_collector_ = std::make_unique<trace::TraceCollector>(options_.worker_count,
+                                                               options_.trace_buffer_capacity);
+    trace_scratch_.reserve(256);
+  }
   workers_.reserve(static_cast<std::size_t>(options_.worker_count));
   for (int i = 0; i < options_.worker_count; ++i) {
     workers_.push_back(std::make_unique<WorkerShared>(
-        static_cast<std::size_t>(options_.jbsq_depth), ring_capacity));
+        static_cast<std::size_t>(options_.jbsq_depth), ring_capacity, trace_ring_capacity));
     dispatcher_worker_telemetry_.push_back(
         std::make_unique<telemetry::DispatcherWorkerCounters>());
   }
@@ -226,6 +235,19 @@ telemetry::TelemetrySnapshot Runtime::GetTelemetry() const {
   return snapshot;
 }
 
+trace::TraceCapture Runtime::GetTrace() const {
+  trace::TraceCapture capture;
+  if (!tracing_) {
+    return capture;  // enabled=false: tracing off or telemetry compiled out
+  }
+  capture = trace_collector_->Capture();
+  capture.tsc_ghz = tsc_ghz_;
+  capture.worker_count = options_.worker_count;
+  capture.jbsq_depth = options_.jbsq_depth;
+  capture.quantum_us = options_.quantum_us;
+  return capture;
+}
+
 Fiber* Runtime::AcquireFiber() {
   if (!fiber_free_list_.empty()) {
     Fiber* fiber = fiber_free_list_.back();
@@ -321,8 +343,17 @@ void Runtime::PushJbsq(bool* progress) {
         << "JBSQ(k) bound about to be exceeded for worker " << best;
     if constexpr (telemetry::kEnabled) {
       // Stamp before the push: past it, the worker owns the request.
+      const std::uint64_t dispatch_tsc = ReadTsc();
       if (request->lifecycle.dispatch_tsc == 0) {
-        request->lifecycle.dispatch_tsc = ReadTsc();
+        request->lifecycle.dispatch_tsc = dispatch_tsc;
+      }
+      if (tracing_) {
+        // detail = JBSQ occupancy right after this push; the offline
+        // analyzer checks it against k.
+        trace_scratch_.push_back(trace::TraceRecord{
+            request->id, dispatch_tsc, 0, trace::RecordKind::kDispatch, best,
+            request->request_class,
+            static_cast<std::uint32_t>(outstanding_[static_cast<std::size_t>(best)] + 1)});
       }
     }
     const bool pushed = workers_[static_cast<std::size_t>(best)]->inbox.TryPush(request);
@@ -377,6 +408,15 @@ void Runtime::SendPreemptSignals() {
     }
     shared.preempt_signal.word.store(generation, std::memory_order_release);
     signaled_generation_[static_cast<std::size_t>(w)] = generation;
+    if constexpr (telemetry::kEnabled) {
+      if (tracing_) {
+        // The dispatcher knows the target worker and generation, not the
+        // request id; the trace renders this as an instant on the worker's
+        // track and the analyzer counts (but does not stitch) it.
+        trace_scratch_.push_back(
+            trace::TraceRecord{0, now, 0, trace::RecordKind::kPreemptSignal, w, 0, 0});
+      }
+    }
   }
 }
 
@@ -405,10 +445,18 @@ void Runtime::MaybeRunAppRequest() {
     request->on_dispatcher = true;
     dispatcher_started_count_.fetch_add(1, std::memory_order_relaxed);
     if constexpr (telemetry::kEnabled) {
+      const std::uint64_t dispatch_tsc = ReadTsc();
       if (request->lifecycle.dispatch_tsc == 0) {
-        request->lifecycle.dispatch_tsc = ReadTsc();
+        request->lifecycle.dispatch_tsc = dispatch_tsc;
       }
       dispatcher_telemetry_.requests_started.fetch_add(1, std::memory_order_relaxed);
+      if (tracing_) {
+        // Adoption is the dispatcher-pinned analogue of a JBSQ push.
+        trace_scratch_.push_back(trace::TraceRecord{request->id, dispatch_tsc, 0,
+                                                    trace::RecordKind::kDispatch,
+                                                    trace::kDispatcherTrack,
+                                                    request->request_class, 0});
+      }
     }
     dispatcher_request_ = request;
   }
@@ -433,13 +481,22 @@ void Runtime::MaybeRunAppRequest() {
     dispatcher_telemetry_.probe_polls.fetch_add(probe_count - dispatcher_probe_count_baseline_,
                                                 std::memory_order_relaxed);
     dispatcher_probe_count_baseline_ = probe_count;
+    const std::uint64_t segment_end_tsc = ReadTsc();
     if (finished) {
-      dispatcher_request_->lifecycle.finish_tsc = ReadTsc();
+      dispatcher_request_->lifecycle.finish_tsc = segment_end_tsc;
       dispatcher_request_->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
       dispatcher_telemetry_.requests_completed.fetch_add(1, std::memory_order_relaxed);
       AppendLifecycle(dispatcher_request_->lifecycle);
     } else {
-      dispatcher_request_->lifecycle.RecordPreemption(ReadTsc());
+      dispatcher_request_->lifecycle.RecordPreemption(segment_end_tsc);
+    }
+    if (tracing_) {
+      trace_scratch_.push_back(trace::TraceRecord{
+          dispatcher_request_->id, quantum_start_tsc, segment_end_tsc,
+          trace::RecordKind::kSegment, trace::kDispatcherTrack,
+          dispatcher_request_->request_class,
+          static_cast<std::uint32_t>(finished ? trace::SegmentEnd::kFinished
+                                              : trace::SegmentEnd::kDispatcherQuantum)});
     }
   }
   if (finished) {
@@ -475,6 +532,28 @@ void Runtime::DrainTelemetryRings() {
   }
 }
 
+// Flushes the dispatcher's batched trace records and moves worker-published
+// segment records into the trace collector. The dispatcher's own records are
+// staged in trace_scratch_ during the loop pass so the collector lock is
+// taken once per pass, not once per record — that difference is measurable
+// at no-op service times. Cheap when tracing is off (one branch) or there is
+// nothing to move.
+void Runtime::DrainTraceRings() {
+  if constexpr (!telemetry::kEnabled) {
+    return;
+  }
+  if (!tracing_) {
+    return;
+  }
+  if (!trace_scratch_.empty()) {
+    trace_collector_->AppendAll(trace_scratch_.data(), trace_scratch_.size());
+    trace_scratch_.clear();
+  }
+  for (int w = 0; w < options_.worker_count; ++w) {
+    trace_collector_->DrainWorkerRing(w, &workers_[static_cast<std::size_t>(w)]->trace_ring);
+  }
+}
+
 void Runtime::AppendLifecycle(const telemetry::RequestLifecycle& lifecycle) {
   std::lock_guard<std::mutex> lock(telemetry_mu_);
   lifecycle_history_.push_back(lifecycle);
@@ -493,20 +572,42 @@ void Runtime::DispatcherLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
     bool progress = false;
     // Ingress.
+    std::size_t adopted = 0;
     {
       std::lock_guard<std::mutex> lock(ingress_mu_);
       while (!ingress_.empty()) {
         central_.push_back(ingress_.front());
         ingress_.pop_front();
         progress = true;
+        ++adopted;
+      }
+    }
+    if constexpr (telemetry::kEnabled) {
+      if (tracing_ && adopted > 0) {
+        // Record arrivals outside the ingress lock (submitters never wait on
+        // the collector); the just-adopted requests are the central tail.
+        const std::uint64_t adopt_tsc = ReadTsc();
+        for (auto it = central_.end() - static_cast<std::ptrdiff_t>(adopted);
+             it != central_.end(); ++it) {
+          trace_scratch_.push_back(
+              trace::TraceRecord{(*it)->id, (*it)->arrival_tsc, adopt_tsc,
+                                 trace::RecordKind::kArrival, trace::kDispatcherTrack,
+                                 (*it)->request_class, 0});
+        }
       }
     }
     DrainOutboxes(&progress);
     PushJbsq(&progress);
     SendPreemptSignals();
     MaybeRunAppRequest();
-    DrainTelemetryRings();
     if (progress || dispatcher_request_ != nullptr) {
+      // Drain only on passes that moved work: a worker publishes its
+      // lifecycle/trace records immediately before the outbox push, so an
+      // idle pass has nothing new to collect — and skipping the (cheap but
+      // not free) empty-ring reads keeps the idle spin tight. The final
+      // drain below picks up anything published right before stop.
+      DrainTelemetryRings();
+      DrainTraceRings();
       backoff.Reset();
     } else {
       backoff.Idle();
@@ -515,6 +616,7 @@ void Runtime::DispatcherLoop() {
   // Final drain: events published between the last pass and the stop flag
   // must still reach the history before the threads join.
   DrainTelemetryRings();
+  DrainTraceRings();
   SetProbeBinding({});
 }
 
@@ -603,6 +705,16 @@ void Runtime::WorkerLoop(int worker_index) {
         shared.lifecycle_ring.Push(request->lifecycle);
       } else {
         request->lifecycle.RecordPreemption(segment_end_tsc);
+      }
+      if (tracing_) {
+        // Published by value through the worker's seqlock trace ring; the
+        // dispatcher's drain attributes any overwritten slot exactly from
+        // the ring sequence numbers.
+        shared.trace_ring.Push(trace::TraceRecord{
+            request->id, segment_start_tsc, segment_end_tsc, trace::RecordKind::kSegment,
+            worker_index, request->request_class,
+            static_cast<std::uint32_t>(finished ? trace::SegmentEnd::kFinished
+                                                : trace::SegmentEnd::kPreemptYield)});
       }
     }
     request->finished = finished;

@@ -38,6 +38,8 @@
 #include "src/runtime/spsc_ring.h"
 #include "src/telemetry/event_ring.h"
 #include "src/telemetry/telemetry.h"
+#include "src/trace/collector.h"
+#include "src/trace/trace_record.h"
 
 namespace concord {
 
@@ -65,6 +67,14 @@ class Runtime {
     // dispatcher maintains. Both drop oldest on overflow, with counters.
     std::size_t telemetry_ring_capacity = 256;
     std::size_t telemetry_history_capacity = 4096;
+    // Scheduling-trace capture (docs/tracing.md). 0 disables tracing (the
+    // default: no records, no rings, no collector); a positive value bounds
+    // the in-memory record buffer, evicting oldest with exact drop counts.
+    // Ignored when built with CONCORD_TELEMETRY=OFF.
+    std::size_t trace_buffer_capacity = 0;
+    // Per-worker trace ring slots (segment records in flight between a
+    // worker and the dispatcher's drain). Drop-oldest, counted exactly.
+    std::size_t trace_ring_capacity = 1024;
   };
 
   struct Callbacks {
@@ -115,6 +125,16 @@ class Runtime {
   // enabled=false when built with CONCORD_TELEMETRY=OFF.
   telemetry::TelemetrySnapshot GetTelemetry() const;
 
+  // True when scheduling-trace capture is active (telemetry compiled in and
+  // Options::trace_buffer_capacity > 0).
+  bool trace_enabled() const { return tracing_; }
+
+  // Snapshot of the scheduling trace (docs/tracing.md). Complete — up to the
+  // exactly-counted drops — once the runtime has shut down (the dispatcher's
+  // final ring drain runs on exit); a mid-run call returns a consistent
+  // partial capture. enabled=false when tracing is off.
+  trace::TraceCapture GetTrace() const;
+
   // Measured TSC frequency used for quantum arithmetic.
   double tsc_ghz() const { return tsc_ghz_; }
 
@@ -135,14 +155,22 @@ class Runtime {
   };
 
   struct WorkerShared {
-    WorkerShared(std::size_t depth, std::size_t telemetry_ring_capacity)
-        : inbox(depth), outbox(2 * depth + 8), lifecycle_ring(telemetry_ring_capacity) {}
+    WorkerShared(std::size_t depth, std::size_t telemetry_ring_capacity,
+                 std::size_t trace_ring_capacity)
+        : inbox(depth),
+          outbox(2 * depth + 8),
+          lifecycle_ring(telemetry_ring_capacity),
+          trace_ring(trace_ring_capacity) {}
     SpscRing<RuntimeRequest*> inbox;
     SpscRing<RuntimeRequest*> outbox;
     // Worker-written telemetry counters (own cache lines) and the lock-free
     // lifecycle ring the dispatcher drains (overwrite-oldest on overflow).
     telemetry::WorkerCounters counters;
     telemetry::EventRing<telemetry::RequestLifecycle> lifecycle_ring;
+    // Worker-published run-segment records for the scheduling trace (1-slot
+    // placeholder when tracing is off). Same seqlock discipline as the
+    // lifecycle ring; sequences give the collector exact loss counts.
+    telemetry::EventRing<trace::TraceRecord> trace_ring;
     // Dispatcher -> worker preemption signal: holds the generation to
     // preempt, 0 when clear. One dedicated cache line (§3.1).
     SignalLine preempt_signal;
@@ -161,6 +189,7 @@ class Runtime {
   void SendPreemptSignals();
   void MaybeRunAppRequest();
   void DrainTelemetryRings();
+  void DrainTraceRings();
   void AppendLifecycle(const telemetry::RequestLifecycle& lifecycle);
   void CompleteRequest(RuntimeRequest* request, bool on_dispatcher);
   RuntimeRequest* TakeFirstUnstarted();
@@ -194,6 +223,13 @@ class Runtime {
   std::vector<telemetry::RequestLifecycle> telemetry_drain_scratch_;
   mutable std::mutex telemetry_mu_;  // guards lifecycle_history_
   std::deque<telemetry::RequestLifecycle> lifecycle_history_;
+
+  // Scheduling-trace capture (null unless tracing_; see Options).
+  bool tracing_ = false;
+  std::unique_ptr<trace::TraceCollector> trace_collector_;
+  // Dispatcher-owned staging buffer: records accumulate lock-free during a
+  // loop pass and reach the collector in one AppendAll per pass.
+  std::vector<trace::TraceRecord> trace_scratch_;
 
   // Request / fiber pools (dispatcher-owned after start).
   std::mutex pool_mu_;  // guards request pool for Submit()

@@ -33,6 +33,19 @@
 
 namespace concord::telemetry {
 
+// A drained event together with its producer-side sequence number (0-based:
+// the n-th Push ever issued carries sequence n). Sequences are strictly
+// increasing within one ring's drain stream, so a gap between consecutive
+// drained records — or between the last drained record and a later drain —
+// identifies exactly which records were overwritten or torn. Consumers that
+// stitch multi-record streams (the trace builder) use this to *account* for
+// losses instead of silently mis-joining records across a gap.
+template <typename T>
+struct SequencedEvent {
+  std::uint64_t sequence = 0;
+  T value{};
+};
+
 template <typename T>
 class EventRing {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -67,6 +80,32 @@ class EventRing {
   // `out` and returns how many were read. Events overwritten before the
   // consumer reached them are counted in dropped() instead.
   std::size_t Drain(std::vector<T>* out) {
+    return DrainInto([out](std::uint64_t, const T& value) { out->push_back(value); });
+  }
+
+  // Like Drain, but each event carries its producer-side sequence number, so
+  // the consumer can see exactly *where* in the stream records were lost
+  // (sequence gaps) rather than just how many (dropped()).
+  std::size_t Drain(std::vector<SequencedEvent<T>>* out) {
+    return DrainInto(
+        [out](std::uint64_t seq, const T& value) { out->push_back(SequencedEvent<T>{seq, value}); });
+  }
+
+  // Total events overwritten or torn before the consumer could read them.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Total events ever pushed (producer-side sequence).
+  std::uint64_t produced() const { return head_.value.load(std::memory_order_acquire); }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+
+  // Shared drain protocol; `sink(sequence, value)` receives each intact event
+  // in publication order.
+  template <typename Sink>
+  std::size_t DrainInto(Sink&& sink) {
     const std::uint64_t head = head_.value.load(std::memory_order_acquire);
     const std::size_t capacity = mask_ + 1;
     if (head - cursor_ > capacity) {
@@ -97,23 +136,12 @@ class EventRing {
       }
       T value;
       std::memcpy(&value, words, sizeof(T));
-      out->push_back(value);
+      sink(cursor_, value);
       ++read;
       ++cursor_;
     }
     return read;
   }
-
-  // Total events overwritten or torn before the consumer could read them.
-  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
-
-  // Total events ever pushed (producer-side sequence).
-  std::uint64_t produced() const { return head_.value.load(std::memory_order_acquire); }
-
-  std::size_t capacity() const { return mask_ + 1; }
-
- private:
-  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
 
   struct Slot {
     std::atomic<std::uint64_t> seq{0};  // 2n+1 while writing event n, 2n+2 after

@@ -1,5 +1,6 @@
 #include "src/telemetry/export.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -7,38 +8,74 @@
 
 namespace concord::telemetry {
 
-namespace {
-constexpr const char kFlag[] = "--telemetry-out=";
-}  // namespace
-
-std::string TelemetryOutPath(int argc, char** argv) {
+std::string OutPathFromFlagOrEnv(int argc, char** argv, const char* flag_prefix,
+                                 const char* env_var) {
+  const std::size_t prefix_len = std::strlen(flag_prefix);
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
-      return std::string(argv[i] + sizeof(kFlag) - 1);
+    if (std::strncmp(argv[i], flag_prefix, prefix_len) == 0) {
+      return std::string(argv[i] + prefix_len);
     }
   }
-  const char* env = std::getenv("CONCORD_TELEMETRY_OUT");
+  const char* env = std::getenv(env_var);
   return env != nullptr ? std::string(env) : std::string();
 }
 
-bool WriteSnapshotJson(const TelemetrySnapshot& snapshot, const std::string& path) {
-  const std::string json = snapshot.ToJson();
+std::string TelemetryOutPath(int argc, char** argv) {
+  return OutPathFromFlagOrEnv(argc, argv, "--telemetry-out=", "CONCORD_TELEMETRY_OUT");
+}
+
+std::string TraceOutPath(int argc, char** argv) {
+  return OutPathFromFlagOrEnv(argc, argv, "--trace-out=", "CONCORD_TRACE_OUT");
+}
+
+std::string MetricsOutPath(int argc, char** argv) {
+  return OutPathFromFlagOrEnv(argc, argv, "--metrics-out=", "CONCORD_METRICS_OUT");
+}
+
+double MetricsWindowMs(int argc, char** argv, double fallback) {
+  const std::string value =
+      OutPathFromFlagOrEnv(argc, argv, "--metrics-window-ms=", "CONCORD_METRICS_WINDOW_MS");
+  if (value.empty()) {
+    return fallback;
+  }
+  const double parsed = std::atof(value.c_str());
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+bool WriteTextFile(const std::string& text, const std::string& path, const char* what) {
   if (path == "-") {
-    std::cout << json << "\n";
+    std::cout << text << "\n";
     return true;
   }
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
-    std::cerr << "telemetry: cannot open " << path << " for writing\n";
+    std::cerr << what << ": cannot open " << path << " for writing\n";
     return false;
   }
-  out << json << "\n";
+  out << text << "\n";
   out.flush();
   if (!out) {
-    std::cerr << "telemetry: write to " << path << " failed\n";
+    std::cerr << what << ": write to " << path << " failed\n";
     return false;
   }
   return true;
+}
+
+bool WriteTextFileAtomic(const std::string& text, const std::string& path, const char* what) {
+  const std::string tmp = path + ".tmp";
+  if (!WriteTextFile(text, tmp, what)) {
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::cerr << what << ": rename " << tmp << " -> " << path << " failed\n";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WriteSnapshotJson(const TelemetrySnapshot& snapshot, const std::string& path) {
+  return WriteTextFile(snapshot.ToJson(), path, "telemetry");
 }
 
 bool MaybeExportSnapshot(const TelemetrySnapshot& snapshot, int argc, char** argv) {

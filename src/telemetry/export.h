@@ -1,6 +1,9 @@
 // Snapshot export plumbing shared by the bench and example binaries: every
 // one of them accepts --telemetry-out=FILE (or the CONCORD_TELEMETRY_OUT
-// environment variable) and writes the final TelemetrySnapshot as JSON.
+// environment variable) and writes the final TelemetrySnapshot as JSON, plus
+// --trace-out= / --metrics-out= (CONCORD_TRACE_OUT / CONCORD_METRICS_OUT)
+// for the scheduling-trace subsystem (src/trace, docs/tracing.md). All three
+// flags parse through one helper so every binary behaves identically.
 
 #ifndef CONCORD_SRC_TELEMETRY_EXPORT_H_
 #define CONCORD_SRC_TELEMETRY_EXPORT_H_
@@ -11,9 +14,35 @@
 
 namespace concord::telemetry {
 
+// Generic output-destination helper: the value of `--<flag_prefix>FILE` when
+// present in argv (first match wins), else the `env_var` environment
+// variable, else "". `flag_prefix` must include the trailing '=' (e.g.
+// "--telemetry-out=").
+std::string OutPathFromFlagOrEnv(int argc, char** argv, const char* flag_prefix,
+                                 const char* env_var);
+
 // The export destination: the value of a `--telemetry-out=FILE` argument,
 // else the CONCORD_TELEMETRY_OUT environment variable, else "".
 std::string TelemetryOutPath(int argc, char** argv);
+
+// `--trace-out=FILE` / CONCORD_TRACE_OUT: Chrome-trace destination.
+std::string TraceOutPath(int argc, char** argv);
+
+// `--metrics-out=FILE` / CONCORD_METRICS_OUT: windowed time-series JSON.
+std::string MetricsOutPath(int argc, char** argv);
+
+// `--metrics-window-ms=N` / CONCORD_METRICS_WINDOW_MS: sampler window length
+// in milliseconds; returns `fallback` when unset or unparsable.
+double MetricsWindowMs(int argc, char** argv, double fallback = 10.0);
+
+// Writes `text` to `path` ("-" means stdout). Returns false (and logs to
+// stderr, labelled with `what`) when the file cannot be written.
+bool WriteTextFile(const std::string& text, const std::string& path, const char* what);
+
+// Atomically replaces `path` with `text`: writes `path`.tmp then rename(2)s
+// it over the destination, so a concurrent reader (Prometheus scraping the
+// exposition file) never observes a torn document. "-" is not supported.
+bool WriteTextFileAtomic(const std::string& text, const std::string& path, const char* what);
 
 // Writes snapshot.ToJson() to `path` ("-" means stdout). Returns false (and
 // logs to stderr) when the file cannot be written.

@@ -1,0 +1,553 @@
+#include "src/trace/analyzer.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/json.h"
+#include "src/trace/trace_record.h"
+
+namespace concord::trace {
+
+namespace {
+
+using telemetry::JsonValue;
+
+constexpr std::size_t kMaxStoredViolations = 64;
+
+// A record re-materialized from the file's exact-TSC args (never from the
+// lossy double ts/dur display fields).
+struct ParsedRecord {
+  RecordKind kind = RecordKind::kInvalid;
+  std::uint64_t request_id = 0;
+  std::uint64_t start_tsc = 0;
+  std::uint64_t end_tsc = 0;
+  std::uint64_t sequence = 0;
+  std::int32_t worker = kDispatcherTrack;
+  std::int32_t request_class = 0;
+  std::uint32_t detail = 0;  // dispatch: depth after push; segment: SegmentEnd
+};
+
+struct RequestTimeline {
+  bool has_arrival = false;
+  std::uint64_t arrival_tsc = 0;
+  std::uint64_t adopt_tsc = 0;
+  std::int32_t request_class = 0;
+  std::vector<ParsedRecord> dispatches;  // sorted by start_tsc
+  std::vector<ParsedRecord> segments;    // sorted by start_tsc
+};
+
+class Analyzer {
+ public:
+  Analyzer(const AnalyzerOptions& options, AnalyzerReport* report)
+      : options_(options), report_(report) {}
+
+  void Run(const JsonValue& root) {
+    if (!ReadMetadata(root)) {
+      return;
+    }
+    if (!ReadRecords(root)) {
+      return;
+    }
+    CheckSequences();
+    StitchRequests();
+    const bool lossless = declared_drops() == 0;
+    for (auto& [id, timeline] : requests_) {
+      AnalyzeRequest(id, timeline, lossless);
+    }
+    if (lossless) {
+      CheckOccupancy();
+      if (options_.check_work_conservation) {
+        CheckWorkConservation();
+      }
+    }
+    // Truncated timelines in a file that declares zero drops cannot be
+    // explained by accounted loss; surface them through the same counter the
+    // --check gate fails on.
+    if (lossless && report_->requests_truncated > 0) {
+      report_->unexplained_drops += report_->requests_truncated;
+      Violation("trace declares zero drops but " +
+                std::to_string(report_->requests_truncated) +
+                " request timeline(s) are incomplete");
+    }
+  }
+
+ private:
+  std::uint64_t declared_drops() const {
+    return report_->declared_ring_dropped + report_->declared_buffer_dropped;
+  }
+
+  void Violation(const std::string& message) {
+    // A badly corrupt trace can trip thousands of checks; keep the report
+    // bounded but make the truncation explicit.
+    if (report_->violations.size() < kMaxStoredViolations) {
+      report_->violations.push_back(message);
+    } else if (report_->violations.size() == kMaxStoredViolations) {
+      report_->violations.push_back("... further violations suppressed");
+    }
+  }
+
+  bool ReadMetadata(const JsonValue& root) {
+    const JsonValue* other = root.Get("otherData");
+    if (other == nullptr || !other->is_object()) {
+      report_->error = "missing otherData metadata (not a concord trace?)";
+      return false;
+    }
+    const JsonValue* schema = other->Get("schema");
+    if (schema == nullptr || schema->AsString() != "concord.trace.v1") {
+      report_->error = "unrecognized trace schema";
+      return false;
+    }
+    report_->tsc_ghz = other->GetDouble("tsc_ghz");
+    report_->worker_count = static_cast<int>(other->GetInt("worker_count"));
+    report_->jbsq_depth = static_cast<int>(other->GetInt("jbsq_depth"));
+    report_->quantum_us = other->GetDouble("quantum_us");
+    report_->declared_ring_dropped = other->GetUint("ring_dropped");
+    report_->declared_buffer_dropped = other->GetUint("buffer_dropped");
+    if (report_->worker_count < 0 || report_->worker_count > 4096) {
+      report_->error = "implausible worker_count in metadata";
+      return false;
+    }
+    report_->segments_per_worker.assign(static_cast<std::size_t>(report_->worker_count), 0);
+    return true;
+  }
+
+  bool ReadRecords(const JsonValue& root) {
+    const JsonValue* events = root.Get("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      report_->error = "missing traceEvents array";
+      return false;
+    }
+    for (const JsonValue& event : events->AsArray()) {
+      if (!event.is_object()) {
+        continue;
+      }
+      const JsonValue* cat = event.Get("cat");
+      if (cat == nullptr) {
+        continue;  // metadata ("M") events carry no category
+      }
+      RecordKind kind = RecordKind::kInvalid;
+      const std::string& category = cat->AsString();
+      if (category == "concord.arrival") {
+        kind = RecordKind::kArrival;
+      } else if (category == "concord.dispatch") {
+        kind = RecordKind::kDispatch;
+      } else if (category == "concord.segment") {
+        kind = RecordKind::kSegment;
+      } else if (category == "concord.preempt") {
+        kind = RecordKind::kPreemptSignal;
+      } else {
+        continue;
+      }
+      const JsonValue* args = event.Get("args");
+      if (args == nullptr || !args->is_object()) {
+        Violation(category + " event without args");
+        continue;
+      }
+      ParsedRecord record;
+      record.kind = kind;
+      record.request_id = args->GetUint("id");
+      record.start_tsc = args->GetUint("start_tsc");
+      record.sequence = args->GetUint("seq");
+      record.worker = static_cast<std::int32_t>(args->GetInt("worker"));
+      record.request_class = static_cast<std::int32_t>(args->GetInt("class"));
+      switch (kind) {
+        case RecordKind::kArrival:
+          record.end_tsc = args->GetUint("adopt_tsc");
+          break;
+        case RecordKind::kDispatch:
+          record.detail = static_cast<std::uint32_t>(args->GetUint("jbsq_depth"));
+          break;
+        case RecordKind::kSegment: {
+          record.end_tsc = args->GetUint("end_tsc");
+          const JsonValue* end = args->Get("end");
+          const std::string& name = end != nullptr ? end->AsString() : std::string();
+          if (name == "finished") {
+            record.detail = static_cast<std::uint32_t>(SegmentEnd::kFinished);
+          } else if (name == "preempted") {
+            record.detail = static_cast<std::uint32_t>(SegmentEnd::kPreemptYield);
+          } else if (name == "self-preempted") {
+            record.detail = static_cast<std::uint32_t>(SegmentEnd::kDispatcherQuantum);
+          } else {
+            Violation("segment for request " + std::to_string(record.request_id) +
+                      " has unknown end reason '" + name + "'");
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      records_.push_back(record);
+    }
+    report_->record_count = records_.size();
+    return true;
+  }
+
+  // Sequence monotonicity + exact gap accounting, re-derived from the file.
+  // Worker-segment records live on per-worker ring streams; everything else
+  // shares the dispatcher's collector stream. Both are 0-based and dense at
+  // the producer, so any hole is a drop.
+  void CheckSequences() {
+    std::map<int, std::vector<const ParsedRecord*>> streams;  // key: worker, -1 dispatcher
+    for (const ParsedRecord& record : records_) {
+      const bool worker_stream = record.kind == RecordKind::kSegment && record.worker >= 0;
+      streams[worker_stream ? record.worker : kDispatcherTrack].push_back(&record);
+    }
+    for (auto& [stream_id, stream] : streams) {
+      std::sort(stream.begin(), stream.end(), [](const ParsedRecord* a, const ParsedRecord* b) {
+        return a->sequence < b->sequence;
+      });
+      const std::string label = stream_id == kDispatcherTrack
+                                    ? std::string("dispatcher stream")
+                                    : "worker " + std::to_string(stream_id) + " stream";
+      std::uint64_t prev_seq = 0;
+      std::uint64_t prev_tsc = 0;
+      bool first = true;
+      for (const ParsedRecord* record : stream) {
+        if (!first && record->sequence == prev_seq) {
+          Violation(label + ": duplicate sequence " + std::to_string(record->sequence));
+        }
+        // After sorting by sequence, producer time must be non-decreasing —
+        // a violation here means records were reordered or timestamps are
+        // not monotone at the producer.
+        if (!first && record->start_tsc < prev_tsc) {
+          Violation(label + ": sequence " + std::to_string(record->sequence) +
+                    " runs backwards in time");
+        }
+        first = false;
+        prev_seq = record->sequence;
+        prev_tsc = std::max(prev_tsc, record->start_tsc);
+      }
+      if (!stream.empty()) {
+        // Streams are dense from 0 at the producer: anything missing from
+        // [0, last] was dropped (in-ring or by buffer eviction).
+        const std::uint64_t span = stream.back()->sequence + 1;
+        if (span >= stream.size()) {
+          report_->observed_sequence_gaps += span - stream.size();
+        }
+      }
+    }
+    if (report_->observed_sequence_gaps > declared_drops()) {
+      report_->unexplained_drops += report_->observed_sequence_gaps - declared_drops();
+      Violation("observed " + std::to_string(report_->observed_sequence_gaps) +
+                " sequence gap(s) but only " + std::to_string(declared_drops()) +
+                " drop(s) declared");
+    }
+  }
+
+  void StitchRequests() {
+    for (const ParsedRecord& record : records_) {
+      switch (record.kind) {
+        case RecordKind::kPreemptSignal:
+          ++report_->preempt_signals;
+          continue;
+        case RecordKind::kSegment:
+          if (record.worker == kDispatcherTrack) {
+            ++report_->dispatcher_segments;
+          } else if (record.worker >= 0 &&
+                     record.worker < static_cast<std::int32_t>(
+                                         report_->segments_per_worker.size())) {
+            ++report_->segments_per_worker[static_cast<std::size_t>(record.worker)];
+          } else {
+            Violation("segment for request " + std::to_string(record.request_id) +
+                      " names out-of-range worker " + std::to_string(record.worker));
+            continue;
+          }
+          break;
+        default:
+          break;
+      }
+      RequestTimeline& timeline = requests_[record.request_id];
+      switch (record.kind) {
+        case RecordKind::kArrival:
+          timeline.has_arrival = true;
+          timeline.arrival_tsc = record.start_tsc;
+          timeline.adopt_tsc = record.end_tsc;
+          timeline.request_class = record.request_class;
+          break;
+        case RecordKind::kDispatch:
+          timeline.dispatches.push_back(record);
+          break;
+        case RecordKind::kSegment:
+          timeline.segments.push_back(record);
+          break;
+        default:
+          break;
+      }
+    }
+    report_->requests_total = requests_.size();
+    for (auto& [id, timeline] : requests_) {
+      auto by_start = [](const ParsedRecord& a, const ParsedRecord& b) {
+        return a.start_tsc < b.start_tsc;
+      };
+      std::sort(timeline.dispatches.begin(), timeline.dispatches.end(), by_start);
+      std::sort(timeline.segments.begin(), timeline.segments.end(), by_start);
+    }
+  }
+
+  void AnalyzeRequest(std::uint64_t id, const RequestTimeline& timeline, bool lossless) {
+    const std::string req = "request " + std::to_string(id);
+    const auto& dispatches = timeline.dispatches;
+    const auto& segments = timeline.segments;
+    const bool on_dispatcher = !segments.empty() && segments.front().worker == kDispatcherTrack;
+
+    // Structural completeness: arrival, a final finished segment, and (for
+    // the worker path) one dispatch per segment; dispatcher-adopted requests
+    // are dispatched once and re-run in place (§3.3).
+    bool complete = timeline.has_arrival && !dispatches.empty() && !segments.empty() &&
+                    segments.back().detail == static_cast<std::uint32_t>(SegmentEnd::kFinished);
+    if (complete) {
+      complete = on_dispatcher ? dispatches.size() == 1 : dispatches.size() == segments.size();
+    }
+    if (!complete) {
+      ++report_->requests_truncated;
+      return;  // under declared drops this is accounted loss, not an error
+    }
+
+    if (lossless) {
+      CheckRequestInvariants(req, timeline, on_dispatcher);
+    }
+
+    // Latency breakdown, exact in TSC, reported in microseconds. The four
+    // components partition [arrival, finish], so they sum to the latency.
+    const double ghz = report_->tsc_ghz > 0.0 ? report_->tsc_ghz : 1.0;
+    const auto us = [ghz](std::uint64_t from, std::uint64_t to) {
+      return to > from ? static_cast<double>(to - from) / (ghz * 1000.0) : 0.0;
+    };
+    RequestBreakdown breakdown;
+    breakdown.id = id;
+    breakdown.request_class = timeline.request_class;
+    breakdown.on_dispatcher = on_dispatcher;
+    breakdown.segments = static_cast<int>(segments.size());
+    breakdown.preemptions = static_cast<int>(segments.size()) - 1;
+    breakdown.first_wait_us = us(timeline.arrival_tsc, dispatches.front().start_tsc);
+    breakdown.latency_us = us(timeline.arrival_tsc, segments.back().end_tsc);
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      breakdown.service_us += us(segments[i].start_tsc, segments[i].end_tsc);
+      if (on_dispatcher) {
+        if (i == 0) {
+          breakdown.inbox_wait_us += us(dispatches.front().start_tsc, segments[i].start_tsc);
+        } else {
+          breakdown.requeue_wait_us += us(segments[i - 1].end_tsc, segments[i].start_tsc);
+        }
+      } else {
+        breakdown.inbox_wait_us += us(dispatches[i].start_tsc, segments[i].start_tsc);
+        if (i + 1 < segments.size()) {
+          breakdown.requeue_wait_us += us(segments[i].end_tsc, dispatches[i + 1].start_tsc);
+        }
+      }
+    }
+    report_->breakdowns.push_back(breakdown);
+    ++report_->requests_complete;
+  }
+
+  void CheckRequestInvariants(const std::string& req, const RequestTimeline& timeline,
+                              bool on_dispatcher) {
+    const auto& dispatches = timeline.dispatches;
+    const auto& segments = timeline.segments;
+
+    if (timeline.adopt_tsc < timeline.arrival_tsc ||
+        dispatches.front().start_tsc < timeline.adopt_tsc) {
+      Violation(req + ": arrival/adopt/dispatch timestamps not monotone");
+    }
+    for (const ParsedRecord& segment : segments) {
+      if (segment.end_tsc < segment.start_tsc) {
+        Violation(req + ": segment runs backwards in time");
+      }
+    }
+
+    // Dispatcher-pinned completion: once adopted, never handed to a worker.
+    if (on_dispatcher) {
+      for (const ParsedRecord& segment : segments) {
+        if (segment.worker != kDispatcherTrack) {
+          Violation(req + ": adopted by the dispatcher but ran on worker " +
+                    std::to_string(segment.worker));
+          return;
+        }
+      }
+      if (dispatches.front().worker != kDispatcherTrack) {
+        Violation(req + ": dispatcher-run request was dispatched to a worker");
+      }
+      for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+        if (segments[i].detail != static_cast<std::uint32_t>(SegmentEnd::kDispatcherQuantum)) {
+          Violation(req + ": non-final dispatcher segment did not self-preempt");
+        }
+        if (segments[i + 1].start_tsc < segments[i].end_tsc) {
+          Violation(req + ": dispatcher segments overlap");
+        }
+      }
+      return;
+    }
+
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      if (segments[i].worker == kDispatcherTrack) {
+        Violation(req + ": worker-path request has a dispatcher segment");
+        return;
+      }
+      // dispatch[i] -> seg[i] pairing must be monotone end to end.
+      if (segments[i].start_tsc < dispatches[i].start_tsc) {
+        Violation(req + ": segment " + std::to_string(i) + " starts before its dispatch");
+      }
+      if (i + 1 < segments.size()) {
+        if (segments[i].detail != static_cast<std::uint32_t>(SegmentEnd::kPreemptYield)) {
+          Violation(req + ": non-final segment " + std::to_string(i) + " did not yield");
+        }
+        if (dispatches[i + 1].start_tsc < segments[i].end_tsc) {
+          Violation(req + ": re-dispatched before segment " + std::to_string(i) + " ended");
+        }
+      }
+      if (dispatches[i].worker != segments[i].worker) {
+        Violation(req + ": dispatch " + std::to_string(i) + " targeted worker " +
+                  std::to_string(dispatches[i].worker) + " but segment ran on " +
+                  std::to_string(segments[i].worker));
+      }
+      if (report_->jbsq_depth > 0 &&
+          dispatches[i].detail > static_cast<std::uint32_t>(report_->jbsq_depth)) {
+        Violation(req + ": dispatch tagged JBSQ occupancy " + std::to_string(dispatches[i].detail) +
+                  " > k=" + std::to_string(report_->jbsq_depth));
+      }
+    }
+  }
+
+  // Independent JBSQ bound check: replay dispatches (+1) and segment ends
+  // (-1) per worker in time order. Segment end under-approximates the
+  // dispatcher's actual decrement point (the outbox drain), so the replayed
+  // occupancy is a lower bound of the dispatcher's — exceeding k here means
+  // the dispatcher's really did.
+  void CheckOccupancy() {
+    if (report_->jbsq_depth <= 0 || report_->worker_count <= 0) {
+      return;
+    }
+    struct OccEvent {
+      std::uint64_t tsc = 0;
+      int delta = 0;  // -1 sorts before +1 at equal tsc (generous)
+      int worker = 0;
+    };
+    std::vector<OccEvent> events;
+    for (const auto& [id, timeline] : requests_) {
+      for (const ParsedRecord& dispatch : timeline.dispatches) {
+        if (dispatch.worker >= 0) {
+          events.push_back({dispatch.start_tsc, +1, dispatch.worker});
+        }
+      }
+      for (const ParsedRecord& segment : timeline.segments) {
+        if (segment.worker >= 0) {
+          events.push_back({segment.end_tsc, -1, segment.worker});
+        }
+      }
+    }
+    std::sort(events.begin(), events.end(), [](const OccEvent& a, const OccEvent& b) {
+      return a.tsc != b.tsc ? a.tsc < b.tsc : a.delta < b.delta;
+    });
+    std::vector<int> occupancy(static_cast<std::size_t>(report_->worker_count), 0);
+    bool reported = false;
+    for (const OccEvent& event : events) {
+      if (event.worker >= report_->worker_count) {
+        continue;  // already reported as out-of-range during stitching
+      }
+      int& occ = occupancy[static_cast<std::size_t>(event.worker)];
+      occ += event.delta;
+      if (occ > report_->jbsq_depth && !reported) {
+        Violation("replayed JBSQ occupancy on worker " + std::to_string(event.worker) +
+                  " reached " + std::to_string(occ) + " > k=" +
+                  std::to_string(report_->jbsq_depth));
+        reported = true;  // one report; the replay is cumulative past this point
+      }
+    }
+  }
+
+  // Work conservation: while any request waits in the central queue longer
+  // than the grace bound, no worker may sit entirely idle across that whole
+  // wait. The grace bound absorbs OS preemption of worker threads on busy
+  // hosts; genuine non-work-conservation holds a request for many quanta
+  // while a worker idles, which this still catches.
+  void CheckWorkConservation() {
+    const double ghz = report_->tsc_ghz > 0.0 ? report_->tsc_ghz : 1.0;
+    const auto grace_tsc = static_cast<std::uint64_t>(options_.grace_us * ghz * 1000.0);
+    struct Busy {
+      std::uint64_t start = 0;
+      std::uint64_t end = 0;
+    };
+    std::vector<std::vector<Busy>> busy(static_cast<std::size_t>(
+        report_->worker_count > 0 ? report_->worker_count : 0));
+    for (const auto& [id, timeline] : requests_) {
+      for (const ParsedRecord& segment : timeline.segments) {
+        if (segment.worker >= 0 && segment.worker < report_->worker_count) {
+          busy[static_cast<std::size_t>(segment.worker)].push_back(
+              {segment.start_tsc, segment.end_tsc});
+        }
+      }
+    }
+    const auto any_overlap = [&busy](int worker, std::uint64_t from, std::uint64_t to) {
+      for (const Busy& interval : busy[static_cast<std::size_t>(worker)]) {
+        if (interval.start < to && interval.end > from) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const auto check_wait = [&](std::uint64_t id, std::uint64_t from, std::uint64_t to) {
+      if (to <= from || to - from <= grace_tsc) {
+        return;
+      }
+      for (int w = 0; w < report_->worker_count; ++w) {
+        if (!any_overlap(w, from, to)) {
+          Violation("work conservation: request " + std::to_string(id) + " waited " +
+                    std::to_string(to - from) + " tsc while worker " + std::to_string(w) +
+                    " idled the entire time");
+          return;
+        }
+      }
+    };
+    for (const auto& [id, timeline] : requests_) {
+      if (timeline.dispatches.empty() || timeline.segments.empty() || !timeline.has_arrival) {
+        continue;
+      }
+      check_wait(id, timeline.adopt_tsc, timeline.dispatches.front().start_tsc);
+      if (timeline.segments.front().worker == kDispatcherTrack) {
+        continue;
+      }
+      for (std::size_t i = 0; i + 1 < timeline.segments.size() &&
+                              i + 1 < timeline.dispatches.size();
+           ++i) {
+        check_wait(id, timeline.segments[i].end_tsc, timeline.dispatches[i + 1].start_tsc);
+      }
+    }
+  }
+
+  const AnalyzerOptions& options_;
+  AnalyzerReport* report_;
+  std::vector<ParsedRecord> records_;
+  std::map<std::uint64_t, RequestTimeline> requests_;
+};
+
+}  // namespace
+
+AnalyzerReport AnalyzeChromeTraceJson(const std::string& json, const AnalyzerOptions& options) {
+  AnalyzerReport report;
+  JsonValue root;
+  if (!JsonValue::Parse(json, &root) || !root.is_object()) {
+    report.error = "failed to parse trace JSON";
+    return report;
+  }
+  Analyzer(options, &report).Run(root);
+  return report;
+}
+
+AnalyzerReport AnalyzeChromeTraceFile(const std::string& path, const AnalyzerOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    AnalyzerReport report;
+    report.error = "cannot open trace file: " + path;
+    return report;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return AnalyzeChromeTraceJson(text.str(), options);
+}
+
+}  // namespace concord::trace

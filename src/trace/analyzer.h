@@ -1,0 +1,94 @@
+// Offline scheduling-trace analysis (tools/concord_trace, docs/tracing.md).
+//
+// Ingests a Chrome trace-event file produced by ToChromeTraceJson, restitches
+// the per-request span timelines from the exact TSC stamps carried in event
+// args, recomputes per-request latency breakdowns (queue vs. service vs.
+// preemption overhead), and re-checks the scheduling invariants the runtime
+// claims — offline, on the artifact, so a regression that slipped past the
+// live asserts is still caught from the trace it left behind:
+//
+//   * timestamps are monotone within each request's timeline;
+//   * worker record sequences are monotone, and every sequence gap is
+//     covered by the file's declared drop counters (no *unexplained* loss);
+//   * JBSQ occupancy never exceeds k (both the dispatcher's own
+//     depth-at-enqueue tags and an independent reconstruction);
+//   * dispatcher-adopted requests stay pinned to the dispatcher (§3.3);
+//   * work conservation: no worker sits entirely idle for longer than a
+//     grace bound while a request waits in the central queue.
+//
+// Requests with records missing are counted as truncated; that is a
+// violation only when the file declares zero drops (then missing records
+// mean mis-stitching, not accounted loss).
+
+#ifndef CONCORD_SRC_TRACE_ANALYZER_H_
+#define CONCORD_SRC_TRACE_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace concord::trace {
+
+struct AnalyzerOptions {
+  // Work-conservation grace bound. The default is deliberately lax (an OS
+  // timeslice on an oversubscribed CI host deschedules whole worker
+  // threads); on a pinned, dedicated host ~10x the quantum is appropriate.
+  double grace_us = 20000.0;
+  bool check_work_conservation = true;
+};
+
+// One request's recomputed latency breakdown, all in microseconds.
+// latency == first_wait + inbox_wait + requeue_wait + service exactly (the
+// components partition [arrival, finish] by construction).
+struct RequestBreakdown {
+  std::uint64_t id = 0;
+  std::int32_t request_class = 0;
+  bool on_dispatcher = false;
+  int segments = 0;
+  int preemptions = 0;
+  double latency_us = 0.0;
+  double first_wait_us = 0.0;    // arrival -> first dispatch (ingress + central queue)
+  double inbox_wait_us = 0.0;    // dispatch -> segment start, summed (JBSQ inbox)
+  double requeue_wait_us = 0.0;  // preempt -> re-dispatch -> resume, summed
+  double service_us = 0.0;       // sum of segment durations
+};
+
+struct AnalyzerReport {
+  // File-level failure (unreadable / not a concord trace); everything else
+  // is empty when set.
+  std::string error;
+
+  // Capture metadata echoed from the file.
+  double tsc_ghz = 0.0;
+  int worker_count = 0;
+  int jbsq_depth = 0;
+  double quantum_us = 0.0;
+  std::uint64_t declared_ring_dropped = 0;
+  std::uint64_t declared_buffer_dropped = 0;
+
+  std::size_t record_count = 0;
+  std::size_t requests_total = 0;
+  std::size_t requests_complete = 0;   // full arrival->...->finished timeline
+  std::size_t requests_truncated = 0;  // records missing (only ok under declared drops)
+  std::uint64_t preempt_signals = 0;
+  std::uint64_t dispatcher_segments = 0;
+  std::vector<std::uint64_t> segments_per_worker;
+
+  // Sequence-gap accounting re-derived from the records themselves.
+  std::uint64_t observed_sequence_gaps = 0;
+  // Gaps (and truncations) in excess of what the declared drop counters
+  // explain. Nonzero means the trace is inconsistent, not just lossy.
+  std::uint64_t unexplained_drops = 0;
+
+  std::vector<std::string> violations;
+  std::vector<RequestBreakdown> breakdowns;  // complete requests only
+
+  bool ok() const { return error.empty() && violations.empty() && unexplained_drops == 0; }
+};
+
+AnalyzerReport AnalyzeChromeTraceJson(const std::string& json, const AnalyzerOptions& options);
+AnalyzerReport AnalyzeChromeTraceFile(const std::string& path, const AnalyzerOptions& options);
+
+}  // namespace concord::trace
+
+#endif  // CONCORD_SRC_TRACE_ANALYZER_H_

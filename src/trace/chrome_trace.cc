@@ -1,0 +1,168 @@
+#include "src/trace/chrome_trace.h"
+
+#include <iostream>
+
+#include "src/telemetry/export.h"
+#include "src/telemetry/json.h"
+
+namespace concord::trace {
+
+namespace {
+
+using telemetry::JsonValue;
+
+// Track ids: the dispatcher renders above the workers.
+constexpr int kPid = 1;
+int TrackTid(std::int32_t worker) { return worker == kDispatcherTrack ? 0 : 1 + worker; }
+
+const char* SegmentEndName(std::uint32_t detail) {
+  switch (static_cast<SegmentEnd>(detail)) {
+    case SegmentEnd::kFinished:
+      return "finished";
+    case SegmentEnd::kPreemptYield:
+      return "preempted";
+    case SegmentEnd::kDispatcherQuantum:
+      return "self-preempted";
+  }
+  return "unknown";
+}
+
+JsonValue MetadataEvent(const char* name, int tid, const std::string& value) {
+  JsonValue event = JsonValue::MakeObject();
+  event.Set("ph", JsonValue::MakeString("M"));
+  event.Set("pid", JsonValue::MakeInt(kPid));
+  event.Set("tid", JsonValue::MakeInt(tid));
+  event.Set("name", JsonValue::MakeString(name));
+  JsonValue args = JsonValue::MakeObject();
+  args.Set("name", JsonValue::MakeString(value));
+  event.Set("args", std::move(args));
+  return event;
+}
+
+JsonValue BaseEvent(const char* phase, const std::string& name, const char* category, int tid,
+                    double ts_us) {
+  JsonValue event = JsonValue::MakeObject();
+  event.Set("ph", JsonValue::MakeString(phase));
+  event.Set("name", JsonValue::MakeString(name));
+  event.Set("cat", JsonValue::MakeString(category));
+  event.Set("pid", JsonValue::MakeInt(kPid));
+  event.Set("tid", JsonValue::MakeInt(tid));
+  event.Set("ts", JsonValue::MakeNumber(ts_us));
+  return event;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TraceCapture& capture) {
+  // Guard against a zero calibration (unit-test captures): any positive
+  // value keeps ts finite; the analyzer uses the exact TSC args anyway.
+  const double ghz = capture.tsc_ghz > 0.0 ? capture.tsc_ghz : 1.0;
+  const auto to_us = [&](std::uint64_t tsc) {
+    if (tsc < capture.base_tsc) {
+      return 0.0;
+    }
+    return static_cast<double>(tsc - capture.base_tsc) / (ghz * 1000.0);
+  };
+
+  JsonValue events = JsonValue::MakeArray();
+  events.MutableArray().push_back(MetadataEvent("process_name", 0, "concord-runtime"));
+  events.MutableArray().push_back(MetadataEvent("thread_name", 0, "dispatcher"));
+  for (int w = 0; w < capture.worker_count; ++w) {
+    events.MutableArray().push_back(
+        MetadataEvent("thread_name", 1 + w, "worker " + std::to_string(w)));
+  }
+
+  for (const CollectedRecord& collected : capture.records) {
+    const TraceRecord& record = collected.record;
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("id", JsonValue::MakeUint(record.request_id));
+    args.Set("class", JsonValue::MakeInt(record.request_class));
+    args.Set("worker", JsonValue::MakeInt(record.worker));
+    args.Set("seq", JsonValue::MakeUint(collected.sequence));
+    args.Set("start_tsc", JsonValue::MakeUint(record.start_tsc));
+    switch (record.kind) {
+      case RecordKind::kArrival: {
+        JsonValue event = BaseEvent("i", "arrival", "concord.arrival", TrackTid(kDispatcherTrack),
+                                    to_us(record.start_tsc));
+        event.Set("s", JsonValue::MakeString("t"));
+        args.Set("adopt_tsc", JsonValue::MakeUint(record.end_tsc));
+        event.Set("args", std::move(args));
+        events.MutableArray().push_back(std::move(event));
+        break;
+      }
+      case RecordKind::kDispatch: {
+        JsonValue event = BaseEvent("i", "dispatch", "concord.dispatch", TrackTid(kDispatcherTrack),
+                                    to_us(record.start_tsc));
+        event.Set("s", JsonValue::MakeString("t"));
+        args.Set("jbsq_depth", JsonValue::MakeUint(record.detail));
+        event.Set("args", std::move(args));
+        events.MutableArray().push_back(std::move(event));
+        break;
+      }
+      case RecordKind::kSegment: {
+        JsonValue event =
+            BaseEvent("X", "req " + std::to_string(record.request_id), "concord.segment",
+                      TrackTid(record.worker), to_us(record.start_tsc));
+        event.Set("dur", JsonValue::MakeNumber(to_us(record.end_tsc) - to_us(record.start_tsc)));
+        args.Set("end_tsc", JsonValue::MakeUint(record.end_tsc));
+        args.Set("end", JsonValue::MakeString(SegmentEndName(record.detail)));
+        event.Set("args", std::move(args));
+        events.MutableArray().push_back(std::move(event));
+        break;
+      }
+      case RecordKind::kPreemptSignal: {
+        JsonValue event = BaseEvent("i", "preempt-signal", "concord.preempt",
+                                    TrackTid(record.worker), to_us(record.start_tsc));
+        event.Set("s", JsonValue::MakeString("t"));
+        event.Set("args", std::move(args));
+        events.MutableArray().push_back(std::move(event));
+        break;
+      }
+      case RecordKind::kInvalid:
+        break;
+    }
+  }
+
+  JsonValue other = JsonValue::MakeObject();
+  other.Set("schema", JsonValue::MakeString(kTraceSchema));
+  other.Set("enabled", JsonValue::MakeBool(capture.enabled));
+  other.Set("tsc_ghz", JsonValue::MakeNumber(capture.tsc_ghz));
+  other.Set("base_tsc", JsonValue::MakeUint(capture.base_tsc));
+  other.Set("worker_count", JsonValue::MakeInt(capture.worker_count));
+  other.Set("jbsq_depth", JsonValue::MakeInt(capture.jbsq_depth));
+  other.Set("quantum_us", JsonValue::MakeNumber(capture.quantum_us));
+  other.Set("ring_dropped", JsonValue::MakeUint(capture.ring_dropped));
+  other.Set("buffer_dropped", JsonValue::MakeUint(capture.buffer_dropped));
+  JsonValue per_worker = JsonValue::MakeArray();
+  for (std::uint64_t dropped : capture.ring_dropped_per_worker) {
+    per_worker.MutableArray().push_back(JsonValue::MakeUint(dropped));
+  }
+  other.Set("ring_dropped_per_worker", std::move(per_worker));
+  other.Set("record_count", JsonValue::MakeUint(capture.records.size()));
+
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("displayTimeUnit", JsonValue::MakeString("ns"));
+  root.Set("otherData", std::move(other));
+  root.Set("traceEvents", std::move(events));
+  return root.Dump();
+}
+
+bool WriteChromeTrace(const TraceCapture& capture, const std::string& path) {
+  return telemetry::WriteTextFile(ToChromeTraceJson(capture), path, "trace");
+}
+
+bool MaybeExportTrace(const TraceCapture& capture, int argc, char** argv) {
+  const std::string path = telemetry::TraceOutPath(argc, argv);
+  if (path.empty()) {
+    return true;
+  }
+  if (!WriteChromeTrace(capture, path)) {
+    return false;
+  }
+  if (path != "-") {
+    std::cout << "scheduling trace written to " << path << "\n";
+  }
+  return true;
+}
+
+}  // namespace concord::trace

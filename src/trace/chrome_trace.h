@@ -1,0 +1,37 @@
+// Chrome trace-event / Perfetto export of a TraceCapture (docs/tracing.md).
+//
+// The emitted document is the Trace Event Format's "JSON Object Format":
+// a `traceEvents` array plus `otherData` metadata, loadable directly in
+// chrome://tracing and in Perfetto's legacy-trace importer. One track per
+// worker plus one for the dispatcher; run segments are complete ("X")
+// events, arrivals/dispatches/preemption signals are instants ("i").
+//
+// Timestamps in `ts`/`dur` are microseconds since the capture's base_tsc
+// (the format's unit), but every event also carries its exact TSC stamps in
+// `args` — the offline analyzer (src/trace/analyzer) uses those, so no
+// precision is lost to the double-microsecond display encoding.
+
+#ifndef CONCORD_SRC_TRACE_CHROME_TRACE_H_
+#define CONCORD_SRC_TRACE_CHROME_TRACE_H_
+
+#include <string>
+
+#include "src/trace/collector.h"
+
+namespace concord::trace {
+
+inline constexpr char kTraceSchema[] = "concord.trace.v1";
+
+// Serializes the capture as Chrome trace-event JSON.
+std::string ToChromeTraceJson(const TraceCapture& capture);
+
+// Writes the capture to `path` ("-" = stdout); false on I/O failure.
+bool WriteChromeTrace(const TraceCapture& capture, const std::string& path);
+
+// Writes to the --trace-out=/CONCORD_TRACE_OUT destination with a one-line
+// notice; no-op (returning true) when none is configured.
+bool MaybeExportTrace(const TraceCapture& capture, int argc, char** argv);
+
+}  // namespace concord::trace
+
+#endif  // CONCORD_SRC_TRACE_CHROME_TRACE_H_

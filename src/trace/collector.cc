@@ -1,0 +1,93 @@
+#include "src/trace/collector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace concord::trace {
+
+TraceCollector::TraceCollector(int worker_count, std::size_t buffer_capacity)
+    : buffer_capacity_(std::max<std::size_t>(buffer_capacity, 1)) {
+  CONCORD_CHECK(worker_count >= 0) << "negative worker count";
+  buffer_.resize(buffer_capacity_);
+  ring_dropped_per_worker_.assign(static_cast<std::size_t>(worker_count), 0);
+  next_ring_sequence_.assign(static_cast<std::size_t>(worker_count), 0);
+}
+
+void TraceCollector::AppendLocked(const CollectedRecord& record) {
+  buffer_[appended_ % buffer_capacity_] = record;
+  ++appended_;
+}
+
+void TraceCollector::Append(const TraceRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendLocked(CollectedRecord{record, dispatcher_sequence_++});
+}
+
+void TraceCollector::AppendAll(const TraceRecord* records, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < count; ++i) {
+    AppendLocked(CollectedRecord{records[i], dispatcher_sequence_++});
+  }
+}
+
+void TraceCollector::DrainWorkerRing(int worker, telemetry::EventRing<TraceRecord>* ring) {
+  drain_scratch_.clear();
+  if (ring->Drain(&drain_scratch_) == 0) {
+    return;
+  }
+  const auto w = static_cast<std::size_t>(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const telemetry::SequencedEvent<TraceRecord>& event : drain_scratch_) {
+    // A drained sequence past the expected one means the producer lapped the
+    // ring (or a slot was torn): those records are gone, and the gap size is
+    // exactly how many. Counting here (not just in the ring) keeps the
+    // per-worker attribution the analyzer cross-checks.
+    CONCORD_DCHECK(event.sequence >= next_ring_sequence_[w])
+        << "ring sequence went backwards on worker " << worker;
+    ring_dropped_per_worker_[w] += event.sequence - next_ring_sequence_[w];
+    ring_dropped_ += event.sequence - next_ring_sequence_[w];
+    next_ring_sequence_[w] = event.sequence + 1;
+    AppendLocked(CollectedRecord{event.value, event.sequence});
+  }
+}
+
+TraceCapture TraceCollector::Capture() const {
+  TraceCapture capture;
+  capture.enabled = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t size = std::min<std::uint64_t>(appended_, buffer_capacity_);
+    const std::uint64_t oldest = appended_ - size;
+    capture.records.reserve(size);
+    for (std::uint64_t n = oldest; n < appended_; ++n) {
+      capture.records.push_back(buffer_[n % buffer_capacity_]);
+    }
+    capture.ring_dropped = ring_dropped_;
+    capture.buffer_dropped = oldest;  // everything overwritten, exactly
+    capture.ring_dropped_per_worker = ring_dropped_per_worker_;
+  }
+  std::stable_sort(capture.records.begin(), capture.records.end(),
+                   [](const CollectedRecord& a, const CollectedRecord& b) {
+                     return a.record.start_tsc < b.record.start_tsc;
+                   });
+  for (const CollectedRecord& collected : capture.records) {
+    if (collected.record.start_tsc != 0 &&
+        (capture.base_tsc == 0 || collected.record.start_tsc < capture.base_tsc)) {
+      capture.base_tsc = collected.record.start_tsc;
+    }
+  }
+  return capture;
+}
+
+std::uint64_t TraceCollector::ring_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_dropped_;
+}
+
+std::uint64_t TraceCollector::buffer_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_ > buffer_capacity_ ? appended_ - buffer_capacity_ : 0;
+}
+
+}  // namespace concord::trace

@@ -1,0 +1,133 @@
+// MetricsSampler: windowed time-series metrics from telemetry snapshot diffs
+// (docs/tracing.md).
+//
+// A background thread samples a TelemetrySnapshot provider on a fixed window
+// (default 10 ms), diffs consecutive snapshots, and appends one MetricsWindow
+// per tick to a bounded series (drop-oldest, counted). Window completion
+// counts come from the exact runtime counters, so as long as no window is
+// evicted, the per-window `completed` values sum to precisely the run's
+// completed-request total — the property the CI trace job asserts to 1%.
+//
+// Slowdown quantiles are computed from the lifecycles newly appended to the
+// telemetry history during the window (identified exactly by the monotone
+// append counters, not by timestamps). Pure service time is not recorded per
+// request, so the denominator is a per-class service floor estimated from
+// unpreempted requests (finish - first_run is exact service when nothing
+// intervened); until a class has an unpreempted observation, its requests
+// fall back to their own finish - first_run, which under-reports slowdown
+// and is counted in `slowdown_unfloored`.
+//
+// The sampler never touches the runtime's hot paths: it only reads the same
+// counters GetTelemetry() exposes, from its own thread.
+
+#ifndef CONCORD_SRC_TRACE_METRICS_SAMPLER_H_
+#define CONCORD_SRC_TRACE_METRICS_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/telemetry/telemetry.h"
+
+namespace concord::trace {
+
+inline constexpr char kMetricsSchema[] = "concord.metrics.v1";
+
+struct MetricsWindow {
+  double start_ms = 0.0;     // since sampler start
+  double duration_ms = 0.0;  // measured, not nominal
+  std::uint64_t completed = 0;
+  double throughput_rps = 0.0;
+  // Slowdown quantiles over the window's completed lifecycles (0 when none).
+  double slowdown_p50 = 0.0;
+  double slowdown_p99 = 0.0;
+  double slowdown_p999 = 0.0;
+  std::uint64_t slowdown_samples = 0;
+  std::uint64_t slowdown_unfloored = 0;  // scored without a class floor
+  std::uint64_t preempt_signals = 0;     // preemptions requested this window
+  std::uint64_t preempt_yields = 0;      // preemptions honored this window
+  std::uint64_t dispatcher_quanta = 0;   // work-conserving quanta this window
+  std::uint64_t ring_dropped = 0;        // telemetry events lost this window
+  std::vector<std::uint64_t> jbsq_pushes;   // per worker, this window
+  std::vector<std::uint64_t> max_inflight;  // per worker, running high-water (<= k)
+};
+
+class MetricsSampler {
+ public:
+  struct Options {
+    double window_ms = 10.0;
+    std::size_t series_capacity = 4096;  // windows kept; oldest dropped, counted
+    // When set, the full Prometheus exposition is rewritten atomically
+    // (write-to-temp + rename) after every window.
+    std::string exposition_path;
+  };
+
+  using SnapshotFn = std::function<telemetry::TelemetrySnapshot()>;
+
+  MetricsSampler(Options options, SnapshotFn snapshot);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  // Takes the baseline snapshot and launches the sampling thread.
+  void Start();
+
+  // Flushes one final (partial) window and joins the thread, so the series
+  // covers the run end to end. Idempotent.
+  void Stop();
+
+  std::vector<MetricsWindow> Windows() const;
+  std::uint64_t dropped_windows() const;
+  // Lifecycles that were evicted from the telemetry history before the
+  // sampler could score them (bounds slowdown-sample loss; completion counts
+  // are unaffected).
+  std::uint64_t missed_lifecycles() const;
+
+  // JSON time series (schema concord.metrics.v1).
+  std::string ToJsonSeries() const;
+  // Prometheus text exposition: run totals plus the latest window.
+  std::string ToPrometheusText() const;
+
+  // Writes ToJsonSeries() to `path` ("-" = stdout); false on I/O failure.
+  bool WriteSeries(const std::string& path) const;
+
+ private:
+  void Loop();
+  void SampleWindow(double now_ms);
+  void MaybeWriteExposition();
+
+  const Options options_;
+  const SnapshotFn snapshot_fn_;
+
+  std::thread thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+
+  // Sampling state, touched only by the sampler thread (and by Stop() for
+  // the final flush, after the thread has joined).
+  telemetry::TelemetrySnapshot previous_;
+  std::uint64_t previous_appends_ = 0;
+  double window_start_ms_ = 0.0;
+  std::chrono::steady_clock::time_point epoch_;
+  std::map<std::int32_t, double> service_floor_tsc_;  // per class, unpreempted min
+
+  mutable std::mutex series_mu_;  // guards the series and its counters
+  std::deque<MetricsWindow> series_;
+  std::uint64_t dropped_windows_ = 0;
+  std::uint64_t missed_lifecycles_ = 0;
+};
+
+}  // namespace concord::trace
+
+#endif  // CONCORD_SRC_TRACE_METRICS_SAMPLER_H_

@@ -1,0 +1,66 @@
+// The scheduling-trace record: one fixed-size, trivially-copyable event per
+// scheduling action (docs/tracing.md).
+//
+// The telemetry layer (src/telemetry) answers "how many" — counters and a
+// bounded sample of whole-request lifecycles. This layer answers "where did
+// the microseconds go" for *every* request: the dispatcher and workers emit
+// one TraceRecord per scheduling action (adoption, JBSQ push, run segment,
+// preemption signal), and the trace builder stitches them into per-request
+// span timelines for Perfetto/chrome://tracing and for offline invariant
+// checking (tools/concord_trace).
+//
+// Records cross threads through the same seqlock EventRing as lifecycle
+// telemetry, so they must stay trivially copyable and compact: workers write
+// one record per segment on their own rings; every dispatcher-side action is
+// appended directly to the (dispatcher-owned) TraceCollector.
+
+#ifndef CONCORD_SRC_TRACE_TRACE_RECORD_H_
+#define CONCORD_SRC_TRACE_TRACE_RECORD_H_
+
+#include <cstdint>
+
+namespace concord::trace {
+
+// Track id used for dispatcher-side records (workers are 0..n-1).
+inline constexpr std::int32_t kDispatcherTrack = -1;
+
+enum class RecordKind : std::uint32_t {
+  kInvalid = 0,
+  // Dispatcher adopted the request from the ingress queue. start_tsc is the
+  // Submit() stamp, end_tsc the adoption stamp; the gap is ingress time.
+  kArrival = 1,
+  // JBSQ push (first dispatch or post-preemption re-dispatch). `worker` is
+  // the target (kDispatcherTrack for dispatcher-adopted requests), `detail`
+  // the target queue's occupancy *after* the push (the JBSQ depth the
+  // request observed at enqueue, <= k by construction).
+  kDispatch = 2,
+  // One run segment: [start_tsc, end_tsc] of continuous execution on
+  // `worker`. `detail` is a SegmentEnd describing why the segment ended.
+  kSegment = 3,
+  // The dispatcher wrote `worker`'s preemption signal line at start_tsc.
+  kPreemptSignal = 4,
+};
+
+// Why a run segment ended (TraceRecord::detail for kSegment records) — the
+// preemption cause tag on every non-final span.
+enum class SegmentEnd : std::uint32_t {
+  kFinished = 0,            // handler returned; this is the request's last segment
+  kPreemptYield = 1,        // probe observed the dispatcher's signal and yielded
+  kDispatcherQuantum = 2,   // dispatcher self-preempted its adopted request (§3.3)
+};
+
+struct TraceRecord {
+  std::uint64_t request_id = 0;
+  std::uint64_t start_tsc = 0;
+  std::uint64_t end_tsc = 0;  // kSegment/kArrival: interval end; others unused (0)
+  RecordKind kind = RecordKind::kInvalid;
+  std::int32_t worker = kDispatcherTrack;
+  std::int32_t request_class = 0;
+  std::uint32_t detail = 0;  // kDispatch: occupancy after push; kSegment: SegmentEnd
+};
+
+static_assert(sizeof(TraceRecord) <= 40, "trace records ride hot-adjacent rings; keep them small");
+
+}  // namespace concord::trace
+
+#endif  // CONCORD_SRC_TRACE_TRACE_RECORD_H_

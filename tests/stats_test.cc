@@ -172,6 +172,44 @@ TEST_P(HistogramAccuracyTest, QuantileRelativeErrorBounded) {
 
 INSTANTIATE_TEST_SUITE_P(Shapes, HistogramAccuracyTest, ::testing::Values(0, 1, 2, 3, 4));
 
+TEST(HistogramTest, TailQuantilesMatchExactOrderStatisticsOnKnownRanks) {
+  // The metrics sampler publishes p99/p99.9 slowdowns from this histogram,
+  // so the tail ranks must land in the right bucket exactly — not merely
+  // within noise. 990 short requests at slowdown 1.0 and 10 stragglers at
+  // 100.0: p99 is the 990th order statistic (still 1.0), p99.9 the 999th
+  // (a straggler).
+  Histogram h;
+  h.RecordMany(1.0, 990);
+  h.RecordMany(100.0, 10);
+  EXPECT_NEAR(h.Quantile(0.5), 1.0, 1.0 / 128.0);
+  EXPECT_NEAR(h.Quantile(0.99), 1.0, 1.0 / 128.0);
+  EXPECT_NEAR(h.Quantile(0.999), 100.0, 100.0 / 128.0);
+  EXPECT_NEAR(h.Quantile(1.0), 100.0, 100.0 / 128.0);
+}
+
+TEST(HistogramTest, TailQuantileRelativeErrorVsExactOrderStatistics) {
+  // p99/p99.9 against a sorted copy on a heavy-tailed slowdown-shaped
+  // sample (clamped >= 1 like the sampler's slowdown stream): the log-linear
+  // buckets guarantee <= 1/128 relative error at any magnitude.
+  Rng rng(2026);
+  std::vector<double> values;
+  Histogram h;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = std::max(1.0, rng.LogNormal(0.5, 1.5));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.99, 0.999}) {
+    const auto rank =
+        static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) - 1;
+    const double exact = values[rank];
+    const double approx = h.Quantile(q);
+    EXPECT_NEAR(approx, exact, exact * (1.0 / 128.0 + 0.005)) << "q=" << q;
+  }
+}
+
 TEST(SummaryTest, KnownValues) {
   Summary s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {

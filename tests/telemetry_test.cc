@@ -121,6 +121,73 @@ TEST(EventRingTest, ConcurrentProducerNeverBlocksAndEveryEventIsAccounted) {
   }
 }
 
+TEST(EventRingTest, SequencedDrainExposesMonotonicSequencesAndExactGaps) {
+  // The sequenced overload is what the trace collector builds its loss
+  // accounting on: the n-th Push ever issued must surface as sequence n, so
+  // a consumer can locate *which* records an overwrite destroyed, not just
+  // how many.
+  EventRing<Event> ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ring.Push(Event{i, i + 100});
+  }
+  std::vector<SequencedEvent<Event>> out;
+  EXPECT_EQ(ring.Drain(&out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].sequence, i);
+    EXPECT_EQ(out[i].value.payload, i + 100);
+  }
+
+  // Overflow: push 20 more (sequences 5..24) into the 8-slot ring. The
+  // drain must resume at exactly head - capacity, with the gap equal to the
+  // dropped count and the surviving sequences still strictly increasing.
+  for (std::uint64_t i = 5; i < 25; ++i) {
+    ring.Push(Event{i, i + 100});
+  }
+  std::vector<SequencedEvent<Event>> tail;
+  EXPECT_EQ(ring.Drain(&tail), 8u);
+  ASSERT_EQ(tail.size(), 8u);
+  EXPECT_EQ(tail.front().sequence, 17u);  // 25 produced - 8 capacity
+  EXPECT_EQ(tail.back().sequence, 24u);
+  for (std::size_t i = 1; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].sequence, tail[i - 1].sequence + 1);
+    EXPECT_EQ(tail[i].value.payload, tail[i].sequence + 100);
+  }
+  // Gap between the two drains: sequences 5..16 were overwritten.
+  EXPECT_EQ(tail.front().sequence - out.back().sequence - 1, ring.dropped());
+  EXPECT_EQ(ring.dropped(), 12u);
+  EXPECT_EQ(ring.produced(), 25u);
+}
+
+TEST(EventRingTest, SequencedDrainUnderConcurrentProducerNeverRepeatsOrReorders) {
+  // Loss detection depends on sequences being strictly increasing across
+  // drains even while the producer laps the consumer.
+  constexpr std::uint64_t kEvents = 50000;
+  EventRing<Event> ring(32);
+  std::atomic<bool> done{false};
+  std::thread producer([&ring, &done] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      ring.Push(Event{i, i * 3 + 1});
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<SequencedEvent<Event>> out;
+  while (!done.load(std::memory_order_acquire)) {
+    ring.Drain(&out);
+  }
+  ring.Drain(&out);
+  producer.join();
+
+  EXPECT_EQ(out.size() + ring.dropped(), kEvents);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].value.seq, out[i].sequence);  // sequence == producer order
+    EXPECT_EQ(out[i].value.payload, out[i].sequence * 3 + 1);
+    if (i > 0) {
+      EXPECT_GT(out[i].sequence, out[i - 1].sequence);
+    }
+  }
+}
+
 TelemetrySnapshot MakeFilledSnapshot() {
   TelemetrySnapshot snapshot;
   snapshot.enabled = true;

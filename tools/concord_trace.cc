@@ -1,0 +1,263 @@
+// concord_trace: offline scheduling-trace analyzer (docs/tracing.md).
+//
+// Ingests a Chrome trace-event file written via --trace-out= (or
+// CONCORD_TRACE_OUT), recomputes per-request latency breakdowns (queue vs.
+// service vs. preemption overhead), re-checks the runtime's scheduling
+// invariants offline, and prints a summary table. With --check it exits
+// nonzero on any invariant violation or unexplained record loss, which is
+// how CI gates on trace integrity.
+//
+// Usage:
+//   concord_trace [options] TRACE_FILE
+//     --check                        exit 1 on violations/unexplained drops
+//     --grace-us=N                   work-conservation grace bound (default 20000)
+//     --no-work-conservation         skip the work-conservation check
+//     --metrics=FILE                 cross-check a --metrics-out= series:
+//                                    summed window completions must match the
+//                                    trace's completed-request count within 1%
+//     --min-windows=N                with --metrics: require at least N windows
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/stats/histogram.h"
+#include "src/stats/table.h"
+#include "src/telemetry/json.h"
+#include "src/trace/analyzer.h"
+
+namespace {
+
+using concord::Histogram;
+using concord::TablePrinter;
+using concord::telemetry::JsonValue;
+using concord::trace::AnalyzerOptions;
+using concord::trace::AnalyzerReport;
+using concord::trace::RequestBreakdown;
+
+struct CliOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  AnalyzerOptions analyzer;
+  bool check = false;
+  std::uint64_t min_windows = 0;
+};
+
+void PrintUsage() {
+  std::cerr << "usage: concord_trace [--check] [--grace-us=N] [--no-work-conservation]\n"
+               "                     [--metrics=FILE] [--min-windows=N] TRACE_FILE\n";
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      options->check = true;
+    } else if (arg.rfind("--grace-us=", 0) == 0) {
+      options->analyzer.grace_us = std::atof(arg.c_str() + std::strlen("--grace-us="));
+    } else if (arg == "--no-work-conservation") {
+      options->analyzer.check_work_conservation = false;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      options->metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg.rfind("--min-windows=", 0) == 0) {
+      options->min_windows = static_cast<std::uint64_t>(
+          std::atoll(arg.c_str() + std::strlen("--min-windows=")));
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "concord_trace: unknown option " << arg << "\n";
+      return false;
+    } else if (options->trace_path.empty()) {
+      options->trace_path = arg;
+    } else {
+      std::cerr << "concord_trace: more than one trace file given\n";
+      return false;
+    }
+  }
+  if (options->trace_path.empty()) {
+    std::cerr << "concord_trace: no trace file given\n";
+    return false;
+  }
+  return true;
+}
+
+void PrintBreakdownTable(const AnalyzerReport& report) {
+  // Aggregate per request class: where did the microseconds go.
+  struct ClassAgg {
+    Histogram latency;
+    double first_wait = 0.0;
+    double inbox_wait = 0.0;
+    double requeue_wait = 0.0;
+    double service = 0.0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::int32_t, ClassAgg> classes;
+  for (const RequestBreakdown& b : report.breakdowns) {
+    ClassAgg& agg = classes[b.request_class];
+    agg.latency.Record(b.latency_us);
+    agg.first_wait += b.first_wait_us;
+    agg.inbox_wait += b.inbox_wait_us;
+    agg.requeue_wait += b.requeue_wait_us;
+    agg.service += b.service_us;
+    agg.preemptions += static_cast<std::uint64_t>(b.preemptions);
+    ++agg.count;
+  }
+  TablePrinter table({"class", "requests", "p50 lat (us)", "p99 lat (us)", "queue (us)",
+                      "service (us)", "preempt ovh (us)", "preempts/req"});
+  for (const auto& [request_class, agg] : classes) {
+    const auto n = static_cast<double>(agg.count);
+    table.AddRow({std::to_string(request_class), std::to_string(agg.count),
+                  TablePrinter::Fixed(agg.latency.Quantile(0.50), 2),
+                  TablePrinter::Fixed(agg.latency.Quantile(0.99), 2),
+                  TablePrinter::Fixed((agg.first_wait + agg.inbox_wait) / n, 2),
+                  TablePrinter::Fixed(agg.service / n, 2),
+                  TablePrinter::Fixed(agg.requeue_wait / n, 2),
+                  TablePrinter::Fixed(static_cast<double>(agg.preemptions) / n, 2)});
+  }
+  if (table.RowCount() > 0) {
+    std::cout << "\nPer-class latency breakdown (queue = ingress+central+inbox wait; preempt\n"
+                 "ovh = time between a preemption and the resumed segment):\n";
+    table.Print(std::cout);
+  }
+}
+
+void PrintWorkerTable(const AnalyzerReport& report) {
+  TablePrinter table({"track", "run segments"});
+  for (std::size_t w = 0; w < report.segments_per_worker.size(); ++w) {
+    table.AddRow({"worker " + std::to_string(w), std::to_string(report.segments_per_worker[w])});
+  }
+  table.AddRow({"dispatcher", std::to_string(report.dispatcher_segments)});
+  std::cout << "\nRun segments per track:\n";
+  table.Print(std::cout);
+}
+
+// Cross-checks a --metrics-out= series against the trace: the summed window
+// completion counts must equal the trace's completed-request population to
+// within 1% (both sides count every completion exactly; the tolerance only
+// absorbs completions that straddle the capture edges).
+bool CheckMetrics(const CliOptions& options, const AnalyzerReport& report) {
+  std::ifstream in(options.metrics_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "concord_trace: cannot open metrics file " << options.metrics_path << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  JsonValue root;
+  if (!JsonValue::Parse(text.str(), &root) || !root.is_object()) {
+    std::cerr << "concord_trace: metrics file is not valid JSON\n";
+    return false;
+  }
+  const JsonValue* schema = root.Get("schema");
+  if (schema == nullptr || schema->AsString() != "concord.metrics.v1") {
+    std::cerr << "concord_trace: unrecognized metrics schema\n";
+    return false;
+  }
+  const JsonValue* windows = root.Get("windows");
+  if (windows == nullptr || !windows->is_array()) {
+    std::cerr << "concord_trace: metrics file has no windows array\n";
+    return false;
+  }
+  std::uint64_t summed = 0;
+  for (const JsonValue& window : windows->AsArray()) {
+    summed += window.GetUint("completed");
+  }
+  const std::uint64_t window_count = windows->AsArray().size();
+  const std::uint64_t dropped = root.GetUint("dropped_windows");
+  std::cout << "\nMetrics series: " << window_count << " window(s), " << dropped
+            << " dropped, summed completions " << summed << "\n";
+  bool ok = true;
+  if (window_count < options.min_windows) {
+    std::cerr << "concord_trace: expected at least " << options.min_windows << " windows, got "
+              << window_count << "\n";
+    ok = false;
+  }
+  if (dropped > 0) {
+    std::cerr << "concord_trace: metrics series dropped " << dropped
+              << " window(s); completion sum is not comparable\n";
+    ok = false;
+  }
+  const auto completed = static_cast<double>(report.requests_complete);
+  if (completed > 0.0) {
+    const double relative =
+        std::abs(static_cast<double>(summed) - completed) / completed;
+    std::cout << "Trace completed requests " << report.requests_complete
+              << "; relative difference " << TablePrinter::Percent(relative, 3) << "\n";
+    if (relative > 0.01) {
+      std::cerr << "concord_trace: metrics/trace completion mismatch exceeds 1%\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+
+  const AnalyzerReport report =
+      concord::trace::AnalyzeChromeTraceFile(options.trace_path, options.analyzer);
+  if (!report.error.empty()) {
+    std::cerr << "concord_trace: " << report.error << "\n";
+    return 2;
+  }
+
+  std::cout << "Trace: " << options.trace_path << "\n"
+            << "  records " << report.record_count << ", workers " << report.worker_count
+            << ", JBSQ k=" << report.jbsq_depth << ", quantum "
+            << TablePrinter::Fixed(report.quantum_us, 1) << " us, tsc "
+            << TablePrinter::Fixed(report.tsc_ghz, 3) << " GHz\n"
+            << "  requests: " << report.requests_total << " total, " << report.requests_complete
+            << " complete, " << report.requests_truncated << " truncated\n"
+            << "  preempt signals observed: " << report.preempt_signals << "\n"
+            << "  drops: declared ring=" << report.declared_ring_dropped
+            << " buffer=" << report.declared_buffer_dropped
+            << ", observed sequence gaps=" << report.observed_sequence_gaps
+            << ", unexplained=" << report.unexplained_drops << "\n";
+
+  PrintWorkerTable(report);
+  PrintBreakdownTable(report);
+
+  bool ok = true;
+  if (!report.violations.empty()) {
+    std::cout << "\nInvariant violations (" << report.violations.size() << "):\n";
+    for (const std::string& violation : report.violations) {
+      std::cout << "  - " << violation << "\n";
+    }
+    ok = false;
+  } else {
+    std::cout << "\nInvariants: monotone timestamps, JBSQ occupancy <= k, dispatcher-pinned\n"
+                 "completion, work conservation (grace "
+              << TablePrinter::Fixed(options.analyzer.grace_us, 0) << " us): all hold\n";
+  }
+  if (report.unexplained_drops > 0) {
+    ok = false;
+  }
+
+  if (!options.metrics_path.empty()) {
+    ok = CheckMetrics(options, report) && ok;
+  }
+
+  if (options.check) {
+    if (!ok) {
+      std::cerr << "concord_trace: --check FAILED\n";
+      return 1;
+    }
+    std::cout << "\n--check passed: all invariants hold, every drop accounted\n";
+  }
+  return options.check ? 0 : (ok ? 0 : 1);
+}
