@@ -13,8 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
 #include "src/runtime/instrument.h"
 #include "src/runtime/runtime.h"
+#include "src/stats/slowdown.h"
 #include "src/telemetry/event_ring.h"
 #include "src/telemetry/export.h"
 #include "src/trace/chrome_trace.h"
@@ -153,11 +158,173 @@ BENCHMARK(BM_TelemetrySnapshot);
 
 namespace concord {
 
+// --json-out=FILE / CONCORD_BENCH_JSON_OUT: machine-readable perf summary
+// for the CI perf-smoke artifact. Runs two dedicated workloads after the
+// google-benchmark pass (their console numbers are not machine-parsed):
+//
+//   pipelined_throughput — the BM_PipelinedThroughput shape (2 workers,
+//     no-op handler, 64-deep submit window) run `repetitions` times; the
+//     JSON reports the median so one noisy rep on a shared host does not
+//     gate CI.
+//   slowdown — the RunExportWorkload spin mix (90% 5us / 10% 100us,
+//     q=20us, jbsq=2) with per-request slowdown recorded from
+//     on_complete; reports p50/p99/p99.9.
+// concord-lint: allow-no-probe (bench harness; drives the runtime from the main thread)
+int RunJsonBench(const std::string& json_out) {
+  // Sized so fixed per-rep costs (Start/WaitIdle edges) stay under ~1% of
+  // the timed window; below ~100k they visibly inflate ns_per_op.
+  std::size_t request_count = 400000;
+  if (const char* env = std::getenv("CONCORD_BENCH_REQUESTS")) {
+    const long value = std::atol(env);
+    if (value > 0) {
+      request_count = static_cast<std::size_t>(value);
+    }
+  }
+  constexpr int kRepetitions = 5;
+
+  std::vector<double> items_per_sec;
+  items_per_sec.reserve(kRepetitions);
+  // concord-lint: allow-no-probe (bench driver loop on the main thread, not handler code)
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Runtime::Options options;
+    options.worker_count = 2;
+    options.quantum_us = 1000.0;
+    Runtime::Callbacks callbacks;
+    callbacks.handle_request = [](const RequestView&) {};
+    Runtime runtime(options, callbacks);
+    runtime.Start();
+    // Untimed warmup: populate the fiber pool, ring pages and producer slot
+    // before the clock starts (google-benchmark's calibration runs do the
+    // same for BM_PipelinedThroughput, so this keeps the numbers comparable).
+    const std::size_t warmup = std::min<std::size_t>(request_count / 10, 10000);
+    // Driver loop on the main thread, not handler code. concord-lint: allow-no-probe
+    for (std::size_t id = 0; id < warmup; ++id) {
+      while (!runtime.Submit(static_cast<std::uint64_t>(id), 0, nullptr)) {
+        std::this_thread::yield();
+      }
+      if ((id + 1) % 64 == 0) {
+        runtime.WaitIdle();
+      }
+    }
+    runtime.WaitIdle();
+    const auto start = std::chrono::steady_clock::now();
+    // Driver loop on the main thread, not handler code. concord-lint: allow-no-probe
+    for (std::size_t id = 0; id < request_count; ++id) {
+      while (!runtime.Submit(static_cast<std::uint64_t>(id), 0, nullptr)) {
+        std::this_thread::yield();
+      }
+      if ((id + 1) % 64 == 0) {
+        runtime.WaitIdle();
+      }
+    }
+    runtime.WaitIdle();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    runtime.Shutdown();
+    items_per_sec.push_back(elapsed_s > 0.0 ? static_cast<double>(request_count) / elapsed_s
+                                            : 0.0);
+  }
+  std::sort(items_per_sec.begin(), items_per_sec.end());
+  const double median_items_per_sec = items_per_sec[items_per_sec.size() / 2];
+  const double median_ns_per_op =
+      median_items_per_sec > 0.0 ? 1.0e9 / median_items_per_sec : 0.0;
+
+  SlowdownTracker tracker;
+  std::uint64_t slowdown_completed = 0;
+  {
+    Runtime::Options options;
+    options.worker_count = 2;
+    options.quantum_us = 20.0;
+    options.jbsq_depth = 2;
+    Runtime::Callbacks callbacks;
+    callbacks.handle_request = [](const RequestView& view) {
+      SpinWithProbesUs(view.request_class == 1 ? 100.0 : 5.0);
+    };
+    // Written once after Start() and before the first Submit; the ring's
+    // release/acquire hand-off orders it before any on_complete read.
+    double tsc_ghz = 1.0;
+    callbacks.on_complete = [&tracker, &slowdown_completed, &tsc_ghz](const RequestView& view,
+                                                                     std::uint64_t latency_tsc) {
+      // Dispatcher thread; ordered before the post-WaitIdle reads below by
+      // the runtime's completion-count release/acquire handshake.
+      ++slowdown_completed;
+      const double latency_ns = static_cast<double>(latency_tsc) / tsc_ghz;
+      const double service_ns = view.request_class == 1 ? 100000.0 : 5000.0;
+      tracker.Record(latency_ns, service_ns, view.request_class);
+    };
+    Runtime slowdown_runtime(options, callbacks);
+    slowdown_runtime.Start();
+    tsc_ghz = slowdown_runtime.tsc_ghz();
+    const std::size_t slowdown_requests = std::min<std::size_t>(request_count, 12000);
+    // Open-loop pacing at a 40us inter-arrival gap (~25 krps against a
+    // 14.5us mean service demand): without pacing the unbounded central
+    // queue grows for the whole run and the percentiles measure run length
+    // instead of scheduling.
+    constexpr double kGapNs = 40000.0;
+    const auto pace_start = std::chrono::steady_clock::now();
+    // Driver loop on the main thread, not handler code. concord-lint: allow-no-probe
+    for (std::size_t i = 0; i < slowdown_requests; ++i) {
+      const double due_ns = static_cast<double>(i) * kGapNs;
+      // concord-lint: allow-no-probe (open-loop pacing loop on the main thread, not handler code)
+      for (;;) {
+        const double elapsed_ns =
+            std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - pace_start)
+                .count();
+        if (elapsed_ns >= due_ns) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+      const int request_class = i % 10 == 9 ? 1 : 0;
+      while (!slowdown_runtime.Submit(static_cast<std::uint64_t>(i), request_class, nullptr)) {
+        std::this_thread::yield();
+      }
+    }
+    slowdown_runtime.WaitIdle();
+    slowdown_runtime.Shutdown();
+  }
+
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n";
+  json << "  \"benchmark\": \"micro_runtime\",\n";
+  json << "  \"pipelined_throughput\": {\n";
+  json << "    \"requests_per_rep\": " << request_count << ",\n";
+  json << "    \"repetitions\": " << kRepetitions << ",\n";
+  json << "    \"median_items_per_sec\": " << median_items_per_sec << ",\n";
+  json << "    \"median_ns_per_op\": " << median_ns_per_op << "\n";
+  json << "  },\n";
+  json << "  \"slowdown\": {\n";
+  json << "    \"completed\": " << slowdown_completed << ",\n";
+  json << "    \"p50\": " << tracker.QuantileSlowdown(0.50) << ",\n";
+  json << "    \"p99\": " << tracker.QuantileSlowdown(0.99) << ",\n";
+  json << "    \"p999\": " << tracker.P999Slowdown() << "\n";
+  json << "  }";
+  // Optional reference block so a committed artifact can carry the pre-change
+  // numbers it is being compared against (set by whoever records the run).
+  const char* baseline_items = std::getenv("CONCORD_BENCH_BASELINE_ITEMS_PER_SEC");
+  if (baseline_items != nullptr) {
+    json << ",\n  \"baseline\": {\n";
+    json << "    \"median_items_per_sec\": " << std::atof(baseline_items);
+    if (const char* baseline_ns = std::getenv("CONCORD_BENCH_BASELINE_NS_PER_OP")) {
+      json << ",\n    \"median_ns_per_op\": " << std::atof(baseline_ns);
+    }
+    if (const char* baseline_commit = std::getenv("CONCORD_BENCH_BASELINE_COMMIT")) {
+      json << ",\n    \"commit\": \"" << baseline_commit << "\"";
+    }
+    json << "\n  }";
+  }
+  json << "\n}\n";
+  return telemetry::WriteTextFile(json.str(), json_out, "bench json") ? 0 : 1;
+}
+
 // Post-benchmark export workload behind --telemetry-out= / --trace-out= /
 // --metrics-out=: a mixed short/long spin mix (90% 5us, 10% 100us at
 // q=20us) that exercises preemption signals, co-op yields, JBSQ
 // re-dispatch and dispatcher adoption, sized to span several 10 ms metrics
 // windows. CI feeds the resulting trace and series to concord_trace --check.
+// concord-lint: allow-no-probe (bench harness; drives the runtime from the main thread)
 int RunExportWorkload(int argc, char** argv) {
   const std::string telemetry_out = telemetry::TelemetryOutPath(argc, argv);
   const std::string trace_out = telemetry::TraceOutPath(argc, argv);
@@ -234,12 +401,16 @@ int main(int argc, char** argv) {
   const bool want_export = !concord::telemetry::TelemetryOutPath(argc, argv).empty() ||
                            !concord::telemetry::TraceOutPath(argc, argv).empty() ||
                            !concord::telemetry::MetricsOutPath(argc, argv).empty();
+  const std::string json_out =
+      concord::telemetry::OutPathFromFlagOrEnv(argc, argv, "--json-out=", "CONCORD_BENCH_JSON_OUT");
   std::vector<char*> bench_args;  // benchmark::Initialize rejects foreign flags
+  // concord-lint: allow-no-probe (flag filtering in main, not handler code)
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0 ||
         std::strncmp(argv[i], "--trace-out=", 12) == 0 ||
         std::strncmp(argv[i], "--metrics-out=", 14) == 0 ||
-        std::strncmp(argv[i], "--metrics-window-ms=", 20) == 0) {
+        std::strncmp(argv[i], "--metrics-window-ms=", 20) == 0 ||
+        std::strncmp(argv[i], "--json-out=", 11) == 0) {
       continue;
     }
     bench_args.push_back(argv[i]);
@@ -251,8 +422,13 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  int status = 0;
   if (want_export) {
-    return concord::RunExportWorkload(argc, argv);
+    status = concord::RunExportWorkload(argc, argv);
   }
-  return 0;
+  if (!json_out.empty()) {
+    const int json_status = concord::RunJsonBench(json_out);
+    status = status != 0 ? status : json_status;
+  }
+  return status;
 }

@@ -1,0 +1,38 @@
+// Allocation-audit hooks: the measurement side of the runtime's
+// zero-allocation steady-state guarantee (docs/runtime.md).
+//
+// The dispatch hot path is designed to perform no heap allocation once warm:
+// requests live in preallocated per-producer slabs, the central queue is an
+// intrusive list, and every cross-thread transfer goes through preallocated
+// rings. These hooks let a test *prove* that instead of trusting it: a test
+// binary replaces global operator new/delete with versions that call
+// NoteAllocOp(), and Runtime::BeginAllocationAudit() baselines the
+// dispatcher's and workers' thread-local counters so any allocation they
+// perform afterwards is counted.
+//
+// The library itself never replaces the allocator — including this header
+// costs one thread-local counter and nothing else. Binaries that do not
+// install the counting allocator simply read 0 everywhere.
+
+#ifndef CONCORD_SRC_COMMON_ALLOC_HOOKS_H_
+#define CONCORD_SRC_COMMON_ALLOC_HOOKS_H_
+
+#include <cstdint>
+
+namespace concord {
+
+namespace internal {
+inline thread_local std::uint64_t t_alloc_ops = 0;
+}  // namespace internal
+
+// Called by a binary's replacement operator new/delete (see
+// tests/runtime_test.cc for the canonical installation).
+inline void NoteAllocOp() { ++internal::t_alloc_ops; }
+
+// Heap operations observed on this thread since it started — 0 unless the
+// binary installed the counting allocator replacements.
+inline std::uint64_t ThreadAllocOps() { return internal::t_alloc_ops; }
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMMON_ALLOC_HOOKS_H_

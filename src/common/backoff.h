@@ -1,0 +1,44 @@
+// Spin-loop backoff shared by every polling loop in the runtime and the
+// drivers that feed it.
+//
+// The paper's deployment pins one thread per core and never leaves its spin
+// loops; this repo must also work on shared hosts with fewer CPUs than
+// threads. The policy is therefore two-phase: stay hot with the cpu_relax()
+// idle primitive (PAUSE on x86 — keeps the spin off the coherence bus and
+// frees the sibling hyperthread) for a bounded burst, then hand the core
+// back to the OS so a co-scheduled producer/consumer can run.
+
+#ifndef CONCORD_SRC_COMMON_BACKOFF_H_
+#define CONCORD_SRC_COMMON_BACKOFF_H_
+
+#include <thread>
+
+#include "src/common/cacheline.h"
+
+namespace concord {
+
+class Backoff {
+ public:
+  // Number of cpu_relax() iterations before the first yield. Small enough
+  // that a 1-CPU host reaches the scheduler quickly, large enough that a
+  // dedicated core rides out the common sub-microsecond wait without a
+  // syscall.
+  static constexpr int kSpinIterations = 256;
+
+  void Idle() {
+    if (++idle_count_ < kSpinIterations) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void Reset() { idle_count_ = 0; }
+
+ private:
+  int idle_count_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMMON_BACKOFF_H_

@@ -21,8 +21,11 @@ std::function<void(const RequestView&, std::uint64_t)> OpenLoopLoadgen::Completi
   };
 }
 
+// Dispatcher-thread only (Runtime invokes on_complete there). The runtime
+// publishes every on_complete invocation before incrementing its completion
+// count (release), and Run() reads results only after WaitIdle() acquires
+// that count, so these unlocked writes are ordered before the reads below.
 void OpenLoopLoadgen::OnComplete(const RequestView& view, std::uint64_t latency_tsc) {
-  std::lock_guard<std::mutex> lock(mu_);
   ++completed_;
   if (view.id < warmup_ids_) {
     return;  // §5.1: discard warmup samples
@@ -36,13 +39,12 @@ void OpenLoopLoadgen::OnComplete(const RequestView& view, std::uint64_t latency_
 LoadgenReport OpenLoopLoadgen::Run(Runtime* runtime, double offered_krps, std::uint64_t count,
                                    double warmup_fraction) {
   CONCORD_CHECK(offered_krps > 0.0) << "load must be positive";
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tracker_.Reset();
-    completed_ = 0;
-    warmup_ids_ = static_cast<std::uint64_t>(warmup_fraction * static_cast<double>(count));
-    tsc_ghz_ = runtime->tsc_ghz();
-  }
+  // Pre-run reset: the previous run (if any) ended with WaitIdle, so no
+  // completion can be concurrent with this.
+  tracker_.Reset();
+  completed_ = 0;
+  warmup_ids_ = static_cast<std::uint64_t>(warmup_fraction * static_cast<double>(count));
+  tsc_ghz_ = runtime->tsc_ghz();
 
   const double mean_gap_ns = KrpsToInterarrivalNs(offered_krps);
   LoadgenReport report;
@@ -78,7 +80,6 @@ LoadgenReport OpenLoopLoadgen::Run(Runtime* runtime, double offered_krps, std::u
   const double total_ns = static_cast<double>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(total).count());
 
-  std::lock_guard<std::mutex> lock(mu_);
   report.completed = completed_;
   report.achieved_krps =
       total_ns > 0.0 ? static_cast<double>(completed_) / (total_ns / kNsPerSec) / 1000.0 : 0.0;

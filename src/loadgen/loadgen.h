@@ -11,7 +11,6 @@
 #define CONCORD_SRC_LOADGEN_LOADGEN_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -41,7 +40,9 @@ class OpenLoopLoadgen {
                   std::uint64_t seed);
 
   // The completion hook to install as Runtime::Callbacks::on_complete before
-  // Start(). Thread-safe.
+  // Start(). Runs on the dispatcher thread; deliberately lock-free so a
+  // completion never stalls the dispatch loop (see OnComplete for the
+  // synchronization argument).
   std::function<void(const RequestView&, std::uint64_t)> CompletionHook();
 
   // Issues `count` requests at `offered_krps` into `runtime`, waits for all
@@ -56,7 +57,11 @@ class OpenLoopLoadgen {
   std::vector<double> class_service_us_;
   Rng rng_;
 
-  std::mutex mu_;
+  // Written by the dispatcher thread (OnComplete) while a run is in flight,
+  // read/reset by the Run() caller only outside that window. No mutex: the
+  // two phases are ordered by Runtime::WaitIdle's completion-count
+  // release/acquire handshake, so a per-completion lock on the dispatcher's
+  // hot path would buy nothing but stalls.
   SlowdownTracker tracker_;
   std::uint64_t completed_ = 0;
   std::uint64_t warmup_ids_ = 0;

@@ -164,8 +164,21 @@ Fiber::~Fiber() {
 }
 
 void Fiber::Reset(std::function<void()> fn) {
-  CONCORD_CHECK(finished_) << "resetting a fiber that has not finished";
   fn_ = std::move(fn);
+  raw_fn_ = nullptr;
+  raw_arg_ = nullptr;
+  ArmFrame();
+}
+
+void Fiber::Reset(RawFn fn, void* arg) {
+  CONCORD_CHECK(fn != nullptr) << "raw fiber entry must not be null";
+  raw_fn_ = fn;
+  raw_arg_ = arg;
+  ArmFrame();
+}
+
+void Fiber::ArmFrame() {
+  CONCORD_CHECK(finished_) << "resetting a fiber that has not finished";
   finished_ = false;
   armed_ = true;
 
@@ -240,7 +253,11 @@ void Fiber::Entry() {
   // record the scheduler stack we came from so Yield can switch back to it.
   __sanitizer_finish_switch_fiber(nullptr, &sched_stack_bottom_, &sched_stack_size_);
 #endif
-  fn_();
+  if (raw_fn_ != nullptr) {
+    raw_fn_(raw_arg_);
+  } else {
+    fn_();
+  }
   finished_ = true;
   armed_ = false;
   // Hand control back to Run(); the fiber must never fall off its stack.

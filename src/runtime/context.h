@@ -31,6 +31,13 @@ class Fiber {
   // mid-flight).
   void Reset(std::function<void()> fn);
 
+  // Zero-allocation variant for the dispatch hot path: arms the fiber to
+  // call fn(arg). Re-arming through this entry point can never touch the
+  // heap, regardless of the standard library's std::function small-object
+  // threshold.
+  using RawFn = void (*)(void*);
+  void Reset(RawFn fn, void* arg);
+
   // Switches the calling thread into the fiber until it yields or finishes.
   // Returns true if the fiber finished.
   bool Run();
@@ -48,6 +55,7 @@ class Fiber {
   friend void FiberEntryForTrampoline(void* fiber);
 
   void Entry();
+  void ArmFrame();
 
   // mmap-backed stack with a PROT_NONE guard page at the low end, so an
   // overflowing request faults immediately instead of corrupting the heap.
@@ -56,6 +64,8 @@ class Fiber {
   std::size_t mapped_bytes_ = 0;
   void* sp_ = nullptr;
   std::function<void()> fn_;
+  RawFn raw_fn_ = nullptr;  // when set, Entry() calls raw_fn_(raw_arg_) instead of fn_()
+  void* raw_arg_ = nullptr;
   bool armed_ = false;
   bool finished_ = true;
   // Sanitizer bookkeeping (context.cc). Unconditional members so the class

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/common/alloc_hooks.h"
+#include "src/common/backoff.h"
 #include "src/common/cpu.h"
 #include "src/common/cycles.h"
 #include "src/common/logging.h"
@@ -12,24 +14,51 @@ namespace concord {
 
 namespace {
 
-// Spin-loop backoff for the polling loops: stay hot for a while, then hand
-// the core back so the runtime also works on machines with fewer CPUs than
-// threads (the paper's deployment pins one thread per core and never needs
-// this).
-class Backoff {
- public:
-  void Idle() {
-    if (++idle_count_ < 256) {
-      CpuRelax();
-    } else {
-      std::this_thread::yield();
-    }
-  }
-  void Reset() { idle_count_ = 0; }
+// Cacheline placement audit: the structures two threads touch concurrently
+// must keep their independently-written words on distinct lines, or the
+// coherence traffic JBSQ exists to avoid (§3.2) comes back through layout.
+static_assert(alignof(SignalLine) == kCacheLineSize, "signal line must own its cache line");
+static_assert(sizeof(SignalLine) == kCacheLineSize, "signal line must fill its cache line");
+static_assert(alignof(CacheLineAligned<std::atomic<std::uint64_t>>) == kCacheLineSize,
+              "worker status words must not share lines");
+static_assert(alignof(telemetry::WorkerCounters) == kCacheLineSize,
+              "worker counters must start on a line boundary");
+static_assert(alignof(telemetry::DispatcherWorkerCounters) == kCacheLineSize,
+              "dispatcher-written per-worker counters must not share the workers' lines");
+static_assert(alignof(telemetry::DispatcherCounters) == kCacheLineSize,
+              "dispatcher counters must start on a line boundary");
 
- private:
-  int idle_count_ = 0;
-};
+// The live-runtime registry: (runtime address, instance id) pairs for every
+// constructed-but-not-destroyed Runtime. A producer thread's TLS destructor
+// consults it before touching a cached ProducerSlot, so threads outliving a
+// runtime never dereference freed slots; holding the mutex across the
+// release also blocks ~Runtime from freeing the slot mid-release. Function
+// statics avoid initialization-order hazards.
+std::mutex& LiveRuntimeMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::pair<const Runtime*, std::uint64_t>>& LiveRuntimes() {
+  static std::vector<std::pair<const Runtime*, std::uint64_t>> live;
+  return live;
+}
+
+bool IsLiveRuntimeLocked(const Runtime* runtime, std::uint64_t instance) {
+  const auto& live = LiveRuntimes();
+  return std::find(live.begin(), live.end(), std::make_pair(runtime, instance)) != live.end();
+}
+
+std::uint64_t NextRuntimeInstanceId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Nonzero id for producer-slot claim words; the |1 matches SpscRing's debug
+// role pins so a claim word can never be mistaken for "unclaimed".
+std::size_t ThisThreadClaimWord() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+}
 
 // Worker-side probe state: the dedicated signal line and the generation the
 // worker is currently running. Lives on the worker thread.
@@ -66,24 +95,75 @@ thread_local DispatcherProbeState t_dispatcher_probe_state;
 
 }  // namespace
 
+namespace internal {
+
+// Per-thread cache of claimed producer slots, one entry per (runtime,
+// instance) this thread has submitted to. The destructor releases the claims
+// of still-live runtimes so the slot (with its slab and any requests parked
+// in its rings) can be adopted by a future submitter thread.
+struct ProducerTlsState {
+  struct Entry {
+    Runtime* runtime = nullptr;
+    std::uint64_t instance = 0;
+    Runtime::ProducerSlot* slot = nullptr;
+  };
+  std::vector<Entry> entries;
+
+  ~ProducerTlsState() {
+    std::lock_guard<std::mutex> lock(LiveRuntimeMu());
+    // concord-lint: allow-no-probe (thread-exit cleanup, never runs handler code)
+    for (const Entry& entry : entries) {
+      if (!IsLiveRuntimeLocked(entry.runtime, entry.instance)) {
+        continue;  // runtime destroyed; the slot is gone with it
+      }
+      // Hand the endpoints over: the next claimant becomes the ingress
+      // producer and recycle consumer. The release store on claim publishes
+      // local_free and the debug-role resets to the acquire CAS claimant.
+      entry.slot->ingress.ResetProducerRole();
+      entry.slot->recycle.ResetConsumerRole();
+      entry.slot->claim.store(0, std::memory_order_release);
+    }
+  }
+};
+
+thread_local ProducerTlsState t_producer_tls;
+
+}  // namespace internal
+
 Runtime::Runtime(Options options, Callbacks callbacks)
     : options_(std::move(options)), callbacks_(std::move(callbacks)) {
   CONCORD_CHECK(options_.worker_count >= 1) << "need at least one worker";
   CONCORD_CHECK(options_.jbsq_depth >= 1) << "JBSQ depth must be >= 1";
   CONCORD_CHECK(options_.quantum_us > 0.0) << "quantum must be positive";
+  CONCORD_CHECK(options_.ingress_capacity >= 1) << "ingress capacity must be positive";
   CONCORD_CHECK(callbacks_.handle_request != nullptr) << "handle_request is required";
+  for (auto& slot : producer_slots_) {
+    slot.store(nullptr, std::memory_order_relaxed);
+  }
+  instance_id_ = NextRuntimeInstanceId();
+  std::lock_guard<std::mutex> lock(LiveRuntimeMu());
+  LiveRuntimes().emplace_back(this, instance_id_);
 }
 
 Runtime::~Runtime() {
   if (started_.load() && !stop_.load()) {
     Shutdown();
   }
+  // Unregister before members are destroyed: a producer thread exiting
+  // concurrently either finds us live (and releases its claim while holding
+  // the registry mutex, blocking this erase) or not (and never touches the
+  // slots again).
+  std::lock_guard<std::mutex> lock(LiveRuntimeMu());
+  auto& live = LiveRuntimes();
+  live.erase(std::remove(live.begin(), live.end(), std::make_pair(const_cast<const Runtime*>(this), instance_id_)),
+             live.end());
 }
 
 double Runtime::MeasureTscGhz() {
   const auto start_time = std::chrono::steady_clock::now();
   const std::uint64_t start_tsc = ReadTsc();
   // 20ms calibration window.
+  // concord-lint: allow-no-probe (startup calibration, runs before any request)
   for (;;) {
     const auto elapsed = std::chrono::steady_clock::now() - start_time;
     if (elapsed >= std::chrono::milliseconds(20)) {
@@ -97,6 +177,7 @@ double Runtime::MeasureTscGhz() {
   }
 }
 
+// concord-lint: allow-no-probe (startup path, no request in flight yet)
 void Runtime::Start() {
   CONCORD_CHECK(!started_.exchange(true)) << "runtime already started";
   tsc_ghz_ = MeasureTscGhz();
@@ -106,11 +187,6 @@ void Runtime::Start() {
     callbacks_.setup();
   }
 
-  // A 1-slot ring when telemetry is compiled out: WorkerShared keeps a fixed
-  // layout in both modes, but an OFF build should not pay for dead slots.
-  const std::size_t ring_capacity =
-      telemetry::kEnabled ? std::max<std::size_t>(std::size_t{1}, options_.telemetry_ring_capacity)
-                          : std::size_t{1};
   tracing_ = telemetry::kEnabled && options_.trace_buffer_capacity > 0;
   const std::size_t trace_ring_capacity =
       tracing_ ? std::max<std::size_t>(std::size_t{1}, options_.trace_ring_capacity)
@@ -118,17 +194,32 @@ void Runtime::Start() {
   if (tracing_) {
     trace_collector_ = std::make_unique<trace::TraceCollector>(options_.worker_count,
                                                                options_.trace_buffer_capacity);
-    trace_scratch_.reserve(256);
+    trace_scratch_.reserve(1024);
   }
   workers_.reserve(static_cast<std::size_t>(options_.worker_count));
+  jbsq_stage_.resize(static_cast<std::size_t>(options_.worker_count));
+  // concord-lint: allow-no-probe (startup path, runs before any request exists)
   for (int i = 0; i < options_.worker_count; ++i) {
     workers_.push_back(std::make_unique<WorkerShared>(
-        static_cast<std::size_t>(options_.jbsq_depth), ring_capacity, trace_ring_capacity));
+        static_cast<std::size_t>(options_.jbsq_depth), trace_ring_capacity));
     dispatcher_worker_telemetry_.push_back(
         std::make_unique<telemetry::DispatcherWorkerCounters>());
+    jbsq_stage_[static_cast<std::size_t>(i)].reserve(
+        static_cast<std::size_t>(options_.jbsq_depth));
   }
   outstanding_.assign(static_cast<std::size_t>(options_.worker_count), 0);
   signaled_generation_.assign(static_cast<std::size_t>(options_.worker_count), 0);
+  // Preallocate the hot-path scratch so steady-state dispatch never grows a
+  // container (docs/runtime.md, zero-allocation guarantee).
+  ingress_scratch_.resize(kIngressDrainBatch);
+  outbox_scratch_.resize(2 * static_cast<std::size_t>(options_.jbsq_depth) + 8);
+  if constexpr (telemetry::kEnabled) {
+    // Fixed-size circular buffer (may be 0: every append then counts as
+    // dropped, matching a zero-capacity bounded history).
+    lifecycle_history_.resize(options_.telemetry_history_capacity);
+  }
+  fiber_free_list_.reserve(64);
+  fiber_storage_.reserve(64);
 
   const bool pin = options_.pin_threads && AvailableCpuCount() > options_.worker_count;
   threads_.emplace_back([this, pin] {
@@ -137,6 +228,7 @@ void Runtime::Start() {
     }
     DispatcherLoop();
   });
+  // concord-lint: allow-no-probe (startup path, runs before any request exists)
   for (int i = 0; i < options_.worker_count; ++i) {
     threads_.emplace_back([this, i, pin] {
       if (pin) {
@@ -147,37 +239,111 @@ void Runtime::Start() {
   }
 }
 
-bool Runtime::Submit(std::uint64_t id, int request_class, void* payload) {
-  CONCORD_CHECK(started_.load()) << "runtime not started";
-  RuntimeRequest* request = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    if (!request_free_list_.empty()) {
-      request = request_free_list_.back();
-      request_free_list_.pop_back();
-    } else {
-      request_storage_.push_back(std::make_unique<RuntimeRequest>());
-      request = request_storage_.back().get();
+Runtime::ProducerSlot* Runtime::AcquireProducerSlot() {
+  const std::size_t self = ThisThreadClaimWord();
+  // Adopt a released slot first: bounded lock-free scan. Slots are only ever
+  // appended, and the count is released after the pointer store, so every
+  // index below the acquired count holds a valid pointer.
+  const std::size_t count = producer_slot_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    ProducerSlot* slot = producer_slots_[i].load(std::memory_order_relaxed);
+    std::size_t expected = 0;
+    if (slot->claim.compare_exchange_strong(expected, self, std::memory_order_acq_rel)) {
+      return slot;
     }
   }
-  *request = RuntimeRequest{};
+  // All claimed: create a new slot. The only lock on any Submit path, taken
+  // once per brand-new producer thread; the dispatcher never takes it.
+  std::lock_guard<std::mutex> lock(producers_mu_);
+  const std::size_t index = producer_slot_count_.load(std::memory_order_relaxed);
+  CONCORD_CHECK(index < kMaxProducerSlots)
+      << "more than " << kMaxProducerSlots << " concurrent submitter threads";
+  producer_storage_.push_back(std::make_unique<ProducerSlot>(this, options_.ingress_capacity));
+  ProducerSlot* slot = producer_storage_.back().get();
+  slot->claim.store(self, std::memory_order_relaxed);
+  producer_slots_[index].store(slot, std::memory_order_release);
+  producer_slot_count_.store(index + 1, std::memory_order_release);
+  if constexpr (telemetry::kEnabled) {
+    // High-water mark; written by submitter threads (atomic, monotonic under
+    // producers_mu_ so a plain store suffices).
+    const auto registered = static_cast<std::uint64_t>(index + 1);
+    if (registered > dispatcher_telemetry_.producer_slots.load(std::memory_order_relaxed)) {
+      dispatcher_telemetry_.producer_slots.store(registered, std::memory_order_relaxed);
+    }
+  }
+  return slot;
+}
+
+Runtime::ProducerSlot* Runtime::ProducerSlotForThisThread() {
+  auto& tls = internal::t_producer_tls;
+  for (const auto& entry : tls.entries) {
+    if (entry.runtime == this && entry.instance == instance_id_) {
+      return entry.slot;
+    }
+  }
+  // Slow path: claim (or create) a slot, and while we are off the fast path
+  // purge cache entries whose runtimes are gone so long-lived threads do not
+  // accumulate dead entries across runtime instances.
+  ProducerSlot* slot = AcquireProducerSlot();
+  {
+    std::lock_guard<std::mutex> lock(LiveRuntimeMu());
+    auto dead = [](const internal::ProducerTlsState::Entry& entry) {
+      return !IsLiveRuntimeLocked(entry.runtime, entry.instance);
+    };
+    tls.entries.erase(std::remove_if(tls.entries.begin(), tls.entries.end(), dead),
+                      tls.entries.end());
+  }
+  tls.entries.push_back({this, instance_id_, slot});
+  return slot;
+}
+
+// concord-lint: allow-no-probe (submitter-side path; loops are bounded TLS/free-list scans)
+bool Runtime::Submit(std::uint64_t id, int request_class, void* payload) {
+  CONCORD_CHECK(started_.load()) << "runtime not started";
+  ProducerSlot* slot = ProducerSlotForThisThread();
+  // Refill the local free cache from the recycle ring in one batched pop.
+  if (slot->local_free.empty()) {
+    const std::size_t room = slot->local_free.capacity();
+    slot->local_free.resize(room);
+    const std::size_t refilled = slot->recycle.TryPopBatch(slot->local_free.data(), room);
+    slot->local_free.resize(refilled);
+    if (refilled == 0) {
+      // Slab exhausted: every request of this slot is in flight. Reported
+      // without blocking and without any dispatcher-shared lock.
+      return false;
+    }
+  }
+  RuntimeRequest* request = slot->local_free.back();
+  slot->local_free.pop_back();
+  // Field-wise reset: home/runtime are fixed slab invariants and must
+  // survive reuse.
   request->id = id;
   request->request_class = request_class;
   request->payload = payload;
   request->arrival_tsc = ReadTsc();
+  request->fiber = nullptr;
+  request->started = false;
+  request->on_dispatcher = false;
+  request->finished = false;
+  request->next = nullptr;
   if constexpr (telemetry::kEnabled) {
+    // Field-wise lifecycle reset as well: stale preempt_tsc stamps past
+    // `preemptions` are never read, so a whole-struct reset would only add
+    // memset traffic to the submit path.
     request->lifecycle.id = id;
     request->lifecycle.request_class = request_class;
+    request->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
+    request->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
+    request->lifecycle.preemptions = 0;
     request->lifecycle.arrival_tsc = request->arrival_tsc;
+    request->lifecycle.dispatch_tsc = 0;
+    request->lifecycle.first_run_tsc = 0;
+    request->lifecycle.finish_tsc = 0;
   }
-  {
-    std::lock_guard<std::mutex> lock(ingress_mu_);
-    if (ingress_.size() >= options_.ingress_capacity) {
-      std::lock_guard<std::mutex> pool_lock(pool_mu_);
-      request_free_list_.push_back(request);
-      return false;
-    }
-    ingress_.push_back(request);
+  if (!slot->ingress.TryPush(request)) {
+    // Ingress full: hand the request straight back to the local cache.
+    slot->local_free.push_back(request);
+    return false;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -219,18 +385,20 @@ telemetry::TelemetrySnapshot Runtime::GetTelemetry() const {
   if constexpr (!telemetry::kEnabled) {
     return snapshot;  // enabled=false, all zeros
   }
-  std::uint64_t ring_dropped = 0;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     snapshot.workers[w] = telemetry::WorkerSnapshot::Capture(workers_[w]->counters,
                                                              *dispatcher_worker_telemetry_[w]);
-    ring_dropped += workers_[w]->lifecycle_ring.dropped();
   }
+  // ring_dropped stays 0 by construction: lifecycles ride inside the request
+  // object through the outbox, so there is no ring that could overflow.
   snapshot.dispatcher = telemetry::DispatcherSnapshot::Capture(dispatcher_telemetry_);
-  // ring_dropped lives in the rings themselves; fold it into the snapshot.
-  snapshot.dispatcher.ring_dropped += ring_dropped;
   {
     std::lock_guard<std::mutex> lock(telemetry_mu_);
-    snapshot.lifecycles.assign(lifecycle_history_.begin(), lifecycle_history_.end());
+    snapshot.lifecycles.reserve(lifecycle_history_count_);
+    const std::size_t capacity = std::max<std::size_t>(lifecycle_history_.size(), 1);
+    for (std::size_t i = 0; i < lifecycle_history_count_; ++i) {
+      snapshot.lifecycles.push_back(lifecycle_history_[(lifecycle_history_head_ + i) % capacity]);
+    }
   }
   return snapshot;
 }
@@ -248,6 +416,61 @@ trace::TraceCapture Runtime::GetTrace() const {
   return capture;
 }
 
+void Runtime::BeginAllocationAudit() {
+  CONCORD_CHECK(started_.load() && !stop_.load())
+      << "allocation audit requires a running runtime";
+  CONCORD_CHECK(alloc_audit_epoch_.load(std::memory_order_relaxed) % 2 == 0)
+      << "allocation audit already armed";
+  alloc_audit_ops_.store(0, std::memory_order_relaxed);
+  alloc_audit_acks_.store(0, std::memory_order_relaxed);
+  alloc_audit_epoch_.fetch_add(1, std::memory_order_release);  // even -> odd: armed
+  const int loop_threads = options_.worker_count + 1;
+  while (alloc_audit_acks_.load(std::memory_order_acquire) < loop_threads) {
+    std::this_thread::yield();
+  }
+}
+
+std::uint64_t Runtime::EndAllocationAudit() {
+  CONCORD_CHECK(alloc_audit_epoch_.load(std::memory_order_relaxed) % 2 == 1)
+      << "allocation audit not armed";
+  alloc_audit_acks_.store(0, std::memory_order_relaxed);
+  alloc_audit_epoch_.fetch_add(1, std::memory_order_release);  // odd -> even: disarm
+  const int loop_threads = options_.worker_count + 1;
+  while (alloc_audit_acks_.load(std::memory_order_acquire) < loop_threads) {
+    std::this_thread::yield();
+  }
+  return alloc_audit_ops_.load(std::memory_order_acquire);
+}
+
+// Called once per loop pass on the dispatcher and every worker. One relaxed
+// load when no audit is active; during a window it folds the thread's
+// heap-operation delta into the shared total.
+void Runtime::PollAllocAudit(AllocAuditThreadState* state) {
+  const std::uint64_t epoch = alloc_audit_epoch_.load(std::memory_order_acquire);
+  if (epoch == state->epoch_seen) {
+    if ((epoch & 1) != 0) {
+      const std::uint64_t delta = ThreadAllocOps() - state->baseline;
+      if (delta != state->reported) {
+        alloc_audit_ops_.fetch_add(delta - state->reported, std::memory_order_relaxed);
+        state->reported = delta;
+      }
+    }
+    return;
+  }
+  // Window edge. Flush the closing armed window before re-baselining, so
+  // EndAllocationAudit's ack-wait doubles as the final-flush barrier.
+  if ((state->epoch_seen & 1) != 0) {
+    const std::uint64_t delta = ThreadAllocOps() - state->baseline;
+    if (delta != state->reported) {
+      alloc_audit_ops_.fetch_add(delta - state->reported, std::memory_order_relaxed);
+    }
+  }
+  state->epoch_seen = epoch;
+  state->baseline = ThreadAllocOps();
+  state->reported = 0;
+  alloc_audit_acks_.fetch_add(1, std::memory_order_release);
+}
+
 Fiber* Runtime::AcquireFiber() {
   if (!fiber_free_list_.empty()) {
     Fiber* fiber = fiber_free_list_.back();
@@ -260,6 +483,20 @@ Fiber* Runtime::AcquireFiber() {
 
 void Runtime::ReleaseFiber(Fiber* fiber) { fiber_free_list_.push_back(fiber); }
 
+void Runtime::RunHandlerTrampoline(void* arg) {
+  auto* request = static_cast<RuntimeRequest*>(arg);
+  request->runtime->callbacks_.handle_request(
+      RequestView{request->id, request->request_class, request->payload});
+}
+
+// Arms the request's fiber through the raw-pointer Reset: re-arming a pooled
+// fiber for a pooled request touches no allocator regardless of the standard
+// library's std::function small-object threshold.
+void Runtime::ArmRequestFiber(RuntimeRequest* request) {
+  request->fiber = AcquireFiber();
+  request->fiber->Reset(&Runtime::RunHandlerTrampoline, request);
+}
+
 void Runtime::CompleteRequest(RuntimeRequest* request, bool on_dispatcher) {
   if (callbacks_.on_complete) {
     callbacks_.on_complete(RequestView{request->id, request->request_class, request->payload},
@@ -267,36 +504,145 @@ void Runtime::CompleteRequest(RuntimeRequest* request, bool on_dispatcher) {
   }
   ReleaseFiber(request->fiber);
   request->fiber = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    request_free_list_.push_back(request);
-  }
+  // Recycle to the owning producer slot. Cannot fail: the recycle ring holds
+  // as many slots as the slab holds requests, and each request occupies at
+  // most one place at a time.
+  const bool recycled = request->home->recycle.TryPush(request);
+  CONCORD_CHECK(recycled) << "recycle ring overflow: slab/ring capacity invariant broken";
   if (on_dispatcher) {
-    dispatcher_completed_count_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::BumpSingleWriter(dispatcher_completed_count_);
   }
-  completed_.fetch_add(1, std::memory_order_release);
+  telemetry::BumpSingleWriter(completed_, 1, std::memory_order_release);
 }
 
+void Runtime::CentralPushBack(RuntimeRequest* request) {
+  request->next = nullptr;
+  if (central_tail_ == nullptr) {
+    central_head_ = request;
+  } else {
+    central_tail_->next = request;
+  }
+  central_tail_ = request;
+  ++central_size_;
+}
+
+Runtime::RuntimeRequest* Runtime::CentralPopFront() {
+  RuntimeRequest* request = central_head_;
+  if (request == nullptr) {
+    return nullptr;
+  }
+  central_head_ = request->next;
+  if (central_head_ == nullptr) {
+    central_tail_ = nullptr;
+  }
+  request->next = nullptr;
+  --central_size_;
+  return request;
+}
+
+// concord-lint: allow-no-probe (dispatcher-side bounded walk of the central queue)
 Runtime::RuntimeRequest* Runtime::TakeFirstUnstarted() {
-  for (auto it = central_.begin(); it != central_.end(); ++it) {
-    if (!(*it)->started) {
-      RuntimeRequest* request = *it;
-      central_.erase(it);
-      return request;
+  RuntimeRequest* prev = nullptr;
+  // concord-lint: allow-no-probe (dispatcher-side scan, bounded by central queue occupancy)
+  for (RuntimeRequest* cur = central_head_; cur != nullptr; prev = cur, cur = cur->next) {
+    if (cur->started) {
+      continue;
     }
+    if (prev == nullptr) {
+      central_head_ = cur->next;
+    } else {
+      prev->next = cur->next;
+    }
+    if (central_tail_ == cur) {
+      central_tail_ = prev;
+    }
+    cur->next = nullptr;
+    --central_size_;
+    return cur;
   }
   return nullptr;
 }
 
+// Adopts submitted requests from every registered producer ring, one batched
+// pop per ring per pass (round-robin across producers for fairness; the
+// batch bound caps per-producer burst).
+// concord-lint: allow-no-probe (dispatcher loop body; requests not yet running)
+void Runtime::DrainIngress(bool* progress) {
+  const std::size_t slot_count = producer_slot_count_.load(std::memory_order_acquire);
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by registered producer slots)
+  for (std::size_t s = 0; s < slot_count; ++s) {
+    ProducerSlot* slot = producer_slots_[s].load(std::memory_order_relaxed);
+    const std::size_t n = slot->ingress.TryPopBatch(ingress_scratch_.data(), kIngressDrainBatch);
+    if (n == 0) {
+      continue;
+    }
+    *progress = true;
+    std::uint64_t adopt_tsc = 0;
+    if constexpr (telemetry::kEnabled) {
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.ingress_batches);
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.ingress_drained, n);
+      if (n > dispatcher_telemetry_.max_ingress_batch.load(std::memory_order_relaxed)) {
+        dispatcher_telemetry_.max_ingress_batch.store(n, std::memory_order_relaxed);
+      }
+      if (tracing_) {
+        adopt_tsc = ReadTsc();
+      }
+    }
+    // concord-lint: allow-no-probe (dispatcher loop body; bounded by the drain batch size)
+    for (std::size_t i = 0; i < n; ++i) {
+      RuntimeRequest* request = ingress_scratch_[i];
+      CentralPushBack(request);
+      if constexpr (telemetry::kEnabled) {
+        if (tracing_) {
+          trace_scratch_.push_back(
+              trace::TraceRecord{request->id, request->arrival_tsc, adopt_tsc,
+                                 trace::RecordKind::kArrival, trace::kDispatcherTrack,
+                                 request->request_class, 0});
+        }
+      }
+    }
+  }
+}
+
 void Runtime::DrainOutboxes(bool* progress) {
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
   for (int w = 0; w < options_.worker_count; ++w) {
     WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
-    RuntimeRequest* request = nullptr;
-    while (shared.outbox.TryPop(&request)) {
-      *progress = true;
-      outstanding_[static_cast<std::size_t>(w)] -= 1;
-      CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(w)] >= 0)
-          << "worker " << w << " returned more requests than were dispatched";
+    // One batched pop retires every returned request with a single release
+    // store; the outbox holds at most 2k+8 entries, which the scratch covers.
+    const std::size_t n = shared.outbox.TryPopBatch(outbox_scratch_.data(),
+                                                    outbox_scratch_.size());
+    if (n == 0) {
+      continue;
+    }
+    *progress = true;
+    outstanding_[static_cast<std::size_t>(w)] -= static_cast<int>(n);
+    CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(w)] >= 0)
+        << "worker " << w << " returned more requests than were dispatched";
+    if constexpr (telemetry::kEnabled) {
+      // Adopt completed lifecycles before any request is recycled (the
+      // producer may reuse the slab object the instant it leaves here).
+      // The outbox pop's acquire pairs with the worker's release push, so
+      // the worker's lifecycle stamps are visible. One lock per batch.
+      std::uint64_t finished_n = 0;
+      // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
+      for (std::size_t i = 0; i < n; ++i) {
+        finished_n += outbox_scratch_[i]->finished ? 1u : 0u;
+      }
+      if (finished_n != 0) {
+        std::lock_guard<std::mutex> lock(telemetry_mu_);
+        telemetry::BumpSingleWriter(dispatcher_telemetry_.events_drained, finished_n);
+        // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
+        for (std::size_t i = 0; i < n; ++i) {
+          if (outbox_scratch_[i]->finished) {
+            AppendLifecycleLocked(outbox_scratch_[i]->lifecycle);
+          }
+        }
+      }
+    }
+    // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
+    for (std::size_t i = 0; i < n; ++i) {
+      RuntimeRequest* request = outbox_scratch_[i];
       // §3.3: self-preempted dispatcher requests are pinned; one must never
       // surface in a worker outbox.
       CONCORD_DCHECK(!request->on_dispatcher)
@@ -305,17 +651,27 @@ void Runtime::DrainOutboxes(bool* progress) {
         CompleteRequest(request, /*on_dispatcher=*/false);
       } else {
         // Preempted: back on the central queue tail (quantum round-robin).
-        preemptions_.fetch_add(1, std::memory_order_relaxed);
-        central_.push_back(request);
+        telemetry::BumpSingleWriter(preemptions_);
+        CentralPushBack(request);
       }
     }
   }
 }
 
+// concord-lint: allow-no-probe (dispatcher loop body; placement decisions only)
 void Runtime::PushJbsq(bool* progress) {
-  while (!central_.empty()) {
+  // Stage placements first — the argmin decisions are identical to pushing
+  // one at a time because outstanding_ is bumped at stage time — then
+  // publish each worker's refill with one batched ring push: one release
+  // store (and one coherence handshake with the worker, §3.2) per refill
+  // instead of one per request.
+  bool staged_any = false;
+  std::uint64_t pass_dispatch_tsc = 0;  // lazily stamped once per staging pass
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by central queue and jbsq capacity)
+  while (central_head_ != nullptr) {
     // Shortest queue with a free slot; ties to the lowest index.
     int best = -1;
+    // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
     for (int w = 0; w < options_.worker_count; ++w) {
       if (outstanding_[static_cast<std::size_t>(w)] >= options_.jbsq_depth) {
         continue;
@@ -326,54 +682,72 @@ void Runtime::PushJbsq(bool* progress) {
       }
     }
     if (best < 0) {
-      return;
+      break;
     }
-    RuntimeRequest* request = central_.front();
-    central_.pop_front();
+    RuntimeRequest* request = CentralPopFront();
     if (!request->started) {
-      request->fiber = AcquireFiber();
-      RuntimeRequest* captured = request;
-      request->fiber->Reset([this, captured] {
-        callbacks_.handle_request(
-            RequestView{captured->id, captured->request_class, captured->payload});
-      });
+      ArmRequestFiber(request);
       request->started = true;
     }
     CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(best)] < options_.jbsq_depth)
         << "JBSQ(k) bound about to be exceeded for worker " << best;
     if constexpr (telemetry::kEnabled) {
-      // Stamp before the push: past it, the worker owns the request.
-      const std::uint64_t dispatch_tsc = ReadTsc();
+      // Stamp before the publish below: past it, the worker owns the
+      // request. One TSC read covers the whole staging pass — placements in
+      // a pass are decided back to back, and the worker's first_run stamp is
+      // always taken after the batched publish, so ordering is preserved.
+      if (pass_dispatch_tsc == 0) {
+        pass_dispatch_tsc = ReadTsc();
+      }
       if (request->lifecycle.dispatch_tsc == 0) {
-        request->lifecycle.dispatch_tsc = dispatch_tsc;
+        request->lifecycle.dispatch_tsc = pass_dispatch_tsc;
       }
       if (tracing_) {
-        // detail = JBSQ occupancy right after this push; the offline
+        // detail = JBSQ occupancy right after this placement; the offline
         // analyzer checks it against k.
         trace_scratch_.push_back(trace::TraceRecord{
-            request->id, dispatch_tsc, 0, trace::RecordKind::kDispatch, best,
+            request->id, pass_dispatch_tsc, 0, trace::RecordKind::kDispatch, best,
             request->request_class,
             static_cast<std::uint32_t>(outstanding_[static_cast<std::size_t>(best)] + 1)});
       }
     }
-    const bool pushed = workers_[static_cast<std::size_t>(best)]->inbox.TryPush(request);
-    CONCORD_CHECK(pushed) << "JBSQ inbox overflow despite outstanding bound";
+    jbsq_stage_[static_cast<std::size_t>(best)].push_back(request);
     outstanding_[static_cast<std::size_t>(best)] += 1;
     if constexpr (telemetry::kEnabled) {
       telemetry::DispatcherWorkerCounters& counters =
           *dispatcher_worker_telemetry_[static_cast<std::size_t>(best)];
-      counters.jbsq_pushes.fetch_add(1, std::memory_order_relaxed);
+      telemetry::BumpSingleWriter(counters.jbsq_pushes);
       const auto inflight = static_cast<std::uint64_t>(outstanding_[static_cast<std::size_t>(best)]);
       if (inflight > counters.max_inflight.load(std::memory_order_relaxed)) {
         counters.max_inflight.store(inflight, std::memory_order_relaxed);
       }
     }
+    staged_any = true;
     *progress = true;
+  }
+  if (!staged_any) {
+    return;
+  }
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count and jbsq depth)
+  for (int w = 0; w < options_.worker_count; ++w) {
+    std::vector<RuntimeRequest*>& stage = jbsq_stage_[static_cast<std::size_t>(w)];
+    if (stage.empty()) {
+      continue;
+    }
+    const std::size_t pushed =
+        workers_[static_cast<std::size_t>(w)]->inbox.TryPushBatch(stage.data(), stage.size());
+    CONCORD_CHECK(pushed == stage.size()) << "JBSQ inbox overflow despite outstanding bound";
+    if constexpr (telemetry::kEnabled) {
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.jbsq_batches);
+    }
+    stage.clear();
   }
 }
 
+// concord-lint: allow-no-probe (dispatcher loop body; signal writes only)
 void Runtime::SendPreemptSignals() {
   const std::uint64_t now = ReadTsc();
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
   for (int w = 0; w < options_.worker_count; ++w) {
     WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
     // Handshake order matters: the worker publishes run_start_tsc *before*
@@ -390,7 +764,7 @@ void Runtime::SendPreemptSignals() {
       continue;
     }
     // Preemption only pays off when something else could run (§2/§3).
-    if (central_.empty() && outstanding_[static_cast<std::size_t>(w)] <= 1) {
+    if (central_head_ == nullptr && outstanding_[static_cast<std::size_t>(w)] <= 1) {
       continue;
     }
     // The worker may have finished the segment between the two loads; a
@@ -403,8 +777,8 @@ void Runtime::SendPreemptSignals() {
       // Count before the signal store: the worker can only honor (and count
       // a yield for) a request that is already accounted, so honored <=
       // requested holds for quiescent snapshots.
-      dispatcher_worker_telemetry_[static_cast<std::size_t>(w)]->preempt_signals_sent.fetch_add(
-          1, std::memory_order_relaxed);
+      telemetry::BumpSingleWriter(
+          dispatcher_worker_telemetry_[static_cast<std::size_t>(w)]->preempt_signals_sent);
     }
     shared.preempt_signal.word.store(generation, std::memory_order_release);
     signaled_generation_[static_cast<std::size_t>(w)] = generation;
@@ -420,6 +794,7 @@ void Runtime::SendPreemptSignals() {
   }
 }
 
+// concord-lint: allow-no-probe (dispatcher adoption path; the handler runs in a probed fiber)
 void Runtime::MaybeRunAppRequest() {
   if (dispatcher_request_ == nullptr) {
     if (!options_.work_conserving_dispatcher) {
@@ -435,21 +810,16 @@ void Runtime::MaybeRunAppRequest() {
     if (request == nullptr) {
       return;
     }
-    request->fiber = AcquireFiber();
-    RuntimeRequest* captured = request;
-    request->fiber->Reset([this, captured] {
-      callbacks_.handle_request(
-          RequestView{captured->id, captured->request_class, captured->payload});
-    });
+    ArmRequestFiber(request);
     request->started = true;
     request->on_dispatcher = true;
-    dispatcher_started_count_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::BumpSingleWriter(dispatcher_started_count_);
     if constexpr (telemetry::kEnabled) {
       const std::uint64_t dispatch_tsc = ReadTsc();
       if (request->lifecycle.dispatch_tsc == 0) {
         request->lifecycle.dispatch_tsc = dispatch_tsc;
       }
-      dispatcher_telemetry_.requests_started.fetch_add(1, std::memory_order_relaxed);
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.requests_started);
       if (tracing_) {
         // Adoption is the dispatcher-pinned analogue of a JBSQ push.
         trace_scratch_.push_back(trace::TraceRecord{request->id, dispatch_tsc, 0,
@@ -470,7 +840,7 @@ void Runtime::MaybeRunAppRequest() {
       dispatcher_request_->lifecycle.first_run_tsc = quantum_start_tsc;
       dispatcher_request_->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
     }
-    dispatcher_telemetry_.quanta_run.fetch_add(1, std::memory_order_relaxed);
+    telemetry::BumpSingleWriter(dispatcher_telemetry_.quanta_run);
   }
   t_dispatcher_probe_state.deadline_tsc = quantum_start_tsc + quantum_tsc_;
   const bool finished = dispatcher_request_->fiber->Run();
@@ -478,14 +848,14 @@ void Runtime::MaybeRunAppRequest() {
     // Probes only run on this thread inside dispatcher quanta, so folding
     // the thread-local here captures them all.
     const std::uint64_t probe_count = ProbeCount();
-    dispatcher_telemetry_.probe_polls.fetch_add(probe_count - dispatcher_probe_count_baseline_,
-                                                std::memory_order_relaxed);
+    telemetry::BumpSingleWriter(dispatcher_telemetry_.probe_polls,
+                                probe_count - dispatcher_probe_count_baseline_);
     dispatcher_probe_count_baseline_ = probe_count;
     const std::uint64_t segment_end_tsc = ReadTsc();
     if (finished) {
       dispatcher_request_->lifecycle.finish_tsc = segment_end_tsc;
       dispatcher_request_->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
-      dispatcher_telemetry_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.requests_completed);
       AppendLifecycle(dispatcher_request_->lifecycle);
     } else {
       dispatcher_request_->lifecycle.RecordPreemption(segment_end_tsc);
@@ -505,31 +875,6 @@ void Runtime::MaybeRunAppRequest() {
   }
   // Unfinished requests stay parked here: their instrumentation (and in the
   // real system, their code version) pins them to the dispatcher.
-}
-
-// Moves completed lifecycles out of the worker rings into the bounded
-// history. Called from the dispatcher loop; cheap when the rings are empty
-// (one acquire load per worker).
-void Runtime::DrainTelemetryRings() {
-  if constexpr (!telemetry::kEnabled) {
-    return;
-  }
-  for (auto& worker : workers_) {
-    telemetry_drain_scratch_.clear();
-    const std::size_t drained = worker->lifecycle_ring.Drain(&telemetry_drain_scratch_);
-    if (drained == 0) {
-      continue;
-    }
-    dispatcher_telemetry_.events_drained.fetch_add(drained, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(telemetry_mu_);
-    for (const telemetry::RequestLifecycle& lifecycle : telemetry_drain_scratch_) {
-      lifecycle_history_.push_back(lifecycle);
-    }
-    while (lifecycle_history_.size() > options_.telemetry_history_capacity) {
-      lifecycle_history_.pop_front();
-      dispatcher_telemetry_.history_dropped.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
 }
 
 // Flushes the dispatcher's batched trace records and moves worker-published
@@ -556,70 +901,71 @@ void Runtime::DrainTraceRings() {
 
 void Runtime::AppendLifecycle(const telemetry::RequestLifecycle& lifecycle) {
   std::lock_guard<std::mutex> lock(telemetry_mu_);
-  lifecycle_history_.push_back(lifecycle);
-  while (lifecycle_history_.size() > options_.telemetry_history_capacity) {
-    lifecycle_history_.pop_front();
-    dispatcher_telemetry_.history_dropped.fetch_add(1, std::memory_order_relaxed);
-  }
+  AppendLifecycleLocked(lifecycle);
 }
 
+// Circular append into the preallocated history (caller holds telemetry_mu_;
+// no container growth on any path).
+void Runtime::AppendLifecycleLocked(const telemetry::RequestLifecycle& lifecycle) {
+  const std::size_t capacity = lifecycle_history_.size();
+  if (capacity == 0) {
+    telemetry::BumpSingleWriter(dispatcher_telemetry_.history_dropped);
+    return;
+  }
+  if (lifecycle_history_count_ == capacity) {
+    // Full: overwrite the oldest. Wrap with a compare, not a modulo — the
+    // capacity is a runtime option, so % here would be an integer division
+    // on the dispatcher's per-completion path.
+    lifecycle_history_[lifecycle_history_head_] = lifecycle;
+    lifecycle_history_head_ = lifecycle_history_head_ + 1 == capacity ? 0 : lifecycle_history_head_ + 1;
+    telemetry::BumpSingleWriter(dispatcher_telemetry_.history_dropped);
+    return;
+  }
+  std::size_t tail = lifecycle_history_head_ + lifecycle_history_count_;
+  if (tail >= capacity) {
+    tail -= capacity;
+  }
+  lifecycle_history_[tail] = lifecycle;
+  ++lifecycle_history_count_;
+}
+
+// concord-lint: allow-no-probe (scheduler loop: probes belong to request code it runs)
 void Runtime::DispatcherLoop() {
   if (callbacks_.setup_worker) {
     callbacks_.setup_worker(-1);
   }
   SetProbeBinding(ProbeBinding{&DispatcherProbeFn, &t_dispatcher_probe_state});
+  AllocAuditThreadState audit;
   Backoff backoff;
+  // concord-lint: allow-no-probe (dispatcher main loop; request handlers run in probed fibers)
   while (!stop_.load(std::memory_order_acquire)) {
+    PollAllocAudit(&audit);
     bool progress = false;
-    // Ingress.
-    std::size_t adopted = 0;
-    {
-      std::lock_guard<std::mutex> lock(ingress_mu_);
-      while (!ingress_.empty()) {
-        central_.push_back(ingress_.front());
-        ingress_.pop_front();
-        progress = true;
-        ++adopted;
-      }
-    }
-    if constexpr (telemetry::kEnabled) {
-      if (tracing_ && adopted > 0) {
-        // Record arrivals outside the ingress lock (submitters never wait on
-        // the collector); the just-adopted requests are the central tail.
-        const std::uint64_t adopt_tsc = ReadTsc();
-        for (auto it = central_.end() - static_cast<std::ptrdiff_t>(adopted);
-             it != central_.end(); ++it) {
-          trace_scratch_.push_back(
-              trace::TraceRecord{(*it)->id, (*it)->arrival_tsc, adopt_tsc,
-                                 trace::RecordKind::kArrival, trace::kDispatcherTrack,
-                                 (*it)->request_class, 0});
-        }
-      }
-    }
+    DrainIngress(&progress);
     DrainOutboxes(&progress);
     PushJbsq(&progress);
     SendPreemptSignals();
     MaybeRunAppRequest();
     if (progress || dispatcher_request_ != nullptr) {
-      // Drain only on passes that moved work: a worker publishes its
-      // lifecycle/trace records immediately before the outbox push, so an
-      // idle pass has nothing new to collect — and skipping the (cheap but
-      // not free) empty-ring reads keeps the idle spin tight. The final
-      // drain below picks up anything published right before stop.
-      DrainTelemetryRings();
+      // Drain only on passes that moved work: a worker publishes its trace
+      // records immediately before the outbox push, so an idle pass has
+      // nothing new to collect — and skipping the (cheap but not free)
+      // empty-ring reads keeps the idle spin tight. The final drain below
+      // picks up anything published right before stop. (Lifecycles need no
+      // drain pass at all: DrainOutboxes adopts them with the request.)
       DrainTraceRings();
       backoff.Reset();
     } else {
       backoff.Idle();
     }
   }
-  // Final drain: events published between the last pass and the stop flag
-  // must still reach the history before the threads join.
-  DrainTelemetryRings();
+  // Final drain: trace records published between the last pass and the stop
+  // flag must still reach the collector before the threads join.
   DrainTraceRings();
   SetProbeBinding({});
 }
 
+// concord-lint: allow-no-probe (scheduler loop: probes belong to request code it runs)
 void Runtime::WorkerLoop(int worker_index) {
   if (callbacks_.setup_worker) {
     callbacks_.setup_worker(worker_index);
@@ -637,11 +983,20 @@ void Runtime::WorkerLoop(int worker_index) {
   std::uint64_t last_fiber_switches = telemetry::ThreadFiberSwitches();
   std::uint64_t idle_start_tsc = 0;
 
+  // Inbox drain buffer, sized to the JBSQ bound (allocated once at thread
+  // start, before any request runs).
+  std::vector<RuntimeRequest*> inbox_batch(static_cast<std::size_t>(options_.jbsq_depth));
+  AllocAuditThreadState audit;
+
   std::uint64_t generation = 0;
   Backoff backoff;
+  // concord-lint: allow-no-probe (worker main loop; request handlers run in probed fibers)
   while (!stop_.load(std::memory_order_acquire)) {
-    RuntimeRequest* request = nullptr;
-    if (!shared.inbox.TryPop(&request)) {
+    PollAllocAudit(&audit);
+    // One batched pop claims the whole refill the dispatcher published with
+    // one batched push: a single acquire/release pair per refill (§3.2).
+    const std::size_t batch_n = shared.inbox.TryPopBatch(inbox_batch.data(), inbox_batch.size());
+    if (batch_n == 0) {
       if constexpr (telemetry::kEnabled) {
         if (idle_start_tsc == 0) {
           idle_start_tsc = ReadTsc();
@@ -651,76 +1006,84 @@ void Runtime::WorkerLoop(int worker_index) {
       continue;
     }
     backoff.Reset();
-    const std::uint64_t segment_start_tsc = ReadTsc();
-    if constexpr (telemetry::kEnabled) {
-      if (idle_start_tsc != 0) {
-        counters.idle_cycles.fetch_add(segment_start_tsc - idle_start_tsc,
-                                       std::memory_order_relaxed);
-        idle_start_tsc = 0;
+    // concord-lint: allow-no-probe (worker loop body; bounded by jbsq inbox batch)
+    for (std::size_t b = 0; b < batch_n; ++b) {
+      RuntimeRequest* request = inbox_batch[b];
+      const std::uint64_t segment_start_tsc = ReadTsc();
+      if constexpr (telemetry::kEnabled) {
+        if (idle_start_tsc != 0) {
+          telemetry::BumpSingleWriter(counters.idle_cycles, segment_start_tsc - idle_start_tsc);
+          idle_start_tsc = 0;
+        }
+        if (request->lifecycle.first_run_tsc == 0) {
+          request->lifecycle.first_run_tsc = segment_start_tsc;
+          request->lifecycle.first_worker = worker_index;
+          telemetry::BumpSingleWriter(counters.requests_started);
+        }
+        telemetry::BumpSingleWriter(counters.segments_run);
       }
-      if (request->lifecycle.first_run_tsc == 0) {
-        request->lifecycle.first_run_tsc = segment_start_tsc;
-        request->lifecycle.first_worker = worker_index;
-        counters.requests_started.fetch_add(1, std::memory_order_relaxed);
-      }
-      counters.segments_run.fetch_add(1, std::memory_order_relaxed);
-    }
-    // New segment: clear any stale signal, publish start time then
-    // generation. The generation store is the release edge the dispatcher
-    // acquires, which guarantees it never pairs a fresh generation with a
-    // previous segment's start time (see SendPreemptSignals).
-    generation += 1;
-    probe_state.current_generation = generation;
-    shared.preempt_signal.word.store(0, std::memory_order_release);
-    shared.run_start_tsc.value.store(segment_start_tsc, std::memory_order_relaxed);
-    shared.generation.value.store(generation, std::memory_order_release);
+      // New segment: clear any stale signal, publish start time then
+      // generation. The generation store is the release edge the dispatcher
+      // acquires, which guarantees it never pairs a fresh generation with a
+      // previous segment's start time (see SendPreemptSignals).
+      generation += 1;
+      probe_state.current_generation = generation;
+      shared.preempt_signal.word.store(0, std::memory_order_release);
+      shared.run_start_tsc.value.store(segment_start_tsc, std::memory_order_relaxed);
+      shared.generation.value.store(generation, std::memory_order_release);
 
-    const bool finished = request->fiber->Run();
+      const bool finished = request->fiber->Run();
 
-    // Teardown mirrors the publish: retract the generation first so the
-    // dispatcher stops considering this segment before the start time resets.
-    shared.generation.value.store(0, std::memory_order_release);
-    shared.run_start_tsc.value.store(0, std::memory_order_release);
-    if constexpr (telemetry::kEnabled) {
-      const std::uint64_t segment_end_tsc = ReadTsc();
-      counters.busy_cycles.fetch_add(segment_end_tsc - segment_start_tsc,
-                                     std::memory_order_relaxed);
-      const std::uint64_t probe_count = ProbeCount();
-      counters.probe_polls.fetch_add(probe_count - last_probe_count, std::memory_order_relaxed);
-      last_probe_count = probe_count;
-      const std::uint64_t probe_yields = ProbeYieldCount();
-      counters.probe_yields.fetch_add(probe_yields - last_probe_yields,
-                                      std::memory_order_relaxed);
-      last_probe_yields = probe_yields;
-      const std::uint64_t fiber_switches = telemetry::ThreadFiberSwitches();
-      counters.fiber_switches.fetch_add(fiber_switches - last_fiber_switches,
-                                        std::memory_order_relaxed);
-      last_fiber_switches = fiber_switches;
-      if (finished) {
-        request->lifecycle.finish_tsc = segment_end_tsc;
-        request->lifecycle.completion_worker = worker_index;
-        counters.requests_completed.fetch_add(1, std::memory_order_relaxed);
-        // Published by value: the dispatcher may recycle the request the
-        // instant it pops the outbox below.
-        shared.lifecycle_ring.Push(request->lifecycle);
-      } else {
-        request->lifecycle.RecordPreemption(segment_end_tsc);
+      // Teardown mirrors the publish: retract the generation first so the
+      // dispatcher stops considering this segment before the start time resets.
+      shared.generation.value.store(0, std::memory_order_release);
+      shared.run_start_tsc.value.store(0, std::memory_order_release);
+      if constexpr (telemetry::kEnabled) {
+        const std::uint64_t segment_end_tsc = ReadTsc();
+        telemetry::BumpSingleWriter(counters.busy_cycles, segment_end_tsc - segment_start_tsc);
+        // Zero deltas (probe-free handlers) skip the counter write entirely.
+        const std::uint64_t probe_count = ProbeCount();
+        if (probe_count != last_probe_count) {
+          telemetry::BumpSingleWriter(counters.probe_polls, probe_count - last_probe_count);
+          last_probe_count = probe_count;
+        }
+        const std::uint64_t probe_yields = ProbeYieldCount();
+        if (probe_yields != last_probe_yields) {
+          telemetry::BumpSingleWriter(counters.probe_yields, probe_yields - last_probe_yields);
+          last_probe_yields = probe_yields;
+        }
+        const std::uint64_t fiber_switches = telemetry::ThreadFiberSwitches();
+        if (fiber_switches != last_fiber_switches) {
+          telemetry::BumpSingleWriter(counters.fiber_switches, fiber_switches - last_fiber_switches);
+          last_fiber_switches = fiber_switches;
+        }
+        if (finished) {
+          request->lifecycle.finish_tsc = segment_end_tsc;
+          request->lifecycle.completion_worker = worker_index;
+          telemetry::BumpSingleWriter(counters.requests_completed);
+          // No separate publish: the lifecycle rides inside the request, and
+          // the outbox push below is the release edge that hands the whole
+          // object (stamps included) to the dispatcher.
+        } else {
+          request->lifecycle.RecordPreemption(segment_end_tsc);
+        }
+        if (tracing_) {
+          // Published by value through the worker's seqlock trace ring; the
+          // dispatcher's drain attributes any overwritten slot exactly from
+          // the ring sequence numbers.
+          shared.trace_ring.Push(trace::TraceRecord{
+              request->id, segment_start_tsc, segment_end_tsc, trace::RecordKind::kSegment,
+              worker_index, request->request_class,
+              static_cast<std::uint32_t>(finished ? trace::SegmentEnd::kFinished
+                                                  : trace::SegmentEnd::kPreemptYield)});
+        }
       }
-      if (tracing_) {
-        // Published by value through the worker's seqlock trace ring; the
-        // dispatcher's drain attributes any overwritten slot exactly from
-        // the ring sequence numbers.
-        shared.trace_ring.Push(trace::TraceRecord{
-            request->id, segment_start_tsc, segment_end_tsc, trace::RecordKind::kSegment,
-            worker_index, request->request_class,
-            static_cast<std::uint32_t>(finished ? trace::SegmentEnd::kFinished
-                                                : trace::SegmentEnd::kPreemptYield)});
+      request->finished = finished;
+      Backoff push_backoff;
+      // concord-lint: allow-no-probe (bounded wait: dispatcher always drains the outbox)
+      while (!shared.outbox.TryPush(request)) {
+        push_backoff.Idle();
       }
-    }
-    request->finished = finished;
-    Backoff push_backoff;
-    while (!shared.outbox.TryPush(request)) {
-      push_backoff.Idle();  // dispatcher drains; bounded wait
     }
   }
   SetProbeBinding({});

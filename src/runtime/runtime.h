@@ -7,8 +7,16 @@
 // CONCORD_PROBE() (see instrument.h), which stands in for the LLVM pass.
 //
 // Data paths:
-//   submitters --(ingress queue)--> dispatcher --(per-worker SPSC inboxes,
-//   depth k)--> workers --(SPSC outboxes: finished + preempted)--> dispatcher
+//   submitters --(per-producer SPSC ingress rings)--> dispatcher
+//   --(per-worker SPSC inboxes, depth k)--> workers --(SPSC outboxes:
+//   finished + preempted)--> dispatcher --(per-producer SPSC recycle
+//   rings)--> submitters
+//
+// Ingress is lock-free: each submitting thread registers a ProducerSlot (an
+// ingress ring paired with a recycle ring and a preallocated request slab)
+// on first Submit(), and the dispatcher drains the registered slots
+// round-robin in batches. Submit() never takes a lock — not on the fast
+// path and not on the backpressure path (docs/runtime.md).
 //
 // Preemption: each worker publishes (generation, start timestamp) when it
 // begins running a request. The dispatcher monitors elapsed time and, when a
@@ -24,9 +32,9 @@
 #ifndef CONCORD_SRC_RUNTIME_RUNTIME_H_
 #define CONCORD_SRC_RUNTIME_RUNTIME_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -42,6 +50,10 @@
 #include "src/trace/trace_record.h"
 
 namespace concord {
+
+namespace internal {
+struct ProducerTlsState;
+}  // namespace internal
 
 // What the application's handler sees.
 struct RequestView {
@@ -61,11 +73,16 @@ class Runtime {
     // the host has too few cores).
     bool pin_threads = false;
     std::size_t fiber_stack_bytes = Fiber::kDefaultStackBytes;
+    // Per-producer-thread capacity: each submitting thread's ingress ring,
+    // recycle ring and request slab all hold this many requests, so a
+    // producer can have at most `ingress_capacity` requests in flight and a
+    // recycle push can never overflow.
     std::size_t ingress_capacity = 4096;
-    // Telemetry sizing (ignored when CONCORD_TELEMETRY=OFF): per-worker
-    // lifecycle ring slots and the bounded completed-request history the
-    // dispatcher maintains. Both drop oldest on overflow, with counters.
-    std::size_t telemetry_ring_capacity = 256;
+    // Telemetry sizing (ignored when CONCORD_TELEMETRY=OFF): the bounded
+    // completed-request history the dispatcher maintains. Drops oldest on
+    // overflow, with an exact counter. (Lifecycles need no ring of their
+    // own: the record rides inside the request object, whose ownership the
+    // outbox pop already transfers to the dispatcher.)
     std::size_t telemetry_history_capacity = 4096;
     // Scheduling-trace capture (docs/tracing.md). 0 disables tracing (the
     // default: no records, no rings, no collector); a positive value bounds
@@ -106,8 +123,13 @@ class Runtime {
   // Spawns the dispatcher and worker threads (calls setup callbacks).
   void Start();
 
-  // Enqueues a request. Thread-safe. Returns false when the ingress queue is
-  // full (open-loop callers drop or retry).
+  // Enqueues a request. Thread-safe and lock-free: the calling thread's
+  // producer slot is claimed on first use (the only Submit path that can
+  // take a lock, and only for brand-new slot creation — never a lock the
+  // dispatcher holds). Returns false on backpressure — this thread's ingress
+  // ring is full or its request slab is exhausted — without blocking and
+  // without touching any dispatcher-shared lock (open-loop callers drop or
+  // retry).
   bool Submit(std::uint64_t id, int request_class, void* payload);
 
   // Blocks until every submitted request has completed.
@@ -138,7 +160,21 @@ class Runtime {
   // Measured TSC frequency used for quantum arithmetic.
   double tsc_ghz() const { return tsc_ghz_; }
 
+  // Allocation-audit window (test hook; docs/runtime.md). Begin baselines a
+  // per-thread heap-operation counter on the dispatcher and every worker,
+  // End returns how many heap operations those threads performed inside the
+  // window. Reads 0 unless the test binary installed counting operator
+  // new/delete replacements that call NoteAllocOp() (common/alloc_hooks.h).
+  // Both block until every loop thread has acknowledged the window edge, so
+  // they must be called between Start() and Shutdown(), from one thread at
+  // a time, never from a runtime callback.
+  void BeginAllocationAudit();
+  std::uint64_t EndAllocationAudit();
+
  private:
+  struct ProducerSlot;
+  friend struct internal::ProducerTlsState;
+
   struct RuntimeRequest {
     std::uint64_t id = 0;
     int request_class = 0;
@@ -148,25 +184,60 @@ class Runtime {
     bool started = false;
     bool on_dispatcher = false;
     bool finished = false;
+    // Intrusive link for the dispatcher's central FIFO: requests queue by
+    // threading this pointer, so steady-state dispatch never touches a
+    // node-allocating container.
+    RuntimeRequest* next = nullptr;
+    // The producer slot whose slab owns this request; completions recycle
+    // the request to home->recycle. Fixed at slab construction.
+    ProducerSlot* home = nullptr;
+    // Owning runtime, for the zero-allocation fiber trampoline. Fixed at
+    // slab construction.
+    Runtime* runtime = nullptr;
     // Lifecycle telemetry. Plain fields: every stamp is written by the
     // thread that exclusively owns the request at that moment, and ownership
     // hands over through release/acquire ring operations.
     telemetry::RequestLifecycle lifecycle;
   };
 
+  // One submitting thread's lock-free lane into the runtime. The submitter
+  // owns the ingress producer endpoint, the recycle consumer endpoint and
+  // local_free; the dispatcher owns the ingress consumer endpoint and the
+  // recycle producer endpoint. The slab, recycle ring and ingress ring all
+  // have the same capacity, so every slab request always has a place to be:
+  // in local_free, in the ingress ring, owned by the dispatcher/workers, or
+  // in the recycle ring. A slot whose thread exits is released (claim -> 0)
+  // and adopted by the next new submitter.
+  struct ProducerSlot {
+    ProducerSlot(Runtime* owner, std::size_t capacity) : ingress(capacity), recycle(capacity) {
+      slab.reserve(capacity);
+      local_free.reserve(capacity);
+      for (std::size_t i = 0; i < capacity; ++i) {
+        slab.push_back(std::make_unique<RuntimeRequest>());
+        slab.back()->home = this;
+        slab.back()->runtime = owner;
+        local_free.push_back(slab.back().get());
+      }
+    }
+    SpscRing<RuntimeRequest*> ingress;  // submitter -> dispatcher
+    SpscRing<RuntimeRequest*> recycle;  // dispatcher -> submitter
+    // 0 when unclaimed; otherwise the claiming thread's id hash. Claimed
+    // with an acquire CAS that pairs with the release store in the exiting
+    // thread's TLS destructor, which also hands over local_free.
+    std::atomic<std::size_t> claim{0};
+    std::vector<std::unique_ptr<RuntimeRequest>> slab;
+    std::vector<RuntimeRequest*> local_free;  // submitter-owned free cache
+  };
+
   struct WorkerShared {
-    WorkerShared(std::size_t depth, std::size_t telemetry_ring_capacity,
-                 std::size_t trace_ring_capacity)
-        : inbox(depth),
-          outbox(2 * depth + 8),
-          lifecycle_ring(telemetry_ring_capacity),
-          trace_ring(trace_ring_capacity) {}
+    WorkerShared(std::size_t depth, std::size_t trace_ring_capacity)
+        : inbox(depth), outbox(2 * depth + 8), trace_ring(trace_ring_capacity) {}
     SpscRing<RuntimeRequest*> inbox;
     SpscRing<RuntimeRequest*> outbox;
-    // Worker-written telemetry counters (own cache lines) and the lock-free
-    // lifecycle ring the dispatcher drains (overwrite-oldest on overflow).
+    // Worker-written telemetry counters (own cache lines). Completed
+    // lifecycles travel inside the request object through the outbox, so
+    // no separate lifecycle ring exists.
     telemetry::WorkerCounters counters;
-    telemetry::EventRing<telemetry::RequestLifecycle> lifecycle_ring;
     // Worker-published run-segment records for the scheduling trace (1-slot
     // placeholder when tracing is off). Same seqlock discipline as the
     // lifecycle ring; sequences give the collector exact loss counts.
@@ -180,49 +251,88 @@ class Runtime {
     CacheLineAligned<std::atomic<std::uint64_t>> run_start_tsc{};
   };
 
-  class WorkerThread;
+  // Per-loop-thread allocation-audit state (see BeginAllocationAudit).
+  struct AllocAuditThreadState {
+    std::uint64_t epoch_seen = 0;
+    std::uint64_t baseline = 0;
+    std::uint64_t reported = 0;
+  };
 
   void DispatcherLoop();
   void WorkerLoop(int worker_index);
+  void DrainIngress(bool* progress);
   void DrainOutboxes(bool* progress);
   void PushJbsq(bool* progress);
   void SendPreemptSignals();
   void MaybeRunAppRequest();
-  void DrainTelemetryRings();
   void DrainTraceRings();
   void AppendLifecycle(const telemetry::RequestLifecycle& lifecycle);
+  void AppendLifecycleLocked(const telemetry::RequestLifecycle& lifecycle);
   void CompleteRequest(RuntimeRequest* request, bool on_dispatcher);
   RuntimeRequest* TakeFirstUnstarted();
+  void CentralPushBack(RuntimeRequest* request);
+  RuntimeRequest* CentralPopFront();
+  ProducerSlot* AcquireProducerSlot();
+  ProducerSlot* ProducerSlotForThisThread();
+  void ArmRequestFiber(RuntimeRequest* request);
+  static void RunHandlerTrampoline(void* arg);
+  void PollAllocAudit(AllocAuditThreadState* state);
   Fiber* AcquireFiber();
   void ReleaseFiber(Fiber* fiber);
 
   static double MeasureTscGhz();
 
+  // Registered-producer bound. A slot is one submitting thread's lane;
+  // exited threads' slots are reused, so this bounds *concurrent*
+  // submitters, not submitters ever.
+  static constexpr std::size_t kMaxProducerSlots = 256;
+  // Requests adopted from one producer ring per dispatcher pass; bounds both
+  // the scratch buffer and per-producer burst unfairness.
+  static constexpr std::size_t kIngressDrainBatch = 128;
+
   Options options_;
   Callbacks callbacks_;
   double tsc_ghz_ = 0.0;
   std::uint64_t quantum_tsc_ = 0;
+  std::uint64_t instance_id_ = 0;  // distinguishes reuses of this address in TLS caches
 
-  // Ingress: multi-producer, consumed by the dispatcher.
-  std::mutex ingress_mu_;
-  std::deque<RuntimeRequest*> ingress_;
+  // Producer slots. producers_mu_ serializes slot *creation* only — claims
+  // of released slots are a lock-free CAS, and the dispatcher never takes
+  // this lock. The atomic pointer array (published before the count, which
+  // is released after) lets the dispatcher discover slots without locks.
+  std::mutex producers_mu_;
+  std::vector<std::unique_ptr<ProducerSlot>> producer_storage_;
+  std::array<std::atomic<ProducerSlot*>, kMaxProducerSlots> producer_slots_;
+  std::atomic<std::size_t> producer_slot_count_{0};
 
-  // Dispatcher-owned state.
-  std::deque<RuntimeRequest*> central_;
+  // Dispatcher-owned state. The central queue is an intrusive FIFO through
+  // RuntimeRequest::next: empty <=> head == tail == nullptr.
+  RuntimeRequest* central_head_ = nullptr;
+  RuntimeRequest* central_tail_ = nullptr;
+  std::size_t central_size_ = 0;
   std::vector<std::unique_ptr<WorkerShared>> workers_;
   std::vector<int> outstanding_;        // per worker, dispatcher-owned
   std::vector<std::uint64_t> signaled_generation_;  // last preempt signal sent
   RuntimeRequest* dispatcher_request_ = nullptr;
 
+  // Dispatcher-owned preallocated scratch (sized at Start; never grown on
+  // the hot path): ingress drain batch, outbox drain batch, and per-worker
+  // JBSQ staging used to publish each refill with one batched ring push.
+  std::vector<RuntimeRequest*> ingress_scratch_;
+  std::vector<RuntimeRequest*> outbox_scratch_;
+  std::vector<std::vector<RuntimeRequest*>> jbsq_stage_;
+
   // Telemetry: dispatcher-written per-worker blocks (kept apart from the
   // worker-written WorkerCounters so the two writers never share a line),
-  // dispatcher globals, and the bounded completed-lifecycle history.
+  // dispatcher globals, and the bounded completed-lifecycle history (a
+  // preallocated circular buffer: head is the oldest entry).
   std::vector<std::unique_ptr<telemetry::DispatcherWorkerCounters>> dispatcher_worker_telemetry_;
   telemetry::DispatcherCounters dispatcher_telemetry_;
   std::uint64_t dispatcher_probe_count_baseline_ = 0;  // dispatcher-owned fold state
-  std::vector<telemetry::RequestLifecycle> telemetry_drain_scratch_;
-  mutable std::mutex telemetry_mu_;  // guards lifecycle_history_
-  std::deque<telemetry::RequestLifecycle> lifecycle_history_;
+  mutable std::mutex telemetry_mu_;  // guards lifecycle_history_*
+  std::vector<telemetry::RequestLifecycle> lifecycle_history_;
+  std::size_t lifecycle_history_head_ = 0;
+  std::size_t lifecycle_history_count_ = 0;
 
   // Scheduling-trace capture (null unless tracing_; see Options).
   bool tracing_ = false;
@@ -231,12 +341,15 @@ class Runtime {
   // loop pass and reach the collector in one AppendAll per pass.
   std::vector<trace::TraceRecord> trace_scratch_;
 
-  // Request / fiber pools (dispatcher-owned after start).
-  std::mutex pool_mu_;  // guards request pool for Submit()
-  std::vector<std::unique_ptr<RuntimeRequest>> request_storage_;
-  std::vector<RuntimeRequest*> request_free_list_;
+  // Fiber pool (dispatcher-owned after start; grows to the in-flight
+  // high-water mark, then steady state reuses).
   std::vector<std::unique_ptr<Fiber>> fiber_storage_;
   std::vector<Fiber*> fiber_free_list_;
+
+  // Allocation-audit window (see BeginAllocationAudit): odd epoch = armed.
+  std::atomic<std::uint64_t> alloc_audit_epoch_{0};
+  std::atomic<std::uint64_t> alloc_audit_ops_{0};
+  std::atomic<int> alloc_audit_acks_{0};
 
   std::vector<std::thread> threads_;
   std::atomic<bool> started_{false};

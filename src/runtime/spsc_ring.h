@@ -60,6 +60,28 @@ class SpscRing {
     return true;
   }
 
+  // Producer side, batched: appends up to `count` values and publishes them
+  // all with a *single* release store of the head index. A JBSQ(k) refill or
+  // an outbox flush of n elements therefore costs one acquire (the free-slot
+  // check) and one release, not n of each — the per-element handshake this
+  // ring exists to avoid (§3.2) shrinks by the batch factor. Returns how
+  // many were pushed (0 when full; may be < count when nearly full).
+  std::size_t TryPushBatch(const T* values, std::size_t count) {
+    AssertRole(&producer_tid_, "producer");
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.value.load(std::memory_order_acquire);
+    const std::size_t free_slots = capacity_ - ((head - tail) & mask_);
+    const std::size_t n = count < free_slots ? count : free_slots;
+    if (n == 0) {
+      return 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(head + i) & mask_] = values[i];
+    }
+    head_.value.store((head + n) & mask_, std::memory_order_release);
+    return n;
+  }
+
   // Consumer side. Returns false when empty.
   bool TryPop(T* out) {
     AssertRole(&consumer_tid_, "consumer");
@@ -70,6 +92,42 @@ class SpscRing {
     *out = std::move(slots_[tail]);
     tail_.value.store((tail + 1) & mask_, std::memory_order_release);
     return true;
+  }
+
+  // Consumer side, batched: moves up to `max_count` values into `out` and
+  // retires them all with a single release store of the tail index. The
+  // mirror of TryPushBatch: the consumer's acquire load of head admits the
+  // whole batch at once. Returns how many were popped (0 when empty).
+  std::size_t TryPopBatch(T* out, std::size_t max_count) {
+    AssertRole(&consumer_tid_, "consumer");
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    const std::size_t head = head_.value.load(std::memory_order_acquire);
+    const std::size_t available = (head - tail) & mask_;
+    const std::size_t n = max_count < available ? max_count : available;
+    if (n == 0) {
+      return 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    tail_.value.store((tail + n) & mask_, std::memory_order_release);
+    return n;
+  }
+
+  // Debug-only: forgets an endpoint's thread pin so the *next* thread to use
+  // it becomes the owner. Call exactly when endpoint ownership is handed to
+  // another thread through an external synchronization edge — e.g. an
+  // ingress slot released by an exiting producer thread and claimed by a new
+  // one (runtime.cc). Release builds compile these to nothing.
+  void ResetProducerRole() {
+#ifndef NDEBUG
+    producer_tid_.store(0, std::memory_order_relaxed);
+#endif
+  }
+  void ResetConsumerRole() {
+#ifndef NDEBUG
+    consumer_tid_.store(0, std::memory_order_relaxed);
+#endif
   }
 
   // Approximate occupancy, always in [0, capacity]. Exact when called by

@@ -38,6 +38,11 @@ DispatcherSnapshot DispatcherSnapshot::Capture(const DispatcherCounters& counter
   snapshot.events_drained = Load(counters.events_drained);
   snapshot.ring_dropped = Load(counters.ring_dropped);
   snapshot.history_dropped = Load(counters.history_dropped);
+  snapshot.ingress_batches = Load(counters.ingress_batches);
+  snapshot.ingress_drained = Load(counters.ingress_drained);
+  snapshot.max_ingress_batch = Load(counters.max_ingress_batch);
+  snapshot.jbsq_batches = Load(counters.jbsq_batches);
+  snapshot.producer_slots = Load(counters.producer_slots);
   return snapshot;
 }
 
@@ -88,6 +93,11 @@ TelemetrySnapshot TelemetrySnapshot::Diff(const TelemetrySnapshot& before,
   diff.dispatcher.events_drained -= before.dispatcher.events_drained;
   diff.dispatcher.ring_dropped -= before.dispatcher.ring_dropped;
   diff.dispatcher.history_dropped -= before.dispatcher.history_dropped;
+  diff.dispatcher.ingress_batches -= before.dispatcher.ingress_batches;
+  diff.dispatcher.ingress_drained -= before.dispatcher.ingress_drained;
+  diff.dispatcher.jbsq_batches -= before.dispatcher.jbsq_batches;
+  // max_ingress_batch and producer_slots are high-water marks: keep the
+  // later value rather than subtracting.
   return diff;
 }
 
@@ -192,6 +202,11 @@ std::string TelemetrySnapshot::ToJson() const {
   dispatcher_object.Set("events_drained", JsonValue::MakeUint(dispatcher.events_drained));
   dispatcher_object.Set("ring_dropped", JsonValue::MakeUint(dispatcher.ring_dropped));
   dispatcher_object.Set("history_dropped", JsonValue::MakeUint(dispatcher.history_dropped));
+  dispatcher_object.Set("ingress_batches", JsonValue::MakeUint(dispatcher.ingress_batches));
+  dispatcher_object.Set("ingress_drained", JsonValue::MakeUint(dispatcher.ingress_drained));
+  dispatcher_object.Set("max_ingress_batch", JsonValue::MakeUint(dispatcher.max_ingress_batch));
+  dispatcher_object.Set("jbsq_batches", JsonValue::MakeUint(dispatcher.jbsq_batches));
+  dispatcher_object.Set("producer_slots", JsonValue::MakeUint(dispatcher.producer_slots));
   root.Set("dispatcher", std::move(dispatcher_object));
 
   JsonValue lifecycle_array = JsonValue::MakeArray();
@@ -229,6 +244,11 @@ bool TelemetrySnapshot::FromJson(const std::string& json, TelemetrySnapshot* out
     out->dispatcher.events_drained = dispatcher->GetUint("events_drained");
     out->dispatcher.ring_dropped = dispatcher->GetUint("ring_dropped");
     out->dispatcher.history_dropped = dispatcher->GetUint("history_dropped");
+    out->dispatcher.ingress_batches = dispatcher->GetUint("ingress_batches");
+    out->dispatcher.ingress_drained = dispatcher->GetUint("ingress_drained");
+    out->dispatcher.max_ingress_batch = dispatcher->GetUint("max_ingress_batch");
+    out->dispatcher.jbsq_batches = dispatcher->GetUint("jbsq_batches");
+    out->dispatcher.producer_slots = dispatcher->GetUint("producer_slots");
   }
   out->lifecycles.clear();
   if (const JsonValue* lifecycles = root.Get("lifecycles");

@@ -53,6 +53,17 @@ inline constexpr bool kEnabled = CONCORD_TELEMETRY_ENABLED != 0;
 // Counter blocks
 // ---------------------------------------------------------------------------
 
+// Bump for a counter with exactly one writer thread (or writes serialized by
+// a mutex): a relaxed load+store compiles to a plain add, where fetch_add
+// emits a lock-prefixed RMW — a full fence and ~20 cycles on x86, paid per
+// request on the hot path. Readers snapshot concurrently with relaxed loads;
+// with a single writer no increment can be lost. Pass a release order for
+// counters whose readers acquire them as a publication edge.
+inline void BumpSingleWriter(std::atomic<std::uint64_t>& counter, std::uint64_t delta = 1,
+                             std::memory_order store_order = std::memory_order_relaxed) {
+  counter.store(counter.load(std::memory_order_relaxed) + delta, store_order);
+}
+
 // Worker-written counters. One block per worker, each on its own cache
 // line(s), written exclusively by the owning worker thread (relaxed
 // increments on an L1-resident line: no coherence traffic with the
@@ -82,9 +93,16 @@ struct alignas(kCacheLineSize) DispatcherCounters {
   std::atomic<std::uint64_t> quanta_run{0};         // work-conserving quanta executed (§3.3)
   std::atomic<std::uint64_t> requests_started{0};   // requests adopted by the dispatcher
   std::atomic<std::uint64_t> requests_completed{0};  // adopted requests retired
-  std::atomic<std::uint64_t> events_drained{0};     // lifecycle events read from worker rings
-  std::atomic<std::uint64_t> ring_dropped{0};       // events lost in worker rings
+  std::atomic<std::uint64_t> events_drained{0};  // worker-completed lifecycles adopted (outbox)
+  std::atomic<std::uint64_t> ring_dropped{0};    // always 0: lifecycles ride inside the request
   std::atomic<std::uint64_t> history_dropped{0};    // events evicted from the bounded history
+  // Lock-free batched ingress (docs/runtime.md). Conservation identity once
+  // quiescent: ingress_drained == total requests ever accepted by Submit().
+  std::atomic<std::uint64_t> ingress_batches{0};    // non-empty producer-ring drains
+  std::atomic<std::uint64_t> ingress_drained{0};    // requests adopted from ingress rings
+  std::atomic<std::uint64_t> max_ingress_batch{0};  // high-water single-drain size
+  std::atomic<std::uint64_t> jbsq_batches{0};       // batched inbox publishes (>= 1 request)
+  std::atomic<std::uint64_t> producer_slots{0};     // high-water registered submitter slots
 };
 
 // ---------------------------------------------------------------------------
@@ -150,6 +168,11 @@ struct DispatcherSnapshot {
   std::uint64_t events_drained = 0;
   std::uint64_t ring_dropped = 0;
   std::uint64_t history_dropped = 0;
+  std::uint64_t ingress_batches = 0;
+  std::uint64_t ingress_drained = 0;
+  std::uint64_t max_ingress_batch = 0;  // high-water, not summable
+  std::uint64_t jbsq_batches = 0;
+  std::uint64_t producer_slots = 0;  // high-water, not summable
 
   static DispatcherSnapshot Capture(const DispatcherCounters& counters);
 };
