@@ -12,7 +12,7 @@
 namespace concord {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
   PrintFigureHeader("Figure 6",
                     "p99.9 slowdown vs load, Bimodal(50:1, 50:100) us, 14 workers",
                     "Concord sustains ~18% more load than Shinjuku at the 50x SLO for q=5us "
@@ -21,7 +21,7 @@ void Run() {
   const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalYcsb);
   const CostModel costs = DefaultCosts();
   ExperimentParams params;
-  params.request_count = BenchRequestCount();
+  params.request_count = BenchRequestCount(100000, argc, argv);
 
   for (double q_us : {5.0, 2.0}) {
     std::cout << "--- scheduling quantum " << q_us << " us ---\n";
@@ -34,12 +34,17 @@ void Run() {
     PrintSloCrossovers(systems, costs, *spec.distribution, 20.0, 290.0, params,
                        /*baseline_index=*/1);
   }
+
+  // Same mix on the real runtime: every second request is the 100us mode,
+  // open-loop at ~25 krps against ~39.6 krps of 2-worker capacity.
+  RunLivePolicyComparison(/*quantum_us=*/5.0, /*short_us=*/1.0, /*long_us=*/100.0,
+                          /*long_every=*/2, /*request_count=*/5000, /*gap_us=*/40.0, argc, argv);
 }
 
 }  // namespace
 }  // namespace concord
 
-int main() {
-  concord::Run();
+int main(int argc, char** argv) {
+  concord::Run(argc, argv);
   return 0;
 }

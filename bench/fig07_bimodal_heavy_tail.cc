@@ -11,7 +11,7 @@
 namespace concord {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
   PrintFigureHeader("Figure 7",
                     "p99.9 slowdown vs load, Bimodal(99.5:0.5, 0.5:500) us, 14 workers",
                     "Concord sustains ~20% more load than Shinjuku at the 50x SLO for q=5us "
@@ -20,7 +20,7 @@ void Run() {
   const WorkloadSpec spec = MakeWorkload(WorkloadId::kBimodalUsr);
   const CostModel costs = DefaultCosts();
   ExperimentParams params;
-  params.request_count = BenchRequestCount();
+  params.request_count = BenchRequestCount(100000, argc, argv);
 
   for (double q_us : {5.0, 2.0}) {
     std::cout << "--- scheduling quantum " << q_us << " us ---\n";
@@ -33,12 +33,19 @@ void Run() {
     PrintSloCrossovers(systems, costs, *spec.distribution, 100.0, 3750.0, params,
                        /*baseline_index=*/1);
   }
+
+  // Same heavy tail on the real runtime: 1-in-200 requests run the 500us
+  // mode (3.0us mean), open-loop at ~333 krps against ~667 krps of 2-worker
+  // capacity — the shape that separates preemptive from FCFS policies.
+  RunLivePolicyComparison(/*quantum_us=*/5.0, /*short_us=*/0.5, /*long_us=*/500.0,
+                          /*long_every=*/200, /*request_count=*/20000, /*gap_us=*/3.0, argc,
+                          argv);
 }
 
 }  // namespace
 }  // namespace concord
 
-int main() {
-  concord::Run();
+int main(int argc, char** argv) {
+  concord::Run(argc, argv);
   return 0;
 }

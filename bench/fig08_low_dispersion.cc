@@ -12,7 +12,7 @@
 namespace concord {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
   PrintFigureHeader("Figure 8",
                     "p99.9 slowdown vs load for Fixed(1us) and TPCC, 14 workers",
                     "Fixed(1): all three systems saturate together (dispatcher/networker "
@@ -21,7 +21,7 @@ void Run() {
 
   const CostModel costs = DefaultCosts();
   ExperimentParams params;
-  params.request_count = BenchRequestCount();
+  params.request_count = BenchRequestCount(100000, argc, argv);
 
   {
     std::cout << "--- Fixed(1us), quantum 5us ---\n";
@@ -45,12 +45,18 @@ void Run() {
     RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(100.0, 725.0, 10), params);
     PrintSloCrossovers(systems, costs, *spec.distribution, 50.0, 740.0, params, 1);
   }
+
+  // Fixed(1us) on the real runtime: no long mode at all, so preemption
+  // cannot help — the paper's expectation is all three policies tracking
+  // each other, Concord paying no penalty for its probes.
+  RunLivePolicyComparison(/*quantum_us=*/5.0, /*short_us=*/1.0, /*long_us=*/1.0,
+                          /*long_every=*/0, /*request_count=*/10000, /*gap_us=*/4.0, argc, argv);
 }
 
 }  // namespace
 }  // namespace concord
 
-int main() {
-  concord::Run();
+int main(int argc, char** argv) {
+  concord::Run(argc, argv);
   return 0;
 }

@@ -1,12 +1,16 @@
 #include "bench/figure_common.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "src/runtime/runtime.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/stats/slowdown.h"
 #include "src/stats/table.h"
 #include "src/telemetry/export.h"
 #include "src/trace/chrome_trace.h"
@@ -14,15 +18,15 @@
 
 namespace concord {
 
-std::size_t BenchRequestCount(std::size_t default_count) {
-  const char* env = std::getenv("CONCORD_BENCH_REQUESTS");
-  if (env != nullptr) {
-    const long value = std::atol(env);
-    if (value > 0) {
-      return static_cast<std::size_t>(value);
-    }
-  }
-  return default_count;
+std::size_t BenchRequestCount(std::size_t default_count, int argc, char** argv) {
+  const long long value = telemetry::IntFromFlagOrEnv(argc, argv, "--requests=",
+                                                      "CONCORD_BENCH_REQUESTS",
+                                                      static_cast<long long>(default_count));
+  return value > 0 ? static_cast<std::size_t>(value) : default_count;
+}
+
+RuntimeSelection BenchSelection(int argc, char** argv) {
+  return SelectionFromArgsOrEnv(argc, argv);
 }
 
 void PrintFigureHeader(const std::string& figure, const std::string& description,
@@ -85,19 +89,23 @@ telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double serv
                                                   char** argv) {
   const std::string trace_path = telemetry::TraceOutPath(argc, argv);
   const std::string metrics_path = telemetry::MetricsOutPath(argc, argv);
-  Runtime::Options options;
-  options.worker_count = worker_count;
-  options.quantum_us = quantum_us;
-  options.jbsq_depth = 2;
+  const RuntimeSelection selection = BenchSelection(argc, argv);
+  ShardedRuntime::Options options;
+  options.shard.worker_count = worker_count;
+  options.shard.quantum_us = quantum_us;
+  options.shard.jbsq_depth = 2;
+  options.shard.policy = selection.policy;
+  options.shard_count = selection.shard_count;
+  options.placement = selection.placement;
   if (!trace_path.empty()) {
     // Bounded but generous: ~4 records/request for typical live sections, so
     // even the largest figure run fits with zero drops (any excess is
     // exactly counted and reported by concord_trace).
-    options.trace_buffer_capacity = std::size_t{1} << 18;
+    options.shard.trace_buffer_capacity = std::size_t{1} << 18;
   }
   Runtime::Callbacks callbacks;
   callbacks.handle_request = [service_us](const RequestView&) { SpinWithProbesUs(service_us); };
-  Runtime runtime(options, callbacks);
+  ShardedRuntime runtime(options, callbacks);
   runtime.Start();
   std::unique_ptr<trace::MetricsSampler> sampler;
   if (!metrics_path.empty()) {
@@ -125,11 +133,86 @@ telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double serv
   }
   runtime.Shutdown();
   if (!trace_path.empty()) {
-    // After Shutdown the dispatcher's final ring drain has run: the capture
-    // is complete up to its exactly-counted drops.
-    trace::WriteChromeTrace(runtime.GetTrace(), trace_path);
+    // After Shutdown the dispatchers' final ring drains have run: every
+    // capture is complete up to its exactly-counted drops. One file per
+    // shard ("out.json" -> "out.shard1.json"...), each independently
+    // checkable by concord_trace; single-shard keeps the plain path.
+    for (int s = 0; s < runtime.shard_count(); ++s) {
+      trace::WriteChromeTrace(
+          runtime.GetShardTrace(s),
+          telemetry::ShardedOutPath(trace_path, s, runtime.shard_count()));
+    }
   }
   return snapshot;
+}
+
+// concord-lint: allow-no-probe (bench harness; drives the runtime from the main thread)
+void RunLivePolicyComparison(double quantum_us, double short_us, double long_us, int long_every,
+                             int request_count, double gap_us, int argc, char** argv) {
+  const RuntimeSelection selection = BenchSelection(argc, argv);
+  std::cout << "--- live policy head-to-head (real runtime, host-scaled: 2 workers/shard, "
+            << selection.shard_count << " shard" << (selection.shard_count == 1 ? "" : "s")
+            << ", q=" << quantum_us << "us) ---\n";
+  TablePrinter table({"policy", "completed", "p50_slowdown", "p99_slowdown", "p999_slowdown"});
+  for (PolicyKind policy : {PolicyKind::kFcfsNonPreemptive, PolicyKind::kSingleQueuePreemptive,
+                            PolicyKind::kConcordJbsq}) {
+    ShardedRuntime::Options options;
+    options.shard.worker_count = 2;
+    options.shard.quantum_us = quantum_us;
+    options.shard.jbsq_depth = 2;
+    options.shard.policy = policy;
+    options.shard_count = selection.shard_count;
+    options.placement = selection.placement;
+    SlowdownTracker tracker;
+    std::uint64_t completed = 0;
+    std::mutex complete_mu;  // on_complete runs on every shard's dispatcher
+    double tsc_ghz = 1.0;    // written once before the first Submit
+    Runtime::Callbacks callbacks;
+    callbacks.handle_request = [short_us, long_us](const RequestView& view) {
+      SpinWithProbesUs(view.request_class == 1 ? long_us : short_us);
+    };
+    callbacks.on_complete = [&](const RequestView& view, std::uint64_t latency_tsc) {
+      const double latency_ns = static_cast<double>(latency_tsc) / tsc_ghz;
+      const double service_ns = (view.request_class == 1 ? long_us : short_us) * 1000.0;
+      std::lock_guard<std::mutex> lock(complete_mu);
+      ++completed;
+      tracker.Record(latency_ns, service_ns, view.request_class);
+    };
+    ShardedRuntime runtime(options, callbacks);
+    runtime.Start();
+    tsc_ghz = runtime.tsc_ghz();
+    // Open-loop pacing: a fixed inter-arrival gap, so the percentiles
+    // measure scheduling rather than run length (same discipline as the
+    // model's open-loop generator).
+    const double gap_ns = gap_us * 1000.0;
+    const auto pace_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < request_count; ++i) {
+      const double due_ns = static_cast<double>(i) * gap_ns;
+      // concord-lint: allow-no-probe (open-loop pacing loop on the main thread, not handler code)
+      for (;;) {
+        const double elapsed_ns =
+            std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - pace_start)
+                .count();
+        if (elapsed_ns >= due_ns) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+      const int request_class = (long_every > 0 && i % long_every == long_every - 1) ? 1 : 0;
+      while (!runtime.Submit(static_cast<std::uint64_t>(i), request_class, nullptr)) {
+        std::this_thread::yield();
+      }
+    }
+    runtime.WaitIdle();
+    runtime.Shutdown();
+    table.AddRow({PolicyKindName(policy), std::to_string(completed),
+                  TablePrinter::Fixed(tracker.QuantileSlowdown(0.50), 1),
+                  TablePrinter::Fixed(tracker.QuantileSlowdown(0.99), 1),
+                  TablePrinter::Fixed(tracker.P999Slowdown(), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "(live curves are host-scaled, not the paper's 14-worker testbed; compare "
+               "shapes across policies, not absolute values against the model tables)\n\n";
 }
 
 void PrintLiveCounterCheck(const telemetry::TelemetrySnapshot& snapshot, double quantum_us,

@@ -9,13 +9,22 @@
 
 #include "src/model/costs.h"
 #include "src/model/experiment.h"
+#include "src/runtime/policy.h"
 #include "src/telemetry/telemetry.h"
 #include "src/workload/distribution.h"
 
 namespace concord {
 
-// Requests per load point; override with CONCORD_BENCH_REQUESTS=<n>.
-std::size_t BenchRequestCount(std::size_t default_count = 100000);
+// Requests per load point; override with --requests= or
+// CONCORD_BENCH_REQUESTS=<n>.
+std::size_t BenchRequestCount(std::size_t default_count = 100000, int argc = 0,
+                              char** argv = nullptr);
+
+// The shared runtime selection every bench binary honors:
+// --policy=concord-jbsq|single-queue|fcfs, --shards=N, --placement=rr|jsq
+// (env: CONCORD_POLICY / CONCORD_SHARDS / CONCORD_PLACEMENT). Thin wrapper
+// over SelectionFromArgsOrEnv so bench code has one obvious entry point.
+RuntimeSelection BenchSelection(int argc, char** argv);
 
 // Prints the figure banner: what the paper shows and what to compare.
 void PrintFigureHeader(const std::string& figure, const std::string& description,
@@ -44,10 +53,22 @@ telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double serv
 // CONCORD_TRACE_OUT / CONCORD_METRICS_OUT) are present, the run additionally
 // captures a scheduling trace and samples windowed metrics, exporting both
 // (docs/tracing.md). Called repeatedly, later runs overwrite the artifacts:
-// the files describe the last live section.
+// the files describe the last live section. Honors the shared runtime
+// selection (--policy= / --shards= / --placement=); with shards > 1 each
+// shard's trace is exported to its own telemetry::ShardedOutPath file.
 telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double service_us,
                                                   int request_count, int worker_count, int argc,
                                                   char** argv);
+
+// Live head-to-head policy comparison: runs the same open-loop bimodal spin
+// mix (every `long_every`-th request runs `long_us`, the rest `short_us`;
+// long_every == 0 means all-short) through all three executable policies on
+// the real runtime and prints one table of p50/p99/p99.9 slowdown per
+// policy — the live analogue of the fig06/07/08 model curves, host-scaled
+// (2 workers per shard). Honors --shards= / --placement=; --policy= is
+// ignored here since the comparison spans every policy.
+void RunLivePolicyComparison(double quantum_us, double short_us, double long_us, int long_every,
+                             int request_count, double gap_us, int argc, char** argv);
 
 // Prints the live mechanism counters of `snapshot` against the model's
 // preemptions-per-request prediction for (quantum_us, service_us).

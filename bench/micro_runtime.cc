@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,7 +19,9 @@
 #include <sstream>
 
 #include "src/runtime/instrument.h"
+#include "src/runtime/policy.h"
 #include "src/runtime/runtime.h"
+#include "src/runtime/sharded_runtime.h"
 #include "src/stats/slowdown.h"
 #include "src/telemetry/event_ring.h"
 #include "src/telemetry/export.h"
@@ -169,33 +172,29 @@ namespace concord {
 //   slowdown — the RunExportWorkload spin mix (90% 5us / 10% 100us,
 //     q=20us, jbsq=2) with per-request slowdown recorded from
 //     on_complete; reports p50/p99/p99.9.
-// concord-lint: allow-no-probe (bench harness; drives the runtime from the main thread)
-int RunJsonBench(const std::string& json_out) {
-  // Sized so fixed per-rep costs (Start/WaitIdle edges) stay under ~1% of
-  // the timed window; below ~100k they visibly inflate ns_per_op.
-  std::size_t request_count = 400000;
-  if (const char* env = std::getenv("CONCORD_BENCH_REQUESTS")) {
-    const long value = std::atol(env);
-    if (value > 0) {
-      request_count = static_cast<std::size_t>(value);
-    }
-  }
-  constexpr int kRepetitions = 5;
-
+// One pipelined-throughput measurement pass: `repetitions` timed reps of
+// `request_count` no-op requests through a 64-deep submit window, on
+// `shard_count` shards under `policy`. Returns the median items/s.
+double MeasurePipelinedThroughput(std::size_t request_count, int repetitions, PolicyKind policy,
+                                  // concord-lint: allow-no-probe (bench driver, main thread)
+                                  int shard_count, ShardPlacement placement) {
   std::vector<double> items_per_sec;
-  items_per_sec.reserve(kRepetitions);
+  items_per_sec.reserve(static_cast<std::size_t>(repetitions));
   // concord-lint: allow-no-probe (bench driver loop on the main thread, not handler code)
-  for (int rep = 0; rep < kRepetitions; ++rep) {
-    Runtime::Options options;
-    options.worker_count = 2;
-    options.quantum_us = 1000.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    ShardedRuntime::Options options;
+    options.shard.worker_count = 2;
+    options.shard.quantum_us = 1000.0;
+    options.shard.policy = policy;
+    options.shard_count = shard_count;
+    options.placement = placement;
     Runtime::Callbacks callbacks;
     callbacks.handle_request = [](const RequestView&) {};
-    Runtime runtime(options, callbacks);
+    ShardedRuntime runtime(options, callbacks);
     runtime.Start();
-    // Untimed warmup: populate the fiber pool, ring pages and producer slot
-    // before the clock starts (google-benchmark's calibration runs do the
-    // same for BM_PipelinedThroughput, so this keeps the numbers comparable).
+    // Untimed warmup: populate the fiber pools, ring pages and producer
+    // slots before the clock starts (google-benchmark's calibration runs do
+    // the same for BM_PipelinedThroughput, keeping the numbers comparable).
     const std::size_t warmup = std::min<std::size_t>(request_count / 10, 10000);
     // Driver loop on the main thread, not handler code. concord-lint: allow-no-probe
     for (std::size_t id = 0; id < warmup; ++id) {
@@ -225,17 +224,46 @@ int RunJsonBench(const std::string& json_out) {
                                             : 0.0);
   }
   std::sort(items_per_sec.begin(), items_per_sec.end());
-  const double median_items_per_sec = items_per_sec[items_per_sec.size() / 2];
+  return items_per_sec[items_per_sec.size() / 2];
+}
+
+// concord-lint: allow-no-probe (bench harness; drives the runtime from the main thread)
+int RunJsonBench(const std::string& json_out, int argc, char** argv) {
+  // Sized so fixed per-rep costs (Start/WaitIdle edges) stay under ~1% of
+  // the timed window; below ~100k they visibly inflate ns_per_op.
+  const auto request_count = static_cast<std::size_t>(std::max<long long>(
+      1, telemetry::IntFromFlagOrEnv(argc, argv, "--requests=", "CONCORD_BENCH_REQUESTS",
+                                     400000)));
+  const RuntimeSelection selection = SelectionFromArgsOrEnv(argc, argv);
+  constexpr int kRepetitions = 5;
+
+  const double median_items_per_sec =
+      MeasurePipelinedThroughput(request_count, kRepetitions, selection.policy,
+                                 selection.shard_count, selection.placement);
   const double median_ns_per_op =
       median_items_per_sec > 0.0 ? 1.0e9 / median_items_per_sec : 0.0;
+  // The inter-shard scaling data point for the committed artifact: when the
+  // selected run is the default single shard, also measure 2 shards so one
+  // run yields the comparison (on hosts with enough cores, 2 shards should
+  // clear 1.3x; on small hosts the numbers record the oversubscription
+  // honestly).
+  double two_shard_items_per_sec = 0.0;
+  if (selection.shard_count == 1) {
+    two_shard_items_per_sec = MeasurePipelinedThroughput(
+        request_count, kRepetitions, selection.policy, 2, selection.placement);
+  }
 
   SlowdownTracker tracker;
   std::uint64_t slowdown_completed = 0;
   {
-    Runtime::Options options;
-    options.worker_count = 2;
-    options.quantum_us = 20.0;
-    options.jbsq_depth = 2;
+    ShardedRuntime::Options options;
+    options.shard.worker_count = 2;
+    options.shard.quantum_us = 20.0;
+    options.shard.jbsq_depth = 2;
+    options.shard.policy = selection.policy;
+    options.shard_count = selection.shard_count;
+    options.placement = selection.placement;
+    std::mutex complete_mu;  // with shards > 1 every shard's dispatcher completes here
     Runtime::Callbacks callbacks;
     callbacks.handle_request = [](const RequestView& view) {
       SpinWithProbesUs(view.request_class == 1 ? 100.0 : 5.0);
@@ -243,16 +271,15 @@ int RunJsonBench(const std::string& json_out) {
     // Written once after Start() and before the first Submit; the ring's
     // release/acquire hand-off orders it before any on_complete read.
     double tsc_ghz = 1.0;
-    callbacks.on_complete = [&tracker, &slowdown_completed, &tsc_ghz](const RequestView& view,
-                                                                     std::uint64_t latency_tsc) {
-      // Dispatcher thread; ordered before the post-WaitIdle reads below by
-      // the runtime's completion-count release/acquire handshake.
-      ++slowdown_completed;
+    callbacks.on_complete = [&tracker, &slowdown_completed, &tsc_ghz, &complete_mu](
+                                const RequestView& view, std::uint64_t latency_tsc) {
       const double latency_ns = static_cast<double>(latency_tsc) / tsc_ghz;
       const double service_ns = view.request_class == 1 ? 100000.0 : 5000.0;
+      std::lock_guard<std::mutex> lock(complete_mu);
+      ++slowdown_completed;
       tracker.Record(latency_ns, service_ns, view.request_class);
     };
-    Runtime slowdown_runtime(options, callbacks);
+    ShardedRuntime slowdown_runtime(options, callbacks);
     slowdown_runtime.Start();
     tsc_ghz = slowdown_runtime.tsc_ghz();
     const std::size_t slowdown_requests = std::min<std::size_t>(request_count, 12000);
@@ -289,12 +316,24 @@ int RunJsonBench(const std::string& json_out) {
   json << std::fixed;
   json << "{\n";
   json << "  \"benchmark\": \"micro_runtime\",\n";
+  json << "  \"policy\": \"" << PolicyKindName(selection.policy) << "\",\n";
+  json << "  \"shards\": " << selection.shard_count << ",\n";
+  json << "  \"placement\": \"" << ShardPlacementName(selection.placement) << "\",\n";
   json << "  \"pipelined_throughput\": {\n";
   json << "    \"requests_per_rep\": " << request_count << ",\n";
   json << "    \"repetitions\": " << kRepetitions << ",\n";
   json << "    \"median_items_per_sec\": " << median_items_per_sec << ",\n";
   json << "    \"median_ns_per_op\": " << median_ns_per_op << "\n";
   json << "  },\n";
+  if (two_shard_items_per_sec > 0.0) {
+    json << "  \"pipelined_throughput_2shard\": {\n";
+    json << "    \"median_items_per_sec\": " << two_shard_items_per_sec << ",\n";
+    json << "    \"median_ns_per_op\": " << 1.0e9 / two_shard_items_per_sec << ",\n";
+    json << "    \"vs_single_shard\": "
+         << (median_items_per_sec > 0.0 ? two_shard_items_per_sec / median_items_per_sec : 0.0)
+         << "\n";
+    json << "  },\n";
+  }
   json << "  \"slowdown\": {\n";
   json << "    \"completed\": " << slowdown_completed << ",\n";
   json << "    \"p50\": " << tracker.QuantileSlowdown(0.50) << ",\n";
@@ -330,28 +369,28 @@ int RunExportWorkload(int argc, char** argv) {
   const std::string trace_out = telemetry::TraceOutPath(argc, argv);
   const std::string metrics_out = telemetry::MetricsOutPath(argc, argv);
 
-  std::size_t request_count = 12000;  // ~90ms of work on two workers
-  if (const char* env = std::getenv("CONCORD_BENCH_REQUESTS")) {
-    const long value = std::atol(env);
-    if (value > 0) {
-      request_count = static_cast<std::size_t>(value);
-    }
-  }
+  // ~90ms of work on two workers at the default count.
+  const auto request_count = static_cast<std::size_t>(std::max<long long>(
+      1, telemetry::IntFromFlagOrEnv(argc, argv, "--requests=", "CONCORD_BENCH_REQUESTS", 12000)));
+  const RuntimeSelection selection = SelectionFromArgsOrEnv(argc, argv);
 
-  Runtime::Options options;
-  options.worker_count = 2;
-  options.quantum_us = 20.0;
-  options.jbsq_depth = 2;
+  ShardedRuntime::Options options;
+  options.shard.worker_count = 2;
+  options.shard.quantum_us = 20.0;
+  options.shard.jbsq_depth = 2;
+  options.shard.policy = selection.policy;
+  options.shard_count = selection.shard_count;
+  options.placement = selection.placement;
   if (!trace_out.empty()) {
     // Sized for zero drops at the default request count; any overflow is
     // exactly counted and surfaced by the analyzer.
-    options.trace_buffer_capacity = std::size_t{1} << 17;
+    options.shard.trace_buffer_capacity = std::size_t{1} << 17;
   }
   Runtime::Callbacks callbacks;
   callbacks.handle_request = [](const RequestView& view) {
     SpinWithProbesUs(view.request_class == 1 ? 100.0 : 5.0);
   };
-  Runtime runtime(options, callbacks);
+  ShardedRuntime runtime(options, callbacks);
   runtime.Start();
   std::unique_ptr<trace::MetricsSampler> sampler;
   if (!metrics_out.empty()) {
@@ -380,8 +419,15 @@ int RunExportWorkload(int argc, char** argv) {
   }
   runtime.Shutdown();
   if (!trace_out.empty()) {
-    // Post-Shutdown: the dispatcher's final ring drain has run.
-    ok = trace::WriteChromeTrace(runtime.GetTrace(), trace_out) && ok;
+    // Post-Shutdown: every dispatcher's final ring drain has run. One file
+    // per shard ("out.json" -> "out.shard1.json"...), each independently
+    // checkable by concord_trace; single-shard keeps the plain path.
+    for (int s = 0; s < runtime.shard_count(); ++s) {
+      ok = trace::WriteChromeTrace(runtime.GetShardTrace(s),
+                                   telemetry::ShardedOutPath(trace_out, s,
+                                                             runtime.shard_count())) &&
+           ok;
+    }
   }
   if (!telemetry_out.empty()) {
     ok = telemetry::WriteSnapshotJson(snapshot, telemetry_out) && ok;
@@ -410,7 +456,11 @@ int main(int argc, char** argv) {
         std::strncmp(argv[i], "--trace-out=", 12) == 0 ||
         std::strncmp(argv[i], "--metrics-out=", 14) == 0 ||
         std::strncmp(argv[i], "--metrics-window-ms=", 20) == 0 ||
-        std::strncmp(argv[i], "--json-out=", 11) == 0) {
+        std::strncmp(argv[i], "--json-out=", 11) == 0 ||
+        std::strncmp(argv[i], "--policy=", 9) == 0 ||
+        std::strncmp(argv[i], "--shards=", 9) == 0 ||
+        std::strncmp(argv[i], "--placement=", 12) == 0 ||
+        std::strncmp(argv[i], "--requests=", 11) == 0) {
       continue;
     }
     bench_args.push_back(argv[i]);
@@ -427,7 +477,7 @@ int main(int argc, char** argv) {
     status = concord::RunExportWorkload(argc, argv);
   }
   if (!json_out.empty()) {
-    const int json_status = concord::RunJsonBench(json_out);
+    const int json_status = concord::RunJsonBench(json_out, argc, argv);
     status = status != 0 ? status : json_status;
   }
   return status;

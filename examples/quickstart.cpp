@@ -8,7 +8,8 @@
 //
 // Usage: quickstart [offered_krps] [request_count] [--telemetry-out=FILE]
 //                   [--trace-out=FILE] [--metrics-out=FILE]
-//                   [--metrics-window-ms=MS]
+//                   [--metrics-window-ms=MS] [--policy=NAME] [--shards=N]
+//                   [--placement=NAME]
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,7 +20,8 @@
 
 #include "src/apps/synthetic.h"
 #include "src/loadgen/loadgen.h"
-#include "src/runtime/runtime.h"
+#include "src/runtime/policy.h"
+#include "src/runtime/sharded_runtime.h"
 #include "src/telemetry/export.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/metrics_sampler.h"
@@ -46,14 +48,18 @@ int main(int argc, char** argv) {
 
   const std::string trace_out = concord::telemetry::TraceOutPath(argc, argv);
   const std::string metrics_out = concord::telemetry::MetricsOutPath(argc, argv);
+  const concord::RuntimeSelection selection = concord::SelectionFromArgsOrEnv(argc, argv);
 
-  concord::Runtime::Options options;
-  options.worker_count = 2;
-  options.quantum_us = 50.0;
-  options.jbsq_depth = 2;
-  options.work_conserving_dispatcher = true;
+  concord::ShardedRuntime::Options options;
+  options.shard.worker_count = 2;
+  options.shard.quantum_us = 50.0;
+  options.shard.jbsq_depth = 2;
+  options.shard.work_conserving_dispatcher = true;
+  options.shard.policy = selection.policy;
+  options.shard_count = selection.shard_count;
+  options.placement = selection.placement;
   if (!trace_out.empty()) {
-    options.trace_buffer_capacity = std::size_t{1} << 17;  // scheduling-trace capture on
+    options.shard.trace_buffer_capacity = std::size_t{1} << 17;  // scheduling-trace capture on
   }
 
   concord::Runtime::Callbacks callbacks;
@@ -64,9 +70,11 @@ int main(int argc, char** argv) {
   callbacks.handle_request = [&service](const concord::RequestView& view) {
     service.Handle(view);
   };
-  callbacks.on_complete = loadgen.CompletionHook();
+  // Multi-shard runs complete on every shard's dispatcher concurrently.
+  callbacks.on_complete = selection.shard_count > 1 ? loadgen.LockedCompletionHook()
+                                                    : loadgen.CompletionHook();
 
-  concord::Runtime runtime(options, callbacks);
+  concord::ShardedRuntime runtime(options, callbacks);
   runtime.Start();
   std::unique_ptr<concord::trace::MetricsSampler> sampler;
   if (!metrics_out.empty()) {
@@ -79,8 +87,10 @@ int main(int argc, char** argv) {
         sampler_options, [&runtime] { return runtime.GetTelemetry(); });
     sampler->Start();
   }
-  std::printf("driving %llu requests at %.1f kRps...\n",
-              static_cast<unsigned long long>(count), offered_krps);
+  std::printf("driving %llu requests at %.1f kRps (policy=%s, %d shard%s)...\n",
+              static_cast<unsigned long long>(count), offered_krps,
+              concord::PolicyKindName(selection.policy), selection.shard_count,
+              selection.shard_count == 1 ? "" : "s");
   const concord::LoadgenReport report = loadgen.Run(&runtime, offered_krps, count);
   const concord::Runtime::Stats stats = runtime.GetStats();
   const concord::telemetry::TelemetrySnapshot telemetry = runtime.GetTelemetry();
@@ -91,7 +101,14 @@ int main(int argc, char** argv) {
   }
   runtime.Shutdown();
   if (!trace_out.empty()) {
-    export_ok = concord::trace::WriteChromeTrace(runtime.GetTrace(), trace_out) && export_ok;
+    // One capture per shard, each independently checkable by concord_trace;
+    // single-shard keeps the plain path.
+    for (int s = 0; s < runtime.shard_count(); ++s) {
+      export_ok = concord::trace::WriteChromeTrace(
+                      runtime.GetShardTrace(s),
+                      concord::telemetry::ShardedOutPath(trace_out, s, runtime.shard_count())) &&
+                  export_ok;
+    }
   }
 
   std::printf("\ncompleted %llu/%llu (dropped %llu), achieved %.2f kRps\n",

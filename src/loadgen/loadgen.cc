@@ -21,6 +21,13 @@ std::function<void(const RequestView&, std::uint64_t)> OpenLoopLoadgen::Completi
   };
 }
 
+std::function<void(const RequestView&, std::uint64_t)> OpenLoopLoadgen::LockedCompletionHook() {
+  return [this](const RequestView& view, std::uint64_t latency_tsc) {
+    std::lock_guard<std::mutex> lock(complete_mu_);
+    OnComplete(view, latency_tsc);
+  };
+}
+
 // Dispatcher-thread only (Runtime invokes on_complete there). The runtime
 // publishes every on_complete invocation before incrementing its completion
 // count (release), and Run() reads results only after WaitIdle() acquires
@@ -38,6 +45,17 @@ void OpenLoopLoadgen::OnComplete(const RequestView& view, std::uint64_t latency_
 
 LoadgenReport OpenLoopLoadgen::Run(Runtime* runtime, double offered_krps, std::uint64_t count,
                                    double warmup_fraction) {
+  return RunLoop(runtime, offered_krps, count, warmup_fraction);
+}
+
+LoadgenReport OpenLoopLoadgen::Run(ShardedRuntime* runtime, double offered_krps,
+                                   std::uint64_t count, double warmup_fraction) {
+  return RunLoop(runtime, offered_krps, count, warmup_fraction);
+}
+
+template <typename RuntimeT>
+LoadgenReport OpenLoopLoadgen::RunLoop(RuntimeT* runtime, double offered_krps,
+                                       std::uint64_t count, double warmup_fraction) {
   CONCORD_CHECK(offered_krps > 0.0) << "load must be positive";
   // Pre-run reset: the previous run (if any) ended with WaitIdle, so no
   // completion can be concurrent with this.

@@ -11,10 +11,12 @@
 #define CONCORD_SRC_LOADGEN_LOADGEN_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/runtime/runtime.h"
+#include "src/runtime/sharded_runtime.h"
 #include "src/stats/slowdown.h"
 #include "src/workload/distribution.h"
 
@@ -42,16 +44,27 @@ class OpenLoopLoadgen {
   // The completion hook to install as Runtime::Callbacks::on_complete before
   // Start(). Runs on the dispatcher thread; deliberately lock-free so a
   // completion never stalls the dispatch loop (see OnComplete for the
-  // synchronization argument).
+  // synchronization argument). Single-dispatcher only: with a ShardedRuntime
+  // of more than one shard, install LockedCompletionHook() instead.
   std::function<void(const RequestView&, std::uint64_t)> CompletionHook();
+
+  // Mutex-guarded variant for multi-shard runs, where every shard's
+  // dispatcher delivers completions concurrently.
+  std::function<void(const RequestView&, std::uint64_t)> LockedCompletionHook();
 
   // Issues `count` requests at `offered_krps` into `runtime`, waits for all
   // of them, and reports. Blocks the calling thread for the duration.
   LoadgenReport Run(Runtime* runtime, double offered_krps, std::uint64_t count,
                     double warmup_fraction = 0.1);
+  LoadgenReport Run(ShardedRuntime* runtime, double offered_krps, std::uint64_t count,
+                    double warmup_fraction = 0.1);
 
  private:
   void OnComplete(const RequestView& view, std::uint64_t latency_tsc);
+
+  template <typename RuntimeT>
+  LoadgenReport RunLoop(RuntimeT* runtime, double offered_krps, std::uint64_t count,
+                        double warmup_fraction);
 
   const ServiceDistribution& distribution_;
   std::vector<double> class_service_us_;
@@ -66,6 +79,7 @@ class OpenLoopLoadgen {
   std::uint64_t completed_ = 0;
   std::uint64_t warmup_ids_ = 0;
   double tsc_ghz_ = 1.0;
+  std::mutex complete_mu_;  // used only by LockedCompletionHook
 };
 
 }  // namespace concord

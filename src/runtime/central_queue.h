@@ -1,0 +1,82 @@
+// The dispatcher's central FIFO (docs/architecture.md).
+//
+// An intrusive singly-linked list through RuntimeRequest::next, owned and
+// touched exclusively by the dispatcher thread: push, pop and the
+// work-conserving scan are plain pointer writes, so steady-state dispatch
+// never touches a node-allocating container (the PR 4 zero-allocation
+// guarantee). Empty <=> head == tail == nullptr.
+
+#ifndef CONCORD_SRC_RUNTIME_CENTRAL_QUEUE_H_
+#define CONCORD_SRC_RUNTIME_CENTRAL_QUEUE_H_
+
+#include <cstddef>
+
+#include "src/runtime/request.h"
+
+namespace concord {
+
+class CentralQueue {
+ public:
+  bool empty() const { return head_ == nullptr; }
+  std::size_t size() const { return size_; }
+
+  void PushBack(RuntimeRequest* request) {
+    request->next = nullptr;
+    if (tail_ == nullptr) {
+      head_ = request;
+    } else {
+      tail_->next = request;
+    }
+    tail_ = request;
+    ++size_;
+  }
+
+  RuntimeRequest* PopFront() {
+    RuntimeRequest* request = head_;
+    if (request == nullptr) {
+      return nullptr;
+    }
+    head_ = request->next;
+    if (head_ == nullptr) {
+      tail_ = nullptr;
+    }
+    request->next = nullptr;
+    --size_;
+    return request;
+  }
+
+  // Unlinks and returns the oldest never-started request (the dispatcher may
+  // only adopt fresh work, §3.3); preempted requests stay queued in FIFO
+  // order. Returns nullptr when every queued request has already started.
+  // concord-lint: allow-no-probe (dispatcher-side scan, bounded by central queue occupancy)
+  RuntimeRequest* TakeFirstUnstarted() {
+    RuntimeRequest* prev = nullptr;
+    // concord-lint: allow-no-probe (dispatcher-side scan, bounded by central queue occupancy)
+    for (RuntimeRequest* cur = head_; cur != nullptr; prev = cur, cur = cur->next) {
+      if (cur->started) {
+        continue;
+      }
+      if (prev == nullptr) {
+        head_ = cur->next;
+      } else {
+        prev->next = cur->next;
+      }
+      if (tail_ == cur) {
+        tail_ = prev;
+      }
+      cur->next = nullptr;
+      --size_;
+      return cur;
+    }
+    return nullptr;
+  }
+
+ private:
+  RuntimeRequest* head_ = nullptr;
+  RuntimeRequest* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_CENTRAL_QUEUE_H_

@@ -1,0 +1,451 @@
+// The dispatcher loop: ingress adoption, central-queue placement (JBSQ
+// argmin staging with batched publishes), preemption signaling and the
+// work-conserving steal path (§3.2, §3.3; docs/architecture.md).
+//
+// Policy-agnostic by construction: every policy decision was cached into a
+// plain field at Start() (effective_depth_, preempt_mode_, work_conserving_),
+// so with the default ConcordJbsq policy each pass executes the exact
+// instruction sequence of the pre-policy runtime — no virtual calls, no
+// steady-state allocations.
+
+#include <mutex>
+
+#include "src/common/backoff.h"
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+#include "src/runtime/instrument.h"
+#include "src/runtime/runtime.h"
+
+namespace concord {
+
+namespace {
+
+struct DispatcherProbeState {
+  std::uint64_t deadline_tsc = 0;
+};
+
+void DispatcherProbeFn(void* arg) {
+  auto* state = static_cast<DispatcherProbeState*>(arg);
+  if (Fiber::Current() != nullptr && ReadTsc() >= state->deadline_tsc) {
+    NoteProbeYield();
+    Fiber::Yield();
+  }
+}
+
+thread_local DispatcherProbeState t_dispatcher_probe_state;
+
+}  // namespace
+
+// Adopts submitted requests from every registered producer ring, one batched
+// pop per ring per pass (round-robin across producers for fairness; the
+// batch bound caps per-producer burst).
+// concord-lint: allow-no-probe (dispatcher loop body; requests not yet running)
+void Runtime::DrainIngress(bool* progress) {
+  const std::size_t slot_count = ingress_.slot_count();
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by registered producer slots)
+  for (std::size_t s = 0; s < slot_count; ++s) {
+    ProducerSlot* slot = ingress_.slot(s);
+    const std::size_t n = slot->ingress.TryPopBatch(ingress_scratch_.data(), kIngressDrainBatch);
+    if (n == 0) {
+      continue;
+    }
+    *progress = true;
+    std::uint64_t adopt_tsc = 0;
+    if constexpr (telemetry::kEnabled) {
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.ingress_batches);
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.ingress_drained, n);
+      if (n > dispatcher_telemetry_.max_ingress_batch.load(std::memory_order_relaxed)) {
+        dispatcher_telemetry_.max_ingress_batch.store(n, std::memory_order_relaxed);
+      }
+      if (tracing_) {
+        adopt_tsc = ReadTsc();
+      }
+    }
+    // concord-lint: allow-no-probe (dispatcher loop body; bounded by the drain batch size)
+    for (std::size_t i = 0; i < n; ++i) {
+      RuntimeRequest* request = ingress_scratch_[i];
+      central_.PushBack(request);
+      if constexpr (telemetry::kEnabled) {
+        if (tracing_) {
+          trace_scratch_.push_back(
+              trace::TraceRecord{request->id, request->arrival_tsc, adopt_tsc,
+                                 trace::RecordKind::kArrival, trace::kDispatcherTrack,
+                                 request->request_class, 0});
+        }
+      }
+    }
+  }
+}
+
+void Runtime::DrainOutboxes(bool* progress) {
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
+  for (int w = 0; w < options_.worker_count; ++w) {
+    WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
+    // One batched pop retires every returned request with a single release
+    // store; the outbox holds at most 2k+8 entries, which the scratch covers.
+    const std::size_t n = shared.outbox.TryPopBatch(outbox_scratch_.data(),
+                                                    outbox_scratch_.size());
+    if (n == 0) {
+      continue;
+    }
+    *progress = true;
+    outstanding_[static_cast<std::size_t>(w)] -= static_cast<int>(n);
+    CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(w)] >= 0)
+        << "worker " << w << " returned more requests than were dispatched";
+    if constexpr (telemetry::kEnabled) {
+      // Adopt completed lifecycles before any request is recycled (the
+      // producer may reuse the slab object the instant it leaves here).
+      // The outbox pop's acquire pairs with the worker's release push, so
+      // the worker's lifecycle stamps are visible. One lock per batch.
+      std::uint64_t finished_n = 0;
+      // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
+      for (std::size_t i = 0; i < n; ++i) {
+        finished_n += outbox_scratch_[i]->finished ? 1u : 0u;
+      }
+      if (finished_n != 0) {
+        std::lock_guard<std::mutex> lock(telemetry_mu_);
+        telemetry::BumpSingleWriter(dispatcher_telemetry_.events_drained, finished_n);
+        // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
+        for (std::size_t i = 0; i < n; ++i) {
+          if (outbox_scratch_[i]->finished) {
+            AppendLifecycleLocked(outbox_scratch_[i]->lifecycle);
+          }
+        }
+      }
+    }
+    // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
+    for (std::size_t i = 0; i < n; ++i) {
+      RuntimeRequest* request = outbox_scratch_[i];
+      // §3.3: self-preempted dispatcher requests are pinned; one must never
+      // surface in a worker outbox.
+      CONCORD_DCHECK(!request->on_dispatcher)
+          << "dispatcher-pinned request flowed through worker " << w;
+      if (request->finished) {
+        CompleteRequest(request, /*on_dispatcher=*/false);
+      } else {
+        // Preempted: back on the central queue tail (quantum round-robin).
+        telemetry::BumpSingleWriter(preemptions_);
+        central_.PushBack(request);
+      }
+    }
+  }
+}
+
+// concord-lint: allow-no-probe (dispatcher loop body; placement decisions only)
+void Runtime::PushJbsq(bool* progress) {
+  // Stage placements first — the argmin decisions are identical to pushing
+  // one at a time because outstanding_ is bumped at stage time — then
+  // publish each worker's refill with one batched ring push: one release
+  // store (and one coherence handshake with the worker, §3.2) per refill
+  // instead of one per request.
+  bool staged_any = false;
+  std::uint64_t pass_dispatch_tsc = 0;  // lazily stamped once per staging pass
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by central queue and jbsq capacity)
+  while (!central_.empty()) {
+    // Shortest queue with a free slot; ties to the lowest index.
+    int best = -1;
+    // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
+    for (int w = 0; w < options_.worker_count; ++w) {
+      if (outstanding_[static_cast<std::size_t>(w)] >= effective_depth_) {
+        continue;
+      }
+      if (best < 0 ||
+          outstanding_[static_cast<std::size_t>(w)] < outstanding_[static_cast<std::size_t>(best)]) {
+        best = w;
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    RuntimeRequest* request = central_.PopFront();
+    if (!request->started) {
+      ArmRequestFiber(request);
+      request->started = true;
+    }
+    CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(best)] < effective_depth_)
+        << "JBSQ(k) bound about to be exceeded for worker " << best;
+    if constexpr (telemetry::kEnabled) {
+      // Stamp before the publish below: past it, the worker owns the
+      // request. One TSC read covers the whole staging pass — placements in
+      // a pass are decided back to back, and the worker's first_run stamp is
+      // always taken after the batched publish, so ordering is preserved.
+      if (pass_dispatch_tsc == 0) {
+        pass_dispatch_tsc = ReadTsc();
+      }
+      if (request->lifecycle.dispatch_tsc == 0) {
+        request->lifecycle.dispatch_tsc = pass_dispatch_tsc;
+      }
+      if (tracing_) {
+        // detail = JBSQ occupancy right after this placement; the offline
+        // analyzer checks it against k.
+        trace_scratch_.push_back(trace::TraceRecord{
+            request->id, pass_dispatch_tsc, 0, trace::RecordKind::kDispatch, best,
+            request->request_class,
+            static_cast<std::uint32_t>(outstanding_[static_cast<std::size_t>(best)] + 1)});
+      }
+    }
+    jbsq_stage_[static_cast<std::size_t>(best)].push_back(request);
+    outstanding_[static_cast<std::size_t>(best)] += 1;
+    if constexpr (telemetry::kEnabled) {
+      telemetry::DispatcherWorkerCounters& counters =
+          *dispatcher_worker_telemetry_[static_cast<std::size_t>(best)];
+      telemetry::BumpSingleWriter(counters.jbsq_pushes);
+      const auto inflight = static_cast<std::uint64_t>(outstanding_[static_cast<std::size_t>(best)]);
+      if (inflight > counters.max_inflight.load(std::memory_order_relaxed)) {
+        counters.max_inflight.store(inflight, std::memory_order_relaxed);
+      }
+    }
+    staged_any = true;
+    *progress = true;
+  }
+  if (!staged_any) {
+    return;
+  }
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count and jbsq depth)
+  for (int w = 0; w < options_.worker_count; ++w) {
+    std::vector<RuntimeRequest*>& stage = jbsq_stage_[static_cast<std::size_t>(w)];
+    if (stage.empty()) {
+      continue;
+    }
+    const std::size_t pushed =
+        workers_[static_cast<std::size_t>(w)]->inbox.TryPushBatch(stage.data(), stage.size());
+    CONCORD_CHECK(pushed == stage.size()) << "JBSQ inbox overflow despite outstanding bound";
+    if constexpr (telemetry::kEnabled) {
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.jbsq_batches);
+    }
+    stage.clear();
+  }
+}
+
+// concord-lint: allow-no-probe (dispatcher loop body; signal writes only)
+void Runtime::SendPreemptSignals() {
+  // FcfsNonPreemptive: the scan is skipped entirely — no signal is ever
+  // written, so probes poll but never fire.
+  if (preempt_mode_ == SchedulingPolicy::PreemptMode::kNever) {
+    return;
+  }
+  const std::uint64_t now = ReadTsc();
+  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
+  for (int w = 0; w < options_.worker_count; ++w) {
+    WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
+    // Handshake order matters: the worker publishes run_start_tsc *before*
+    // generation (release), so once a generation is observed (acquire) the
+    // paired start time — or a later segment's — is all this loop can read.
+    // Reading in the opposite order could pair a stale, long-elapsed start
+    // with a brand-new generation and preempt a request that just began.
+    const std::uint64_t generation = shared.generation.value.load(std::memory_order_acquire);
+    if (generation == 0 || signaled_generation_[static_cast<std::size_t>(w)] == generation) {
+      continue;  // idle or already signalled this segment
+    }
+    const std::uint64_t start = shared.run_start_tsc.value.load(std::memory_order_acquire);
+    if (start == 0 || now - start < quantum_tsc_) {
+      continue;
+    }
+    // ConcordJbsq: preemption only pays off when something else could run
+    // (§2/§3). SingleQueuePreemptive signals unconditionally on quantum
+    // expiry, the Shinjuku timer-interrupt model.
+    if (preempt_mode_ == SchedulingPolicy::PreemptMode::kWhenWorkPending &&
+        central_.empty() && outstanding_[static_cast<std::size_t>(w)] <= 1) {
+      continue;
+    }
+    // The worker may have finished the segment between the two loads; a
+    // changed generation means `start` belongs to a different segment, so
+    // skip and re-evaluate next pass rather than signal on mixed state.
+    if (shared.generation.value.load(std::memory_order_acquire) != generation) {
+      continue;
+    }
+    if constexpr (telemetry::kEnabled) {
+      // Count before the signal store: the worker can only honor (and count
+      // a yield for) a request that is already accounted, so honored <=
+      // requested holds for quiescent snapshots.
+      telemetry::BumpSingleWriter(
+          dispatcher_worker_telemetry_[static_cast<std::size_t>(w)]->preempt_signals_sent);
+    }
+    shared.preempt_signal.word.store(generation, std::memory_order_release);
+    signaled_generation_[static_cast<std::size_t>(w)] = generation;
+    if constexpr (telemetry::kEnabled) {
+      if (tracing_) {
+        // The dispatcher knows the target worker and generation, not the
+        // request id; the trace renders this as an instant on the worker's
+        // track and the analyzer counts (but does not stitch) it.
+        trace_scratch_.push_back(
+            trace::TraceRecord{0, now, 0, trace::RecordKind::kPreemptSignal, w, 0, 0});
+      }
+    }
+  }
+}
+
+// concord-lint: allow-no-probe (dispatcher adoption path; the handler runs in a probed fiber)
+void Runtime::MaybeRunAppRequest() {
+  if (dispatcher_request_ == nullptr) {
+    if (!work_conserving_) {
+      return;
+    }
+    // Steal only when every worker queue is full (§3.3).
+    for (int w = 0; w < options_.worker_count; ++w) {
+      if (outstanding_[static_cast<std::size_t>(w)] < effective_depth_) {
+        return;
+      }
+    }
+    RuntimeRequest* request = central_.TakeFirstUnstarted();
+    if (request == nullptr) {
+      return;
+    }
+    ArmRequestFiber(request);
+    request->started = true;
+    request->on_dispatcher = true;
+    telemetry::BumpSingleWriter(dispatcher_started_count_);
+    if constexpr (telemetry::kEnabled) {
+      const std::uint64_t dispatch_tsc = ReadTsc();
+      if (request->lifecycle.dispatch_tsc == 0) {
+        request->lifecycle.dispatch_tsc = dispatch_tsc;
+      }
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.requests_started);
+      if (tracing_) {
+        // Adoption is the dispatcher-pinned analogue of a JBSQ push.
+        trace_scratch_.push_back(trace::TraceRecord{request->id, dispatch_tsc, 0,
+                                                    trace::RecordKind::kDispatch,
+                                                    trace::kDispatcherTrack,
+                                                    request->request_class, 0});
+      }
+    }
+    dispatcher_request_ = request;
+  }
+  // Run (or resume) the dispatcher's request for one quantum under
+  // rdtsc-based self-preemption.
+  CONCORD_DCHECK(dispatcher_request_->on_dispatcher)
+      << "dispatcher resumed a request it does not own";
+  const std::uint64_t quantum_start_tsc = ReadTsc();
+  if constexpr (telemetry::kEnabled) {
+    if (dispatcher_request_->lifecycle.first_run_tsc == 0) {
+      dispatcher_request_->lifecycle.first_run_tsc = quantum_start_tsc;
+      dispatcher_request_->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
+    }
+    telemetry::BumpSingleWriter(dispatcher_telemetry_.quanta_run);
+  }
+  t_dispatcher_probe_state.deadline_tsc = quantum_start_tsc + quantum_tsc_;
+  const bool finished = dispatcher_request_->fiber->Run();
+  if constexpr (telemetry::kEnabled) {
+    // Probes only run on this thread inside dispatcher quanta, so folding
+    // the thread-local here captures them all.
+    const std::uint64_t probe_count = ProbeCount();
+    telemetry::BumpSingleWriter(dispatcher_telemetry_.probe_polls,
+                                probe_count - dispatcher_probe_count_baseline_);
+    dispatcher_probe_count_baseline_ = probe_count;
+    const std::uint64_t segment_end_tsc = ReadTsc();
+    if (finished) {
+      dispatcher_request_->lifecycle.finish_tsc = segment_end_tsc;
+      dispatcher_request_->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.requests_completed);
+      AppendLifecycle(dispatcher_request_->lifecycle);
+    } else {
+      dispatcher_request_->lifecycle.RecordPreemption(segment_end_tsc);
+    }
+    if (tracing_) {
+      trace_scratch_.push_back(trace::TraceRecord{
+          dispatcher_request_->id, quantum_start_tsc, segment_end_tsc,
+          trace::RecordKind::kSegment, trace::kDispatcherTrack,
+          dispatcher_request_->request_class,
+          static_cast<std::uint32_t>(finished ? trace::SegmentEnd::kFinished
+                                              : trace::SegmentEnd::kDispatcherQuantum)});
+    }
+  }
+  if (finished) {
+    CompleteRequest(dispatcher_request_, /*on_dispatcher=*/true);
+    dispatcher_request_ = nullptr;
+  }
+  // Unfinished requests stay parked here: their instrumentation (and in the
+  // real system, their code version) pins them to the dispatcher.
+}
+
+// Flushes the dispatcher's batched trace records and moves worker-published
+// segment records into the trace collector. The dispatcher's own records are
+// staged in trace_scratch_ during the loop pass so the collector lock is
+// taken once per pass, not once per record — that difference is measurable
+// at no-op service times. Cheap when tracing is off (one branch) or there is
+// nothing to move.
+void Runtime::DrainTraceRings() {
+  if constexpr (!telemetry::kEnabled) {
+    return;
+  }
+  if (!tracing_) {
+    return;
+  }
+  if (!trace_scratch_.empty()) {
+    trace_collector_->AppendAll(trace_scratch_.data(), trace_scratch_.size());
+    trace_scratch_.clear();
+  }
+  for (int w = 0; w < options_.worker_count; ++w) {
+    trace_collector_->DrainWorkerRing(w, &workers_[static_cast<std::size_t>(w)]->trace_ring);
+  }
+}
+
+// Shutdown-drain quiescence verdict (cold path: reached only on idle passes
+// after Shutdown() requested the drain). True only when no request can still
+// be in flight anywhere: central queue and dispatcher empty, every worker
+// queue drained, no Submit() mid-push, and a final ingress sweep — ordered
+// after the submitter scan — found the rings empty.
+// concord-lint: allow-no-probe (shutdown path, no request running)
+bool Runtime::ShutdownQuiescent() {
+  if (!central_.empty() || dispatcher_request_ != nullptr) {
+    return false;
+  }
+  // concord-lint: allow-no-probe (shutdown path; bounded by worker count)
+  for (int w = 0; w < options_.worker_count; ++w) {
+    if (outstanding_[static_cast<std::size_t>(w)] != 0) {
+      return false;
+    }
+  }
+  if (!ingress_.SubmittersQuiescent()) {
+    return false;
+  }
+  // Any Submit() that cleared its in_submit marker before the scan above
+  // ordered its push before the clear, so this final sweep observes it.
+  bool late = false;
+  DrainIngress(&late);
+  return !late;
+}
+
+// concord-lint: allow-no-probe (scheduler loop: probes belong to request code it runs)
+void Runtime::DispatcherLoop() {
+  if (callbacks_.setup_worker) {
+    callbacks_.setup_worker(-1);
+  }
+  SetProbeBinding(ProbeBinding{&DispatcherProbeFn, &t_dispatcher_probe_state});
+  AllocAuditThreadState audit;
+  Backoff backoff;
+  // concord-lint: allow-no-probe (dispatcher main loop; request handlers run in probed fibers)
+  while (!stop_.load(std::memory_order_acquire)) {
+    PollAllocAudit(&audit);
+    bool progress = false;
+    DrainIngress(&progress);
+    DrainOutboxes(&progress);
+    PushJbsq(&progress);
+    SendPreemptSignals();
+    MaybeRunAppRequest();
+    if (progress || dispatcher_request_ != nullptr) {
+      // Drain only on passes that moved work: a worker publishes its trace
+      // records immediately before the outbox push, so an idle pass has
+      // nothing new to collect — and skipping the (cheap but not free)
+      // empty-ring reads keeps the idle spin tight. The final drain below
+      // picks up anything published right before stop. (Lifecycles need no
+      // drain pass at all: DrainOutboxes adopts them with the request.)
+      DrainTraceRings();
+      backoff.Reset();
+    } else {
+      // Idle pass: the only place the shutdown drain can conclude — any
+      // in-flight work would have shown progress above.
+      if (drain_requested_.load(std::memory_order_acquire) && ShutdownQuiescent()) {
+        stop_.store(true, std::memory_order_release);
+        break;
+      }
+      backoff.Idle();
+    }
+  }
+  // Final drain: trace records published between the last pass and the stop
+  // flag must still reach the collector before the threads join.
+  DrainTraceRings();
+  SetProbeBinding({});
+}
+
+}  // namespace concord

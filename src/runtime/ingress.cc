@@ -1,0 +1,254 @@
+#include "src/runtime/ingress.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+// The live-ingress registry: (layer address, instance id) pairs for every
+// constructed-but-not-destroyed IngressLayer. A producer thread's TLS
+// destructor consults it before touching a cached ProducerSlot, so threads
+// outliving a runtime never dereference freed slots; holding the mutex
+// across the release also blocks ~IngressLayer from freeing the slot
+// mid-release. Function statics avoid initialization-order hazards.
+std::mutex& LiveIngressMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::pair<const IngressLayer*, std::uint64_t>>& LiveIngressLayers() {
+  static std::vector<std::pair<const IngressLayer*, std::uint64_t>> live;
+  return live;
+}
+
+bool IsLiveIngressLocked(const IngressLayer* layer, std::uint64_t instance) {
+  const auto& live = LiveIngressLayers();
+  return std::find(live.begin(), live.end(), std::make_pair(layer, instance)) != live.end();
+}
+
+std::uint64_t NextIngressInstanceId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Nonzero id for producer-slot claim words; the |1 matches SpscRing's debug
+// role pins so a claim word can never be mistaken for "unclaimed".
+std::size_t ThisThreadClaimWord() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+}
+
+}  // namespace
+
+namespace internal {
+
+// Per-thread cache of claimed producer slots, one entry per (layer,
+// instance) this thread has submitted to. The destructor releases the claims
+// of still-live layers so the slot (with its slab and any requests parked
+// in its rings) can be adopted by a future submitter thread.
+struct ProducerTlsState {
+  struct Entry {
+    IngressLayer* layer = nullptr;
+    std::uint64_t instance = 0;
+    ProducerSlot* slot = nullptr;
+  };
+  std::vector<Entry> entries;
+
+  ~ProducerTlsState() {
+    std::lock_guard<std::mutex> lock(LiveIngressMu());
+    // concord-lint: allow-no-probe (thread-exit cleanup, never runs handler code)
+    for (const Entry& entry : entries) {
+      if (!IsLiveIngressLocked(entry.layer, entry.instance)) {
+        continue;  // layer destroyed; the slot is gone with it
+      }
+      // Hand the endpoints over: the next claimant becomes the ingress
+      // producer and recycle consumer. The release store on claim publishes
+      // local_free and the debug-role resets to the acquire CAS claimant.
+      entry.slot->ingress.ResetProducerRole();
+      entry.slot->recycle.ResetConsumerRole();
+      entry.slot->claim.store(0, std::memory_order_release);
+    }
+  }
+};
+
+thread_local ProducerTlsState t_producer_tls;
+
+}  // namespace internal
+
+IngressLayer::IngressLayer(Runtime* owner, std::size_t slot_capacity,
+                           telemetry::DispatcherCounters* dispatcher_telemetry)
+    : owner_(owner), capacity_(slot_capacity), dispatcher_telemetry_(dispatcher_telemetry) {
+  for (auto& slot : slots_) {
+    slot.store(nullptr, std::memory_order_relaxed);
+  }
+  instance_id_ = NextIngressInstanceId();
+  std::lock_guard<std::mutex> lock(LiveIngressMu());
+  LiveIngressLayers().emplace_back(this, instance_id_);
+}
+
+IngressLayer::~IngressLayer() {
+  // Unregister before members are destroyed: a producer thread exiting
+  // concurrently either finds us live (and releases its claim while holding
+  // the registry mutex, blocking this erase) or not (and never touches the
+  // slots again).
+  std::lock_guard<std::mutex> lock(LiveIngressMu());
+  auto& live = LiveIngressLayers();
+  live.erase(std::remove(live.begin(), live.end(),
+                         std::make_pair(const_cast<const IngressLayer*>(this), instance_id_)),
+             live.end());
+}
+
+ProducerSlot* IngressLayer::AcquireProducerSlot() {
+  const std::size_t self = ThisThreadClaimWord();
+  // Adopt a released slot first: bounded lock-free scan. Adopted slots are
+  // already in the registry, so the shutdown quiescence scan covers them.
+  const std::size_t count = slot_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    ProducerSlot* slot = slots_[i].load(std::memory_order_relaxed);
+    std::size_t expected = 0;
+    if (slot->claim.compare_exchange_strong(expected, self, std::memory_order_acq_rel)) {
+      return slot;
+    }
+  }
+  // All claimed: create a new slot. The only lock on any Submit path, taken
+  // once per brand-new producer thread. Checking accepting_ under the mutex
+  // pairs with the quiescence check's mutexed scan: a slot created after
+  // that scan observes accepting_ == false here and never registers.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    return nullptr;
+  }
+  const std::size_t index = slot_count_.load(std::memory_order_relaxed);
+  CONCORD_CHECK(index < kMaxProducerSlots)
+      << "more than " << kMaxProducerSlots << " concurrent submitter threads";
+  storage_.push_back(std::make_unique<ProducerSlot>(owner_, capacity_));
+  ProducerSlot* slot = storage_.back().get();
+  slot->claim.store(self, std::memory_order_relaxed);
+  slots_[index].store(slot, std::memory_order_release);
+  slot_count_.store(index + 1, std::memory_order_release);
+  if constexpr (telemetry::kEnabled) {
+    // High-water mark; written by submitter threads (atomic, monotonic under
+    // mu_ so a plain store suffices).
+    const auto registered = static_cast<std::uint64_t>(index + 1);
+    if (registered > dispatcher_telemetry_->producer_slots.load(std::memory_order_relaxed)) {
+      dispatcher_telemetry_->producer_slots.store(registered, std::memory_order_relaxed);
+    }
+  }
+  return slot;
+}
+
+ProducerSlot* IngressLayer::SlotForThisThread() {
+  auto& tls = internal::t_producer_tls;
+  for (const auto& entry : tls.entries) {
+    if (entry.layer == this && entry.instance == instance_id_) {
+      return entry.slot;
+    }
+  }
+  // Slow path: claim (or create) a slot, and while we are off the fast path
+  // purge cache entries whose layers are gone so long-lived threads do not
+  // accumulate dead entries across runtime instances.
+  ProducerSlot* slot = AcquireProducerSlot();
+  if (slot == nullptr) {
+    return nullptr;  // stopped before this thread ever registered
+  }
+  {
+    std::lock_guard<std::mutex> lock(LiveIngressMu());
+    auto dead = [](const internal::ProducerTlsState::Entry& entry) {
+      return !IsLiveIngressLocked(entry.layer, entry.instance);
+    };
+    tls.entries.erase(std::remove_if(tls.entries.begin(), tls.entries.end(), dead),
+                      tls.entries.end());
+  }
+  tls.entries.push_back({this, instance_id_, slot});
+  return slot;
+}
+
+// concord-lint: allow-no-probe (submitter-side path; loops are bounded TLS/free-list scans)
+bool IngressLayer::Submit(std::uint64_t id, int request_class, void* payload) {
+  ProducerSlot* slot = SlotForThisThread();
+  if (slot == nullptr) {
+    return false;
+  }
+  // Teardown handshake (header comment): mark the submit window before the
+  // accepting check. seq_cst store + seq_cst load is the one StoreLoad edge
+  // on the submit path; the dispatcher pays nothing in steady state.
+  slot->in_submit.store(1, std::memory_order_seq_cst);
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    slot->in_submit.store(0, std::memory_order_release);
+    return false;
+  }
+  // Refill the local free cache from the recycle ring in one batched pop.
+  if (slot->local_free.empty()) {
+    const std::size_t room = slot->local_free.capacity();
+    slot->local_free.resize(room);
+    const std::size_t refilled = slot->recycle.TryPopBatch(slot->local_free.data(), room);
+    slot->local_free.resize(refilled);
+    if (refilled == 0) {
+      // Slab exhausted: every request of this slot is in flight. Reported
+      // without blocking and without any dispatcher-shared lock.
+      slot->in_submit.store(0, std::memory_order_release);
+      return false;
+    }
+  }
+  RuntimeRequest* request = slot->local_free.back();
+  slot->local_free.pop_back();
+  // Field-wise reset: home/runtime are fixed slab invariants and must
+  // survive reuse.
+  request->id = id;
+  request->request_class = request_class;
+  request->payload = payload;
+  request->arrival_tsc = ReadTsc();
+  request->fiber = nullptr;
+  request->started = false;
+  request->on_dispatcher = false;
+  request->finished = false;
+  request->next = nullptr;
+  if constexpr (telemetry::kEnabled) {
+    // Field-wise lifecycle reset as well: stale preempt_tsc stamps past
+    // `preemptions` are never read, so a whole-struct reset would only add
+    // memset traffic to the submit path.
+    request->lifecycle.id = id;
+    request->lifecycle.request_class = request_class;
+    request->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
+    request->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
+    request->lifecycle.preemptions = 0;
+    request->lifecycle.arrival_tsc = request->arrival_tsc;
+    request->lifecycle.dispatch_tsc = 0;
+    request->lifecycle.first_run_tsc = 0;
+    request->lifecycle.finish_tsc = 0;
+  }
+  if (!slot->ingress.TryPush(request)) {
+    // Ingress full: hand the request straight back to the local cache.
+    slot->local_free.push_back(request);
+    slot->in_submit.store(0, std::memory_order_release);
+    return false;
+  }
+  // The release clear orders the push before it: a quiescence scan that
+  // reads 0 here is guaranteed to see the pushed request in the final drain.
+  slot->in_submit.store(0, std::memory_order_release);
+  return true;
+}
+
+bool IngressLayer::SubmittersQuiescent() {
+  // Under mu_: serializes with slot creation, so every slot that could still
+  // push is visible to this scan (creation after our accepting_ == false
+  // observation fails inside AcquireProducerSlot).
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t count = slot_count_.load(std::memory_order_acquire);
+  // concord-lint: allow-no-probe (shutdown-path scan, bounded by registered producer slots)
+  for (std::size_t i = 0; i < count; ++i) {
+    ProducerSlot* slot = slots_[i].load(std::memory_order_relaxed);
+    if (slot->in_submit.load(std::memory_order_seq_cst) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace concord

@@ -1,0 +1,139 @@
+// IngressLayer: the submitter-facing edge of the runtime
+// (docs/architecture.md, docs/runtime.md "lock-free ingress").
+//
+// Each submitting thread owns a ProducerSlot — an ingress ring paired with a
+// recycle ring over a preallocated request slab — registered on first
+// Submit() and cached in TLS. Submit() never takes a lock on the fast path
+// or the backpressure path; the only lock on any submit path guards
+// brand-new slot creation, and the dispatcher takes it only during the
+// shutdown quiescence check (never in steady state).
+//
+// Teardown handshake (the submit-during-stop race): Submit() raises the
+// slot's in_submit marker (seq_cst) before checking accepting_ (seq_cst),
+// and clears it (release) after its ingress push. StopAccepting() stores
+// accepting_ = false (seq_cst). The dispatcher's drain then reaches a sound
+// quiescence verdict: any Submit whose accepting load returned true ordered
+// its in_submit=1 before the accepting store in the single total order, so
+// the dispatcher's later in_submit scan either observes the marker (and
+// retries) or observes the post-push clear (whose release makes the pushed
+// request visible to the final ingress drain). Slot creation checks
+// accepting_ under the creation mutex, so the dispatcher's mutexed scan
+// cannot miss a slot that could still push.
+
+#ifndef CONCORD_SRC_RUNTIME_INGRESS_H_
+#define CONCORD_SRC_RUNTIME_INGRESS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/runtime/request.h"
+#include "src/runtime/spsc_ring.h"
+#include "src/telemetry/telemetry.h"
+
+namespace concord {
+
+namespace internal {
+struct ProducerTlsState;
+}  // namespace internal
+
+// One submitting thread's lock-free lane into the runtime. The submitter
+// owns the ingress producer endpoint, the recycle consumer endpoint and
+// local_free; the dispatcher owns the ingress consumer endpoint and the
+// recycle producer endpoint. The slab, recycle ring and ingress ring all
+// have the same capacity, so every slab request always has a place to be:
+// in local_free, in the ingress ring, owned by the dispatcher/workers, or
+// in the recycle ring. A slot whose thread exits is released (claim -> 0)
+// and adopted by the next new submitter.
+struct ProducerSlot {
+  ProducerSlot(Runtime* owner, std::size_t capacity) : ingress(capacity), recycle(capacity) {
+    slab.reserve(capacity);
+    local_free.reserve(capacity);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slab.push_back(std::make_unique<RuntimeRequest>());
+      slab.back()->home = this;
+      slab.back()->runtime = owner;
+      local_free.push_back(slab.back().get());
+    }
+  }
+  SpscRing<RuntimeRequest*> ingress;  // submitter -> dispatcher
+  SpscRing<RuntimeRequest*> recycle;  // dispatcher -> submitter
+  // 0 when unclaimed; otherwise the claiming thread's id hash. Claimed
+  // with an acquire CAS that pairs with the release store in the exiting
+  // thread's TLS destructor, which also hands over local_free.
+  std::atomic<std::size_t> claim{0};
+  // Nonzero while the owning thread is inside Submit() between its
+  // accepting check and its ingress push (see the teardown handshake above).
+  std::atomic<std::uint32_t> in_submit{0};
+  std::vector<std::unique_ptr<RuntimeRequest>> slab;
+  std::vector<RuntimeRequest*> local_free;  // submitter-owned free cache
+};
+
+class IngressLayer {
+ public:
+  // Registered-producer bound. A slot is one submitting thread's lane;
+  // exited threads' slots are reused, so this bounds *concurrent*
+  // submitters, not submitters ever.
+  static constexpr std::size_t kMaxProducerSlots = 256;
+
+  // `owner` is recorded into every slab request (fiber trampoline);
+  // `dispatcher_telemetry` receives the producer-slot high-water mark.
+  IngressLayer(Runtime* owner, std::size_t slot_capacity,
+               telemetry::DispatcherCounters* dispatcher_telemetry);
+  IngressLayer(const IngressLayer&) = delete;
+  IngressLayer& operator=(const IngressLayer&) = delete;
+  ~IngressLayer();
+
+  // The submitter-side fast path: claims this thread's slot (creating one on
+  // first use), takes a free request, stamps it and pushes it to the ingress
+  // ring. Returns false — without blocking and without touching any
+  // dispatcher-shared lock — on backpressure (slab exhausted or ring full)
+  // or once StopAccepting() has been called.
+  bool Submit(std::uint64_t id, int request_class, void* payload);
+
+  // First phase of shutdown: after this returns, every future Submit()
+  // returns false, and no in-flight Submit() whose accepting check has not
+  // yet passed can push.
+  void StopAccepting() { accepting_.store(false, std::memory_order_seq_cst); }
+  bool accepting() const { return accepting_.load(std::memory_order_acquire); }
+
+  // Dispatcher-side quiescence check (shutdown drain only — takes the slot
+  // creation mutex): true when no submitter is inside the marked window of
+  // Submit(). Once true (after StopAccepting), any request that will ever be
+  // pushed is already visible to a subsequent ingress drain.
+  bool SubmittersQuiescent();
+
+  // Dispatcher-side slot enumeration for the ingress drain. Slots are only
+  // ever appended, and the count is released after the pointer store, so
+  // every index below the acquired count holds a valid pointer.
+  std::size_t slot_count() const { return slot_count_.load(std::memory_order_acquire); }
+  ProducerSlot* slot(std::size_t i) { return slots_[i].load(std::memory_order_relaxed); }
+
+ private:
+  friend struct internal::ProducerTlsState;
+
+  ProducerSlot* AcquireProducerSlot();
+  ProducerSlot* SlotForThisThread();
+
+  Runtime* const owner_;
+  const std::size_t capacity_;
+  telemetry::DispatcherCounters* const dispatcher_telemetry_;
+  std::uint64_t instance_id_ = 0;  // distinguishes reuses of this address in TLS caches
+
+  std::atomic<bool> accepting_{true};
+
+  // Serializes slot *creation* only — claims of released slots are a
+  // lock-free CAS, and the dispatcher takes this lock only in the shutdown
+  // quiescence check.
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ProducerSlot>> storage_;
+  std::array<std::atomic<ProducerSlot*>, kMaxProducerSlots> slots_;
+  std::atomic<std::size_t> slot_count_{0};
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_INGRESS_H_

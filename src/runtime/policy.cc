@@ -1,0 +1,139 @@
+#include "src/runtime/policy.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/telemetry/export.h"
+
+namespace concord {
+
+namespace {
+
+// Receive-side cost of a Shinjuku preemption IPI (user interrupt entry +
+// state save), mirroring src/model/costs.h ipi_notify_ns = 600.0. Kept as a
+// literal so the runtime does not depend on the analytic model library.
+constexpr double kShinjukuIpiCostUs = 0.6;
+
+class ConcordJbsqPolicy final : public SchedulingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kConcordJbsq; }
+  const char* name() const override { return "concord-jbsq"; }
+  int WorkerQueueDepth(int configured_jbsq_depth) const override {
+    return configured_jbsq_depth;
+  }
+  PreemptMode preempt_mode() const override { return PreemptMode::kWhenWorkPending; }
+  double PreemptCostUs(double configured_us) const override {
+    return configured_us < 0.0 ? 0.0 : configured_us;
+  }
+  bool AllowWorkConservingDispatcher(bool configured) const override { return configured; }
+};
+
+class SingleQueuePreemptivePolicy final : public SchedulingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kSingleQueuePreemptive; }
+  const char* name() const override { return "single-queue"; }
+  int WorkerQueueDepth(int /*configured_jbsq_depth*/) const override { return 1; }
+  PreemptMode preempt_mode() const override { return PreemptMode::kAlways; }
+  double PreemptCostUs(double configured_us) const override {
+    return configured_us < 0.0 ? kShinjukuIpiCostUs : configured_us;
+  }
+  bool AllowWorkConservingDispatcher(bool /*configured*/) const override { return false; }
+};
+
+class FcfsNonPreemptivePolicy final : public SchedulingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kFcfsNonPreemptive; }
+  const char* name() const override { return "fcfs"; }
+  int WorkerQueueDepth(int /*configured_jbsq_depth*/) const override { return 1; }
+  PreemptMode preempt_mode() const override { return PreemptMode::kNever; }
+  double PreemptCostUs(double configured_us) const override {
+    return configured_us < 0.0 ? 0.0 : configured_us;
+  }
+  bool AllowWorkConservingDispatcher(bool /*configured*/) const override { return false; }
+};
+
+}  // namespace
+
+bool ParsePolicyKind(std::string_view token, PolicyKind* out) {
+  if (token == "concord-jbsq" || token == "concord") {
+    *out = PolicyKind::kConcordJbsq;
+  } else if (token == "single-queue" || token == "shinjuku") {
+    *out = PolicyKind::kSingleQueuePreemptive;
+  } else if (token == "fcfs" || token == "persephone") {
+    *out = PolicyKind::kFcfsNonPreemptive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kConcordJbsq:
+      return "concord-jbsq";
+    case PolicyKind::kSingleQueuePreemptive:
+      return "single-queue";
+    case PolicyKind::kFcfsNonPreemptive:
+      return "fcfs";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SchedulingPolicy> MakeSchedulingPolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kConcordJbsq:
+      return std::make_unique<ConcordJbsqPolicy>();
+    case PolicyKind::kSingleQueuePreemptive:
+      return std::make_unique<SingleQueuePreemptivePolicy>();
+    case PolicyKind::kFcfsNonPreemptive:
+      return std::make_unique<FcfsNonPreemptivePolicy>();
+  }
+  CONCORD_CHECK(false) << "unknown PolicyKind";
+  return nullptr;
+}
+
+bool ParseShardPlacement(std::string_view token, ShardPlacement* out) {
+  if (token == "rr" || token == "round-robin") {
+    *out = ShardPlacement::kRoundRobin;
+  } else if (token == "jsq") {
+    *out = ShardPlacement::kJsqOccupancy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ShardPlacementName(ShardPlacement placement) {
+  switch (placement) {
+    case ShardPlacement::kRoundRobin:
+      return "rr";
+    case ShardPlacement::kJsqOccupancy:
+      return "jsq";
+  }
+  return "unknown";
+}
+
+RuntimeSelection SelectionFromArgsOrEnv(int argc, char** argv) {
+  RuntimeSelection selection;
+  const std::string policy_token =
+      telemetry::OutPathFromFlagOrEnv(argc, argv, "--policy=", "CONCORD_POLICY");
+  if (!policy_token.empty()) {
+    CONCORD_CHECK(ParsePolicyKind(policy_token, &selection.policy))
+        << "unknown --policy=" << policy_token
+        << " (valid: concord-jbsq, single-queue, fcfs)";
+  }
+  const long long shards = telemetry::IntFromFlagOrEnv(argc, argv, "--shards=", "CONCORD_SHARDS",
+                                                       selection.shard_count);
+  CONCORD_CHECK(shards >= 1 && shards <= 64) << "--shards must be in [1, 64], got " << shards;
+  selection.shard_count = static_cast<int>(shards);
+  const std::string placement_token =
+      telemetry::OutPathFromFlagOrEnv(argc, argv, "--placement=", "CONCORD_PLACEMENT");
+  if (!placement_token.empty()) {
+    CONCORD_CHECK(ParseShardPlacement(placement_token, &selection.placement))
+        << "unknown --placement=" << placement_token << " (valid: rr, jsq)";
+  }
+  return selection;
+}
+
+}  // namespace concord

@@ -1,0 +1,104 @@
+// SchedulingPolicy: the seam between the dispatch loop and the scheduling
+// discipline it executes (docs/architecture.md).
+//
+// The dispatch loop is policy-agnostic. A policy is consulted exactly once,
+// at Runtime::Start(), for its mechanism parameters — per-worker queue
+// depth, preemption mode, modeled preemption cost, whether the dispatcher
+// may steal work — which the runtime caches into plain fields. The hot path
+// therefore pays zero virtual calls: with the default ConcordJbsq policy the
+// dispatcher and worker loops execute the exact same instruction sequence as
+// before the policy layer existed.
+//
+// Three executable policies reproduce the paper's comparison systems on the
+// real runtime (previously analytic-only, src/model/systems.cc):
+//
+//   ConcordJbsq          JBSQ(k) per-worker queues, probe-based preemption
+//                        only when other work is pending, work-conserving
+//                        dispatcher (§3). The paper's system.
+//   SingleQueuePreemptive  Shinjuku-style: one central queue (depth 1 at the
+//                        workers), unconditional quantum preemption, and a
+//                        modeled IPI receive cost spun on the worker after
+//                        every preempted segment (~600ns, mirroring
+//                        model/costs.h ipi_notify_ns).
+//   FcfsNonPreemptive    Persephone-style C-FCFS: one central queue, no
+//                        preemption at all (the signal scan is skipped
+//                        entirely; probes still poll but never fire).
+
+#ifndef CONCORD_SRC_RUNTIME_POLICY_H_
+#define CONCORD_SRC_RUNTIME_POLICY_H_
+
+#include <memory>
+#include <string_view>
+
+namespace concord {
+
+enum class PolicyKind {
+  kConcordJbsq,
+  kSingleQueuePreemptive,
+  kFcfsNonPreemptive,
+};
+
+class SchedulingPolicy {
+ public:
+  enum class PreemptMode {
+    kNever,            // signal scan skipped entirely
+    kWhenWorkPending,  // quantum expired AND something else could run (§2/§3)
+    kAlways,           // quantum expired, unconditionally
+  };
+
+  virtual ~SchedulingPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+  // Stable CLI token (what --policy= accepts and benches print).
+  virtual const char* name() const = 0;
+
+  // Per-worker run-ahead the dispatcher may queue (JBSQ k). Depth-1 policies
+  // model a single central queue: a worker never holds more than the request
+  // it is running.
+  virtual int WorkerQueueDepth(int configured_jbsq_depth) const = 0;
+
+  virtual PreemptMode preempt_mode() const = 0;
+
+  // Modeled receive-side cost a worker pays per honored preemption, in
+  // microseconds (spun on the worker after the preempted segment). Concord
+  // pays probe cost only (0); Shinjuku pays the IPI delivery/kernel-entry
+  // path. `configured_us < 0` selects the policy default.
+  virtual double PreemptCostUs(double configured_us) const = 0;
+
+  // Whether the dispatcher may adopt requests when all workers are busy
+  // (§3.3). Policies without per-worker queues model dispatchers that only
+  // dispatch, so the option is forced off.
+  virtual bool AllowWorkConservingDispatcher(bool configured) const = 0;
+};
+
+// Valid tokens: "concord-jbsq" (alias "concord"), "single-queue" (alias
+// "shinjuku"), "fcfs" (alias "persephone").
+bool ParsePolicyKind(std::string_view token, PolicyKind* out);
+const char* PolicyKindName(PolicyKind kind);
+std::unique_ptr<SchedulingPolicy> MakeSchedulingPolicy(PolicyKind kind);
+
+// Inter-shard placement for ShardedRuntime (docs/architecture.md).
+enum class ShardPlacement {
+  kRoundRobin,    // per-submitter rotating cursor
+  kJsqOccupancy,  // least in-flight (submitted - completed) shard first
+};
+
+// Valid tokens: "rr" (alias "round-robin"), "jsq".
+bool ParseShardPlacement(std::string_view token, ShardPlacement* out);
+const char* ShardPlacementName(ShardPlacement placement);
+
+// Shared runtime-selection flags, parsed identically by every bench and
+// example binary: --policy=NAME (CONCORD_POLICY), --shards=N
+// (CONCORD_SHARDS), --placement=NAME (CONCORD_PLACEMENT); flags win over
+// environment. Unknown tokens abort with the valid spellings listed.
+struct RuntimeSelection {
+  PolicyKind policy = PolicyKind::kConcordJbsq;
+  int shard_count = 1;
+  ShardPlacement placement = ShardPlacement::kRoundRobin;
+};
+
+RuntimeSelection SelectionFromArgsOrEnv(int argc, char** argv);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_POLICY_H_

@@ -1,0 +1,60 @@
+// The request object shared by every runtime layer (docs/architecture.md).
+//
+// A RuntimeRequest is preallocated in a producer slot's slab and cycles
+// through the layers without ever being reallocated:
+//
+//   submitter (ingress ring) -> dispatcher (central queue) -> worker
+//   (JBSQ inbox) -> dispatcher (outbox) -> submitter (recycle ring)
+//
+// Ownership is exclusive at every point and hands over only through
+// release/acquire ring operations, which is why the lifecycle record and the
+// intrusive queue link can be plain fields.
+
+#ifndef CONCORD_SRC_RUNTIME_REQUEST_H_
+#define CONCORD_SRC_RUNTIME_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/telemetry/telemetry.h"
+
+namespace concord {
+
+class Fiber;
+class Runtime;
+struct ProducerSlot;
+
+// What the application's handler sees.
+struct RequestView {
+  std::uint64_t id = 0;
+  int request_class = 0;
+  void* payload = nullptr;
+};
+
+struct RuntimeRequest {
+  std::uint64_t id = 0;
+  int request_class = 0;
+  void* payload = nullptr;
+  std::uint64_t arrival_tsc = 0;
+  Fiber* fiber = nullptr;
+  bool started = false;
+  bool on_dispatcher = false;
+  bool finished = false;
+  // Intrusive link for the dispatcher's central FIFO: requests queue by
+  // threading this pointer, so steady-state dispatch never touches a
+  // node-allocating container.
+  RuntimeRequest* next = nullptr;
+  // The producer slot whose slab owns this request; completions recycle
+  // the request to home->recycle. Fixed at slab construction.
+  ProducerSlot* home = nullptr;
+  // Owning runtime, for the zero-allocation fiber trampoline. Fixed at
+  // slab construction.
+  Runtime* runtime = nullptr;
+  // Lifecycle telemetry. Plain fields: every stamp is written by the
+  // thread that exclusively owns the request at that moment, and ownership
+  // hands over through release/acquire ring operations.
+  telemetry::RequestLifecycle lifecycle;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_REQUEST_H_

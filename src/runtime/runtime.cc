@@ -1,3 +1,7 @@
+// Runtime lifecycle and public API. The dispatcher loop lives in
+// dispatch.cc, the worker loop in worker.cc, the submitter-side ingress in
+// ingress.cc (docs/architecture.md).
+
 #include "src/runtime/runtime.h"
 
 #include <algorithm>
@@ -28,135 +32,23 @@ static_assert(alignof(telemetry::DispatcherWorkerCounters) == kCacheLineSize,
 static_assert(alignof(telemetry::DispatcherCounters) == kCacheLineSize,
               "dispatcher counters must start on a line boundary");
 
-// The live-runtime registry: (runtime address, instance id) pairs for every
-// constructed-but-not-destroyed Runtime. A producer thread's TLS destructor
-// consults it before touching a cached ProducerSlot, so threads outliving a
-// runtime never dereference freed slots; holding the mutex across the
-// release also blocks ~Runtime from freeing the slot mid-release. Function
-// statics avoid initialization-order hazards.
-std::mutex& LiveRuntimeMu() {
-  static std::mutex mu;
-  return mu;
-}
-
-std::vector<std::pair<const Runtime*, std::uint64_t>>& LiveRuntimes() {
-  static std::vector<std::pair<const Runtime*, std::uint64_t>> live;
-  return live;
-}
-
-bool IsLiveRuntimeLocked(const Runtime* runtime, std::uint64_t instance) {
-  const auto& live = LiveRuntimes();
-  return std::find(live.begin(), live.end(), std::make_pair(runtime, instance)) != live.end();
-}
-
-std::uint64_t NextRuntimeInstanceId() {
-  static std::atomic<std::uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
-}
-
-// Nonzero id for producer-slot claim words; the |1 matches SpscRing's debug
-// role pins so a claim word can never be mistaken for "unclaimed".
-std::size_t ThisThreadClaimWord() {
-  return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
-}
-
-// Worker-side probe state: the dedicated signal line and the generation the
-// worker is currently running. Lives on the worker thread.
-struct WorkerProbeState {
-  SignalLine* signal = nullptr;
-  std::uint64_t current_generation = 0;
-};
-
-void WorkerProbeFn(void* arg) {
-  auto* state = static_cast<WorkerProbeState*>(arg);
-  // Cheap path: the line is in L1 until the dispatcher writes it.
-  if (state->signal->word.load(std::memory_order_acquire) == state->current_generation &&
-      Fiber::Current() != nullptr) {
-    // Acknowledge and yield; the worker loop reports the preempted request.
-    state->signal->word.store(0, std::memory_order_release);
-    NoteProbeYield();
-    Fiber::Yield();
-  }
-}
-
-struct DispatcherProbeState {
-  std::uint64_t deadline_tsc = 0;
-};
-
-void DispatcherProbeFn(void* arg) {
-  auto* state = static_cast<DispatcherProbeState*>(arg);
-  if (Fiber::Current() != nullptr && ReadTsc() >= state->deadline_tsc) {
-    NoteProbeYield();
-    Fiber::Yield();
-  }
-}
-
-thread_local DispatcherProbeState t_dispatcher_probe_state;
-
 }  // namespace
 
-namespace internal {
-
-// Per-thread cache of claimed producer slots, one entry per (runtime,
-// instance) this thread has submitted to. The destructor releases the claims
-// of still-live runtimes so the slot (with its slab and any requests parked
-// in its rings) can be adopted by a future submitter thread.
-struct ProducerTlsState {
-  struct Entry {
-    Runtime* runtime = nullptr;
-    std::uint64_t instance = 0;
-    Runtime::ProducerSlot* slot = nullptr;
-  };
-  std::vector<Entry> entries;
-
-  ~ProducerTlsState() {
-    std::lock_guard<std::mutex> lock(LiveRuntimeMu());
-    // concord-lint: allow-no-probe (thread-exit cleanup, never runs handler code)
-    for (const Entry& entry : entries) {
-      if (!IsLiveRuntimeLocked(entry.runtime, entry.instance)) {
-        continue;  // runtime destroyed; the slot is gone with it
-      }
-      // Hand the endpoints over: the next claimant becomes the ingress
-      // producer and recycle consumer. The release store on claim publishes
-      // local_free and the debug-role resets to the acquire CAS claimant.
-      entry.slot->ingress.ResetProducerRole();
-      entry.slot->recycle.ResetConsumerRole();
-      entry.slot->claim.store(0, std::memory_order_release);
-    }
-  }
-};
-
-thread_local ProducerTlsState t_producer_tls;
-
-}  // namespace internal
-
 Runtime::Runtime(Options options, Callbacks callbacks)
-    : options_(std::move(options)), callbacks_(std::move(callbacks)) {
+    : options_(std::move(options)),
+      callbacks_(std::move(callbacks)),
+      ingress_(this, options_.ingress_capacity, &dispatcher_telemetry_) {
   CONCORD_CHECK(options_.worker_count >= 1) << "need at least one worker";
   CONCORD_CHECK(options_.jbsq_depth >= 1) << "JBSQ depth must be >= 1";
   CONCORD_CHECK(options_.quantum_us > 0.0) << "quantum must be positive";
   CONCORD_CHECK(options_.ingress_capacity >= 1) << "ingress capacity must be positive";
   CONCORD_CHECK(callbacks_.handle_request != nullptr) << "handle_request is required";
-  for (auto& slot : producer_slots_) {
-    slot.store(nullptr, std::memory_order_relaxed);
-  }
-  instance_id_ = NextRuntimeInstanceId();
-  std::lock_guard<std::mutex> lock(LiveRuntimeMu());
-  LiveRuntimes().emplace_back(this, instance_id_);
 }
 
 Runtime::~Runtime() {
   if (started_.load() && !stop_.load()) {
     Shutdown();
   }
-  // Unregister before members are destroyed: a producer thread exiting
-  // concurrently either finds us live (and releases its claim while holding
-  // the registry mutex, blocking this erase) or not (and never touches the
-  // slots again).
-  std::lock_guard<std::mutex> lock(LiveRuntimeMu());
-  auto& live = LiveRuntimes();
-  live.erase(std::remove(live.begin(), live.end(), std::make_pair(const_cast<const Runtime*>(this), instance_id_)),
-             live.end());
 }
 
 double Runtime::MeasureTscGhz() {
@@ -183,6 +75,20 @@ void Runtime::Start() {
   tsc_ghz_ = MeasureTscGhz();
   quantum_tsc_ = static_cast<std::uint64_t>(options_.quantum_us * 1000.0 * tsc_ghz_);
 
+  // One policy consultation; the dispatch and worker loops read only the
+  // cached plain fields from here on (policy.h).
+  policy_ = MakeSchedulingPolicy(options_.policy);
+  effective_depth_ = policy_->WorkerQueueDepth(options_.jbsq_depth);
+  CONCORD_CHECK(effective_depth_ >= 1) << "policy returned a non-positive queue depth";
+  preempt_mode_ = policy_->preempt_mode();
+  work_conserving_ =
+      policy_->AllowWorkConservingDispatcher(options_.work_conserving_dispatcher);
+  const double preempt_cost_us = policy_->PreemptCostUs(options_.preempt_cost_us);
+  preempt_cost_tsc_ =
+      preempt_cost_us > 0.0
+          ? static_cast<std::uint64_t>(preempt_cost_us * 1000.0 * tsc_ghz_)
+          : 0;
+
   if (callbacks_.setup) {
     callbacks_.setup();
   }
@@ -201,18 +107,18 @@ void Runtime::Start() {
   // concord-lint: allow-no-probe (startup path, runs before any request exists)
   for (int i = 0; i < options_.worker_count; ++i) {
     workers_.push_back(std::make_unique<WorkerShared>(
-        static_cast<std::size_t>(options_.jbsq_depth), trace_ring_capacity));
+        static_cast<std::size_t>(effective_depth_), trace_ring_capacity));
     dispatcher_worker_telemetry_.push_back(
         std::make_unique<telemetry::DispatcherWorkerCounters>());
     jbsq_stage_[static_cast<std::size_t>(i)].reserve(
-        static_cast<std::size_t>(options_.jbsq_depth));
+        static_cast<std::size_t>(effective_depth_));
   }
   outstanding_.assign(static_cast<std::size_t>(options_.worker_count), 0);
   signaled_generation_.assign(static_cast<std::size_t>(options_.worker_count), 0);
   // Preallocate the hot-path scratch so steady-state dispatch never grows a
   // container (docs/runtime.md, zero-allocation guarantee).
   ingress_scratch_.resize(kIngressDrainBatch);
-  outbox_scratch_.resize(2 * static_cast<std::size_t>(options_.jbsq_depth) + 8);
+  outbox_scratch_.resize(2 * static_cast<std::size_t>(effective_depth_) + 8);
   if constexpr (telemetry::kEnabled) {
     // Fixed-size circular buffer (may be 0: every append then counts as
     // dropped, matching a zero-capacity bounded history).
@@ -239,110 +145,10 @@ void Runtime::Start() {
   }
 }
 
-Runtime::ProducerSlot* Runtime::AcquireProducerSlot() {
-  const std::size_t self = ThisThreadClaimWord();
-  // Adopt a released slot first: bounded lock-free scan. Slots are only ever
-  // appended, and the count is released after the pointer store, so every
-  // index below the acquired count holds a valid pointer.
-  const std::size_t count = producer_slot_count_.load(std::memory_order_acquire);
-  for (std::size_t i = 0; i < count; ++i) {
-    ProducerSlot* slot = producer_slots_[i].load(std::memory_order_relaxed);
-    std::size_t expected = 0;
-    if (slot->claim.compare_exchange_strong(expected, self, std::memory_order_acq_rel)) {
-      return slot;
-    }
-  }
-  // All claimed: create a new slot. The only lock on any Submit path, taken
-  // once per brand-new producer thread; the dispatcher never takes it.
-  std::lock_guard<std::mutex> lock(producers_mu_);
-  const std::size_t index = producer_slot_count_.load(std::memory_order_relaxed);
-  CONCORD_CHECK(index < kMaxProducerSlots)
-      << "more than " << kMaxProducerSlots << " concurrent submitter threads";
-  producer_storage_.push_back(std::make_unique<ProducerSlot>(this, options_.ingress_capacity));
-  ProducerSlot* slot = producer_storage_.back().get();
-  slot->claim.store(self, std::memory_order_relaxed);
-  producer_slots_[index].store(slot, std::memory_order_release);
-  producer_slot_count_.store(index + 1, std::memory_order_release);
-  if constexpr (telemetry::kEnabled) {
-    // High-water mark; written by submitter threads (atomic, monotonic under
-    // producers_mu_ so a plain store suffices).
-    const auto registered = static_cast<std::uint64_t>(index + 1);
-    if (registered > dispatcher_telemetry_.producer_slots.load(std::memory_order_relaxed)) {
-      dispatcher_telemetry_.producer_slots.store(registered, std::memory_order_relaxed);
-    }
-  }
-  return slot;
-}
-
-Runtime::ProducerSlot* Runtime::ProducerSlotForThisThread() {
-  auto& tls = internal::t_producer_tls;
-  for (const auto& entry : tls.entries) {
-    if (entry.runtime == this && entry.instance == instance_id_) {
-      return entry.slot;
-    }
-  }
-  // Slow path: claim (or create) a slot, and while we are off the fast path
-  // purge cache entries whose runtimes are gone so long-lived threads do not
-  // accumulate dead entries across runtime instances.
-  ProducerSlot* slot = AcquireProducerSlot();
-  {
-    std::lock_guard<std::mutex> lock(LiveRuntimeMu());
-    auto dead = [](const internal::ProducerTlsState::Entry& entry) {
-      return !IsLiveRuntimeLocked(entry.runtime, entry.instance);
-    };
-    tls.entries.erase(std::remove_if(tls.entries.begin(), tls.entries.end(), dead),
-                      tls.entries.end());
-  }
-  tls.entries.push_back({this, instance_id_, slot});
-  return slot;
-}
-
-// concord-lint: allow-no-probe (submitter-side path; loops are bounded TLS/free-list scans)
+// concord-lint: allow-no-probe (submitter-side path; delegates to the lock-free ingress layer)
 bool Runtime::Submit(std::uint64_t id, int request_class, void* payload) {
   CONCORD_CHECK(started_.load()) << "runtime not started";
-  ProducerSlot* slot = ProducerSlotForThisThread();
-  // Refill the local free cache from the recycle ring in one batched pop.
-  if (slot->local_free.empty()) {
-    const std::size_t room = slot->local_free.capacity();
-    slot->local_free.resize(room);
-    const std::size_t refilled = slot->recycle.TryPopBatch(slot->local_free.data(), room);
-    slot->local_free.resize(refilled);
-    if (refilled == 0) {
-      // Slab exhausted: every request of this slot is in flight. Reported
-      // without blocking and without any dispatcher-shared lock.
-      return false;
-    }
-  }
-  RuntimeRequest* request = slot->local_free.back();
-  slot->local_free.pop_back();
-  // Field-wise reset: home/runtime are fixed slab invariants and must
-  // survive reuse.
-  request->id = id;
-  request->request_class = request_class;
-  request->payload = payload;
-  request->arrival_tsc = ReadTsc();
-  request->fiber = nullptr;
-  request->started = false;
-  request->on_dispatcher = false;
-  request->finished = false;
-  request->next = nullptr;
-  if constexpr (telemetry::kEnabled) {
-    // Field-wise lifecycle reset as well: stale preempt_tsc stamps past
-    // `preemptions` are never read, so a whole-struct reset would only add
-    // memset traffic to the submit path.
-    request->lifecycle.id = id;
-    request->lifecycle.request_class = request_class;
-    request->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
-    request->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
-    request->lifecycle.preemptions = 0;
-    request->lifecycle.arrival_tsc = request->arrival_tsc;
-    request->lifecycle.dispatch_tsc = 0;
-    request->lifecycle.first_run_tsc = 0;
-    request->lifecycle.finish_tsc = 0;
-  }
-  if (!slot->ingress.TryPush(request)) {
-    // Ingress full: hand the request straight back to the local cache.
-    slot->local_free.push_back(request);
+  if (!ingress_.Submit(id, request_class, payload)) {
     return false;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -356,12 +162,19 @@ void Runtime::WaitIdle() {
   }
 }
 
+void Runtime::StopAccepting() { ingress_.StopAccepting(); }
+
 void Runtime::Shutdown() {
   if (!started_.load()) {
     return;
   }
-  WaitIdle();
-  stop_.store(true, std::memory_order_release);
+  // Phase 1: refuse new work, so racing submitters observe `false` instead
+  // of stranding requests behind the drain (regression: submit-during-stop).
+  ingress_.StopAccepting();
+  // Phase 2: ask the dispatcher to drain to quiescence. It sets stop_ (the
+  // workers' exit signal) itself once the central queue, worker queues and
+  // ingress rings are empty and no Submit() is mid-push.
+  drain_requested_.store(true, std::memory_order_release);
   for (std::thread& thread : threads_) {
     thread.join();
   }
@@ -411,7 +224,10 @@ trace::TraceCapture Runtime::GetTrace() const {
   capture = trace_collector_->Capture();
   capture.tsc_ghz = tsc_ghz_;
   capture.worker_count = options_.worker_count;
-  capture.jbsq_depth = options_.jbsq_depth;
+  // The *effective* depth: the offline analyzer checks JBSQ occupancy
+  // against this bound, which for depth-1 policies is 1, not the configured
+  // jbsq_depth.
+  capture.jbsq_depth = effective_depth_;
   capture.quantum_us = options_.quantum_us;
   return capture;
 }
@@ -515,390 +331,6 @@ void Runtime::CompleteRequest(RuntimeRequest* request, bool on_dispatcher) {
   telemetry::BumpSingleWriter(completed_, 1, std::memory_order_release);
 }
 
-void Runtime::CentralPushBack(RuntimeRequest* request) {
-  request->next = nullptr;
-  if (central_tail_ == nullptr) {
-    central_head_ = request;
-  } else {
-    central_tail_->next = request;
-  }
-  central_tail_ = request;
-  ++central_size_;
-}
-
-Runtime::RuntimeRequest* Runtime::CentralPopFront() {
-  RuntimeRequest* request = central_head_;
-  if (request == nullptr) {
-    return nullptr;
-  }
-  central_head_ = request->next;
-  if (central_head_ == nullptr) {
-    central_tail_ = nullptr;
-  }
-  request->next = nullptr;
-  --central_size_;
-  return request;
-}
-
-// concord-lint: allow-no-probe (dispatcher-side bounded walk of the central queue)
-Runtime::RuntimeRequest* Runtime::TakeFirstUnstarted() {
-  RuntimeRequest* prev = nullptr;
-  // concord-lint: allow-no-probe (dispatcher-side scan, bounded by central queue occupancy)
-  for (RuntimeRequest* cur = central_head_; cur != nullptr; prev = cur, cur = cur->next) {
-    if (cur->started) {
-      continue;
-    }
-    if (prev == nullptr) {
-      central_head_ = cur->next;
-    } else {
-      prev->next = cur->next;
-    }
-    if (central_tail_ == cur) {
-      central_tail_ = prev;
-    }
-    cur->next = nullptr;
-    --central_size_;
-    return cur;
-  }
-  return nullptr;
-}
-
-// Adopts submitted requests from every registered producer ring, one batched
-// pop per ring per pass (round-robin across producers for fairness; the
-// batch bound caps per-producer burst).
-// concord-lint: allow-no-probe (dispatcher loop body; requests not yet running)
-void Runtime::DrainIngress(bool* progress) {
-  const std::size_t slot_count = producer_slot_count_.load(std::memory_order_acquire);
-  // concord-lint: allow-no-probe (dispatcher loop body; bounded by registered producer slots)
-  for (std::size_t s = 0; s < slot_count; ++s) {
-    ProducerSlot* slot = producer_slots_[s].load(std::memory_order_relaxed);
-    const std::size_t n = slot->ingress.TryPopBatch(ingress_scratch_.data(), kIngressDrainBatch);
-    if (n == 0) {
-      continue;
-    }
-    *progress = true;
-    std::uint64_t adopt_tsc = 0;
-    if constexpr (telemetry::kEnabled) {
-      telemetry::BumpSingleWriter(dispatcher_telemetry_.ingress_batches);
-      telemetry::BumpSingleWriter(dispatcher_telemetry_.ingress_drained, n);
-      if (n > dispatcher_telemetry_.max_ingress_batch.load(std::memory_order_relaxed)) {
-        dispatcher_telemetry_.max_ingress_batch.store(n, std::memory_order_relaxed);
-      }
-      if (tracing_) {
-        adopt_tsc = ReadTsc();
-      }
-    }
-    // concord-lint: allow-no-probe (dispatcher loop body; bounded by the drain batch size)
-    for (std::size_t i = 0; i < n; ++i) {
-      RuntimeRequest* request = ingress_scratch_[i];
-      CentralPushBack(request);
-      if constexpr (telemetry::kEnabled) {
-        if (tracing_) {
-          trace_scratch_.push_back(
-              trace::TraceRecord{request->id, request->arrival_tsc, adopt_tsc,
-                                 trace::RecordKind::kArrival, trace::kDispatcherTrack,
-                                 request->request_class, 0});
-        }
-      }
-    }
-  }
-}
-
-void Runtime::DrainOutboxes(bool* progress) {
-  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
-  for (int w = 0; w < options_.worker_count; ++w) {
-    WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
-    // One batched pop retires every returned request with a single release
-    // store; the outbox holds at most 2k+8 entries, which the scratch covers.
-    const std::size_t n = shared.outbox.TryPopBatch(outbox_scratch_.data(),
-                                                    outbox_scratch_.size());
-    if (n == 0) {
-      continue;
-    }
-    *progress = true;
-    outstanding_[static_cast<std::size_t>(w)] -= static_cast<int>(n);
-    CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(w)] >= 0)
-        << "worker " << w << " returned more requests than were dispatched";
-    if constexpr (telemetry::kEnabled) {
-      // Adopt completed lifecycles before any request is recycled (the
-      // producer may reuse the slab object the instant it leaves here).
-      // The outbox pop's acquire pairs with the worker's release push, so
-      // the worker's lifecycle stamps are visible. One lock per batch.
-      std::uint64_t finished_n = 0;
-      // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
-      for (std::size_t i = 0; i < n; ++i) {
-        finished_n += outbox_scratch_[i]->finished ? 1u : 0u;
-      }
-      if (finished_n != 0) {
-        std::lock_guard<std::mutex> lock(telemetry_mu_);
-        telemetry::BumpSingleWriter(dispatcher_telemetry_.events_drained, finished_n);
-        // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
-        for (std::size_t i = 0; i < n; ++i) {
-          if (outbox_scratch_[i]->finished) {
-            AppendLifecycleLocked(outbox_scratch_[i]->lifecycle);
-          }
-        }
-      }
-    }
-    // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
-    for (std::size_t i = 0; i < n; ++i) {
-      RuntimeRequest* request = outbox_scratch_[i];
-      // §3.3: self-preempted dispatcher requests are pinned; one must never
-      // surface in a worker outbox.
-      CONCORD_DCHECK(!request->on_dispatcher)
-          << "dispatcher-pinned request flowed through worker " << w;
-      if (request->finished) {
-        CompleteRequest(request, /*on_dispatcher=*/false);
-      } else {
-        // Preempted: back on the central queue tail (quantum round-robin).
-        telemetry::BumpSingleWriter(preemptions_);
-        CentralPushBack(request);
-      }
-    }
-  }
-}
-
-// concord-lint: allow-no-probe (dispatcher loop body; placement decisions only)
-void Runtime::PushJbsq(bool* progress) {
-  // Stage placements first — the argmin decisions are identical to pushing
-  // one at a time because outstanding_ is bumped at stage time — then
-  // publish each worker's refill with one batched ring push: one release
-  // store (and one coherence handshake with the worker, §3.2) per refill
-  // instead of one per request.
-  bool staged_any = false;
-  std::uint64_t pass_dispatch_tsc = 0;  // lazily stamped once per staging pass
-  // concord-lint: allow-no-probe (dispatcher loop body; bounded by central queue and jbsq capacity)
-  while (central_head_ != nullptr) {
-    // Shortest queue with a free slot; ties to the lowest index.
-    int best = -1;
-    // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
-    for (int w = 0; w < options_.worker_count; ++w) {
-      if (outstanding_[static_cast<std::size_t>(w)] >= options_.jbsq_depth) {
-        continue;
-      }
-      if (best < 0 ||
-          outstanding_[static_cast<std::size_t>(w)] < outstanding_[static_cast<std::size_t>(best)]) {
-        best = w;
-      }
-    }
-    if (best < 0) {
-      break;
-    }
-    RuntimeRequest* request = CentralPopFront();
-    if (!request->started) {
-      ArmRequestFiber(request);
-      request->started = true;
-    }
-    CONCORD_DCHECK(outstanding_[static_cast<std::size_t>(best)] < options_.jbsq_depth)
-        << "JBSQ(k) bound about to be exceeded for worker " << best;
-    if constexpr (telemetry::kEnabled) {
-      // Stamp before the publish below: past it, the worker owns the
-      // request. One TSC read covers the whole staging pass — placements in
-      // a pass are decided back to back, and the worker's first_run stamp is
-      // always taken after the batched publish, so ordering is preserved.
-      if (pass_dispatch_tsc == 0) {
-        pass_dispatch_tsc = ReadTsc();
-      }
-      if (request->lifecycle.dispatch_tsc == 0) {
-        request->lifecycle.dispatch_tsc = pass_dispatch_tsc;
-      }
-      if (tracing_) {
-        // detail = JBSQ occupancy right after this placement; the offline
-        // analyzer checks it against k.
-        trace_scratch_.push_back(trace::TraceRecord{
-            request->id, pass_dispatch_tsc, 0, trace::RecordKind::kDispatch, best,
-            request->request_class,
-            static_cast<std::uint32_t>(outstanding_[static_cast<std::size_t>(best)] + 1)});
-      }
-    }
-    jbsq_stage_[static_cast<std::size_t>(best)].push_back(request);
-    outstanding_[static_cast<std::size_t>(best)] += 1;
-    if constexpr (telemetry::kEnabled) {
-      telemetry::DispatcherWorkerCounters& counters =
-          *dispatcher_worker_telemetry_[static_cast<std::size_t>(best)];
-      telemetry::BumpSingleWriter(counters.jbsq_pushes);
-      const auto inflight = static_cast<std::uint64_t>(outstanding_[static_cast<std::size_t>(best)]);
-      if (inflight > counters.max_inflight.load(std::memory_order_relaxed)) {
-        counters.max_inflight.store(inflight, std::memory_order_relaxed);
-      }
-    }
-    staged_any = true;
-    *progress = true;
-  }
-  if (!staged_any) {
-    return;
-  }
-  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count and jbsq depth)
-  for (int w = 0; w < options_.worker_count; ++w) {
-    std::vector<RuntimeRequest*>& stage = jbsq_stage_[static_cast<std::size_t>(w)];
-    if (stage.empty()) {
-      continue;
-    }
-    const std::size_t pushed =
-        workers_[static_cast<std::size_t>(w)]->inbox.TryPushBatch(stage.data(), stage.size());
-    CONCORD_CHECK(pushed == stage.size()) << "JBSQ inbox overflow despite outstanding bound";
-    if constexpr (telemetry::kEnabled) {
-      telemetry::BumpSingleWriter(dispatcher_telemetry_.jbsq_batches);
-    }
-    stage.clear();
-  }
-}
-
-// concord-lint: allow-no-probe (dispatcher loop body; signal writes only)
-void Runtime::SendPreemptSignals() {
-  const std::uint64_t now = ReadTsc();
-  // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
-  for (int w = 0; w < options_.worker_count; ++w) {
-    WorkerShared& shared = *workers_[static_cast<std::size_t>(w)];
-    // Handshake order matters: the worker publishes run_start_tsc *before*
-    // generation (release), so once a generation is observed (acquire) the
-    // paired start time — or a later segment's — is all this loop can read.
-    // Reading in the opposite order could pair a stale, long-elapsed start
-    // with a brand-new generation and preempt a request that just began.
-    const std::uint64_t generation = shared.generation.value.load(std::memory_order_acquire);
-    if (generation == 0 || signaled_generation_[static_cast<std::size_t>(w)] == generation) {
-      continue;  // idle or already signalled this segment
-    }
-    const std::uint64_t start = shared.run_start_tsc.value.load(std::memory_order_acquire);
-    if (start == 0 || now - start < quantum_tsc_) {
-      continue;
-    }
-    // Preemption only pays off when something else could run (§2/§3).
-    if (central_head_ == nullptr && outstanding_[static_cast<std::size_t>(w)] <= 1) {
-      continue;
-    }
-    // The worker may have finished the segment between the two loads; a
-    // changed generation means `start` belongs to a different segment, so
-    // skip and re-evaluate next pass rather than signal on mixed state.
-    if (shared.generation.value.load(std::memory_order_acquire) != generation) {
-      continue;
-    }
-    if constexpr (telemetry::kEnabled) {
-      // Count before the signal store: the worker can only honor (and count
-      // a yield for) a request that is already accounted, so honored <=
-      // requested holds for quiescent snapshots.
-      telemetry::BumpSingleWriter(
-          dispatcher_worker_telemetry_[static_cast<std::size_t>(w)]->preempt_signals_sent);
-    }
-    shared.preempt_signal.word.store(generation, std::memory_order_release);
-    signaled_generation_[static_cast<std::size_t>(w)] = generation;
-    if constexpr (telemetry::kEnabled) {
-      if (tracing_) {
-        // The dispatcher knows the target worker and generation, not the
-        // request id; the trace renders this as an instant on the worker's
-        // track and the analyzer counts (but does not stitch) it.
-        trace_scratch_.push_back(
-            trace::TraceRecord{0, now, 0, trace::RecordKind::kPreemptSignal, w, 0, 0});
-      }
-    }
-  }
-}
-
-// concord-lint: allow-no-probe (dispatcher adoption path; the handler runs in a probed fiber)
-void Runtime::MaybeRunAppRequest() {
-  if (dispatcher_request_ == nullptr) {
-    if (!options_.work_conserving_dispatcher) {
-      return;
-    }
-    // Steal only when every worker queue is full (§3.3).
-    for (int w = 0; w < options_.worker_count; ++w) {
-      if (outstanding_[static_cast<std::size_t>(w)] < options_.jbsq_depth) {
-        return;
-      }
-    }
-    RuntimeRequest* request = TakeFirstUnstarted();
-    if (request == nullptr) {
-      return;
-    }
-    ArmRequestFiber(request);
-    request->started = true;
-    request->on_dispatcher = true;
-    telemetry::BumpSingleWriter(dispatcher_started_count_);
-    if constexpr (telemetry::kEnabled) {
-      const std::uint64_t dispatch_tsc = ReadTsc();
-      if (request->lifecycle.dispatch_tsc == 0) {
-        request->lifecycle.dispatch_tsc = dispatch_tsc;
-      }
-      telemetry::BumpSingleWriter(dispatcher_telemetry_.requests_started);
-      if (tracing_) {
-        // Adoption is the dispatcher-pinned analogue of a JBSQ push.
-        trace_scratch_.push_back(trace::TraceRecord{request->id, dispatch_tsc, 0,
-                                                    trace::RecordKind::kDispatch,
-                                                    trace::kDispatcherTrack,
-                                                    request->request_class, 0});
-      }
-    }
-    dispatcher_request_ = request;
-  }
-  // Run (or resume) the dispatcher's request for one quantum under
-  // rdtsc-based self-preemption.
-  CONCORD_DCHECK(dispatcher_request_->on_dispatcher)
-      << "dispatcher resumed a request it does not own";
-  const std::uint64_t quantum_start_tsc = ReadTsc();
-  if constexpr (telemetry::kEnabled) {
-    if (dispatcher_request_->lifecycle.first_run_tsc == 0) {
-      dispatcher_request_->lifecycle.first_run_tsc = quantum_start_tsc;
-      dispatcher_request_->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
-    }
-    telemetry::BumpSingleWriter(dispatcher_telemetry_.quanta_run);
-  }
-  t_dispatcher_probe_state.deadline_tsc = quantum_start_tsc + quantum_tsc_;
-  const bool finished = dispatcher_request_->fiber->Run();
-  if constexpr (telemetry::kEnabled) {
-    // Probes only run on this thread inside dispatcher quanta, so folding
-    // the thread-local here captures them all.
-    const std::uint64_t probe_count = ProbeCount();
-    telemetry::BumpSingleWriter(dispatcher_telemetry_.probe_polls,
-                                probe_count - dispatcher_probe_count_baseline_);
-    dispatcher_probe_count_baseline_ = probe_count;
-    const std::uint64_t segment_end_tsc = ReadTsc();
-    if (finished) {
-      dispatcher_request_->lifecycle.finish_tsc = segment_end_tsc;
-      dispatcher_request_->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
-      telemetry::BumpSingleWriter(dispatcher_telemetry_.requests_completed);
-      AppendLifecycle(dispatcher_request_->lifecycle);
-    } else {
-      dispatcher_request_->lifecycle.RecordPreemption(segment_end_tsc);
-    }
-    if (tracing_) {
-      trace_scratch_.push_back(trace::TraceRecord{
-          dispatcher_request_->id, quantum_start_tsc, segment_end_tsc,
-          trace::RecordKind::kSegment, trace::kDispatcherTrack,
-          dispatcher_request_->request_class,
-          static_cast<std::uint32_t>(finished ? trace::SegmentEnd::kFinished
-                                              : trace::SegmentEnd::kDispatcherQuantum)});
-    }
-  }
-  if (finished) {
-    CompleteRequest(dispatcher_request_, /*on_dispatcher=*/true);
-    dispatcher_request_ = nullptr;
-  }
-  // Unfinished requests stay parked here: their instrumentation (and in the
-  // real system, their code version) pins them to the dispatcher.
-}
-
-// Flushes the dispatcher's batched trace records and moves worker-published
-// segment records into the trace collector. The dispatcher's own records are
-// staged in trace_scratch_ during the loop pass so the collector lock is
-// taken once per pass, not once per record — that difference is measurable
-// at no-op service times. Cheap when tracing is off (one branch) or there is
-// nothing to move.
-void Runtime::DrainTraceRings() {
-  if constexpr (!telemetry::kEnabled) {
-    return;
-  }
-  if (!tracing_) {
-    return;
-  }
-  if (!trace_scratch_.empty()) {
-    trace_collector_->AppendAll(trace_scratch_.data(), trace_scratch_.size());
-    trace_scratch_.clear();
-  }
-  for (int w = 0; w < options_.worker_count; ++w) {
-    trace_collector_->DrainWorkerRing(w, &workers_[static_cast<std::size_t>(w)]->trace_ring);
-  }
-}
-
 void Runtime::AppendLifecycle(const telemetry::RequestLifecycle& lifecycle) {
   std::lock_guard<std::mutex> lock(telemetry_mu_);
   AppendLifecycleLocked(lifecycle);
@@ -927,166 +359,6 @@ void Runtime::AppendLifecycleLocked(const telemetry::RequestLifecycle& lifecycle
   }
   lifecycle_history_[tail] = lifecycle;
   ++lifecycle_history_count_;
-}
-
-// concord-lint: allow-no-probe (scheduler loop: probes belong to request code it runs)
-void Runtime::DispatcherLoop() {
-  if (callbacks_.setup_worker) {
-    callbacks_.setup_worker(-1);
-  }
-  SetProbeBinding(ProbeBinding{&DispatcherProbeFn, &t_dispatcher_probe_state});
-  AllocAuditThreadState audit;
-  Backoff backoff;
-  // concord-lint: allow-no-probe (dispatcher main loop; request handlers run in probed fibers)
-  while (!stop_.load(std::memory_order_acquire)) {
-    PollAllocAudit(&audit);
-    bool progress = false;
-    DrainIngress(&progress);
-    DrainOutboxes(&progress);
-    PushJbsq(&progress);
-    SendPreemptSignals();
-    MaybeRunAppRequest();
-    if (progress || dispatcher_request_ != nullptr) {
-      // Drain only on passes that moved work: a worker publishes its trace
-      // records immediately before the outbox push, so an idle pass has
-      // nothing new to collect — and skipping the (cheap but not free)
-      // empty-ring reads keeps the idle spin tight. The final drain below
-      // picks up anything published right before stop. (Lifecycles need no
-      // drain pass at all: DrainOutboxes adopts them with the request.)
-      DrainTraceRings();
-      backoff.Reset();
-    } else {
-      backoff.Idle();
-    }
-  }
-  // Final drain: trace records published between the last pass and the stop
-  // flag must still reach the collector before the threads join.
-  DrainTraceRings();
-  SetProbeBinding({});
-}
-
-// concord-lint: allow-no-probe (scheduler loop: probes belong to request code it runs)
-void Runtime::WorkerLoop(int worker_index) {
-  if (callbacks_.setup_worker) {
-    callbacks_.setup_worker(worker_index);
-  }
-  WorkerShared& shared = *workers_[static_cast<std::size_t>(worker_index)];
-  WorkerProbeState probe_state;
-  probe_state.signal = &shared.preempt_signal;
-  SetProbeBinding(ProbeBinding{&WorkerProbeFn, &probe_state});
-
-  // Telemetry fold state: thread-local instrument counters are sampled at
-  // segment boundaries and their deltas attributed to this worker's block.
-  telemetry::WorkerCounters& counters = shared.counters;
-  std::uint64_t last_probe_count = ProbeCount();
-  std::uint64_t last_probe_yields = ProbeYieldCount();
-  std::uint64_t last_fiber_switches = telemetry::ThreadFiberSwitches();
-  std::uint64_t idle_start_tsc = 0;
-
-  // Inbox drain buffer, sized to the JBSQ bound (allocated once at thread
-  // start, before any request runs).
-  std::vector<RuntimeRequest*> inbox_batch(static_cast<std::size_t>(options_.jbsq_depth));
-  AllocAuditThreadState audit;
-
-  std::uint64_t generation = 0;
-  Backoff backoff;
-  // concord-lint: allow-no-probe (worker main loop; request handlers run in probed fibers)
-  while (!stop_.load(std::memory_order_acquire)) {
-    PollAllocAudit(&audit);
-    // One batched pop claims the whole refill the dispatcher published with
-    // one batched push: a single acquire/release pair per refill (§3.2).
-    const std::size_t batch_n = shared.inbox.TryPopBatch(inbox_batch.data(), inbox_batch.size());
-    if (batch_n == 0) {
-      if constexpr (telemetry::kEnabled) {
-        if (idle_start_tsc == 0) {
-          idle_start_tsc = ReadTsc();
-        }
-      }
-      backoff.Idle();
-      continue;
-    }
-    backoff.Reset();
-    // concord-lint: allow-no-probe (worker loop body; bounded by jbsq inbox batch)
-    for (std::size_t b = 0; b < batch_n; ++b) {
-      RuntimeRequest* request = inbox_batch[b];
-      const std::uint64_t segment_start_tsc = ReadTsc();
-      if constexpr (telemetry::kEnabled) {
-        if (idle_start_tsc != 0) {
-          telemetry::BumpSingleWriter(counters.idle_cycles, segment_start_tsc - idle_start_tsc);
-          idle_start_tsc = 0;
-        }
-        if (request->lifecycle.first_run_tsc == 0) {
-          request->lifecycle.first_run_tsc = segment_start_tsc;
-          request->lifecycle.first_worker = worker_index;
-          telemetry::BumpSingleWriter(counters.requests_started);
-        }
-        telemetry::BumpSingleWriter(counters.segments_run);
-      }
-      // New segment: clear any stale signal, publish start time then
-      // generation. The generation store is the release edge the dispatcher
-      // acquires, which guarantees it never pairs a fresh generation with a
-      // previous segment's start time (see SendPreemptSignals).
-      generation += 1;
-      probe_state.current_generation = generation;
-      shared.preempt_signal.word.store(0, std::memory_order_release);
-      shared.run_start_tsc.value.store(segment_start_tsc, std::memory_order_relaxed);
-      shared.generation.value.store(generation, std::memory_order_release);
-
-      const bool finished = request->fiber->Run();
-
-      // Teardown mirrors the publish: retract the generation first so the
-      // dispatcher stops considering this segment before the start time resets.
-      shared.generation.value.store(0, std::memory_order_release);
-      shared.run_start_tsc.value.store(0, std::memory_order_release);
-      if constexpr (telemetry::kEnabled) {
-        const std::uint64_t segment_end_tsc = ReadTsc();
-        telemetry::BumpSingleWriter(counters.busy_cycles, segment_end_tsc - segment_start_tsc);
-        // Zero deltas (probe-free handlers) skip the counter write entirely.
-        const std::uint64_t probe_count = ProbeCount();
-        if (probe_count != last_probe_count) {
-          telemetry::BumpSingleWriter(counters.probe_polls, probe_count - last_probe_count);
-          last_probe_count = probe_count;
-        }
-        const std::uint64_t probe_yields = ProbeYieldCount();
-        if (probe_yields != last_probe_yields) {
-          telemetry::BumpSingleWriter(counters.probe_yields, probe_yields - last_probe_yields);
-          last_probe_yields = probe_yields;
-        }
-        const std::uint64_t fiber_switches = telemetry::ThreadFiberSwitches();
-        if (fiber_switches != last_fiber_switches) {
-          telemetry::BumpSingleWriter(counters.fiber_switches, fiber_switches - last_fiber_switches);
-          last_fiber_switches = fiber_switches;
-        }
-        if (finished) {
-          request->lifecycle.finish_tsc = segment_end_tsc;
-          request->lifecycle.completion_worker = worker_index;
-          telemetry::BumpSingleWriter(counters.requests_completed);
-          // No separate publish: the lifecycle rides inside the request, and
-          // the outbox push below is the release edge that hands the whole
-          // object (stamps included) to the dispatcher.
-        } else {
-          request->lifecycle.RecordPreemption(segment_end_tsc);
-        }
-        if (tracing_) {
-          // Published by value through the worker's seqlock trace ring; the
-          // dispatcher's drain attributes any overwritten slot exactly from
-          // the ring sequence numbers.
-          shared.trace_ring.Push(trace::TraceRecord{
-              request->id, segment_start_tsc, segment_end_tsc, trace::RecordKind::kSegment,
-              worker_index, request->request_class,
-              static_cast<std::uint32_t>(finished ? trace::SegmentEnd::kFinished
-                                                  : trace::SegmentEnd::kPreemptYield)});
-        }
-      }
-      request->finished = finished;
-      Backoff push_backoff;
-      // concord-lint: allow-no-probe (bounded wait: dispatcher always drains the outbox)
-      while (!shared.outbox.TryPush(request)) {
-        push_backoff.Idle();
-      }
-    }
-  }
-  SetProbeBinding({});
 }
 
 void SpinWithProbesUs(double us) {

@@ -6,33 +6,42 @@
 // handle_request); its request-handling code is instrumented with
 // CONCORD_PROBE() (see instrument.h), which stands in for the LLVM pass.
 //
+// The runtime is layered (docs/architecture.md); one Runtime instance wires
+// the layers together around a SchedulingPolicy:
+//
+//   IngressLayer (src/runtime/ingress.h)    lock-free per-producer lanes
+//   CentralQueue (src/runtime/central_queue.h)  intrusive dispatcher FIFO
+//   SchedulingPolicy (src/runtime/policy.h) queue depth / preemption mode
+//   WorkerShared (src/runtime/worker.h)     JBSQ inbox, outbox, signal line
+//   dispatch loop (src/runtime/dispatch.cc) policy-agnostic placement
+//   worker loop (src/runtime/worker.cc)     fiber execution + probe yields
+//
 // Data paths:
 //   submitters --(per-producer SPSC ingress rings)--> dispatcher
 //   --(per-worker SPSC inboxes, depth k)--> workers --(SPSC outboxes:
 //   finished + preempted)--> dispatcher --(per-producer SPSC recycle
 //   rings)--> submitters
 //
-// Ingress is lock-free: each submitting thread registers a ProducerSlot (an
-// ingress ring paired with a recycle ring and a preallocated request slab)
-// on first Submit(), and the dispatcher drains the registered slots
-// round-robin in batches. Submit() never takes a lock — not on the fast
-// path and not on the backpressure path (docs/runtime.md).
-//
 // Preemption: each worker publishes (generation, start timestamp) when it
-// begins running a request. The dispatcher monitors elapsed time and, when a
-// request exceeds its quantum and other work is pending, writes the worker's
-// dedicated signal cache line. The worker's next probe observes the signal
-// and yields its fiber; the dispatcher re-places the preempted request on
-// the central queue, from where any worker can resume it.
+// begins running a request. The dispatcher monitors elapsed time and, when
+// the policy's preemption condition holds, writes the worker's dedicated
+// signal cache line. The worker's next probe observes the signal and yields
+// its fiber; the dispatcher re-places the preempted request on the central
+// queue, from where any worker can resume it.
 //
 // Work conservation: when every inbox is full and un-started requests wait
 // in the central queue, the dispatcher runs one itself under timer-based
 // self-preemption; such a request is pinned to the dispatcher (§3.3).
+//
+// Policies are consulted once at Start() and cached into plain fields; with
+// the default ConcordJbsq policy the hot path is unchanged from the
+// pre-policy runtime (zero virtual calls, zero steady-state allocations).
+// For multi-dispatcher execution see ShardedRuntime
+// (src/runtime/sharded_runtime.h).
 
 #ifndef CONCORD_SRC_RUNTIME_RUNTIME_H_
 #define CONCORD_SRC_RUNTIME_RUNTIME_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -41,26 +50,18 @@
 #include <thread>
 #include <vector>
 
-#include "src/common/cacheline.h"
+#include "src/runtime/central_queue.h"
 #include "src/runtime/context.h"
+#include "src/runtime/ingress.h"
+#include "src/runtime/policy.h"
+#include "src/runtime/request.h"
 #include "src/runtime/spsc_ring.h"
-#include "src/telemetry/event_ring.h"
+#include "src/runtime/worker.h"
 #include "src/telemetry/telemetry.h"
 #include "src/trace/collector.h"
 #include "src/trace/trace_record.h"
 
 namespace concord {
-
-namespace internal {
-struct ProducerTlsState;
-}  // namespace internal
-
-// What the application's handler sees.
-struct RequestView {
-  std::uint64_t id = 0;
-  int request_class = 0;
-  void* payload = nullptr;
-};
 
 class Runtime {
  public:
@@ -68,6 +69,16 @@ class Runtime {
     int worker_count = 2;
     double quantum_us = 5.0;
     int jbsq_depth = 2;
+    // Scheduling discipline (src/runtime/policy.h). The policy decides the
+    // effective per-worker queue depth, the preemption mode and whether the
+    // work-conserving dispatcher is allowed; ConcordJbsq preserves every
+    // option below as configured.
+    PolicyKind policy = PolicyKind::kConcordJbsq;
+    // Modeled worker-side cost of honoring one preemption, in microseconds
+    // (spun on the worker after a preempted segment). Negative selects the
+    // policy default: 0 for ConcordJbsq/Fcfs, ~0.6us (the Shinjuku IPI
+    // receive path, model/costs.h ipi_notify_ns) for SingleQueuePreemptive.
+    double preempt_cost_us = -1.0;
     bool work_conserving_dispatcher = true;
     // Pin dispatcher/workers to consecutive CPUs (best effort; skipped when
     // the host has too few cores).
@@ -126,19 +137,38 @@ class Runtime {
   // Enqueues a request. Thread-safe and lock-free: the calling thread's
   // producer slot is claimed on first use (the only Submit path that can
   // take a lock, and only for brand-new slot creation — never a lock the
-  // dispatcher holds). Returns false on backpressure — this thread's ingress
-  // ring is full or its request slab is exhausted — without blocking and
-  // without touching any dispatcher-shared lock (open-loop callers drop or
-  // retry).
+  // dispatcher holds in steady state). Returns false on backpressure — this
+  // thread's ingress ring is full or its request slab is exhausted — or once
+  // shutdown has begun, without blocking (open-loop callers drop or retry).
   bool Submit(std::uint64_t id, int request_class, void* payload);
 
   // Blocks until every submitted request has completed.
   void WaitIdle();
 
-  // Drains in-flight work, stops all threads and joins them.
+  // First phase of Shutdown(), also usable alone: after this returns, every
+  // future Submit() returns false and no racing Submit() can slip a request
+  // past the shutdown drain (see IngressLayer's teardown handshake).
+  void StopAccepting();
+
+  // True until StopAccepting()/Shutdown(). A ShardedRuntime uses this to
+  // route around independently stopped shards.
+  bool accepting() const { return ingress_.accepting(); }
+
+  // Stops accepting, drains every in-flight request (the dispatcher keeps
+  // running until the central queue, worker queues and ingress rings are
+  // empty and no Submit() is mid-push), then stops and joins all threads.
+  // Safe to call while other threads are still calling Submit(): they
+  // observe `false` rather than stranding requests.
   void Shutdown();
 
   Stats GetStats() const;
+
+  // Approximate in-flight count (submitted - completed, relaxed loads):
+  // the JSQ shard-placement signal.
+  std::uint64_t InFlightApprox() const {
+    return submitted_.load(std::memory_order_relaxed) -
+           completed_.load(std::memory_order_relaxed);
+  }
 
   // Mechanism-level counters and recent request lifecycles
   // (docs/telemetry.md). Counters are individually exact; cross-counter
@@ -160,6 +190,13 @@ class Runtime {
   // Measured TSC frequency used for quantum arithmetic.
   double tsc_ghz() const { return tsc_ghz_; }
 
+  PolicyKind policy_kind() const { return options_.policy; }
+
+  // The per-worker queue depth the active policy selected at Start()
+  // (configured jbsq_depth for ConcordJbsq, 1 for the single-queue
+  // policies). Valid after Start().
+  int effective_jbsq_depth() const { return effective_depth_; }
+
   // Allocation-audit window (test hook; docs/runtime.md). Begin baselines a
   // per-thread heap-operation counter on the dispatcher and every worker,
   // End returns how many heap operations those threads performed inside the
@@ -172,85 +209,6 @@ class Runtime {
   std::uint64_t EndAllocationAudit();
 
  private:
-  struct ProducerSlot;
-  friend struct internal::ProducerTlsState;
-
-  struct RuntimeRequest {
-    std::uint64_t id = 0;
-    int request_class = 0;
-    void* payload = nullptr;
-    std::uint64_t arrival_tsc = 0;
-    Fiber* fiber = nullptr;
-    bool started = false;
-    bool on_dispatcher = false;
-    bool finished = false;
-    // Intrusive link for the dispatcher's central FIFO: requests queue by
-    // threading this pointer, so steady-state dispatch never touches a
-    // node-allocating container.
-    RuntimeRequest* next = nullptr;
-    // The producer slot whose slab owns this request; completions recycle
-    // the request to home->recycle. Fixed at slab construction.
-    ProducerSlot* home = nullptr;
-    // Owning runtime, for the zero-allocation fiber trampoline. Fixed at
-    // slab construction.
-    Runtime* runtime = nullptr;
-    // Lifecycle telemetry. Plain fields: every stamp is written by the
-    // thread that exclusively owns the request at that moment, and ownership
-    // hands over through release/acquire ring operations.
-    telemetry::RequestLifecycle lifecycle;
-  };
-
-  // One submitting thread's lock-free lane into the runtime. The submitter
-  // owns the ingress producer endpoint, the recycle consumer endpoint and
-  // local_free; the dispatcher owns the ingress consumer endpoint and the
-  // recycle producer endpoint. The slab, recycle ring and ingress ring all
-  // have the same capacity, so every slab request always has a place to be:
-  // in local_free, in the ingress ring, owned by the dispatcher/workers, or
-  // in the recycle ring. A slot whose thread exits is released (claim -> 0)
-  // and adopted by the next new submitter.
-  struct ProducerSlot {
-    ProducerSlot(Runtime* owner, std::size_t capacity) : ingress(capacity), recycle(capacity) {
-      slab.reserve(capacity);
-      local_free.reserve(capacity);
-      for (std::size_t i = 0; i < capacity; ++i) {
-        slab.push_back(std::make_unique<RuntimeRequest>());
-        slab.back()->home = this;
-        slab.back()->runtime = owner;
-        local_free.push_back(slab.back().get());
-      }
-    }
-    SpscRing<RuntimeRequest*> ingress;  // submitter -> dispatcher
-    SpscRing<RuntimeRequest*> recycle;  // dispatcher -> submitter
-    // 0 when unclaimed; otherwise the claiming thread's id hash. Claimed
-    // with an acquire CAS that pairs with the release store in the exiting
-    // thread's TLS destructor, which also hands over local_free.
-    std::atomic<std::size_t> claim{0};
-    std::vector<std::unique_ptr<RuntimeRequest>> slab;
-    std::vector<RuntimeRequest*> local_free;  // submitter-owned free cache
-  };
-
-  struct WorkerShared {
-    WorkerShared(std::size_t depth, std::size_t trace_ring_capacity)
-        : inbox(depth), outbox(2 * depth + 8), trace_ring(trace_ring_capacity) {}
-    SpscRing<RuntimeRequest*> inbox;
-    SpscRing<RuntimeRequest*> outbox;
-    // Worker-written telemetry counters (own cache lines). Completed
-    // lifecycles travel inside the request object through the outbox, so
-    // no separate lifecycle ring exists.
-    telemetry::WorkerCounters counters;
-    // Worker-published run-segment records for the scheduling trace (1-slot
-    // placeholder when tracing is off). Same seqlock discipline as the
-    // lifecycle ring; sequences give the collector exact loss counts.
-    telemetry::EventRing<trace::TraceRecord> trace_ring;
-    // Dispatcher -> worker preemption signal: holds the generation to
-    // preempt, 0 when clear. One dedicated cache line (§3.1).
-    SignalLine preempt_signal;
-    // Worker -> dispatcher status: generation (odd while running) and the
-    // TSC at which the current request started.
-    CacheLineAligned<std::atomic<std::uint64_t>> generation{};
-    CacheLineAligned<std::atomic<std::uint64_t>> run_start_tsc{};
-  };
-
   // Per-loop-thread allocation-audit state (see BeginAllocationAudit).
   struct AllocAuditThreadState {
     std::uint64_t epoch_seen = 0;
@@ -266,14 +224,10 @@ class Runtime {
   void SendPreemptSignals();
   void MaybeRunAppRequest();
   void DrainTraceRings();
+  bool ShutdownQuiescent();
   void AppendLifecycle(const telemetry::RequestLifecycle& lifecycle);
   void AppendLifecycleLocked(const telemetry::RequestLifecycle& lifecycle);
   void CompleteRequest(RuntimeRequest* request, bool on_dispatcher);
-  RuntimeRequest* TakeFirstUnstarted();
-  void CentralPushBack(RuntimeRequest* request);
-  RuntimeRequest* CentralPopFront();
-  ProducerSlot* AcquireProducerSlot();
-  ProducerSlot* ProducerSlotForThisThread();
   void ArmRequestFiber(RuntimeRequest* request);
   static void RunHandlerTrampoline(void* arg);
   void PollAllocAudit(AllocAuditThreadState* state);
@@ -282,10 +236,6 @@ class Runtime {
 
   static double MeasureTscGhz();
 
-  // Registered-producer bound. A slot is one submitting thread's lane;
-  // exited threads' slots are reused, so this bounds *concurrent*
-  // submitters, not submitters ever.
-  static constexpr std::size_t kMaxProducerSlots = 256;
   // Requests adopted from one producer ring per dispatcher pass; bounds both
   // the scratch buffer and per-producer burst unfairness.
   static constexpr std::size_t kIngressDrainBatch = 128;
@@ -294,33 +244,14 @@ class Runtime {
   Callbacks callbacks_;
   double tsc_ghz_ = 0.0;
   std::uint64_t quantum_tsc_ = 0;
-  std::uint64_t instance_id_ = 0;  // distinguishes reuses of this address in TLS caches
 
-  // Producer slots. producers_mu_ serializes slot *creation* only — claims
-  // of released slots are a lock-free CAS, and the dispatcher never takes
-  // this lock. The atomic pointer array (published before the count, which
-  // is released after) lets the dispatcher discover slots without locks.
-  std::mutex producers_mu_;
-  std::vector<std::unique_ptr<ProducerSlot>> producer_storage_;
-  std::array<std::atomic<ProducerSlot*>, kMaxProducerSlots> producer_slots_;
-  std::atomic<std::size_t> producer_slot_count_{0};
-
-  // Dispatcher-owned state. The central queue is an intrusive FIFO through
-  // RuntimeRequest::next: empty <=> head == tail == nullptr.
-  RuntimeRequest* central_head_ = nullptr;
-  RuntimeRequest* central_tail_ = nullptr;
-  std::size_t central_size_ = 0;
-  std::vector<std::unique_ptr<WorkerShared>> workers_;
-  std::vector<int> outstanding_;        // per worker, dispatcher-owned
-  std::vector<std::uint64_t> signaled_generation_;  // last preempt signal sent
-  RuntimeRequest* dispatcher_request_ = nullptr;
-
-  // Dispatcher-owned preallocated scratch (sized at Start; never grown on
-  // the hot path): ingress drain batch, outbox drain batch, and per-worker
-  // JBSQ staging used to publish each refill with one batched ring push.
-  std::vector<RuntimeRequest*> ingress_scratch_;
-  std::vector<RuntimeRequest*> outbox_scratch_;
-  std::vector<std::vector<RuntimeRequest*>> jbsq_stage_;
+  // Policy decisions, cached at Start() so the dispatch loop reads plain
+  // fields (zero virtual calls on the hot path).
+  std::unique_ptr<SchedulingPolicy> policy_;
+  int effective_depth_ = 1;
+  SchedulingPolicy::PreemptMode preempt_mode_ = SchedulingPolicy::PreemptMode::kWhenWorkPending;
+  std::uint64_t preempt_cost_tsc_ = 0;
+  bool work_conserving_ = true;
 
   // Telemetry: dispatcher-written per-worker blocks (kept apart from the
   // worker-written WorkerCounters so the two writers never share a line),
@@ -333,6 +264,22 @@ class Runtime {
   std::vector<telemetry::RequestLifecycle> lifecycle_history_;
   std::size_t lifecycle_history_head_ = 0;
   std::size_t lifecycle_history_count_ = 0;
+
+  // Layers (docs/architecture.md). The ingress layer owns the producer
+  // slots; the central queue and worker pool are dispatcher-owned.
+  IngressLayer ingress_;
+  CentralQueue central_;
+  std::vector<std::unique_ptr<WorkerShared>> workers_;
+  std::vector<int> outstanding_;        // per worker, dispatcher-owned
+  std::vector<std::uint64_t> signaled_generation_;  // last preempt signal sent
+  RuntimeRequest* dispatcher_request_ = nullptr;
+
+  // Dispatcher-owned preallocated scratch (sized at Start; never grown on
+  // the hot path): ingress drain batch, outbox drain batch, and per-worker
+  // JBSQ staging used to publish each refill with one batched ring push.
+  std::vector<RuntimeRequest*> ingress_scratch_;
+  std::vector<RuntimeRequest*> outbox_scratch_;
+  std::vector<std::vector<RuntimeRequest*>> jbsq_stage_;
 
   // Scheduling-trace capture (null unless tracing_; see Options).
   bool tracing_ = false;
@@ -353,6 +300,11 @@ class Runtime {
 
   std::vector<std::thread> threads_;
   std::atomic<bool> started_{false};
+  // Shutdown sequencing: Shutdown() stops the ingress and requests a drain;
+  // the dispatcher sets stop_ (which also releases the workers) only once
+  // quiescent — central queue empty, nothing outstanding, no submitter
+  // mid-push, ingress rings empty.
+  std::atomic<bool> drain_requested_{false};
   std::atomic<bool> stop_{false};
 
   std::atomic<std::uint64_t> submitted_{0};

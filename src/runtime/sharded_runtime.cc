@@ -1,0 +1,179 @@
+#include "src/runtime/sharded_runtime.h"
+
+#include <atomic>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+// Round-robin cursors are per-thread: submitters stripe independently with
+// no shared cursor line to contend on. Seeded from a process-wide counter so
+// concurrent producer threads start offset from each other instead of all
+// hammering shard 0 first.
+unsigned NextCursorSeed() {
+  static std::atomic<unsigned> seed{0};
+  return seed.fetch_add(1, std::memory_order_relaxed);
+}
+
+thread_local unsigned t_rr_cursor = NextCursorSeed();
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(Options options, Runtime::Callbacks callbacks)
+    : options_(options) {
+  CONCORD_CHECK(options_.shard_count >= 1) << "shard_count must be >= 1";
+  shards_.reserve(static_cast<std::size_t>(options_.shard_count));
+  for (int s = 0; s < options_.shard_count; ++s) {
+    Runtime::Callbacks shard_callbacks = callbacks;
+    if (s != 0) {
+      shard_callbacks.setup = nullptr;  // global setup runs once, on shard 0
+    }
+    if (callbacks.setup_worker) {
+      const int base = s * options_.shard.worker_count;
+      shard_callbacks.setup_worker = [base, inner = callbacks.setup_worker](int worker) {
+        inner(worker < 0 ? worker : base + worker);
+      };
+    }
+    shards_.push_back(std::make_unique<Runtime>(options_.shard, std::move(shard_callbacks)));
+  }
+  if (shards_.size() == 1) {
+    single_ = shards_.front().get();
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() = default;  // each shard's dtor shuts it down
+
+void ShardedRuntime::Start() {
+  // Sequential: shard 0's Start() runs the global setup callback to
+  // completion before any other shard spawns threads.
+  for (auto& shard : shards_) {
+    shard->Start();
+  }
+  started_ = true;
+}
+
+int ShardedRuntime::PlaceShard() {
+  const int n = shard_count();
+  if (n == 1) {
+    return 0;
+  }
+  if (options_.placement == ShardPlacement::kRoundRobin) {
+    return static_cast<int>(t_rr_cursor++ % static_cast<unsigned>(n));
+  }
+  // Join-shortest-queue by approximate occupancy (two relaxed loads per
+  // shard). Stale by at most the in-flight window — the same "bounded
+  // queue-length staleness" trade JBSQ makes inside one shard (§3.2). Ties
+  // go to the lowest index; stopped shards are skipped.
+  int best = -1;
+  std::uint64_t best_inflight = 0;
+  for (int s = 0; s < n; ++s) {
+    Runtime& shard = *shards_[static_cast<std::size_t>(s)];
+    if (!shard.accepting()) {
+      continue;
+    }
+    const std::uint64_t inflight = shard.InFlightApprox();
+    if (best < 0 || inflight < best_inflight) {
+      best = s;
+      best_inflight = inflight;
+    }
+  }
+  return best < 0 ? 0 : best;
+}
+
+bool ShardedRuntime::SubmitMulti(std::uint64_t id, int request_class, void* payload) {
+  CONCORD_DCHECK(started_) << "Submit before Start";
+  const int n = shard_count();
+  const int first = PlaceShard();
+  // Probe every shard once, starting at the placement choice: backpressure
+  // on (or independent shutdown of) one shard spills to the next rather
+  // than dropping, which keeps the sharded runtime exactly as available as
+  // its least-loaded shard.
+  // concord-lint: allow-no-probe (submitter-side path; bounded by shard count)
+  for (int probe = 0; probe < n; ++probe) {
+    const int s = (first + probe) % n;
+    Runtime& shard = *shards_[static_cast<std::size_t>(s)];
+    if (!shard.accepting()) {
+      continue;
+    }
+    if (shard.Submit(id, request_class, payload)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShardedRuntime::WaitIdle() {
+  for (auto& shard : shards_) {
+    shard->WaitIdle();
+  }
+}
+
+void ShardedRuntime::Shutdown() {
+  // Two phases: close every shard's ingress first so a submitter racing
+  // this call cannot chase the shutdown around the ring (rejected by shard
+  // k, spilled into shard k+1 just before its own StopAccepting), then
+  // drain and join shard by shard.
+  for (auto& shard : shards_) {
+    shard->StopAccepting();
+  }
+  for (auto& shard : shards_) {
+    shard->Shutdown();
+  }
+}
+
+void ShardedRuntime::ShutdownShard(int shard_index) {
+  shards_[static_cast<std::size_t>(shard_index)]->Shutdown();
+}
+
+Runtime::Stats ShardedRuntime::GetStats() const {
+  Runtime::Stats total;
+  for (const auto& shard : shards_) {
+    const Runtime::Stats s = shard->GetStats();
+    total.submitted += s.submitted;
+    total.completed += s.completed;
+    total.preemptions += s.preemptions;
+    total.dispatcher_started += s.dispatcher_started;
+    total.dispatcher_completed += s.dispatcher_completed;
+  }
+  return total;
+}
+
+telemetry::TelemetrySnapshot ShardedRuntime::GetTelemetry() const {
+  telemetry::TelemetrySnapshot merged = shards_.front()->GetTelemetry();
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    const telemetry::TelemetrySnapshot s = shards_[i]->GetTelemetry();
+    merged.workers.insert(merged.workers.end(), s.workers.begin(), s.workers.end());
+    merged.lifecycles.insert(merged.lifecycles.end(), s.lifecycles.begin(), s.lifecycles.end());
+    merged.dispatcher.probe_polls += s.dispatcher.probe_polls;
+    merged.dispatcher.quanta_run += s.dispatcher.quanta_run;
+    merged.dispatcher.requests_started += s.dispatcher.requests_started;
+    merged.dispatcher.requests_completed += s.dispatcher.requests_completed;
+    merged.dispatcher.events_drained += s.dispatcher.events_drained;
+    merged.dispatcher.ring_dropped += s.dispatcher.ring_dropped;
+    merged.dispatcher.history_dropped += s.dispatcher.history_dropped;
+    merged.dispatcher.ingress_batches += s.dispatcher.ingress_batches;
+    merged.dispatcher.ingress_drained += s.dispatcher.ingress_drained;
+    merged.dispatcher.jbsq_batches += s.dispatcher.jbsq_batches;
+    // High-water mark across shards, not a sum of high-waters.
+    if (s.dispatcher.max_ingress_batch > merged.dispatcher.max_ingress_batch) {
+      merged.dispatcher.max_ingress_batch = s.dispatcher.max_ingress_batch;
+    }
+    // Registries are disjoint, so the shard high-waters do sum: the result
+    // bounds the total distinct producer slots ever registered.
+    merged.dispatcher.producer_slots += s.dispatcher.producer_slots;
+  }
+  return merged;
+}
+
+telemetry::TelemetrySnapshot ShardedRuntime::GetShardTelemetry(int shard_index) const {
+  return shards_[static_cast<std::size_t>(shard_index)]->GetTelemetry();
+}
+
+trace::TraceCapture ShardedRuntime::GetShardTrace(int shard_index) const {
+  return shards_[static_cast<std::size_t>(shard_index)]->GetTrace();
+}
+
+}  // namespace concord

@@ -1,0 +1,115 @@
+// ShardedRuntime: N independent dispatcher+worker shards behind one
+// Submit(), with pluggable inter-shard placement (docs/architecture.md).
+//
+// Each shard is a full Runtime — its own dispatcher thread, worker pool,
+// ingress registry, central queue, telemetry block and trace collector —
+// so shards share no scheduler state at all: the only cross-shard
+// communication is the placement decision in Submit() (a TLS cursor for
+// round-robin, two relaxed counter loads per shard for JSQ). That keeps the
+// single-shard configuration byte-identical to a bare Runtime and makes the
+// multi-dispatcher scaling model the paper's §5 evaluates (one dispatcher
+// saturates around a few M req/s) directly measurable.
+//
+// Telemetry and traces stay per-shard (GetShardTelemetry/GetShardTrace);
+// GetTelemetry() additionally returns a merged view with every shard's
+// workers concatenated in shard-major order. Per-shard traces are exported
+// to separate files (telemetry::ShardedOutPath) that `concord_trace` checks
+// independently and merges.
+
+#ifndef CONCORD_SRC_RUNTIME_SHARDED_RUNTIME_H_
+#define CONCORD_SRC_RUNTIME_SHARDED_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/runtime/policy.h"
+#include "src/runtime/runtime.h"
+
+namespace concord {
+
+class ShardedRuntime {
+ public:
+  struct Options {
+    // Configuration applied to every shard (worker_count is per shard: total
+    // workers = shard_count * shard.worker_count).
+    Runtime::Options shard;
+    int shard_count = 1;
+    ShardPlacement placement = ShardPlacement::kRoundRobin;
+  };
+
+  // Callbacks are shared across shards with two adaptations: `setup` runs
+  // once (shard 0 only), and `setup_worker` sees global worker ids
+  // (shard_index * shard.worker_count + local id; dispatchers keep -1).
+  // With shard_count > 1, `on_complete` runs concurrently on every shard's
+  // dispatcher thread — callbacks that aggregate must synchronize.
+  ShardedRuntime(Options options, Runtime::Callbacks callbacks);
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+  ~ShardedRuntime();
+
+  // Starts every shard (sequentially; setup callbacks run here).
+  void Start();
+
+  // Places and enqueues one request. Placement picks a shard (round-robin
+  // from a per-thread cursor, or join-shortest-queue by approximate
+  // occupancy); on backpressure the remaining accepting shards are probed in
+  // order before reporting false. Thread-safe, same non-blocking contract as
+  // Runtime::Submit(). Single-shard stays on the bare Runtime's submit path
+  // (no placement, no probe loop), keeping it perf-identical to an unsharded
+  // runtime.
+  bool Submit(std::uint64_t id, int request_class, void* payload) {
+    if (single_ != nullptr) {
+      return single_->Submit(id, request_class, payload);
+    }
+    return SubmitMulti(id, request_class, payload);
+  }
+
+  // Blocks until every shard is idle.
+  void WaitIdle();
+
+  // Stops accepting on every shard (all shards first, then drains), then
+  // shuts each shard down. Safe against concurrent Submit().
+  void Shutdown();
+
+  // Stops a single shard (drains and joins its threads). Submit() routes
+  // around shards that are no longer accepting.
+  void ShutdownShard(int shard_index);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  Runtime& shard(int shard_index) { return *shards_[static_cast<std::size_t>(shard_index)]; }
+  const Runtime& shard(int shard_index) const {
+    return *shards_[static_cast<std::size_t>(shard_index)];
+  }
+
+  // Aggregated stats: counter-wise sum over shards.
+  Runtime::Stats GetStats() const;
+
+  // Merged telemetry: worker blocks concatenated shard-major (shard 0's
+  // workers first), dispatcher counters summed except the high-water marks
+  // (max_ingress_batch takes the max; producer_slots sums, each shard's
+  // registry being disjoint), lifecycles concatenated. Cross-shard, the
+  // JBSQ bound applies per worker block exactly as in one runtime.
+  telemetry::TelemetrySnapshot GetTelemetry() const;
+  telemetry::TelemetrySnapshot GetShardTelemetry(int shard_index) const;
+
+  // Per-shard trace capture (worker tracks are shard-local; merge offline
+  // with `concord_trace` over the per-shard exports).
+  trace::TraceCapture GetShardTrace(int shard_index) const;
+
+  double tsc_ghz() const { return shards_.front()->tsc_ghz(); }
+  PolicyKind policy_kind() const { return options_.shard.policy; }
+
+ private:
+  int PlaceShard();
+  bool SubmitMulti(std::uint64_t id, int request_class, void* payload);
+
+  Options options_;
+  std::vector<std::unique_ptr<Runtime>> shards_;
+  Runtime* single_ = nullptr;  // set when shard_count == 1 (fast-path Submit)
+  bool started_ = false;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_SHARDED_RUNTIME_H_

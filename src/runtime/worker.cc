@@ -1,0 +1,179 @@
+// The worker loop: batched inbox adoption, the generation/run_start publish
+// protocol the dispatcher's preemption scan reads, and the outbox return
+// path (§3.1, §3.2; docs/architecture.md).
+//
+// Policy decisions reach this loop as two plain fields cached at Start():
+// effective_depth_ (sizes the inbox drain batch) and preempt_cost_tsc_ (the
+// modeled preemption cost, zero for ConcordJbsq's probe-based mechanism).
+
+#include <vector>
+
+#include "src/common/backoff.h"
+#include "src/common/cycles.h"
+#include "src/runtime/instrument.h"
+#include "src/runtime/runtime.h"
+
+namespace concord {
+
+namespace {
+
+// Worker-side probe state: the dedicated signal line and the generation the
+// worker is currently running. Lives on the worker thread.
+struct WorkerProbeState {
+  SignalLine* signal = nullptr;
+  std::uint64_t current_generation = 0;
+};
+
+void WorkerProbeFn(void* arg) {
+  auto* state = static_cast<WorkerProbeState*>(arg);
+  // Cheap path: the line is in L1 until the dispatcher writes it.
+  if (state->signal->word.load(std::memory_order_acquire) == state->current_generation &&
+      Fiber::Current() != nullptr) {
+    // Acknowledge and yield; the worker loop reports the preempted request.
+    state->signal->word.store(0, std::memory_order_release);
+    NoteProbeYield();
+    Fiber::Yield();
+  }
+}
+
+}  // namespace
+
+// concord-lint: allow-no-probe (scheduler loop: probes belong to request code it runs)
+void Runtime::WorkerLoop(int worker_index) {
+  if (callbacks_.setup_worker) {
+    callbacks_.setup_worker(worker_index);
+  }
+  WorkerShared& shared = *workers_[static_cast<std::size_t>(worker_index)];
+  WorkerProbeState probe_state;
+  probe_state.signal = &shared.preempt_signal;
+  SetProbeBinding(ProbeBinding{&WorkerProbeFn, &probe_state});
+
+  // Telemetry fold state: thread-local instrument counters are sampled at
+  // segment boundaries and their deltas attributed to this worker's block.
+  telemetry::WorkerCounters& counters = shared.counters;
+  std::uint64_t last_probe_count = ProbeCount();
+  std::uint64_t last_probe_yields = ProbeYieldCount();
+  std::uint64_t last_fiber_switches = telemetry::ThreadFiberSwitches();
+  std::uint64_t idle_start_tsc = 0;
+
+  // Inbox drain buffer, sized to the policy's queue-depth bound (allocated
+  // once at thread start, before any request runs).
+  std::vector<RuntimeRequest*> inbox_batch(static_cast<std::size_t>(effective_depth_));
+  AllocAuditThreadState audit;
+
+  std::uint64_t generation = 0;
+  Backoff backoff;
+  // concord-lint: allow-no-probe (worker main loop; request handlers run in probed fibers)
+  while (!stop_.load(std::memory_order_acquire)) {
+    PollAllocAudit(&audit);
+    // One batched pop claims the whole refill the dispatcher published with
+    // one batched push: a single acquire/release pair per refill (§3.2).
+    const std::size_t batch_n = shared.inbox.TryPopBatch(inbox_batch.data(), inbox_batch.size());
+    if (batch_n == 0) {
+      if constexpr (telemetry::kEnabled) {
+        if (idle_start_tsc == 0) {
+          idle_start_tsc = ReadTsc();
+        }
+      }
+      backoff.Idle();
+      continue;
+    }
+    backoff.Reset();
+    // concord-lint: allow-no-probe (worker loop body; bounded by jbsq inbox batch)
+    for (std::size_t b = 0; b < batch_n; ++b) {
+      RuntimeRequest* request = inbox_batch[b];
+      const std::uint64_t segment_start_tsc = ReadTsc();
+      if constexpr (telemetry::kEnabled) {
+        if (idle_start_tsc != 0) {
+          telemetry::BumpSingleWriter(counters.idle_cycles, segment_start_tsc - idle_start_tsc);
+          idle_start_tsc = 0;
+        }
+        if (request->lifecycle.first_run_tsc == 0) {
+          request->lifecycle.first_run_tsc = segment_start_tsc;
+          request->lifecycle.first_worker = worker_index;
+          telemetry::BumpSingleWriter(counters.requests_started);
+        }
+        telemetry::BumpSingleWriter(counters.segments_run);
+      }
+      // New segment: clear any stale signal, publish start time then
+      // generation. The generation store is the release edge the dispatcher
+      // acquires, which guarantees it never pairs a fresh generation with a
+      // previous segment's start time (see SendPreemptSignals).
+      generation += 1;
+      probe_state.current_generation = generation;
+      shared.preempt_signal.word.store(0, std::memory_order_release);
+      shared.run_start_tsc.value.store(segment_start_tsc, std::memory_order_relaxed);
+      shared.generation.value.store(generation, std::memory_order_release);
+
+      const bool finished = request->fiber->Run();
+
+      // Teardown mirrors the publish: retract the generation first so the
+      // dispatcher stops considering this segment before the start time resets.
+      shared.generation.value.store(0, std::memory_order_release);
+      shared.run_start_tsc.value.store(0, std::memory_order_release);
+      if (!finished && preempt_cost_tsc_ != 0) {
+        // Modeled preemption cost (SingleQueuePreemptive, or an explicit
+        // Options::preempt_cost_us): the worker burns the cost an IPI-based
+        // kernel bypass pays per interrupt (Shinjuku's ~0.6us send+receive
+        // path) before picking up more work. Spun here — after the segment's
+        // generation retract, before the telemetry stamp — so busy_cycles
+        // and the trace segment charge the overhead to this worker exactly
+        // where a real interrupt would spend it.
+        const std::uint64_t resume_tsc = ReadTsc() + preempt_cost_tsc_;
+        // concord-lint: allow-no-probe (bounded modeled-cost spin, no handler code runs)
+        while (ReadTsc() < resume_tsc) {
+          CpuRelax();
+        }
+      }
+      if constexpr (telemetry::kEnabled) {
+        const std::uint64_t segment_end_tsc = ReadTsc();
+        telemetry::BumpSingleWriter(counters.busy_cycles, segment_end_tsc - segment_start_tsc);
+        // Zero deltas (probe-free handlers) skip the counter write entirely.
+        const std::uint64_t probe_count = ProbeCount();
+        if (probe_count != last_probe_count) {
+          telemetry::BumpSingleWriter(counters.probe_polls, probe_count - last_probe_count);
+          last_probe_count = probe_count;
+        }
+        const std::uint64_t probe_yields = ProbeYieldCount();
+        if (probe_yields != last_probe_yields) {
+          telemetry::BumpSingleWriter(counters.probe_yields, probe_yields - last_probe_yields);
+          last_probe_yields = probe_yields;
+        }
+        const std::uint64_t fiber_switches = telemetry::ThreadFiberSwitches();
+        if (fiber_switches != last_fiber_switches) {
+          telemetry::BumpSingleWriter(counters.fiber_switches, fiber_switches - last_fiber_switches);
+          last_fiber_switches = fiber_switches;
+        }
+        if (finished) {
+          request->lifecycle.finish_tsc = segment_end_tsc;
+          request->lifecycle.completion_worker = worker_index;
+          telemetry::BumpSingleWriter(counters.requests_completed);
+          // No separate publish: the lifecycle rides inside the request, and
+          // the outbox push below is the release edge that hands the whole
+          // object (stamps included) to the dispatcher.
+        } else {
+          request->lifecycle.RecordPreemption(segment_end_tsc);
+        }
+        if (tracing_) {
+          // Published by value through the worker's seqlock trace ring; the
+          // dispatcher's drain attributes any overwritten slot exactly from
+          // the ring sequence numbers.
+          shared.trace_ring.Push(trace::TraceRecord{
+              request->id, segment_start_tsc, segment_end_tsc, trace::RecordKind::kSegment,
+              worker_index, request->request_class,
+              static_cast<std::uint32_t>(finished ? trace::SegmentEnd::kFinished
+                                                  : trace::SegmentEnd::kPreemptYield)});
+        }
+      }
+      request->finished = finished;
+      Backoff push_backoff;
+      // concord-lint: allow-no-probe (bounded wait: dispatcher always drains the outbox)
+      while (!shared.outbox.TryPush(request)) {
+        push_backoff.Idle();
+      }
+    }
+  }
+  SetProbeBinding({});
+}
+
+}  // namespace concord

@@ -1,0 +1,49 @@
+// Per-worker shared state: the dispatcher<->worker contact surface
+// (docs/architecture.md).
+//
+// Everything two threads touch concurrently keeps its independently-written
+// words on distinct cache lines (static asserts in runtime.cc), or the
+// coherence traffic JBSQ exists to avoid (§3.2) comes back through layout.
+
+#ifndef CONCORD_SRC_RUNTIME_WORKER_H_
+#define CONCORD_SRC_RUNTIME_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cacheline.h"
+#include "src/runtime/request.h"
+#include "src/runtime/spsc_ring.h"
+#include "src/telemetry/event_ring.h"
+#include "src/telemetry/telemetry.h"
+#include "src/trace/trace_record.h"
+
+namespace concord {
+
+struct WorkerShared {
+  // `depth` is the policy's effective per-worker queue depth (JBSQ k for
+  // ConcordJbsq, 1 for the single-queue policies).
+  WorkerShared(std::size_t depth, std::size_t trace_ring_capacity)
+      : inbox(depth), outbox(2 * depth + 8), trace_ring(trace_ring_capacity) {}
+  SpscRing<RuntimeRequest*> inbox;
+  SpscRing<RuntimeRequest*> outbox;
+  // Worker-written telemetry counters (own cache lines). Completed
+  // lifecycles travel inside the request object through the outbox, so
+  // no separate lifecycle ring exists.
+  telemetry::WorkerCounters counters;
+  // Worker-published run-segment records for the scheduling trace (1-slot
+  // placeholder when tracing is off). Same seqlock discipline as the
+  // lifecycle ring; sequences give the collector exact loss counts.
+  telemetry::EventRing<trace::TraceRecord> trace_ring;
+  // Dispatcher -> worker preemption signal: holds the generation to
+  // preempt, 0 when clear. One dedicated cache line (§3.1).
+  SignalLine preempt_signal;
+  // Worker -> dispatcher status: generation (odd while running) and the
+  // TSC at which the current request started.
+  CacheLineAligned<std::atomic<std::uint64_t>> generation{};
+  CacheLineAligned<std::atomic<std::uint64_t>> run_start_tsc{};
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_WORKER_H_

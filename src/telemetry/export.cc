@@ -42,6 +42,35 @@ double MetricsWindowMs(int argc, char** argv, double fallback) {
   return parsed > 0.0 ? parsed : fallback;
 }
 
+long long IntFromFlagOrEnv(int argc, char** argv, const char* flag_prefix, const char* env_var,
+                           long long fallback) {
+  std::string value;
+  if (flag_prefix != nullptr) {
+    value = OutPathFromFlagOrEnv(argc, argv, flag_prefix, env_var);
+  } else if (const char* env = std::getenv(env_var); env != nullptr) {
+    value = env;
+  }
+  if (value.empty()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  return (end != value.c_str() && *end == '\0') ? parsed : fallback;
+}
+
+std::string ShardedOutPath(const std::string& path, int shard, int shard_count) {
+  if (shard_count <= 1 || path.empty() || path == "-") {
+    return path;
+  }
+  const std::string suffix = ".shard" + std::to_string(shard);
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 bool WriteTextFile(const std::string& text, const std::string& path, const char* what) {
   if (path == "-") {
     std::cout << text << "\n";

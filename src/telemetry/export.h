@@ -35,6 +35,19 @@ std::string MetricsOutPath(int argc, char** argv);
 // in milliseconds; returns `fallback` when unset or unparsable.
 double MetricsWindowMs(int argc, char** argv, double fallback = 10.0);
 
+// Generic integer flag/env helper on top of OutPathFromFlagOrEnv: parses the
+// value of `--<flag_prefix>N` (else `env_var`) as a base-10 integer,
+// returning `fallback` when unset or unparsable. `flag_prefix` may be null
+// for environment-only lookups.
+long long IntFromFlagOrEnv(int argc, char** argv, const char* flag_prefix, const char* env_var,
+                           long long fallback);
+
+// Per-shard variant of an output path: "out.json" -> "out.shard2.json" (the
+// suffix is appended when the path has no extension). A single-shard run
+// (shard_count == 1) keeps the path unchanged so existing consumers see the
+// same file names.
+std::string ShardedOutPath(const std::string& path, int shard, int shard_count);
+
 // Writes `text` to `path` ("-" means stdout). Returns false (and logs to
 // stderr, labelled with `what`) when the file cannot be written.
 bool WriteTextFile(const std::string& text, const std::string& path, const char* what);

@@ -213,14 +213,20 @@ class Analyzer {
         }
         // After sorting by sequence, producer time must be non-decreasing —
         // a violation here means records were reordered or timestamps are
-        // not monotone at the producer.
-        if (!first && record->start_tsc < prev_tsc) {
+        // not monotone at the producer. "Producer time" is the timestamp the
+        // appending thread stamped: for an arrival record that is the
+        // adoption time (end_tsc) — its start_tsc is the *submitter's*
+        // clock, which legitimately lags the dispatcher's own stamps when a
+        // request submitted mid-pass is adopted on the next pass.
+        const std::uint64_t producer_tsc =
+            record->kind == RecordKind::kArrival ? record->end_tsc : record->start_tsc;
+        if (!first && producer_tsc < prev_tsc) {
           Violation(label + ": sequence " + std::to_string(record->sequence) +
                     " runs backwards in time");
         }
         first = false;
         prev_seq = record->sequence;
-        prev_tsc = std::max(prev_tsc, record->start_tsc);
+        prev_tsc = std::max(prev_tsc, producer_tsc);
       }
       if (!stream.empty()) {
         // Streams are dense from 0 at the producer: anything missing from

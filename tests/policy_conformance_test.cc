@@ -1,0 +1,370 @@
+// Policy conformance suite: the scheduler-level invariants every
+// SchedulingPolicy must satisfy, parameterized over all three policies and
+// 1/2/4 shards (ctest label `policy`; docs/architecture.md lists the
+// contract). Runs a bimodal workload end to end through ShardedRuntime and
+// checks, per shard:
+//
+//   - completion conservation: every accepted request completes exactly once
+//     (stats, telemetry and lifecycle counts all agree);
+//   - queue-depth bound: no worker's occupancy ever exceeded the policy's
+//     effective depth (JBSQ k for ConcordJbsq, 1 for the single-queue
+//     policies);
+//   - dispatcher pinning: a request that starts on the dispatcher finishes
+//     there (§3.3);
+//   - preemption contract: FcfsNonPreemptive never signals a preemption;
+//   - trace consistency: each shard's scheduling trace passes the offline
+//     analyzer's checks independently;
+//   - allocation-free steady state for single-shard ConcordJbsq (the PR 4
+//     guarantee must survive the policy layer).
+//
+// Like runtime_test.cc, these verify behaviour, not timing, and run on any
+// host CPU count (TSan runs the whole suite).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/common/alloc_hooks.h"
+#include "src/runtime/instrument.h"
+#include "src/runtime/policy.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/telemetry/telemetry.h"
+#include "src/trace/analyzer.h"
+#include "src/trace/chrome_trace.h"
+
+// Counting allocator (common/alloc_hooks.h): lets the ConcordJbsq case prove
+// the zero-allocation steady state under the policy layer. Thread-local
+// increments only; no behavioral change to the code under test.
+void* operator new(std::size_t size) {
+  concord::NoteAllocOp();
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* ptr) noexcept {
+  concord::NoteAllocOp();
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, std::size_t) noexcept { ::operator delete(ptr); }
+void operator delete[](void* ptr) noexcept { ::operator delete(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { ::operator delete(ptr); }
+
+namespace concord {
+namespace {
+
+struct ConformanceParam {
+  PolicyKind policy;
+  int shards;
+};
+
+std::string ParamName(const testing::TestParamInfo<ConformanceParam>& info) {
+  std::string name = PolicyKindName(info.param.policy);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name + "_x" + std::to_string(info.param.shards);
+}
+
+class PolicyConformanceTest : public testing::TestWithParam<ConformanceParam> {
+ protected:
+  ShardedRuntime::Options MakeOptions() const {
+    ShardedRuntime::Options options;
+    options.shard.worker_count = 2;
+    options.shard.quantum_us = 50.0;  // generous: hosts here are slow and shared
+    options.shard.jbsq_depth = 2;
+    options.shard.policy = GetParam().policy;
+    options.shard.work_conserving_dispatcher = false;
+    options.shard_count = GetParam().shards;
+    return options;
+  }
+};
+
+// The core end-to-end run shared by the invariant checks below: a bimodal
+// mix (short spins plus occasional long ones, class-tagged) through every
+// policy and shard count, traced, then audited from stats, telemetry and
+// the per-shard scheduling traces.
+TEST_P(PolicyConformanceTest, BimodalWorkloadSatisfiesSchedulerInvariants) {
+  constexpr std::uint64_t kRequests = 400;
+  ShardedRuntime::Options options = MakeOptions();
+  options.shard.trace_buffer_capacity = 1 << 16;
+  std::atomic<std::uint64_t> handled{0};
+  std::mutex complete_mu;  // on_complete runs on every shard's dispatcher
+  std::uint64_t completions = 0;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView& view) {
+    SpinWithProbesUs(view.request_class == 1 ? 20.0 : 0.5);
+    handled.fetch_add(1);
+  };
+  callbacks.on_complete = [&](const RequestView&, std::uint64_t) {
+    std::lock_guard<std::mutex> lock(complete_mu);
+    ++completions;
+  };
+  ShardedRuntime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const int request_class = (i % 10 == 9) ? 1 : 0;  // 10% long
+    while (!runtime.Submit(i, request_class, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+
+  // Completion conservation, from every vantage point that counts requests.
+  EXPECT_EQ(handled.load(), kRequests);
+  {
+    std::lock_guard<std::mutex> lock(complete_mu);
+    EXPECT_EQ(completions, kRequests);
+  }
+  const Runtime::Stats stats = runtime.GetStats();
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.completed, kRequests);
+  if constexpr (telemetry::kEnabled) {
+    EXPECT_EQ(runtime.GetTelemetry().RequestsCompleted(), kRequests);
+  }
+
+  for (int s = 0; s < runtime.shard_count(); ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    const int depth = runtime.shard(s).effective_jbsq_depth();
+    if (GetParam().policy == PolicyKind::kConcordJbsq) {
+      EXPECT_EQ(depth, options.shard.jbsq_depth);
+    } else {
+      EXPECT_EQ(depth, 1) << "single-queue policies must run depth-1 workers";
+    }
+    if constexpr (telemetry::kEnabled) {
+      const telemetry::TelemetrySnapshot shard_telemetry = runtime.GetShardTelemetry(s);
+      for (const telemetry::WorkerSnapshot& worker : shard_telemetry.workers) {
+        // The queue-depth bound: occupancy high-water per worker.
+        EXPECT_LE(worker.max_inflight, static_cast<std::uint64_t>(depth));
+      }
+      if (GetParam().policy == PolicyKind::kFcfsNonPreemptive) {
+        EXPECT_EQ(shard_telemetry.PreemptionsRequested(), 0u)
+            << "run-to-completion policy sent a preemption signal";
+        EXPECT_EQ(shard_telemetry.PreemptionsHonored(), 0u);
+      }
+      // Dispatcher pinning: a lifecycle completed on the dispatcher must
+      // have started there, and vice versa (§3.3).
+      for (const telemetry::RequestLifecycle& lifecycle : shard_telemetry.lifecycles) {
+        EXPECT_EQ(lifecycle.completion_worker == telemetry::kDispatcherWorkerId,
+                  lifecycle.first_worker == telemetry::kDispatcherWorkerId)
+            << "request " << lifecycle.id << " migrated across the dispatcher boundary";
+      }
+      // Each shard's trace must pass the offline analyzer independently
+      // (JBSQ occupancy recheck, segment/lifecycle consistency, drop
+      // accounting) — the same gate `concord_trace --check` applies.
+      const trace::TraceCapture capture = runtime.GetShardTrace(s);
+      ASSERT_TRUE(capture.enabled);
+      EXPECT_EQ(capture.jbsq_depth, depth);
+      trace::AnalyzerOptions analyzer_options;
+      const trace::AnalyzerReport report =
+          trace::AnalyzeChromeTraceJson(trace::ToChromeTraceJson(capture), analyzer_options);
+      EXPECT_TRUE(report.ok()) << (report.error.empty()
+                                       ? (report.violations.empty()
+                                              ? "unexplained trace drops"
+                                              : report.violations.front())
+                                       : report.error);
+    }
+  }
+
+  if (GetParam().policy == PolicyKind::kFcfsNonPreemptive) {
+    EXPECT_EQ(stats.preemptions, 0u);
+  }
+}
+
+TEST_P(PolicyConformanceTest, WorkConservingStealRespectsPolicy) {
+  // With the work-conserving dispatcher enabled, every policy must still
+  // conserve completions; for the single-queue policies the policy layer
+  // forces the steal off, which shows up as zero dispatcher completions.
+  ShardedRuntime::Options options = MakeOptions();
+  options.shard.work_conserving_dispatcher = true;
+  std::atomic<std::uint64_t> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) {
+    SpinWithProbesUs(1.0);
+    handled.fetch_add(1);
+  };
+  ShardedRuntime runtime(options, callbacks);
+  runtime.Start();
+  constexpr std::uint64_t kRequests = 300;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_EQ(handled.load(), kRequests);
+  const Runtime::Stats stats = runtime.GetStats();
+  EXPECT_EQ(stats.completed, kRequests);
+  if (GetParam().policy != PolicyKind::kConcordJbsq) {
+    EXPECT_EQ(stats.dispatcher_started, 0u)
+        << "single-queue policies must not run requests on the dispatcher";
+  }
+  EXPECT_EQ(stats.dispatcher_completed, stats.dispatcher_started);
+}
+
+TEST_P(PolicyConformanceTest, SubmitRacingShardedShutdownConservesRequests) {
+  // The teardown handshake must hold through the sharded Submit() spill
+  // path too: producers race Shutdown(), and every accepted request is
+  // drained on whichever shard admitted it.
+  ShardedRuntime::Options options = MakeOptions();
+  std::atomic<bool> stop_producers{false};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) { handled.fetch_add(1); };
+  ShardedRuntime runtime(options, callbacks);
+  runtime.Start();
+  std::vector<std::thread> producers;
+  producers.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    producers.emplace_back([&runtime, &stop_producers, &accepted, t] {
+      std::uint64_t id = static_cast<std::uint64_t>(t) << 32;
+      while (!stop_producers.load(std::memory_order_relaxed)) {
+        if (runtime.Submit(id++, 0, nullptr)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  while (accepted.load(std::memory_order_relaxed) < 300) {
+    std::this_thread::yield();
+  }
+  runtime.Shutdown();
+  stop_producers.store(true, std::memory_order_relaxed);
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  EXPECT_FALSE(runtime.Submit(1, 0, nullptr));
+  const Runtime::Stats stats = runtime.GetStats();
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.completed, accepted.load()) << "accepted requests stranded at shutdown";
+  EXPECT_EQ(handled.load(), accepted.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAndShardCounts, PolicyConformanceTest,
+    testing::ValuesIn(std::vector<ConformanceParam>{
+        {PolicyKind::kConcordJbsq, 1},
+        {PolicyKind::kConcordJbsq, 2},
+        {PolicyKind::kConcordJbsq, 4},
+        {PolicyKind::kSingleQueuePreemptive, 1},
+        {PolicyKind::kSingleQueuePreemptive, 2},
+        {PolicyKind::kSingleQueuePreemptive, 4},
+        {PolicyKind::kFcfsNonPreemptive, 1},
+        {PolicyKind::kFcfsNonPreemptive, 2},
+        {PolicyKind::kFcfsNonPreemptive, 4},
+    }),
+    ParamName);
+
+// The PR 4 zero-allocation guarantee survives the policy layer: identical to
+// runtime_test.cc's audit but running through the layered dispatch path with
+// the policy explicitly selected. Single shard, ConcordJbsq — the
+// configuration the steady-state throughput claim is made for.
+TEST(PolicyAllocationTest, ConcordJbsqSteadyStateIsAllocationFree) {
+  Runtime::Options options;
+  options.worker_count = 2;
+  options.jbsq_depth = 2;
+  options.policy = PolicyKind::kConcordJbsq;
+  options.work_conserving_dispatcher = false;
+  options.quantum_us = 500.0;  // no preemptions: fiber demand stays at warmup level
+  std::atomic<int> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) {
+    SpinWithProbesUs(1.0);
+    handled.fetch_add(1);
+  };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.BeginAllocationAudit();
+  for (std::uint64_t i = 300; i < 600; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  const std::uint64_t audited_ops = runtime.EndAllocationAudit();
+  runtime.Shutdown();
+  EXPECT_EQ(handled.load(), 600);
+  EXPECT_EQ(audited_ops, 0u) << "policy layer broke the allocation-free hot path";
+}
+
+// Round-trip the parsers the shared --policy=/--shards= plumbing uses.
+TEST(PolicySelectionTest, ParsersAcceptCanonicalAndAliasTokens) {
+  PolicyKind kind;
+  EXPECT_TRUE(ParsePolicyKind("concord-jbsq", &kind));
+  EXPECT_EQ(kind, PolicyKind::kConcordJbsq);
+  EXPECT_TRUE(ParsePolicyKind("concord", &kind));
+  EXPECT_EQ(kind, PolicyKind::kConcordJbsq);
+  EXPECT_TRUE(ParsePolicyKind("single-queue", &kind));
+  EXPECT_EQ(kind, PolicyKind::kSingleQueuePreemptive);
+  EXPECT_TRUE(ParsePolicyKind("shinjuku", &kind));
+  EXPECT_EQ(kind, PolicyKind::kSingleQueuePreemptive);
+  EXPECT_TRUE(ParsePolicyKind("fcfs", &kind));
+  EXPECT_EQ(kind, PolicyKind::kFcfsNonPreemptive);
+  EXPECT_TRUE(ParsePolicyKind("persephone", &kind));
+  EXPECT_EQ(kind, PolicyKind::kFcfsNonPreemptive);
+  EXPECT_FALSE(ParsePolicyKind("unknown", &kind));
+  for (PolicyKind p : {PolicyKind::kConcordJbsq, PolicyKind::kSingleQueuePreemptive,
+                       PolicyKind::kFcfsNonPreemptive}) {
+    PolicyKind round_tripped;
+    ASSERT_TRUE(ParsePolicyKind(PolicyKindName(p), &round_tripped));
+    EXPECT_EQ(round_tripped, p);
+  }
+  ShardPlacement placement;
+  EXPECT_TRUE(ParseShardPlacement("rr", &placement));
+  EXPECT_EQ(placement, ShardPlacement::kRoundRobin);
+  EXPECT_TRUE(ParseShardPlacement("jsq", &placement));
+  EXPECT_EQ(placement, ShardPlacement::kJsqOccupancy);
+  EXPECT_FALSE(ParseShardPlacement("bogus", &placement));
+}
+
+TEST(PolicySelectionTest, SelectionReadsFlagsOverEnvironment) {
+  ::setenv("CONCORD_POLICY", "fcfs", 1);
+  ::setenv("CONCORD_SHARDS", "4", 1);
+  ::setenv("CONCORD_PLACEMENT", "jsq", 1);
+  const char* argv_flags[] = {"bench", "--policy=single-queue", "--shards=2",
+                              "--placement=rr"};
+  RuntimeSelection from_flags =
+      SelectionFromArgsOrEnv(4, const_cast<char**>(argv_flags));
+  EXPECT_EQ(from_flags.policy, PolicyKind::kSingleQueuePreemptive);
+  EXPECT_EQ(from_flags.shard_count, 2);
+  EXPECT_EQ(from_flags.placement, ShardPlacement::kRoundRobin);
+  const char* argv_bare[] = {"bench"};
+  RuntimeSelection from_env = SelectionFromArgsOrEnv(1, const_cast<char**>(argv_bare));
+  EXPECT_EQ(from_env.policy, PolicyKind::kFcfsNonPreemptive);
+  EXPECT_EQ(from_env.shard_count, 4);
+  EXPECT_EQ(from_env.placement, ShardPlacement::kJsqOccupancy);
+  ::unsetenv("CONCORD_POLICY");
+  ::unsetenv("CONCORD_SHARDS");
+  ::unsetenv("CONCORD_PLACEMENT");
+  RuntimeSelection defaults = SelectionFromArgsOrEnv(1, const_cast<char**>(argv_bare));
+  EXPECT_EQ(defaults.policy, PolicyKind::kConcordJbsq);
+  EXPECT_EQ(defaults.shard_count, 1);
+  EXPECT_EQ(defaults.placement, ShardPlacement::kRoundRobin);
+}
+
+}  // namespace
+}  // namespace concord

@@ -780,5 +780,71 @@ TEST(RuntimeTest, SteadyStateDispatchIsAllocationFree) {
   EXPECT_EQ(audited_ops, 0u) << "dispatch hot path performed heap operations";
 }
 
+TEST(RuntimeTest, SubmitRacingShutdownNeverStrandsRequests) {
+  // Teardown-ordering regression (IngressLayer's in_submit handshake):
+  // producer threads hammer Submit() while the main thread calls Shutdown()
+  // underneath them. Every accepted request must be drained and completed —
+  // none stranded in an ingress ring — and every post-shutdown Submit must
+  // report false rather than block or crash. TSan runs this.
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop_producers{false};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) { handled.fetch_add(1); };
+  Runtime runtime(SmallOptions(), callbacks);
+  runtime.Start();
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&runtime, &stop_producers, &accepted, t] {
+      std::uint64_t id = static_cast<std::uint64_t>(t) << 32;
+      while (!stop_producers.load(std::memory_order_relaxed)) {
+        if (runtime.Submit(id++, 0, nullptr)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Let the race get going before pulling the rug.
+  while (accepted.load(std::memory_order_relaxed) < 500) {
+    std::this_thread::yield();
+  }
+  runtime.Shutdown();  // concurrent with live Submit() traffic
+  stop_producers.store(true, std::memory_order_relaxed);
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  EXPECT_FALSE(runtime.Submit(1, 0, nullptr)) << "post-shutdown Submit must be rejected";
+  const Runtime::Stats stats = runtime.GetStats();
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.completed, accepted.load()) << "accepted requests stranded at shutdown";
+  EXPECT_EQ(handled.load(), accepted.load());
+}
+
+TEST(RuntimeTest, StopAcceptingAloneKeepsRuntimeRunning) {
+  // StopAccepting() is the first phase of Shutdown(), usable alone: the
+  // runtime must finish in-flight work and reject new work, while the
+  // threads stay up until Shutdown().
+  std::atomic<int> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) { handled.fetch_add(1); };
+  Runtime runtime(SmallOptions(), callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_TRUE(runtime.accepting());
+  runtime.StopAccepting();
+  EXPECT_FALSE(runtime.accepting());
+  EXPECT_FALSE(runtime.Submit(100, 0, nullptr));
+  runtime.WaitIdle();  // in-flight work still completes
+  EXPECT_EQ(handled.load(), 100);
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.GetStats().completed, 100u);
+}
+
 }  // namespace
 }  // namespace concord

@@ -1,20 +1,26 @@
 // concord_trace: offline scheduling-trace analyzer (docs/tracing.md).
 //
-// Ingests a Chrome trace-event file written via --trace-out= (or
+// Ingests one or more Chrome trace-event files written via --trace-out= (or
 // CONCORD_TRACE_OUT), recomputes per-request latency breakdowns (queue vs.
 // service vs. preemption overhead), re-checks the runtime's scheduling
 // invariants offline, and prints a summary table. With --check it exits
 // nonzero on any invariant violation or unexplained record loss, which is
 // how CI gates on trace integrity.
 //
+// Multiple TRACE_FILEs are the sharded-runtime case (one capture per shard,
+// telemetry::ShardedOutPath naming): each file is an independent runtime and
+// is checked independently; a merged totals line follows, and --check fails
+// if any shard fails.
+//
 // Usage:
-//   concord_trace [options] TRACE_FILE
+//   concord_trace [options] TRACE_FILE...
 //     --check                        exit 1 on violations/unexplained drops
 //     --grace-us=N                   work-conservation grace bound (default 20000)
 //     --no-work-conservation         skip the work-conservation check
 //     --metrics=FILE                 cross-check a --metrics-out= series:
 //                                    summed window completions must match the
-//                                    trace's completed-request count within 1%
+//                                    traces' total completed-request count
+//                                    within 1%
 //     --min-windows=N                with --metrics: require at least N windows
 
 #include <cmath>
@@ -44,7 +50,7 @@ using concord::trace::AnalyzerReport;
 using concord::trace::RequestBreakdown;
 
 struct CliOptions {
-  std::string trace_path;
+  std::vector<std::string> trace_paths;
   std::string metrics_path;
   AnalyzerOptions analyzer;
   bool check = false;
@@ -53,7 +59,7 @@ struct CliOptions {
 
 void PrintUsage() {
   std::cerr << "usage: concord_trace [--check] [--grace-us=N] [--no-work-conservation]\n"
-               "                     [--metrics=FILE] [--min-windows=N] TRACE_FILE\n";
+               "                     [--metrics=FILE] [--min-windows=N] TRACE_FILE...\n";
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -75,14 +81,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "concord_trace: unknown option " << arg << "\n";
       return false;
-    } else if (options->trace_path.empty()) {
-      options->trace_path = arg;
     } else {
-      std::cerr << "concord_trace: more than one trace file given\n";
-      return false;
+      options->trace_paths.push_back(arg);
     }
   }
-  if (options->trace_path.empty()) {
+  if (options->trace_paths.empty()) {
     std::cerr << "concord_trace: no trace file given\n";
     return false;
   }
@@ -140,11 +143,13 @@ void PrintWorkerTable(const AnalyzerReport& report) {
   table.Print(std::cout);
 }
 
-// Cross-checks a --metrics-out= series against the trace: the summed window
-// completion counts must equal the trace's completed-request population to
-// within 1% (both sides count every completion exactly; the tolerance only
-// absorbs completions that straddle the capture edges).
-bool CheckMetrics(const CliOptions& options, const AnalyzerReport& report) {
+// Cross-checks a --metrics-out= series against the trace(s): the summed
+// window completion counts must equal the traces' total completed-request
+// population to within 1% (both sides count every completion exactly; the
+// tolerance only absorbs completions that straddle the capture edges). With
+// sharded traces the sampler read merged telemetry, so the comparison is
+// against the sum over shards.
+bool CheckMetrics(const CliOptions& options, std::uint64_t completed_total) {
   std::ifstream in(options.metrics_path, std::ios::binary);
   if (!in) {
     std::cerr << "concord_trace: cannot open metrics file " << options.metrics_path << "\n";
@@ -186,11 +191,11 @@ bool CheckMetrics(const CliOptions& options, const AnalyzerReport& report) {
               << " window(s); completion sum is not comparable\n";
     ok = false;
   }
-  const auto completed = static_cast<double>(report.requests_complete);
+  const auto completed = static_cast<double>(completed_total);
   if (completed > 0.0) {
     const double relative =
         std::abs(static_cast<double>(summed) - completed) / completed;
-    std::cout << "Trace completed requests " << report.requests_complete
+    std::cout << "Trace completed requests " << completed_total
               << "; relative difference " << TablePrinter::Percent(relative, 3) << "\n";
     if (relative > 0.01) {
       std::cerr << "concord_trace: metrics/trace completion mismatch exceeds 1%\n";
@@ -209,47 +214,78 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const AnalyzerReport report =
-      concord::trace::AnalyzeChromeTraceFile(options.trace_path, options.analyzer);
-  if (!report.error.empty()) {
-    std::cerr << "concord_trace: " << report.error << "\n";
-    return 2;
-  }
-
-  std::cout << "Trace: " << options.trace_path << "\n"
-            << "  records " << report.record_count << ", workers " << report.worker_count
-            << ", JBSQ k=" << report.jbsq_depth << ", quantum "
-            << TablePrinter::Fixed(report.quantum_us, 1) << " us, tsc "
-            << TablePrinter::Fixed(report.tsc_ghz, 3) << " GHz\n"
-            << "  requests: " << report.requests_total << " total, " << report.requests_complete
-            << " complete, " << report.requests_truncated << " truncated\n"
-            << "  preempt signals observed: " << report.preempt_signals << "\n"
-            << "  drops: declared ring=" << report.declared_ring_dropped
-            << " buffer=" << report.declared_buffer_dropped
-            << ", observed sequence gaps=" << report.observed_sequence_gaps
-            << ", unexplained=" << report.unexplained_drops << "\n";
-
-  PrintWorkerTable(report);
-  PrintBreakdownTable(report);
-
   bool ok = true;
-  if (!report.violations.empty()) {
-    std::cout << "\nInvariant violations (" << report.violations.size() << "):\n";
-    for (const std::string& violation : report.violations) {
-      std::cout << "  - " << violation << "\n";
+  std::uint64_t total_records = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_complete = 0;
+  std::uint64_t total_truncated = 0;
+  std::uint64_t total_violations = 0;
+  std::uint64_t total_unexplained = 0;
+  const bool sharded = options.trace_paths.size() > 1;
+  for (std::size_t shard = 0; shard < options.trace_paths.size(); ++shard) {
+    const std::string& trace_path = options.trace_paths[shard];
+    const AnalyzerReport report =
+        concord::trace::AnalyzeChromeTraceFile(trace_path, options.analyzer);
+    if (!report.error.empty()) {
+      std::cerr << "concord_trace: " << trace_path << ": " << report.error << "\n";
+      return 2;
     }
-    ok = false;
-  } else {
-    std::cout << "\nInvariants: monotone timestamps, JBSQ occupancy <= k, dispatcher-pinned\n"
-                 "completion, work conservation (grace "
-              << TablePrinter::Fixed(options.analyzer.grace_us, 0) << " us): all hold\n";
+
+    std::cout << "Trace: " << trace_path;
+    if (sharded) {
+      std::cout << " (shard " << shard << " of " << options.trace_paths.size() << ")";
+    }
+    std::cout << "\n"
+              << "  records " << report.record_count << ", workers " << report.worker_count
+              << ", JBSQ k=" << report.jbsq_depth << ", quantum "
+              << TablePrinter::Fixed(report.quantum_us, 1) << " us, tsc "
+              << TablePrinter::Fixed(report.tsc_ghz, 3) << " GHz\n"
+              << "  requests: " << report.requests_total << " total, " << report.requests_complete
+              << " complete, " << report.requests_truncated << " truncated\n"
+              << "  preempt signals observed: " << report.preempt_signals << "\n"
+              << "  drops: declared ring=" << report.declared_ring_dropped
+              << " buffer=" << report.declared_buffer_dropped
+              << ", observed sequence gaps=" << report.observed_sequence_gaps
+              << ", unexplained=" << report.unexplained_drops << "\n";
+
+    PrintWorkerTable(report);
+    PrintBreakdownTable(report);
+
+    if (!report.violations.empty()) {
+      std::cout << "\nInvariant violations (" << report.violations.size() << "):\n";
+      for (const std::string& violation : report.violations) {
+        std::cout << "  - " << violation << "\n";
+      }
+      ok = false;
+    } else {
+      std::cout << "\nInvariants: monotone timestamps, JBSQ occupancy <= k, dispatcher-pinned\n"
+                   "completion, work conservation (grace "
+                << TablePrinter::Fixed(options.analyzer.grace_us, 0) << " us): all hold\n";
+    }
+    if (report.unexplained_drops > 0) {
+      ok = false;
+    }
+
+    total_records += report.record_count;
+    total_requests += report.requests_total;
+    total_complete += report.requests_complete;
+    total_truncated += report.requests_truncated;
+    total_violations += report.violations.size();
+    total_unexplained += report.unexplained_drops;
+    if (shard + 1 < options.trace_paths.size()) {
+      std::cout << "\n";
+    }
   }
-  if (report.unexplained_drops > 0) {
-    ok = false;
+
+  if (sharded) {
+    std::cout << "\nMerged over " << options.trace_paths.size() << " shards: " << total_records
+              << " records, " << total_requests << " requests (" << total_complete
+              << " complete, " << total_truncated << " truncated), " << total_violations
+              << " violation(s), " << total_unexplained << " unexplained drop(s)\n";
   }
 
   if (!options.metrics_path.empty()) {
-    ok = CheckMetrics(options, report) && ok;
+    ok = CheckMetrics(options, total_complete) && ok;
   }
 
   if (options.check) {
