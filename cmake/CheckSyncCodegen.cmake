@@ -1,0 +1,48 @@
+# Compiles the Sync-parameterized protocol hot paths
+# (tests/sync_codegen_harness.cc) to assembly twice — once against the
+# production StdSync and once with -DCONCORD_SYNC_BASELINE, whose reference
+# StdSync is the raw pre-parameterization definition (src/common/sync.h) —
+# and requires the output to be byte-identical. This pins the model-checker
+# parameterization's zero-cost guarantee at the codegen level: the layer the
+# checker hooks into can never silently grow a wrapper cost on the
+# production ring/ingress hot path. Companion to CheckProbeCodegen.cmake.
+#
+# Invoked by ctest as:
+#   cmake -DCXX=<compiler> -DSRC=<source dir> -DOUT=<scratch dir>
+#         -P CheckSyncCodegen.cmake
+
+foreach(var CXX SRC OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+foreach(mode production baseline)
+  set(defines "")
+  if(mode STREQUAL "baseline")
+    set(defines "-DCONCORD_SYNC_BASELINE")
+  endif()
+  execute_process(
+    COMMAND "${CXX}" -std=c++20 -O2 -S -I "${SRC}" ${defines}
+            "${SRC}/tests/sync_codegen_harness.cc"
+            -o "${OUT}/sync_${mode}.s"
+    RESULT_VARIABLE status
+    ERROR_VARIABLE errors)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "compiling sync_codegen_harness.cc (${mode}) failed:\n${errors}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT}/sync_production.s" "${OUT}/sync_baseline.s"
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+      "protocol hot-path assembly differs between the production StdSync and "
+      "the CONCORD_SYNC_BASELINE reference; the Sync parameterization must "
+      "stay zero-cost (diff ${OUT}/sync_production.s ${OUT}/sync_baseline.s)")
+endif()
+message(STATUS "Sync-parameterized hot-path codegen is byte-identical to the raw-atomics baseline")

@@ -1,0 +1,758 @@
+#include "src/analysis/atomics_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace concord {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// One scanned source: `code` is the content with comments and string/char
+// literals blanked (newlines preserved, so offsets map to the original
+// lines); `comments` is the inverse — only comment text survives. The
+// suppression sets hold 1-based line numbers carrying each tag.
+struct ScannedFile {
+  std::string label;
+  std::string code;
+  std::string comments;
+  std::vector<std::size_t> line_start;  // offset of each line's first char
+  std::set<int> allow_default;
+  std::set<int> allow_seq_cst;
+  std::set<int> allow_unpaired;
+  std::set<int> allow_plain_field;
+  std::set<int> shared_struct_tag;
+
+  int LineOf(std::size_t offset) const {
+    const auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
+    return static_cast<int>(it - line_start.begin());
+  }
+  bool TaggedAt(const std::set<int>& tag, int line) const {
+    return tag.count(line) != 0 || tag.count(line - 1) != 0;
+  }
+};
+
+// Same comment/literal state machine as source_lint's scanner, kept local so
+// the two lints stay independently tunable.
+ScannedFile Scan(const std::string& label, const std::string& content) {
+  ScannedFile out;
+  out.label = label;
+  out.code.assign(content.size(), ' ');
+  out.comments.assign(content.size(), ' ');
+  out.line_start.push_back(0);
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      out.comments[i] = '\n';
+      out.line_start.push_back(i + 1);
+      if (state == State::kLineComment) {
+        state = State::kCode;
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+          if (i < content.size() && content[i] == '\n') {
+            --i;  // let the newline handler run
+          }
+        } else if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim"
+          std::size_t r = i;
+          while (r > 0 && IsIdentChar(content[r - 1])) {
+            --r;
+          }
+          if (r < i && content[r] == 'R' && r + 1 == i) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < content.size() && content[j] != '(') {
+              raw_delim.push_back(content[j]);
+              ++j;
+            }
+            i = j;
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case State::kLineComment:
+      case State::kBlockComment:
+        out.comments[i] = c;
+        if (state == State::kBlockComment && c == '*' && i + 1 < content.size() &&
+            content[i + 1] == '/') {
+          out.comments[i + 1] = '/';
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          i += close.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+
+  // Collect suppression tags from comment text, line by line.
+  std::istringstream lines(out.comments);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.find("concord-atomics:") == std::string::npos) {
+      continue;
+    }
+    if (line.find("allow-default") != std::string::npos) {
+      out.allow_default.insert(lineno);
+    }
+    if (line.find("allow-seq-cst") != std::string::npos) {
+      out.allow_seq_cst.insert(lineno);
+    }
+    if (line.find("allow-unpaired") != std::string::npos) {
+      out.allow_unpaired.insert(lineno);
+    }
+    if (line.find("allow-plain-field") != std::string::npos) {
+      out.allow_plain_field.insert(lineno);
+    }
+    if (line.find("shared-struct") != std::string::npos) {
+      out.shared_struct_tag.insert(lineno);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Atomic-operation extraction
+// ---------------------------------------------------------------------------
+
+enum class OpClass { kLoad, kStore, kRmw, kFence };
+
+struct AtomicOp {
+  const ScannedFile* file = nullptr;
+  int line = 0;
+  OpClass cls = OpClass::kLoad;
+  std::string field;            // normalized (trailing '_' stripped); may be empty
+  std::string method;           // "load", "store", ..., "BumpSingleWriter", "fence"
+  std::vector<std::string> orders;  // literal memory_order_* suffixes in the args
+  bool has_explicit_order = false;
+};
+
+// Matches the closing paren for the '(' at `open` in blanked code; npos when
+// unbalanced (macro soup) — the op is then skipped rather than misread.
+std::size_t MatchParen(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') {
+      ++depth;
+    } else if (code[i] == ')') {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t MatchBrace(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '{') {
+      ++depth;
+    } else if (code[i] == '}') {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+std::vector<std::string> SplitTopLevelArgs(const std::string& args) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (const char c : args) {
+    if (c == '(' || c == '[' || c == '{' || c == '<') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}' || c == '>') {
+      --depth;  // '<' as less-than skews depth but never below the comma level
+    }
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::vector<std::string> LiteralOrders(const std::string& args) {
+  std::vector<std::string> out;
+  static const std::string kNeedle = "memory_order_";
+  std::size_t pos = 0;
+  while ((pos = args.find(kNeedle, pos)) != std::string::npos) {
+    std::size_t end = pos + kNeedle.size();
+    while (end < args.size() && IsIdentChar(args[end])) {
+      ++end;
+    }
+    out.push_back(args.substr(pos + kNeedle.size(), end - pos - kNeedle.size()));
+    pos = end;
+  }
+  return out;
+}
+
+// Reads the identifier that the member op is invoked on, scanning backwards
+// from the '.' / '->' before the method name. Subscripts are skipped
+// (slots_[i].load -> "slots_") and the CacheLineAligned wrapper is looked
+// through (head_.value.load -> "head_"). The trailing '_' is stripped so a
+// member and the protocol-function parameter it is passed as (accepting_ /
+// accepting) pool into one field.
+std::string FieldBefore(const std::string& code, std::size_t dot) {
+  std::size_t i = dot;  // index one past the identifier end
+  for (int hop = 0; hop < 2; ++hop) {
+    while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1])) != 0) {
+      --i;
+    }
+    if (i > 0 && code[i - 1] == ']') {
+      int depth = 0;
+      while (i > 0) {
+        --i;
+        if (code[i] == ']') {
+          ++depth;
+        } else if (code[i] == '[' && --depth == 0) {
+          break;
+        }
+      }
+    }
+    std::size_t end = i;
+    while (i > 0 && IsIdentChar(code[i - 1])) {
+      --i;
+    }
+    std::string ident = code.substr(i, end - i);
+    if (ident != "value" || i == 0 || (code[i - 1] != '.' && code[i - 1] != '>')) {
+      while (!ident.empty() && ident.back() == '_') {
+        ident.pop_back();
+      }
+      return ident;
+    }
+    // Look through the CacheLineAligned<...>::value wrapper.
+    i = (code[i - 1] == '>') ? i - 2 : i - 1;
+  }
+  return std::string();
+}
+
+void ExtractMemberOps(const ScannedFile& file, std::vector<AtomicOp>* ops) {
+  struct Method {
+    const char* name;
+    OpClass cls;
+  };
+  static const Method kMethods[] = {
+      {"load", OpClass::kLoad},
+      {"store", OpClass::kStore},
+      {"exchange", OpClass::kRmw},
+      {"fetch_add", OpClass::kRmw},
+      {"fetch_sub", OpClass::kRmw},
+      {"fetch_and", OpClass::kRmw},
+      {"fetch_or", OpClass::kRmw},
+      {"fetch_xor", OpClass::kRmw},
+      {"compare_exchange_strong", OpClass::kRmw},
+      {"compare_exchange_weak", OpClass::kRmw},
+  };
+  const std::string& code = file.code;
+  for (const Method& method : kMethods) {
+    const std::string needle = std::string(method.name) + "(";
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += needle.size();
+      // Must be a member call: preceded by '.' or '->', and not a longer
+      // identifier ("fetch_add" inside "xfetch_add").
+      if (start == 0 || IsIdentChar(code[start - 1])) {
+        continue;
+      }
+      std::size_t dot;
+      if (code[start - 1] == '.') {
+        dot = start - 1;
+      } else if (start >= 2 && code[start - 1] == '>' && code[start - 2] == '-') {
+        dot = start - 2;
+      } else {
+        continue;
+      }
+      const std::size_t close = MatchParen(code, start + needle.size() - 1);
+      if (close == std::string::npos) {
+        continue;
+      }
+      const std::string args = code.substr(start + needle.size(), close - start - needle.size());
+      AtomicOp op;
+      op.file = &file;
+      op.line = file.LineOf(start);
+      op.cls = method.cls;
+      op.method = method.name;
+      op.field = FieldBefore(code, dot);
+      op.orders = LiteralOrders(args);
+      const std::vector<std::string> split = SplitTopLevelArgs(args);
+      // The order argument is always last (or last two for the CAS success/
+      // failure pair); a variable named *_order also counts as explicit.
+      op.has_explicit_order =
+          !split.empty() && split.back().find("order") != std::string::npos;
+      ops->push_back(std::move(op));
+    }
+  }
+
+  // Free-function fences: std::atomic_thread_fence(...) / Sync::ThreadFence(...).
+  for (const char* fence : {"atomic_thread_fence", "ThreadFence"}) {
+    const std::string needle = std::string(fence) + "(";
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += needle.size();
+      if (start > 0 && IsIdentChar(code[start - 1])) {
+        continue;
+      }
+      const std::size_t close = MatchParen(code, start + needle.size() - 1);
+      if (close == std::string::npos) {
+        continue;
+      }
+      const std::string args = code.substr(start + needle.size(), close - start - needle.size());
+      AtomicOp op;
+      op.file = &file;
+      op.line = file.LineOf(start);
+      op.cls = OpClass::kFence;
+      op.method = "fence";
+      op.orders = LiteralOrders(args);
+      op.has_explicit_order = args.find("order") != std::string::npos;
+      ops->push_back(std::move(op));
+    }
+  }
+
+  // BumpSingleWriter(counter[, delta[, order]]): the codebase's single-writer
+  // counter idiom (telemetry.h). Modeled as a store on the first argument;
+  // the helper's documented default order is relaxed, so a missing order
+  // argument is not a defaulted-order violation.
+  {
+    const std::string needle = "BumpSingleWriter(";
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += needle.size();
+      if (start > 0 && IsIdentChar(code[start - 1])) {
+        continue;
+      }
+      const std::size_t close = MatchParen(code, start + needle.size() - 1);
+      if (close == std::string::npos) {
+        continue;
+      }
+      const std::string args = code.substr(start + needle.size(), close - start - needle.size());
+      const std::vector<std::string> split = SplitTopLevelArgs(args);
+      if (split.empty()) {
+        continue;
+      }
+      AtomicOp op;
+      op.file = &file;
+      op.line = file.LineOf(start);
+      op.cls = OpClass::kStore;
+      op.method = "BumpSingleWriter";
+      // Field = last identifier of the first argument.
+      std::size_t end = split[0].size();
+      while (end > 0 && !IsIdentChar(split[0][end - 1])) {
+        --end;
+      }
+      std::size_t begin = end;
+      while (begin > 0 && IsIdentChar(split[0][begin - 1])) {
+        --begin;
+      }
+      op.field = split[0].substr(begin, end - begin);
+      while (!op.field.empty() && op.field.back() == '_') {
+        op.field.pop_back();
+      }
+      op.orders = LiteralOrders(args);
+      op.has_explicit_order = true;
+      ops->push_back(std::move(op));
+    }
+  }
+}
+
+bool HasOrder(const AtomicOp& op, const char* order) {
+  return std::find(op.orders.begin(), op.orders.end(), order) != op.orders.end();
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void CheckDefaultedOrder(const AtomicOp& op, std::vector<AtomicsLintViolation>* out) {
+  if (op.has_explicit_order ||
+      op.file->TaggedAt(op.file->allow_default, op.line)) {
+    return;
+  }
+  out->push_back({op.file->label, op.line, AtomicsLintViolation::Kind::kDefaultedOrder,
+                  "atomic " + op.method + (op.field.empty() ? "" : " on '" + op.field + "'") +
+                      " without an explicit memory order (defaults to seq_cst); "
+                      "name the order the protocol needs, or tag the line "
+                      "`concord-atomics: allow-default`"});
+}
+
+void CheckSeqCstRationale(const AtomicOp& op, const AtomicsLintConfig& config,
+                          std::vector<AtomicsLintViolation>* out) {
+  if (!HasOrder(op, "seq_cst") || op.file->TaggedAt(op.file->allow_seq_cst, op.line)) {
+    return;
+  }
+  // A rationale is any comment mentioning seq_cst on the op's line or within
+  // the preceding window.
+  const auto& starts = op.file->line_start;
+  const int first = std::max(1, op.line - config.rationale_window_lines);
+  const std::size_t begin = starts[static_cast<std::size_t>(first - 1)];
+  const std::size_t end = static_cast<std::size_t>(op.line) < starts.size()
+                              ? starts[static_cast<std::size_t>(op.line)]
+                              : op.file->comments.size();
+  if (op.file->comments.substr(begin, end - begin).find("seq_cst") != std::string::npos) {
+    return;
+  }
+  out->push_back({op.file->label, op.line, AtomicsLintViolation::Kind::kSeqCstWithoutRationale,
+                  "seq_cst " + op.method + (op.field.empty() ? "" : " on '" + op.field + "'") +
+                      " without a nearby comment saying why seq_cst is required; "
+                      "document the total-order argument (mention seq_cst) or tag "
+                      "`concord-atomics: allow-seq-cst`"});
+}
+
+void CheckPairing(const std::vector<AtomicOp>& ops, std::vector<AtomicsLintViolation>* out) {
+  struct Side {
+    bool present = false;
+    bool suppressed = false;
+    const ScannedFile* file = nullptr;
+    int line = 0;
+    void Record(const AtomicOp& op) {
+      if (!present) {
+        present = true;
+        file = op.file;
+        line = op.line;
+      }
+      suppressed = suppressed || op.file->TaggedAt(op.file->allow_unpaired, op.line);
+    }
+  };
+  struct Pairing {
+    Side acquire;
+    Side release;
+  };
+  std::map<std::string, Pairing> fields;
+  for (const AtomicOp& op : ops) {
+    if (op.field.empty() || op.cls == OpClass::kFence) {
+      continue;
+    }
+    Pairing& p = fields[op.field];
+    const bool sc = HasOrder(op, "seq_cst");
+    switch (op.cls) {
+      case OpClass::kLoad:
+        if (sc || HasOrder(op, "acquire")) {
+          p.acquire.Record(op);
+        }
+        break;
+      case OpClass::kStore:
+        if (sc || HasOrder(op, "release")) {
+          p.release.Record(op);
+        }
+        break;
+      case OpClass::kRmw:
+        if (sc || HasOrder(op, "acq_rel") || HasOrder(op, "acquire")) {
+          p.acquire.Record(op);
+        }
+        if (sc || HasOrder(op, "acq_rel") || HasOrder(op, "release")) {
+          p.release.Record(op);
+        }
+        break;
+      case OpClass::kFence:
+        break;
+    }
+  }
+  for (const auto& [field, p] : fields) {
+    if (p.acquire.present && !p.release.present && !p.acquire.suppressed) {
+      out->push_back({p.acquire.file->label, p.acquire.line,
+                      AtomicsLintViolation::Kind::kUnpairedAcquire,
+                      "'" + field + "' is acquire-loaded here but never release-stored in the "
+                          "linted set — the acquire pairs with nothing; add the release side, "
+                          "weaken to relaxed, or tag `concord-atomics: allow-unpaired`"});
+    }
+    if (p.release.present && !p.acquire.present && !p.release.suppressed) {
+      out->push_back({p.release.file->label, p.release.line,
+                      AtomicsLintViolation::Kind::kUnpairedRelease,
+                      "'" + field + "' is release-stored here but never acquire-loaded in the "
+                          "linted set — the release publishes to nobody; add the acquire side, "
+                          "weaken to relaxed, or tag `concord-atomics: allow-unpaired`"});
+    }
+  }
+}
+
+bool IsSharedFieldTypeOk(const std::string& decl) {
+  static const char* kWhitelist[] = {"atomic",  "Atomic",          "SpscRing", "EventRing",
+                                     "SignalLine", "CacheLineAligned", "mutex",    "Cell",
+                                     "Counters"};
+  for (const char* ok : kWhitelist) {
+    if (decl.find(ok) != std::string::npos) {
+      return true;
+    }
+  }
+  std::size_t i = 0;
+  while (i < decl.size() && std::isspace(static_cast<unsigned char>(decl[i])) != 0) {
+    ++i;
+  }
+  return decl.compare(i, 6, "const ") == 0;
+}
+
+void CheckSharedStructs(const ScannedFile& file, std::vector<AtomicsLintViolation>* out) {
+  const std::string& code = file.code;
+  for (const char* keyword : {"struct", "class"}) {
+    const std::string kw = keyword;
+    std::size_t pos = 0;
+    while ((pos = code.find(kw, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += kw.size();
+      if ((start > 0 && IsIdentChar(code[start - 1])) ||
+          (pos < code.size() && IsIdentChar(code[pos]))) {
+        continue;
+      }
+      // Name = next identifier (skipping alignas(...) and attributes).
+      std::size_t i = pos;
+      std::string name;
+      while (i < code.size() && code[i] != '{' && code[i] != ';') {
+        if (IsIdentChar(code[i])) {
+          std::size_t end = i;
+          while (end < code.size() && IsIdentChar(code[end])) {
+            ++end;
+          }
+          name = code.substr(i, end - i);
+          if (name == "alignas") {
+            const std::size_t close = MatchParen(code, code.find('(', end));
+            i = (close == std::string::npos) ? code.size() : close + 1;
+            name.clear();
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      const int decl_line = file.LineOf(start);
+      const bool named_shared = name.size() >= 6 && name.compare(name.size() - 6, 6, "Shared") == 0;
+      const bool tagged = file.TaggedAt(file.shared_struct_tag, decl_line);
+      if (!named_shared && !tagged) {
+        continue;
+      }
+      const std::size_t open = code.find('{', start);
+      const std::size_t semi = code.find(';', start);
+      if (open == std::string::npos || (semi != std::string::npos && semi < open)) {
+        continue;  // forward declaration
+      }
+      const std::size_t close = MatchBrace(code, open);
+      if (close == std::string::npos) {
+        continue;
+      }
+      // Walk the body at member depth, splitting statements on ';'. A '{'
+      // whose statement text already saw '(' is a function body (skipped
+      // whole); otherwise it is a brace initializer.
+      std::string stmt;
+      std::size_t stmt_start = open + 1;
+      bool stmt_started = false;
+      for (std::size_t j = open + 1; j < close; ++j) {
+        const char c = code[j];
+        if (c == '{') {
+          const std::size_t body_close = MatchBrace(code, j);
+          if (body_close == std::string::npos || body_close > close) {
+            break;
+          }
+          if (stmt.find('(') != std::string::npos) {
+            stmt.clear();
+            stmt_started = false;
+            j = body_close;
+            // A constructor body may be followed directly by the next member
+            // (no ';'), so the statement restarts after it.
+            continue;
+          }
+          j = body_close;  // brace initializer: skip contents
+          continue;
+        }
+        if (c == ';') {
+          // Strip access-specifier labels absorbed into the statement.
+          std::string decl = stmt;
+          for (const char* label : {"public", "private", "protected"}) {
+            const std::size_t at = decl.find(std::string(label) + ":");
+            if (at != std::string::npos) {
+              decl = decl.substr(at + std::string(label).size() + 1);
+            }
+          }
+          const bool blank = decl.find_first_not_of(" \t\n") == std::string::npos;
+          const bool function_like = decl.find('(') != std::string::npos;
+          const bool non_member =
+              decl.find("using ") != std::string::npos ||
+              decl.find("friend ") != std::string::npos ||
+              decl.find("typedef ") != std::string::npos ||
+              decl.find("static ") != std::string::npos;
+          if (!blank && !function_like && !non_member && !IsSharedFieldTypeOk(decl)) {
+            const int line = file.LineOf(stmt_start);
+            if (!file.TaggedAt(file.allow_plain_field, line)) {
+              std::string field = decl;
+              field.erase(std::remove(field.begin(), field.end(), '\n'), field.end());
+              const std::size_t first = field.find_first_not_of(" \t");
+              field = (first == std::string::npos) ? "" : field.substr(first);
+              out->push_back(
+                  {file.label, line, AtomicsLintViolation::Kind::kNonAtomicSharedField,
+                   "non-atomic field `" + field + "` in cross-thread struct " + name +
+                       "; make it atomic, use a whitelisted concurrent type, or tag "
+                       "`concord-atomics: allow-plain-field` with the protecting protocol"});
+            }
+          }
+          stmt.clear();
+          stmt_started = false;
+          continue;
+        }
+        if (!stmt_started && std::isspace(static_cast<unsigned char>(c)) == 0) {
+          stmt_start = j;
+          stmt_started = true;
+        }
+        stmt.push_back(c);
+      }
+      pos = close;
+    }
+  }
+}
+
+const char* KindTag(AtomicsLintViolation::Kind kind) {
+  switch (kind) {
+    case AtomicsLintViolation::Kind::kDefaultedOrder:
+      return "atomics-defaulted-order";
+    case AtomicsLintViolation::Kind::kSeqCstWithoutRationale:
+      return "atomics-seq-cst-rationale";
+    case AtomicsLintViolation::Kind::kUnpairedAcquire:
+      return "atomics-unpaired-acquire";
+    case AtomicsLintViolation::Kind::kUnpairedRelease:
+      return "atomics-unpaired-release";
+    case AtomicsLintViolation::Kind::kNonAtomicSharedField:
+      return "atomics-non-atomic-shared-field";
+    case AtomicsLintViolation::Kind::kUnreadableFile:
+      return "atomics-unreadable-file";
+  }
+  return "atomics-unknown";
+}
+
+bool LintableExtension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+std::vector<AtomicsLintViolation> LintAtomicsSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const AtomicsLintConfig& config) {
+  std::vector<AtomicsLintViolation> violations;
+  std::vector<ScannedFile> files;
+  files.reserve(sources.size());
+  for (const auto& [label, content] : sources) {
+    files.push_back(Scan(label, content));
+  }
+  std::vector<AtomicOp> ops;
+  for (const ScannedFile& file : files) {
+    ExtractMemberOps(file, &ops);
+    CheckSharedStructs(file, &violations);
+  }
+  for (const AtomicOp& op : ops) {
+    CheckDefaultedOrder(op, &violations);
+    CheckSeqCstRationale(op, config, &violations);
+  }
+  CheckPairing(ops, &violations);
+  std::sort(violations.begin(), violations.end(),
+            [](const AtomicsLintViolation& a, const AtomicsLintViolation& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  return violations;
+}
+
+std::vector<AtomicsLintViolation> LintAtomicsTree(const std::vector<std::string>& roots,
+                                                  const AtomicsLintConfig& config) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::vector<AtomicsLintViolation> violations;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      violations.push_back({root, 0, AtomicsLintViolation::Kind::kUnreadableFile,
+                            "path is neither a file nor a directory"});
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+      if (entry.is_regular_file() && LintableExtension(entry.path())) {
+        paths.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      violations.push_back(
+          {path, 0, AtomicsLintViolation::Kind::kUnreadableFile, "cannot read file"});
+      continue;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    sources.emplace_back(path, content.str());
+  }
+  std::vector<AtomicsLintViolation> from_sources = LintAtomicsSources(sources, config);
+  violations.insert(violations.end(), from_sources.begin(), from_sources.end());
+  return violations;
+}
+
+std::string AtomicsViolationToString(const AtomicsLintViolation& violation) {
+  std::ostringstream out;
+  out << violation.file << ":" << violation.line << ": [" << KindTag(violation.kind) << "] "
+      << violation.message;
+  return out.str();
+}
+
+}  // namespace concord

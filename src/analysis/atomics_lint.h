@@ -1,0 +1,83 @@
+// Source-level atomics lint for the lock-free hot path.
+//
+// The model checker (src/modelcheck/) proves the *extracted* protocols
+// correct; this lint keeps the production sources honest between those
+// extractions. It is the same kind of lightweight, comment/literal-aware
+// scanner as source_lint.h — not a C++ frontend — tuned for the atomics
+// idioms this codebase actually uses.
+//
+// Rules:
+//   * defaulted-order: an atomic operation written without an explicit
+//     std::memory_order argument silently gets seq_cst. On the hot path that
+//     is either an unnecessary full barrier or — worse — load-bearing
+//     ordering nobody wrote down. Every op must name its order.
+//   * seq-cst-without-rationale: seq_cst is the strongest (and on x86/arm
+//     the most expensive) order; the few places that need it (the
+//     Dekker-style Submit/Shutdown handshake) must say why in a comment
+//     mentioning "seq_cst" within `rationale_window_lines` lines above the
+//     op (or on its line). Everything else should use an explicit weaker
+//     order.
+//   * unpaired-acquire / unpaired-release: a field that is acquire-loaded
+//     somewhere but never release-stored anywhere in the linted set (or
+//     vice versa) — half a happens-before edge, usually a refactor losing
+//     one side. Pairing is by field name across all linted files, so the
+//     two halves may live in different translation units. RMWs count for
+//     both sides per their order.
+//   * non-atomic-shared-field: inside a struct whose name ends in `Shared`
+//     or that is annotated `concord-atomics: shared-struct`, every data
+//     member must be an atomic / ring / mutex / const — a plain field in a
+//     cross-thread struct is a data race waiting for a schedule.
+//
+// Suppressions (comment on the offending line or the line above):
+//   concord-atomics: allow-default   (defaulted order is deliberate)
+//   concord-atomics: allow-seq-cst   (counts as rationale by itself)
+//   concord-atomics: allow-unpaired  (one-sided edge is deliberate)
+//   concord-atomics: allow-plain-field (field is protected another way)
+// As with probe-lint suppressions, say why next to the tag.
+
+#ifndef CONCORD_SRC_ANALYSIS_ATOMICS_LINT_H_
+#define CONCORD_SRC_ANALYSIS_ATOMICS_LINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace concord {
+
+struct AtomicsLintConfig {
+  // How many lines above a seq_cst op a rationale comment may sit.
+  int rationale_window_lines = 8;
+};
+
+struct AtomicsLintViolation {
+  enum class Kind {
+    kDefaultedOrder,
+    kSeqCstWithoutRationale,
+    kUnpairedAcquire,
+    kUnpairedRelease,
+    kNonAtomicSharedField,
+    kUnreadableFile,
+  };
+  std::string file;
+  int line = 0;  // 1-based
+  Kind kind = Kind::kDefaultedOrder;
+  std::string message;
+};
+
+// Lints a set of in-memory sources as one unit (pairing is cross-file).
+// Each element is {file_label, content}.
+std::vector<AtomicsLintViolation> LintAtomicsSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const AtomicsLintConfig& config);
+
+// Recursively lints every .h/.hpp/.cc/.cpp under each root (or the single
+// file if a root is one), as one cross-file unit. Unreadable files produce a
+// violation so CI cannot silently skip them.
+std::vector<AtomicsLintViolation> LintAtomicsTree(const std::vector<std::string>& roots,
+                                                  const AtomicsLintConfig& config);
+
+std::string AtomicsViolationToString(const AtomicsLintViolation& violation);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_ANALYSIS_ATOMICS_LINT_H_

@@ -1,0 +1,64 @@
+// The atomics/yield parameterization layer for the lock-free primitives.
+//
+// SpscRing, EventRing and the ingress protocol templates (ingress_protocol.h)
+// are parameterized over a `Sync` policy so the same protocol code compiles
+// in two modes:
+//
+//   * Production (`StdSync`, the default): `Atomic<T>` IS `std::atomic<T>`
+//     (a type alias, not a wrapper), `Cell<T>` IS `T`, and the fences forward
+//     to `std::atomic_thread_fence`. Codegen is byte-identical to writing
+//     `std::atomic` directly — pinned by cmake/CheckSyncCodegen.cmake, which
+//     compares the -S output of the ring hot path against the
+//     CONCORD_SYNC_BASELINE branch below.
+//   * Checked (`modelcheck::CheckedSync`, src/modelcheck/checked_sync.h):
+//     every load/store/RMW/fence is recorded with its declared memory_order
+//     and routed through a controlled scheduler that explores interleavings
+//     and store-buffer-visible weak behaviors (docs/modelcheck.md).
+//
+// `Cell<T>` marks *non-atomic* data that crosses threads under the protocol's
+// happens-before edges (ring slots). In production it is exactly `T`; in
+// checked mode each access is race-checked against the model's vector clocks,
+// so a protocol mutation that breaks the publication edge shows up as a data
+// race on the cell rather than a silently-correct replay.
+
+#ifndef CONCORD_SRC_COMMON_SYNC_H_
+#define CONCORD_SRC_COMMON_SYNC_H_
+
+#include <atomic>
+
+namespace concord {
+
+#if defined(CONCORD_SYNC_BASELINE)
+// Baseline branch for the codegen compare test only: the reference definition
+// of "zero overhead" — raw std::atomic, plain T. CheckSyncCodegen.cmake
+// compiles the ring harness against this branch and against the production
+// branch below and requires byte-identical assembly, so the production layer
+// can never silently grow a wrapper cost.
+struct StdSync {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+  template <typename T>
+  using Cell = T;
+  static void ThreadFence(std::memory_order order) { std::atomic_thread_fence(order); }
+  static void Yield() {}
+};
+#else
+// Production mode. Deliberately alias-based: `Atomic<T>` is not a wrapper
+// class but `std::atomic<T>` itself, so member layout, mangled names and
+// generated code are identical to pre-parameterization code by construction.
+struct StdSync {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+  template <typename T>
+  using Cell = T;
+  static void ThreadFence(std::memory_order order) { std::atomic_thread_fence(order); }
+  // Scheduling hook for spin loops inside parameterized protocol code. In
+  // production a spin already calls CpuRelax()/Backoff at the call site; the
+  // checked layer turns this into a controlled-scheduler yield point.
+  static void Yield() {}
+};
+#endif  // CONCORD_SYNC_BASELINE
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMMON_SYNC_H_

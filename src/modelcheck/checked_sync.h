@@ -1,0 +1,171 @@
+// CheckedSync: the instrumented counterpart of StdSync (src/common/sync.h).
+//
+// Substituting this policy into SpscRing / EventRing / ingress_protocol
+// routes every atomic load/store/RMW/fence — with its *declared*
+// memory_order — and every plain Cell access through the model-checking
+// engine (model.h), which turns each into a schedule point, replays
+// coherence-permitted stale values, and race-checks the plain accesses with
+// vector clocks. Outside an active Explore() run (or on threads the engine
+// does not control) every operation degrades to an ordinary access, so
+// checked-mode objects can be constructed and inspected freely from test
+// code.
+//
+// Payload types must be trivially copyable and at most 8 bytes (the engine
+// models values as uint64_t); that covers every protocol field in the
+// runtime (indices, sequence words, flags, request pointers).
+
+#ifndef CONCORD_SRC_MODELCHECK_CHECKED_SYNC_H_
+#define CONCORD_SRC_MODELCHECK_CHECKED_SYNC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "src/modelcheck/model.h"
+
+namespace concord::modelcheck {
+
+namespace internal {
+
+template <typename T>
+std::uint64_t Encode(T value) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "checked atomics model values as uint64_t");
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(T));
+  return bits;
+}
+
+template <typename T>
+T Decode(std::uint64_t bits) {
+  T value;
+  std::memcpy(&value, &bits, sizeof(T));
+  return value;
+}
+
+inline Engine* ActiveEngine() {
+  Engine* engine = Engine::Current();
+  return (engine != nullptr && engine->ControlsCurrentThread()) ? engine : nullptr;
+}
+
+}  // namespace internal
+
+struct CheckedSync {
+  template <typename T>
+  class Atomic {
+   public:
+    Atomic() noexcept : raw_(0) {}
+    // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::atomic<T>.
+    Atomic(T value) noexcept : raw_(internal::Encode(value)) {}
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T load(std::memory_order order = std::memory_order_seq_cst) const {
+      if (auto* engine = internal::ActiveEngine()) {
+        return internal::Decode<T>(engine->AtomicLoad(this, order, raw_));
+      }
+      return internal::Decode<T>(raw_);
+    }
+
+    void store(T value, std::memory_order order = std::memory_order_seq_cst) {
+      if (auto* engine = internal::ActiveEngine()) {
+        engine->AtomicStore(this, order, internal::Encode(value), &raw_);
+        return;
+      }
+      raw_ = internal::Encode(value);
+    }
+
+    T exchange(T value, std::memory_order order = std::memory_order_seq_cst) {
+      if (auto* engine = internal::ActiveEngine()) {
+        return internal::Decode<T>(engine->AtomicExchange(this, order, internal::Encode(value), &raw_));
+      }
+      const std::uint64_t old = raw_;
+      raw_ = internal::Encode(value);
+      return internal::Decode<T>(old);
+    }
+
+    T fetch_add(T delta, std::memory_order order = std::memory_order_seq_cst) {
+      if (auto* engine = internal::ActiveEngine()) {
+        return internal::Decode<T>(engine->AtomicFetchAdd(this, order, internal::Encode(delta), &raw_));
+      }
+      const T old = internal::Decode<T>(raw_);
+      raw_ = internal::Encode(static_cast<T>(old + delta));
+      return old;
+    }
+
+    bool compare_exchange_strong(T& expected, T desired,
+                                 std::memory_order order = std::memory_order_seq_cst) {
+      if (auto* engine = internal::ActiveEngine()) {
+        const auto [observed, success] =
+            engine->AtomicCas(this, order, internal::Encode(expected), internal::Encode(desired), &raw_);
+        if (!success) {
+          expected = internal::Decode<T>(observed);
+        }
+        return success;
+      }
+      if (raw_ == internal::Encode(expected)) {
+        raw_ = internal::Encode(desired);
+        return true;
+      }
+      expected = internal::Decode<T>(raw_);
+      return false;
+    }
+
+   private:
+    // Newest (modification-order-final) value; authoritative only outside an
+    // active model run — the engine owns per-execution store histories.
+    std::uint64_t raw_;
+  };
+
+  // Plain data crossing threads under protocol happens-before edges (ring
+  // slots). Accesses are not schedule points but are race-checked: a
+  // protocol mutation that severs the publication edge shows up as a data
+  // race on the Cell instead of a silently-correct replay.
+  template <typename T>
+  class Cell {
+   public:
+    Cell() : value_{} {}
+    // NOLINTNEXTLINE(google-explicit-constructor): drop-in for plain T.
+    Cell(T value) : value_(std::move(value)) {}
+
+    Cell& operator=(T value) {
+      if (auto* engine = internal::ActiveEngine()) {
+        engine->PlainWrite(this);
+      }
+      value_ = std::move(value);
+      return *this;
+    }
+
+    // NOLINTNEXTLINE(google-explicit-constructor): drop-in for plain T.
+    operator T() const {
+      if (auto* engine = internal::ActiveEngine()) {
+        engine->PlainRead(this);
+      }
+      return value_;
+    }
+
+   private:
+    T value_;
+  };
+
+  static void ThreadFence(std::memory_order order) {
+    if (auto* engine = internal::ActiveEngine()) {
+      engine->Fence(order);
+      return;
+    }
+    std::atomic_thread_fence(order);
+  }
+
+  // Voluntary reschedule point for harness spin loops: a free (not
+  // preemption-counted) round-robin handoff to the next runnable thread.
+  static void Yield() {
+    if (auto* engine = internal::ActiveEngine()) {
+      engine->YieldPoint();
+    }
+  }
+};
+
+}  // namespace concord::modelcheck
+
+#endif  // CONCORD_SRC_MODELCHECK_CHECKED_SYNC_H_

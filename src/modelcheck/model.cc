@@ -1,0 +1,1129 @@
+#include "src/modelcheck/model.h"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+namespace concord::modelcheck {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLoad:
+      return "load";
+    case OpKind::kStore:
+      return "store";
+    case OpKind::kRmw:
+      return "rmw";
+    case OpKind::kFence:
+      return "fence";
+    case OpKind::kPlainRead:
+      return "read";
+    case OpKind::kPlainWrite:
+      return "write";
+  }
+  return "?";
+}
+
+const char* OrderName(std::memory_order order) {
+  switch (order) {
+    case std::memory_order_relaxed:
+      return "relaxed";
+    case std::memory_order_consume:
+      return "consume";
+    case std::memory_order_acquire:
+      return "acquire";
+    case std::memory_order_release:
+      return "release";
+    case std::memory_order_acq_rel:
+      return "acq_rel";
+    case std::memory_order_seq_cst:
+      return "seq_cst";
+  }
+  return "?";
+}
+
+namespace internal {
+
+namespace {
+
+// Harness threads + the controller context share one fixed clock width.
+constexpr int kMaxClock = 8;
+
+// Thread ids and location/store indexes are ints throughout; containers want
+// size_t. All values are non-negative by construction.
+constexpr std::size_t U(int i) { return static_cast<std::size_t>(i); }
+
+bool IsAcquireLike(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst || o == std::memory_order_consume;
+}
+
+bool IsReleaseLike(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+struct ClockVec {
+  std::array<std::uint32_t, kMaxClock> c{};
+  void Join(const ClockVec& o) {
+    for (int i = 0; i < kMaxClock; ++i) {
+      c[U(i)] = std::max(c[U(i)], o.c[U(i)]);
+    }
+  }
+  bool LeqOf(const ClockVec& o) const {
+    for (int i = 0; i < kMaxClock; ++i) {
+      if (c[U(i)] > o.c[U(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct StoreRecord {
+  std::uint64_t value = 0;
+  int thread = -1;  // -1: the location's initial value
+  ClockVec hb;      // writer clock at the store; empty for the initial value
+  ClockVec sync;    // clock released with this store (via its order or a fence)
+  bool is_sc = false;
+};
+
+struct OpSig {
+  int loc = -1;
+  bool write = false;
+};
+
+bool Conflicts(const OpSig& a, const OpSig& b) {
+  return a.loc >= 0 && a.loc == b.loc && (a.write || b.write);
+}
+
+struct Location {
+  const void* addr = nullptr;
+  bool atomic_loc = false;
+  std::vector<StoreRecord> stores;  // modification order == execution order
+  int last_sc_store = -1;
+  // Coherence floor per thread: the largest store index this thread has read
+  // from or written; later loads may not go below it.
+  std::array<int, kMaxClock> observed{};
+  // Plain-access (Cell) race bookkeeping, FastTrack-style epochs.
+  int write_thread = -1;
+  std::uint32_t write_epoch = 0;
+  std::array<std::uint32_t, kMaxClock> read_epoch{};
+  // Per-execution op summary (deduplicated), merged into Result::locations.
+  std::vector<LocationInfo::Op> ops_seen;
+
+  Location() { observed.fill(0); }
+};
+
+struct ThreadState {
+  ClockVec clock;
+  // Sync clocks observed by relaxed loads, waiting for an acquire fence.
+  ClockVec acquire_pending;
+  // This thread's clock at its last release fence; relaxed stores publish it.
+  ClockVec release_fence;
+  std::array<int, 16> recent_loads{};
+  int recent_pos = 0;
+  bool started = false;
+  bool finished = false;
+
+  ThreadState() { recent_loads.fill(-1); }
+  void NoteLoad(int loc) {
+    recent_loads[U(recent_pos)] = loc;
+    recent_pos = (recent_pos + 1) % static_cast<int>(recent_loads.size());
+  }
+  bool RecentlyLoaded(int loc, int window) const {
+    const int n = static_cast<int>(recent_loads.size());
+    for (int d = 1; d <= std::min(window, n); ++d) {
+      if (recent_loads[U((recent_pos - d + n) % n)] == loc) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+struct DecisionNode {
+  bool thread_node = true;
+  std::vector<int> options;  // thread ids, or store indexes (newest first)
+  std::size_t chosen = 0;
+  // Sleep set: options explored and backtracked at this node, with the first
+  // operation their branch executed (used to wake them on conflict).
+  std::vector<std::pair<int, OpSig>> sleep;
+  OpSig first_op;
+  bool first_op_known = false;
+};
+
+struct TraceEvent {
+  int tid;
+  OpKind kind;
+  int loc;
+  std::uint64_t value = 0;
+  std::uint64_t value2 = 0;  // rmw: new value
+  std::memory_order order = std::memory_order_seq_cst;
+  int read_index = -1;   // loads: chosen store index
+  int store_count = 0;   // loads: stores existing at read time
+};
+
+thread_local int t_model_tid = -1;
+Engine* g_engine = nullptr;
+
+}  // namespace
+
+struct Engine::Impl {
+  // Fixed per Explore() call.
+  Options options;
+  std::vector<Mutation> mutations;
+  std::vector<std::function<void()>> bodies;
+  int nthreads = 0;
+  int controller = 0;  // == nthreads
+
+  // Scheduler: one token (`current`), one mutex, one condvar.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::thread> pool;
+  bool shutdown = false;
+  int current = -1;
+  int finished_count = 0;
+  std::array<bool, kMaxClock> should_start{};
+
+  // Per-execution state.
+  std::unordered_map<const void*, int> loc_ids;
+  std::vector<Location> locs;
+  std::unordered_map<const void*, std::string> names;
+  std::vector<std::tuple<std::uintptr_t, std::size_t, std::string>> ranges;
+  std::array<ThreadState, kMaxClock> threads;
+  std::array<OpSig, kMaxClock> pending{};
+  ClockVec sc_fence_clock;
+  std::uint64_t ops = 0;
+  int preemptions = 0;
+  // Yields since the last write-like effect; used to detect spin stagnation.
+  int stagnant_yields = 0;
+  std::size_t decision_index = 0;
+  int pending_first_node = -1;
+  std::vector<std::pair<int, OpSig>> exec_sleep;
+  bool redundant = false;
+  bool aborted = false;
+  bool exec_failed = false;
+  std::string exec_message;
+  std::vector<std::string> exec_trace;
+  std::vector<TraceEvent> trace;
+
+  // Search state.
+  std::vector<DecisionNode> script;
+  std::uint64_t executions = 0;
+  bool minimizing = false;
+
+  std::map<std::string, std::vector<LocationInfo::Op>> merged_ops;
+
+  // ---- naming ----------------------------------------------------------
+
+  std::string NameOf(int loc) const {
+    const void* addr = locs[U(loc)].addr;
+    if (auto it = names.find(addr); it != names.end()) {
+      return it->second;
+    }
+    const auto p = reinterpret_cast<std::uintptr_t>(addr);
+    for (const auto& [base, size, name] : ranges) {
+      if (p >= base && p < base + size) {
+        std::ostringstream os;
+        os << name << "+" << (p - base);
+        return os.str();
+      }
+    }
+    return "loc#" + std::to_string(loc);
+  }
+
+  int LocOf(const void* addr, bool atomic_loc, std::uint64_t initial) {
+    if (auto it = loc_ids.find(addr); it != loc_ids.end()) {
+      return it->second;
+    }
+    const int id = static_cast<int>(locs.size());
+    loc_ids.emplace(addr, id);
+    Location loc;
+    loc.addr = addr;
+    loc.atomic_loc = atomic_loc;
+    if (atomic_loc) {
+      StoreRecord init;
+      init.value = initial;
+      loc.stores.push_back(init);
+    }
+    locs.push_back(std::move(loc));
+    return id;
+  }
+
+  std::memory_order Mutate(int loc, OpKind kind, std::memory_order declared, int tid) {
+    for (const Mutation& m : mutations) {
+      if (m.kind != kind || m.from != declared || (m.thread >= 0 && m.thread != tid)) {
+        continue;
+      }
+      if (kind == OpKind::kFence || m.site == "*" ||
+          (!m.site.empty() && NameOf(loc).rfind(m.site, 0) == 0)) {
+        return m.to;
+      }
+    }
+    return declared;
+  }
+
+  void RecordLocOp(int loc, OpKind kind, std::memory_order declared, int tid) {
+    LocationInfo::Op op{kind, declared, tid};
+    auto& seen = locs[U(loc)].ops_seen;
+    if (std::find(seen.begin(), seen.end(), op) == seen.end()) {
+      seen.push_back(op);
+    }
+  }
+
+  void MergeLocationInfo() {
+    for (std::size_t i = 0; i < locs.size(); ++i) {
+      auto& dst = merged_ops[NameOf(static_cast<int>(i))];
+      for (const auto& op : locs[i].ops_seen) {
+        if (std::find(dst.begin(), dst.end(), op) == dst.end()) {
+          dst.push_back(op);
+        }
+      }
+    }
+  }
+
+  // ---- tracing ---------------------------------------------------------
+
+  void TraceOp(TraceEvent ev) { trace.push_back(ev); }
+
+  std::vector<std::string> StringifyTrace() const {
+    std::vector<std::string> out;
+    out.reserve(trace.size());
+    for (const TraceEvent& ev : trace) {
+      std::ostringstream os;
+      if (ev.tid == controller) {
+        os << "C ";
+      } else {
+        os << "T" << ev.tid << " ";
+      }
+      os << OpKindName(ev.kind) << " ";
+      if (ev.kind == OpKind::kFence) {
+        os << "(" << OrderName(ev.order) << ")";
+      } else {
+        os << NameOf(ev.loc);
+        switch (ev.kind) {
+          case OpKind::kLoad:
+            os << " -> " << ev.value << " (" << OrderName(ev.order) << ")";
+            if (ev.read_index >= 0 && ev.read_index + 1 < ev.store_count) {
+              os << " [stale: store " << ev.read_index << "/" << (ev.store_count - 1) << "]";
+            }
+            break;
+          case OpKind::kStore:
+            os << " <- " << ev.value << " (" << OrderName(ev.order) << ")";
+            break;
+          case OpKind::kRmw:
+            os << " " << ev.value << " -> " << ev.value2 << " (" << OrderName(ev.order) << ")";
+            break;
+          default:
+            break;  // plain read/write: location only
+        }
+      }
+      out.push_back(os.str());
+    }
+    return out;
+  }
+
+  // ---- abort / violation ----------------------------------------------
+
+  // Cancels threads that never started so finished_count can converge.
+  void AbortLocked() {
+    aborted = true;
+    for (int t = 0; t < nthreads; ++t) {
+      if (!threads[U(t)].started && !threads[U(t)].finished) {
+        threads[U(t)].finished = true;
+        should_start[U(t)] = false;
+        ++finished_count;
+      }
+    }
+    if (finished_count == nthreads) {
+      current = controller;
+    }
+    cv.notify_all();
+  }
+
+  void FailLocked(const std::string& message) {
+    if (!exec_failed) {
+      exec_failed = true;
+      exec_message = message;
+      exec_trace = StringifyTrace();
+    }
+    AbortLocked();
+  }
+
+  [[noreturn]] void Fail(const std::string& message) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      FailLocked(message);
+    }
+    throw ModelAbort{};
+  }
+
+  // ---- sleep sets ------------------------------------------------------
+
+  bool Sleeping(int tid) const {
+    if (minimizing) {
+      return false;
+    }
+    for (const auto& [t, sig] : exec_sleep) {
+      if (t == tid) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void MergeSleep(const std::vector<std::pair<int, OpSig>>& node_sleep) {
+    if (minimizing) {
+      return;
+    }
+    for (const auto& entry : node_sleep) {
+      if (!Sleeping(entry.first)) {
+        exec_sleep.push_back(entry);
+      }
+    }
+  }
+
+  void WakeSleepers(const OpSig& executed) {
+    exec_sleep.erase(std::remove_if(exec_sleep.begin(), exec_sleep.end(),
+                                    [&](const auto& entry) {
+                                      return Conflicts(executed, entry.second);
+                                    }),
+                     exec_sleep.end());
+  }
+
+  // ---- decisions -------------------------------------------------------
+
+  bool Enabled(int tid) const { return tid < nthreads && !threads[U(tid)].finished; }
+
+  void NoteFirstOp(std::size_t node_index, int chosen_thread) {
+    DecisionNode& n = script[node_index];
+    if (n.first_op_known) {
+      return;
+    }
+    if (threads[U(chosen_thread)].started) {
+      n.first_op = pending[U(chosen_thread)];
+      n.first_op_known = true;
+    } else {
+      // The thread's first scheduled operation announces itself later.
+      pending_first_node = static_cast<int>(node_index);
+    }
+  }
+
+  // Picks the next thread to execute an operation. `self` is the caller;
+  // pass a finished thread (or the controller) for a free handoff. Returns
+  // the thread id, or -2 when every enabled thread is sleeping (the
+  // execution is redundant). Caller holds `mu`.
+  int DecideThread(int self) {
+    const std::size_t k = decision_index++;
+    if (k < script.size() && script[k].thread_node) {
+      DecisionNode& n = script[k];
+      MergeSleep(n.sleep);
+      const int t = n.options[std::min(n.chosen, n.options.size() - 1)];
+      if (Enabled(t) && !Sleeping(t)) {
+        NoteFirstOp(k, t);
+        return t;
+      }
+      // Replay diverged (only possible while minimizing a shortened script):
+      // drop the stale suffix and decide fresh.
+      script.resize(k);
+    } else if (k < script.size()) {
+      script.resize(k);
+    }
+    DecisionNode n;
+    n.thread_node = true;
+    const bool self_runnable = self < nthreads && Enabled(self) && !Sleeping(self);
+    if (self_runnable) {
+      n.options.push_back(self);
+    }
+    // Leaving a runnable thread costs a preemption; a finished/controller
+    // caller hands off for free.
+    const bool may_switch = !self_runnable || preemptions < options.preemption_bound;
+    if (may_switch) {
+      for (int t = 0; t < nthreads; ++t) {
+        if (t != self && Enabled(t) && !Sleeping(t)) {
+          n.options.push_back(t);
+        }
+      }
+    }
+    if (n.options.empty()) {
+      bool any_enabled = false;
+      for (int t = 0; t < nthreads; ++t) {
+        any_enabled = any_enabled || Enabled(t);
+      }
+      return any_enabled ? -2 : -3;  // -3: nothing left to run at all
+    }
+    script.push_back(std::move(n));
+    const int t = script.back().options[0];
+    NoteFirstOp(script.size() - 1, t);
+    return t;
+  }
+
+  // Picks which store a load reads, among indexes [lo, hi] (hi = newest).
+  int DecideValue(int lo, int hi) {
+    const std::size_t k = decision_index++;
+    if (k < script.size() && !script[k].thread_node) {
+      DecisionNode& n = script[k];
+      const int idx = n.options[std::min(n.chosen, n.options.size() - 1)];
+      if (idx >= lo && idx <= hi) {
+        return idx;
+      }
+      script.resize(k);
+    } else if (k < script.size()) {
+      script.resize(k);
+    }
+    DecisionNode n;
+    n.thread_node = false;
+    for (int i = hi; i >= lo; --i) {
+      n.options.push_back(i);
+    }
+    script.push_back(std::move(n));
+    return hi;
+  }
+
+  // Backtracks the decision script to the next unexplored branch. Returns
+  // false when the whole bounded space has been explored.
+  bool Backtrack() {
+    while (!script.empty()) {
+      DecisionNode& n = script.back();
+      if (n.chosen + 1 < n.options.size()) {
+        if (n.thread_node && n.first_op_known) {
+          n.sleep.emplace_back(n.options[n.chosen], n.first_op);
+        }
+        ++n.chosen;
+        n.first_op_known = false;
+        return true;
+      }
+      script.pop_back();
+    }
+    return false;
+  }
+
+  // ---- token passing ---------------------------------------------------
+
+  void GrantLocked(int tid) {
+    current = tid;
+    cv.notify_all();
+  }
+
+  // The schedule point before every atomic operation/fence of a harness
+  // thread: announce the pending operation, decide who runs, park if it is
+  // not us, and wake conflicting sleepers once the operation is committed to
+  // execute.
+  void SchedulePoint(int self, OpSig sig) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (aborted) {
+      throw ModelAbort{};
+    }
+    if (++ops > options.max_ops_per_execution) {
+      FailLocked("operation budget exceeded — livelock or unbounded spin in the harness?");
+      throw ModelAbort{};
+    }
+    pending[U(self)] = sig;
+    if (pending_first_node >= 0) {
+      script[U(pending_first_node)].first_op = sig;
+      script[U(pending_first_node)].first_op_known = true;
+      pending_first_node = -1;
+    }
+    const int next = DecideThread(self);
+    if (next == -2) {
+      redundant = true;
+      AbortLocked();
+      throw ModelAbort{};
+    }
+    if (next != self) {
+      if (!threads[U(self)].finished) {
+        ++preemptions;
+      }
+      GrantLocked(next);
+      cv.wait(lk, [&] { return aborted || shutdown || current == self; });
+      if (aborted || shutdown) {
+        throw ModelAbort{};
+      }
+    }
+    // The operation now executes unconditionally: this is the moment
+    // sleeping threads with a conflicting next-op must wake.
+    WakeSleepers(sig);
+  }
+
+  // Voluntary reschedule: free round-robin handoff to the next runnable
+  // thread. Not a decision point (deterministic), so spin loops cannot blow
+  // up the search.
+  void YieldPoint(int self) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (aborted) {
+      throw ModelAbort{};
+    }
+    if (++ops > options.max_ops_per_execution) {
+      FailLocked("operation budget exceeded — livelock between yielding spin loops?");
+      throw ModelAbort{};
+    }
+    // Spin stagnation: the awake threads have yielded repeatedly without any
+    // thread writing anything, so whatever they spin on can only be changed
+    // by a sleeping thread. Waking sleepers is always sound (sleep sets
+    // merely prune redundant interleavings) and restores progress.
+    if (++stagnant_yields > 4 * nthreads && !exec_sleep.empty()) {
+      exec_sleep.clear();
+    }
+    for (int d = 1; d < nthreads; ++d) {
+      const int t = (self + d) % nthreads;
+      if (Enabled(t) && !Sleeping(t)) {
+        GrantLocked(t);
+        cv.wait(lk, [&] { return aborted || shutdown || current == self; });
+        if (aborted || shutdown) {
+          throw ModelAbort{};
+        }
+        return;
+      }
+    }
+    // Every other enabled thread is in the sleep set, yet this thread is
+    // spinning on a condition only one of them can make true. Waking a
+    // sleeper is always sound (sleep sets merely prune redundant work) and
+    // is required for progress here — otherwise the spin exhausts the op
+    // budget and reports a spurious livelock.
+    for (int d = 1; d < nthreads; ++d) {
+      const int t = (self + d) % nthreads;
+      if (Enabled(t)) {
+        exec_sleep.erase(std::remove_if(exec_sleep.begin(), exec_sleep.end(),
+                                        [&](const auto& entry) { return entry.first == t; }),
+                         exec_sleep.end());
+        GrantLocked(t);
+        cv.wait(lk, [&] { return aborted || shutdown || current == self; });
+        if (aborted || shutdown) {
+          throw ModelAbort{};
+        }
+        return;
+      }
+    }
+  }
+
+  void FinishThreadLocked(int self) {
+    threads[U(self)].finished = true;
+    ++finished_count;
+    if (shutdown) {
+      cv.notify_all();
+      return;
+    }
+    if (finished_count == nthreads) {
+      current = controller;
+      cv.notify_all();
+      return;
+    }
+    if (aborted) {
+      cv.notify_all();
+      return;
+    }
+    const int next = DecideThread(self);
+    if (next == -2 || next == -3) {
+      redundant = (next == -2);
+      AbortLocked();
+      return;
+    }
+    GrantLocked(next);
+  }
+
+  void WorkerMain(int tid) {
+    t_model_tid = tid;
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      cv.wait(lk, [&] { return shutdown || (should_start[U(tid)] && current == tid); });
+      if (shutdown) {
+        return;
+      }
+      should_start[U(tid)] = false;
+      threads[U(tid)].started = true;
+      lk.unlock();
+      try {
+        bodies[U(tid)]();
+      } catch (const ModelAbort&) {
+      }
+      lk.lock();
+      FinishThreadLocked(tid);
+    }
+  }
+
+  // ---- memory model effects (token held; no locking needed) -----------
+
+  std::uint64_t LoadEffect(int tid, const void* addr, std::memory_order declared,
+                           std::uint64_t initial) {
+    const int loc = LocOf(addr, true, initial);
+    const std::memory_order order = Mutate(loc, OpKind::kLoad, declared, tid);
+    RecordLocOp(loc, OpKind::kLoad, declared, tid);
+    if (tid != controller) {
+      SchedulePoint(tid, OpSig{loc, false});
+    }
+    Location& L = locs[U(loc)];
+    ThreadState& T = threads[U(tid)];
+    ++T.clock.c[U(tid)];
+    const int hi = static_cast<int>(L.stores.size()) - 1;
+    int lo = 0;
+    for (int i = hi; i >= 0; --i) {
+      if (L.stores[U(i)].hb.LeqOf(T.clock)) {
+        lo = i;
+        break;
+      }
+    }
+    lo = std::max(lo, L.observed[U(tid)]);
+    if (order == std::memory_order_seq_cst) {
+      lo = std::max(lo, L.last_sc_store);
+    }
+    int idx = hi;
+    if (lo < hi && tid != controller && !T.RecentlyLoaded(loc, options.staleness_window)) {
+      idx = DecideValue(lo, hi);
+    }
+    T.NoteLoad(loc);
+    const StoreRecord& s = L.stores[U(idx)];
+    L.observed[U(tid)] = std::max(L.observed[U(tid)], idx);
+    if (IsAcquireLike(order)) {
+      T.clock.Join(s.sync);
+    } else {
+      T.acquire_pending.Join(s.sync);
+    }
+    TraceOp({tid, OpKind::kLoad, loc, s.value, 0, order, idx, hi + 1});
+    return s.value;
+  }
+
+  void StoreEffect(int tid, const void* addr, std::memory_order declared, std::uint64_t value,
+                   std::uint64_t* raw) {
+    const int loc = LocOf(addr, true, *raw);
+    const std::memory_order order = Mutate(loc, OpKind::kStore, declared, tid);
+    RecordLocOp(loc, OpKind::kStore, declared, tid);
+    if (tid != controller) {
+      SchedulePoint(tid, OpSig{loc, true});
+    }
+    Location& L = locs[U(loc)];
+    ThreadState& T = threads[U(tid)];
+    ++T.clock.c[U(tid)];
+    stagnant_yields = 0;
+    StoreRecord s;
+    s.value = value;
+    s.thread = tid;
+    s.hb = T.clock;
+    s.sync = IsReleaseLike(order) ? T.clock : T.release_fence;
+    s.is_sc = order == std::memory_order_seq_cst;
+    if (s.is_sc) {
+      L.last_sc_store = static_cast<int>(L.stores.size());
+    }
+    L.stores.push_back(std::move(s));
+    L.observed[U(tid)] = static_cast<int>(L.stores.size()) - 1;
+    *raw = value;
+    TraceOp({tid, OpKind::kStore, loc, value, 0, order, -1, 0});
+  }
+
+  // Shared RMW core: reads the modification-order-latest store, writes
+  // f(old). Used by exchange / fetch_add / successful CAS.
+  std::uint64_t RmwEffect(int tid, int loc, std::memory_order order, std::uint64_t new_value,
+                          std::uint64_t* raw) {
+    Location& L = locs[U(loc)];
+    ThreadState& T = threads[U(tid)];
+    const StoreRecord old = L.stores.back();
+    ++T.clock.c[U(tid)];
+    stagnant_yields = 0;
+    if (IsAcquireLike(order)) {
+      T.clock.Join(old.sync);
+    } else {
+      T.acquire_pending.Join(old.sync);
+    }
+    StoreRecord s;
+    s.value = new_value;
+    s.thread = tid;
+    s.hb = T.clock;
+    // Release-sequence continuation: an RMW extends the sequence headed by
+    // the store it read from, whatever its own order.
+    s.sync = old.sync;
+    if (IsReleaseLike(order)) {
+      s.sync.Join(T.clock);
+    } else {
+      s.sync.Join(T.release_fence);
+    }
+    s.is_sc = order == std::memory_order_seq_cst;
+    if (s.is_sc) {
+      L.last_sc_store = static_cast<int>(L.stores.size());
+    }
+    L.stores.push_back(std::move(s));
+    L.observed[U(tid)] = static_cast<int>(L.stores.size()) - 1;
+    *raw = new_value;
+    TraceOp({tid, OpKind::kRmw, loc, old.value, new_value, order, -1, 0});
+    return old.value;
+  }
+
+  void FenceEffect(int tid, std::memory_order declared) {
+    const std::memory_order order = Mutate(-1, OpKind::kFence, declared, tid);
+    if (tid != controller) {
+      SchedulePoint(tid, OpSig{});
+    }
+    ThreadState& T = threads[U(tid)];
+    ++T.clock.c[U(tid)];
+    if (IsAcquireLike(order)) {
+      T.clock.Join(T.acquire_pending);
+    }
+    if (IsReleaseLike(order)) {
+      T.release_fence = T.clock;
+    }
+    if (order == std::memory_order_seq_cst) {
+      T.clock.Join(sc_fence_clock);
+      sc_fence_clock.Join(T.clock);
+      T.release_fence = T.clock;
+    }
+    TraceOp({tid, OpKind::kFence, -1, 0, 0, order, -1, 0});
+  }
+
+  void PlainReadEffect(int tid, const void* addr) {
+    const int loc = LocOf(addr, false, 0);
+    Location& L = locs[U(loc)];
+    ThreadState& T = threads[U(tid)];
+    ++T.clock.c[U(tid)];
+    if (L.write_thread >= 0 && L.write_thread != tid &&
+        T.clock.c[U(L.write_thread)] < L.write_epoch) {
+      Fail("data race on " + NameOf(loc) + ": T" + std::to_string(tid) +
+           " reads a value written by T" + std::to_string(L.write_thread) +
+           " without a happens-before edge");
+    }
+    L.read_epoch[U(tid)] = T.clock.c[U(tid)];
+    TraceOp({tid, OpKind::kPlainRead, loc, 0, 0, std::memory_order_relaxed, -1, 0});
+    WakeSleepers(OpSig{loc, false});
+  }
+
+  void PlainWriteEffect(int tid, const void* addr) {
+    const int loc = LocOf(addr, false, 0);
+    Location& L = locs[U(loc)];
+    ThreadState& T = threads[U(tid)];
+    ++T.clock.c[U(tid)];
+    if (L.write_thread >= 0 && L.write_thread != tid &&
+        T.clock.c[U(L.write_thread)] < L.write_epoch) {
+      Fail("data race on " + NameOf(loc) + ": T" + std::to_string(tid) +
+           " overwrites a value written by T" + std::to_string(L.write_thread) +
+           " without a happens-before edge");
+    }
+    for (int u = 0; u < kMaxClock; ++u) {
+      if (u != tid && L.read_epoch[U(u)] != 0 && T.clock.c[U(u)] < L.read_epoch[U(u)]) {
+        Fail("data race on " + NameOf(loc) + ": T" + std::to_string(tid) +
+             " overwrites a value being read by T" + std::to_string(u) +
+             " without a happens-before edge");
+      }
+    }
+    stagnant_yields = 0;
+    L.write_thread = tid;
+    L.write_epoch = T.clock.c[U(tid)];
+    L.read_epoch.fill(0);
+    TraceOp({tid, OpKind::kPlainWrite, loc, 0, 0, std::memory_order_relaxed, -1, 0});
+    WakeSleepers(OpSig{loc, true});
+  }
+
+  // ---- execution driver ------------------------------------------------
+
+  void ResetExecution() {
+    std::unique_lock<std::mutex> lk(mu);
+    loc_ids.clear();
+    locs.clear();
+    names.clear();
+    ranges.clear();
+    for (auto& t : threads) {
+      t = ThreadState{};
+    }
+    pending.fill(OpSig{});
+    sc_fence_clock = ClockVec{};
+    ops = 0;
+    preemptions = 0;
+    stagnant_yields = 0;
+    decision_index = 0;
+    pending_first_node = -1;
+    exec_sleep.clear();
+    redundant = false;
+    aborted = false;
+    exec_failed = false;
+    exec_message.clear();
+    exec_trace.clear();
+    trace.clear();
+    finished_count = 0;
+    for (int t = 0; t < nthreads; ++t) {
+      should_start[U(t)] = true;
+    }
+    current = controller;
+  }
+
+  void RunOneExecution(const std::function<void()>& setup, const std::function<void()>& verify) {
+    ResetExecution();
+    try {
+      setup();
+    } catch (const ModelAbort&) {
+    }
+    if (!exec_failed && nthreads > 0) {
+      for (int t = 0; t < nthreads; ++t) {
+        threads[U(t)].clock = threads[U(controller)].clock;  // setup happens-before start
+      }
+      bool ran = false;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        const int first = DecideThread(controller);
+        if (first == -2) {
+          redundant = true;
+        } else {
+          GrantLocked(first);
+          ran = true;
+        }
+        if (ran) {
+          cv.wait(lk, [&] { return finished_count == nthreads; });
+        }
+      }
+      if (!exec_failed && !redundant) {
+        for (int t = 0; t < nthreads; ++t) {
+          threads[U(controller)].clock.Join(threads[U(t)].clock);  // finish happens-before verify
+        }
+        try {
+          verify();
+        } catch (const ModelAbort&) {
+        }
+      }
+    }
+    ++executions;
+  }
+};
+
+Engine::Engine() : impl_(new Impl) {}
+
+Engine::~Engine() {
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->shutdown = true;
+    impl_->cv.notify_all();
+  }
+  for (auto& t : impl_->pool) {
+    t.join();
+  }
+  delete impl_;
+}
+
+Engine* Engine::Current() { return g_engine; }
+
+bool Engine::ControlsCurrentThread() const { return t_model_tid >= 0; }
+
+std::uint64_t Engine::AtomicLoad(const void* addr, std::memory_order order,
+                                 std::uint64_t initial) {
+  return impl_->LoadEffect(t_model_tid, addr, order, initial);
+}
+
+void Engine::AtomicStore(const void* addr, std::memory_order order, std::uint64_t value,
+                         std::uint64_t* raw) {
+  impl_->StoreEffect(t_model_tid, addr, order, value, raw);
+}
+
+std::uint64_t Engine::AtomicExchange(const void* addr, std::memory_order order,
+                                     std::uint64_t value, std::uint64_t* raw) {
+  const int tid = t_model_tid;
+  const int loc = impl_->LocOf(addr, true, *raw);
+  const std::memory_order eff = impl_->Mutate(loc, OpKind::kRmw, order, tid);
+  impl_->RecordLocOp(loc, OpKind::kRmw, order, tid);
+  if (tid != impl_->controller) {
+    impl_->SchedulePoint(tid, OpSig{loc, true});
+  }
+  return impl_->RmwEffect(tid, loc, eff, value, raw);
+}
+
+std::uint64_t Engine::AtomicFetchAdd(const void* addr, std::memory_order order,
+                                     std::uint64_t delta, std::uint64_t* raw) {
+  const int tid = t_model_tid;
+  const int loc = impl_->LocOf(addr, true, *raw);
+  const std::memory_order eff = impl_->Mutate(loc, OpKind::kRmw, order, tid);
+  impl_->RecordLocOp(loc, OpKind::kRmw, order, tid);
+  if (tid != impl_->controller) {
+    impl_->SchedulePoint(tid, OpSig{loc, true});
+  }
+  const std::uint64_t old = impl_->locs[U(loc)].stores.back().value;
+  return impl_->RmwEffect(tid, loc, eff, old + delta, raw);
+}
+
+std::pair<std::uint64_t, bool> Engine::AtomicCas(const void* addr, std::memory_order order,
+                                                 std::uint64_t expected, std::uint64_t desired,
+                                                 std::uint64_t* raw) {
+  const int tid = t_model_tid;
+  const int loc = impl_->LocOf(addr, true, *raw);
+  const std::memory_order eff = impl_->Mutate(loc, OpKind::kRmw, order, tid);
+  impl_->RecordLocOp(loc, OpKind::kRmw, order, tid);
+  if (tid != impl_->controller) {
+    impl_->SchedulePoint(tid, OpSig{loc, true});
+  }
+  Location& L = impl_->locs[U(loc)];
+  const StoreRecord& latest = L.stores.back();
+  if (latest.value == expected) {
+    impl_->RmwEffect(tid, loc, eff, desired, raw);
+    return {expected, true};
+  }
+  // Failed CAS degrades to a load of the latest value with the derived
+  // failure ordering (C++20 [atomics.types.operations]).
+  std::memory_order fail = eff;
+  if (eff == std::memory_order_acq_rel) {
+    fail = std::memory_order_acquire;
+  } else if (eff == std::memory_order_release) {
+    fail = std::memory_order_relaxed;
+  }
+  ThreadState& T = impl_->threads[U(tid)];
+  ++T.clock.c[U(tid)];
+  if (IsAcquireLike(fail)) {
+    T.clock.Join(latest.sync);
+  } else {
+    T.acquire_pending.Join(latest.sync);
+  }
+  L.observed[U(tid)] = static_cast<int>(L.stores.size()) - 1;
+  impl_->TraceOp({tid, OpKind::kLoad, loc, latest.value, 0, fail, -1, 0});
+  return {latest.value, false};
+}
+
+void Engine::Fence(std::memory_order order) { impl_->FenceEffect(t_model_tid, order); }
+
+void Engine::PlainRead(const void* addr) { impl_->PlainReadEffect(t_model_tid, addr); }
+
+void Engine::PlainWrite(const void* addr) { impl_->PlainWriteEffect(t_model_tid, addr); }
+
+void Engine::YieldPoint() {
+  if (t_model_tid != impl_->controller) {
+    impl_->YieldPoint(t_model_tid);
+  }
+}
+
+void Engine::RegisterName(const void* addr, const std::string& name) {
+  impl_->names[addr] = name;
+}
+
+void Engine::RegisterNameRange(const void* base, std::size_t size, const std::string& name) {
+  impl_->ranges.emplace_back(reinterpret_cast<std::uintptr_t>(base), size, name);
+}
+
+void Engine::FailCurrent(const std::string& message) { impl_->Fail(message); }
+
+// ---- search driver -----------------------------------------------------
+
+Result RunExplore(const Options& options, const std::function<void()>& setup,
+                  const std::vector<std::function<void()>>& threads,
+                  const std::function<void()>& verify, const std::vector<Mutation>& mutations) {
+  if (threads.empty() || threads.size() > kMaxClock - 1) {
+    throw std::invalid_argument("modelcheck::Explore needs 1.." +
+                                std::to_string(kMaxClock - 1) + " threads");
+  }
+  Engine engine;
+  Engine::Impl& impl = *engine.impl_;
+  impl.options = options;
+  impl.mutations = mutations;
+  impl.bodies = threads;
+  impl.nthreads = static_cast<int>(threads.size());
+  impl.controller = impl.nthreads;
+  for (int t = 0; t < impl.nthreads; ++t) {
+    impl.pool.emplace_back([&impl, t] { impl.WorkerMain(t); });
+  }
+  g_engine = &engine;
+  t_model_tid = impl.controller;
+
+  Result result;
+  bool failed = false;
+  for (;;) {
+    if (impl.executions >= options.max_executions) {
+      break;
+    }
+    impl.RunOneExecution(setup, verify);
+    impl.MergeLocationInfo();
+    if (impl.exec_failed) {
+      failed = true;
+      break;
+    }
+    if (!impl.Backtrack()) {
+      result.exhausted = true;
+      break;
+    }
+  }
+
+  if (failed) {
+    result.ok = false;
+    result.violation.message = impl.exec_message;
+    result.violation.trace = impl.exec_trace;
+    if (options.minimize) {
+      // Greedy shrink: try to replace each non-default decision with the
+      // default (and let the suffix free-run); keep any script that still
+      // fails. Sleep-set pruning is off so shortened replays stay sound.
+      impl.minimizing = true;
+      std::vector<DecisionNode> best = impl.script;
+      int budget = 64;
+      bool progress = true;
+      while (progress && budget > 0) {
+        progress = false;
+        for (std::size_t i = 0; i < best.size() && budget > 0; ++i) {
+          if (best[i].chosen == 0) {
+            continue;
+          }
+          std::vector<DecisionNode> trial(
+              best.begin(), best.begin() + static_cast<std::ptrdiff_t>(i + 1));
+          trial[i].chosen = 0;
+          impl.script = std::move(trial);
+          --budget;
+          impl.RunOneExecution(setup, verify);
+          if (impl.exec_failed) {
+            best = impl.script;
+            result.violation.message = impl.exec_message;
+            result.violation.trace = impl.exec_trace;
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+    if (const char* dir = std::getenv("CONCORD_MODELCHECK_TRACE_DIR")) {
+      std::ofstream out(std::string(dir) + "/" + options.name + ".trace");
+      if (out) {
+        out << options.name << ": " << result.violation.message << "\n";
+        for (const auto& line : result.violation.trace) {
+          out << line << "\n";
+        }
+      }
+    }
+  } else {
+    result.ok = true;
+  }
+  result.executions = impl.executions;
+  for (auto& [name, ops] : impl.merged_ops) {
+    result.locations.push_back({name, std::move(ops)});
+  }
+  g_engine = nullptr;
+  t_model_tid = -1;
+  return result;
+}
+
+}  // namespace internal
+
+Result Explore(const Options& options, const std::function<void()>& setup,
+               const std::vector<std::function<void()>>& threads,
+               const std::function<void()>& verify, const std::vector<Mutation>& mutations) {
+  return internal::RunExplore(options, setup, threads, verify, mutations);
+}
+
+void Name(const void* addr, const std::string& name) {
+  if (auto* engine = internal::Engine::Current(); engine && engine->ControlsCurrentThread()) {
+    engine->RegisterName(addr, name);
+  }
+}
+
+void NameRange(const void* base, std::size_t size, const std::string& name) {
+  if (auto* engine = internal::Engine::Current(); engine && engine->ControlsCurrentThread()) {
+    engine->RegisterNameRange(base, size, name);
+  }
+}
+
+void Require(bool ok, const std::string& message) {
+  if (ok) {
+    return;
+  }
+  if (auto* engine = internal::Engine::Current(); engine && engine->ControlsCurrentThread()) {
+    engine->FailCurrent(message);
+  }
+  throw std::runtime_error("modelcheck::Require failed outside a model run: " + message);
+}
+
+}  // namespace concord::modelcheck

@@ -1,0 +1,193 @@
+// Deterministic schedule-exploration model checker for the runtime's
+// lock-free protocols (docs/modelcheck.md).
+//
+// A harness gives Explore() a single-threaded `setup`, a small set of thread
+// bodies written against modelcheck::CheckedSync (checked_sync.h), and a
+// single-threaded `verify`. The engine re-executes the harness under every
+// schedule it cannot prune, bounding the search with a preemption bound and
+// sleep-set pruning, and replaying store-buffer-visible weak behaviors for
+// relaxed/acquire/release annotations via per-location store histories and
+// vector clocks. Any Require() failure, data race on a Cell, or torn/lost
+// value surfaces as a Violation carrying a minimized interleaving trace.
+//
+// Model (documented approximations in docs/modelcheck.md):
+//   * Context switches happen at atomic operations, fences and Yield()
+//     points; plain Cell accesses run atomically with the preceding switch
+//     point but are still race-checked with vector clocks, so a missing
+//     happens-before edge is caught regardless of switch granularity.
+//   * Modification order equals execution order (exact for the runtime's
+//     single-writer-per-location protocols). seq_cst operations are
+//     linearized in execution order, which makes the in_submit/accepting
+//     store-buffering analysis exact; weaker loads may read any
+//     coherence-permitted older store, chosen by explicit value decisions.
+//   * Release/acquire fences carry clocks exactly (a relaxed store after a
+//     release fence publishes the fence-time clock; an acquire fence joins
+//     the pending clocks of earlier relaxed loads) — the seqlock EventRing
+//     depends on both directions.
+
+#ifndef CONCORD_SRC_MODELCHECK_MODEL_H_
+#define CONCORD_SRC_MODELCHECK_MODEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace concord::modelcheck {
+
+enum class OpKind : std::uint8_t {
+  kLoad,
+  kStore,
+  kRmw,   // exchange / fetch_add / successful CAS
+  kFence,
+  kPlainRead,
+  kPlainWrite,
+};
+
+const char* OpKindName(OpKind kind);
+const char* OrderName(std::memory_order order);
+
+struct Options {
+  std::string name = "harness";
+  // Involuntary context switches allowed per execution. Switches at Yield()
+  // or after a thread finishes are free, so spin-loop handoffs do not eat
+  // the budget.
+  int preemption_bound = 2;
+  // Hard caps so a wrong harness fails fast instead of hanging CI.
+  std::uint64_t max_executions = 400000;
+  std::uint64_t max_ops_per_execution = 20000;
+  // A load of a location this thread already loaded within its last N
+  // *loads* does not branch on staleness (it reads the newest readable
+  // store). Bounds spin-loop value divergence while leaving re-check loads
+  // a few instructions later (e.g. the seqlock seq_after read) free to
+  // observe stale values; see docs/modelcheck.md.
+  int staleness_window = 2;
+  // Greedily shrink the failing schedule before reporting it.
+  bool minimize = true;
+};
+
+// Weakens the declared memory_order of every operation matching
+// (location-name prefix, op kind, declared order[, thread]) — the mutation
+// ctest uses this to prove each release/seq_cst edge is load-bearing.
+struct Mutation {
+  // Location-name prefix; "" matches nothing, "*" matches every location
+  // (useful for heap-allocated slots that Name/NameRange cannot reach).
+  // Fence mutations ignore the site.
+  std::string site;
+  OpKind kind = OpKind::kStore;
+  std::memory_order from = std::memory_order_release;
+  std::memory_order to = std::memory_order_relaxed;
+  int thread = -1;  // restrict to one thread id, or -1 for any
+};
+
+struct Violation {
+  std::string message;
+  std::vector<std::string> trace;  // one executed operation per line
+};
+
+// Per-location operation summary from the explored executions, so tests can
+// discover mutation sites (e.g. "the location thread 0 release-stores inside
+// TryPush") instead of hard-coding member offsets.
+struct LocationInfo {
+  std::string name;
+  struct Op {
+    OpKind kind;
+    std::memory_order order;
+    int thread;
+    bool operator==(const Op&) const = default;
+  };
+  std::vector<Op> ops;  // deduplicated
+};
+
+struct Result {
+  bool ok = false;
+  // True when the search space was fully explored within the preemption
+  // bound; false when max_executions stopped it early.
+  bool exhausted = false;
+  std::uint64_t executions = 0;
+  Violation violation;  // meaningful when !ok
+  std::vector<LocationInfo> locations;
+};
+
+// Explores every schedule of `threads` (each at most once per execution,
+// run to completion) between one run of `setup` and one run of `verify`.
+// All three run with the model active: setup/verify operations execute
+// immediately on a controller context whose clock happens-before every
+// thread start / happens-after every thread finish.
+Result Explore(const Options& options, const std::function<void()>& setup,
+               const std::vector<std::function<void()>>& threads,
+               const std::function<void()>& verify,
+               const std::vector<Mutation>& mutations = {});
+
+// Names the atomic/cell at exactly `addr` for traces, LocationInfo and
+// mutation matching. Call from `setup` (the registry resets per execution).
+void Name(const void* addr, const std::string& name);
+
+// Names every location inside [base, base + size) as "<name>+<offset>" —
+// for protocol objects whose atomics are private members (SpscRing,
+// EventRing).
+void NameRange(const void* base, std::size_t size, const std::string& name);
+
+// Model-visible assertion: when `ok` is false, records a violation (with the
+// current interleaving) and aborts the execution. Usable from thread bodies
+// and from verify/setup.
+void Require(bool ok, const std::string& message);
+
+namespace internal {
+
+// Thrown to unwind a harness thread when the execution is being abandoned
+// (violation found elsewhere, or schedule proven redundant by sleep sets).
+struct ModelAbort {};
+
+// The exploration engine behind Explore(). CheckedSync routes every
+// operation through Engine::Current(); all other members are driven by
+// Explore() itself.
+class Engine {
+ public:
+  static Engine* Current();
+
+  // Effect + schedule-point entry points used by checked_sync.h. `raw`
+  // receives the newest (modification-order-final) value so the owning
+  // object stays usable if it outlives the model run.
+  std::uint64_t AtomicLoad(const void* addr, std::memory_order order, std::uint64_t initial);
+  void AtomicStore(const void* addr, std::memory_order order, std::uint64_t value,
+                   std::uint64_t* raw);
+  std::uint64_t AtomicExchange(const void* addr, std::memory_order order, std::uint64_t value,
+                               std::uint64_t* raw);
+  std::uint64_t AtomicFetchAdd(const void* addr, std::memory_order order, std::uint64_t delta,
+                               std::uint64_t* raw);
+  // Returns {observed value, success}.
+  std::pair<std::uint64_t, bool> AtomicCas(const void* addr, std::memory_order order,
+                                           std::uint64_t expected, std::uint64_t desired,
+                                           std::uint64_t* raw);
+  void Fence(std::memory_order order);
+  void PlainRead(const void* addr);
+  void PlainWrite(const void* addr);
+  void YieldPoint();
+
+  // True when the calling thread is under model control (harness thread or
+  // controller inside Explore). CheckedSync falls back to plain accesses
+  // otherwise.
+  bool ControlsCurrentThread() const;
+
+  void RegisterName(const void* addr, const std::string& name);
+  void RegisterNameRange(const void* base, std::size_t size, const std::string& name);
+  [[noreturn]] void FailCurrent(const std::string& message);
+
+ private:
+  friend Result RunExplore(const Options&, const std::function<void()>&,
+                           const std::vector<std::function<void()>>&,
+                           const std::function<void()>&, const std::vector<Mutation>&);
+  Engine();
+  ~Engine();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace internal
+
+}  // namespace concord::modelcheck
+
+#endif  // CONCORD_SRC_MODELCHECK_MODEL_H_

@@ -72,7 +72,7 @@ struct ProducerTlsState {
       // local_free and the debug-role resets to the acquire CAS claimant.
       entry.slot->ingress.ResetProducerRole();
       entry.slot->recycle.ResetConsumerRole();
-      entry.slot->claim.store(0, std::memory_order_release);
+      ingress_protocol::ReleaseClaim<StdSync>(entry.slot->claim);
     }
   }
 };
@@ -111,15 +111,17 @@ ProducerSlot* IngressLayer::AcquireProducerSlot() {
   const std::size_t count = slot_count_.load(std::memory_order_acquire);
   for (std::size_t i = 0; i < count; ++i) {
     ProducerSlot* slot = slots_[i].load(std::memory_order_relaxed);
-    std::size_t expected = 0;
-    if (slot->claim.compare_exchange_strong(expected, self, std::memory_order_acq_rel)) {
+    if (ingress_protocol::TryClaim<StdSync>(slot->claim, self)) {
       return slot;
     }
   }
   // All claimed: create a new slot. The only lock on any Submit path, taken
   // once per brand-new producer thread. Checking accepting_ under the mutex
   // pairs with the quiescence check's mutexed scan: a slot created after
-  // that scan observes accepting_ == false here and never registers.
+  // that scan observes accepting_ == false here and never registers. seq_cst
+  // keeps this check in the same single total order as StopAccepting's
+  // seq_cst store and the Submit handshake's accepting load, so the three
+  // readers of accepting_ can never disagree about when the stop happened.
   std::lock_guard<std::mutex> lock(mu_);
   if (!accepting_.load(std::memory_order_seq_cst)) {
     return nullptr;
@@ -130,7 +132,10 @@ ProducerSlot* IngressLayer::AcquireProducerSlot() {
   storage_.push_back(std::make_unique<ProducerSlot>(owner_, capacity_));
   ProducerSlot* slot = storage_.back().get();
   slot->claim.store(self, std::memory_order_relaxed);
-  slots_[index].store(slot, std::memory_order_release);
+  // Relaxed: the pointer store is sequenced before the slot_count_ release
+  // below, and readers only index slots_ below an acquired count, so the
+  // count's release/acquire pair is the one publication edge (ingress.h).
+  slots_[index].store(slot, std::memory_order_relaxed);
   slot_count_.store(index + 1, std::memory_order_release);
   if constexpr (telemetry::kEnabled) {
     // High-water mark; written by submitter threads (atomic, monotonic under
@@ -175,64 +180,61 @@ bool IngressLayer::Submit(std::uint64_t id, int request_class, void* payload) {
   if (slot == nullptr) {
     return false;
   }
-  // Teardown handshake (header comment): mark the submit window before the
-  // accepting check. seq_cst store + seq_cst load is the one StoreLoad edge
+  // Teardown handshake (header comment): SubmitWithHandshake marks the
+  // submit window (seq_cst) before the accepting check and runs the push
+  // lambda inside it. seq_cst store + seq_cst load is the one StoreLoad edge
   // on the submit path; the dispatcher pays nothing in steady state.
-  slot->in_submit.store(1, std::memory_order_seq_cst);
-  if (!accepting_.load(std::memory_order_seq_cst)) {
-    slot->in_submit.store(0, std::memory_order_release);
-    return false;
-  }
-  // Refill the local free cache from the recycle ring in one batched pop.
-  if (slot->local_free.empty()) {
-    const std::size_t room = slot->local_free.capacity();
-    slot->local_free.resize(room);
-    const std::size_t refilled = slot->recycle.TryPopBatch(slot->local_free.data(), room);
-    slot->local_free.resize(refilled);
-    if (refilled == 0) {
-      // Slab exhausted: every request of this slot is in flight. Reported
-      // without blocking and without any dispatcher-shared lock.
-      slot->in_submit.store(0, std::memory_order_release);
-      return false;
-    }
-  }
-  RuntimeRequest* request = slot->local_free.back();
-  slot->local_free.pop_back();
-  // Field-wise reset: home/runtime are fixed slab invariants and must
-  // survive reuse.
-  request->id = id;
-  request->request_class = request_class;
-  request->payload = payload;
-  request->arrival_tsc = ReadTsc();
-  request->fiber = nullptr;
-  request->started = false;
-  request->on_dispatcher = false;
-  request->finished = false;
-  request->next = nullptr;
-  if constexpr (telemetry::kEnabled) {
-    // Field-wise lifecycle reset as well: stale preempt_tsc stamps past
-    // `preemptions` are never read, so a whole-struct reset would only add
-    // memset traffic to the submit path.
-    request->lifecycle.id = id;
-    request->lifecycle.request_class = request_class;
-    request->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
-    request->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
-    request->lifecycle.preemptions = 0;
-    request->lifecycle.arrival_tsc = request->arrival_tsc;
-    request->lifecycle.dispatch_tsc = 0;
-    request->lifecycle.first_run_tsc = 0;
-    request->lifecycle.finish_tsc = 0;
-  }
-  if (!slot->ingress.TryPush(request)) {
-    // Ingress full: hand the request straight back to the local cache.
-    slot->local_free.push_back(request);
-    slot->in_submit.store(0, std::memory_order_release);
-    return false;
-  }
-  // The release clear orders the push before it: a quiescence scan that
-  // reads 0 here is guaranteed to see the pushed request in the final drain.
-  slot->in_submit.store(0, std::memory_order_release);
-  return true;
+  const auto outcome = ingress_protocol::SubmitWithHandshake<StdSync>(
+      slot->in_submit, accepting_, [&]() -> bool {
+        // Refill the local free cache from the recycle ring in one batched
+        // pop.
+        if (slot->local_free.empty()) {
+          const std::size_t room = slot->local_free.capacity();
+          slot->local_free.resize(room);
+          const std::size_t refilled = slot->recycle.TryPopBatch(slot->local_free.data(), room);
+          slot->local_free.resize(refilled);
+          if (refilled == 0) {
+            // Slab exhausted: every request of this slot is in flight.
+            // Reported without blocking and without any dispatcher-shared
+            // lock.
+            return false;
+          }
+        }
+        RuntimeRequest* request = slot->local_free.back();
+        slot->local_free.pop_back();
+        // Field-wise reset: home/runtime are fixed slab invariants and must
+        // survive reuse.
+        request->id = id;
+        request->request_class = request_class;
+        request->payload = payload;
+        request->arrival_tsc = ReadTsc();
+        request->fiber = nullptr;
+        request->started = false;
+        request->on_dispatcher = false;
+        request->finished = false;
+        request->next = nullptr;
+        if constexpr (telemetry::kEnabled) {
+          // Field-wise lifecycle reset as well: stale preempt_tsc stamps past
+          // `preemptions` are never read, so a whole-struct reset would only
+          // add memset traffic to the submit path.
+          request->lifecycle.id = id;
+          request->lifecycle.request_class = request_class;
+          request->lifecycle.first_worker = telemetry::kDispatcherWorkerId;
+          request->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
+          request->lifecycle.preemptions = 0;
+          request->lifecycle.arrival_tsc = request->arrival_tsc;
+          request->lifecycle.dispatch_tsc = 0;
+          request->lifecycle.first_run_tsc = 0;
+          request->lifecycle.finish_tsc = 0;
+        }
+        if (!slot->ingress.TryPush(request)) {
+          // Ingress full: hand the request straight back to the local cache.
+          slot->local_free.push_back(request);
+          return false;
+        }
+        return true;
+      });
+  return outcome == ingress_protocol::SubmitOutcome::kAccepted;
 }
 
 bool IngressLayer::SubmittersQuiescent() {
@@ -244,7 +246,7 @@ bool IngressLayer::SubmittersQuiescent() {
   // concord-lint: allow-no-probe (shutdown-path scan, bounded by registered producer slots)
   for (std::size_t i = 0; i < count; ++i) {
     ProducerSlot* slot = slots_[i].load(std::memory_order_relaxed);
-    if (slot->in_submit.load(std::memory_order_seq_cst) != 0) {
+    if (!ingress_protocol::SlotQuiescent<StdSync>(slot->in_submit)) {
       return false;
     }
   }

@@ -19,6 +19,11 @@
 // request visible to the final ingress drain). Slot creation checks
 // accepting_ under the creation mutex, so the dispatcher's mutexed scan
 // cannot miss a slot that could still push.
+//
+// Both lock-free protocols here — the claim-word slot handover and the
+// teardown handshake — are implemented by the Sync-templated functions in
+// ingress_protocol.h, which the model checker runs verbatim under exhaustive
+// schedule exploration (docs/modelcheck.md).
 
 #ifndef CONCORD_SRC_RUNTIME_INGRESS_H_
 #define CONCORD_SRC_RUNTIME_INGRESS_H_
@@ -30,6 +35,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/runtime/ingress_protocol.h"
 #include "src/runtime/request.h"
 #include "src/runtime/spsc_ring.h"
 #include "src/telemetry/telemetry.h"
@@ -48,6 +54,7 @@ struct ProducerTlsState;
 // in local_free, in the ingress ring, owned by the dispatcher/workers, or
 // in the recycle ring. A slot whose thread exits is released (claim -> 0)
 // and adopted by the next new submitter.
+// concord-atomics: shared-struct (submitter + dispatcher touch this concurrently)
 struct ProducerSlot {
   ProducerSlot(Runtime* owner, std::size_t capacity) : ingress(capacity), recycle(capacity) {
     slab.reserve(capacity);
@@ -68,7 +75,13 @@ struct ProducerSlot {
   // Nonzero while the owning thread is inside Submit() between its
   // accepting check and its ingress push (see the teardown handshake above).
   std::atomic<std::uint32_t> in_submit{0};
+  // The slab itself never changes after construction; only the request
+  // *pointees* cross threads, each handed over through the rings.
+  // concord-atomics: allow-plain-field (immutable after construction)
   std::vector<std::unique_ptr<RuntimeRequest>> slab;
+  // Owned exclusively by the claiming submitter; ownership transfers through
+  // the claim word's release/acquire edge.
+  // concord-atomics: allow-plain-field (claim handover protects it)
   std::vector<RuntimeRequest*> local_free;  // submitter-owned free cache
 };
 
@@ -97,7 +110,7 @@ class IngressLayer {
   // First phase of shutdown: after this returns, every future Submit()
   // returns false, and no in-flight Submit() whose accepting check has not
   // yet passed can push.
-  void StopAccepting() { accepting_.store(false, std::memory_order_seq_cst); }
+  void StopAccepting() { ingress_protocol::StopAccepting<StdSync>(accepting_); }
   bool accepting() const { return accepting_.load(std::memory_order_acquire); }
 
   // Dispatcher-side quiescence check (shutdown drain only — takes the slot

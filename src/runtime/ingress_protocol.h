@@ -1,0 +1,107 @@
+// The ingress layer's two lock-free protocols, extracted as Sync-templated
+// functions so the *same code* runs in production (StdSync → std::atomic,
+// called from ingress.cc) and under the schedule-exploring model checker
+// (modelcheck::CheckedSync, tests/modelcheck_test.cc). docs/modelcheck.md
+// documents what the checker proves about each.
+//
+// Protocol 1 — producer-slot claim/handover. A slot is owned by exactly one
+// submitter thread at a time. The exiting owner publishes everything it wrote
+// into the slot (local free cache, ring endpoint state) with a release store
+// of claim = 0; the adopting thread's acquire CAS claim 0 -> self pairs with
+// it, so all of the previous owner's plain writes happen-before the
+// adopter's first use. Two adopters racing for the same released slot are
+// arbitrated by the CAS: exactly one wins.
+//
+// Protocol 2 — the Submit-vs-StopAccepting teardown handshake. Submit raises
+// the slot's in_submit marker (seq_cst) *before* checking accepting
+// (seq_cst); StopAccepting stores accepting = false (seq_cst). These three
+// seq_cst accesses form the store-buffering pattern whose total order makes
+// the quiescence scan sound: a Submit that saw accepting == true ordered its
+// in_submit = 1 before the accepting store, so a later scan either observes
+// the marker (and retries) or observes the post-push release clear, whose
+// release edge makes the pushed request visible to the final ingress drain.
+// Weakening any of the seq_cst accesses (or the release clear) loses or
+// strands a request — the model checker's mutation suite proves each edge is
+// load-bearing (tests/modelcheck_mutation_test.cc).
+
+#ifndef CONCORD_SRC_RUNTIME_INGRESS_PROTOCOL_H_
+#define CONCORD_SRC_RUNTIME_INGRESS_PROTOCOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/sync.h"
+
+namespace concord::ingress_protocol {
+
+// Adopter side of protocol 1: claim a released slot. The acquire CAS pairs
+// with ReleaseClaim's release store, transferring ownership of every plain
+// field the previous owner wrote. Returns true when this thread now owns the
+// slot; false when another thread holds (or just won) it.
+template <typename Sync>
+bool TryClaim(typename Sync::template Atomic<std::size_t>& claim, std::size_t self) {
+  std::size_t expected = 0;
+  // acq_rel, not acquire: the failure path publishes nothing, but a winning
+  // claim is also a *release* of the adopter's identity so a subsequent
+  // releasing store by this thread forms a release sequence headed here.
+  return claim.compare_exchange_strong(expected, self, std::memory_order_acq_rel);
+}
+
+// Owner side of protocol 1: hand the slot over. Every plain write the owner
+// made to slot state must precede this call; the release store is the one
+// happens-before edge the next adopter's acquire CAS synchronizes with.
+template <typename Sync>
+void ReleaseClaim(typename Sync::template Atomic<std::size_t>& claim) {
+  claim.store(0, std::memory_order_release);
+}
+
+// Outcome of one Submit attempt under the teardown handshake.
+enum class SubmitOutcome {
+  kAccepted,      // push succeeded; the request is visible to the drain
+  kStopped,       // accepting was false; nothing was pushed
+  kBackpressure,  // push function declined (ring full / slab exhausted)
+};
+
+// Submitter side of protocol 2. `push()` runs inside the marked window and
+// returns whether it actually enqueued a request; it must not block. The
+// in_submit marker is raised seq_cst before the accepting check — the one
+// StoreLoad edge on the submit path — and cleared with release so a
+// quiescence scan that reads 0 is guaranteed to observe the push.
+template <typename Sync, typename PushFn>
+SubmitOutcome SubmitWithHandshake(typename Sync::template Atomic<std::uint32_t>& in_submit,
+                                  typename Sync::template Atomic<bool>& accepting,
+                                  PushFn&& push) {
+  in_submit.store(1, std::memory_order_seq_cst);
+  if (!accepting.load(std::memory_order_seq_cst)) {
+    in_submit.store(0, std::memory_order_release);
+    return SubmitOutcome::kStopped;
+  }
+  const bool pushed = push();
+  // The release clear orders the push before it: a quiescence scan that
+  // reads 0 here is guaranteed to see the pushed request in the final drain.
+  in_submit.store(0, std::memory_order_release);
+  return pushed ? SubmitOutcome::kAccepted : SubmitOutcome::kBackpressure;
+}
+
+// Stopper side of protocol 2, phase 1: refuse all future submits.
+// seq_cst: this store must be ordered against every Submit's in_submit store
+// in the single total order, or the scan below could miss an in-flight push.
+template <typename Sync>
+void StopAccepting(typename Sync::template Atomic<bool>& accepting) {
+  accepting.store(false, std::memory_order_seq_cst);
+}
+
+// Stopper side of protocol 2, phase 2: one slot's quiescence predicate. True
+// when no submitter is inside the marked window of this slot. The seq_cst
+// load participates in the same total order as the in_submit and accepting
+// stores; reading 0 through the clear's release edge additionally makes any
+// completed push visible to the caller's subsequent drain.
+template <typename Sync>
+bool SlotQuiescent(typename Sync::template Atomic<std::uint32_t>& in_submit) {
+  return in_submit.load(std::memory_order_seq_cst) == 0;
+}
+
+}  // namespace concord::ingress_protocol
+
+#endif  // CONCORD_SRC_RUNTIME_INGRESS_PROTOCOL_H_

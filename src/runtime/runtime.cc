@@ -46,7 +46,10 @@ Runtime::Runtime(Options options, Callbacks callbacks)
 }
 
 Runtime::~Runtime() {
-  if (started_.load() && !stop_.load()) {
+  // Relaxed: these flags only guard against API misuse from the owning
+  // thread; the destructor races with nothing, so no publication edge is
+  // needed (the real teardown ordering is Shutdown's join).
+  if (started_.load(std::memory_order_relaxed) && !stop_.load(std::memory_order_relaxed)) {
     Shutdown();
   }
 }
@@ -71,7 +74,11 @@ double Runtime::MeasureTscGhz() {
 
 // concord-lint: allow-no-probe (startup path, no request in flight yet)
 void Runtime::Start() {
-  CONCORD_CHECK(!started_.exchange(true)) << "runtime already started";
+  // Relaxed: started_ is a misuse guard, not a publication edge — everything
+  // Start() initializes is published to the loops by std::thread creation,
+  // which already carries happens-before. The exchange stays atomic, so a
+  // racing double Start() is still detected.
+  CONCORD_CHECK(!started_.exchange(true, std::memory_order_relaxed)) << "runtime already started";
   tsc_ghz_ = MeasureTscGhz();
   quantum_tsc_ = static_cast<std::uint64_t>(options_.quantum_us * 1000.0 * tsc_ghz_);
 
@@ -147,7 +154,9 @@ void Runtime::Start() {
 
 // concord-lint: allow-no-probe (submitter-side path; delegates to the lock-free ingress layer)
 bool Runtime::Submit(std::uint64_t id, int request_class, void* payload) {
-  CONCORD_CHECK(started_.load()) << "runtime not started";
+  // Relaxed misuse guard (see ~Runtime); Submit's real ordering lives in the
+  // ingress layer's claim/handshake protocols.
+  CONCORD_CHECK(started_.load(std::memory_order_relaxed)) << "runtime not started";
   if (!ingress_.Submit(id, request_class, payload)) {
     return false;
   }
@@ -156,8 +165,13 @@ bool Runtime::Submit(std::uint64_t id, int request_class, void* payload) {
 }
 
 void Runtime::WaitIdle() {
+  // The acquire on completed_ pairs with the dispatcher's release bump
+  // (BumpSingleWriter in RetireRequest), publishing every handler effect to
+  // the waiter. submitted_ is relaxed: it is bumped by the submitting
+  // threads themselves, whose submissions the caller already ordered before
+  // this wait, so no extra edge is bought by acquiring it.
   while (completed_.load(std::memory_order_acquire) <
-         submitted_.load(std::memory_order_acquire)) {
+         submitted_.load(std::memory_order_relaxed)) {
     std::this_thread::yield();
   }
 }
@@ -165,7 +179,8 @@ void Runtime::WaitIdle() {
 void Runtime::StopAccepting() { ingress_.StopAccepting(); }
 
 void Runtime::Shutdown() {
-  if (!started_.load()) {
+  // Relaxed misuse guard (see ~Runtime).
+  if (!started_.load(std::memory_order_relaxed)) {
     return;
   }
   // Phase 1: refuse new work, so racing submitters observe `false` instead
@@ -182,12 +197,15 @@ void Runtime::Shutdown() {
 }
 
 Runtime::Stats Runtime::GetStats() const {
+  // Relaxed: a stats snapshot is racy by contract (telemetry.h) — each
+  // counter is individually atomic, cross-counter identities hold only once
+  // quiescent, and quiescence (WaitIdle/Shutdown) supplies the acquire edge.
   Stats stats;
-  stats.submitted = submitted_.load();
-  stats.completed = completed_.load();
-  stats.preemptions = preemptions_.load();
-  stats.dispatcher_started = dispatcher_started_count_.load();
-  stats.dispatcher_completed = dispatcher_completed_count_.load();
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.preemptions = preemptions_.load(std::memory_order_relaxed);
+  stats.dispatcher_started = dispatcher_started_count_.load(std::memory_order_relaxed);
+  stats.dispatcher_completed = dispatcher_completed_count_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -233,7 +251,10 @@ trace::TraceCapture Runtime::GetTrace() const {
 }
 
 void Runtime::BeginAllocationAudit() {
-  CONCORD_CHECK(started_.load() && !stop_.load())
+  // Relaxed misuse guards (see ~Runtime); the audit's own ordering is the
+  // epoch/ack handshake below.
+  CONCORD_CHECK(started_.load(std::memory_order_relaxed) &&
+                !stop_.load(std::memory_order_relaxed))
       << "allocation audit requires a running runtime";
   CONCORD_CHECK(alloc_audit_epoch_.load(std::memory_order_relaxed) % 2 == 0)
       << "allocation audit already armed";
@@ -255,7 +276,10 @@ std::uint64_t Runtime::EndAllocationAudit() {
   while (alloc_audit_acks_.load(std::memory_order_acquire) < loop_threads) {
     std::this_thread::yield();
   }
-  return alloc_audit_ops_.load(std::memory_order_acquire);
+  // Relaxed: every loop thread's final ops_ flush is sequenced before its
+  // release ack bump, and the acquire ack-wait above synchronized with all
+  // of them, so coherence already forces this read to see every flush.
+  return alloc_audit_ops_.load(std::memory_order_relaxed);
 }
 
 // Called once per loop pass on the dispatcher and every worker. One relaxed

@@ -15,6 +15,13 @@
 // builds additionally pin each endpoint to the first thread that uses it,
 // turning an SPSC contract violation into an immediate check failure instead
 // of silent data corruption.
+//
+// The ring is parameterized over a `Sync` atomics layer (src/common/sync.h):
+// with the default StdSync the indices are plain std::atomic and the slots
+// plain T (codegen pinned byte-identical by cmake/CheckSyncCodegen.cmake);
+// with modelcheck::CheckedSync the identical protocol code runs under the
+// schedule-exploring model checker (docs/modelcheck.md), which verifies the
+// release/acquire index handshake and race-checks every slot access.
 
 #ifndef CONCORD_SRC_RUNTIME_SPSC_RING_H_
 #define CONCORD_SRC_RUNTIME_SPSC_RING_H_
@@ -30,10 +37,11 @@
 
 #include "src/common/cacheline.h"
 #include "src/common/logging.h"
+#include "src/common/sync.h"
 
 namespace concord {
 
-template <typename T>
+template <typename T, typename Sync = StdSync>
 class SpscRing {
  public:
   // Holds exactly `capacity` items: a JBSQ(k) inbox must never accept a
@@ -176,9 +184,11 @@ class SpscRing {
 
   const std::size_t capacity_;
   const std::size_t mask_;
-  std::vector<T> slots_;
-  CacheLineAligned<std::atomic<std::size_t>> head_{};  // producer-owned
-  CacheLineAligned<std::atomic<std::size_t>> tail_{};  // consumer-owned
+  // Cell<T> = T in production; in checked mode every slot access is
+  // race-checked against the index handshake's happens-before edges.
+  std::vector<typename Sync::template Cell<T>> slots_;
+  CacheLineAligned<typename Sync::template Atomic<std::size_t>> head_{};  // producer-owned
+  CacheLineAligned<typename Sync::template Atomic<std::size_t>> tail_{};  // consumer-owned
   // Ownership pins; cold in release builds where AssertRole is a no-op.
   mutable std::atomic<std::size_t> producer_tid_{0};
   mutable std::atomic<std::size_t> consumer_tid_{0};

@@ -16,6 +16,13 @@
 // consumer validates the sequence on both sides of its read and discards torn
 // slots as dropped. Every shared access is atomic, so the protocol is
 // TSan-clean by construction and lock-free on both sides.
+//
+// Like SpscRing, the ring is parameterized over a `Sync` atomics layer
+// (src/common/sync.h): StdSync (the default) is plain std::atomic with
+// byte-identical codegen; modelcheck::CheckedSync runs the identical seqlock
+// protocol — including both fences — under the schedule-exploring model
+// checker, whose weak-memory replay is what actually exercises the
+// torn-read-discard path (docs/modelcheck.md).
 
 #ifndef CONCORD_SRC_TELEMETRY_EVENT_RING_H_
 #define CONCORD_SRC_TELEMETRY_EVENT_RING_H_
@@ -30,6 +37,7 @@
 
 #include "src/common/cacheline.h"
 #include "src/common/logging.h"
+#include "src/common/sync.h"
 
 namespace concord::telemetry {
 
@@ -46,7 +54,7 @@ struct SequencedEvent {
   T value{};
 };
 
-template <typename T>
+template <typename T, typename Sync = StdSync>
 class EventRing {
   static_assert(std::is_trivially_copyable_v<T>,
                 "EventRing payloads cross threads as raw words");
@@ -66,7 +74,7 @@ class EventRing {
     const std::uint64_t seq = head_.value.load(std::memory_order_relaxed);
     Slot& slot = slots_[seq & mask_];
     slot.seq.store(2 * seq + 1, std::memory_order_relaxed);  // mark: writing
-    std::atomic_thread_fence(std::memory_order_release);     // odd before words
+    Sync::ThreadFence(std::memory_order_release);            // odd before words
     std::uint64_t words[kWords] = {};
     std::memcpy(words, &value, sizeof(T));
     for (std::size_t w = 0; w < kWords; ++w) {
@@ -128,7 +136,7 @@ class EventRing {
       for (std::size_t w = 0; w < kWords; ++w) {
         words[w] = slot.words[w].load(std::memory_order_relaxed);
       }
-      std::atomic_thread_fence(std::memory_order_acquire);  // words before re-check
+      Sync::ThreadFence(std::memory_order_acquire);  // words before re-check
       if (slot.seq.load(std::memory_order_relaxed) != seq_before) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
         ++cursor_;
@@ -144,8 +152,9 @@ class EventRing {
   }
 
   struct Slot {
-    std::atomic<std::uint64_t> seq{0};  // 2n+1 while writing event n, 2n+2 after
-    std::atomic<std::uint64_t> words[kWords] = {};
+    // 2n+1 while writing event n, 2n+2 after
+    typename Sync::template Atomic<std::uint64_t> seq{0};
+    typename Sync::template Atomic<std::uint64_t> words[kWords] = {};
   };
 
   static std::size_t RoundUpPow2(std::size_t v) {
@@ -158,9 +167,11 @@ class EventRing {
 
   const std::size_t mask_;
   std::unique_ptr<Slot[]> slots_;
-  CacheLineAligned<std::atomic<std::uint64_t>> head_{};  // producer-owned next sequence
-  std::uint64_t cursor_ = 0;                             // consumer-owned read position
-  std::atomic<std::uint64_t> dropped_{0};                // consumer-updated, anyone may read
+  // producer-owned next sequence
+  CacheLineAligned<typename Sync::template Atomic<std::uint64_t>> head_{};
+  std::uint64_t cursor_ = 0;  // consumer-owned read position
+  // consumer-updated, anyone may read
+  typename Sync::template Atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace concord::telemetry

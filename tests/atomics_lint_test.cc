@@ -1,0 +1,301 @@
+// Unit coverage for the atomics lint (src/analysis/atomics_lint.h): each
+// rule on minimal in-memory sources, the suppression tags, the cross-file
+// pairing behavior, the violation fixture (proving the lint has teeth), and
+// the real runtime/telemetry trees staying clean — the in-test twin of the
+// lint.atomics_lint_cli_runtime_telemetry ctest gate.
+
+#include "src/analysis/atomics_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace concord {
+namespace {
+
+using Kind = AtomicsLintViolation::Kind;
+
+std::vector<AtomicsLintViolation> Lint(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  return LintAtomicsSources(sources, AtomicsLintConfig{});
+}
+
+std::vector<AtomicsLintViolation> LintOne(const std::string& content) {
+  return Lint({{"test.cc", content}});
+}
+
+int CountKind(const std::vector<AtomicsLintViolation>& violations, Kind kind) {
+  int n = 0;
+  for (const auto& v : violations) {
+    n += (v.kind == kind) ? 1 : 0;
+  }
+  return n;
+}
+
+// ---- defaulted-order ----------------------------------------------------
+
+TEST(AtomicsLint, FlagsDefaultedOrder) {
+  const auto violations = LintOne("int F(std::atomic<int>& a) { return a.load(); }\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Kind::kDefaultedOrder);
+  EXPECT_EQ(violations[0].line, 1);
+  EXPECT_NE(violations[0].message.find("'a'"), std::string::npos);
+}
+
+TEST(AtomicsLint, FlagsDefaultedCompareExchange) {
+  const auto violations =
+      LintOne("bool F(std::atomic<int>& a, int& e) { return a.compare_exchange_strong(e, 1); }\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Kind::kDefaultedOrder);
+}
+
+TEST(AtomicsLint, AcceptsExplicitOrderAndOrderVariables) {
+  EXPECT_TRUE(LintOne("int F(std::atomic<int>& a) {\n"
+                      "  return a.load(std::memory_order_relaxed);\n"
+                      "}\n")
+                  .empty());
+  // An order passed through a variable (telemetry.h's BumpSingleWriter
+  // pattern) counts as explicit.
+  EXPECT_TRUE(LintOne("void F(std::atomic<int>& a, std::memory_order store_order) {\n"
+                      "  a.store(1, store_order);\n"
+                      "}\n")
+                  .empty());
+}
+
+TEST(AtomicsLint, AllowDefaultTagSuppresses) {
+  EXPECT_TRUE(LintOne("int F(std::atomic<int>& a) {\n"
+                      "  // concord-atomics: allow-default (init before threads exist)\n"
+                      "  return a.load();\n"
+                      "}\n")
+                  .empty());
+}
+
+// ---- seq_cst rationale --------------------------------------------------
+
+TEST(AtomicsLint, FlagsSeqCstWithoutRationale) {
+  // The acquire load pairs the store for the R3 rule, isolating R2.
+  const auto violations =
+      LintOne("void F(std::atomic<int>& a) { a.store(1, std::memory_order_seq_cst); }\n"
+              "int G(std::atomic<int>& a) { return a.load(std::memory_order_acquire); }\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Kind::kSeqCstWithoutRationale);
+}
+
+TEST(AtomicsLint, RationaleCommentWithinWindowAccepted) {
+  EXPECT_TRUE(LintOne("void F(std::atomic<int>& a) {\n"
+                      "  // seq_cst: must be totally ordered against the drain scan.\n"
+                      "  a.store(1, std::memory_order_seq_cst);\n"
+                      "}\n"
+                      "int G(std::atomic<int>& a) { return a.load(std::memory_order_acquire); }\n")
+                  .empty());
+}
+
+TEST(AtomicsLint, SeqCstOpsParticipateInPairing) {
+  // A seq_cst load is a valid acquire half: the handshake's in_submit field
+  // (seq_cst marker load, release clear stores) must lint as paired.
+  EXPECT_TRUE(LintOne("// seq_cst: marker must be in the scan's total order.\n"
+                      "bool Quiet() { return in_submit.load(std::memory_order_seq_cst) == 0; }\n"
+                      "void Clear() { in_submit.store(0, std::memory_order_release); }\n")
+                  .empty());
+}
+
+TEST(AtomicsLint, RationaleOutsideWindowStillFlagged) {
+  std::string source = "// seq_cst is needed, trust me\n";
+  source += std::string(12, '\n');  // push the op far below the comment
+  source += "void F(std::atomic<int>& a) { a.store(1, std::memory_order_seq_cst); }\n";
+  const auto violations = LintOne(source);
+  EXPECT_EQ(CountKind(violations, Kind::kSeqCstWithoutRationale), 1);
+}
+
+TEST(AtomicsLint, MentionOfSeqCstInCodeIsNotARationale) {
+  // The literal memory_order_seq_cst token in *code* must not satisfy the
+  // rationale rule for a later op.
+  const auto violations =
+      LintOne("void F(std::atomic<int>& a) {\n"
+              "  a.store(1, std::memory_order_seq_cst);\n"
+              "  a.store(2, std::memory_order_seq_cst);\n"
+              "}\n");
+  EXPECT_EQ(CountKind(violations, Kind::kSeqCstWithoutRationale), 2);
+}
+
+TEST(AtomicsLint, AllowSeqCstTagSuppresses) {
+  EXPECT_TRUE(LintOne("void F(std::atomic<int>& a) {\n"
+                      "  // concord-atomics: allow-seq-cst (benchmark pessimizer)\n"
+                      "  a.store(1, std::memory_order_seq_cst);\n"
+                      "}\n"
+                      "int G(std::atomic<int>& a) { return a.load(std::memory_order_acquire); }\n")
+                  .empty());
+}
+
+// ---- acquire/release pairing --------------------------------------------
+
+TEST(AtomicsLint, FlagsUnpairedAcquireAndRelease) {
+  const auto violations =
+      LintOne("int F(std::atomic<int>& in) { return in.load(std::memory_order_acquire); }\n"
+              "void G(std::atomic<int>& out) { out.store(1, std::memory_order_release); }\n");
+  EXPECT_EQ(CountKind(violations, Kind::kUnpairedAcquire), 1);
+  EXPECT_EQ(CountKind(violations, Kind::kUnpairedRelease), 1);
+}
+
+TEST(AtomicsLint, PairingResolvesAcrossFiles) {
+  // The release store and the acquire load of `flag` live in different
+  // files; linted as one set they pair, so nothing is flagged.
+  EXPECT_TRUE(Lint({{"writer.cc",
+                     "void W(std::atomic<int>& flag) { flag.store(1, std::memory_order_release); }\n"},
+                    {"reader.cc",
+                     "int R(std::atomic<int>& flag) { return flag.load(std::memory_order_acquire); }\n"}})
+                  .empty());
+  // Linted alone, each half is flagged.
+  EXPECT_EQ(CountKind(LintOne("void W(std::atomic<int>& flag) {\n"
+                              "  flag.store(1, std::memory_order_release);\n"
+                              "}\n"),
+                      Kind::kUnpairedRelease),
+            1);
+}
+
+TEST(AtomicsLint, MemberAndParameterPoolByTrimmedUnderscore) {
+  // accepting_ (member) and accepting (protocol-function parameter) are the
+  // same field; the store through the parameter satisfies the member's
+  // acquire load.
+  EXPECT_TRUE(Lint({{"a.h",
+                     "bool accepting() const { return accepting_.load(std::memory_order_acquire); }\n"},
+                    {"b.h",
+                     "// seq_cst: total order with the submit-side marker store.\n"
+                     "void Stop(std::atomic<bool>& accepting) {\n"
+                     "  accepting.store(false, std::memory_order_seq_cst);\n"
+                     "}\n"}})
+                  .empty());
+}
+
+TEST(AtomicsLint, RmwAcqRelCountsForBothSides) {
+  EXPECT_TRUE(LintOne("bool F(std::atomic<int>& claim, int& e) {\n"
+                      "  return claim.compare_exchange_strong(e, 1, std::memory_order_acq_rel);\n"
+                      "}\n")
+                  .empty());
+}
+
+TEST(AtomicsLint, LooksThroughCacheLineAlignedValue) {
+  // head_.value.<op> must lint as field "head", so the producer's release
+  // store pairs with the consumer's acquire load of the same index word.
+  EXPECT_TRUE(LintOne("void P() { head_.value.store(1, std::memory_order_release); }\n"
+                      "int C() { return head_.value.load(std::memory_order_acquire); }\n")
+                  .empty());
+  const auto violations =
+      LintOne("void P() { head_.value.store(1, std::memory_order_release); }\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].message.find("'head'"), std::string::npos);
+}
+
+TEST(AtomicsLint, SubscriptedFieldLintsAsTheArray) {
+  EXPECT_TRUE(LintOne("void P() { slots_[i].store(s, std::memory_order_release); }\n"
+                      "void C() { return slots_[j].load(std::memory_order_acquire); }\n")
+                  .empty());
+}
+
+TEST(AtomicsLint, BumpSingleWriterWithReleaseCountsAsReleaseStore) {
+  EXPECT_TRUE(LintOne("void Retire() {\n"
+                      "  telemetry::BumpSingleWriter(completed_, 1, std::memory_order_release);\n"
+                      "}\n"
+                      "int Wait() { return completed_.load(std::memory_order_acquire); }\n")
+                  .empty());
+  // Without the release argument the helper defaults to relaxed and the
+  // acquire load is unpaired.
+  const auto violations =
+      LintOne("void Retire() { telemetry::BumpSingleWriter(completed_); }\n"
+              "int Wait() { return completed_.load(std::memory_order_acquire); }\n");
+  EXPECT_EQ(CountKind(violations, Kind::kUnpairedAcquire), 1);
+  // ...but it is not a defaulted-order violation: relaxed is the helper's
+  // documented contract.
+  EXPECT_EQ(CountKind(violations, Kind::kDefaultedOrder), 0);
+}
+
+TEST(AtomicsLint, AllowUnpairedTagSuppresses) {
+  EXPECT_TRUE(LintOne("int F(std::atomic<int>& in) {\n"
+                      "  // concord-atomics: allow-unpaired (release side is in generated code)\n"
+                      "  return in.load(std::memory_order_acquire);\n"
+                      "}\n")
+                  .empty());
+}
+
+// ---- shared-struct fields -----------------------------------------------
+
+TEST(AtomicsLint, FlagsPlainFieldInSharedStruct) {
+  const auto violations = LintOne("struct FooShared {\n"
+                                  "  std::atomic<int> flag{0};\n"
+                                  "  int plain = 0;\n"
+                                  "};\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Kind::kNonAtomicSharedField);
+  EXPECT_EQ(violations[0].line, 3);
+  EXPECT_NE(violations[0].message.find("FooShared"), std::string::npos);
+}
+
+TEST(AtomicsLint, SharedStructTagWorksOnAnyName) {
+  const auto violations = LintOne("// concord-atomics: shared-struct\n"
+                                  "struct ProducerLane {\n"
+                                  "  int plain = 0;\n"
+                                  "};\n");
+  EXPECT_EQ(CountKind(violations, Kind::kNonAtomicSharedField), 1);
+  // Without the tag, a non-Shared name is not checked.
+  EXPECT_TRUE(LintOne("struct ProducerLane {\n  int plain = 0;\n};\n").empty());
+}
+
+TEST(AtomicsLint, WhitelistedTypesAndFunctionsNotFlagged) {
+  EXPECT_TRUE(LintOne("struct LaneShared {\n"
+                      "  LaneShared(std::size_t n) : ring(n) {}\n"
+                      "  SpscRing<Request*> ring;\n"
+                      "  telemetry::EventRing<Rec> events;\n"
+                      "  CacheLineAligned<std::atomic<std::uint64_t>> gen{};\n"
+                      "  std::mutex mu;\n"
+                      "  const int capacity = 4;\n"
+                      "  int Plain() const { return 0; }\n"
+                      "};\n")
+                  .empty());
+}
+
+TEST(AtomicsLint, AllowPlainFieldTagSuppresses) {
+  EXPECT_TRUE(LintOne("struct LaneShared {\n"
+                      "  // concord-atomics: allow-plain-field (guarded by mu)\n"
+                      "  int plain = 0;\n"
+                      "};\n")
+                  .empty());
+}
+
+// ---- fixture + real trees -----------------------------------------------
+
+// The checked-in fixture must trip every rule: this is the teeth test that
+// keeps the clean runs over the real trees from being vacuous.
+TEST(AtomicsLint, FixtureTripsEveryRule) {
+  const std::string fixture =
+      std::string(CONCORD_SOURCE_DIR) + "/tests/fixtures/atomics_lint_fixture.cc";
+  const auto violations = LintAtomicsTree({fixture}, AtomicsLintConfig{});
+  EXPECT_EQ(CountKind(violations, Kind::kUnreadableFile), 0);
+  EXPECT_EQ(CountKind(violations, Kind::kDefaultedOrder), 1);
+  EXPECT_EQ(CountKind(violations, Kind::kSeqCstWithoutRationale), 1);
+  EXPECT_EQ(CountKind(violations, Kind::kUnpairedAcquire), 1);
+  EXPECT_EQ(CountKind(violations, Kind::kUnpairedRelease), 1);
+  EXPECT_EQ(CountKind(violations, Kind::kNonAtomicSharedField), 1);
+  EXPECT_EQ(violations.size(), 5u);
+}
+
+// The shipped lock-free hot path lints clean (the same invariant the
+// lint.atomics_lint_cli_runtime_telemetry gate enforces through the CLI).
+TEST(AtomicsLint, RuntimeAndTelemetryTreesAreClean) {
+  const std::string root = CONCORD_SOURCE_DIR;
+  const auto violations =
+      LintAtomicsTree({root + "/src/runtime", root + "/src/telemetry"}, AtomicsLintConfig{});
+  for (const auto& violation : violations) {
+    ADD_FAILURE() << AtomicsViolationToString(violation);
+  }
+}
+
+TEST(AtomicsLint, UnreadablePathReported) {
+  const auto violations = LintAtomicsTree({"/nonexistent/path.cc"}, AtomicsLintConfig{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Kind::kUnreadableFile);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,38 @@
+// Deliberately wrong atomics usage: one specimen per atomics-lint rule.
+// This file is a lint fixture only — it is never compiled into any target —
+// and tests/atomics_lint_test.cc asserts the lint flags every specimen, so
+// the CI gate over the real trees cannot be passing vacuously.
+
+#include <atomic>
+
+namespace atomics_lint_fixture {
+
+struct DemoShared {
+  std::atomic<int> flag{0};
+  int plain_counter = 0;  // specimen: non-atomic field in a cross-thread struct
+};
+
+// Specimen: defaulted memory order (silently the strongest one).
+inline int DefaultedLoad(std::atomic<int>& counter) { return counter.load(); }
+
+// Specimen: explicit strongest-order store with no comment saying why.
+// (The acquire load below pairs the store, so only the rationale rule
+// fires here; naming the order in this comment would defeat the specimen.)
+inline void UndocumentedTotalOrder(std::atomic<int>& gate) {
+  gate.store(1, std::memory_order_seq_cst);
+}
+inline int GateObserver(std::atomic<int>& gate) {
+  return gate.load(std::memory_order_acquire);
+}
+
+// Specimen: acquire with no matching release anywhere in the linted set.
+inline int LonelyAcquire(std::atomic<int>& lonely_in) {
+  return lonely_in.load(std::memory_order_acquire);
+}
+
+// Specimen: release with no matching acquire anywhere in the linted set.
+inline void LonelyRelease(std::atomic<int>& lonely_out) {
+  lonely_out.store(1, std::memory_order_release);
+}
+
+}  // namespace atomics_lint_fixture

@@ -1,0 +1,328 @@
+// The four protocol harnesses run under the model checker (docs/
+// modelcheck.md): SpscRing wraparound and partial-batch transfer, the
+// EventRing seqlock reader/writer race, the ProducerSlot claim/teardown
+// handover, and the Submit-vs-StopAccepting shutdown handshake. Shared
+// between modelcheck_test.cc (clean exhaustive runs) and
+// modelcheck_mutation_test.cc (each weakened memory-order mutant must be
+// caught on the same harnesses).
+
+#ifndef CONCORD_TESTS_MODELCHECK_HARNESSES_H_
+#define CONCORD_TESTS_MODELCHECK_HARNESSES_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "src/modelcheck/checked_sync.h"
+#include "src/modelcheck/model.h"
+#include "src/runtime/ingress_protocol.h"
+#include "src/runtime/spsc_ring.h"
+#include "src/telemetry/event_ring.h"
+
+namespace concord::modelcheck_harness {
+
+namespace mc = ::concord::modelcheck;
+using CheckedSync = mc::CheckedSync;
+
+// A packaged Explore() invocation. The state lives behind a shared_ptr so
+// the setup lambda can rebuild it fresh for every execution.
+struct Harness {
+  mc::Options options;
+  std::function<void()> setup;
+  std::vector<std::function<void()>> threads;
+  std::function<void()> verify;
+
+  mc::Result Run(const std::vector<mc::Mutation>& mutations = {}) const {
+    return mc::Explore(options, setup, threads, verify, mutations);
+  }
+};
+
+// ---- SpscRing: wraparound under single-element transfer -----------------
+//
+// Capacity-2 ring (4 physical slots), 4 pushes: the masked indices wrap and
+// occupancy crosses full/empty in both directions. The consumer must observe
+// exactly 1..4 in order; slot transfers are race-checked Cells, so a
+// weakened index publish surfaces as a data race.
+inline Harness RingWraparound(int pushes = 4) {
+  struct State {
+    SpscRing<int, CheckedSync> ring{2};
+    std::vector<int> got;
+  };
+  auto st = std::make_shared<std::unique_ptr<State>>();
+  Harness h;
+  h.options.name = "ring_wraparound";
+  h.options.preemption_bound = 2;
+  h.setup = [st] {
+    *st = std::make_unique<State>();
+    mc::NameRange(&(*st)->ring, sizeof((*st)->ring), "ring");
+  };
+  h.threads = {
+      [st, pushes] {  // T0: producer
+        State& s = **st;
+        for (int v = 1; v <= pushes; ++v) {
+          while (!s.ring.TryPush(v)) {
+            CheckedSync::Yield();
+          }
+        }
+      },
+      [st, pushes] {  // T1: consumer
+        State& s = **st;
+        while (static_cast<int>(s.got.size()) < pushes) {
+          int v = 0;
+          if (s.ring.TryPop(&v)) {
+            s.got.push_back(v);
+          } else {
+            CheckedSync::Yield();
+          }
+        }
+      },
+  };
+  h.verify = [st, pushes] {
+    State& s = **st;
+    mc::Require(static_cast<int>(s.got.size()) == pushes, "consumer popped a wrong count");
+    for (int i = 0; i < pushes; ++i) {
+      const int got = s.got[static_cast<std::size_t>(i)];
+      if (got != i + 1) {
+        std::ostringstream os;
+        os << "lost/duplicated/reordered element: got[" << i << "] = " << got;
+        mc::Require(false, os.str());
+      }
+    }
+    mc::Require(s.ring.EmptyApprox(), "ring not empty after all pops");
+  };
+  return h;
+}
+
+// ---- SpscRing: partial batch push/pop -----------------------------------
+//
+// TryPushBatch of 3 into a capacity-2 ring must split (2, then 1) and the
+// batched pop must retire elements with a single release store without
+// losing the order.
+inline Harness RingPartialBatch() {
+  struct State {
+    SpscRing<int, CheckedSync> ring{2};
+    std::vector<int> got;
+  };
+  auto st = std::make_shared<std::unique_ptr<State>>();
+  Harness h;
+  h.options.name = "ring_partial_batch";
+  h.options.preemption_bound = 2;
+  h.setup = [st] {
+    *st = std::make_unique<State>();
+    mc::NameRange(&(*st)->ring, sizeof((*st)->ring), "ring");
+  };
+  h.threads = {
+      [st] {  // T0: producer, batched
+        State& s = **st;
+        const int values[3] = {1, 2, 3};
+        std::size_t pushed = 0;
+        while (pushed < 3) {
+          const std::size_t n = s.ring.TryPushBatch(values + pushed, 3 - pushed);
+          if (n == 0) {
+            CheckedSync::Yield();
+          }
+          pushed += n;
+        }
+      },
+      [st] {  // T1: consumer, batched
+        State& s = **st;
+        int buf[2];
+        while (s.got.size() < 3) {
+          const std::size_t n = s.ring.TryPopBatch(buf, 2);
+          if (n == 0) {
+            CheckedSync::Yield();
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            s.got.push_back(buf[i]);
+          }
+        }
+      },
+  };
+  h.verify = [st] {
+    State& s = **st;
+    mc::Require(s.got.size() == 3, "batched consumer popped a wrong count");
+    for (int i = 0; i < 3; ++i) {
+      mc::Require(s.got[static_cast<std::size_t>(i)] == i + 1,
+                  "batched transfer lost or reordered an element");
+    }
+  };
+  return h;
+}
+
+// ---- EventRing: seqlock writer vs reader --------------------------------
+//
+// Single-slot ring, 3 pushes of a two-word event (n, n + 1000): the
+// concurrent drains exercise the torn-read discard path (lap + mid-write
+// rejects), and verify checks that every event that *was* delivered is
+// untorn, in increasing sequence order, and that delivered + dropped
+// accounts for every push.
+inline Harness SeqlockEventRing(int pushes = 3) {
+  struct Event {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+  struct State {
+    telemetry::EventRing<Event, CheckedSync> ring{1};
+    std::vector<telemetry::SequencedEvent<Event>> seen;
+  };
+  auto st = std::make_shared<std::unique_ptr<State>>();
+  Harness h;
+  h.options.name = "seqlock_event_ring";
+  h.options.preemption_bound = 2;
+  h.setup = [st] {
+    *st = std::make_unique<State>();
+    mc::NameRange(&(*st)->ring, sizeof((*st)->ring), "ring");
+  };
+  h.threads = {
+      [st, pushes] {  // T0: producer
+        State& s = **st;
+        for (int i = 0; i < pushes; ++i) {
+          s.ring.Push(Event{static_cast<std::uint64_t>(i),
+                            static_cast<std::uint64_t>(i) + 1000});
+        }
+      },
+      [st, pushes] {  // T1: concurrent reader
+        State& s = **st;
+        for (int i = 0; i < pushes; ++i) {
+          s.ring.Drain(&s.seen);
+          CheckedSync::Yield();
+        }
+      },
+  };
+  h.verify = [st, pushes] {
+    State& s = **st;
+    s.ring.Drain(&s.seen);  // final drain after both threads quiesced
+    std::uint64_t last_seq = 0;
+    bool first = true;
+    for (const auto& ev : s.seen) {
+      mc::Require(ev.value.b == ev.value.a + 1000, "torn read: event words are inconsistent");
+      mc::Require(ev.value.a == ev.sequence, "event carries the wrong sequence payload");
+      mc::Require(first || ev.sequence > last_seq, "drained sequences not increasing");
+      last_seq = ev.sequence;
+      first = false;
+    }
+    mc::Require(s.seen.size() + s.ring.dropped() == static_cast<std::uint64_t>(pushes),
+                "delivered + dropped does not account for every push");
+  };
+  return h;
+}
+
+// ---- ProducerSlot: claim handover / adoption race -----------------------
+//
+// T0 owns the slot, writes into it (a race-checked Cell), and releases the
+// claim; T1 and T2 race to adopt it. Exactly one may win, and the winner
+// must observe the owner's writes — a weakened release handover surfaces as
+// a data race on the Cell.
+inline Harness ClaimTeardown() {
+  struct State {
+    CheckedSync::Atomic<std::size_t> claim{1};  // owned by T0 (claim word 1)
+    CheckedSync::Cell<std::uint64_t> owner_data{0};
+    bool won[2] = {false, false};
+    std::uint64_t seen[2] = {0, 0};
+  };
+  auto st = std::make_shared<std::unique_ptr<State>>();
+  Harness h;
+  h.options.name = "claim_teardown";
+  h.options.preemption_bound = 2;
+  h.setup = [st] {
+    *st = std::make_unique<State>();
+    mc::Name(&(*st)->claim, "claim");
+    mc::Name(&(*st)->owner_data, "owner_data");
+  };
+  auto adopter = [st](int idx, std::size_t self) {
+    State& s = **st;
+    for (;;) {
+      if (ingress_protocol::TryClaim<CheckedSync>(s.claim, self)) {
+        s.won[idx] = true;
+        s.seen[idx] = s.owner_data;  // must be ordered after the handover
+        return;
+      }
+      // Claimed by the original owner (1) or the other adopter; give up
+      // once the other adopter has it, otherwise wait for the release.
+      const std::size_t holder = s.claim.load(std::memory_order_acquire);
+      if (holder != 0 && holder != 1 && holder != self) {
+        return;
+      }
+      CheckedSync::Yield();
+    }
+  };
+  h.threads = {
+      [st] {  // T0: owner — publish data, then hand the slot over
+        State& s = **st;
+        s.owner_data = 7;
+        ingress_protocol::ReleaseClaim<CheckedSync>(s.claim);
+      },
+      [adopter] { adopter(0, 2); },  // T1
+      [adopter] { adopter(1, 3); },  // T2
+  };
+  h.verify = [st] {
+    State& s = **st;
+    mc::Require(s.won[0] + s.won[1] == 1, "slot adoption must have exactly one winner");
+    const int w = s.won[0] ? 0 : 1;
+    mc::Require(s.seen[w] == 7, "adopter observed stale slot state");
+    const std::size_t holder = s.claim.load(std::memory_order_relaxed);
+    mc::Require(holder == (s.won[0] ? 2u : 3u), "claim word does not name the winner");
+  };
+  return h;
+}
+
+// ---- Submit vs StopAccepting: the shutdown handshake --------------------
+//
+// T0 runs one Submit through the in_submit/accepting handshake; T1 stops
+// intake, waits for quiescence, and drains. The protocol invariant: an
+// accepted request is always drained (never lost), and a request is never
+// drained twice.
+inline Harness SubmitVsShutdown() {
+  struct State {
+    CheckedSync::Atomic<std::uint32_t> in_submit{0};
+    CheckedSync::Atomic<bool> accepting{true};
+    SpscRing<int, CheckedSync> ring{2};
+    bool accepted = false;
+    std::vector<int> drained;
+  };
+  auto st = std::make_shared<std::unique_ptr<State>>();
+  Harness h;
+  h.options.name = "submit_vs_shutdown";
+  h.options.preemption_bound = 3;
+  h.setup = [st] {
+    *st = std::make_unique<State>();
+    mc::Name(&(*st)->in_submit, "in_submit");
+    mc::Name(&(*st)->accepting, "accepting");
+    mc::NameRange(&(*st)->ring, sizeof((*st)->ring), "ring");
+  };
+  h.threads = {
+      [st] {  // T0: submitter
+        State& s = **st;
+        const auto outcome = ingress_protocol::SubmitWithHandshake<CheckedSync>(
+            s.in_submit, s.accepting, [&s] { return s.ring.TryPush(42); });
+        s.accepted = outcome == ingress_protocol::SubmitOutcome::kAccepted;
+      },
+      [st] {  // T1: dispatcher shutdown — stop, quiesce, drain
+        State& s = **st;
+        ingress_protocol::StopAccepting<CheckedSync>(s.accepting);
+        while (!ingress_protocol::SlotQuiescent<CheckedSync>(s.in_submit)) {
+          CheckedSync::Yield();
+        }
+        int v = 0;
+        while (s.ring.TryPop(&v)) {
+          s.drained.push_back(v);
+        }
+      },
+  };
+  h.verify = [st] {
+    State& s = **st;
+    if (s.accepted) {
+      mc::Require(s.drained.size() == 1 && s.drained[0] == 42,
+                  "accepted request was lost by the shutdown drain");
+    } else {
+      mc::Require(s.drained.empty(), "rejected submit still left a request behind");
+    }
+  };
+  return h;
+}
+
+}  // namespace concord::modelcheck_harness
+
+#endif  // CONCORD_TESTS_MODELCHECK_HARNESSES_H_

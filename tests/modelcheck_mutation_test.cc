@@ -1,0 +1,125 @@
+// Mutation tests: prove the model checker has teeth. Each case weakens one
+// memory-order edge of a lock-free protocol (release -> relaxed, or seq_cst
+// -> weaker) and asserts the checker reports a violation with a
+// counterexample trace. A mutant that survives would mean the checker could
+// not catch that edge regressing in the real code either — so every one of
+// these edges is load-bearing, and the clean runs in modelcheck_test.cc are
+// meaningful.
+
+#include <gtest/gtest.h>
+
+#include "tests/modelcheck_harnesses.h"
+
+namespace concord::modelcheck_harness {
+namespace {
+
+void ExpectCaught(const mc::Result& result, const char* expected_fragment) {
+  ASSERT_FALSE(result.ok) << "mutant survived exploration (" << result.executions
+                          << " executions) — the checker has no teeth for this edge";
+  EXPECT_FALSE(result.violation.trace.empty()) << "violation has no counterexample trace";
+  EXPECT_NE(result.violation.message.find(expected_fragment), std::string::npos)
+      << "unexpected violation: " << result.violation.message;
+}
+
+// SpscRing: the producer publishes the slot payload via its release store of
+// head_. Demoted to relaxed, the consumer's payload read races.
+TEST(ModelCheckMutation, RingHeadPublishReleaseToRelaxed) {
+  mc::Mutation m;
+  m.site = "ring";
+  m.kind = mc::OpKind::kStore;
+  m.from = std::memory_order_release;
+  m.to = std::memory_order_relaxed;
+  m.thread = 0;  // producer only; the consumer's tail store is a separate edge
+  ExpectCaught(RingWraparound().Run({m}), "data race");
+}
+
+// Same edge through the batched path: TryPushBatch publishes a whole batch
+// with one release store.
+TEST(ModelCheckMutation, RingBatchPublishReleaseToRelaxed) {
+  mc::Mutation m;
+  m.site = "ring";
+  m.kind = mc::OpKind::kStore;
+  m.from = std::memory_order_release;
+  m.to = std::memory_order_relaxed;
+  m.thread = 0;
+  ExpectCaught(RingPartialBatch().Run({m}), "data race");
+}
+
+// The consumer's release store of tail_ is what licenses the producer to
+// overwrite a slot. Demoted, the producer's payload write races with the
+// consumer's payload read. Six pushes through the 4-slot ring force actual
+// slot reuse (the 4-push clean harness never laps).
+TEST(ModelCheckMutation, RingTailRetireReleaseToRelaxed) {
+  mc::Mutation m;
+  m.site = "ring";
+  m.kind = mc::OpKind::kStore;
+  m.from = std::memory_order_release;
+  m.to = std::memory_order_relaxed;
+  m.thread = 1;  // consumer side
+  ExpectCaught(RingWraparound(6).Run({m}), "data race");
+}
+
+// EventRing seqlock: the even sequence publish must be a release store. The
+// slot words live in heap storage, so the wildcard site addresses them; the
+// thread filter plus `from == release` pins the writer's publish edges.
+TEST(ModelCheckMutation, SeqlockEvenPublishReleaseToRelaxed) {
+  mc::Mutation m;
+  m.site = "*";
+  m.kind = mc::OpKind::kStore;
+  m.from = std::memory_order_release;
+  m.to = std::memory_order_relaxed;
+  m.thread = 0;  // writer
+  ExpectCaught(SeqlockEventRing().Run({m}), "torn read");
+}
+
+// The writer's release fence orders the odd mark before the payload words;
+// without it the reader's re-check can validate a torn read.
+TEST(ModelCheckMutation, SeqlockWriterReleaseFenceToRelaxed) {
+  mc::Mutation m;
+  m.kind = mc::OpKind::kFence;
+  m.from = std::memory_order_release;
+  m.to = std::memory_order_relaxed;
+  m.thread = 0;  // writer
+  ExpectCaught(SeqlockEventRing().Run({m}), "wrong sequence payload");
+}
+
+// ProducerSlot claim handover: ReleaseClaim's release store publishes the
+// owner's slot state to whichever thread adopts the slot.
+TEST(ModelCheckMutation, ClaimHandoverReleaseToRelaxed) {
+  mc::Mutation m;
+  m.site = "claim";
+  m.kind = mc::OpKind::kStore;
+  m.from = std::memory_order_release;
+  m.to = std::memory_order_relaxed;
+  m.thread = 0;  // the releasing owner
+  ExpectCaught(ClaimTeardown().Run({m}), "data race on owner_data");
+}
+
+// Shutdown handshake: the in_submit marker must be raised with seq_cst so
+// the dispatcher's quiescence scan cannot order before it (classic store
+// buffering). Demoted to release, an accepted request is lost.
+TEST(ModelCheckMutation, InSubmitMarkerSeqCstToRelease) {
+  mc::Mutation m;
+  m.site = "in_submit";
+  m.kind = mc::OpKind::kStore;
+  m.from = std::memory_order_seq_cst;
+  m.to = std::memory_order_release;
+  m.thread = 0;  // submitter
+  ExpectCaught(SubmitVsShutdown().Run({m}), "lost");
+}
+
+// The submitter's accepting check must also be seq_cst: demoted to relaxed
+// it can read a stale `true` after the dispatcher's scan already completed,
+// pushing into a ring nobody will drain.
+TEST(ModelCheckMutation, AcceptingCheckSeqCstToRelaxed) {
+  mc::Mutation m;
+  m.site = "accepting";
+  m.kind = mc::OpKind::kLoad;
+  m.from = std::memory_order_seq_cst;
+  m.to = std::memory_order_relaxed;
+  m.thread = 0;  // submitter
+  ExpectCaught(SubmitVsShutdown().Run({m}), "lost");
+}
+
+}  // namespace
+}  // namespace concord::modelcheck_harness

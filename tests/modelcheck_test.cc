@@ -1,0 +1,170 @@
+// Exhaustive schedule exploration of the runtime's lock-free protocols
+// (docs/modelcheck.md). Each harness must explore its entire interleaving
+// space within the preemption bound without a violation; the engine litmus
+// tests additionally pin the weak-memory semantics (store buffering is
+// found under relaxed atomics and ruled out under seq_cst).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tests/modelcheck_harnesses.h"
+
+namespace concord::modelcheck_harness {
+namespace {
+
+void ExpectCleanAndExhausted(const mc::Result& result) {
+  EXPECT_TRUE(result.ok) << result.violation.message;
+  if (!result.ok) {
+    for (const auto& line : result.violation.trace) {
+      ADD_FAILURE() << "  trace: " << line;
+    }
+  }
+  EXPECT_TRUE(result.exhausted)
+      << "exploration hit the execution cap after " << result.executions << " executions";
+}
+
+// ---- engine litmus tests ------------------------------------------------
+
+// Dekker/store-buffering: with relaxed atomics, both threads may read the
+// other's flag as 0. The checker must find this weak behavior — it is the
+// canonical outcome an interleaving-only (sequentially consistent) checker
+// cannot reach.
+TEST(ModelCheckEngine, FindsStoreBufferingUnderRelaxedAtomics) {
+  struct St {
+    CheckedSync::Atomic<int> x{0}, y{0};
+    int r0 = -1, r1 = -1;
+  };
+  auto st = std::make_shared<std::unique_ptr<St>>();
+  mc::Options options;
+  options.name = "litmus_sb_relaxed";
+  const auto result = mc::Explore(
+      options,
+      [st] {
+        *st = std::make_unique<St>();
+        mc::Name(&(*st)->x, "x");
+        mc::Name(&(*st)->y, "y");
+      },
+      {
+          [st] {
+            (*st)->x.store(1, std::memory_order_relaxed);
+            (*st)->r0 = (*st)->y.load(std::memory_order_relaxed);
+          },
+          [st] {
+            (*st)->y.store(1, std::memory_order_relaxed);
+            (*st)->r1 = (*st)->x.load(std::memory_order_relaxed);
+          },
+      },
+      [st] { mc::Require((*st)->r0 + (*st)->r1 > 0, "both loads read 0"); });
+  EXPECT_FALSE(result.ok) << "store buffering must be reachable under relaxed atomics";
+  EXPECT_FALSE(result.violation.trace.empty());
+}
+
+// The same litmus under seq_cst must exhaust without ever seeing both-zero.
+TEST(ModelCheckEngine, RulesOutStoreBufferingUnderSeqCst) {
+  struct St {
+    CheckedSync::Atomic<int> x{0}, y{0};
+    int r0 = -1, r1 = -1;
+  };
+  auto st = std::make_shared<std::unique_ptr<St>>();
+  mc::Options options;
+  options.name = "litmus_sb_sc";
+  const auto result = mc::Explore(
+      options, [st] { *st = std::make_unique<St>(); },
+      {
+          [st] {
+            (*st)->x.store(1);
+            (*st)->r0 = (*st)->y.load();
+          },
+          [st] {
+            (*st)->y.store(1);
+            (*st)->r1 = (*st)->x.load();
+          },
+      },
+      [st] { mc::Require((*st)->r0 + (*st)->r1 > 0, "seq_cst store buffering"); });
+  ExpectCleanAndExhausted(result);
+}
+
+// Release/acquire message passing is clean; the mutation suite (see
+// modelcheck_mutation_test.cc) proves the release edge is load-bearing.
+TEST(ModelCheckEngine, MessagePassingReleaseAcquireIsClean) {
+  struct St {
+    CheckedSync::Cell<int> data{0};
+    CheckedSync::Atomic<int> flag{0};
+    int got = -1;
+  };
+  auto st = std::make_shared<std::unique_ptr<St>>();
+  mc::Options options;
+  options.name = "litmus_mp";
+  const auto result = mc::Explore(
+      options,
+      [st] {
+        *st = std::make_unique<St>();
+        mc::Name(&(*st)->flag, "flag");
+        mc::Name(&(*st)->data, "data");
+      },
+      {
+          [st] {
+            (*st)->data = 42;
+            (*st)->flag.store(1, std::memory_order_release);
+          },
+          [st] {
+            while ((*st)->flag.load(std::memory_order_acquire) == 0) {
+              CheckedSync::Yield();
+            }
+            (*st)->got = (*st)->data;
+          },
+      },
+      [st] { mc::Require((*st)->got == 42, "stale data after acquire"); });
+  ExpectCleanAndExhausted(result);
+}
+
+// ---- protocol harnesses -------------------------------------------------
+
+TEST(ModelCheckProtocols, SpscRingWraparound) {
+  ExpectCleanAndExhausted(RingWraparound().Run());
+}
+
+TEST(ModelCheckProtocols, SpscRingPartialBatch) {
+  ExpectCleanAndExhausted(RingPartialBatch().Run());
+}
+
+TEST(ModelCheckProtocols, EventRingSeqlockReaderVsWriter) {
+  ExpectCleanAndExhausted(SeqlockEventRing().Run());
+}
+
+TEST(ModelCheckProtocols, ProducerSlotClaimTeardown) {
+  ExpectCleanAndExhausted(ClaimTeardown().Run());
+}
+
+TEST(ModelCheckProtocols, SubmitVsShutdownHandshake) {
+  ExpectCleanAndExhausted(SubmitVsShutdown().Run());
+}
+
+// The op summaries let tests (and humans) discover mutation sites without
+// hardcoding member offsets: the wraparound run must expose a release store
+// by the producer inside the ring object and an acquire load by the consumer.
+TEST(ModelCheckProtocols, LocationSummariesExposeProtocolEdges) {
+  const auto result = RingWraparound().Run();
+  ASSERT_TRUE(result.ok);
+  bool producer_release_store = false;
+  bool consumer_acquire_load = false;
+  for (const auto& loc : result.locations) {
+    if (loc.name.rfind("ring", 0) != 0) {
+      continue;
+    }
+    for (const auto& op : loc.ops) {
+      producer_release_store = producer_release_store ||
+                               (op.kind == mc::OpKind::kStore && op.thread == 0 &&
+                                op.order == std::memory_order_release);
+      consumer_acquire_load = consumer_acquire_load ||
+                              (op.kind == mc::OpKind::kLoad && op.thread == 1 &&
+                               op.order == std::memory_order_acquire);
+    }
+  }
+  EXPECT_TRUE(producer_release_store) << "producer's release index publish not observed";
+  EXPECT_TRUE(consumer_acquire_load) << "consumer's acquire index load not observed";
+}
+
+}  // namespace
+}  // namespace concord::modelcheck_harness

@@ -258,6 +258,79 @@ TEST_P(PolicyConformanceTest, SubmitRacingShardedShutdownConservesRequests) {
   EXPECT_EQ(handled.load(), accepted.load());
 }
 
+// Which global worker id this thread's setup_worker saw (-1 on the
+// dispatcher and on test threads). Fibers swap stacks, not OS threads, so
+// thread_local identifies the worker a handler is running on.
+thread_local int g_spill_worker = -1;
+
+// The 2-shard spill-over path, forced deterministically: shard 0's only
+// worker parks on a gate while a tiny ingress_capacity caps shard 0 at
+// kCapacity in-flight requests, so once its slab is exhausted every
+// round-robin placement onto shard 0 must take SubmitMulti's probe loop to
+// shard 1. The backpressure/accepting handshake this leans on is the same
+// Sync-parameterized ingress protocol the checked-atomics model checker
+// explores exhaustively (docs/modelcheck.md); this case pins the live
+// sharded composition of it — spill-over must conserve every accepted
+// request, and CI's TSan run covers the data-race side.
+TEST(PolicySpillOverTest, TwoShardSpillOverConservesRequests) {
+  constexpr std::uint64_t kRequests = 200;
+  constexpr std::size_t kCapacity = 4;
+  ShardedRuntime::Options options;
+  options.shard.worker_count = 1;
+  options.shard.jbsq_depth = 2;
+  options.shard.quantum_us = 50.0;
+  options.shard.policy = PolicyKind::kConcordJbsq;
+  // The dispatcher must never run the gated handler, or shard 0's drain
+  // loop would park with it.
+  options.shard.work_conserving_dispatcher = false;
+  options.shard.ingress_capacity = kCapacity;
+  options.shard_count = 2;
+  options.placement = ShardPlacement::kRoundRobin;
+
+  std::atomic<bool> gate_open{false};
+  std::atomic<std::uint64_t> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.setup_worker = [](int worker) { g_spill_worker = worker; };
+  callbacks.handle_request = [&](const RequestView&) {
+    // Global worker 0 is shard 0's worker; it parks until every request has
+    // been accepted somewhere. A plain spin (no probes) cannot be preempted,
+    // so the park pins shard 0's capacity for the whole submission loop.
+    if (g_spill_worker == 0) {
+      while (!gate_open.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+    handled.fetch_add(1);
+  };
+  ShardedRuntime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    while (!runtime.Submit(i, 0, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  // Every request was accepted while shard 0 could hold at most kCapacity of
+  // them, so the spill path carried the rest. Only now may shard 0 drain.
+  gate_open.store(true, std::memory_order_release);
+  runtime.WaitIdle();
+  runtime.Shutdown();
+
+  EXPECT_EQ(handled.load(), kRequests);
+  const Runtime::Stats total = runtime.GetStats();
+  EXPECT_EQ(total.submitted, kRequests);
+  EXPECT_EQ(total.completed, kRequests) << "spill-over leaked or duplicated a request";
+  const Runtime::Stats shard0 = runtime.shard(0).GetStats();
+  const Runtime::Stats shard1 = runtime.shard(1).GetStats();
+  EXPECT_EQ(shard0.submitted + shard1.submitted, kRequests);
+  EXPECT_EQ(shard0.completed, shard0.submitted);
+  EXPECT_EQ(shard1.completed, shard1.submitted);
+  // Proof the spill actually happened: round-robin alone would have placed
+  // ~half the load on shard 0, but its slab could never hold more than
+  // kCapacity un-retired requests.
+  EXPECT_LE(shard0.submitted, kCapacity);
+  EXPECT_GE(shard1.submitted, kRequests - kCapacity);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllPoliciesAndShardCounts, PolicyConformanceTest,
     testing::ValuesIn(std::vector<ConformanceParam>{

@@ -1,0 +1,62 @@
+// Codegen-identity harness for the Sync parameterization layer
+// (src/common/sync.h). cmake/CheckSyncCodegen.cmake compiles this TU to
+// assembly twice — once against the production StdSync and once with
+// -DCONCORD_SYNC_BASELINE (raw std::atomic reference definitions) — and
+// requires the output to be byte-identical, proving the parameterization
+// that lets the model checker run the real protocol code adds zero cost to
+// the production hot path.
+//
+// Every externally visible function below pins one protocol hot path:
+// ring push/pop (single and batched), the seqlock event publish/drain, and
+// the ingress claim/handshake templates.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sync.h"
+#include "src/runtime/ingress_protocol.h"
+#include "src/runtime/spsc_ring.h"
+#include "src/telemetry/event_ring.h"
+
+namespace harness {
+
+using Ring = concord::SpscRing<int, concord::StdSync>;
+
+bool RingPush(Ring& ring, int value) { return ring.TryPush(value); }
+bool RingPop(Ring& ring, int* out) { return ring.TryPop(out); }
+std::size_t RingPushBatch(Ring& ring, const int* values, std::size_t n) {
+  return ring.TryPushBatch(values, n);
+}
+std::size_t RingPopBatch(Ring& ring, int* out, std::size_t n) { return ring.TryPopBatch(out, n); }
+std::size_t RingSize(const Ring& ring) { return ring.SizeApprox(); }
+
+struct Record {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+using EventRing = concord::telemetry::EventRing<Record, concord::StdSync>;
+
+void EventPush(EventRing& ring, const Record& record) { ring.Push(record); }
+std::size_t EventDrain(EventRing& ring, std::vector<Record>* out) { return ring.Drain(out); }
+
+bool Claim(concord::StdSync::Atomic<std::size_t>& claim, std::size_t self) {
+  return concord::ingress_protocol::TryClaim<concord::StdSync>(claim, self);
+}
+void Release(concord::StdSync::Atomic<std::size_t>& claim) {
+  concord::ingress_protocol::ReleaseClaim<concord::StdSync>(claim);
+}
+concord::ingress_protocol::SubmitOutcome Submit(
+    concord::StdSync::Atomic<std::uint32_t>& in_submit,
+    concord::StdSync::Atomic<bool>& accepting, bool (*push)()) {
+  return concord::ingress_protocol::SubmitWithHandshake<concord::StdSync>(in_submit, accepting,
+                                                                          push);
+}
+void Stop(concord::StdSync::Atomic<bool>& accepting) {
+  concord::ingress_protocol::StopAccepting<concord::StdSync>(accepting);
+}
+bool Quiescent(concord::StdSync::Atomic<std::uint32_t>& in_submit) {
+  return concord::ingress_protocol::SlotQuiescent<concord::StdSync>(in_submit);
+}
+
+}  // namespace harness

@@ -1,0 +1,66 @@
+// atomics_lint: command-line front end for the atomics lint
+// (src/analysis/atomics_lint.h). Lints all named files/directories as ONE
+// cross-file unit — acquire/release pairing is resolved across every file on
+// the command line, so pass the whole subsystem, not one file at a time.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage error.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/atomics_lint.h"
+
+namespace {
+
+void PrintUsage() {
+  std::cerr << "usage: atomics_lint [--rationale-window=N] <file-or-dir>...\n"
+            << "\n"
+            << "Lints atomics usage: defaulted memory orders, undocumented seq_cst,\n"
+            << "acquire/release edges with no matching other half (cross-file), and\n"
+            << "non-atomic fields in *Shared / `concord-atomics: shared-struct` structs.\n"
+            << "Suppressions: concord-atomics: allow-default | allow-seq-cst |\n"
+            << "allow-unpaired | allow-plain-field.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  concord::AtomicsLintConfig config;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string window_flag = "--rationale-window=";
+    if (arg.rfind(window_flag, 0) == 0) {
+      config.rationale_window_lines = std::atoi(arg.c_str() + window_flag.size());
+      if (config.rationale_window_lines <= 0) {
+        std::cerr << "atomics_lint: bad value in " << arg << "\n";
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "atomics_lint: unknown flag " << arg << "\n";
+      PrintUsage();
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  const std::vector<concord::AtomicsLintViolation> violations =
+      concord::LintAtomicsTree(roots, config);
+  for (const concord::AtomicsLintViolation& violation : violations) {
+    std::cout << concord::AtomicsViolationToString(violation) << "\n";
+  }
+  if (!violations.empty()) {
+    std::cout << violations.size() << " atomics lint violation"
+              << (violations.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  std::cout << "atomics lint clean\n";
+  return 0;
+}
