@@ -25,10 +25,14 @@ void Run(int argc, char** argv) {
 
   for (double q_us : {5.0, 2.0}) {
     std::cout << "--- scheduling quantum " << q_us << " us ---\n";
+    // EDF deadlines at 10x each class's clean service (1us / 100us modes),
+    // the same ratio the live comparison below injects.
     const std::vector<SystemConfig> systems = {
         MakePersephoneFcfs(14),
         MakeShinjuku(14, UsToNs(q_us)),
         MakeConcord(14, UsToNs(q_us)),
+        MakeEdfNonPreemptive(14, {UsToNs(10.0), UsToNs(1000.0)}),
+        MakeApproxSrpt(14),
     };
     RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(25.0, 275.0, 11), params);
     PrintSloCrossovers(systems, costs, *spec.distribution, 20.0, 290.0, params,

@@ -24,10 +24,13 @@ void Run(int argc, char** argv) {
 
   for (double q_us : {5.0, 2.0}) {
     std::cout << "--- scheduling quantum " << q_us << " us ---\n";
+    // EDF deadlines at 10x each class's clean service (0.5us / 500us modes).
     const std::vector<SystemConfig> systems = {
         MakePersephoneFcfs(14),
         MakeShinjuku(14, UsToNs(q_us)),
         MakeConcord(14, UsToNs(q_us)),
+        MakeEdfNonPreemptive(14, {UsToNs(5.0), UsToNs(5000.0)}),
+        MakeApproxSrpt(14),
     };
     RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(300.0, 3600.0, 12), params);
     PrintSloCrossovers(systems, costs, *spec.distribution, 100.0, 3750.0, params,

@@ -26,10 +26,14 @@ void Run(int argc, char** argv) {
   {
     std::cout << "--- Fixed(1us), quantum 5us ---\n";
     const WorkloadSpec spec = MakeWorkload(WorkloadId::kFixed1us);
+    // Uniform service means uniform 10us deadlines: EDF degenerates to FCFS
+    // and SRPT has nothing to separate — the expected null result.
     const std::vector<SystemConfig> systems = {
         MakePersephoneFcfs(14),
         MakeShinjuku(14, UsToNs(5.0)),
         MakeConcord(14, UsToNs(5.0)),
+        MakeEdfNonPreemptive(14, {UsToNs(10.0)}),
+        MakeApproxSrpt(14),
     };
     RunSlowdownSweep(systems, costs, *spec.distribution, LinearLoads(400.0, 3200.0, 8), params);
     PrintSloCrossovers(systems, costs, *spec.distribution, 200.0, 3600.0, params, 1);

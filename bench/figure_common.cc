@@ -154,8 +154,15 @@ void RunLivePolicyComparison(double quantum_us, double short_us, double long_us,
             << selection.shard_count << " shard" << (selection.shard_count == 1 ? "" : "s")
             << ", q=" << quantum_us << "us) ---\n";
   TablePrinter table({"policy", "completed", "p50_slowdown", "p99_slowdown", "p999_slowdown"});
-  for (PolicyKind policy : {PolicyKind::kFcfsNonPreemptive, PolicyKind::kSingleQueuePreemptive,
-                            PolicyKind::kConcordJbsq}) {
+  // Deadlines at 10x clean service: tight enough that EDF's ordering tracks
+  // size (short requests get earlier deadlines), loose enough that a busy
+  // host still mostly meets them.
+  const double short_deadline_us = short_us * 10.0;
+  const double long_deadline_us = long_us * 10.0;
+  for (PolicyKind policy :
+       {PolicyKind::kFcfsNonPreemptive, PolicyKind::kSingleQueuePreemptive,
+        PolicyKind::kConcordJbsq, PolicyKind::kEdfNonPreemptive, PolicyKind::kApproxSrpt,
+        PolicyKind::kConcordJbsqAdaptive}) {
     ShardedRuntime::Options options;
     options.shard.worker_count = 2;
     options.shard.quantum_us = quantum_us;
@@ -199,7 +206,8 @@ void RunLivePolicyComparison(double quantum_us, double short_us, double long_us,
         std::this_thread::yield();
       }
       const int request_class = (long_every > 0 && i % long_every == long_every - 1) ? 1 : 0;
-      while (!runtime.Submit(static_cast<std::uint64_t>(i), request_class, nullptr)) {
+      const double deadline_us = request_class == 1 ? long_deadline_us : short_deadline_us;
+      while (!runtime.Submit(static_cast<std::uint64_t>(i), request_class, nullptr, deadline_us)) {
         std::this_thread::yield();
       }
     }

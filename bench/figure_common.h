@@ -62,11 +62,14 @@ telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double serv
 
 // Live head-to-head policy comparison: runs the same open-loop bimodal spin
 // mix (every `long_every`-th request runs `long_us`, the rest `short_us`;
-// long_every == 0 means all-short) through all three executable policies on
+// long_every == 0 means all-short) through all six executable policies
+// (fcfs, single-queue, concord-jbsq, edf, approx-srpt, concord-adaptive) on
 // the real runtime and prints one table of p50/p99/p99.9 slowdown per
 // policy — the live analogue of the fig06/07/08 model curves, host-scaled
-// (2 workers per shard). Honors --shards= / --placement=; --policy= is
-// ignored here since the comparison spans every policy.
+// (2 workers per shard). Every request carries a per-class deadline of 10x
+// its clean service time, so the deadline-aware policies have something to
+// order by (the others ignore it). Honors --shards= / --placement=;
+// --policy= is ignored here since the comparison spans every policy.
 void RunLivePolicyComparison(double quantum_us, double short_us, double long_us, int long_every,
                              int request_count, double gap_us, int argc, char** argv);
 

@@ -358,6 +358,22 @@ int RunJsonBench(const std::string& json_out, int argc, char** argv) {
   return telemetry::WriteTextFile(json.str(), json_out, "bench json") ? 0 : 1;
 }
 
+// --deadline-us=A[,B,...] / CONCORD_DEADLINE_US: per-class relative deadlines
+// in microseconds for the export workload (entry c applies to class c; <= 0
+// or missing means no deadline). With --policy=edf this makes the exported
+// trace exercise the analyzer's EDF dispatch-ordering check.
+std::vector<double> DeadlinesFromArgsOrEnv(int argc, char** argv) {
+  const std::string spec =
+      telemetry::OutPathFromFlagOrEnv(argc, argv, "--deadline-us=", "CONCORD_DEADLINE_US");
+  std::vector<double> deadline_us;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    deadline_us.push_back(std::atof(item.c_str()));
+  }
+  return deadline_us;
+}
+
 // Post-benchmark export workload behind --telemetry-out= / --trace-out= /
 // --metrics-out=: a mixed short/long spin mix (90% 5us, 10% 100us at
 // q=20us) that exercises preemption signals, co-op yields, JBSQ
@@ -403,10 +419,16 @@ int RunExportWorkload(int argc, char** argv) {
         sampler_options, [&runtime] { return runtime.GetTelemetry(); });
     sampler->Start();
   }
+  const std::vector<double> deadline_us = DeadlinesFromArgsOrEnv(argc, argv);
   // Driver loop on the main thread, not handler code. concord-lint: allow-no-probe
   for (std::size_t i = 0; i < request_count; ++i) {
     const int request_class = i % 10 == 9 ? 1 : 0;
-    while (!runtime.Submit(static_cast<std::uint64_t>(i), request_class, nullptr)) {
+    const double deadline = static_cast<std::size_t>(request_class) < deadline_us.size()
+                                ? deadline_us[static_cast<std::size_t>(request_class)]
+                                : 0.0;
+    const auto id = static_cast<std::uint64_t>(i);
+    while (!(deadline > 0.0 ? runtime.Submit(id, request_class, nullptr, deadline)
+                            : runtime.Submit(id, request_class, nullptr))) {
       std::this_thread::yield();
     }
   }
@@ -460,6 +482,7 @@ int main(int argc, char** argv) {
         std::strncmp(argv[i], "--policy=", 9) == 0 ||
         std::strncmp(argv[i], "--shards=", 9) == 0 ||
         std::strncmp(argv[i], "--placement=", 12) == 0 ||
+        std::strncmp(argv[i], "--deadline-us=", 14) == 0 ||
         std::strncmp(argv[i], "--requests=", 11) == 0) {
       continue;
     }

@@ -1,0 +1,87 @@
+# Compiles the central-queue FIFO hot paths
+# (tests/central_queue_codegen_harness.cc) to assembly twice — once against
+# the production header and once with -DCONCORD_CENTRAL_QUEUE_FIFO_ONLY,
+# which removes the ordered-policy enqueue (PushOrdered) entirely — and
+# requires the output to be identical modulo compiler-local label numbering
+# (removing PushOrdered from the TU shifts gcc's internal .LFB/.LFE counters
+# even when every emitted instruction is the same, so local labels are
+# canonically renumbered by first appearance before the byte comparison).
+# This pins the deadline/size-aware ordering hook's zero-cost guarantee at
+# the codegen level: adding EDF and approx-SRPT ordering to the central
+# queue can never silently change the code ConcordJbsq's FIFO dispatch path
+# executes. Companion to CheckSyncCodegen.cmake / CheckProbeCodegen.cmake.
+#
+# Invoked by ctest as:
+#   cmake -DCXX=<compiler> -DSRC=<source dir> -DOUT=<scratch dir>
+#         -P CheckCentralQueueCodegen.cmake
+
+foreach(var CXX SRC OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+foreach(mode production fifo_only)
+  set(defines "")
+  if(mode STREQUAL "fifo_only")
+    set(defines "-DCONCORD_CENTRAL_QUEUE_FIFO_ONLY")
+  endif()
+  execute_process(
+    COMMAND "${CXX}" -std=c++20 -O2 -S -I "${SRC}" ${defines}
+            "${SRC}/tests/central_queue_codegen_harness.cc"
+            -o "${OUT}/central_queue_${mode}.s"
+    RESULT_VARIABLE status
+    ERROR_VARIABLE errors)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "compiling central_queue_codegen_harness.cc (${mode}) failed:\n${errors}")
+  endif()
+
+  # Canonically renumber assembler-local labels (.L5, .LFB2560, .LC0, ...)
+  # by order of first appearance, so that counter drift from the removed
+  # PushOrdered definition cannot mask instruction-stream identity.
+  file(READ "${OUT}/central_queue_${mode}.s" asm_text)
+  string(REGEX MATCHALL "\\.L[A-Za-z_]*[0-9]+" asm_labels "${asm_text}")
+  set(unique_labels "")
+  foreach(label IN LISTS asm_labels)
+    list(FIND unique_labels "${label}" already_seen)
+    if(already_seen EQUAL -1)
+      list(APPEND unique_labels "${label}")
+    endif()
+  endforeach()
+  # Longer labels first so replacing .L2 cannot clobber the prefix of .L25;
+  # entries are keyed by zero-padded label length for the sort.
+  set(ordinal 0)
+  set(mapping "")
+  foreach(label IN LISTS unique_labels)
+    string(LENGTH "${label}" label_length)
+    math(EXPR padded "1000 + ${label_length}")
+    list(APPEND mapping "${padded}|${label}=<LBL${ordinal}>")
+    math(EXPR ordinal "${ordinal} + 1")
+  endforeach()
+  list(SORT mapping COMPARE STRING ORDER DESCENDING)
+  foreach(entry IN LISTS mapping)
+    string(REGEX REPLACE "^[0-9]+\\|" "" entry "${entry}")
+    string(FIND "${entry}" "=<LBL" split_at)
+    string(SUBSTRING "${entry}" 0 ${split_at} label)
+    math(EXPR canonical_at "${split_at} + 1")
+    string(SUBSTRING "${entry}" ${canonical_at} -1 canonical)
+    string(REPLACE "${label}" "${canonical}" asm_text "${asm_text}")
+  endforeach()
+  file(WRITE "${OUT}/central_queue_${mode}.normalized.s" "${asm_text}")
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT}/central_queue_production.normalized.s"
+          "${OUT}/central_queue_fifo_only.normalized.s"
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+      "central-queue FIFO hot-path assembly differs with and without the "
+      "ordered-policy enqueue compiled in; the ordering hook must stay "
+      "zero-cost for ConcordJbsq "
+      "(diff ${OUT}/central_queue_production.s ${OUT}/central_queue_fifo_only.s)")
+endif()
+message(STATUS "central-queue FIFO hot-path codegen is byte-identical with the ordering hook compiled out")

@@ -87,7 +87,13 @@ LoadgenReport OpenLoopLoadgen::RunLoop(RuntimeT* runtime, double offered_krps,
       }
     }
     const ServiceSample sample = distribution_.Sample(rng_);
-    if (runtime->Submit(id, sample.request_class, nullptr)) {
+    const auto cls = static_cast<std::size_t>(sample.request_class);
+    const double deadline_us =
+        cls < class_deadline_us_.size() ? class_deadline_us_[cls] : 0.0;
+    const bool accepted = deadline_us > 0.0
+                              ? runtime->Submit(id, sample.request_class, nullptr, deadline_us)
+                              : runtime->Submit(id, sample.request_class, nullptr);
+    if (accepted) {
       ++report.issued;
     } else {
       ++report.dropped;  // open loop: ingress full means overload

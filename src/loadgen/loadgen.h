@@ -41,6 +41,15 @@ class OpenLoopLoadgen {
   OpenLoopLoadgen(const ServiceDistribution& distribution, std::vector<double> class_service_us,
                   std::uint64_t seed);
 
+  // Per-class relative deadlines in microseconds, injected at submit time
+  // (deadline-aware policies order the central queue by them; others ignore
+  // them, at the cost of one extra store per submit). Entry c <= 0 means
+  // class c has no deadline; classes beyond the vector's size likewise.
+  // Empty (the default) restores the deadline-free Submit() overload.
+  void SetClassDeadlines(std::vector<double> deadline_us) {
+    class_deadline_us_ = std::move(deadline_us);
+  }
+
   // The completion hook to install as Runtime::Callbacks::on_complete before
   // Start(). Runs on the dispatcher thread; deliberately lock-free so a
   // completion never stalls the dispatch loop (see OnComplete for the
@@ -68,6 +77,7 @@ class OpenLoopLoadgen {
 
   const ServiceDistribution& distribution_;
   std::vector<double> class_service_us_;
+  std::vector<double> class_deadline_us_;  // empty: no deadlines injected
   Rng rng_;
 
   // Written by the dispatcher thread (OnComplete) while a run is in flight,

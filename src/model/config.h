@@ -41,6 +41,7 @@ enum class PreemptMechanism {
 enum class CentralQueuePolicy {
   kFcfs,  // arrival order; preempted requests rejoin the tail (quantum RR ~ PS)
   kSrpt,  // shortest remaining processing time first (§3.1 extension)
+  kEdf,   // earliest absolute deadline first; deadline-free requests last
 };
 
 // Models application critical sections during which preemption must be
@@ -69,6 +70,13 @@ struct SystemConfig {
   bool preempt_only_when_queue_nonempty = true;
 
   CentralQueuePolicy central_policy = CentralQueuePolicy::kFcfs;
+
+  // Per-class relative deadlines in nanoseconds, stamped onto arrivals as
+  // absolute deadlines (arrival + entry). Entry c <= 0 or missing means
+  // class c carries no deadline; only kEdf consults them. Mirrors the live
+  // runtime's per-class `--deadline-us=` injection so simulator and runtime
+  // EDF runs are directly comparable.
+  std::vector<double> class_deadline_ns;
 
   // §3.3: the dispatcher runs not-yet-started requests when all worker
   // queues are full, under rdtsc() self-preemption.

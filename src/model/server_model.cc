@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/cycles.h"
 #include "src/common/logging.h"
@@ -117,8 +118,25 @@ ServerModel::ReqState* ServerModel::CentralPopForWorker() {
     central_.pop_front();
     return req;
   }
-  // SRPT: shortest remaining processing time first.
   auto best = central_.begin();
+  if (config_.central_policy == CentralQueuePolicy::kEdf) {
+    // EDF: earliest absolute deadline first; deadline-free requests (0)
+    // sort last. Strict < keeps FIFO order among ties, matching the
+    // runtime's stable ordered insert.
+    const auto key = [](const ReqState* req) {
+      return req->deadline_ns > 0.0 ? req->deadline_ns
+                                    : std::numeric_limits<double>::infinity();
+    };
+    for (auto it = central_.begin(); it != central_.end(); ++it) {
+      if (key(*it) < key(*best)) {
+        best = it;
+      }
+    }
+    ReqState* req = *best;
+    central_.erase(best);
+    return req;
+  }
+  // SRPT: shortest remaining processing time first.
   for (auto it = central_.begin(); it != central_.end(); ++it) {
     if ((*it)->remaining_clean_ns < (*best)->remaining_clean_ns) {
       best = it;
@@ -734,6 +752,11 @@ void ServerModel::InjectArrival(Request request, bool warmup) {
   req->arrival_ns = sim_->NowNs();
   req->clean_service_ns = request.service_ns;
   req->remaining_clean_ns = request.service_ns;
+  const auto cls = static_cast<std::size_t>(request.request_class);
+  req->deadline_ns = cls < config_.class_deadline_ns.size() &&
+                             config_.class_deadline_ns[cls] > 0.0
+                         ? req->arrival_ns + config_.class_deadline_ns[cls]
+                         : 0.0;
   req->warmup = warmup;
   // The networker is a serial stage ahead of the dispatcher: each request
   // occupies it for networker_ns before reaching the dispatcher's ingress

@@ -82,6 +82,7 @@ class ServerModel {
     double arrival_ns = 0.0;
     double clean_service_ns = 0.0;
     double remaining_clean_ns = 0.0;
+    double deadline_ns = 0.0;  // absolute; 0 = no deadline (sorts last in EDF)
     bool started = false;
     bool on_dispatcher = false;
     bool warmup = false;

@@ -1,5 +1,7 @@
 #include "src/model/systems.h"
 
+#include <utility>
+
 namespace concord {
 
 SystemConfig MakeShinjuku(int workers, double quantum_ns) {
@@ -63,6 +65,37 @@ SystemConfig MakeUipiSystem(int workers, double quantum_ns) {
   SystemConfig config = MakeShinjuku(workers, quantum_ns);
   config.name = "UIPI";
   config.preempt = PreemptMechanism::kUipi;
+  return config;
+}
+
+SystemConfig MakeEdfNonPreemptive(int workers, std::vector<double> class_deadline_ns) {
+  SystemConfig config;
+  config.name = "EDF";
+  config.worker_count = workers;
+  config.queue = QueueDiscipline::kJbsq;
+  config.jbsq_depth = 1;  // ordered hand-off: at most one run-ahead per worker
+  config.preempt = PreemptMechanism::kNone;
+  config.central_policy = CentralQueuePolicy::kEdf;
+  config.class_deadline_ns = std::move(class_deadline_ns);
+  config.instrumented_workers = true;
+  return config;
+}
+
+SystemConfig MakeApproxSrpt(int workers) {
+  SystemConfig config;
+  config.name = "approx-SRPT";
+  config.worker_count = workers;
+  config.queue = QueueDiscipline::kJbsq;
+  config.jbsq_depth = 1;
+  config.preempt = PreemptMechanism::kNone;
+  config.central_policy = CentralQueuePolicy::kSrpt;
+  config.instrumented_workers = true;
+  return config;
+}
+
+SystemConfig MakeConcordAdaptive(int workers, double converged_quantum_ns, int jbsq_depth) {
+  SystemConfig config = MakeConcord(workers, converged_quantum_ns, jbsq_depth);
+  config.name = "Concord-adaptive";
   return config;
 }
 

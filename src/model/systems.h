@@ -43,6 +43,26 @@ SystemConfig MakeUipiSystem(int workers, double quantum_ns);
 SystemConfig MakeCoopWorkStealing(int workers, double quantum_ns,
                                   bool scheduler_steals_work = true);
 
+// Deadline/size-aware presets mirroring the live runtime's policies (the
+// policy cross-validation tests compare each against its runtime twin):
+//
+// Non-preemptive EDF: JBSQ(1) hand-off, run-to-completion, central queue
+// ordered by absolute deadline. `class_deadline_ns[c]` is class c's
+// relative deadline (<= 0 / missing = none).
+SystemConfig MakeEdfNonPreemptive(int workers, std::vector<double> class_deadline_ns = {});
+
+// Approximate SRPT: JBSQ(1) hand-off, run-to-completion, central queue
+// ordered by expected remaining work. The simulator orders by the exact
+// remaining service time — the limit the runtime's per-class EWMA estimator
+// approaches on workloads whose per-class service times concentrate.
+SystemConfig MakeApproxSrpt(int workers);
+
+// Concord with the adaptive-quantum controller's *converged* quantum: the
+// simulator has no controller, so callers pass the quantum the live
+// controller settled on (Runtime::current_quantum_us) to get the matching
+// steady-state preset.
+SystemConfig MakeConcordAdaptive(int workers, double converged_quantum_ns, int jbsq_depth = 2);
+
 }  // namespace concord
 
 #endif  // CONCORD_SRC_MODEL_SYSTEMS_H_

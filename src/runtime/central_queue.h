@@ -5,6 +5,14 @@
 // work-conserving scan are plain pointer writes, so steady-state dispatch
 // never touches a node-allocating container (the PR 4 zero-allocation
 // guarantee). Empty <=> head == tail == nullptr.
+//
+// Ordered policies (EDF, approx-SRPT; see policy.h QueueOrder) enqueue with
+// PushOrdered instead of PushBack; every other operation is shared. The FIFO
+// operations are byte-identical whether or not PushOrdered is compiled in:
+// tests/central_queue_codegen_harness.cc builds this header twice — once
+// with CONCORD_CENTRAL_QUEUE_FIFO_ONLY defined, which removes PushOrdered
+// entirely — and cmake/CheckCentralQueueCodegen.cmake pins the two objects
+// identical, proving the ConcordJbsq hot path unchanged by the ordering hook.
 
 #ifndef CONCORD_SRC_RUNTIME_CENTRAL_QUEUE_H_
 #define CONCORD_SRC_RUNTIME_CENTRAL_QUEUE_H_
@@ -30,6 +38,39 @@ class CentralQueue {
     tail_ = request;
     ++size_;
   }
+
+#ifndef CONCORD_CENTRAL_QUEUE_FIFO_ONLY
+  // Stable ascending insert by request->order_key (set by the dispatcher at
+  // enqueue): a new request goes after every queued request with key <= its
+  // own, so equal keys keep arrival order and a stream of equal keys degrades
+  // to exactly PushBack. Dispatcher-only, intrusive, no allocation — the scan
+  // is bounded by central-queue occupancy like TakeFirstUnstarted.
+  // concord-lint: allow-no-probe (dispatcher-side scan, bounded by central queue occupancy)
+  void PushOrdered(RuntimeRequest* request, std::uint64_t key) {
+    request->order_key = key;
+    if (tail_ == nullptr || tail_->order_key <= key) {
+      PushBack(request);
+      return;
+    }
+    RuntimeRequest* prev = nullptr;
+    RuntimeRequest* cur = head_;
+    // concord-lint: allow-no-probe (dispatcher-side scan, bounded by central queue occupancy)
+    while (cur != nullptr && cur->order_key <= key) {
+      prev = cur;
+      cur = cur->next;
+    }
+    request->next = cur;
+    if (prev == nullptr) {
+      head_ = request;
+    } else {
+      prev->next = request;
+    }
+    // cur != nullptr here: the tail-key fast path above already handled every
+    // append, so the insert always lands before an existing node and tail_
+    // never moves.
+    ++size_;
+  }
+#endif  // CONCORD_CENTRAL_QUEUE_FIFO_ONLY
 
   RuntimeRequest* PopFront() {
     RuntimeRequest* request = head_;

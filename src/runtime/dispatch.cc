@@ -8,6 +8,8 @@
 // instruction sequence of the pre-policy runtime — no virtual calls, no
 // steady-state allocations.
 
+#include <algorithm>
+#include <limits>
 #include <mutex>
 
 #include "src/common/backoff.h"
@@ -35,6 +37,30 @@ void DispatcherProbeFn(void* arg) {
 thread_local DispatcherProbeState t_dispatcher_probe_state;
 
 }  // namespace
+
+// Central-queue routing through the order cached at Start(). For every
+// pre-existing policy queue_order_ is kFifo and this is PushBack behind one
+// predicted branch; the ordered policies pay the insert scan instead.
+// concord-lint: allow-no-probe (dispatcher loop body; delegates to bounded queue ops)
+void Runtime::EnqueueCentral(RuntimeRequest* request) {
+  if (queue_order_ == SchedulingPolicy::QueueOrder::kFifo) {
+    central_.PushBack(request);
+    return;
+  }
+  std::uint64_t key;
+  if (queue_order_ == SchedulingPolicy::QueueOrder::kEarliestDeadline) {
+    // No deadline sorts last, in arrival order among themselves.
+    key = request->deadline_tsc == 0 ? std::numeric_limits<std::uint64_t>::max()
+                                     : request->deadline_tsc;
+  } else {
+    // Shortest expected remaining: the per-class EWMA the dispatcher learns
+    // from completions. Cold classes key at 0 (FCFS among themselves).
+    const std::size_t slot = static_cast<std::size_t>(
+        std::clamp(request->request_class, 0, static_cast<int>(kServiceClassSlots) - 1));
+    key = srpt_estimate_tsc_[slot];
+  }
+  central_.PushOrdered(request, key);
+}
 
 // Adopts submitted requests from every registered producer ring, one batched
 // pop per ring per pass (round-robin across producers for fairness; the
@@ -64,7 +90,7 @@ void Runtime::DrainIngress(bool* progress) {
     // concord-lint: allow-no-probe (dispatcher loop body; bounded by the drain batch size)
     for (std::size_t i = 0; i < n; ++i) {
       RuntimeRequest* request = ingress_scratch_[i];
-      central_.PushBack(request);
+      EnqueueCentral(request);
       if constexpr (telemetry::kEnabled) {
         if (tracing_) {
           trace_scratch_.push_back(
@@ -123,9 +149,10 @@ void Runtime::DrainOutboxes(bool* progress) {
       if (request->finished) {
         CompleteRequest(request, /*on_dispatcher=*/false);
       } else {
-        // Preempted: back on the central queue tail (quantum round-robin).
+        // Preempted: re-queued through the policy's order (the FIFO policies
+        // go back on the tail — quantum round-robin — exactly as before).
         telemetry::BumpSingleWriter(preemptions_);
-        central_.PushBack(request);
+        EnqueueCentral(request);
       }
     }
   }
@@ -175,12 +202,19 @@ void Runtime::PushJbsq(bool* progress) {
       if (request->lifecycle.dispatch_tsc == 0) {
         request->lifecycle.dispatch_tsc = pass_dispatch_tsc;
       }
+      if (request->deadline_tsc != 0) {
+        telemetry::BumpSingleWriter(
+            dispatcher_telemetry_.slack_histogram[SlackBucket(pass_dispatch_tsc,
+                                                              request->deadline_tsc)]);
+      }
       if (tracing_) {
         // detail = JBSQ occupancy right after this placement; the offline
-        // analyzer checks it against k.
+        // analyzer checks it against k. end_tsc is unused by dispatch
+        // records, so it carries the request's absolute deadline (0 = none)
+        // for the offline EDF ordering check.
         trace_scratch_.push_back(trace::TraceRecord{
-            request->id, pass_dispatch_tsc, 0, trace::RecordKind::kDispatch, best,
-            request->request_class,
+            request->id, pass_dispatch_tsc, request->deadline_tsc, trace::RecordKind::kDispatch,
+            best, request->request_class,
             static_cast<std::uint32_t>(outstanding_[static_cast<std::size_t>(best)] + 1)});
       }
     }
@@ -301,9 +335,16 @@ void Runtime::MaybeRunAppRequest() {
         request->lifecycle.dispatch_tsc = dispatch_tsc;
       }
       telemetry::BumpSingleWriter(dispatcher_telemetry_.requests_started);
+      if (request->deadline_tsc != 0) {
+        telemetry::BumpSingleWriter(
+            dispatcher_telemetry_.slack_histogram[SlackBucket(dispatch_tsc,
+                                                              request->deadline_tsc)]);
+      }
       if (tracing_) {
-        // Adoption is the dispatcher-pinned analogue of a JBSQ push.
-        trace_scratch_.push_back(trace::TraceRecord{request->id, dispatch_tsc, 0,
+        // Adoption is the dispatcher-pinned analogue of a JBSQ push; end_tsc
+        // carries the deadline (see PushJbsq).
+        trace_scratch_.push_back(trace::TraceRecord{request->id, dispatch_tsc,
+                                                    request->deadline_tsc,
                                                     trace::RecordKind::kDispatch,
                                                     trace::kDispatcherTrack,
                                                     request->request_class, 0});

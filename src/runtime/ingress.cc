@@ -175,7 +175,8 @@ ProducerSlot* IngressLayer::SlotForThisThread() {
 }
 
 // concord-lint: allow-no-probe (submitter-side path; loops are bounded TLS/free-list scans)
-bool IngressLayer::Submit(std::uint64_t id, int request_class, void* payload) {
+bool IngressLayer::Submit(std::uint64_t id, int request_class, void* payload,
+                          std::uint64_t deadline_delta_tsc) {
   ProducerSlot* slot = SlotForThisThread();
   if (slot == nullptr) {
     return false;
@@ -208,6 +209,8 @@ bool IngressLayer::Submit(std::uint64_t id, int request_class, void* payload) {
         request->request_class = request_class;
         request->payload = payload;
         request->arrival_tsc = ReadTsc();
+        request->deadline_tsc =
+            deadline_delta_tsc == 0 ? 0 : request->arrival_tsc + deadline_delta_tsc;
         request->fiber = nullptr;
         request->started = false;
         request->on_dispatcher = false;

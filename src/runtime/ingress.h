@@ -105,7 +105,13 @@ class IngressLayer {
   // ring. Returns false — without blocking and without touching any
   // dispatcher-shared lock — on backpressure (slab exhausted or ring full)
   // or once StopAccepting() has been called.
-  bool Submit(std::uint64_t id, int request_class, void* payload);
+  //
+  // `deadline_delta_tsc` is the request's relative deadline in TSC ticks
+  // (0 = none); it is stamped as an absolute deadline_tsc off the arrival
+  // stamp the same Submit already takes, so the default path adds only a
+  // constant store.
+  bool Submit(std::uint64_t id, int request_class, void* payload,
+              std::uint64_t deadline_delta_tsc = 0);
 
   // First phase of shutdown: after this returns, every future Submit()
   // returns false, and no in-flight Submit() whose accepting check has not

@@ -53,6 +53,59 @@ class FcfsNonPreemptivePolicy final : public SchedulingPolicy {
   bool AllowWorkConservingDispatcher(bool /*configured*/) const override { return false; }
 };
 
+// Non-preemptive EDF: FCFS mechanics (single central queue, no preemption,
+// no stealing) with the queue ordered by absolute deadline. Requests without
+// a deadline sort last, in arrival order.
+class EdfNonPreemptivePolicy final : public SchedulingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kEdfNonPreemptive; }
+  const char* name() const override { return "edf"; }
+  int WorkerQueueDepth(int /*configured_jbsq_depth*/) const override { return 1; }
+  PreemptMode preempt_mode() const override { return PreemptMode::kNever; }
+  double PreemptCostUs(double configured_us) const override {
+    return configured_us < 0.0 ? 0.0 : configured_us;
+  }
+  bool AllowWorkConservingDispatcher(bool /*configured*/) const override { return false; }
+  QueueOrder queue_order() const override { return QueueOrder::kEarliestDeadline; }
+};
+
+// Approximate SRPT: the central queue orders by per-class EWMA service-time
+// estimates the dispatcher learns from completed-request TSC stamps. With no
+// estimate yet (cold class, or telemetry compiled out) a class keys at 0 and
+// the queue degrades gracefully to FCFS among unestimated requests.
+class ApproxSrptPolicy final : public SchedulingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kApproxSrpt; }
+  const char* name() const override { return "approx-srpt"; }
+  int WorkerQueueDepth(int /*configured_jbsq_depth*/) const override { return 1; }
+  PreemptMode preempt_mode() const override { return PreemptMode::kNever; }
+  double PreemptCostUs(double configured_us) const override {
+    return configured_us < 0.0 ? 0.0 : configured_us;
+  }
+  bool AllowWorkConservingDispatcher(bool /*configured*/) const override { return false; }
+  QueueOrder queue_order() const override {
+    return QueueOrder::kShortestExpectedRemaining;
+  }
+};
+
+// ConcordJbsq with a dispatcher-side controller retuning the preemption
+// quantum from live p99 slowdown windows. Mechanism parameters are identical
+// to ConcordJbsq; only the AdaptiveQuantum() flag differs.
+class ConcordJbsqAdaptivePolicy final : public SchedulingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kConcordJbsqAdaptive; }
+  const char* name() const override { return "concord-adaptive"; }
+  int WorkerQueueDepth(int configured_jbsq_depth) const override {
+    return configured_jbsq_depth;
+  }
+  PreemptMode preempt_mode() const override { return PreemptMode::kWhenWorkPending; }
+  double PreemptCostUs(double configured_us) const override {
+    return configured_us < 0.0 ? 0.0 : configured_us;
+  }
+  bool AllowWorkConservingDispatcher(bool configured) const override { return configured; }
+  bool AdaptiveQuantum() const override { return true; }
+};
+
 }  // namespace
 
 bool ParsePolicyKind(std::string_view token, PolicyKind* out) {
@@ -62,6 +115,12 @@ bool ParsePolicyKind(std::string_view token, PolicyKind* out) {
     *out = PolicyKind::kSingleQueuePreemptive;
   } else if (token == "fcfs" || token == "persephone") {
     *out = PolicyKind::kFcfsNonPreemptive;
+  } else if (token == "edf") {
+    *out = PolicyKind::kEdfNonPreemptive;
+  } else if (token == "approx-srpt" || token == "srpt") {
+    *out = PolicyKind::kApproxSrpt;
+  } else if (token == "concord-adaptive" || token == "adaptive") {
+    *out = PolicyKind::kConcordJbsqAdaptive;
   } else {
     return false;
   }
@@ -76,6 +135,12 @@ const char* PolicyKindName(PolicyKind kind) {
       return "single-queue";
     case PolicyKind::kFcfsNonPreemptive:
       return "fcfs";
+    case PolicyKind::kEdfNonPreemptive:
+      return "edf";
+    case PolicyKind::kApproxSrpt:
+      return "approx-srpt";
+    case PolicyKind::kConcordJbsqAdaptive:
+      return "concord-adaptive";
   }
   return "unknown";
 }
@@ -88,6 +153,12 @@ std::unique_ptr<SchedulingPolicy> MakeSchedulingPolicy(PolicyKind kind) {
       return std::make_unique<SingleQueuePreemptivePolicy>();
     case PolicyKind::kFcfsNonPreemptive:
       return std::make_unique<FcfsNonPreemptivePolicy>();
+    case PolicyKind::kEdfNonPreemptive:
+      return std::make_unique<EdfNonPreemptivePolicy>();
+    case PolicyKind::kApproxSrpt:
+      return std::make_unique<ApproxSrptPolicy>();
+    case PolicyKind::kConcordJbsqAdaptive:
+      return std::make_unique<ConcordJbsqAdaptivePolicy>();
   }
   CONCORD_CHECK(false) << "unknown PolicyKind";
   return nullptr;
@@ -120,8 +191,8 @@ RuntimeSelection SelectionFromArgsOrEnv(int argc, char** argv) {
       telemetry::OutPathFromFlagOrEnv(argc, argv, "--policy=", "CONCORD_POLICY");
   if (!policy_token.empty()) {
     CONCORD_CHECK(ParsePolicyKind(policy_token, &selection.policy))
-        << "unknown --policy=" << policy_token
-        << " (valid: concord-jbsq, single-queue, fcfs)";
+        << "unknown --policy=" << policy_token << " (valid: " << kPolicyTokenList
+        << ")";
   }
   const long long shards = telemetry::IntFromFlagOrEnv(argc, argv, "--shards=", "CONCORD_SHARDS",
                                                        selection.shard_count);
@@ -131,7 +202,8 @@ RuntimeSelection SelectionFromArgsOrEnv(int argc, char** argv) {
       telemetry::OutPathFromFlagOrEnv(argc, argv, "--placement=", "CONCORD_PLACEMENT");
   if (!placement_token.empty()) {
     CONCORD_CHECK(ParseShardPlacement(placement_token, &selection.placement))
-        << "unknown --placement=" << placement_token << " (valid: rr, jsq)";
+        << "unknown --placement=" << placement_token << " (valid: " << kPlacementTokenList
+        << ")";
   }
   return selection;
 }

@@ -23,6 +23,23 @@
 //   FcfsNonPreemptive    Persephone-style C-FCFS: one central queue, no
 //                        preemption at all (the signal scan is skipped
 //                        entirely; probes still poll but never fire).
+//
+// Three further policies put the paper's approximate-optimal claim under
+// pressure with deadline- and size-aware disciplines (docs/policies.md):
+//
+//   EdfNonPreemptive     earliest-deadline-first central queue (deadlines
+//                        stamped at submit time), otherwise FCFS mechanics.
+//   ApproxSrpt           shortest-expected-remaining-first central queue,
+//                        ordered by per-class EWMA service estimates fed by
+//                        completed-request TSC stamps (Scully &
+//                        Harchol-Balter's practical-SRPT setting).
+//   ConcordJbsqAdaptive  ConcordJbsq plus a dispatcher-side controller that
+//                        retunes the preemption quantum from live p99
+//                        slowdown windows (LibPreemptible-style).
+//
+// The ordered variants are selected once at Start() through queue_order();
+// the FIFO path stays byte-identical (pinned by the central-queue codegen
+// check and the steady-state allocation audit).
 
 #ifndef CONCORD_SRC_RUNTIME_POLICY_H_
 #define CONCORD_SRC_RUNTIME_POLICY_H_
@@ -36,6 +53,9 @@ enum class PolicyKind {
   kConcordJbsq,
   kSingleQueuePreemptive,
   kFcfsNonPreemptive,
+  kEdfNonPreemptive,
+  kApproxSrpt,
+  kConcordJbsqAdaptive,
 };
 
 class SchedulingPolicy {
@@ -44,6 +64,15 @@ class SchedulingPolicy {
     kNever,            // signal scan skipped entirely
     kWhenWorkPending,  // quantum expired AND something else could run (§2/§3)
     kAlways,           // quantum expired, unconditionally
+  };
+
+  // How the central queue orders waiting requests. kFifo is the append-only
+  // intrusive list every pre-existing policy uses; the ordered variants
+  // insert by a per-request key computed at enqueue (request.h order_key).
+  enum class QueueOrder {
+    kFifo,                       // arrival order (PushBack)
+    kEarliestDeadline,           // ascending deadline_tsc (no deadline last)
+    kShortestExpectedRemaining,  // ascending per-class EWMA service estimate
   };
 
   virtual ~SchedulingPolicy() = default;
@@ -69,10 +98,25 @@ class SchedulingPolicy {
   // (§3.3). Policies without per-worker queues model dispatchers that only
   // dispatch, so the option is forced off.
   virtual bool AllowWorkConservingDispatcher(bool configured) const = 0;
+
+  // Central-queue ordering, cached at Start() like every other answer. The
+  // default keeps the FIFO path for all pre-existing policies.
+  virtual QueueOrder queue_order() const { return QueueOrder::kFifo; }
+
+  // Whether the dispatcher runs the adaptive-quantum controller that retunes
+  // the preemption interval from live p99 slowdown windows.
+  virtual bool AdaptiveQuantum() const { return false; }
 };
 
-// Valid tokens: "concord-jbsq" (alias "concord"), "single-queue" (alias
-// "shinjuku"), "fcfs" (alias "persephone").
+// The valid --policy= spellings, one string for error messages and usage
+// text so parser and diagnostics can never drift apart.
+inline constexpr const char* kPolicyTokenList =
+    "concord-jbsq (alias concord), single-queue (alias shinjuku), "
+    "fcfs (alias persephone), edf, approx-srpt (alias srpt), "
+    "concord-adaptive (alias adaptive)";
+inline constexpr const char* kPlacementTokenList = "rr (alias round-robin), jsq";
+
+// Valid tokens: see kPolicyTokenList.
 bool ParsePolicyKind(std::string_view token, PolicyKind* out);
 const char* PolicyKindName(PolicyKind kind);
 std::unique_ptr<SchedulingPolicy> MakeSchedulingPolicy(PolicyKind kind);

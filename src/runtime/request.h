@@ -35,6 +35,15 @@ struct RuntimeRequest {
   int request_class = 0;
   void* payload = nullptr;
   std::uint64_t arrival_tsc = 0;
+  // Absolute TSC deadline stamped at submit time (0 = no deadline). EDF
+  // orders the central queue by it; the dispatcher records dispatch-time
+  // slack into the telemetry histogram whenever it is set.
+  std::uint64_t deadline_tsc = 0;
+  // Ordering key for the ordered central-queue variants (policy.h
+  // QueueOrder), computed by the dispatcher at enqueue: the deadline for
+  // EDF, the expected-remaining-service estimate for approx-SRPT. Unused
+  // (and untouched) on the FIFO path.
+  std::uint64_t order_key = 0;
   Fiber* fiber = nullptr;
   bool started = false;
   bool on_dispatcher = false;

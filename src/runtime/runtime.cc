@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 
 #include "src/common/alloc_hooks.h"
 #include "src/common/backoff.h"
@@ -95,6 +96,26 @@ void Runtime::Start() {
       preempt_cost_us > 0.0
           ? static_cast<std::uint64_t>(preempt_cost_us * 1000.0 * tsc_ghz_)
           : 0;
+  queue_order_ = policy_->queue_order();
+  adaptive_quantum_ = policy_->AdaptiveQuantum();
+  srpt_estimate_tsc_.fill(0);
+  service_floor_tsc_.fill(0);
+  current_quantum_tsc_.store(quantum_tsc_, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < slack_bucket_limit_tsc_.size(); ++i) {
+    slack_bucket_limit_tsc_[i] = static_cast<std::uint64_t>(
+        static_cast<double>(telemetry::kSlackBucketLimitNs[i]) * tsc_ghz_);
+  }
+  if (adaptive_quantum_) {
+    CONCORD_CHECK(options_.adaptive_step > 1.0) << "adaptive step must exceed 1";
+    CONCORD_CHECK(options_.adaptive_span >= 1.0) << "adaptive span must be >= 1";
+    adaptive_window_tsc_ =
+        static_cast<std::uint64_t>(options_.adaptive_window_us * 1000.0 * tsc_ghz_);
+    quantum_min_tsc_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(quantum_tsc_) / options_.adaptive_span));
+    quantum_max_tsc_ =
+        static_cast<std::uint64_t>(static_cast<double>(quantum_tsc_) * options_.adaptive_span);
+    adaptive_slowdowns_.reserve(4096);
+  }
 
   if (callbacks_.setup) {
     callbacks_.setup();
@@ -158,6 +179,18 @@ bool Runtime::Submit(std::uint64_t id, int request_class, void* payload) {
   // ingress layer's claim/handshake protocols.
   CONCORD_CHECK(started_.load(std::memory_order_relaxed)) << "runtime not started";
   if (!ingress_.Submit(id, request_class, payload)) {
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// concord-lint: allow-no-probe (submitter-side path; delegates to the lock-free ingress layer)
+bool Runtime::Submit(std::uint64_t id, int request_class, void* payload, double deadline_us) {
+  CONCORD_CHECK(started_.load(std::memory_order_relaxed)) << "runtime not started";
+  const std::uint64_t deadline_delta_tsc =
+      deadline_us > 0.0 ? static_cast<std::uint64_t>(deadline_us * 1000.0 * tsc_ghz_) : 0;
+  if (!ingress_.Submit(id, request_class, payload, deadline_delta_tsc)) {
     return false;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -247,6 +280,9 @@ trace::TraceCapture Runtime::GetTrace() const {
   // jbsq_depth.
   capture.jbsq_depth = effective_depth_;
   capture.quantum_us = options_.quantum_us;
+  // The policy token, so offline checks can gate policy-specific invariants
+  // (e.g. the EDF dispatch-ordering rule) on the right captures.
+  capture.policy = PolicyKindName(options_.policy);
   return capture;
 }
 
@@ -338,6 +374,31 @@ void Runtime::ArmRequestFiber(RuntimeRequest* request) {
 }
 
 void Runtime::CompleteRequest(RuntimeRequest* request, bool on_dispatcher) {
+  if constexpr (telemetry::kEnabled) {
+    // Fold per-class service knowledge the dispatcher learns from this
+    // completion: the approx-SRPT EWMA ordering key and the adaptive
+    // controller's slowdown denominator. Dispatcher-owned plain fields —
+    // completion is dispatcher-pinned — and gated off the default hot path.
+    if (queue_order_ == SchedulingPolicy::QueueOrder::kShortestExpectedRemaining ||
+        adaptive_quantum_) {
+      const telemetry::RequestLifecycle& lc = request->lifecycle;
+      if (lc.preemptions == 0 && lc.finish_tsc > lc.first_run_tsc && lc.first_run_tsc != 0) {
+        const std::uint64_t service = lc.finish_tsc - lc.first_run_tsc;
+        const std::size_t slot = static_cast<std::size_t>(std::clamp(
+            request->request_class, 0, static_cast<int>(kServiceClassSlots) - 1));
+        std::uint64_t& estimate = srpt_estimate_tsc_[slot];
+        // Integer EWMA, alpha = 1/8; the first sample seeds directly.
+        estimate = estimate == 0 ? service : estimate - estimate / 8 + service / 8;
+        std::uint64_t& floor = service_floor_tsc_[slot];
+        if (floor == 0 || service < floor) {
+          floor = service;
+        }
+      }
+      if (adaptive_quantum_) {
+        AdaptiveQuantumOnCompletion(request, ReadTsc());
+      }
+    }
+  }
   if (callbacks_.on_complete) {
     callbacks_.on_complete(RequestView{request->id, request->request_class, request->payload},
                            ReadTsc() - request->arrival_tsc);
@@ -353,6 +414,72 @@ void Runtime::CompleteRequest(RuntimeRequest* request, bool on_dispatcher) {
     telemetry::BumpSingleWriter(dispatcher_completed_count_);
   }
   telemetry::BumpSingleWriter(completed_, 1, std::memory_order_release);
+}
+
+// concord-lint: allow-no-probe (dispatcher-side bucket scan, bounded by telemetry::kSlackBuckets)
+std::size_t Runtime::SlackBucket(std::uint64_t dispatch_tsc, std::uint64_t deadline_tsc) const {
+  if (deadline_tsc <= dispatch_tsc) {
+    return 0;  // dispatched at or past the deadline: negative slack
+  }
+  const std::uint64_t slack = deadline_tsc - dispatch_tsc;
+  std::size_t bucket = 1;
+  // concord-lint: allow-no-probe (bounded by telemetry::kSlackBuckets)
+  while (bucket < telemetry::kSlackBuckets - 1 && slack >= slack_bucket_limit_tsc_[bucket - 1]) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+// Window fold + retune for the adaptive policy (dispatcher-only; called from
+// CompleteRequest, so completion-pinning makes every field here
+// single-threaded). Mirrors trace::MetricsSampler's slowdown definition:
+// latency over the per-class minimum unpreempted service observed so far.
+void Runtime::AdaptiveQuantumOnCompletion(RuntimeRequest* request, std::uint64_t now_tsc) {
+  if (adaptive_window_start_tsc_ == 0) {
+    adaptive_window_start_tsc_ = now_tsc;
+  }
+  const std::size_t slot = static_cast<std::size_t>(
+      std::clamp(request->request_class, 0, static_cast<int>(kServiceClassSlots) - 1));
+  const std::uint64_t floor = service_floor_tsc_[slot];
+  if (floor != 0 && now_tsc > request->arrival_tsc &&
+      adaptive_slowdowns_.size() < adaptive_slowdowns_.capacity()) {
+    // Capacity-bounded push (preallocated at Start): an over-full window
+    // keeps its first `capacity` samples, plenty for one control decision.
+    adaptive_slowdowns_.push_back(static_cast<double>(now_tsc - request->arrival_tsc) /
+                                  static_cast<double>(floor));
+  }
+  if (now_tsc - adaptive_window_start_tsc_ < adaptive_window_tsc_) {
+    return;
+  }
+  // Window close. Too few samples make a p99 meaningless; skip the retune
+  // but still roll the window.
+  if (adaptive_slowdowns_.size() >= 16) {
+    const std::size_t rank =
+        std::min(adaptive_slowdowns_.size() - 1, (adaptive_slowdowns_.size() * 99) / 100);
+    std::nth_element(adaptive_slowdowns_.begin(),
+                     adaptive_slowdowns_.begin() + static_cast<std::ptrdiff_t>(rank),
+                     adaptive_slowdowns_.end());
+    const double p99 = adaptive_slowdowns_[rank];
+    std::uint64_t next = quantum_tsc_;
+    if (p99 > options_.adaptive_target_p99_slowdown) {
+      // Tail too slow: preempt sooner so short requests overtake long ones.
+      next = static_cast<std::uint64_t>(static_cast<double>(quantum_tsc_) /
+                                        options_.adaptive_step);
+    } else if (p99 < options_.adaptive_target_p99_slowdown * 0.5) {
+      // Comfortably under target: lengthen the quantum, shedding preemption
+      // overhead (LibPreemptible's economy direction).
+      next = static_cast<std::uint64_t>(static_cast<double>(quantum_tsc_) *
+                                        options_.adaptive_step);
+    }
+    next = std::clamp(next, quantum_min_tsc_, quantum_max_tsc_);
+    if (next != quantum_tsc_) {
+      quantum_tsc_ = next;
+      current_quantum_tsc_.store(next, std::memory_order_relaxed);
+      telemetry::BumpSingleWriter(dispatcher_telemetry_.quantum_retunes);
+    }
+  }
+  adaptive_slowdowns_.clear();
+  adaptive_window_start_tsc_ = now_tsc;
 }
 
 void Runtime::AppendLifecycle(const telemetry::RequestLifecycle& lifecycle) {

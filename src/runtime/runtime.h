@@ -42,6 +42,7 @@
 #ifndef CONCORD_SRC_RUNTIME_RUNTIME_H_
 #define CONCORD_SRC_RUNTIME_RUNTIME_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -80,6 +81,16 @@ class Runtime {
     // receive path, model/costs.h ipi_notify_ns) for SingleQueuePreemptive.
     double preempt_cost_us = -1.0;
     bool work_conserving_dispatcher = true;
+    // Adaptive-quantum controller (PolicyKind::kConcordJbsqAdaptive only).
+    // Each window the dispatcher folds completed-request slowdowns; if the
+    // window p99 exceeds the target the quantum shrinks (preempt sooner), if
+    // it undershoots the band the quantum grows (fewer preemption overheads),
+    // multiplicatively by the step and clamped to [quantum_us / adaptive_span,
+    // quantum_us * adaptive_span].
+    double adaptive_target_p99_slowdown = 4.0;
+    double adaptive_window_us = 10000.0;  // matches trace::MetricsSampler
+    double adaptive_step = 1.25;
+    double adaptive_span = 4.0;
     // Pin dispatcher/workers to consecutive CPUs (best effort; skipped when
     // the host has too few cores).
     bool pin_threads = false;
@@ -142,6 +153,13 @@ class Runtime {
   // shutdown has begun, without blocking (open-loop callers drop or retry).
   bool Submit(std::uint64_t id, int request_class, void* payload);
 
+  // Deadline-carrying submit: identical to the three-argument form, plus an
+  // absolute deadline `deadline_us` microseconds after the arrival stamp
+  // (<= 0 means no deadline). EDF orders the central queue by it; every
+  // policy records dispatch-time slack into the telemetry histogram when a
+  // deadline is present.
+  bool Submit(std::uint64_t id, int request_class, void* payload, double deadline_us);
+
   // Blocks until every submitted request has completed.
   void WaitIdle();
 
@@ -197,6 +215,15 @@ class Runtime {
   // policies). Valid after Start().
   int effective_jbsq_depth() const { return effective_depth_; }
 
+  // The preemption quantum currently in force, in microseconds. Equals
+  // Options::quantum_us except under the adaptive policy, where the
+  // dispatcher retunes it; the mirror is updated only on retune (relaxed —
+  // a monitoring read, exact once the runtime is quiescent).
+  double current_quantum_us() const {
+    return static_cast<double>(current_quantum_tsc_.load(std::memory_order_relaxed)) /
+           (1000.0 * tsc_ghz_);
+  }
+
   // Allocation-audit window (test hook; docs/runtime.md). Begin baselines a
   // per-thread heap-operation counter on the dispatcher and every worker,
   // End returns how many heap operations those threads performed inside the
@@ -218,6 +245,19 @@ class Runtime {
 
   void DispatcherLoop();
   void WorkerLoop(int worker_index);
+  // Routes a request onto the central queue through the order cached at
+  // Start(): PushBack on the FIFO path (every pre-existing policy — the
+  // predicted branch is the whole cost), PushOrdered by deadline or by the
+  // per-class EWMA service estimate for the ordered policies.
+  void EnqueueCentral(RuntimeRequest* request);
+  // Adaptive-quantum controller (dispatcher-only): folds one completed
+  // request into the current window, and retunes quantum_tsc_ on window
+  // close. No-ops unless the policy enabled AdaptiveQuantum().
+  void AdaptiveQuantumOnCompletion(RuntimeRequest* request, std::uint64_t now_tsc);
+  // Telemetry slack-histogram bucket for a deadline-carrying dispatch
+  // (telemetry.h kSlackBuckets). Bounded scan over 6 precomputed TSC
+  // thresholds; called only when a deadline is present.
+  std::size_t SlackBucket(std::uint64_t dispatch_tsc, std::uint64_t deadline_tsc) const;
   void DrainIngress(bool* progress);
   void DrainOutboxes(bool* progress);
   void PushJbsq(bool* progress);
@@ -252,6 +292,35 @@ class Runtime {
   SchedulingPolicy::PreemptMode preempt_mode_ = SchedulingPolicy::PreemptMode::kWhenWorkPending;
   std::uint64_t preempt_cost_tsc_ = 0;
   bool work_conserving_ = true;
+  SchedulingPolicy::QueueOrder queue_order_ = SchedulingPolicy::QueueOrder::kFifo;
+  bool adaptive_quantum_ = false;
+
+  // Per-class state the dispatcher learns from completions, bounded by a
+  // fixed slot count (classes beyond it share the last slot). All
+  // dispatcher-owned plain fields.
+  static constexpr std::size_t kServiceClassSlots = 64;
+  // EWMA of unpreempted service time per class (TSC ticks; 0 = no sample
+  // yet): the approx-SRPT ordering key.
+  std::array<std::uint64_t, kServiceClassSlots> srpt_estimate_tsc_{};
+  // Minimum unpreempted service per class (0 = none): the slowdown
+  // denominator the adaptive controller uses, mirroring
+  // trace::MetricsSampler's service-floor estimate.
+  std::array<std::uint64_t, kServiceClassSlots> service_floor_tsc_{};
+
+  // Adaptive-quantum controller state (dispatcher-owned; see Options).
+  std::uint64_t adaptive_window_tsc_ = 0;
+  std::uint64_t adaptive_window_start_tsc_ = 0;
+  std::uint64_t quantum_min_tsc_ = 0;
+  std::uint64_t quantum_max_tsc_ = 0;
+  // Window slowdown samples; preallocated at Start, never grown (a window
+  // with more completions than capacity keeps the first `capacity` — the
+  // p99 of 4096 samples is estimate enough for a 10ms control decision).
+  std::vector<double> adaptive_slowdowns_;
+  // Monitoring mirror of quantum_tsc_ for current_quantum_us(); written
+  // only at Start and on retune.
+  std::atomic<std::uint64_t> current_quantum_tsc_{0};
+  // telemetry::kSlackBucketLimitNs converted to TSC ticks at Start().
+  std::array<std::uint64_t, telemetry::kSlackBuckets - 2> slack_bucket_limit_tsc_{};
 
   // Telemetry: dispatcher-written per-worker blocks (kept apart from the
   // worker-written WorkerCounters so the two writers never share a line),

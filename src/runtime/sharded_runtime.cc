@@ -83,7 +83,8 @@ int ShardedRuntime::PlaceShard() {
   return best < 0 ? 0 : best;
 }
 
-bool ShardedRuntime::SubmitMulti(std::uint64_t id, int request_class, void* payload) {
+bool ShardedRuntime::SubmitMulti(std::uint64_t id, int request_class, void* payload,
+                                 double deadline_us) {
   CONCORD_DCHECK(started_) << "Submit before Start";
   const int n = shard_count();
   const int first = PlaceShard();
@@ -98,7 +99,10 @@ bool ShardedRuntime::SubmitMulti(std::uint64_t id, int request_class, void* payl
     if (!shard.accepting()) {
       continue;
     }
-    if (shard.Submit(id, request_class, payload)) {
+    const bool accepted = deadline_us > 0.0
+                              ? shard.Submit(id, request_class, payload, deadline_us)
+                              : shard.Submit(id, request_class, payload);
+    if (accepted) {
       return true;
     }
   }
@@ -157,6 +161,10 @@ telemetry::TelemetrySnapshot ShardedRuntime::GetTelemetry() const {
     merged.dispatcher.ingress_batches += s.dispatcher.ingress_batches;
     merged.dispatcher.ingress_drained += s.dispatcher.ingress_drained;
     merged.dispatcher.jbsq_batches += s.dispatcher.jbsq_batches;
+    merged.dispatcher.quantum_retunes += s.dispatcher.quantum_retunes;
+    for (std::size_t b = 0; b < telemetry::kSlackBuckets; ++b) {
+      merged.dispatcher.slack_histogram[b] += s.dispatcher.slack_histogram[b];
+    }
     // High-water mark across shards, not a sum of high-waters.
     if (s.dispatcher.max_ingress_batch > merged.dispatcher.max_ingress_batch) {
       merged.dispatcher.max_ingress_batch = s.dispatcher.max_ingress_batch;

@@ -62,7 +62,16 @@ class ShardedRuntime {
     if (single_ != nullptr) {
       return single_->Submit(id, request_class, payload);
     }
-    return SubmitMulti(id, request_class, payload);
+    return SubmitMulti(id, request_class, payload, /*deadline_us=*/0.0);
+  }
+
+  // Deadline-carrying submit (see Runtime::Submit): `deadline_us` <= 0 means
+  // no deadline.
+  bool Submit(std::uint64_t id, int request_class, void* payload, double deadline_us) {
+    if (single_ != nullptr) {
+      return single_->Submit(id, request_class, payload, deadline_us);
+    }
+    return SubmitMulti(id, request_class, payload, deadline_us);
   }
 
   // Blocks until every shard is idle.
@@ -102,7 +111,7 @@ class ShardedRuntime {
 
  private:
   int PlaceShard();
-  bool SubmitMulti(std::uint64_t id, int request_class, void* payload);
+  bool SubmitMulti(std::uint64_t id, int request_class, void* payload, double deadline_us);
 
   Options options_;
   std::vector<std::unique_ptr<Runtime>> shards_;

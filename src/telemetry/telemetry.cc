@@ -43,6 +43,10 @@ DispatcherSnapshot DispatcherSnapshot::Capture(const DispatcherCounters& counter
   snapshot.max_ingress_batch = Load(counters.max_ingress_batch);
   snapshot.jbsq_batches = Load(counters.jbsq_batches);
   snapshot.producer_slots = Load(counters.producer_slots);
+  snapshot.quantum_retunes = Load(counters.quantum_retunes);
+  for (std::size_t i = 0; i < kSlackBuckets; ++i) {
+    snapshot.slack_histogram[i] = Load(counters.slack_histogram[i]);
+  }
   return snapshot;
 }
 
@@ -96,6 +100,10 @@ TelemetrySnapshot TelemetrySnapshot::Diff(const TelemetrySnapshot& before,
   diff.dispatcher.ingress_batches -= before.dispatcher.ingress_batches;
   diff.dispatcher.ingress_drained -= before.dispatcher.ingress_drained;
   diff.dispatcher.jbsq_batches -= before.dispatcher.jbsq_batches;
+  diff.dispatcher.quantum_retunes -= before.dispatcher.quantum_retunes;
+  for (std::size_t i = 0; i < kSlackBuckets; ++i) {
+    diff.dispatcher.slack_histogram[i] -= before.dispatcher.slack_histogram[i];
+  }
   // max_ingress_batch and producer_slots are high-water marks: keep the
   // later value rather than subtracting.
   return diff;
@@ -207,6 +215,14 @@ std::string TelemetrySnapshot::ToJson() const {
   dispatcher_object.Set("max_ingress_batch", JsonValue::MakeUint(dispatcher.max_ingress_batch));
   dispatcher_object.Set("jbsq_batches", JsonValue::MakeUint(dispatcher.jbsq_batches));
   dispatcher_object.Set("producer_slots", JsonValue::MakeUint(dispatcher.producer_slots));
+  dispatcher_object.Set("quantum_retunes", JsonValue::MakeUint(dispatcher.quantum_retunes));
+  // Additive v1 field: consumers that predate it ignore it, and FromJson
+  // tolerates its absence (the histogram then stays all-zero).
+  JsonValue slack_array = JsonValue::MakeArray();
+  for (std::size_t i = 0; i < kSlackBuckets; ++i) {
+    slack_array.MutableArray().push_back(JsonValue::MakeUint(dispatcher.slack_histogram[i]));
+  }
+  dispatcher_object.Set("slack_histogram", std::move(slack_array));
   root.Set("dispatcher", std::move(dispatcher_object));
 
   JsonValue lifecycle_array = JsonValue::MakeArray();
@@ -249,6 +265,17 @@ bool TelemetrySnapshot::FromJson(const std::string& json, TelemetrySnapshot* out
     out->dispatcher.max_ingress_batch = dispatcher->GetUint("max_ingress_batch");
     out->dispatcher.jbsq_batches = dispatcher->GetUint("jbsq_batches");
     out->dispatcher.producer_slots = dispatcher->GetUint("producer_slots");
+    out->dispatcher.quantum_retunes = dispatcher->GetUint("quantum_retunes");
+    if (const JsonValue* slack = dispatcher->Get("slack_histogram");
+        slack != nullptr && slack->is_array()) {
+      std::size_t i = 0;
+      for (const JsonValue& bucket : slack->AsArray()) {
+        if (i >= kSlackBuckets) {
+          break;
+        }
+        out->dispatcher.slack_histogram[i++] = bucket.AsUint();
+      }
+    }
   }
   out->lifecycles.clear();
   if (const JsonValue* lifecycles = root.Get("lifecycles");

@@ -32,6 +32,7 @@
 #ifndef CONCORD_SRC_TELEMETRY_TELEMETRY_H_
 #define CONCORD_SRC_TELEMETRY_TELEMETRY_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -87,6 +88,17 @@ struct alignas(kCacheLineSize) DispatcherWorkerCounters {
   std::atomic<std::uint64_t> max_inflight{0};          // high-water outstanding (<= k)
 };
 
+// Dispatch-time slack histogram buckets (deadline - dispatch timestamp for
+// requests submitted with a deadline). Bucket 0 is negative slack (already
+// past deadline at dispatch); buckets 1..6 are log-decades from 10us up;
+// bucket 7 is >= 1s. Accounting identity once quiescent: the bucket sum
+// equals the number of dispatched requests that carried a deadline.
+inline constexpr std::size_t kSlackBuckets = 8;
+// Upper bounds of buckets 1..6 in nanoseconds (bucket i covers
+// [limit[i-2], limit[i-1]) for i >= 2; bucket 1 is [0, limit[0])).
+inline constexpr std::uint64_t kSlackBucketLimitNs[kSlackBuckets - 2] = {
+    10'000, 100'000, 1'000'000, 10'000'000, 100'000'000, 1'000'000'000};
+
 // Dispatcher-global counters.
 struct alignas(kCacheLineSize) DispatcherCounters {
   std::atomic<std::uint64_t> probe_polls{0};        // probes executed on the dispatcher
@@ -103,6 +115,11 @@ struct alignas(kCacheLineSize) DispatcherCounters {
   std::atomic<std::uint64_t> max_ingress_batch{0};  // high-water single-drain size
   std::atomic<std::uint64_t> jbsq_batches{0};       // batched inbox publishes (>= 1 request)
   std::atomic<std::uint64_t> producer_slots{0};     // high-water registered submitter slots
+  // Adaptive-quantum controller retunes applied (kConcordJbsqAdaptive only).
+  std::atomic<std::uint64_t> quantum_retunes{0};
+  // Dispatch-time slack histogram (see kSlackBuckets above); dispatcher-only
+  // writer, bumped when a dispatched request carries a deadline.
+  std::array<std::atomic<std::uint64_t>, kSlackBuckets> slack_histogram{};
 };
 
 // ---------------------------------------------------------------------------
@@ -173,6 +190,10 @@ struct DispatcherSnapshot {
   std::uint64_t max_ingress_batch = 0;  // high-water, not summable
   std::uint64_t jbsq_batches = 0;
   std::uint64_t producer_slots = 0;  // high-water, not summable
+  std::uint64_t quantum_retunes = 0;
+  // Dispatch-time slack histogram (concord.telemetry.v1 additive field
+  // `slack_histogram`; all-zero when no request carried a deadline).
+  std::array<std::uint64_t, kSlackBuckets> slack_histogram{};
 
   static DispatcherSnapshot Capture(const DispatcherCounters& counters);
 };

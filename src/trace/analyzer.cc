@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/telemetry/json.h"
@@ -31,6 +33,8 @@ struct ParsedRecord {
   std::int32_t request_class = 0;
   std::uint32_t detail = 0;  // dispatch: depth after push; segment: SegmentEnd
 };
+// For dispatch records end_tsc carries the request's absolute deadline
+// (0 = submitted without one), mirroring the on-wire encoding.
 
 struct RequestTimeline {
   bool has_arrival = false;
@@ -63,6 +67,9 @@ class Analyzer {
       CheckOccupancy();
       if (options_.check_work_conservation) {
         CheckWorkConservation();
+      }
+      if (report_->policy == "edf") {
+        CheckEdfOrdering();
       }
     }
     // Truncated timelines in a file that declares zero drops cannot be
@@ -106,6 +113,10 @@ class Analyzer {
     report_->worker_count = static_cast<int>(other->GetInt("worker_count"));
     report_->jbsq_depth = static_cast<int>(other->GetInt("jbsq_depth"));
     report_->quantum_us = other->GetDouble("quantum_us");
+    const JsonValue* policy = other->Get("policy");
+    if (policy != nullptr) {
+      report_->policy = policy->AsString();  // empty for pre-field traces
+    }
     report_->declared_ring_dropped = other->GetUint("ring_dropped");
     report_->declared_buffer_dropped = other->GetUint("buffer_dropped");
     if (report_->worker_count < 0 || report_->worker_count > 4096) {
@@ -161,6 +172,7 @@ class Analyzer {
           break;
         case RecordKind::kDispatch:
           record.detail = static_cast<std::uint32_t>(args->GetUint("jbsq_depth"));
+          record.end_tsc = args->GetUint("deadline_tsc");
           break;
         case RecordKind::kSegment: {
           record.end_tsc = args->GetUint("end_tsc");
@@ -521,6 +533,61 @@ class Analyzer {
                               i + 1 < timeline.dispatches.size();
            ++i) {
         check_wait(id, timeline.segments[i].end_tsc, timeline.dispatches[i + 1].start_tsc);
+      }
+    }
+  }
+
+  // EDF dispatch ordering, replayed from the dispatcher's own record stream.
+  // The dispatcher appends arrival (adoption) and dispatch records on one
+  // sequence-dense stream in the exact order it acted, so a sweep in
+  // sequence order reconstructs the pending set precisely: a request is
+  // pending between its adoption record and its dispatch record. At each
+  // dispatch of a deadline-carrying request, no pending request may hold a
+  // strictly earlier deadline — that would mean the ordered central queue
+  // handed out work out of deadline order. JBSQ run-ahead is absorbed
+  // automatically: a request already pushed to a worker inbox has a dispatch
+  // record and is no longer pending. Requests that never reach a dispatch
+  // record are excluded (a lossless file already flags truncated timelines);
+  // requests without deadlines never constrain anything.
+  void CheckEdfOrdering() {
+    // Pre-pass: each request's deadline rides on its dispatch record.
+    std::map<std::uint64_t, std::uint64_t> deadline_of;  // id -> nonzero deadline
+    for (const auto& [id, timeline] : requests_) {
+      if (!timeline.dispatches.empty() && timeline.dispatches.front().end_tsc != 0) {
+        deadline_of[id] = timeline.dispatches.front().end_tsc;
+      }
+    }
+    std::vector<const ParsedRecord*> stream;
+    for (const ParsedRecord& record : records_) {
+      if (record.kind == RecordKind::kArrival || record.kind == RecordKind::kDispatch) {
+        stream.push_back(&record);
+      }
+    }
+    std::sort(stream.begin(), stream.end(), [](const ParsedRecord* a, const ParsedRecord* b) {
+      return a->sequence < b->sequence;
+    });
+    std::set<std::pair<std::uint64_t, std::uint64_t>> pending;  // (deadline, id)
+    bool reported = false;
+    for (const ParsedRecord* record : stream) {
+      if (record->kind == RecordKind::kArrival) {
+        const auto it = deadline_of.find(record->request_id);
+        if (it != deadline_of.end()) {
+          pending.insert({it->second, record->request_id});
+        }
+        continue;
+      }
+      const std::uint64_t deadline = record->end_tsc;
+      if (deadline == 0) {
+        continue;
+      }
+      pending.erase({deadline, record->request_id});
+      ++report_->edf_dispatches_checked;
+      if (!reported && !pending.empty() && pending.begin()->first < deadline) {
+        Violation("EDF ordering: request " + std::to_string(record->request_id) +
+                  " (deadline " + std::to_string(deadline) + ") dispatched while request " +
+                  std::to_string(pending.begin()->second) + " (deadline " +
+                  std::to_string(pending.begin()->first) + ") waited in the central queue");
+        reported = true;  // one report; later dispatches inherit the same skew
       }
     }
   }

@@ -14,7 +14,13 @@
 //     depth-at-enqueue tags and an independent reconstruction);
 //   * dispatcher-adopted requests stay pinned to the dispatcher (§3.3);
 //   * work conservation: no worker sits entirely idle for longer than a
-//     grace bound while a request waits in the central queue.
+//     grace bound while a request waits in the central queue;
+//   * EDF dispatch ordering (when the file's policy metadata is "edf" and
+//     the trace is lossless): at every dispatch of a deadline-carrying
+//     request, no adopted-but-not-yet-dispatched request with an earlier
+//     deadline may be pending — modulo JBSQ run-ahead, which the check
+//     absorbs by only comparing against requests already adopted at that
+//     dispatch's timestamp.
 //
 // Requests with records missing are counted as truncated; that is a
 // violation only when the file declares zero drops (then missing records
@@ -63,6 +69,9 @@ struct AnalyzerReport {
   int worker_count = 0;
   int jbsq_depth = 0;
   double quantum_us = 0.0;
+  // Scheduling-policy token of the producing runtime; empty for traces
+  // predating the field. Gates policy-specific checks (EDF ordering).
+  std::string policy;
   std::uint64_t declared_ring_dropped = 0;
   std::uint64_t declared_buffer_dropped = 0;
 
@@ -72,6 +81,9 @@ struct AnalyzerReport {
   std::size_t requests_truncated = 0;  // records missing (only ok under declared drops)
   std::uint64_t preempt_signals = 0;
   std::uint64_t dispatcher_segments = 0;
+  // EDF ordering check coverage: dispatches of deadline-carrying requests
+  // examined (0 when the check did not run — non-EDF trace or lossy file).
+  std::uint64_t edf_dispatches_checked = 0;
   std::vector<std::uint64_t> segments_per_worker;
 
   // Sequence-gap accounting re-derived from the records themselves.

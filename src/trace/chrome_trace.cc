@@ -95,6 +95,9 @@ std::string ToChromeTraceJson(const TraceCapture& capture) {
                                     to_us(record.start_tsc));
         event.Set("s", JsonValue::MakeString("t"));
         args.Set("jbsq_depth", JsonValue::MakeUint(record.detail));
+        // end_tsc carries the request's absolute deadline on dispatch records
+        // (0 = submitted without one); the offline EDF check reads it.
+        args.Set("deadline_tsc", JsonValue::MakeUint(record.end_tsc));
         event.Set("args", std::move(args));
         events.MutableArray().push_back(std::move(event));
         break;
@@ -131,6 +134,7 @@ std::string ToChromeTraceJson(const TraceCapture& capture) {
   other.Set("worker_count", JsonValue::MakeInt(capture.worker_count));
   other.Set("jbsq_depth", JsonValue::MakeInt(capture.jbsq_depth));
   other.Set("quantum_us", JsonValue::MakeNumber(capture.quantum_us));
+  other.Set("policy", JsonValue::MakeString(capture.policy));
   other.Set("ring_dropped", JsonValue::MakeUint(capture.ring_dropped));
   other.Set("buffer_dropped", JsonValue::MakeUint(capture.buffer_dropped));
   JsonValue per_worker = JsonValue::MakeArray();

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/telemetry/event_ring.h"
@@ -47,6 +48,10 @@ struct TraceCapture {
   int worker_count = 0;
   int jbsq_depth = 0;
   double quantum_us = 0.0;
+  // The scheduling-policy token of the producing runtime (PolicyKindName);
+  // empty for captures predating the field. Gates policy-specific offline
+  // checks such as the EDF dispatch-ordering rule.
+  std::string policy;
   std::vector<CollectedRecord> records;  // sorted by primary timestamp
   std::uint64_t ring_dropped = 0;        // lost in worker rings (sequence gaps)
   std::uint64_t buffer_dropped = 0;      // evicted from the bounded buffer

@@ -1,0 +1,34 @@
+// Codegen-identity harness for the central queue's ordering hook
+// (src/runtime/central_queue.h). cmake/CheckCentralQueueCodegen.cmake
+// compiles this TU to assembly twice — once against the production header
+// and once with -DCONCORD_CENTRAL_QUEUE_FIFO_ONLY, which removes PushOrdered
+// entirely — and requires the output to be byte-identical, proving the
+// deadline/size-aware ordered enqueue (EDF, approx-SRPT) adds zero cost to
+// the ConcordJbsq FIFO hot path: same PushBack/PopFront/TakeFirstUnstarted
+// code whether or not the ordered variant exists in the translation unit.
+//
+// Every externally visible function below pins one dispatcher hot-path
+// operation on the FIFO queue. PushOrdered itself is deliberately NOT
+// referenced: it is the delta under test.
+
+#include <cstddef>
+
+#include "src/runtime/central_queue.h"
+#include "src/runtime/request.h"
+
+namespace harness {
+
+using concord::CentralQueue;
+using concord::RuntimeRequest;
+
+void Push(CentralQueue& queue, RuntimeRequest* request) { queue.PushBack(request); }
+
+RuntimeRequest* Pop(CentralQueue& queue) { return queue.PopFront(); }
+
+RuntimeRequest* TakeUnstarted(CentralQueue& queue) { return queue.TakeFirstUnstarted(); }
+
+bool Empty(const CentralQueue& queue) { return queue.empty(); }
+
+std::size_t Size(const CentralQueue& queue) { return queue.size(); }
+
+}  // namespace harness

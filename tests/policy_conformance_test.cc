@@ -1,21 +1,32 @@
 // Policy conformance suite: the scheduler-level invariants every
-// SchedulingPolicy must satisfy, parameterized over all three policies and
-// 1/2/4 shards (ctest label `policy`; docs/architecture.md lists the
-// contract). Runs a bimodal workload end to end through ShardedRuntime and
-// checks, per shard:
+// SchedulingPolicy must satisfy, parameterized over all six policies and
+// 1/2/4 shards (ctest label `policy`; docs/policies.md lists the contract).
+// Runs a fixed bimodal workload plus a seeded randomized workload family end
+// to end through ShardedRuntime and checks, per shard:
 //
 //   - completion conservation: every accepted request completes exactly once
-//     (stats, telemetry and lifecycle counts all agree);
+//     (stats, telemetry and lifecycle counts all agree) — also the
+//     no-starvation bound, since WaitIdle only returns once nothing waits;
 //   - queue-depth bound: no worker's occupancy ever exceeded the policy's
-//     effective depth (JBSQ k for ConcordJbsq, 1 for the single-queue
-//     policies);
+//     effective depth (JBSQ k for the Concord variants, 1 for the
+//     single-queue policies);
 //   - dispatcher pinning: a request that starts on the dispatcher finishes
 //     there (§3.3);
-//   - preemption contract: FcfsNonPreemptive never signals a preemption;
+//   - preemption contract: the run-to-completion policies (fcfs, edf,
+//     approx-srpt) never signal a preemption;
+//   - deadline accounting: the dispatch-time slack histogram's bucket sum
+//     equals the number of deadline-carrying dispatches, and the offline
+//     analyzer's EDF ordering check covers every one of them;
 //   - trace consistency: each shard's scheduling trace passes the offline
 //     analyzer's checks independently;
-//   - allocation-free steady state for single-shard ConcordJbsq (the PR 4
-//     guarantee must survive the policy layer).
+//   - allocation-free steady state for every policy on a single shard (the
+//     PR 4 guarantee must survive the policy layer, the ordered central
+//     queue, the EWMA estimator and the adaptive-quantum controller).
+//
+// The randomized case draws its workload shape (request count, class mix,
+// service times, deadline coverage) from a seeded PRNG: set
+// CONCORD_TEST_SEED=<n> to reproduce a failure — the seed is printed in the
+// failure trace.
 //
 // Like runtime_test.cc, these verify behaviour, not timing, and run on any
 // host CPU count (TSan runs the whole suite).
@@ -26,6 +37,8 @@
 #include <cstdlib>
 #include <mutex>
 #include <new>
+#include <numeric>
+#include <random>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -79,6 +92,29 @@ std::string ParamName(const testing::TestParamInfo<ConformanceParam>& info) {
     }
   }
   return name + "_x" + std::to_string(info.param.shards);
+}
+
+// The Concord variants keep the configured JBSQ depth; every other policy is
+// forced to depth-1 workers by its queue discipline.
+bool PolicyKeepsConfiguredDepth(PolicyKind policy) {
+  return policy == PolicyKind::kConcordJbsq || policy == PolicyKind::kConcordJbsqAdaptive;
+}
+
+// Run-to-completion policies: once a request starts it must never be
+// preempted, so the runtime may not even request one.
+bool PolicyNeverPreempts(PolicyKind policy) {
+  return policy == PolicyKind::kFcfsNonPreemptive || policy == PolicyKind::kEdfNonPreemptive ||
+         policy == PolicyKind::kApproxSrpt;
+}
+
+// Seed for the randomized workload family: CONCORD_TEST_SEED=<n> overrides
+// (any strtoull base-0 literal), otherwise a fixed default keeps CI
+// deterministic. Failures print the seed via SCOPED_TRACE.
+std::uint64_t TestSeed() {
+  if (const char* env = std::getenv("CONCORD_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 20260809;
 }
 
 class PolicyConformanceTest : public testing::TestWithParam<ConformanceParam> {
@@ -142,7 +178,7 @@ TEST_P(PolicyConformanceTest, BimodalWorkloadSatisfiesSchedulerInvariants) {
   for (int s = 0; s < runtime.shard_count(); ++s) {
     SCOPED_TRACE("shard " + std::to_string(s));
     const int depth = runtime.shard(s).effective_jbsq_depth();
-    if (GetParam().policy == PolicyKind::kConcordJbsq) {
+    if (PolicyKeepsConfiguredDepth(GetParam().policy)) {
       EXPECT_EQ(depth, options.shard.jbsq_depth);
     } else {
       EXPECT_EQ(depth, 1) << "single-queue policies must run depth-1 workers";
@@ -153,7 +189,7 @@ TEST_P(PolicyConformanceTest, BimodalWorkloadSatisfiesSchedulerInvariants) {
         // The queue-depth bound: occupancy high-water per worker.
         EXPECT_LE(worker.max_inflight, static_cast<std::uint64_t>(depth));
       }
-      if (GetParam().policy == PolicyKind::kFcfsNonPreemptive) {
+      if (PolicyNeverPreempts(GetParam().policy)) {
         EXPECT_EQ(shard_telemetry.PreemptionsRequested(), 0u)
             << "run-to-completion policy sent a preemption signal";
         EXPECT_EQ(shard_telemetry.PreemptionsHonored(), 0u);
@@ -182,8 +218,111 @@ TEST_P(PolicyConformanceTest, BimodalWorkloadSatisfiesSchedulerInvariants) {
     }
   }
 
-  if (GetParam().policy == PolicyKind::kFcfsNonPreemptive) {
+  if (PolicyNeverPreempts(GetParam().policy)) {
     EXPECT_EQ(stats.preemptions, 0u);
+  }
+}
+
+// The headline randomized conformance case: the workload's shape — request
+// count, long-class fraction, both service times and what fraction of
+// requests carry deadlines — is drawn from the seeded PRNG, so every CI run
+// checks the same invariants the fixed bimodal case pins but across a family
+// of mixes (including deadline-free and all-deadline runs). Reproduce any
+// failure with CONCORD_TEST_SEED=<printed seed>.
+TEST_P(PolicyConformanceTest, RandomizedWorkloadSatisfiesSchedulerInvariants) {
+  const std::uint64_t seed = TestSeed();
+  SCOPED_TRACE("reproduce with CONCORD_TEST_SEED=" + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> count_dist(200, 500);
+  std::uniform_real_distribution<double> long_fraction_dist(0.05, 0.25);
+  std::uniform_real_distribution<double> short_us_dist(0.2, 1.0);
+  std::uniform_real_distribution<double> long_us_dist(5.0, 20.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const int request_count = count_dist(rng);
+  const double long_fraction = long_fraction_dist(rng);
+  const double short_us = short_us_dist(rng);
+  const double long_us = long_us_dist(rng);
+  // Drawn uniformly, so across seeds this sweeps from deadline-free runs
+  // (EDF degenerates to FCFS) to all-deadline runs (slack accounting covers
+  // every request).
+  const double deadline_probability = unit(rng);
+
+  ShardedRuntime::Options options = MakeOptions();
+  options.shard.trace_buffer_capacity = 1 << 16;
+  std::atomic<std::uint64_t> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView& view) {
+    SpinWithProbesUs(view.request_class == 1 ? long_us : short_us);
+    handled.fetch_add(1);
+  };
+  ShardedRuntime runtime(options, callbacks);
+  runtime.Start();
+  std::uint64_t with_deadline = 0;
+  for (int i = 0; i < request_count; ++i) {
+    const int request_class = unit(rng) < long_fraction ? 1 : 0;
+    const double service_us = request_class == 1 ? long_us : short_us;
+    if (unit(rng) < deadline_probability) {
+      ++with_deadline;
+      while (!runtime.Submit(static_cast<std::uint64_t>(i), request_class, nullptr,
+                             service_us * 10.0)) {
+        std::this_thread::yield();
+      }
+    } else {
+      while (!runtime.Submit(static_cast<std::uint64_t>(i), request_class, nullptr)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+
+  // Conservation, which doubles as the no-starvation bound: WaitIdle
+  // returned, and every accepted request retired exactly once.
+  EXPECT_EQ(handled.load(), static_cast<std::uint64_t>(request_count));
+  const Runtime::Stats stats = runtime.GetStats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(request_count));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(request_count));
+  if (PolicyNeverPreempts(GetParam().policy)) {
+    EXPECT_EQ(stats.preemptions, 0u);
+  }
+
+  if constexpr (telemetry::kEnabled) {
+    const telemetry::TelemetrySnapshot merged = runtime.GetTelemetry();
+    EXPECT_EQ(merged.RequestsCompleted(), static_cast<std::uint64_t>(request_count));
+    // Slack accounting identity: each deadline-carrying dispatch bumps
+    // exactly one bucket. With the 50us quantum no service here can be
+    // preempted, so nothing is ever re-dispatched and the sum is exact.
+    const std::uint64_t slack_sum =
+        std::accumulate(merged.dispatcher.slack_histogram.begin(),
+                        merged.dispatcher.slack_histogram.end(), std::uint64_t{0});
+    if (stats.preemptions == 0) {
+      EXPECT_EQ(slack_sum, with_deadline);
+    } else {
+      EXPECT_GE(slack_sum, with_deadline) << "re-dispatches may only add buckets, never drop them";
+    }
+
+    std::uint64_t edf_checked = 0;
+    for (int s = 0; s < runtime.shard_count(); ++s) {
+      SCOPED_TRACE("shard " + std::to_string(s));
+      const trace::TraceCapture capture = runtime.GetShardTrace(s);
+      ASSERT_TRUE(capture.enabled);
+      trace::AnalyzerOptions analyzer_options;
+      const trace::AnalyzerReport report =
+          trace::AnalyzeChromeTraceJson(trace::ToChromeTraceJson(capture), analyzer_options);
+      EXPECT_TRUE(report.ok()) << (report.error.empty()
+                                       ? (report.violations.empty()
+                                              ? "unexplained trace drops"
+                                              : report.violations.front())
+                                       : report.error);
+      edf_checked += report.edf_dispatches_checked;
+    }
+    if (GetParam().policy == PolicyKind::kEdfNonPreemptive) {
+      // The analyzer's deadline-ordering-at-dispatch check must have covered
+      // every deadline-carrying dispatch, not silently skipped the trace.
+      EXPECT_EQ(edf_checked, with_deadline);
+    } else {
+      EXPECT_EQ(edf_checked, 0u) << "EDF ordering check must only arm for the edf policy";
+    }
   }
 }
 
@@ -212,7 +351,7 @@ TEST_P(PolicyConformanceTest, WorkConservingStealRespectsPolicy) {
   EXPECT_EQ(handled.load(), kRequests);
   const Runtime::Stats stats = runtime.GetStats();
   EXPECT_EQ(stats.completed, kRequests);
-  if (GetParam().policy != PolicyKind::kConcordJbsq) {
+  if (!PolicyKeepsConfiguredDepth(GetParam().policy)) {
     EXPECT_EQ(stats.dispatcher_started, 0u)
         << "single-queue policies must not run requests on the dispatcher";
   }
@@ -343,6 +482,15 @@ INSTANTIATE_TEST_SUITE_P(
         {PolicyKind::kFcfsNonPreemptive, 1},
         {PolicyKind::kFcfsNonPreemptive, 2},
         {PolicyKind::kFcfsNonPreemptive, 4},
+        {PolicyKind::kEdfNonPreemptive, 1},
+        {PolicyKind::kEdfNonPreemptive, 2},
+        {PolicyKind::kEdfNonPreemptive, 4},
+        {PolicyKind::kApproxSrpt, 1},
+        {PolicyKind::kApproxSrpt, 2},
+        {PolicyKind::kApproxSrpt, 4},
+        {PolicyKind::kConcordJbsqAdaptive, 1},
+        {PolicyKind::kConcordJbsqAdaptive, 2},
+        {PolicyKind::kConcordJbsqAdaptive, 4},
     }),
     ParamName);
 
@@ -384,6 +532,52 @@ TEST(PolicyAllocationTest, ConcordJbsqSteadyStateIsAllocationFree) {
   EXPECT_EQ(audited_ops, 0u) << "policy layer broke the allocation-free hot path";
 }
 
+// The same audit across every policy, with deadline-carrying submits so the
+// audit window also covers the ordered central-queue insert (EDF,
+// approx-SRPT), the slack-histogram instrument, the per-class EWMA update
+// and the adaptive controller's window fold — none of which may allocate in
+// steady state.
+TEST(PolicyAllocationTest, EveryPolicySteadyStateIsAllocationFree) {
+  for (PolicyKind policy :
+       {PolicyKind::kConcordJbsq, PolicyKind::kSingleQueuePreemptive,
+        PolicyKind::kFcfsNonPreemptive, PolicyKind::kEdfNonPreemptive, PolicyKind::kApproxSrpt,
+        PolicyKind::kConcordJbsqAdaptive}) {
+    SCOPED_TRACE(PolicyKindName(policy));
+    Runtime::Options options;
+    options.worker_count = 2;
+    options.jbsq_depth = 2;
+    options.policy = policy;
+    options.work_conserving_dispatcher = false;
+    options.quantum_us = 500.0;  // no preemptions: fiber demand stays at warmup level
+    std::atomic<int> handled{0};
+    Runtime::Callbacks callbacks;
+    callbacks.handle_request = [&](const RequestView&) {
+      SpinWithProbesUs(1.0);
+      handled.fetch_add(1);
+    };
+    Runtime runtime(options, callbacks);
+    runtime.Start();
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      while (!runtime.Submit(i, static_cast<int>(i % 2), nullptr, /*deadline_us=*/10.0)) {
+        std::this_thread::yield();
+      }
+    }
+    runtime.WaitIdle();
+    runtime.BeginAllocationAudit();
+    for (std::uint64_t i = 300; i < 600; ++i) {
+      while (!runtime.Submit(i, static_cast<int>(i % 2), nullptr, /*deadline_us=*/10.0)) {
+        std::this_thread::yield();
+      }
+    }
+    runtime.WaitIdle();
+    const std::uint64_t audited_ops = runtime.EndAllocationAudit();
+    runtime.Shutdown();
+    EXPECT_EQ(handled.load(), 600);
+    EXPECT_EQ(audited_ops, 0u) << PolicyKindName(policy)
+                               << " allocated on the deadline-carrying hot path";
+  }
+}
+
 // Round-trip the parsers the shared --policy=/--shards= plumbing uses.
 TEST(PolicySelectionTest, ParsersAcceptCanonicalAndAliasTokens) {
   PolicyKind kind;
@@ -399,9 +593,19 @@ TEST(PolicySelectionTest, ParsersAcceptCanonicalAndAliasTokens) {
   EXPECT_EQ(kind, PolicyKind::kFcfsNonPreemptive);
   EXPECT_TRUE(ParsePolicyKind("persephone", &kind));
   EXPECT_EQ(kind, PolicyKind::kFcfsNonPreemptive);
-  EXPECT_FALSE(ParsePolicyKind("unknown", &kind));
+  EXPECT_TRUE(ParsePolicyKind("edf", &kind));
+  EXPECT_EQ(kind, PolicyKind::kEdfNonPreemptive);
+  EXPECT_TRUE(ParsePolicyKind("approx-srpt", &kind));
+  EXPECT_EQ(kind, PolicyKind::kApproxSrpt);
+  EXPECT_TRUE(ParsePolicyKind("srpt", &kind));
+  EXPECT_EQ(kind, PolicyKind::kApproxSrpt);
+  EXPECT_TRUE(ParsePolicyKind("concord-adaptive", &kind));
+  EXPECT_EQ(kind, PolicyKind::kConcordJbsqAdaptive);
+  EXPECT_TRUE(ParsePolicyKind("adaptive", &kind));
+  EXPECT_EQ(kind, PolicyKind::kConcordJbsqAdaptive);
   for (PolicyKind p : {PolicyKind::kConcordJbsq, PolicyKind::kSingleQueuePreemptive,
-                       PolicyKind::kFcfsNonPreemptive}) {
+                       PolicyKind::kFcfsNonPreemptive, PolicyKind::kEdfNonPreemptive,
+                       PolicyKind::kApproxSrpt, PolicyKind::kConcordJbsqAdaptive}) {
     PolicyKind round_tripped;
     ASSERT_TRUE(ParsePolicyKind(PolicyKindName(p), &round_tripped));
     EXPECT_EQ(round_tripped, p);
@@ -411,7 +615,34 @@ TEST(PolicySelectionTest, ParsersAcceptCanonicalAndAliasTokens) {
   EXPECT_EQ(placement, ShardPlacement::kRoundRobin);
   EXPECT_TRUE(ParseShardPlacement("jsq", &placement));
   EXPECT_EQ(placement, ShardPlacement::kJsqOccupancy);
-  EXPECT_FALSE(ParseShardPlacement("bogus", &placement));
+}
+
+TEST(PolicySelectionTest, ParsersRejectUnknownTokens) {
+  // Unknown tokens must be rejected (not defaulted): a typo in --policy= that
+  // silently fell back to ConcordJbsq would invalidate a whole bench run.
+  PolicyKind kind = PolicyKind::kConcordJbsq;
+  for (const char* bad : {"unknown", "mlfq", "concord-", "edf2", "srpt ", "EDF", ""}) {
+    EXPECT_FALSE(ParsePolicyKind(bad, &kind)) << "accepted \"" << bad << "\"";
+  }
+  ShardPlacement placement = ShardPlacement::kRoundRobin;
+  for (const char* bad : {"bogus", "hash", "rr ", "JSQ", ""}) {
+    EXPECT_FALSE(ParseShardPlacement(bad, &placement)) << "accepted \"" << bad << "\"";
+  }
+}
+
+// A bad token on the command line is fatal, and the message must list every
+// valid token so the fix is one copy-paste away.
+TEST(PolicySelectionDeathTest, UnknownPolicyFlagDiesListingValidTokens) {
+  const char* argv[] = {"bench", "--policy=mlfq"};
+  EXPECT_DEATH(SelectionFromArgsOrEnv(2, const_cast<char**>(argv)),
+               "unknown --policy=mlfq.*valid:.*concord-jbsq.*single-queue.*fcfs"
+               ".*edf.*approx-srpt.*concord-adaptive");
+}
+
+TEST(PolicySelectionDeathTest, UnknownPlacementFlagDiesListingValidTokens) {
+  const char* argv[] = {"bench", "--placement=hash"};
+  EXPECT_DEATH(SelectionFromArgsOrEnv(2, const_cast<char**>(argv)),
+               "unknown --placement=hash.*valid:.*rr.*jsq");
 }
 
 TEST(PolicySelectionTest, SelectionReadsFlagsOverEnvironment) {

@@ -64,9 +64,11 @@ class CaptureBuilder {
     Add(TraceRecord{id, submit, adopt, RecordKind::kArrival, kDispatcherTrack, cls, 0});
   }
 
+  // Dispatch records carry the request's absolute deadline in end_tsc
+  // (0 = submitted without one) — the field the offline EDF check reads.
   void Dispatch(std::uint64_t id, std::uint64_t tsc, std::int32_t worker, std::uint32_t depth,
-                std::int32_t cls = 0) {
-    Add(TraceRecord{id, tsc, 0, RecordKind::kDispatch, worker, cls, depth});
+                std::int32_t cls = 0, std::uint64_t deadline_tsc = 0) {
+    Add(TraceRecord{id, tsc, deadline_tsc, RecordKind::kDispatch, worker, cls, depth});
   }
 
   void Segment(std::uint64_t id, std::uint64_t start, std::uint64_t end, std::int32_t worker,
@@ -306,6 +308,77 @@ TEST(AnalyzerTest, FlagsNonMonotoneArrivalTimestamps) {
     found_monotone = found_monotone || violation.find("not monotone") != std::string::npos;
   }
   EXPECT_TRUE(found_monotone) << report.violations.front();
+}
+
+// Clean EDF trace: two requests pending together, dispatched
+// earliest-deadline-first. The check must run (dispatch count reported) and
+// find nothing.
+TEST(AnalyzerTest, EdfTraceInDeadlineOrderPassesAndCountsChecks) {
+  CaptureBuilder builder(/*workers=*/1, /*jbsq_depth=*/1, /*quantum_us=*/5.0);
+  builder.capture().policy = "edf";
+  builder.Arrival(1, 100, 1000);  // deadline 50000
+  builder.Arrival(2, 200, 1000);  // deadline 20000: earlier, must go first
+  builder.Dispatch(2, 2000, 0, 1, 0, /*deadline_tsc=*/20000);
+  builder.Segment(2, 2100, 3000, 0, SegmentEnd::kFinished);
+  builder.Dispatch(1, 3500, 0, 1, 0, /*deadline_tsc=*/50000);
+  builder.Segment(1, 3600, 4500, 0, SegmentEnd::kFinished);
+  const AnalyzerReport report = builder.Analyze();
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? report.error
+                                                         : report.violations.front());
+  EXPECT_EQ(report.policy, "edf");
+  EXPECT_EQ(report.edf_dispatches_checked, 2u);
+}
+
+// The same two requests dispatched in the wrong order — the late deadline
+// leaves while the early one waits — must fire the EDF ordering check. This
+// is the synthetic-violation proof that the `concord_trace --check` rule has
+// teeth.
+TEST(AnalyzerTest, FlagsEdfDispatchPassingAnEarlierPendingDeadline) {
+  CaptureBuilder builder(/*workers=*/1, /*jbsq_depth=*/1, /*quantum_us=*/5.0);
+  builder.capture().policy = "edf";
+  builder.Arrival(1, 100, 1000);  // deadline 50000
+  builder.Arrival(2, 200, 1000);  // deadline 20000, left waiting
+  builder.Dispatch(1, 2000, 0, 1, 0, /*deadline_tsc=*/50000);
+  builder.Segment(1, 2100, 3000, 0, SegmentEnd::kFinished);
+  builder.Dispatch(2, 3500, 0, 1, 0, /*deadline_tsc=*/20000);
+  builder.Segment(2, 3600, 4500, 0, SegmentEnd::kFinished);
+  const AnalyzerReport report = builder.Analyze();
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.violations.empty());
+  bool found_edf = false;
+  for (const std::string& violation : report.violations) {
+    found_edf = found_edf || violation.find("EDF ordering") != std::string::npos;
+  }
+  EXPECT_TRUE(found_edf) << report.violations.front();
+}
+
+// The identical out-of-order dispatch stream under any other policy is
+// legal: the check only arms when the capture says the runtime ran EDF, and
+// deadline-free requests never enter the pending set.
+TEST(AnalyzerTest, EdfCheckStaysDisarmedForOtherPoliciesAndBareRequests) {
+  CaptureBuilder builder(/*workers=*/1, /*jbsq_depth=*/1, /*quantum_us=*/5.0);
+  builder.capture().policy = "concord-jbsq";
+  builder.Arrival(1, 100, 1000);
+  builder.Arrival(2, 200, 1000);
+  builder.Dispatch(1, 2000, 0, 1, 0, /*deadline_tsc=*/50000);
+  builder.Segment(1, 2100, 3000, 0, SegmentEnd::kFinished);
+  builder.Dispatch(2, 3500, 0, 1, 0, /*deadline_tsc=*/20000);
+  builder.Segment(2, 3600, 4500, 0, SegmentEnd::kFinished);
+  const AnalyzerReport no_edf_policy = builder.Analyze();
+  EXPECT_TRUE(no_edf_policy.ok());
+  EXPECT_EQ(no_edf_policy.policy, "concord-jbsq");
+  EXPECT_EQ(no_edf_policy.edf_dispatches_checked, 0u);
+
+  // EDF policy, but no request carries a deadline: nothing to check, and a
+  // zero count distinguishes "ran and found order" from "never ran".
+  CaptureBuilder bare(/*workers=*/1, /*jbsq_depth=*/1, /*quantum_us=*/5.0);
+  bare.capture().policy = "edf";
+  bare.Arrival(1, 100, 1000);
+  bare.Dispatch(1, 2000, 0, 1);
+  bare.Segment(1, 2100, 3000, 0, SegmentEnd::kFinished);
+  const AnalyzerReport no_deadlines = bare.Analyze();
+  EXPECT_TRUE(no_deadlines.ok());
+  EXPECT_EQ(no_deadlines.edf_dispatches_checked, 0u);
 }
 
 TEST(AnalyzerTest, UnexplainedSequenceGapFailsAZeroDropTrace) {

@@ -239,7 +239,8 @@ int main(int argc, char** argv) {
               << "  records " << report.record_count << ", workers " << report.worker_count
               << ", JBSQ k=" << report.jbsq_depth << ", quantum "
               << TablePrinter::Fixed(report.quantum_us, 1) << " us, tsc "
-              << TablePrinter::Fixed(report.tsc_ghz, 3) << " GHz\n"
+              << TablePrinter::Fixed(report.tsc_ghz, 3) << " GHz"
+              << (report.policy.empty() ? std::string() : ", policy " + report.policy) << "\n"
               << "  requests: " << report.requests_total << " total, " << report.requests_complete
               << " complete, " << report.requests_truncated << " truncated\n"
               << "  preempt signals observed: " << report.preempt_signals << "\n"
@@ -261,6 +262,10 @@ int main(int argc, char** argv) {
       std::cout << "\nInvariants: monotone timestamps, JBSQ occupancy <= k, dispatcher-pinned\n"
                    "completion, work conservation (grace "
                 << TablePrinter::Fixed(options.analyzer.grace_us, 0) << " us): all hold\n";
+      if (report.edf_dispatches_checked > 0) {
+        std::cout << "EDF dispatch ordering: " << report.edf_dispatches_checked
+                  << " deadline-carrying dispatch(es) in deadline order\n";
+      }
     }
     if (report.unexplained_drops > 0) {
       ok = false;
