@@ -22,6 +22,9 @@ void RunLiveSection(int argc, char** argv) {
   const telemetry::TelemetrySnapshot snapshot = RunLiveSpinTelemetry(
       kQuantumUs, kServiceUs, /*request_count=*/24, /*worker_count=*/2, argc, argv);
   PrintLiveCounterCheck(snapshot, kQuantumUs, kServiceUs);
+  // The same run's exact latency anatomy: the live counterpart of the
+  // figure's mechanism attribution, per class and stage.
+  PrintLiveAnatomy(snapshot);
   MaybeWriteTelemetry(snapshot, argc, argv);
 }
 

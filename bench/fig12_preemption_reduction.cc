@@ -57,6 +57,9 @@ void RunLiveSection(int argc, char** argv) {
   const telemetry::TelemetrySnapshot snapshot = RunLiveSpinTelemetry(
       kQuantumUs, kServiceUs, /*request_count=*/24, /*worker_count=*/2, argc, argv);
   PrintLiveCounterCheck(snapshot, kQuantumUs, kServiceUs);
+  // Requeue wait is the preemption-induced stage: fewer preemptions must
+  // show up here as less non-service time between first run and finish.
+  PrintLiveAnatomy(snapshot);
   MaybeWriteTelemetry(snapshot, argc, argv);
 }
 

@@ -250,6 +250,38 @@ void PrintLiveCounterCheck(const telemetry::TelemetrySnapshot& snapshot, double 
                "the dispatcher is preempted late or not at all)\n\n";
 }
 
+void PrintLiveAnatomy(const telemetry::TelemetrySnapshot& snapshot) {
+  if (!snapshot.enabled) {
+    std::cout << "latency anatomy: telemetry compiled out (CONCORD_TELEMETRY=OFF)\n\n";
+    return;
+  }
+  if (snapshot.anatomy.TotalCompleted() == 0) {
+    std::cout << "latency anatomy: no completed requests folded\n\n";
+    return;
+  }
+  std::cout << "latency anatomy (mean us per stage; stages partition "
+               "[arrival, complete] exactly):\n";
+  TablePrinter table({"class", "requests", "ingress", "queue", "inbox", "service", "requeue",
+                      "drain", "latency"});
+  for (std::size_t slot = 0; slot < telemetry::kAnatomyClassSlots; ++slot) {
+    const telemetry::AnatomyClassSnapshot& cls = snapshot.anatomy.classes[slot];
+    if (cls.completed == 0) {
+      continue;
+    }
+    double latency_us = 0.0;
+    std::vector<std::string> row{std::to_string(slot), std::to_string(cls.completed)};
+    for (int stage = 0; stage < telemetry::kAnatomyStages; ++stage) {
+      const double mean_us = snapshot.anatomy.MeanStageUs(slot, stage, snapshot.tsc_ghz);
+      latency_us += mean_us;
+      row.push_back(TablePrinter::Fixed(mean_us, 2));
+    }
+    row.push_back(TablePrinter::Fixed(latency_us, 2));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
 void MaybeWriteTelemetry(const telemetry::TelemetrySnapshot& snapshot, int argc, char** argv) {
   telemetry::MaybeExportSnapshot(snapshot, argc, argv);
 }

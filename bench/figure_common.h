@@ -78,6 +78,12 @@ void RunLivePolicyComparison(double quantum_us, double short_us, double long_us,
 void PrintLiveCounterCheck(const telemetry::TelemetrySnapshot& snapshot, double quantum_us,
                            double service_us);
 
+// Prints the per-class latency anatomy of `snapshot` as one table (mean
+// microseconds per stage; anatomy.h): the live "where did the latency go"
+// companion to the mechanism-counter check — queueing vs service vs
+// preemption-induced requeue wait, per class, exact by construction.
+void PrintLiveAnatomy(const telemetry::TelemetrySnapshot& snapshot);
+
 // Writes `snapshot` to the --telemetry-out=FILE (or CONCORD_TELEMETRY_OUT)
 // destination; no-op when neither is set.
 void MaybeWriteTelemetry(const telemetry::TelemetrySnapshot& snapshot, int argc, char** argv);

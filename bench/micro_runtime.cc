@@ -26,6 +26,7 @@
 #include "src/telemetry/event_ring.h"
 #include "src/telemetry/export.h"
 #include "src/trace/chrome_trace.h"
+#include "src/trace/flight_recorder.h"
 #include "src/trace/metrics_sampler.h"
 
 namespace concord {
@@ -37,6 +38,15 @@ namespace {
 // against a CONCORD_TELEMETRY=OFF build.
 bool BenchTraceEnabled() {
   const char* env = std::getenv("CONCORD_BENCH_TRACE");
+  return env != nullptr && env[0] == '1';
+}
+
+// CONCORD_BENCH_FLIGHT=1: additionally arm the anomaly-triggered flight
+// recorder during the throughput bench with every trigger disabled, so CI
+// can bound the armed-idle cost (background polling + lifecycle buffering,
+// no dumps) against the flight-recorder-off run.
+bool BenchFlightEnabled() {
+  const char* env = std::getenv("CONCORD_BENCH_FLIGHT");
   return env != nullptr && env[0] == '1';
 }
 
@@ -69,6 +79,8 @@ void BM_SubmitCompleteRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SubmitCompleteRoundTrip);
 
+// Bench driver on the load-generating thread, not handler code; the only
+// loops are the submit spin and WaitIdle. concord-lint: allow-no-probe
 void BM_PipelinedThroughput(benchmark::State& state) {
   // Keeps a window of requests in flight: the runtime's sustainable
   // request rate for no-op handlers.
@@ -89,6 +101,16 @@ void BM_PipelinedThroughput(benchmark::State& state) {
         trace::MetricsSampler::Options{}, [&runtime] { return runtime.GetTelemetry(); });
     sampler->Start();
   }
+  std::unique_ptr<trace::FlightRecorder> flight;
+  if (BenchFlightEnabled()) {
+    trace::FlightRecorderOptions flight_options;  // all triggers default-off
+    flight_options.dump_path = "/tmp/concord_bench_flight.trace.json";
+    flight_options.worker_count = options.worker_count;
+    flight_options.quantum_us = options.quantum_us;
+    flight = std::make_unique<trace::FlightRecorder>(
+        flight_options, [&runtime] { return runtime.GetTelemetry(); });
+    flight->Start();
+  }
   std::uint64_t id = 0;
   // Driver loop on the bench thread, not handler code. concord-lint: allow-no-probe
   for (auto _ : state) {
@@ -101,6 +123,9 @@ void BM_PipelinedThroughput(benchmark::State& state) {
     }
   }
   runtime.WaitIdle();
+  if (flight != nullptr) {
+    flight->Stop();
+  }
   if (sampler != nullptr) {
     sampler->Stop();
   }

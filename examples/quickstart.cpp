@@ -9,7 +9,17 @@
 // Usage: quickstart [offered_krps] [request_count] [--telemetry-out=FILE]
 //                   [--trace-out=FILE] [--metrics-out=FILE]
 //                   [--metrics-window-ms=MS] [--policy=NAME] [--shards=N]
-//                   [--placement=NAME]
+//                   [--placement=NAME] [--statusz-port=N] [--flight-dump=FILE]
+//
+// --statusz-port=N serves live introspection on 127.0.0.1:N while the run is
+// in flight (port 0 picks an ephemeral port, printed at startup):
+//   /statusz   human-readable runtime status + latency anatomy
+//   /metricsz  Prometheus text exposition (the MetricsSampler output)
+//   /flightz   flight-recorder trigger status (JSON)
+// --flight-dump=FILE arms the anomaly-triggered flight recorder; on a
+// deadline-miss burst, sustained negative slack, ingress backpressure, or a
+// p99 slowdown spike it dumps the recent scheduling past to FILE as a
+// concord.trace.v1 file for offline autopsy with concord_trace.
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,10 +30,12 @@
 
 #include "src/apps/synthetic.h"
 #include "src/loadgen/loadgen.h"
+#include "src/obs/status_server.h"
 #include "src/runtime/policy.h"
 #include "src/runtime/sharded_runtime.h"
 #include "src/telemetry/export.h"
 #include "src/trace/chrome_trace.h"
+#include "src/trace/flight_recorder.h"
 #include "src/trace/metrics_sampler.h"
 #include "src/workload/workload_factory.h"
 
@@ -48,6 +60,10 @@ int main(int argc, char** argv) {
 
   const std::string trace_out = concord::telemetry::TraceOutPath(argc, argv);
   const std::string metrics_out = concord::telemetry::MetricsOutPath(argc, argv);
+  const std::string flight_dump = concord::telemetry::OutPathFromFlagOrEnv(
+      argc, argv, "--flight-dump=", "CONCORD_FLIGHT_DUMP");
+  const std::string statusz_port = concord::telemetry::OutPathFromFlagOrEnv(
+      argc, argv, "--statusz-port=", "CONCORD_STATUSZ_PORT");
   const concord::RuntimeSelection selection = concord::SelectionFromArgsOrEnv(argc, argv);
 
   concord::ShardedRuntime::Options options;
@@ -77,15 +93,69 @@ int main(int argc, char** argv) {
   concord::ShardedRuntime runtime(options, callbacks);
   runtime.Start();
   std::unique_ptr<concord::trace::MetricsSampler> sampler;
-  if (!metrics_out.empty()) {
+  // The /metricsz endpoint serves the sampler's Prometheus exposition, so a
+  // statusz port implies sampling even without --metrics-out=.
+  if (!metrics_out.empty() || !statusz_port.empty()) {
     concord::trace::MetricsSampler::Options sampler_options;
     sampler_options.window_ms = concord::telemetry::MetricsWindowMs(argc, argv);
-    if (metrics_out != "-") {
+    if (!metrics_out.empty() && metrics_out != "-") {
       sampler_options.exposition_path = metrics_out + ".prom";
     }
     sampler = std::make_unique<concord::trace::MetricsSampler>(
         sampler_options, [&runtime] { return runtime.GetTelemetry(); });
     sampler->Start();
+  }
+  std::unique_ptr<concord::trace::FlightRecorder> flight;
+  if (!flight_dump.empty()) {
+    concord::trace::FlightRecorderOptions flight_options;
+    flight_options.dump_path = flight_dump;
+    // Trigger set tuned for this example's bimodal workload: fire on any
+    // negative-slack burst, on sustained backpressure, or on a tail blowup.
+    flight_options.deadline_miss_burst = 16;
+    flight_options.ingress_reject_burst = 256;
+    flight_options.p99_slowdown = 500.0;
+    flight_options.tsc_ghz = runtime.GetTelemetry().tsc_ghz;
+    flight_options.worker_count = options.shard.worker_count;
+    flight_options.jbsq_depth = options.shard.jbsq_depth;
+    flight_options.quantum_us = options.shard.quantum_us;
+    flight_options.policy = concord::PolicyKindName(selection.policy);
+    flight = std::make_unique<concord::trace::FlightRecorder>(
+        flight_options, [&runtime] { return runtime.GetTelemetry(); });
+    flight->Start();
+  }
+  std::unique_ptr<concord::obs::StatusServer> statusz;
+  if (!statusz_port.empty()) {
+    concord::obs::StatusServer::Options server_options;
+    server_options.port = static_cast<std::uint16_t>(std::atoi(statusz_port.c_str()));
+    statusz = std::make_unique<concord::obs::StatusServer>(server_options);
+    statusz->Handle("/statusz", "text/plain; charset=utf-8", [&runtime, &flight] {
+      const concord::telemetry::TelemetrySnapshot snapshot = runtime.GetTelemetry();
+      const concord::telemetry::WorkerSnapshot totals = snapshot.Totals();
+      std::string body = "concord quickstart\n";
+      body += "policy: " + snapshot.policy + "\n";
+      body += "completed: " + std::to_string(snapshot.RequestsCompleted()) + "\n";
+      body += "preemptions requested: " + std::to_string(totals.preemptions_requested) +
+              ", honored: " + std::to_string(totals.probe_yields) + "\n";
+      body += "ingress rejected: " + std::to_string(snapshot.dispatcher.ingress_rejected) + "\n";
+      body += "\nlatency anatomy (per class):\n" + snapshot.anatomy.SummaryText(snapshot.tsc_ghz);
+      if (flight != nullptr) {
+        body += "\nflight recorder: " + flight->StatusJson() + "\n";
+      }
+      return body;
+    });
+    statusz->Handle("/metricsz", "text/plain; version=0.0.4", [&sampler] {
+      return sampler->ToPrometheusText();
+    });
+    if (flight != nullptr) {
+      statusz->Handle("/flightz", "application/json", [&flight] { return flight->StatusJson(); });
+    }
+    if (statusz->Start()) {
+      std::printf("statusz: serving http://127.0.0.1:%u/statusz (and /metricsz)\n",
+                  static_cast<unsigned>(statusz->port()));
+    } else {
+      std::fprintf(stderr, "statusz: failed to bind 127.0.0.1:%s\n", statusz_port.c_str());
+      statusz.reset();
+    }
   }
   std::printf("driving %llu requests at %.1f kRps (policy=%s, %d shard%s)...\n",
               static_cast<unsigned long long>(count), offered_krps,
@@ -95,9 +165,23 @@ int main(int argc, char** argv) {
   const concord::Runtime::Stats stats = runtime.GetStats();
   const concord::telemetry::TelemetrySnapshot telemetry = runtime.GetTelemetry();
   bool export_ok = true;
+  if (statusz != nullptr) {
+    statusz->Stop();
+  }
+  if (flight != nullptr) {
+    flight->Stop();
+    if (flight->triggers_fired() > 0) {
+      std::printf("flight recorder: %llu trigger(s), %llu dump(s); last: %s\n",
+                  static_cast<unsigned long long>(flight->triggers_fired()),
+                  static_cast<unsigned long long>(flight->dumps_written()),
+                  flight->last_trigger().c_str());
+    }
+  }
   if (sampler != nullptr) {
     sampler->Stop();  // flushes the final partial window
-    export_ok = sampler->WriteSeries(metrics_out) && export_ok;
+    if (!metrics_out.empty()) {
+      export_ok = sampler->WriteSeries(metrics_out) && export_ok;
+    }
   }
   runtime.Shutdown();
   if (!trace_out.empty()) {

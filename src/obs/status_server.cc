@@ -1,0 +1,210 @@
+#include "src/obs/status_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace concord::obs {
+
+namespace {
+
+// One local GET line fits far below this; anything larger is not ours.
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+// Writes the whole buffer, retrying short writes; the sockets are blocking
+// for writes (only the accept loop is epoll-driven) and responses are small.
+// concord-lint: allow-no-probe (observer-thread I/O, never runs handler code)
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.1 200 OK\r\n";
+    case 404:
+      return "HTTP/1.1 404 Not Found\r\n";
+    case 405:
+      return "HTTP/1.1 405 Method Not Allowed\r\n";
+    default:
+      return "HTTP/1.1 400 Bad Request\r\n";
+  }
+}
+
+std::string MakeResponse(int code, const std::string& content_type, const std::string& body) {
+  std::string response = StatusLine(code);
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+}  // namespace
+
+StatusServer::StatusServer(Options options) : options_(options) {}
+
+StatusServer::~StatusServer() { Stop(); }
+
+void StatusServer::Handle(const std::string& path, std::string content_type, Provider provider) {
+  CONCORD_CHECK(!started_) << "register routes before Start()";
+  CONCORD_CHECK(!path.empty() && path.front() == '/') << "route paths must begin with '/'";
+  routes_[path] = Route{std::move(content_type), std::move(provider)};
+}
+
+bool StatusServer::Start() {
+  CONCORD_CHECK(!started_) << "status server already started";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // introspection is loopback-only
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.max_connections) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return false;
+  }
+  epoll_event listen_event{};
+  listen_event.events = EPOLLIN;
+  listen_event.data.fd = listen_fd_;
+  epoll_event wake_event{};
+  wake_event.events = EPOLLIN;
+  wake_event.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_event) != 0 ||
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_event) != 0) {
+    Stop();
+    return false;
+  }
+
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void StatusServer::Stop() {
+  if (started_ && !stopped_) {
+    stopped_ = true;
+    const std::uint64_t one = 1;
+    // Wake the epoll loop; a failed write leaves the loop blocked, so crash
+    // loudly rather than hang the join.
+    CONCORD_CHECK(::write(wake_fd_, &one, sizeof(one)) == sizeof(one));
+    thread_.join();
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+// concord-lint: allow-no-probe (observer thread: serves snapshots, never runs handler code)
+void StatusServer::Loop() {
+  epoll_event events[8];
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events, 8, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == wake_fd_) {
+        return;  // Stop() requested; pending connections are dropped
+      }
+      if (events[i].data.fd != listen_fd_) {
+        continue;
+      }
+      const int conn = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (conn < 0) {
+        continue;
+      }
+      HandleConnection(conn);
+      ::close(conn);
+    }
+  }
+}
+
+// Parses "GET <path> HTTP/1.x" and serves the matching provider. One read:
+// a loopback GET arrives whole, and anything that does not is not a client
+// this endpoint needs to accommodate.
+void StatusServer::HandleConnection(int fd) {
+  char buffer[kMaxRequestBytes];
+  ssize_t got;
+  do {
+    got = ::recv(fd, buffer, sizeof(buffer) - 1, 0);
+  } while (got < 0 && errno == EINTR);
+  if (got <= 0) {
+    return;
+  }
+  buffer[got] = '\0';
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string request(buffer, static_cast<std::size_t>(got));
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) {
+    WriteAll(fd, MakeResponse(405, "text/plain", "only GET is served here\n"));
+    return;
+  }
+  const std::size_t path_end = line.find(' ', 4);
+  std::string path = line.substr(4, path_end == std::string::npos ? std::string::npos
+                                                                  : path_end - 4);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);  // providers take no parameters
+  }
+
+  const auto route = routes_.find(path);
+  if (route == routes_.end()) {
+    std::string index = "not found; registered paths:\n";
+    for (const auto& [registered, unused] : routes_) {
+      index += "  " + registered + "\n";
+    }
+    WriteAll(fd, MakeResponse(404, "text/plain", index));
+    return;
+  }
+  WriteAll(fd, MakeResponse(200, route->second.content_type, route->second.provider()));
+}
+
+}  // namespace concord::obs

@@ -83,13 +83,17 @@ void Runtime::DrainIngress(bool* progress) {
       if (n > dispatcher_telemetry_.max_ingress_batch.load(std::memory_order_relaxed)) {
         dispatcher_telemetry_.max_ingress_batch.store(n, std::memory_order_relaxed);
       }
-      if (tracing_) {
-        adopt_tsc = ReadTsc();
-      }
+      // One TSC read per adopted batch stamps every request's ingress ->
+      // central handoff: the anatomy layer's ingress_wait stage boundary and
+      // (when tracing) the kArrival record's adoption time.
+      adopt_tsc = ReadTsc();
     }
     // concord-lint: allow-no-probe (dispatcher loop body; bounded by the drain batch size)
     for (std::size_t i = 0; i < n; ++i) {
       RuntimeRequest* request = ingress_scratch_[i];
+      if constexpr (telemetry::kEnabled) {
+        request->lifecycle.adopt_tsc = adopt_tsc;
+      }
       EnqueueCentral(request);
       if constexpr (telemetry::kEnabled) {
         if (tracing_) {
@@ -103,6 +107,7 @@ void Runtime::DrainIngress(bool* progress) {
   }
 }
 
+// concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
 void Runtime::DrainOutboxes(bool* progress) {
   // concord-lint: allow-no-probe (dispatcher loop body; bounded by worker count)
   for (int w = 0; w < options_.worker_count; ++w) {
@@ -129,11 +134,15 @@ void Runtime::DrainOutboxes(bool* progress) {
         finished_n += outbox_scratch_[i]->finished ? 1u : 0u;
       }
       if (finished_n != 0) {
+        // One TSC read per drain batch is the completion stamp: the anatomy
+        // drain stage is exactly the worker-finish -> dispatcher-retire gap.
+        const std::uint64_t complete_tsc = ReadTsc();
         std::lock_guard<std::mutex> lock(telemetry_mu_);
         telemetry::BumpSingleWriter(dispatcher_telemetry_.events_drained, finished_n);
         // concord-lint: allow-no-probe (dispatcher loop body; bounded by outbox drain batch)
         for (std::size_t i = 0; i < n; ++i) {
           if (outbox_scratch_[i]->finished) {
+            outbox_scratch_[i]->lifecycle.complete_tsc = complete_tsc;
             AppendLifecycleLocked(outbox_scratch_[i]->lifecycle);
           }
         }
@@ -374,8 +383,14 @@ void Runtime::MaybeRunAppRequest() {
                                 probe_count - dispatcher_probe_count_baseline_);
     dispatcher_probe_count_baseline_ = probe_count;
     const std::uint64_t segment_end_tsc = ReadTsc();
+    // Exact service accounting for the anatomy partition: dispatcher quanta
+    // are run segments too.
+    dispatcher_request_->lifecycle.service_tsc += segment_end_tsc - quantum_start_tsc;
     if (finished) {
       dispatcher_request_->lifecycle.finish_tsc = segment_end_tsc;
+      // Dispatcher-pinned requests retire inline — no outbox hop — so the
+      // drain stage is exactly zero.
+      dispatcher_request_->lifecycle.complete_tsc = segment_end_tsc;
       dispatcher_request_->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
       telemetry::BumpSingleWriter(dispatcher_telemetry_.requests_completed);
       AppendLifecycle(dispatcher_request_->lifecycle);

@@ -197,7 +197,11 @@ bool IngressLayer::Submit(std::uint64_t id, int request_class, void* payload,
           if (refilled == 0) {
             // Slab exhausted: every request of this slot is in flight.
             // Reported without blocking and without any dispatcher-shared
-            // lock.
+            // lock. fetch_add (multi-writer, relaxed monotone count): this
+            // is already the backpressured slow path — see telemetry.h.
+            if constexpr (telemetry::kEnabled) {
+              dispatcher_telemetry_->ingress_rejected.fetch_add(1, std::memory_order_relaxed);
+            }
             return false;
           }
         }
@@ -226,13 +230,20 @@ bool IngressLayer::Submit(std::uint64_t id, int request_class, void* payload,
           request->lifecycle.completion_worker = telemetry::kDispatcherWorkerId;
           request->lifecycle.preemptions = 0;
           request->lifecycle.arrival_tsc = request->arrival_tsc;
+          request->lifecycle.adopt_tsc = 0;
           request->lifecycle.dispatch_tsc = 0;
           request->lifecycle.first_run_tsc = 0;
           request->lifecycle.finish_tsc = 0;
+          request->lifecycle.complete_tsc = 0;
+          request->lifecycle.service_tsc = 0;
         }
         if (!slot->ingress.TryPush(request)) {
           // Ingress full: hand the request straight back to the local cache.
           slot->local_free.push_back(request);
+          // fetch_add: multi-writer backpressure count (see telemetry.h).
+          if constexpr (telemetry::kEnabled) {
+            dispatcher_telemetry_->ingress_rejected.fetch_add(1, std::memory_order_relaxed);
+          }
           return false;
         }
         return true;

@@ -245,6 +245,7 @@ Runtime::Stats Runtime::GetStats() const {
 telemetry::TelemetrySnapshot Runtime::GetTelemetry() const {
   telemetry::TelemetrySnapshot snapshot;
   snapshot.tsc_ghz = tsc_ghz_;
+  snapshot.policy = PolicyKindName(options_.policy);
   snapshot.workers.resize(workers_.size());
   if constexpr (!telemetry::kEnabled) {
     return snapshot;  // enabled=false, all zeros
@@ -256,6 +257,7 @@ telemetry::TelemetrySnapshot Runtime::GetTelemetry() const {
   // ring_dropped stays 0 by construction: lifecycles ride inside the request
   // object through the outbox, so there is no ring that could overflow.
   snapshot.dispatcher = telemetry::DispatcherSnapshot::Capture(dispatcher_telemetry_);
+  snapshot.anatomy = telemetry::AnatomySnapshot::Capture(anatomy_telemetry_);
   {
     std::lock_guard<std::mutex> lock(telemetry_mu_);
     snapshot.lifecycles.reserve(lifecycle_history_count_);
@@ -490,6 +492,11 @@ void Runtime::AppendLifecycle(const telemetry::RequestLifecycle& lifecycle) {
 // Circular append into the preallocated history (caller holds telemetry_mu_;
 // no container growth on any path).
 void Runtime::AppendLifecycleLocked(const telemetry::RequestLifecycle& lifecycle) {
+  // Every completed request passes through here exactly once (worker path
+  // via the outbox drain, dispatcher path via AppendLifecycle), so this is
+  // the one fold point for the per-class anatomy histograms — unlike the
+  // bounded history below, the anatomy aggregation never drops a request.
+  anatomy_telemetry_.Record(telemetry::ComputeStageVector(lifecycle), lifecycle.request_class);
   const std::size_t capacity = lifecycle_history_.size();
   if (capacity == 0) {
     telemetry::BumpSingleWriter(dispatcher_telemetry_.history_dropped);

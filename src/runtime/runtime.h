@@ -328,6 +328,9 @@ class Runtime {
   // preallocated circular buffer: head is the oldest entry).
   std::vector<std::unique_ptr<telemetry::DispatcherWorkerCounters>> dispatcher_worker_telemetry_;
   telemetry::DispatcherCounters dispatcher_telemetry_;
+  // Per-class latency-anatomy stage histograms, folded at lifecycle-append
+  // time (dispatcher-only writer; anatomy.h).
+  telemetry::AnatomyCounters anatomy_telemetry_;
   std::uint64_t dispatcher_probe_count_baseline_ = 0;  // dispatcher-owned fold state
   mutable std::mutex telemetry_mu_;  // guards lifecycle_history_*
   std::vector<telemetry::RequestLifecycle> lifecycle_history_;

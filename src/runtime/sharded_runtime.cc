@@ -162,9 +162,13 @@ telemetry::TelemetrySnapshot ShardedRuntime::GetTelemetry() const {
     merged.dispatcher.ingress_drained += s.dispatcher.ingress_drained;
     merged.dispatcher.jbsq_batches += s.dispatcher.jbsq_batches;
     merged.dispatcher.quantum_retunes += s.dispatcher.quantum_retunes;
+    merged.dispatcher.ingress_rejected += s.dispatcher.ingress_rejected;
     for (std::size_t b = 0; b < telemetry::kSlackBuckets; ++b) {
       merged.dispatcher.slack_histogram[b] += s.dispatcher.slack_histogram[b];
     }
+    // Per-class anatomy sums and histograms add across shards; every shard
+    // runs the same policy, so the front shard's policy token stands.
+    merged.anatomy.Accumulate(s.anatomy);
     // High-water mark across shards, not a sum of high-waters.
     if (s.dispatcher.max_ingress_batch > merged.dispatcher.max_ingress_batch) {
       merged.dispatcher.max_ingress_batch = s.dispatcher.max_ingress_batch;

@@ -128,6 +128,11 @@ void Runtime::WorkerLoop(int worker_index) {
       if constexpr (telemetry::kEnabled) {
         const std::uint64_t segment_end_tsc = ReadTsc();
         telemetry::BumpSingleWriter(counters.busy_cycles, segment_end_tsc - segment_start_tsc);
+        // Exact per-request service accounting (anatomy.h): the same
+        // boundaries as busy_cycles, charged to the request instead of the
+        // worker. Requeue wait then falls out as (finish - first_run) minus
+        // this sum — no resume stamps needed.
+        request->lifecycle.service_tsc += segment_end_tsc - segment_start_tsc;
         // Zero deltas (probe-free handlers) skip the counter write entirely.
         const std::uint64_t probe_count = ProbeCount();
         if (probe_count != last_probe_count) {

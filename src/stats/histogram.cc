@@ -76,6 +76,10 @@ void Histogram::RecordMany(double value, std::uint64_t count) {
   sum_ += value * static_cast<double>(count);
 }
 
+double Histogram::BucketLowerEdge(std::size_t index) const {
+  return index == 0 ? 0.0 : BucketUpperEdge(index - 1);
+}
+
 double Histogram::Quantile(double q) const {
   if (count_ == 0) {
     return 0.0;
@@ -89,8 +93,20 @@ double Histogram::Quantile(double q) const {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
+      // Interpolate by rank position within the bucket: the k-th of n
+      // samples in a bucket reports k/n of the way from the lower to the
+      // upper edge. Reporting the upper edge for every rank biases quantiles
+      // high by up to a full bucket width; interpolation centers the error
+      // (a lone sample still reports the upper edge, preserving the old
+      // behavior for sparse buckets). Deterministic in the bucket state, so
+      // Merge/RecordMany equivalences hold unchanged.
+      const std::uint64_t below = seen - buckets_[i];
+      const double frac =
+          static_cast<double>(rank - below) / static_cast<double>(buckets_[i]);
+      const double lower = BucketLowerEdge(i);
+      const double value = lower + frac * (BucketUpperEdge(i) - lower);
       // Clamp to the observed range so Quantile(1.0) <= Max().
-      return std::clamp(BucketUpperEdge(i), min_, max_);
+      return std::clamp(value, min_, max_);
     }
   }
   return max_;

@@ -29,8 +29,12 @@ class Histogram {
   void RecordMany(double value, std::uint64_t count);
 
   // Quantile in [0, 1]; e.g. 0.999 for p99.9. Returns 0 when empty. The
-  // result is the representative (upper edge) value of the bucket containing
-  // the requested rank.
+  // result interpolates within the bucket containing the requested rank
+  // (linearly, by rank position between the bucket edges), halving the
+  // worst-case quantization bias of reporting the bucket's upper edge: the
+  // error is bounded by the bucket width (one part in sub_buckets_per_octave
+  // of the value) and is deterministic for a given bucket state, so Merge/
+  // RecordMany identities are unaffected.
   double Quantile(double q) const;
 
   double Min() const { return count_ == 0 ? 0.0 : min_; }
@@ -49,6 +53,7 @@ class Histogram {
  private:
   std::size_t BucketIndex(double value) const;
   double BucketUpperEdge(std::size_t index) const;
+  double BucketLowerEdge(std::size_t index) const;
 
   int sub_buckets_;       // sub-buckets per octave (power of two)
   int sub_bucket_shift_;  // log2(sub_buckets_)

@@ -1,0 +1,184 @@
+#include "src/telemetry/anatomy.h"
+
+#include <bit>
+#include <sstream>
+
+#include "src/telemetry/telemetry.h"
+
+namespace concord::telemetry {
+
+const char* StageName(int stage) {
+  switch (static_cast<Stage>(stage)) {
+    case Stage::kIngressWait:
+      return "ingress_wait";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kInboxWait:
+      return "inbox_wait";
+    case Stage::kService:
+      return "service";
+    case Stage::kRequeueWait:
+      return "requeue_wait";
+    case Stage::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+StageVector ComputeStageVector(const RequestLifecycle& lifecycle) {
+  StageVector vector;
+  // Every handoff stamp must exist: a zero means the lifecycle predates the
+  // anatomy stamps (old JSON import) or the request never completed.
+  if (lifecycle.adopt_tsc == 0 || lifecycle.dispatch_tsc == 0 || lifecycle.first_run_tsc == 0 ||
+      lifecycle.finish_tsc == 0 || lifecycle.complete_tsc == 0) {
+    return vector;
+  }
+  // Monotone stamp chain; a violation means TSC skew across sockets (the
+  // runtime assumes invariant-TSC hosts) or a stamping bug — either way the
+  // partition would be meaningless, so the vector is reported invalid rather
+  // than silently clamped.
+  if (lifecycle.adopt_tsc < lifecycle.arrival_tsc ||
+      lifecycle.dispatch_tsc < lifecycle.adopt_tsc ||
+      lifecycle.first_run_tsc < lifecycle.dispatch_tsc ||
+      lifecycle.finish_tsc < lifecycle.first_run_tsc ||
+      lifecycle.complete_tsc < lifecycle.finish_tsc) {
+    return vector;
+  }
+  const std::uint64_t run_window = lifecycle.finish_tsc - lifecycle.first_run_tsc;
+  if (lifecycle.service_tsc > run_window) {
+    return vector;  // segment accounting exceeded the run window
+  }
+  vector.stage_tsc[static_cast<int>(Stage::kIngressWait)] =
+      lifecycle.adopt_tsc - lifecycle.arrival_tsc;
+  vector.stage_tsc[static_cast<int>(Stage::kQueueWait)] =
+      lifecycle.dispatch_tsc - lifecycle.adopt_tsc;
+  vector.stage_tsc[static_cast<int>(Stage::kInboxWait)] =
+      lifecycle.first_run_tsc - lifecycle.dispatch_tsc;
+  vector.stage_tsc[static_cast<int>(Stage::kService)] = lifecycle.service_tsc;
+  vector.stage_tsc[static_cast<int>(Stage::kRequeueWait)] = run_window - lifecycle.service_tsc;
+  vector.stage_tsc[static_cast<int>(Stage::kDrain)] =
+      lifecycle.complete_tsc - lifecycle.finish_tsc;
+  vector.latency_tsc = lifecycle.complete_tsc - lifecycle.arrival_tsc;
+  vector.valid = true;
+  return vector;
+}
+
+std::size_t AnatomyBucket(std::uint64_t stage_tsc) {
+  const auto width = static_cast<std::size_t>(std::bit_width(stage_tsc));
+  return width < kAnatomyBuckets ? width : kAnatomyBuckets - 1;
+}
+
+void AnatomyCounters::Record(const StageVector& vector, std::int32_t request_class) {
+  AnatomyClassCounters& slot = classes[AnatomyClassSlot(request_class)];
+  if (!vector.valid) {
+    BumpSingleWriter(slot.invalid);
+    return;
+  }
+  for (int stage = 0; stage < kAnatomyStages; ++stage) {
+    const std::uint64_t ticks = vector.stage_tsc[stage];
+    BumpSingleWriter(slot.stage_sum_tsc[static_cast<std::size_t>(stage)], ticks);
+    BumpSingleWriter(slot.stage_hist[static_cast<std::size_t>(stage)][AnatomyBucket(ticks)]);
+  }
+  BumpSingleWriter(slot.completed);
+}
+
+std::uint64_t AnatomyClassSnapshot::HistogramTotal(int stage) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t bucket : stage_hist[static_cast<std::size_t>(stage)]) {
+    total += bucket;
+  }
+  return total;
+}
+
+AnatomySnapshot AnatomySnapshot::Capture(const AnatomyCounters& counters) {
+  AnatomySnapshot snapshot;
+  for (std::size_t c = 0; c < kAnatomyClassSlots; ++c) {
+    const AnatomyClassCounters& from = counters.classes[c];
+    AnatomyClassSnapshot& to = snapshot.classes[c];
+    to.completed = from.completed.load(std::memory_order_relaxed);
+    to.invalid = from.invalid.load(std::memory_order_relaxed);
+    for (std::size_t s = 0; s < kAnatomyStages; ++s) {
+      to.stage_sum_tsc[s] = from.stage_sum_tsc[s].load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kAnatomyBuckets; ++b) {
+        to.stage_hist[s][b] = from.stage_hist[s][b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return snapshot;
+}
+
+std::uint64_t AnatomySnapshot::TotalCompleted() const {
+  std::uint64_t total = 0;
+  for (const AnatomyClassSnapshot& slot : classes) {
+    total += slot.completed;
+  }
+  return total;
+}
+
+std::uint64_t AnatomySnapshot::TotalInvalid() const {
+  std::uint64_t total = 0;
+  for (const AnatomyClassSnapshot& slot : classes) {
+    total += slot.invalid;
+  }
+  return total;
+}
+
+void AnatomySnapshot::Accumulate(const AnatomySnapshot& other) {
+  for (std::size_t c = 0; c < kAnatomyClassSlots; ++c) {
+    classes[c].completed += other.classes[c].completed;
+    classes[c].invalid += other.classes[c].invalid;
+    for (std::size_t s = 0; s < kAnatomyStages; ++s) {
+      classes[c].stage_sum_tsc[s] += other.classes[c].stage_sum_tsc[s];
+      for (std::size_t b = 0; b < kAnatomyBuckets; ++b) {
+        classes[c].stage_hist[s][b] += other.classes[c].stage_hist[s][b];
+      }
+    }
+  }
+}
+
+void AnatomySnapshot::Subtract(const AnatomySnapshot& before) {
+  for (std::size_t c = 0; c < kAnatomyClassSlots; ++c) {
+    classes[c].completed -= before.classes[c].completed;
+    classes[c].invalid -= before.classes[c].invalid;
+    for (std::size_t s = 0; s < kAnatomyStages; ++s) {
+      classes[c].stage_sum_tsc[s] -= before.classes[c].stage_sum_tsc[s];
+      for (std::size_t b = 0; b < kAnatomyBuckets; ++b) {
+        classes[c].stage_hist[s][b] -= before.classes[c].stage_hist[s][b];
+      }
+    }
+  }
+}
+
+double AnatomySnapshot::MeanStageUs(std::size_t class_slot, int stage, double tsc_ghz) const {
+  if (class_slot >= kAnatomyClassSlots) {
+    return 0.0;
+  }
+  const AnatomyClassSnapshot& slot = classes[class_slot];
+  if (slot.completed == 0) {
+    return 0.0;
+  }
+  const double ghz = tsc_ghz > 0.0 ? tsc_ghz : 1.0;
+  const double sum = static_cast<double>(slot.stage_sum_tsc[static_cast<std::size_t>(stage)]);
+  return sum / (static_cast<double>(slot.completed) * ghz * 1000.0);
+}
+
+std::string AnatomySnapshot::SummaryText(double tsc_ghz) const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < kAnatomyClassSlots; ++c) {
+    const AnatomyClassSnapshot& slot = classes[c];
+    if (slot.completed == 0 && slot.invalid == 0) {
+      continue;
+    }
+    out << "class " << c << (c == kAnatomyClassSlots - 1 ? "+" : "") << ": n=" << slot.completed;
+    for (int s = 0; s < kAnatomyStages; ++s) {
+      out << " " << StageName(s) << "=" << MeanStageUs(c, s, tsc_ghz) << "us";
+    }
+    if (slot.invalid > 0) {
+      out << " invalid=" << slot.invalid;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace concord::telemetry

@@ -1,0 +1,152 @@
+// Per-request latency anatomy: the exact six-stage decomposition of every
+// completed request's end-to-end latency (docs/observability.md).
+//
+// The paper's whole argument is about *where* microsecond-scale tail latency
+// comes from (queueing vs service vs preemption delay, Figs. 11-12). The
+// lifecycle record already carries TSC stamps for every ownership handoff a
+// request goes through; this module formalizes them into a stage vector
+//
+//   ingress_wait   Submit()         -> dispatcher adoption      (producer ring)
+//   queue_wait     adoption         -> first dispatch           (central queue)
+//   inbox_wait     first dispatch   -> first run                (JBSQ inbox)
+//   service        sum of run-segment durations                 (handler code)
+//   requeue_wait   non-service time between first run and finish
+//                  (preemption-induced: central re-queue + re-dispatch + inbox)
+//   drain          handler finished -> dispatcher completion    (outbox)
+//
+// The six stages are computed by integer TSC subtraction along the stamp
+// chain, so for every valid lifecycle they partition [arrival, complete]
+// *exactly*: stage sum == end-to-end latency in TSC units, per request, no
+// rounding. Tests and `concord_trace --check` assert the identity; the live
+// runtime folds each completed request's vector into per-class per-stage
+// histograms exported as an additive `anatomy` field of concord.telemetry.v1.
+//
+// Writer contract: AnatomyCounters is written only by the dispatcher thread
+// (at lifecycle-append time, the same point that feeds the bounded history),
+// with the same single-writer relaxed atomics as the other counter blocks.
+
+#ifndef CONCORD_SRC_TELEMETRY_ANATOMY_H_
+#define CONCORD_SRC_TELEMETRY_ANATOMY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/cacheline.h"
+
+namespace concord::telemetry {
+
+// telemetry.h includes this header for the snapshot types; the lifecycle
+// record is only referenced, never inspected here.
+struct RequestLifecycle;
+
+// Stage indices of the anatomy vector, in stamp-chain order.
+inline constexpr int kAnatomyStages = 6;
+enum class Stage : int {
+  kIngressWait = 0,
+  kQueueWait = 1,
+  kInboxWait = 2,
+  kService = 3,
+  kRequeueWait = 4,
+  kDrain = 5,
+};
+
+// Stable wire/report name of a stage ("ingress_wait", ..., "drain");
+// "unknown" for out-of-range indices.
+const char* StageName(int stage);
+
+// One request's exact stage decomposition.
+struct StageVector {
+  std::uint64_t stage_tsc[kAnatomyStages] = {};
+  std::uint64_t latency_tsc = 0;  // complete_tsc - arrival_tsc
+  // True when the stamp chain is monotone and service fits the run window;
+  // when true, Sum() == latency_tsc holds exactly by construction.
+  bool valid = false;
+
+  std::uint64_t Sum() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t stage : stage_tsc) {
+      sum += stage;
+    }
+    return sum;
+  }
+};
+
+// Computes the exact stage vector from a completed lifecycle. Returns
+// valid == false (all-zero stages) when any stamp is missing (pre-anatomy
+// JSON imports) or the chain is non-monotone (cross-socket TSC skew).
+StageVector ComputeStageVector(const RequestLifecycle& lifecycle);
+
+// Class slots for the live per-class aggregation: classes 0..6 get their own
+// slot, anything higher folds into the last slot (mirrors the bounded
+// per-class handling elsewhere; real workloads use single-digit class ids).
+inline constexpr std::size_t kAnatomyClassSlots = 8;
+inline std::size_t AnatomyClassSlot(std::int32_t request_class) {
+  if (request_class < 0) {
+    return kAnatomyClassSlots - 1;
+  }
+  const auto slot = static_cast<std::size_t>(request_class);
+  return slot < kAnatomyClassSlots - 1 ? slot : kAnatomyClassSlots - 1;
+}
+
+// Per-stage histogram buckets: bucket b counts stage durations whose TSC
+// tick count has bit-width b (i.e. duration in [2^(b-1), 2^b), bucket 0 is
+// exactly zero ticks), clamped to the last bucket. 32 buckets cover ~0.9s at
+// 2.4GHz; interpret bucket edges in time units via the snapshot's tsc_ghz.
+// Log2-of-ticks keeps the hot fold to a bit-scan + one relaxed store.
+inline constexpr std::size_t kAnatomyBuckets = 32;
+std::size_t AnatomyBucket(std::uint64_t stage_tsc);
+
+// Live accumulation block. Dispatcher-only writer; readers snapshot with
+// relaxed loads like every other counter block.
+struct alignas(kCacheLineSize) AnatomyClassCounters {
+  std::atomic<std::uint64_t> completed{0};  // valid stage vectors folded
+  std::atomic<std::uint64_t> invalid{0};    // lifecycles with a broken stamp chain
+  std::array<std::atomic<std::uint64_t>, kAnatomyStages> stage_sum_tsc{};
+  std::array<std::array<std::atomic<std::uint64_t>, kAnatomyBuckets>, kAnatomyStages> stage_hist{};
+};
+
+struct AnatomyCounters {
+  std::array<AnatomyClassCounters, kAnatomyClassSlots> classes{};
+
+  // Folds one completed request (dispatcher thread only). Invalid vectors
+  // only bump the `invalid` counter so the accounting identity
+  // completed == histogram total stays exact per stage.
+  void Record(const StageVector& vector, std::int32_t request_class);
+};
+
+// Plain-value snapshot of one class slot.
+struct AnatomyClassSnapshot {
+  std::uint64_t completed = 0;
+  std::uint64_t invalid = 0;
+  std::array<std::uint64_t, kAnatomyStages> stage_sum_tsc{};
+  std::array<std::array<std::uint64_t, kAnatomyBuckets>, kAnatomyStages> stage_hist{};
+
+  // Histogram accounting identity: per stage, bucket sum == completed.
+  std::uint64_t HistogramTotal(int stage) const;
+};
+
+struct AnatomySnapshot {
+  std::array<AnatomyClassSnapshot, kAnatomyClassSlots> classes{};
+
+  static AnatomySnapshot Capture(const AnatomyCounters& counters);
+
+  std::uint64_t TotalCompleted() const;
+  std::uint64_t TotalInvalid() const;
+
+  // Counter-wise accumulate (sharded merge) and subtract (windowed diff).
+  void Accumulate(const AnatomySnapshot& other);
+  void Subtract(const AnatomySnapshot& before);
+
+  // Mean stage duration in microseconds for one class slot (0 when empty).
+  double MeanStageUs(std::size_t class_slot, int stage, double tsc_ghz) const;
+
+  // Human-readable per-class summary ("class 0: n=... ingress 0.1us ..."),
+  // one line per non-empty class; used by /statusz and the bench printers.
+  std::string SummaryText(double tsc_ghz) const;
+};
+
+}  // namespace concord::telemetry
+
+#endif  // CONCORD_SRC_TELEMETRY_ANATOMY_H_

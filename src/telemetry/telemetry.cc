@@ -44,6 +44,7 @@ DispatcherSnapshot DispatcherSnapshot::Capture(const DispatcherCounters& counter
   snapshot.jbsq_batches = Load(counters.jbsq_batches);
   snapshot.producer_slots = Load(counters.producer_slots);
   snapshot.quantum_retunes = Load(counters.quantum_retunes);
+  snapshot.ingress_rejected = Load(counters.ingress_rejected);
   for (std::size_t i = 0; i < kSlackBuckets; ++i) {
     snapshot.slack_histogram[i] = Load(counters.slack_histogram[i]);
   }
@@ -101,9 +102,11 @@ TelemetrySnapshot TelemetrySnapshot::Diff(const TelemetrySnapshot& before,
   diff.dispatcher.ingress_drained -= before.dispatcher.ingress_drained;
   diff.dispatcher.jbsq_batches -= before.dispatcher.jbsq_batches;
   diff.dispatcher.quantum_retunes -= before.dispatcher.quantum_retunes;
+  diff.dispatcher.ingress_rejected -= before.dispatcher.ingress_rejected;
   for (std::size_t i = 0; i < kSlackBuckets; ++i) {
     diff.dispatcher.slack_histogram[i] -= before.dispatcher.slack_histogram[i];
   }
+  diff.anatomy.Subtract(before.anatomy);
   // max_ingress_batch and producer_slots are high-water marks: keep the
   // later value rather than subtracting.
   return diff;
@@ -151,9 +154,12 @@ JsonValue LifecycleToJson(const RequestLifecycle& lifecycle) {
   object.Set("completion_worker", JsonValue::MakeInt(lifecycle.completion_worker));
   object.Set("preemptions", JsonValue::MakeInt(lifecycle.preemptions));
   object.Set("arrival_tsc", JsonValue::MakeUint(lifecycle.arrival_tsc));
+  object.Set("adopt_tsc", JsonValue::MakeUint(lifecycle.adopt_tsc));
   object.Set("dispatch_tsc", JsonValue::MakeUint(lifecycle.dispatch_tsc));
   object.Set("first_run_tsc", JsonValue::MakeUint(lifecycle.first_run_tsc));
   object.Set("finish_tsc", JsonValue::MakeUint(lifecycle.finish_tsc));
+  object.Set("complete_tsc", JsonValue::MakeUint(lifecycle.complete_tsc));
+  object.Set("service_tsc", JsonValue::MakeUint(lifecycle.service_tsc));
   JsonValue preemptions = JsonValue::MakeArray();
   const int stamps = lifecycle.preemptions < kMaxRecordedPreemptions ? lifecycle.preemptions
                                                                      : kMaxRecordedPreemptions;
@@ -172,9 +178,12 @@ RequestLifecycle LifecycleFromJson(const JsonValue& object) {
   lifecycle.completion_worker = static_cast<std::int32_t>(object.GetInt("completion_worker"));
   lifecycle.preemptions = static_cast<std::int32_t>(object.GetInt("preemptions"));
   lifecycle.arrival_tsc = object.GetUint("arrival_tsc");
+  lifecycle.adopt_tsc = object.GetUint("adopt_tsc");
   lifecycle.dispatch_tsc = object.GetUint("dispatch_tsc");
   lifecycle.first_run_tsc = object.GetUint("first_run_tsc");
   lifecycle.finish_tsc = object.GetUint("finish_tsc");
+  lifecycle.complete_tsc = object.GetUint("complete_tsc");
+  lifecycle.service_tsc = object.GetUint("service_tsc");
   if (const JsonValue* stamps = object.Get("preempt_tsc");
       stamps != nullptr && stamps->is_array()) {
     int i = 0;
@@ -188,6 +197,101 @@ RequestLifecycle LifecycleFromJson(const JsonValue& object) {
   return lifecycle;
 }
 
+// Additive v1 field `anatomy`: per-class stage sums and histograms, sparse
+// (empty class slots are skipped and histograms are [bucket, count] pairs —
+// 6 stages x 32 buckets of mostly zeros would dominate the file otherwise).
+JsonValue AnatomyToJson(const AnatomySnapshot& anatomy) {
+  JsonValue classes = JsonValue::MakeArray();
+  for (std::size_t c = 0; c < kAnatomyClassSlots; ++c) {
+    const AnatomyClassSnapshot& slot = anatomy.classes[c];
+    if (slot.completed == 0 && slot.invalid == 0) {
+      continue;
+    }
+    JsonValue object = JsonValue::MakeObject();
+    object.Set("class", JsonValue::MakeUint(c));
+    object.Set("completed", JsonValue::MakeUint(slot.completed));
+    object.Set("invalid", JsonValue::MakeUint(slot.invalid));
+    JsonValue sums = JsonValue::MakeArray();
+    JsonValue hists = JsonValue::MakeArray();
+    for (std::size_t s = 0; s < kAnatomyStages; ++s) {
+      sums.MutableArray().push_back(JsonValue::MakeUint(slot.stage_sum_tsc[s]));
+      JsonValue hist = JsonValue::MakeArray();
+      for (std::size_t b = 0; b < kAnatomyBuckets; ++b) {
+        if (slot.stage_hist[s][b] == 0) {
+          continue;
+        }
+        JsonValue pair = JsonValue::MakeArray();
+        pair.MutableArray().push_back(JsonValue::MakeUint(b));
+        pair.MutableArray().push_back(JsonValue::MakeUint(slot.stage_hist[s][b]));
+        hist.MutableArray().push_back(std::move(pair));
+      }
+      hists.MutableArray().push_back(std::move(hist));
+    }
+    object.Set("stage_sum_tsc", std::move(sums));
+    object.Set("stage_hist", std::move(hists));
+    classes.MutableArray().push_back(std::move(object));
+  }
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("stages", [] {
+    JsonValue names = JsonValue::MakeArray();
+    for (int s = 0; s < kAnatomyStages; ++s) {
+      names.MutableArray().push_back(JsonValue::MakeString(StageName(s)));
+    }
+    return names;
+  }());
+  root.Set("classes", std::move(classes));
+  return root;
+}
+
+void AnatomyFromJson(const JsonValue& root, AnatomySnapshot* out) {
+  *out = AnatomySnapshot{};
+  const JsonValue* classes = root.Get("classes");
+  if (classes == nullptr || !classes->is_array()) {
+    return;
+  }
+  for (const JsonValue& object : classes->AsArray()) {
+    if (!object.is_object()) {
+      continue;
+    }
+    const std::uint64_t c = object.GetUint("class");
+    if (c >= kAnatomyClassSlots) {
+      continue;
+    }
+    AnatomyClassSnapshot& slot = out->classes[c];
+    slot.completed = object.GetUint("completed");
+    slot.invalid = object.GetUint("invalid");
+    if (const JsonValue* sums = object.Get("stage_sum_tsc"); sums != nullptr && sums->is_array()) {
+      std::size_t s = 0;
+      for (const JsonValue& sum : sums->AsArray()) {
+        if (s >= kAnatomyStages) {
+          break;
+        }
+        slot.stage_sum_tsc[s++] = sum.AsUint();
+      }
+    }
+    if (const JsonValue* hists = object.Get("stage_hist"); hists != nullptr && hists->is_array()) {
+      std::size_t s = 0;
+      for (const JsonValue& hist : hists->AsArray()) {
+        if (s >= kAnatomyStages) {
+          break;
+        }
+        if (hist.is_array()) {
+          for (const JsonValue& pair : hist.AsArray()) {
+            if (!pair.is_array() || pair.AsArray().size() != 2) {
+              continue;
+            }
+            const std::uint64_t b = pair.AsArray()[0].AsUint();
+            if (b < kAnatomyBuckets) {
+              slot.stage_hist[s][b] = pair.AsArray()[1].AsUint();
+            }
+          }
+        }
+        ++s;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string TelemetrySnapshot::ToJson() const {
@@ -195,6 +299,9 @@ std::string TelemetrySnapshot::ToJson() const {
   root.Set("schema", JsonValue::MakeString("concord.telemetry.v1"));
   root.Set("enabled", JsonValue::MakeBool(enabled));
   root.Set("tsc_ghz", JsonValue::MakeNumber(tsc_ghz));
+  // Additive v1 field: consumers that predate it ignore it; FromJson leaves
+  // the token empty when absent.
+  root.Set("policy", JsonValue::MakeString(policy));
 
   JsonValue worker_array = JsonValue::MakeArray();
   for (const WorkerSnapshot& worker : workers) {
@@ -216,6 +323,7 @@ std::string TelemetrySnapshot::ToJson() const {
   dispatcher_object.Set("jbsq_batches", JsonValue::MakeUint(dispatcher.jbsq_batches));
   dispatcher_object.Set("producer_slots", JsonValue::MakeUint(dispatcher.producer_slots));
   dispatcher_object.Set("quantum_retunes", JsonValue::MakeUint(dispatcher.quantum_retunes));
+  dispatcher_object.Set("ingress_rejected", JsonValue::MakeUint(dispatcher.ingress_rejected));
   // Additive v1 field: consumers that predate it ignore it, and FromJson
   // tolerates its absence (the histogram then stays all-zero).
   JsonValue slack_array = JsonValue::MakeArray();
@@ -224,6 +332,8 @@ std::string TelemetrySnapshot::ToJson() const {
   }
   dispatcher_object.Set("slack_histogram", std::move(slack_array));
   root.Set("dispatcher", std::move(dispatcher_object));
+
+  root.Set("anatomy", AnatomyToJson(anatomy));
 
   JsonValue lifecycle_array = JsonValue::MakeArray();
   for (const RequestLifecycle& lifecycle : lifecycles) {
@@ -244,6 +354,10 @@ bool TelemetrySnapshot::FromJson(const std::string& json, TelemetrySnapshot* out
   }
   out->enabled = root.GetBool("enabled");
   out->tsc_ghz = root.GetDouble("tsc_ghz");
+  out->policy.clear();
+  if (const JsonValue* policy = root.Get("policy"); policy != nullptr) {
+    out->policy = policy->AsString();
+  }
   out->workers.clear();
   if (const JsonValue* workers = root.Get("workers"); workers != nullptr && workers->is_array()) {
     for (const JsonValue& worker : workers->AsArray()) {
@@ -266,6 +380,7 @@ bool TelemetrySnapshot::FromJson(const std::string& json, TelemetrySnapshot* out
     out->dispatcher.jbsq_batches = dispatcher->GetUint("jbsq_batches");
     out->dispatcher.producer_slots = dispatcher->GetUint("producer_slots");
     out->dispatcher.quantum_retunes = dispatcher->GetUint("quantum_retunes");
+    out->dispatcher.ingress_rejected = dispatcher->GetUint("ingress_rejected");
     if (const JsonValue* slack = dispatcher->Get("slack_histogram");
         slack != nullptr && slack->is_array()) {
       std::size_t i = 0;
@@ -276,6 +391,11 @@ bool TelemetrySnapshot::FromJson(const std::string& json, TelemetrySnapshot* out
         out->dispatcher.slack_histogram[i++] = bucket.AsUint();
       }
     }
+  }
+  out->anatomy = AnatomySnapshot{};
+  if (const JsonValue* anatomy = root.Get("anatomy");
+      anatomy != nullptr && anatomy->is_object()) {
+    AnatomyFromJson(*anatomy, &out->anatomy);
   }
   out->lifecycles.clear();
   if (const JsonValue* lifecycles = root.Get("lifecycles");

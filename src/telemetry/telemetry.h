@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/common/cacheline.h"
+#include "src/telemetry/anatomy.h"
 
 // Compile-time gate. The build defines CONCORD_TELEMETRY_ENABLED=0 when
 // configured with -DCONCORD_TELEMETRY=OFF; default is ON.
@@ -117,6 +118,13 @@ struct alignas(kCacheLineSize) DispatcherCounters {
   std::atomic<std::uint64_t> producer_slots{0};     // high-water registered submitter slots
   // Adaptive-quantum controller retunes applied (kConcordJbsqAdaptive only).
   std::atomic<std::uint64_t> quantum_retunes{0};
+  // Submit() calls rejected for backpressure (slab exhausted or ingress ring
+  // full). Unlike the rest of this block it has *multiple* writers — every
+  // submitter thread on its failure path — so it is bumped with fetch_add
+  // (relaxed: a monotone count with no ordering obligations; backpressure is
+  // already the slow path, the RMW cost is irrelevant there). The flight
+  // recorder's ingress-backpressure trigger watches its windowed delta.
+  std::atomic<std::uint64_t> ingress_rejected{0};
   // Dispatch-time slack histogram (see kSlackBuckets above); dispatcher-only
   // writer, bumped when a dispatched request carries a deadline.
   std::array<std::atomic<std::uint64_t>, kSlackBuckets> slack_histogram{};
@@ -141,9 +149,15 @@ struct RequestLifecycle {
   std::int32_t completion_worker = kDispatcherWorkerId;  // worker of the final segment
   std::int32_t preemptions = 0;                          // total yields (may exceed stamps below)
   std::uint64_t arrival_tsc = 0;     // Submit()
+  std::uint64_t adopt_tsc = 0;       // dispatcher adopted it from the ingress ring
   std::uint64_t dispatch_tsc = 0;    // first JBSQ push (or dispatcher adoption)
   std::uint64_t first_run_tsc = 0;   // first fiber segment begins
   std::uint64_t finish_tsc = 0;      // handler returned
+  std::uint64_t complete_tsc = 0;    // dispatcher retired it (outbox drain)
+  // Sum of run-segment durations, accumulated by whichever thread ran each
+  // segment. With the stamps above it yields the exact six-stage anatomy
+  // partition (anatomy.h): requeue wait is (finish - first_run) - service.
+  std::uint64_t service_tsc = 0;
   std::uint64_t preempt_tsc[kMaxRecordedPreemptions] = {};  // first few yields
 
   void RecordPreemption(std::uint64_t tsc) {
@@ -191,6 +205,7 @@ struct DispatcherSnapshot {
   std::uint64_t jbsq_batches = 0;
   std::uint64_t producer_slots = 0;  // high-water, not summable
   std::uint64_t quantum_retunes = 0;
+  std::uint64_t ingress_rejected = 0;  // backpressured Submit() calls
   // Dispatch-time slack histogram (concord.telemetry.v1 additive field
   // `slack_histogram`; all-zero when no request carried a deadline).
   std::array<std::uint64_t, kSlackBuckets> slack_histogram{};
@@ -201,8 +216,14 @@ struct DispatcherSnapshot {
 struct TelemetrySnapshot {
   bool enabled = kEnabled;
   double tsc_ghz = 0.0;
+  // Scheduling-policy token of the producing runtime (PolicyKindName); empty
+  // for snapshots predating the field. Keys the per-policy anatomy view.
+  std::string policy;
   std::vector<WorkerSnapshot> workers;
   DispatcherSnapshot dispatcher;
+  // Per-class latency-anatomy stage histograms (concord.telemetry.v1
+  // additive field `anatomy`; docs/observability.md).
+  AnatomySnapshot anatomy;
   // Most recent completed-request lifecycles (bounded history).
   std::vector<RequestLifecycle> lifecycles;
 

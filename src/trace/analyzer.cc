@@ -326,10 +326,6 @@ class Analyzer {
       return;  // under declared drops this is accounted loss, not an error
     }
 
-    if (lossless) {
-      CheckRequestInvariants(req, timeline, on_dispatcher);
-    }
-
     // Latency breakdown, exact in TSC, reported in microseconds. The four
     // components partition [arrival, finish], so they sum to the latency.
     const double ghz = report_->tsc_ghz > 0.0 ? report_->tsc_ghz : 1.0;
@@ -359,22 +355,74 @@ class Analyzer {
         }
       }
     }
+
+    // Exact integer anatomy vector. Each stage is a clamped-at-zero duration,
+    // so on a monotone timeline the five stages telescope to latency_tsc with
+    // no rounding; a non-monotone or hand-edited capture leaves a gap (or an
+    // overlap) between the clamped sum and the end-to-end delta, which is
+    // exactly what the identity check below flags.
+    const auto tsc_delta = [](std::uint64_t from, std::uint64_t to) -> std::uint64_t {
+      return to > from ? to - from : 0;
+    };
+    breakdown.latency_tsc = tsc_delta(timeline.arrival_tsc, segments.back().end_tsc);
+    breakdown.stage_tsc[kStageIngressWait] = tsc_delta(timeline.arrival_tsc, timeline.adopt_tsc);
+    breakdown.stage_tsc[kStageQueueWait] =
+        tsc_delta(timeline.adopt_tsc, dispatches.front().start_tsc);
+    breakdown.stage_tsc[kStageInboxWait] =
+        tsc_delta(dispatches.front().start_tsc, segments.front().start_tsc);
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      breakdown.stage_tsc[kStageService] += tsc_delta(segments[i].start_tsc, segments[i].end_tsc);
+      if (i + 1 < segments.size()) {
+        breakdown.stage_tsc[kStageRequeueWait] +=
+            tsc_delta(segments[i].end_tsc, segments[i + 1].start_tsc);
+      }
+    }
+    std::uint64_t stage_sum = 0;
+    for (int stage = 0; stage < kTraceStages; ++stage) {
+      stage_sum += breakdown.stage_tsc[static_cast<std::size_t>(stage)];
+    }
+    const std::string dominant = DominantSuffix(breakdown);
+    if (stage_sum != breakdown.latency_tsc) {
+      ++report_->anatomy_identity_failures;
+      const std::uint64_t gap = stage_sum > breakdown.latency_tsc
+                                    ? stage_sum - breakdown.latency_tsc
+                                    : breakdown.latency_tsc - stage_sum;
+      Violation(req + ": anatomy stage sum " + std::to_string(stage_sum) +
+                " tsc != end-to-end latency " + std::to_string(breakdown.latency_tsc) +
+                " tsc (" + (stage_sum > breakdown.latency_tsc ? "overlap" : "gap") + " of " +
+                std::to_string(gap) + ")" + dominant);
+    }
+
+    if (lossless) {
+      CheckRequestInvariants(req, timeline, on_dispatcher, dominant);
+    }
+
     report_->breakdowns.push_back(breakdown);
     ++report_->requests_complete;
   }
 
+  // The "[dominant: ...]" suffix appended to request-scoped violations so a
+  // flagged request immediately names the stage that ate its latency.
+  static std::string DominantSuffix(const RequestBreakdown& breakdown) {
+    const int stage = DominantStage(breakdown);
+    const std::uint64_t ticks = breakdown.stage_tsc[static_cast<std::size_t>(stage)];
+    const std::uint64_t pct =
+        breakdown.latency_tsc > 0 ? ticks * 100 / breakdown.latency_tsc : 0;
+    return " [dominant: " + std::string(TraceStageName(stage)) + " " + std::to_string(pct) + "%]";
+  }
+
   void CheckRequestInvariants(const std::string& req, const RequestTimeline& timeline,
-                              bool on_dispatcher) {
+                              bool on_dispatcher, const std::string& dominant) {
     const auto& dispatches = timeline.dispatches;
     const auto& segments = timeline.segments;
 
     if (timeline.adopt_tsc < timeline.arrival_tsc ||
         dispatches.front().start_tsc < timeline.adopt_tsc) {
-      Violation(req + ": arrival/adopt/dispatch timestamps not monotone");
+      Violation(req + ": arrival/adopt/dispatch timestamps not monotone" + dominant);
     }
     for (const ParsedRecord& segment : segments) {
       if (segment.end_tsc < segment.start_tsc) {
-        Violation(req + ": segment runs backwards in time");
+        Violation(req + ": segment runs backwards in time" + dominant);
       }
     }
 
@@ -383,19 +431,19 @@ class Analyzer {
       for (const ParsedRecord& segment : segments) {
         if (segment.worker != kDispatcherTrack) {
           Violation(req + ": adopted by the dispatcher but ran on worker " +
-                    std::to_string(segment.worker));
+                    std::to_string(segment.worker) + dominant);
           return;
         }
       }
       if (dispatches.front().worker != kDispatcherTrack) {
-        Violation(req + ": dispatcher-run request was dispatched to a worker");
+        Violation(req + ": dispatcher-run request was dispatched to a worker" + dominant);
       }
       for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
         if (segments[i].detail != static_cast<std::uint32_t>(SegmentEnd::kDispatcherQuantum)) {
-          Violation(req + ": non-final dispatcher segment did not self-preempt");
+          Violation(req + ": non-final dispatcher segment did not self-preempt" + dominant);
         }
         if (segments[i + 1].start_tsc < segments[i].end_tsc) {
-          Violation(req + ": dispatcher segments overlap");
+          Violation(req + ": dispatcher segments overlap" + dominant);
         }
       }
       return;
@@ -403,30 +451,30 @@ class Analyzer {
 
     for (std::size_t i = 0; i < segments.size(); ++i) {
       if (segments[i].worker == kDispatcherTrack) {
-        Violation(req + ": worker-path request has a dispatcher segment");
+        Violation(req + ": worker-path request has a dispatcher segment" + dominant);
         return;
       }
       // dispatch[i] -> seg[i] pairing must be monotone end to end.
       if (segments[i].start_tsc < dispatches[i].start_tsc) {
-        Violation(req + ": segment " + std::to_string(i) + " starts before its dispatch");
+        Violation(req + ": segment " + std::to_string(i) + " starts before its dispatch" + dominant);
       }
       if (i + 1 < segments.size()) {
         if (segments[i].detail != static_cast<std::uint32_t>(SegmentEnd::kPreemptYield)) {
-          Violation(req + ": non-final segment " + std::to_string(i) + " did not yield");
+          Violation(req + ": non-final segment " + std::to_string(i) + " did not yield" + dominant);
         }
         if (dispatches[i + 1].start_tsc < segments[i].end_tsc) {
-          Violation(req + ": re-dispatched before segment " + std::to_string(i) + " ended");
+          Violation(req + ": re-dispatched before segment " + std::to_string(i) + " ended" + dominant);
         }
       }
       if (dispatches[i].worker != segments[i].worker) {
         Violation(req + ": dispatch " + std::to_string(i) + " targeted worker " +
                   std::to_string(dispatches[i].worker) + " but segment ran on " +
-                  std::to_string(segments[i].worker));
+                  std::to_string(segments[i].worker) + dominant);
       }
       if (report_->jbsq_depth > 0 &&
           dispatches[i].detail > static_cast<std::uint32_t>(report_->jbsq_depth)) {
         Violation(req + ": dispatch tagged JBSQ occupancy " + std::to_string(dispatches[i].detail) +
-                  " > k=" + std::to_string(report_->jbsq_depth));
+                  " > k=" + std::to_string(report_->jbsq_depth) + dominant);
       }
     }
   }
@@ -599,6 +647,34 @@ class Analyzer {
 };
 
 }  // namespace
+
+const char* TraceStageName(int stage) {
+  switch (stage) {
+    case kStageIngressWait:
+      return "ingress_wait";
+    case kStageQueueWait:
+      return "queue_wait";
+    case kStageInboxWait:
+      return "inbox_wait";
+    case kStageService:
+      return "service";
+    case kStageRequeueWait:
+      return "requeue_wait";
+    default:
+      return "unknown";
+  }
+}
+
+int DominantStage(const RequestBreakdown& breakdown) {
+  int dominant = 0;
+  for (int stage = 1; stage < kTraceStages; ++stage) {
+    if (breakdown.stage_tsc[static_cast<std::size_t>(stage)] >
+        breakdown.stage_tsc[static_cast<std::size_t>(dominant)]) {
+      dominant = stage;
+    }
+  }
+  return dominant;
+}
 
 AnalyzerReport AnalyzeChromeTraceJson(const std::string& json, const AnalyzerOptions& options) {
   AnalyzerReport report;

@@ -43,9 +43,26 @@ struct AnalyzerOptions {
   bool check_work_conservation = true;
 };
 
-// One request's recomputed latency breakdown, all in microseconds.
-// latency == first_wait + inbox_wait + requeue_wait + service exactly (the
-// components partition [arrival, finish] by construction).
+// Offline anatomy stage indices (docs/observability.md). Five stages, not
+// the live layer's six: traces carry no outbox-drain record, so the drain
+// interval is live-telemetry-only. Requeue here spans each preempt-to-resume
+// gap whole (including the re-dispatch inbox wait), matching the live
+// lifecycle's (finish - first_run) - service definition.
+inline constexpr int kTraceStages = 5;
+inline constexpr int kStageIngressWait = 0;  // arrival -> dispatcher adoption
+inline constexpr int kStageQueueWait = 1;    // adoption -> first dispatch
+inline constexpr int kStageInboxWait = 2;    // first dispatch -> first segment start
+inline constexpr int kStageService = 3;      // sum of segment durations
+inline constexpr int kStageRequeueWait = 4;  // inter-segment gaps, summed
+const char* TraceStageName(int stage);
+
+// One request's recomputed latency breakdown.
+// The double fields are display microseconds; latency == first_wait +
+// inbox_wait + requeue_wait + service exactly (the components partition
+// [arrival, finish] by construction). The stage_tsc vector is the exact
+// integer form of the same partition: on any monotone timeline the five
+// stages telescope to latency_tsc with no rounding, and --check fails any
+// complete request where they do not (a gap or overlap in the stamps).
 struct RequestBreakdown {
   std::uint64_t id = 0;
   std::int32_t request_class = 0;
@@ -57,7 +74,13 @@ struct RequestBreakdown {
   double inbox_wait_us = 0.0;    // dispatch -> segment start, summed (JBSQ inbox)
   double requeue_wait_us = 0.0;  // preempt -> re-dispatch -> resume, summed
   double service_us = 0.0;       // sum of segment durations
+  std::uint64_t latency_tsc = 0;
+  std::uint64_t stage_tsc[kTraceStages] = {0, 0, 0, 0, 0};  // clamped-at-zero durations
 };
+
+// Index of the stage holding the largest share of the request's latency
+// (ties break toward the earlier stage).
+int DominantStage(const RequestBreakdown& breakdown);
 
 struct AnalyzerReport {
   // File-level failure (unreadable / not a concord trace); everything else
@@ -85,6 +108,10 @@ struct AnalyzerReport {
   // examined (0 when the check did not run — non-EDF trace or lossy file).
   std::uint64_t edf_dispatches_checked = 0;
   std::vector<std::uint64_t> segments_per_worker;
+
+  // Complete requests whose exact stage vector failed to telescope to the
+  // end-to-end latency (see RequestBreakdown). Each one is also a violation.
+  std::uint64_t anatomy_identity_failures = 0;
 
   // Sequence-gap accounting re-derived from the records themselves.
   std::uint64_t observed_sequence_gaps = 0;

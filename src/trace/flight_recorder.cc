@@ -1,0 +1,365 @@
+#include "src/trace/flight_recorder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/stats/histogram.h"
+#include "src/telemetry/json.h"
+#include "src/trace/chrome_trace.h"
+
+namespace concord::trace {
+
+namespace {
+
+using telemetry::JsonValue;
+using telemetry::RequestLifecycle;
+using telemetry::TelemetrySnapshot;
+
+// Monotone count of lifecycles ever appended to the telemetry history (the
+// MetricsSampler derivation): worker completions arrive via ring drains,
+// dispatcher completions are appended directly.
+std::uint64_t HistoryAppends(const TelemetrySnapshot& snapshot) {
+  return snapshot.dispatcher.events_drained + snapshot.dispatcher.requests_completed;
+}
+
+std::string DumpFileName(const std::string& base, std::uint64_t index) {
+  return index == 0 ? base : base + "." + std::to_string(index);
+}
+
+}  // namespace
+
+TraceCapture SynthesizeCaptureFromLifecycles(const FlightRecorderOptions& meta,
+                                             const std::vector<RequestLifecycle>& lifecycles,
+                                             std::uint64_t evicted) {
+  TraceCapture capture;
+  capture.enabled = true;
+  capture.tsc_ghz = meta.tsc_ghz;
+  capture.worker_count = meta.worker_count;
+  capture.jbsq_depth = meta.jbsq_depth;
+  capture.quantum_us = meta.quantum_us;
+  capture.policy = meta.policy;
+  capture.ring_dropped = 0;
+  capture.buffer_dropped = evicted;
+  if (meta.worker_count > 0) {
+    capture.ring_dropped_per_worker.assign(static_cast<std::size_t>(meta.worker_count), 0);
+  }
+
+  // Raw records first; sequences are assigned per stream afterwards.
+  std::vector<TraceRecord> raw;
+  raw.reserve(lifecycles.size() * 3);
+  for (const RequestLifecycle& lc : lifecycles) {
+    if (lc.arrival_tsc == 0 || lc.adopt_tsc == 0 || lc.dispatch_tsc == 0 ||
+        lc.first_run_tsc == 0 || lc.finish_tsc == 0) {
+      // Pre-anatomy or clock-skewed record: nothing trustworthy to place on
+      // a timeline. Declared, not silently skipped.
+      ++capture.buffer_dropped;
+      continue;
+    }
+    const bool pinned = lc.first_worker == telemetry::kDispatcherWorkerId;
+    const std::int32_t track = pinned ? kDispatcherTrack : lc.first_worker;
+    raw.push_back(TraceRecord{lc.id, lc.arrival_tsc, lc.adopt_tsc, RecordKind::kArrival,
+                              kDispatcherTrack, lc.request_class, 0});
+    // Deadline and enqueue-time occupancy are not part of the lifecycle;
+    // both dispatch extras are zero (the occupancy tag is only checked on
+    // lossless files, which a flight dump never claims to be).
+    raw.push_back(TraceRecord{lc.id, lc.dispatch_tsc, 0, RecordKind::kDispatch, track,
+                              lc.request_class, 0});
+    if (lc.preemptions == 0) {
+      raw.push_back(TraceRecord{lc.id, lc.first_run_tsc, lc.finish_tsc, RecordKind::kSegment,
+                                track, lc.request_class,
+                                static_cast<std::uint32_t>(SegmentEnd::kFinished)});
+    } else {
+      // Re-dispatch and resume stamps beyond the first few yields are not
+      // recorded per lifecycle, so the timeline is truncated after the first
+      // segment and the 2*preemptions missing records (one re-dispatch + one
+      // segment each) are declared as buffer loss.
+      if (lc.preempt_tsc[0] > lc.first_run_tsc) {
+        raw.push_back(TraceRecord{
+            lc.id, lc.first_run_tsc, lc.preempt_tsc[0], RecordKind::kSegment, track,
+            lc.request_class,
+            static_cast<std::uint32_t>(pinned ? SegmentEnd::kDispatcherQuantum
+                                              : SegmentEnd::kPreemptYield)});
+        capture.buffer_dropped += 2 * static_cast<std::uint64_t>(lc.preemptions);
+      } else {
+        // First yield predates the stamp window (or was never stamped): drop
+        // the whole run phase, keeping arrival + dispatch.
+        capture.buffer_dropped += 2 * static_cast<std::uint64_t>(lc.preemptions) + 1;
+      }
+    }
+  }
+
+  // Dense per-stream sequences in producer-time order: the dispatcher stream
+  // carries arrivals (producer time = adoption) and dispatches; each worker
+  // stream carries its segments. This mirrors the live collector's contract,
+  // so the analyzer's sequence check sees zero gaps.
+  std::vector<std::size_t> order(raw.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  const auto producer_tsc = [](const TraceRecord& r) {
+    return r.kind == RecordKind::kArrival ? r.end_tsc : r.start_tsc;
+  };
+  const auto stream_of = [](const TraceRecord& r) {
+    return r.kind == RecordKind::kSegment ? r.worker : kDispatcherTrack;
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (stream_of(raw[a]) != stream_of(raw[b])) {
+      return stream_of(raw[a]) < stream_of(raw[b]);
+    }
+    return producer_tsc(raw[a]) < producer_tsc(raw[b]);
+  });
+  capture.records.reserve(raw.size());
+  std::int32_t current_stream = kDispatcherTrack - 1;
+  std::uint64_t next_sequence = 0;
+  std::uint64_t base_tsc = 0;
+  for (const std::size_t i : order) {
+    if (stream_of(raw[i]) != current_stream) {
+      current_stream = stream_of(raw[i]);
+      next_sequence = 0;
+    }
+    capture.records.push_back(CollectedRecord{raw[i], next_sequence++});
+    if (base_tsc == 0 || raw[i].start_tsc < base_tsc) {
+      base_tsc = raw[i].start_tsc;
+    }
+  }
+  capture.base_tsc = base_tsc;
+  return capture;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options, SnapshotFn snapshot)
+    : options_(std::move(options)), snapshot_fn_(std::move(snapshot)) {
+  CONCORD_CHECK(snapshot_fn_ != nullptr) << "flight recorder needs a snapshot provider";
+  CONCORD_CHECK(options_.poll_ms > 0.0) << "poll window must be positive";
+}
+
+FlightRecorder::~FlightRecorder() { Stop(); }
+
+void FlightRecorder::Start() {
+  CONCORD_CHECK(!started_) << "flight recorder already started";
+  started_ = true;
+  epoch_ = std::chrono::steady_clock::now();
+  previous_ = snapshot_fn_();
+  previous_appends_ = HistoryAppends(previous_);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void FlightRecorder::Stop() {
+  if (!started_ || stopped_) {
+    return;
+  }
+  stopped_ = true;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+bool FlightRecorder::armed() const { return started_ && !stopped_; }
+
+std::uint64_t FlightRecorder::dumps_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_written_;
+}
+
+std::uint64_t FlightRecorder::triggers_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return triggers_fired_;
+}
+
+std::string FlightRecorder::last_trigger() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_trigger_;
+}
+
+std::uint64_t FlightRecorder::lifecycles_buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::lifecycles_evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+std::vector<FlightWindowSample> FlightRecorder::RecentWindows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightWindowSample>(windows_.begin(), windows_.end());
+}
+
+void FlightRecorder::Loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(options_.poll_ms);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  // concord-lint: allow-no-probe (background polling thread, never runs handler code)
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    Poll();
+    lock.lock();
+  }
+}
+
+void FlightRecorder::Poll() {
+  const TelemetrySnapshot current = snapshot_fn_();
+  const TelemetrySnapshot delta = TelemetrySnapshot::Diff(previous_, current);
+
+  FlightWindowSample sample;
+  sample.at_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                           epoch_)
+                     .count();
+  sample.completed = delta.RequestsCompleted();
+  sample.ingress_rejected = delta.dispatcher.ingress_rejected;
+  sample.negative_slack_dispatches = delta.dispatcher.slack_histogram[0];
+  for (std::size_t b = 0; b < telemetry::kSlackBuckets; ++b) {
+    sample.deadline_dispatches += delta.dispatcher.slack_histogram[b];
+  }
+  sample.preempt_signals = delta.PreemptionsRequested();
+
+  // The fresh tail of the lifecycle history (exact, via the monotone append
+  // counters — the MetricsSampler derivation), scored for the window's p99
+  // latency/service ratio and pushed into the dump ring.
+  const std::uint64_t appends = HistoryAppends(current);
+  std::uint64_t fresh = appends - previous_appends_;
+  std::uint64_t overflowed = 0;
+  if (fresh > current.lifecycles.size()) {
+    overflowed = fresh - current.lifecycles.size();
+    fresh = current.lifecycles.size();
+  }
+  Histogram slowdowns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    evicted_ += overflowed;  // completed but evicted from the telemetry history
+    for (std::size_t i = current.lifecycles.size() - static_cast<std::size_t>(fresh);
+         i < current.lifecycles.size(); ++i) {
+      const RequestLifecycle& lc = current.lifecycles[i];
+      ring_.push_back(lc);
+      if (ring_.size() > std::max<std::size_t>(options_.ring_capacity, 1)) {
+        ring_.pop_front();
+        ++evicted_;
+      }
+      const std::uint64_t latency = lc.complete_tsc > lc.arrival_tsc
+                                        ? lc.complete_tsc - lc.arrival_tsc
+                                        : (lc.finish_tsc > lc.arrival_tsc
+                                               ? lc.finish_tsc - lc.arrival_tsc
+                                               : 0);
+      if (lc.service_tsc > 0 && latency > 0) {
+        slowdowns.Record(std::max(
+            static_cast<double>(latency) / static_cast<double>(lc.service_tsc), 1.0));
+      }
+    }
+  }
+  sample.slowdown_samples = slowdowns.Count();
+  if (sample.slowdown_samples > 0) {
+    sample.p99_slowdown = slowdowns.Quantile(0.99);
+  }
+
+  // Trigger predicates, most specific first; one fire per window.
+  std::string trigger;
+  if (options_.deadline_miss_burst > 0 &&
+      sample.negative_slack_dispatches >= options_.deadline_miss_burst) {
+    trigger = "deadline_miss_burst: " + std::to_string(sample.negative_slack_dispatches) +
+              " negative-slack dispatch(es) in one window (threshold " +
+              std::to_string(options_.deadline_miss_burst) + ")";
+  } else if (options_.negative_slack_rate > 0.0 &&
+             sample.deadline_dispatches >= options_.negative_slack_min_samples &&
+             static_cast<double>(sample.negative_slack_dispatches) >=
+                 options_.negative_slack_rate *
+                     static_cast<double>(sample.deadline_dispatches)) {
+    trigger = "negative_slack_rate: " + std::to_string(sample.negative_slack_dispatches) +
+              " of " + std::to_string(sample.deadline_dispatches) +
+              " deadline dispatch(es) past deadline";
+  } else if (options_.ingress_reject_burst > 0 &&
+             sample.ingress_rejected >= options_.ingress_reject_burst) {
+    trigger = "ingress_backpressure: " + std::to_string(sample.ingress_rejected) +
+              " rejected submit(s) in one window (threshold " +
+              std::to_string(options_.ingress_reject_burst) + ")";
+  } else if (options_.p99_slowdown > 0.0 &&
+             sample.slowdown_samples >= std::max<std::uint64_t>(options_.p99_min_samples, 1) &&
+             sample.p99_slowdown >= options_.p99_slowdown) {
+    trigger = "p99_slowdown: window p99 latency/service " +
+              std::to_string(sample.p99_slowdown) + " (threshold " +
+              std::to_string(options_.p99_slowdown) + ")";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    windows_.push_back(sample);
+    while (windows_.size() > std::max<std::size_t>(options_.state_ring_capacity, 1)) {
+      windows_.pop_front();
+    }
+    if (!trigger.empty()) {
+      ++triggers_fired_;
+      last_trigger_ = trigger;
+      DumpLocked(trigger);
+    }
+  }
+
+  previous_ = current;
+  previous_appends_ = appends;
+}
+
+std::string FlightRecorder::DumpNow(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++triggers_fired_;
+  last_trigger_ = "manual: " + reason;
+  return DumpLocked(last_trigger_);
+}
+
+std::string FlightRecorder::DumpLocked(const std::string& reason) {
+  if (dumps_written_ >= options_.max_dumps) {
+    return std::string();
+  }
+  const std::vector<RequestLifecycle> window(ring_.begin(), ring_.end());
+  const TraceCapture capture = SynthesizeCaptureFromLifecycles(options_, window, evicted_);
+  const std::string path = DumpFileName(options_.dump_path, dumps_written_);
+  if (!WriteChromeTrace(capture, path)) {
+    CONCORD_LOG(kInfo) << "flight recorder: failed to write dump to " << path;
+    return std::string();
+  }
+  ++dumps_written_;
+  CONCORD_LOG(kInfo) << "flight recorder: dumped " << capture.records.size() << " record(s) to "
+              << path << " (" << reason << ")";
+  return path;
+}
+
+std::string FlightRecorder::StatusJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("armed", JsonValue::MakeBool(started_ && !stopped_));
+  root.Set("poll_ms", JsonValue::MakeNumber(options_.poll_ms));
+  root.Set("ring_capacity", JsonValue::MakeUint(options_.ring_capacity));
+  root.Set("lifecycles_buffered", JsonValue::MakeUint(ring_.size()));
+  root.Set("lifecycles_evicted", JsonValue::MakeUint(evicted_));
+  root.Set("triggers_fired", JsonValue::MakeUint(triggers_fired_));
+  root.Set("dumps_written", JsonValue::MakeUint(dumps_written_));
+  root.Set("max_dumps", JsonValue::MakeUint(options_.max_dumps));
+  root.Set("dump_path", JsonValue::MakeString(options_.dump_path));
+  root.Set("last_trigger", JsonValue::MakeString(last_trigger_));
+  JsonValue thresholds = JsonValue::MakeObject();
+  thresholds.Set("deadline_miss_burst", JsonValue::MakeUint(options_.deadline_miss_burst));
+  thresholds.Set("negative_slack_rate", JsonValue::MakeNumber(options_.negative_slack_rate));
+  thresholds.Set("ingress_reject_burst", JsonValue::MakeUint(options_.ingress_reject_burst));
+  thresholds.Set("p99_slowdown", JsonValue::MakeNumber(options_.p99_slowdown));
+  root.Set("thresholds", std::move(thresholds));
+  if (!windows_.empty()) {
+    const FlightWindowSample& last = windows_.back();
+    JsonValue window = JsonValue::MakeObject();
+    window.Set("at_ms", JsonValue::MakeNumber(last.at_ms));
+    window.Set("completed", JsonValue::MakeUint(last.completed));
+    window.Set("ingress_rejected", JsonValue::MakeUint(last.ingress_rejected));
+    window.Set("negative_slack_dispatches",
+               JsonValue::MakeUint(last.negative_slack_dispatches));
+    window.Set("deadline_dispatches", JsonValue::MakeUint(last.deadline_dispatches));
+    window.Set("preempt_signals", JsonValue::MakeUint(last.preempt_signals));
+    window.Set("p99_slowdown", JsonValue::MakeNumber(last.p99_slowdown));
+    window.Set("slowdown_samples", JsonValue::MakeUint(last.slowdown_samples));
+    root.Set("last_window", std::move(window));
+  }
+  return root.Dump();
+}
+
+}  // namespace concord::trace

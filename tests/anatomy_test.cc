@@ -1,0 +1,395 @@
+// Latency-anatomy suite (ctest label `anatomy`; docs/observability.md).
+//
+// The anatomy layer's whole value is an *exact* identity: the six stage
+// durations are integer TSC subtractions along the lifecycle stamp chain, so
+// for every valid lifecycle they partition [arrival, complete] with no
+// rounding. This suite pins that identity three ways:
+//
+//   - unit: ComputeStageVector on hand-built stamp chains (exact stage
+//     values, the Sum() == latency_tsc identity, and the invalid cases —
+//     missing stamps, non-monotone chains, service exceeding its window);
+//   - accounting: AnatomyCounters/AnatomySnapshot fold, histogram-total ==
+//     completed per stage, and the Accumulate/Subtract round trip the
+//     sharded merge and the windowed diff rely on;
+//   - live: a seeded randomized workload through every policy x 1/2/4
+//     shards; every lifecycle the runtime retained must satisfy the exact
+//     identity, and the per-class aggregation must account for every
+//     completed request (completed + invalid == requests completed,
+//     histogram total == completed for every class and stage).
+//
+// The randomized case draws its shape from CONCORD_TEST_SEED (strtoull
+// base-0; fixed default keeps CI deterministic) and prints the seed via
+// SCOPED_TRACE on failure.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/instrument.h"
+#include "src/runtime/policy.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/telemetry/anatomy.h"
+#include "src/telemetry/telemetry.h"
+
+namespace concord {
+namespace {
+
+using telemetry::AnatomyBucket;
+using telemetry::AnatomyClassSlot;
+using telemetry::AnatomyCounters;
+using telemetry::AnatomySnapshot;
+using telemetry::ComputeStageVector;
+using telemetry::kAnatomyClassSlots;
+using telemetry::kAnatomyStages;
+using telemetry::RequestLifecycle;
+using telemetry::Stage;
+using telemetry::StageVector;
+
+std::uint64_t TestSeed() {
+  if (const char* env = std::getenv("CONCORD_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 20260809;
+}
+
+// A well-formed unpreempted lifecycle with distinct per-stage durations.
+RequestLifecycle MakeLifecycle() {
+  RequestLifecycle lifecycle;
+  lifecycle.id = 42;
+  lifecycle.request_class = 1;
+  lifecycle.arrival_tsc = 1000;
+  lifecycle.adopt_tsc = 1100;     // ingress_wait = 100
+  lifecycle.dispatch_tsc = 1300;  // queue_wait   = 200
+  lifecycle.first_run_tsc = 1600; // inbox_wait   = 300
+  lifecycle.finish_tsc = 2700;    // run window   = 1100
+  lifecycle.service_tsc = 700;    // => requeue_wait = 400
+  lifecycle.complete_tsc = 3200;  // drain        = 500
+  return lifecycle;
+}
+
+TEST(StageVectorTest, ExactPartitionOfHandBuiltChain) {
+  const StageVector vector = ComputeStageVector(MakeLifecycle());
+  ASSERT_TRUE(vector.valid);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kIngressWait)], 100u);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kQueueWait)], 200u);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kInboxWait)], 300u);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kService)], 700u);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kRequeueWait)], 400u);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kDrain)], 500u);
+  EXPECT_EQ(vector.latency_tsc, 2200u);
+  EXPECT_EQ(vector.Sum(), vector.latency_tsc);
+}
+
+TEST(StageVectorTest, ZeroWidthStagesStillPartitionExactly) {
+  // Instantaneous handoffs (equal adjacent stamps) are valid: the stage is
+  // zero ticks wide and the identity still telescopes.
+  RequestLifecycle lifecycle = MakeLifecycle();
+  lifecycle.adopt_tsc = lifecycle.arrival_tsc;
+  lifecycle.dispatch_tsc = lifecycle.adopt_tsc;
+  lifecycle.service_tsc = lifecycle.finish_tsc - lifecycle.first_run_tsc;  // no requeue
+  const StageVector vector = ComputeStageVector(lifecycle);
+  ASSERT_TRUE(vector.valid);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kIngressWait)], 0u);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kQueueWait)], 0u);
+  EXPECT_EQ(vector.stage_tsc[static_cast<int>(Stage::kRequeueWait)], 0u);
+  EXPECT_EQ(vector.Sum(), vector.latency_tsc);
+}
+
+TEST(StageVectorTest, MissingStampInvalidatesVector) {
+  // Pre-anatomy imports carry no adopt/complete stamps; the vector must
+  // declare itself invalid rather than fabricate stages.
+  for (int missing = 0; missing < 3; ++missing) {
+    RequestLifecycle lifecycle = MakeLifecycle();
+    switch (missing) {
+      case 0: lifecycle.adopt_tsc = 0; break;
+      case 1: lifecycle.complete_tsc = 0; break;
+      default: lifecycle.first_run_tsc = 0; break;
+    }
+    const StageVector vector = ComputeStageVector(lifecycle);
+    EXPECT_FALSE(vector.valid) << "missing stamp case " << missing;
+    EXPECT_EQ(vector.Sum(), 0u) << "invalid vectors must be all-zero";
+  }
+}
+
+TEST(StageVectorTest, NonMonotoneChainInvalidatesVector) {
+  RequestLifecycle lifecycle = MakeLifecycle();
+  lifecycle.dispatch_tsc = lifecycle.adopt_tsc - 50;  // dispatch before adopt
+  EXPECT_FALSE(ComputeStageVector(lifecycle).valid);
+}
+
+TEST(StageVectorTest, ServiceExceedingRunWindowInvalidatesVector) {
+  RequestLifecycle lifecycle = MakeLifecycle();
+  lifecycle.service_tsc = (lifecycle.finish_tsc - lifecycle.first_run_tsc) + 1;
+  EXPECT_FALSE(ComputeStageVector(lifecycle).valid);
+}
+
+TEST(AnatomyBucketTest, BucketIsBitWidthOfTicks) {
+  EXPECT_EQ(AnatomyBucket(0), 0u);
+  EXPECT_EQ(AnatomyBucket(1), 1u);
+  EXPECT_EQ(AnatomyBucket(2), 2u);
+  EXPECT_EQ(AnatomyBucket(3), 2u);
+  EXPECT_EQ(AnatomyBucket(4), 3u);
+  EXPECT_EQ(AnatomyBucket((1u << 30)), 31u);
+  // Durations past the last bucket edge clamp instead of overflowing.
+  EXPECT_EQ(AnatomyBucket(std::uint64_t{1} << 40), telemetry::kAnatomyBuckets - 1);
+}
+
+TEST(AnatomyBucketTest, ClassSlotsFoldHighAndNegativeClasses) {
+  EXPECT_EQ(AnatomyClassSlot(0), 0u);
+  EXPECT_EQ(AnatomyClassSlot(6), 6u);
+  EXPECT_EQ(AnatomyClassSlot(7), kAnatomyClassSlots - 1);
+  EXPECT_EQ(AnatomyClassSlot(12), kAnatomyClassSlots - 1);
+  EXPECT_EQ(AnatomyClassSlot(-3), kAnatomyClassSlots - 1);
+}
+
+TEST(AnatomyCountersTest, FoldKeepsHistogramTotalEqualToCompleted) {
+  AnatomyCounters counters;
+  const std::uint64_t seed = TestSeed();
+  SCOPED_TRACE("reproduce with CONCORD_TEST_SEED=" + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> gap(0, 5000);
+  std::uniform_int_distribution<std::int32_t> class_dist(0, 9);
+  constexpr int kFolds = 500;
+  std::uint64_t valid_folds = 0;
+  for (int i = 0; i < kFolds; ++i) {
+    RequestLifecycle lifecycle;
+    lifecycle.request_class = class_dist(rng);
+    lifecycle.arrival_tsc = 1 + gap(rng);
+    lifecycle.adopt_tsc = lifecycle.arrival_tsc + gap(rng);
+    lifecycle.dispatch_tsc = lifecycle.adopt_tsc + gap(rng);
+    lifecycle.first_run_tsc = lifecycle.dispatch_tsc + gap(rng);
+    const std::uint64_t service = gap(rng);
+    const std::uint64_t requeue = gap(rng);
+    lifecycle.service_tsc = service;
+    lifecycle.finish_tsc = lifecycle.first_run_tsc + service + requeue;
+    lifecycle.complete_tsc = lifecycle.finish_tsc + gap(rng);
+    const StageVector vector = ComputeStageVector(lifecycle);
+    ASSERT_TRUE(vector.valid);
+    EXPECT_EQ(vector.Sum(), vector.latency_tsc);
+    counters.Record(vector, lifecycle.request_class);
+    ++valid_folds;
+  }
+  // Invalid vectors bump only `invalid`, never a histogram.
+  counters.Record(StageVector{}, 0);
+
+  const AnatomySnapshot snapshot = AnatomySnapshot::Capture(counters);
+  EXPECT_EQ(snapshot.TotalCompleted(), valid_folds);
+  EXPECT_EQ(snapshot.TotalInvalid(), 1u);
+  for (std::size_t slot = 0; slot < kAnatomyClassSlots; ++slot) {
+    for (int stage = 0; stage < kAnatomyStages; ++stage) {
+      EXPECT_EQ(snapshot.classes[slot].HistogramTotal(stage), snapshot.classes[slot].completed)
+          << "class slot " << slot << " stage " << stage;
+    }
+  }
+}
+
+TEST(AnatomyCountersTest, AccumulateAndSubtractRoundTrip) {
+  AnatomyCounters counters_a;
+  AnatomyCounters counters_b;
+  const RequestLifecycle lifecycle = MakeLifecycle();
+  const StageVector vector = ComputeStageVector(lifecycle);
+  ASSERT_TRUE(vector.valid);
+  counters_a.Record(vector, 0);
+  counters_a.Record(vector, 3);
+  counters_b.Record(vector, 3);
+
+  AnatomySnapshot merged = AnatomySnapshot::Capture(counters_a);
+  merged.Accumulate(AnatomySnapshot::Capture(counters_b));  // the sharded merge
+  EXPECT_EQ(merged.TotalCompleted(), 3u);
+  EXPECT_EQ(merged.classes[3].completed, 2u);
+  EXPECT_EQ(merged.classes[3].stage_sum_tsc[static_cast<int>(Stage::kService)],
+            2 * vector.stage_tsc[static_cast<int>(Stage::kService)]);
+
+  merged.Subtract(AnatomySnapshot::Capture(counters_b));  // the windowed diff
+  const AnatomySnapshot original = AnatomySnapshot::Capture(counters_a);
+  EXPECT_EQ(merged.TotalCompleted(), original.TotalCompleted());
+  for (std::size_t slot = 0; slot < kAnatomyClassSlots; ++slot) {
+    EXPECT_EQ(merged.classes[slot].completed, original.classes[slot].completed);
+    for (int stage = 0; stage < kAnatomyStages; ++stage) {
+      EXPECT_EQ(merged.classes[slot].HistogramTotal(stage),
+                original.classes[slot].HistogramTotal(stage));
+    }
+  }
+}
+
+TEST(AnatomySnapshotTest, SummaryTextListsNonEmptyClasses) {
+  AnatomyCounters counters;
+  counters.Record(ComputeStageVector(MakeLifecycle()), 1);
+  const AnatomySnapshot snapshot = AnatomySnapshot::Capture(counters);
+  const std::string text = snapshot.SummaryText(/*tsc_ghz=*/1.0);
+  EXPECT_NE(text.find("class 1"), std::string::npos);
+  EXPECT_EQ(text.find("class 0"), std::string::npos) << "empty classes must not be listed";
+  EXPECT_GT(snapshot.MeanStageUs(1, static_cast<int>(Stage::kService), 1.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Live identity: every policy x 1/2/4 shards, seeded randomized workload.
+// ---------------------------------------------------------------------------
+
+struct AnatomyParam {
+  PolicyKind policy;
+  int shards;
+};
+
+std::string ParamName(const testing::TestParamInfo<AnatomyParam>& info) {
+  std::string name = PolicyKindName(info.param.policy);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name + "_x" + std::to_string(info.param.shards);
+}
+
+class AnatomyLiveTest : public testing::TestWithParam<AnatomyParam> {};
+
+TEST_P(AnatomyLiveTest, RandomizedWorkloadSatisfiesExactStageIdentity) {
+  if constexpr (!telemetry::kEnabled) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  const std::uint64_t seed = TestSeed();
+  SCOPED_TRACE("reproduce with CONCORD_TEST_SEED=" + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> count_dist(150, 400);
+  std::uniform_real_distribution<double> long_fraction_dist(0.05, 0.25);
+  std::uniform_real_distribution<double> short_us_dist(0.2, 1.0);
+  std::uniform_real_distribution<double> long_us_dist(5.0, 20.0);
+  const auto request_count = static_cast<std::uint64_t>(count_dist(rng));
+  const double long_fraction = long_fraction_dist(rng);
+  const double short_us = short_us_dist(rng);
+  const double long_us = long_us_dist(rng);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  ShardedRuntime::Options options;
+  options.shard.worker_count = 2;
+  options.shard.quantum_us = 50.0;
+  options.shard.jbsq_depth = 2;
+  options.shard.policy = GetParam().policy;
+  options.shard_count = GetParam().shards;
+  // Retain every lifecycle so the identity is checked for all completions.
+  options.shard.telemetry_history_capacity = 4096;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView& view) {
+    SpinWithProbesUs(view.request_class == 1 ? long_us : short_us);
+  };
+  ShardedRuntime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < request_count; ++i) {
+    const int request_class = unit(rng) < long_fraction ? 1 : 0;
+    while (!runtime.Submit(i, request_class, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+
+  const telemetry::TelemetrySnapshot merged = runtime.GetTelemetry();
+  EXPECT_EQ(merged.policy, PolicyKindName(GetParam().policy));
+  EXPECT_EQ(merged.RequestsCompleted(), request_count);
+  // Every completed request folded exactly once, and every fold was a valid
+  // stage vector: the live stamp chain is monotone by construction.
+  EXPECT_EQ(merged.anatomy.TotalCompleted() + merged.anatomy.TotalInvalid(), request_count);
+  EXPECT_EQ(merged.anatomy.TotalInvalid(), 0u);
+  for (std::size_t slot = 0; slot < kAnatomyClassSlots; ++slot) {
+    for (int stage = 0; stage < kAnatomyStages; ++stage) {
+      EXPECT_EQ(merged.anatomy.classes[slot].HistogramTotal(stage),
+                merged.anatomy.classes[slot].completed)
+          << "class slot " << slot << " stage " << stage;
+    }
+  }
+
+  std::uint64_t history_total = 0;
+  std::array<std::uint64_t, kAnatomyClassSlots> per_class_seen{};
+  for (int s = 0; s < runtime.shard_count(); ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    const telemetry::TelemetrySnapshot shard_telemetry = runtime.GetShardTelemetry(s);
+    for (const RequestLifecycle& lifecycle : shard_telemetry.lifecycles) {
+      const StageVector vector = ComputeStageVector(lifecycle);
+      ASSERT_TRUE(vector.valid) << "request " << lifecycle.id << " has a broken stamp chain";
+      // The tentpole identity, exact in integer TSC units per request.
+      EXPECT_EQ(vector.Sum(), vector.latency_tsc) << "request " << lifecycle.id;
+      EXPECT_EQ(vector.latency_tsc, lifecycle.complete_tsc - lifecycle.arrival_tsc);
+      ++per_class_seen[AnatomyClassSlot(lifecycle.request_class)];
+      ++history_total;
+    }
+  }
+  // History capacity exceeds the request count, so the bounded history
+  // retained everything and the aggregation must agree with it per class.
+  EXPECT_EQ(history_total, request_count);
+  for (std::size_t slot = 0; slot < kAnatomyClassSlots; ++slot) {
+    EXPECT_EQ(merged.anatomy.classes[slot].completed, per_class_seen[slot])
+        << "class slot " << slot;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAndShards, AnatomyLiveTest,
+    testing::Values(AnatomyParam{PolicyKind::kConcordJbsq, 1},
+                    AnatomyParam{PolicyKind::kConcordJbsq, 2},
+                    AnatomyParam{PolicyKind::kConcordJbsq, 4},
+                    AnatomyParam{PolicyKind::kSingleQueuePreemptive, 1},
+                    AnatomyParam{PolicyKind::kSingleQueuePreemptive, 2},
+                    AnatomyParam{PolicyKind::kSingleQueuePreemptive, 4},
+                    AnatomyParam{PolicyKind::kFcfsNonPreemptive, 1},
+                    AnatomyParam{PolicyKind::kFcfsNonPreemptive, 2},
+                    AnatomyParam{PolicyKind::kFcfsNonPreemptive, 4},
+                    AnatomyParam{PolicyKind::kEdfNonPreemptive, 1},
+                    AnatomyParam{PolicyKind::kEdfNonPreemptive, 2},
+                    AnatomyParam{PolicyKind::kEdfNonPreemptive, 4},
+                    AnatomyParam{PolicyKind::kApproxSrpt, 1},
+                    AnatomyParam{PolicyKind::kApproxSrpt, 2},
+                    AnatomyParam{PolicyKind::kApproxSrpt, 4},
+                    AnatomyParam{PolicyKind::kConcordJbsqAdaptive, 1},
+                    AnatomyParam{PolicyKind::kConcordJbsqAdaptive, 2},
+                    AnatomyParam{PolicyKind::kConcordJbsqAdaptive, 4}),
+    ParamName);
+
+// The anatomy block must survive the JSON round trip (additive
+// concord.telemetry.v1 field; docs/telemetry.md).
+TEST(AnatomyJsonTest, SnapshotRoundTripsThroughJson) {
+  if constexpr (!telemetry::kEnabled) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  Runtime::Options options;
+  options.worker_count = 1;
+  options.quantum_us = 100.0;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView&) { SpinWithProbesUs(0.5); };
+  Runtime runtime(options, callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    while (!runtime.Submit(i, static_cast<int>(i % 3), nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+
+  const telemetry::TelemetrySnapshot snapshot = runtime.GetTelemetry();
+  ASSERT_EQ(snapshot.anatomy.TotalCompleted(), 32u);
+  telemetry::TelemetrySnapshot decoded;
+  ASSERT_TRUE(telemetry::TelemetrySnapshot::FromJson(snapshot.ToJson(), &decoded));
+  EXPECT_EQ(decoded.policy, snapshot.policy);
+  EXPECT_EQ(decoded.anatomy.TotalCompleted(), snapshot.anatomy.TotalCompleted());
+  EXPECT_EQ(decoded.anatomy.TotalInvalid(), snapshot.anatomy.TotalInvalid());
+  for (std::size_t slot = 0; slot < kAnatomyClassSlots; ++slot) {
+    EXPECT_EQ(decoded.anatomy.classes[slot].completed, snapshot.anatomy.classes[slot].completed);
+    for (std::size_t stage = 0; stage < static_cast<std::size_t>(kAnatomyStages); ++stage) {
+      EXPECT_EQ(decoded.anatomy.classes[slot].stage_sum_tsc[stage],
+                snapshot.anatomy.classes[slot].stage_sum_tsc[stage])
+          << "class slot " << slot << " stage " << stage;
+      EXPECT_EQ(decoded.anatomy.classes[slot].HistogramTotal(static_cast<int>(stage)),
+                snapshot.anatomy.classes[slot].HistogramTotal(static_cast<int>(stage)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace concord

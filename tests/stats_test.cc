@@ -210,6 +210,98 @@ TEST(HistogramTest, TailQuantileRelativeErrorVsExactOrderStatistics) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Quantization regressions for the within-bucket interpolation fix: Quantile
+// used to report the containing bucket's upper edge for every rank, biasing
+// results high by up to a full bucket width. These pin the interpolated
+// behavior deterministically so a regression to edge-reporting fails loudly.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantizationTest, InterpolatesByRankWithinOneWideBucket) {
+  // One sub-bucket per octave makes the bucket [256, 512) a full octave wide:
+  // the worst case for edge-reporting. 50 samples at 300 and 50 at 500 land
+  // in that one bucket; rank interpolation places the k-th of 100 samples at
+  // k/100 of the way across it, deterministically.
+  Histogram h(/*sub_buckets_per_octave=*/1);
+  h.RecordMany(300.0, 50);
+  h.RecordMany(500.0, 50);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 320.0);  // 256 + 0.25 * 256
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 448.0);  // 256 + 0.75 * 256
+  // Edge-reporting returned the upper edge (512, beyond every sample) for
+  // both ranks; interpolation keeps low ranks strictly below high ranks.
+  EXPECT_LT(h.Quantile(0.25), h.Quantile(0.75));
+  EXPECT_LE(h.Quantile(1.0), h.Max());
+}
+
+TEST(HistogramQuantizationTest, AllEqualSamplesReportTheExactValueAtEveryRank) {
+  // Clamping the interpolated value to the observed [min, max] means a
+  // degenerate distribution has zero quantization error at any precision.
+  for (int precision : {1, 16, 128}) {
+    Histogram h(precision);
+    h.RecordMany(300.0, 1000);
+    for (double q : {0.0, 0.25, 0.5, 0.99, 0.999, 1.0}) {
+      EXPECT_DOUBLE_EQ(h.Quantile(q), 300.0) << "precision=" << precision << " q=" << q;
+    }
+  }
+}
+
+TEST(HistogramQuantizationTest, ErrorScalesWithSubBucketPrecision) {
+  // The documented bound — error <= one bucket width, i.e. ~value/precision —
+  // must hold at every precision tier, so coarse histograms degrade
+  // gracefully and fine ones actually deliver their resolution.
+  Rng rng(77);
+  std::vector<double> values;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(rng.Uniform(1000.0, 4000.0));
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int precision : {16, 64, 128, 512}) {
+    Histogram h(precision);
+    for (double v : values) {
+      h.Record(v);
+    }
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+      const auto rank =
+          static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) - 1;
+      const double exact = sorted[rank];
+      EXPECT_NEAR(h.Quantile(q), exact, exact * (2.0 / precision) + 1e-9)
+          << "precision=" << precision << " q=" << q;
+    }
+  }
+}
+
+TEST(HistogramQuantizationTest, InterpolationCentersTheBiasInsteadOfInflatingIt) {
+  // Edge-reporting is biased strictly high: every reported quantile sits at
+  // its bucket's top. Interpolation centers the error, so across a dense
+  // quantile sweep the mean signed error (in bucket widths) must sit near
+  // zero rather than near +1.
+  Rng rng(123);
+  std::vector<double> values;
+  const int n = 100000;
+  Histogram h(/*sub_buckets_per_octave=*/16);  // coarse: bias would be visible
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(2000.0);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  double signed_error_in_widths = 0.0;
+  int probes = 0;
+  for (double q = 0.05; q < 0.995; q += 0.01) {
+    const auto rank =
+        static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) - 1;
+    const double exact = values[rank];
+    const double width = exact / 16.0;  // ~one bucket at this magnitude
+    signed_error_in_widths += (h.Quantile(q) - exact) / width;
+    ++probes;
+  }
+  const double mean_bias = signed_error_in_widths / probes;
+  EXPECT_LT(std::abs(mean_bias), 0.2) << "mean bias " << mean_bias
+                                      << " bucket widths; edge-reporting sat near +0.5";
+}
+
 TEST(SummaryTest, KnownValues) {
   Summary s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {

@@ -1,0 +1,136 @@
+// bench_compare: diff a fresh `micro_runtime --json-out=` summary against a
+// committed reference (BENCH_micro_runtime.json) with a tolerance band.
+//
+// CI's perf-smoke job runs on noisy shared runners, so the default band is
+// deliberately wide: it exists to catch order-of-magnitude regressions (a
+// lock on the hot path, an accidental O(n) scan per dispatch), not single-
+// digit-percent drift — the committed baseline block tracks that by hand.
+//
+// Usage:
+//   bench_compare [options] FRESH.json REFERENCE.json
+//     --min-throughput-ratio=R   fail when fresh/reference median throughput
+//                                falls below R (default 0.5)
+//     --max-p99-ratio=R          fail when fresh p99 slowdown exceeds R x the
+//                                reference (default 0: report only, no gate —
+//                                tail quantiles on shared runners are noise)
+//
+// Exit codes: 0 = within the band; 1 = outside the band; 2 = usage error or
+// unreadable/mismatched input.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/stats/table.h"
+#include "src/telemetry/json.h"
+
+namespace {
+
+using concord::TablePrinter;
+using concord::telemetry::JsonValue;
+
+bool LoadJson(const std::string& path, JsonValue* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "bench_compare: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!JsonValue::Parse(text.str(), out) || !out->is_object()) {
+    std::cerr << "bench_compare: " << path << " is not valid JSON\n";
+    return false;
+  }
+  return true;
+}
+
+double NestedDouble(const JsonValue& root, const std::string& section, const std::string& key) {
+  const JsonValue* object = root.Get(section);
+  return object != nullptr && object->is_object() ? object->GetDouble(key) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_throughput_ratio = 0.5;
+  double max_p99_ratio = 0.0;  // 0: report only
+  std::string fresh_path;
+  std::string reference_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--min-throughput-ratio=", 0) == 0) {
+      min_throughput_ratio = std::atof(arg.c_str() + std::strlen("--min-throughput-ratio="));
+    } else if (arg.rfind("--max-p99-ratio=", 0) == 0) {
+      max_p99_ratio = std::atof(arg.c_str() + std::strlen("--max-p99-ratio="));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "usage: bench_compare [--min-throughput-ratio=R] [--max-p99-ratio=R]\n"
+                   "                     FRESH.json REFERENCE.json\n"
+                   "exit codes: 0 within band; 1 outside band; 2 usage/input error\n";
+      return 2;
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else {
+      reference_path = arg;
+    }
+  }
+  if (fresh_path.empty() || reference_path.empty()) {
+    std::cerr << "bench_compare: need FRESH.json and REFERENCE.json\n";
+    return 2;
+  }
+
+  JsonValue fresh;
+  JsonValue reference;
+  if (!LoadJson(fresh_path, &fresh) || !LoadJson(reference_path, &reference)) {
+    return 2;
+  }
+  const JsonValue* fresh_name = fresh.Get("benchmark");
+  const JsonValue* reference_name = reference.Get("benchmark");
+  if (fresh_name == nullptr || reference_name == nullptr ||
+      fresh_name->AsString() != reference_name->AsString()) {
+    std::cerr << "bench_compare: benchmark names differ (or are missing); not comparable\n";
+    return 2;
+  }
+
+  const double fresh_tput = NestedDouble(fresh, "pipelined_throughput", "median_items_per_sec");
+  const double ref_tput = NestedDouble(reference, "pipelined_throughput", "median_items_per_sec");
+  const double fresh_p99 = NestedDouble(fresh, "slowdown", "p99");
+  const double ref_p99 = NestedDouble(reference, "slowdown", "p99");
+  if (fresh_tput <= 0.0 || ref_tput <= 0.0) {
+    std::cerr << "bench_compare: missing pipelined_throughput.median_items_per_sec\n";
+    return 2;
+  }
+
+  bool ok = true;
+  const double tput_ratio = fresh_tput / ref_tput;
+  const double p99_ratio = ref_p99 > 0.0 ? fresh_p99 / ref_p99 : 0.0;
+
+  TablePrinter table({"metric", "fresh", "reference", "ratio", "band", "verdict"});
+  const bool tput_ok = tput_ratio >= min_throughput_ratio;
+  table.AddRow({"throughput (items/s)", TablePrinter::Fixed(fresh_tput, 0),
+                TablePrinter::Fixed(ref_tput, 0), TablePrinter::Fixed(tput_ratio, 3),
+                ">= " + TablePrinter::Fixed(min_throughput_ratio, 2),
+                tput_ok ? "ok" : "FAIL"});
+  ok = ok && tput_ok;
+  if (ref_p99 > 0.0) {
+    const bool p99_gated = max_p99_ratio > 0.0;
+    const bool p99_ok = !p99_gated || p99_ratio <= max_p99_ratio;
+    table.AddRow({"p99 slowdown", TablePrinter::Fixed(fresh_p99, 1),
+                  TablePrinter::Fixed(ref_p99, 1), TablePrinter::Fixed(p99_ratio, 3),
+                  p99_gated ? "<= " + TablePrinter::Fixed(max_p99_ratio, 2) : "(report only)",
+                  p99_gated ? (p99_ok ? "ok" : "FAIL") : "-"});
+    ok = ok && p99_ok;
+  }
+  std::cout << "Benchmark: " << fresh_name->AsString() << "\n";
+  table.Print(std::cout);
+
+  if (!ok) {
+    std::cerr << "bench_compare: outside the tolerance band\n";
+    return 1;
+  }
+  std::cout << "bench_compare: within the tolerance band\n";
+  return 0;
+}

@@ -15,6 +15,9 @@
 // Usage:
 //   concord_trace [options] TRACE_FILE...
 //     --check                        exit 1 on violations/unexplained drops
+//     --anatomy                      per-class latency anatomy: mean stage
+//                                    breakdown plus a p99/p99.9 tail "blame"
+//                                    report naming the dominant stage
 //     --grace-us=N                   work-conservation grace bound (default 20000)
 //     --no-work-conservation         skip the work-conservation check
 //     --metrics=FILE                 cross-check a --metrics-out= series:
@@ -22,7 +25,13 @@
 //                                    traces' total completed-request count
 //                                    within 1%
 //     --min-windows=N                with --metrics: require at least N windows
+//
+// Exit codes: 0 = analysis succeeded (with --check: every invariant and the
+// anatomy stage-sum identity hold and every drop is accounted); 1 = at least
+// one violation, unexplained drop, or metrics mismatch; 2 = usage error or
+// unreadable/unrecognized input file.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -54,12 +63,17 @@ struct CliOptions {
   std::string metrics_path;
   AnalyzerOptions analyzer;
   bool check = false;
+  bool anatomy = false;
   std::uint64_t min_windows = 0;
 };
 
 void PrintUsage() {
-  std::cerr << "usage: concord_trace [--check] [--grace-us=N] [--no-work-conservation]\n"
-               "                     [--metrics=FILE] [--min-windows=N] TRACE_FILE...\n";
+  std::cerr << "usage: concord_trace [--check] [--anatomy] [--grace-us=N]\n"
+               "                     [--no-work-conservation] [--metrics=FILE]\n"
+               "                     [--min-windows=N] TRACE_FILE...\n"
+               "exit codes: 0 analysis ok (--check: invariants + anatomy identity hold,\n"
+               "            drops accounted); 1 violations/unexplained drops/metrics\n"
+               "            mismatch; 2 usage error or unreadable file\n";
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -67,6 +81,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     const std::string arg = argv[i];
     if (arg == "--check") {
       options->check = true;
+    } else if (arg == "--anatomy") {
+      options->anatomy = true;
     } else if (arg.rfind("--grace-us=", 0) == 0) {
       options->analyzer.grace_us = std::atof(arg.c_str() + std::strlen("--grace-us="));
     } else if (arg == "--no-work-conservation") {
@@ -131,6 +147,112 @@ void PrintBreakdownTable(const AnalyzerReport& report) {
                  "ovh = time between a preemption and the resumed segment):\n";
     table.Print(std::cout);
   }
+}
+
+// The --anatomy report: per-class mean stage breakdown (the exact TSC stage
+// vectors, converted to microseconds for display) plus a tail "blame" table —
+// for the requests at or above each class's p99 / p99.9 latency, which stage
+// holds the largest share of their summed latency. The stage vectors sum to
+// the end-to-end latency exactly in TSC units (--check enforces it), so the
+// shares partition the tail's microseconds with nothing unattributed.
+void PrintAnatomyReport(const AnalyzerReport& report) {
+  using concord::trace::kTraceStages;
+  using concord::trace::TraceStageName;
+  const double ghz = report.tsc_ghz > 0.0 ? report.tsc_ghz : 1.0;
+  const auto us = [ghz](std::uint64_t ticks) {
+    return static_cast<double>(ticks) / (ghz * 1000.0);
+  };
+
+  std::map<std::int32_t, std::vector<const RequestBreakdown*>> classes;
+  for (const RequestBreakdown& b : report.breakdowns) {
+    classes[b.request_class].push_back(&b);
+  }
+  if (classes.empty()) {
+    std::cout << "\nAnatomy: no complete requests to attribute\n";
+    return;
+  }
+
+  TablePrinter means({"class", "requests", "ingress (us)", "queue (us)", "inbox (us)",
+                      "service (us)", "requeue (us)", "latency (us)"});
+  for (const auto& [request_class, requests] : classes) {
+    std::uint64_t stage_sum[kTraceStages] = {0, 0, 0, 0, 0};
+    std::uint64_t latency_sum = 0;
+    for (const RequestBreakdown* b : requests) {
+      for (int stage = 0; stage < kTraceStages; ++stage) {
+        stage_sum[static_cast<std::size_t>(stage)] +=
+            b->stage_tsc[static_cast<std::size_t>(stage)];
+      }
+      latency_sum += b->latency_tsc;
+    }
+    const auto n = static_cast<double>(requests.size());
+    std::vector<std::string> row = {std::to_string(request_class),
+                                    std::to_string(requests.size())};
+    for (int stage = 0; stage < kTraceStages; ++stage) {
+      row.push_back(TablePrinter::Fixed(us(stage_sum[static_cast<std::size_t>(stage)]) / n, 2));
+    }
+    row.push_back(TablePrinter::Fixed(us(latency_sum) / n, 2));
+    means.AddRow(row);
+  }
+  std::cout << "\nLatency anatomy, mean per stage (stages partition [arrival, finish]\n"
+               "exactly; drain is live-telemetry-only and absent from traces):\n";
+  means.Print(std::cout);
+
+  TablePrinter blame({"class", "tail", "requests", ">= lat (us)", "dominant stage", "share",
+                      "ingress", "queue", "inbox", "service", "requeue"});
+  for (auto& [request_class, requests] : classes) {
+    std::sort(requests.begin(), requests.end(),
+              [](const RequestBreakdown* a, const RequestBreakdown* b) {
+                return a->latency_tsc < b->latency_tsc;
+              });
+    const struct {
+      const char* label;
+      double quantile;
+    } tails[] = {{"p99", 0.99}, {"p99.9", 0.999}};
+    for (const auto& tail : tails) {
+      // Ceil-rank cut: the tail holds every request at or above the quantile
+      // latency, never fewer than one.
+      std::size_t first = static_cast<std::size_t>(tail.quantile *
+                                                   static_cast<double>(requests.size()));
+      if (first >= requests.size()) {
+        first = requests.size() - 1;
+      }
+      std::uint64_t stage_sum[kTraceStages] = {0, 0, 0, 0, 0};
+      std::uint64_t latency_sum = 0;
+      for (std::size_t i = first; i < requests.size(); ++i) {
+        for (int stage = 0; stage < kTraceStages; ++stage) {
+          stage_sum[static_cast<std::size_t>(stage)] +=
+              requests[i]->stage_tsc[static_cast<std::size_t>(stage)];
+        }
+        latency_sum += requests[i]->latency_tsc;
+      }
+      int dominant = 0;
+      for (int stage = 1; stage < kTraceStages; ++stage) {
+        if (stage_sum[static_cast<std::size_t>(stage)] >
+            stage_sum[static_cast<std::size_t>(dominant)]) {
+          dominant = stage;
+        }
+      }
+      const auto share = [&](int stage) {
+        return latency_sum > 0
+                   ? static_cast<double>(stage_sum[static_cast<std::size_t>(stage)]) /
+                         static_cast<double>(latency_sum)
+                   : 0.0;
+      };
+      std::vector<std::string> row = {
+          std::to_string(request_class),
+          tail.label,
+          std::to_string(requests.size() - first),
+          TablePrinter::Fixed(us(requests[first]->latency_tsc), 2),
+          TraceStageName(dominant),
+          TablePrinter::Percent(share(dominant), 1)};
+      for (int stage = 0; stage < kTraceStages; ++stage) {
+        row.push_back(TablePrinter::Percent(share(stage), 1));
+      }
+      blame.AddRow(row);
+    }
+  }
+  std::cout << "\nTail blame (share of the tail requests' summed latency per stage):\n";
+  blame.Print(std::cout);
 }
 
 void PrintWorkerTable(const AnalyzerReport& report) {
@@ -251,6 +373,9 @@ int main(int argc, char** argv) {
 
     PrintWorkerTable(report);
     PrintBreakdownTable(report);
+    if (options.anatomy) {
+      PrintAnatomyReport(report);
+    }
 
     if (!report.violations.empty()) {
       std::cout << "\nInvariant violations (" << report.violations.size() << "):\n";
