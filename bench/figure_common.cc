@@ -97,6 +97,7 @@ telemetry::TelemetrySnapshot RunLiveSpinTelemetry(double quantum_us, double serv
   options.shard.policy = selection.policy;
   options.shard_count = selection.shard_count;
   options.placement = selection.placement;
+  options.allowed_cpus = selection.cpus;
   if (!trace_path.empty()) {
     // Bounded but generous: ~4 records/request for typical live sections, so
     // even the largest figure run fits with zero drops (any excess is
@@ -170,6 +171,7 @@ void RunLivePolicyComparison(double quantum_us, double short_us, double long_us,
     options.shard.policy = policy;
     options.shard_count = selection.shard_count;
     options.placement = selection.placement;
+    options.allowed_cpus = selection.cpus;
     SlowdownTracker tracker;
     std::uint64_t completed = 0;
     std::mutex complete_mu;  // on_complete runs on every shard's dispatcher

@@ -199,27 +199,38 @@ namespace concord {
 //     on_complete; reports p50/p99/p99.9.
 // One pipelined-throughput measurement pass: `repetitions` timed reps of
 // `request_count` no-op requests through a 64-deep submit window, on
-// `shard_count` shards under `policy`. Returns the median items/s.
-double MeasurePipelinedThroughput(std::size_t request_count, int repetitions, PolicyKind policy,
+// `shard_count` shards under `policy`, preceded by `warmup_reps` whole
+// discarded reps (cold-start effects — first-fault of the request slabs,
+// fiber-stack allocation, branch warmup — land there instead of skewing the
+// committed median). `cpus` seats the shards via a topology PlacementPlan
+// when non-empty; `pinned_out` (optional) reports whether the plan pinned.
+// Returns the median items/s over the timed reps.
+double MeasurePipelinedThroughput(std::size_t request_count, int repetitions, int warmup_reps,
+                                  PolicyKind policy, int shard_count, ShardPlacement placement,
                                   // concord-lint: allow-no-probe (bench driver, main thread)
-                                  int shard_count, ShardPlacement placement) {
+                                  const std::vector<int>& cpus, bool* pinned_out = nullptr) {
   std::vector<double> items_per_sec;
   items_per_sec.reserve(static_cast<std::size_t>(repetitions));
   // concord-lint: allow-no-probe (bench driver loop on the main thread, not handler code)
-  for (int rep = 0; rep < repetitions; ++rep) {
+  for (int rep = 0; rep < warmup_reps + repetitions; ++rep) {
     ShardedRuntime::Options options;
     options.shard.worker_count = 2;
     options.shard.quantum_us = 1000.0;
     options.shard.policy = policy;
     options.shard_count = shard_count;
     options.placement = placement;
+    options.allowed_cpus = cpus;
     Runtime::Callbacks callbacks;
     callbacks.handle_request = [](const RequestView&) {};
     ShardedRuntime runtime(options, callbacks);
+    if (pinned_out != nullptr) {
+      *pinned_out = runtime.placement_plan().pinned;
+    }
     runtime.Start();
-    // Untimed warmup: populate the fiber pools, ring pages and producer
-    // slots before the clock starts (google-benchmark's calibration runs do
-    // the same for BM_PipelinedThroughput, keeping the numbers comparable).
+    // Untimed intra-rep warmup: populate the fiber pools, ring pages and
+    // producer slots before the clock starts (google-benchmark's calibration
+    // runs do the same for BM_PipelinedThroughput, keeping the numbers
+    // comparable).
     const std::size_t warmup = std::min<std::size_t>(request_count / 10, 10000);
     // Driver loop on the main thread, not handler code. concord-lint: allow-no-probe
     for (std::size_t id = 0; id < warmup; ++id) {
@@ -245,6 +256,9 @@ double MeasurePipelinedThroughput(std::size_t request_count, int repetitions, Po
     const double elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     runtime.Shutdown();
+    if (rep < warmup_reps) {
+      continue;  // whole-rep warmup: measured, discarded
+    }
     items_per_sec.push_back(elapsed_s > 0.0 ? static_cast<double>(request_count) / elapsed_s
                                             : 0.0);
   }
@@ -261,10 +275,16 @@ int RunJsonBench(const std::string& json_out, int argc, char** argv) {
                                      400000)));
   const RuntimeSelection selection = SelectionFromArgsOrEnv(argc, argv);
   constexpr int kRepetitions = 5;
+  // Whole discarded reps before the timed ones (--warmup-reps= /
+  // CONCORD_WARMUP_REPS, default 1): slab first-fault, fiber-pool and
+  // branch-predictor warmup land outside the committed median.
+  const int warmup_reps = static_cast<int>(std::max<long long>(
+      0, telemetry::IntFromFlagOrEnv(argc, argv, "--warmup-reps=", "CONCORD_WARMUP_REPS", 1)));
 
-  const double median_items_per_sec =
-      MeasurePipelinedThroughput(request_count, kRepetitions, selection.policy,
-                                 selection.shard_count, selection.placement);
+  bool pinned = false;
+  const double median_items_per_sec = MeasurePipelinedThroughput(
+      request_count, kRepetitions, warmup_reps, selection.policy, selection.shard_count,
+      selection.placement, selection.cpus, &pinned);
   const double median_ns_per_op =
       median_items_per_sec > 0.0 ? 1.0e9 / median_items_per_sec : 0.0;
   // The inter-shard scaling data point for the committed artifact: when the
@@ -273,9 +293,11 @@ int RunJsonBench(const std::string& json_out, int argc, char** argv) {
   // clear 1.3x; on small hosts the numbers record the oversubscription
   // honestly).
   double two_shard_items_per_sec = 0.0;
+  bool two_shard_pinned = false;
   if (selection.shard_count == 1) {
     two_shard_items_per_sec = MeasurePipelinedThroughput(
-        request_count, kRepetitions, selection.policy, 2, selection.placement);
+        request_count, kRepetitions, warmup_reps, selection.policy, 2, selection.placement,
+        selection.cpus, &two_shard_pinned);
   }
 
   SlowdownTracker tracker;
@@ -288,6 +310,7 @@ int RunJsonBench(const std::string& json_out, int argc, char** argv) {
     options.shard.policy = selection.policy;
     options.shard_count = selection.shard_count;
     options.placement = selection.placement;
+    options.allowed_cpus = selection.cpus;
     std::mutex complete_mu;  // with shards > 1 every shard's dispatcher completes here
     Runtime::Callbacks callbacks;
     callbacks.handle_request = [](const RequestView& view) {
@@ -344,14 +367,20 @@ int RunJsonBench(const std::string& json_out, int argc, char** argv) {
   json << "  \"policy\": \"" << PolicyKindName(selection.policy) << "\",\n";
   json << "  \"shards\": " << selection.shard_count << ",\n";
   json << "  \"placement\": \"" << ShardPlacementName(selection.placement) << "\",\n";
+  json << "  \"pinned\": " << (pinned ? "true" : "false") << ",\n";
+  // Host shape at record time: scaling_model reads this so calibration stays
+  // tied to the machine that produced the numbers, not whoever reruns it.
+  json << "  \"host_cpus\": " << Topology::Discover().CpuCount() << ",\n";
   json << "  \"pipelined_throughput\": {\n";
   json << "    \"requests_per_rep\": " << request_count << ",\n";
   json << "    \"repetitions\": " << kRepetitions << ",\n";
+  json << "    \"warmup_reps\": " << warmup_reps << ",\n";
   json << "    \"median_items_per_sec\": " << median_items_per_sec << ",\n";
   json << "    \"median_ns_per_op\": " << median_ns_per_op << "\n";
   json << "  },\n";
   if (two_shard_items_per_sec > 0.0) {
     json << "  \"pipelined_throughput_2shard\": {\n";
+    json << "    \"pinned\": " << (two_shard_pinned ? "true" : "false") << ",\n";
     json << "    \"median_items_per_sec\": " << two_shard_items_per_sec << ",\n";
     json << "    \"median_ns_per_op\": " << 1.0e9 / two_shard_items_per_sec << ",\n";
     json << "    \"vs_single_shard\": "
@@ -422,6 +451,7 @@ int RunExportWorkload(int argc, char** argv) {
   options.shard.policy = selection.policy;
   options.shard_count = selection.shard_count;
   options.placement = selection.placement;
+  options.allowed_cpus = selection.cpus;
   if (!trace_out.empty()) {
     // Sized for zero drops at the default request count; any overflow is
     // exactly counted and surfaced by the analyzer.
@@ -508,7 +538,9 @@ int main(int argc, char** argv) {
         std::strncmp(argv[i], "--shards=", 9) == 0 ||
         std::strncmp(argv[i], "--placement=", 12) == 0 ||
         std::strncmp(argv[i], "--deadline-us=", 14) == 0 ||
-        std::strncmp(argv[i], "--requests=", 11) == 0) {
+        std::strncmp(argv[i], "--requests=", 11) == 0 ||
+        std::strncmp(argv[i], "--cpus=", 7) == 0 ||
+        std::strncmp(argv[i], "--warmup-reps=", 14) == 0) {
       continue;
     }
     bench_args.push_back(argv[i]);

@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   options.shard.policy = selection.policy;
   options.shard_count = selection.shard_count;
   options.placement = selection.placement;
+  options.allowed_cpus = selection.cpus;
   if (!trace_out.empty()) {
     options.shard.trace_buffer_capacity = std::size_t{1} << 17;  // scheduling-trace capture on
   }

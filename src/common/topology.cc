@@ -1,0 +1,400 @@
+#include "src/common/topology.h"
+
+#include <sched.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace concord {
+
+namespace {
+
+// Reads a small sysfs file into a trimmed string. Returns false when the
+// file is absent/unreadable (the single-core fallback trigger).
+bool ReadSysfsString(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  while (!text.empty() && (text.back() == '\n' || text.back() == ' ')) {
+    text.pop_back();
+  }
+  *out = text;
+  return true;
+}
+
+bool ReadSysfsInt(const std::string& path, int* out) {
+  std::string text;
+  if (!ReadSysfsString(path, &text) || text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str()) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+Topology SingleCoreFallback() {
+  Topology topo;
+  topo.cpus.push_back(CpuInfo{0, 0, 0, 0});
+  return topo;
+}
+
+}  // namespace
+
+int Topology::NumaNodeOf(int cpu) const {
+  for (const CpuInfo& info : cpus) {
+    if (info.cpu == cpu) {
+      return info.numa_node;
+    }
+  }
+  return -1;
+}
+
+int Topology::NodeCount() const {
+  int max_node = 0;
+  for (const CpuInfo& info : cpus) {
+    max_node = std::max(max_node, info.numa_node);
+  }
+  return cpus.empty() ? 0 : max_node + 1;
+}
+
+Topology Topology::Discover() {
+  std::string online;
+  if (!ReadSysfsString("/sys/devices/system/cpu/online", &online)) {
+    return SingleCoreFallback();
+  }
+  std::vector<int> ids;
+  std::string error;
+  if (!ParseCpuList(online, &ids, &error) || ids.empty()) {
+    return SingleCoreFallback();
+  }
+
+  Topology topo;
+  topo.cpus.reserve(ids.size());
+  for (const int id : ids) {
+    const std::string base = "/sys/devices/system/cpu/cpu" + std::to_string(id);
+    CpuInfo info;
+    info.cpu = id;
+    if (!ReadSysfsInt(base + "/topology/physical_package_id", &info.package)) {
+      info.package = 0;
+    }
+    if (!ReadSysfsInt(base + "/topology/core_id", &info.core)) {
+      info.core = id;  // distinct per CPU, which is what packing needs
+    }
+    // The CPU's node is the nodeN whose cpulist contains it; probe a bounded
+    // range of node ids (real machines have a handful).
+    info.numa_node = 0;
+    // concord-lint: allow-no-probe (setup-time sysfs scan, bounded)
+    for (int node = 0; node < 64; ++node) {
+      std::string cpulist;
+      if (!ReadSysfsString("/sys/devices/system/node/node" + std::to_string(node) + "/cpulist",
+                           &cpulist)) {
+        continue;
+      }
+      std::vector<int> node_cpus;
+      if (ParseCpuList(cpulist, &node_cpus, &error) &&
+          std::find(node_cpus.begin(), node_cpus.end(), id) != node_cpus.end()) {
+        info.numa_node = node;
+        break;
+      }
+    }
+    topo.cpus.push_back(info);
+  }
+  return topo;
+}
+
+Topology Topology::Synthetic(int nodes, int cpus_per_node) {
+  Topology topo;
+  int id = 0;
+  for (int node = 0; node < nodes; ++node) {
+    for (int c = 0; c < cpus_per_node; ++c) {
+      topo.cpus.push_back(CpuInfo{id, node, c, node});
+      ++id;
+    }
+  }
+  return topo;
+}
+
+bool ParseCpuList(const std::string& text, std::vector<int>* cpus, std::string* error) {
+  cpus->clear();
+  if (text.empty()) {
+    *error = "empty cpu list";
+    return false;
+  }
+  {
+    // getline() swallows a trailing empty token, so "0," would otherwise
+    // parse; reject it like the kernel's cpulist parser does.
+    std::string tail = text;
+    while (!tail.empty() && std::isspace(static_cast<unsigned char>(tail.back()))) {
+      tail.pop_back();
+    }
+    if (!tail.empty() && tail.back() == ',') {
+      *error = "trailing comma in cpu list '" + text + "'";
+      return false;
+    }
+  }
+  std::stringstream stream(text);
+  std::string token;
+  // concord-lint: allow-no-probe (flag parsing, bounded by input length)
+  while (std::getline(stream, token, ',')) {
+    // Trim edge whitespace only ("0, 2" and a sysfs trailing newline are
+    // fine; "1 2" inside a token still fails below).
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(token.front()))) {
+      token.erase(token.begin());
+    }
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(token.back()))) {
+      token.pop_back();
+    }
+    if (token.empty()) {
+      *error = "empty token in cpu list '" + text + "'";
+      return false;
+    }
+    const auto parse_int = [&](const std::string& piece, int* out) {
+      if (piece.empty()) {
+        return false;
+      }
+      for (const char ch : piece) {
+        if (!std::isdigit(static_cast<unsigned char>(ch))) {
+          return false;
+        }
+      }
+      char* end = nullptr;
+      const long value = std::strtol(piece.c_str(), &end, 10);
+      if (end != piece.c_str() + piece.size() || value < 0 || value > 1 << 20) {
+        return false;
+      }
+      *out = static_cast<int>(value);
+      return true;
+    };
+    const std::size_t dash = token.find('-');
+    if (dash == std::string::npos) {
+      int value = 0;
+      if (!parse_int(token, &value)) {
+        *error = "bad cpu id '" + token + "' in cpu list '" + text + "'";
+        return false;
+      }
+      cpus->push_back(value);
+    } else {
+      int lo = 0;
+      int hi = 0;
+      if (!parse_int(token.substr(0, dash), &lo) || !parse_int(token.substr(dash + 1), &hi)) {
+        *error = "bad cpu range '" + token + "' in cpu list '" + text + "'";
+        return false;
+      }
+      if (hi < lo) {
+        *error = "reversed cpu range '" + token + "' in cpu list '" + text + "'";
+        return false;
+      }
+      for (int id = lo; id <= hi; ++id) {
+        cpus->push_back(id);
+      }
+    }
+  }
+  std::sort(cpus->begin(), cpus->end());
+  cpus->erase(std::unique(cpus->begin(), cpus->end()), cpus->end());
+  return true;
+}
+
+std::vector<int> ParseCpuListOrDie(const std::string& text, const std::string& what) {
+  std::vector<int> cpus;
+  std::string error;
+  CONCORD_CHECK(ParseCpuList(text, &cpus, &error)) << what << ": " << error;
+  return cpus;
+}
+
+std::vector<int> AllowedCpusFrom(const std::string& flag_value, const std::string& env_value,
+                                 const Topology& topo) {
+  std::vector<int> cpus;
+  if (!flag_value.empty()) {
+    cpus = ParseCpuListOrDie(flag_value, "--cpus=");
+  } else if (!env_value.empty()) {
+    cpus = ParseCpuListOrDie(env_value, "CONCORD_CPUS");
+  } else {
+    // Default: the process affinity mask intersected with the topology.
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+      for (const CpuInfo& info : topo.cpus) {
+        if (info.cpu >= 0 && info.cpu < CPU_SETSIZE &&
+            CPU_ISSET(static_cast<unsigned>(info.cpu), &set)) {
+          cpus.push_back(info.cpu);
+        }
+      }
+    }
+    if (cpus.empty()) {
+      for (const CpuInfo& info : topo.cpus) {
+        cpus.push_back(info.cpu);
+      }
+    }
+    return cpus;
+  }
+  // Explicitly requested CPUs must exist: a typo'd --cpus= silently running
+  // unpinned would defeat the point of asking.
+  for (const int cpu : cpus) {
+    CONCORD_CHECK(topo.NumaNodeOf(cpu) >= 0)
+        << "requested cpu " << cpu << " is not an online cpu on this host";
+  }
+  return cpus;
+}
+
+std::vector<int> AllowedCpusFromArgsOrEnv(int argc, char** argv, const Topology& topo) {
+  std::string flag_value;
+  // concord-lint: allow-no-probe (flag scan, bounded by argc)
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i] == nullptr ? "" : argv[i];
+    const std::string prefix = "--cpus=";
+    if (arg.rfind(prefix, 0) == 0) {
+      flag_value = arg.substr(prefix.size());
+      CONCORD_CHECK(!flag_value.empty()) << "--cpus= requires a cpu list (e.g. --cpus=0-3)";
+    }
+  }
+  const char* env = std::getenv("CONCORD_CPUS");
+  return AllowedCpusFrom(flag_value, env == nullptr ? "" : env, topo);
+}
+
+PlacementPlan BuildPlacementPlan(const Topology& topo, const std::vector<int>& allowed_cpus,
+                                 int shard_count, int workers_per_shard) {
+  PlacementPlan plan;
+  plan.shards.resize(static_cast<std::size_t>(std::max(shard_count, 0)));
+  for (ShardCpuAssignment& shard : plan.shards) {
+    shard.worker_cpus.assign(static_cast<std::size_t>(std::max(workers_per_shard, 0)), -1);
+  }
+  const int threads_per_shard = 1 + workers_per_shard;
+  const long need = static_cast<long>(shard_count) * threads_per_shard;
+  if (shard_count <= 0 || workers_per_shard < 0 ||
+      need > static_cast<long>(allowed_cpus.size())) {
+    return plan;  // unpinned fallback: oversubscribed or degenerate
+  }
+
+  // Group the allowed CPUs by NUMA node, each group sorted by (package,
+  // core, cpu) so a shard's consecutive picks share a package and sit on
+  // adjacent cores — the "dispatcher-adjacent worker packing".
+  std::vector<std::vector<CpuInfo>> by_node(static_cast<std::size_t>(std::max(topo.NodeCount(), 1)));
+  for (const int cpu : allowed_cpus) {
+    for (const CpuInfo& info : topo.cpus) {
+      if (info.cpu == cpu) {
+        by_node[static_cast<std::size_t>(info.numa_node)].push_back(info);
+        break;
+      }
+    }
+  }
+  for (auto& group : by_node) {
+    std::sort(group.begin(), group.end(), [](const CpuInfo& a, const CpuInfo& b) {
+      if (a.package != b.package) return a.package < b.package;
+      if (a.core != b.core) return a.core < b.core;
+      return a.cpu < b.cpu;
+    });
+  }
+
+  // Seat shards round-robin over nodes; a shard that does not fit wholly in
+  // its preferred node overflows into the globally remaining CPUs (still a
+  // full seating — the fallback above already guaranteed enough seats).
+  std::vector<std::size_t> cursor(by_node.size(), 0);
+  std::size_t node_rr = 0;
+  const auto take_from = [&](std::size_t node) -> const CpuInfo* {
+    if (node < by_node.size() && cursor[node] < by_node[node].size()) {
+      return &by_node[node][cursor[node]++];
+    }
+    return nullptr;
+  };
+  const auto take_any = [&]() -> const CpuInfo* {
+    for (std::size_t node = 0; node < by_node.size(); ++node) {
+      if (const CpuInfo* info = take_from(node)) {
+        return info;
+      }
+    }
+    return nullptr;
+  };
+
+  for (int s = 0; s < shard_count; ++s) {
+    // Preferred node: the first node (round-robin from node_rr) with enough
+    // remaining CPUs for the whole shard, else the one with the most room.
+    std::size_t preferred = by_node.size();
+    for (std::size_t probe = 0; probe < by_node.size(); ++probe) {
+      const std::size_t node = (node_rr + probe) % by_node.size();
+      if (by_node[node].size() - cursor[node] >= static_cast<std::size_t>(threads_per_shard)) {
+        preferred = node;
+        break;
+      }
+    }
+    if (preferred == by_node.size()) {
+      std::size_t best_room = 0;
+      preferred = 0;
+      for (std::size_t node = 0; node < by_node.size(); ++node) {
+        const std::size_t room = by_node[node].size() - cursor[node];
+        if (room > best_room) {
+          best_room = room;
+          preferred = node;
+        }
+      }
+    }
+    node_rr = (preferred + 1) % by_node.size();
+
+    ShardCpuAssignment& shard = plan.shards[static_cast<std::size_t>(s)];
+    const CpuInfo* dispatcher = take_from(preferred);
+    if (dispatcher == nullptr) {
+      dispatcher = take_any();
+    }
+    CONCORD_CHECK(dispatcher != nullptr) << "placement ran out of CPUs despite capacity check";
+    shard.dispatcher_cpu = dispatcher->cpu;
+    shard.numa_node = dispatcher->numa_node;
+    for (int w = 0; w < workers_per_shard; ++w) {
+      const CpuInfo* worker = take_from(preferred);
+      if (worker == nullptr) {
+        worker = take_any();
+      }
+      CONCORD_CHECK(worker != nullptr) << "placement ran out of CPUs despite capacity check";
+      shard.worker_cpus[static_cast<std::size_t>(w)] = worker->cpu;
+    }
+  }
+  plan.pinned = true;
+  return plan;
+}
+
+SlabMapping MapSlab(std::size_t bytes, bool huge_pages) {
+  SlabMapping mapping;
+  if (bytes == 0) {
+    return mapping;
+  }
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::size_t page_size = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  const std::size_t rounded = (bytes + page_size - 1) / page_size * page_size;
+  void* data =
+      mmap(nullptr, rounded, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (data == MAP_FAILED) {
+    return mapping;  // caller falls back to heap allocation
+  }
+  mapping.data = data;
+  mapping.bytes = rounded;
+#ifdef MADV_HUGEPAGE
+  if (huge_pages) {
+    mapping.huge_advised = madvise(data, rounded, MADV_HUGEPAGE) == 0;
+  }
+#else
+  (void)huge_pages;
+#endif
+  return mapping;
+}
+
+void UnmapSlab(SlabMapping* mapping) {
+  if (mapping->data != nullptr && mapping->bytes != 0) {
+    munmap(mapping->data, mapping->bytes);
+  }
+  mapping->data = nullptr;
+  mapping->bytes = 0;
+  mapping->huge_advised = false;
+}
+
+}  // namespace concord

@@ -1,0 +1,131 @@
+// CPU/NUMA topology discovery and locality-aware placement planning.
+//
+// The paper's evaluation pins every dispatcher and worker to its own core and
+// keeps each shard's request memory NUMA-local; this header is the layer that
+// makes those decisions explicit instead of hard-coding "dispatcher on CPU 0,
+// worker i on CPU 1+i". Topology is discovered once from sysfs (with a
+// graceful single-core fallback when sysfs is absent, as in minimal
+// containers), an allowed-CPU set comes from `--cpus=` / `CONCORD_CPUS` (or
+// the process affinity mask), and BuildPlacementPlan packs each shard's
+// workers onto CPUs adjacent to its dispatcher — same package, same NUMA node
+// — so the dispatcher<->worker signal lines stay on-die instead of crossing
+// the interconnect.
+//
+// Slab mapping helpers live here too: MapSlab backs a producer slot's request
+// slab with an anonymous mmap (optionally MADV_HUGEPAGE-advised) that the
+// constructing thread first-touches, so first-touch NUMA policy places the
+// pages on the submitting shard's node. Everything degrades cleanly: no
+// sysfs, one CPU, no huge pages, or oversubscription all yield a working
+// (just unpinned / heap-backed) runtime.
+
+#ifndef CONCORD_SRC_COMMON_TOPOLOGY_H_
+#define CONCORD_SRC_COMMON_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace concord {
+
+// One logical CPU as sysfs describes it.
+struct CpuInfo {
+  int cpu = -1;        // logical id (index into /sys/devices/system/cpu/cpuN)
+  int package = 0;     // physical_package_id; 0 when sysfs is absent
+  int core = 0;        // core_id within the package; falls back to the cpu id
+  int numa_node = 0;   // NUMA node owning this CPU; 0 when nodes are absent
+};
+
+// The host's online-CPU topology, sorted by logical id.
+struct Topology {
+  std::vector<CpuInfo> cpus;
+
+  int CpuCount() const { return static_cast<int>(cpus.size()); }
+
+  // NUMA node of `cpu`, or -1 when the CPU is not in this topology.
+  int NumaNodeOf(int cpu) const;
+
+  // Highest NUMA node id present, plus one (>= 1 for any non-empty topology).
+  int NodeCount() const;
+
+  // Reads /sys/devices/system/cpu + /sys/devices/system/node. Falls back to
+  // a single-CPU single-node topology when sysfs is unreadable, so callers
+  // never have to special-case minimal containers.
+  static Topology Discover();
+
+  // A synthetic topology for tests: `cpus_per_node` logical CPUs per NUMA
+  // node, ids assigned densely in node order.
+  static Topology Synthetic(int nodes, int cpus_per_node);
+};
+
+// Parses a Linux cpulist ("0-3,8,10-11") into sorted unique CPU ids.
+// Returns false (with a human-readable reason in *error) on malformed input:
+// empty lists, junk tokens, reversed ranges, negative ids.
+bool ParseCpuList(const std::string& text, std::vector<int>* cpus, std::string* error);
+
+// CONCORD_CHECK-fatal wrapper used by flag parsing; `what` names the flag or
+// env var in the failure message.
+std::vector<int> ParseCpuListOrDie(const std::string& text, const std::string& what);
+
+// The allowed-CPU set for placement: `--cpus=<cpulist>` if present in argv
+// (flag wins over env, mirroring SelectionFromArgsOrEnv), else the
+// CONCORD_CPUS env var, else the process affinity mask. Dies on malformed
+// input; dies if a requested CPU is not in `topo`.
+std::vector<int> AllowedCpusFromArgsOrEnv(int argc, char** argv, const Topology& topo);
+
+// As above but with explicit flag/env values (testable without argv
+// plumbing): `flag_value`/`env_value` are the raw cpulist strings or empty
+// when unset.
+std::vector<int> AllowedCpusFrom(const std::string& flag_value, const std::string& env_value,
+                                 const Topology& topo);
+
+// Placement for one shard: where its dispatcher and each worker should run.
+// -1 anywhere means "leave unpinned".
+struct ShardCpuAssignment {
+  int dispatcher_cpu = -1;
+  std::vector<int> worker_cpus;  // size == workers_per_shard
+  int numa_node = -1;            // preferred node for this shard's slabs
+};
+
+// A full placement plan across shards. `pinned` is false when the allowed
+// set could not seat every thread on its own CPU (oversubscription or a
+// single-core host); the plan then contains only -1s and the runtime runs
+// unpinned, exactly as before this layer existed.
+struct PlacementPlan {
+  std::vector<ShardCpuAssignment> shards;
+  bool pinned = false;
+
+  const ShardCpuAssignment& shard(std::size_t i) const { return shards[i]; }
+};
+
+// Packs shards onto `allowed_cpus` (ids must exist in `topo`):
+//  - each shard gets 1 dispatcher CPU + `workers_per_shard` worker CPUs,
+//    workers seated adjacent to their dispatcher (same node, ascending id),
+//  - shards are spread across NUMA nodes round-robin so per-shard slabs can
+//    be node-local,
+//  - if |allowed| < shard_count * (1 + workers_per_shard), returns an
+//    unpinned plan (graceful fallback; never partially pins a shard).
+PlacementPlan BuildPlacementPlan(const Topology& topo, const std::vector<int>& allowed_cpus,
+                                 int shard_count, int workers_per_shard);
+
+// ---------------------------------------------------------------------------
+// Slab mapping: anonymous mmap with optional transparent-huge-page advice.
+
+struct SlabMapping {
+  void* data = nullptr;
+  std::size_t bytes = 0;       // mapped length (page-rounded), 0 when heap-backed
+  bool huge_advised = false;   // MADV_HUGEPAGE accepted by the kernel
+};
+
+// Maps `bytes` of anonymous read/write memory. When `huge_pages`, advises
+// MADV_HUGEPAGE (best-effort; `huge_advised` records whether the kernel took
+// it). Returns {nullptr, 0, false} when mmap itself fails — callers fall back
+// to heap allocation. The *calling thread* should construct objects into the
+// mapping immediately: first-touch places the pages on its NUMA node.
+SlabMapping MapSlab(std::size_t bytes, bool huge_pages);
+
+// Unmaps a mapping returned by MapSlab; safe on a default-constructed value.
+void UnmapSlab(SlabMapping* mapping);
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_COMMON_TOPOLOGY_H_

@@ -35,6 +35,8 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/cacheline.h"
+#include "src/common/topology.h"
 #include "src/runtime/ingress_protocol.h"
 #include "src/runtime/request.h"
 #include "src/runtime/spsc_ring.h"
@@ -54,31 +56,46 @@ struct ProducerTlsState;
 // in local_free, in the ingress ring, owned by the dispatcher/workers, or
 // in the recycle ring. A slot whose thread exits is released (claim -> 0)
 // and adopted by the next new submitter.
+//
+// The request slab is one contiguous anonymous mapping (optionally
+// MADV_HUGEPAGE-advised) first-touched by the constructing submitter thread,
+// so first-touch NUMA policy places it on the submitter's node; when mmap is
+// unavailable the slab falls back to per-request heap allocation with
+// identical semantics. Cacheline layout is deliberate and audited (`ctest -L
+// alignment`): the claim word is scanned/CASed by *foreign* threads hunting
+// for a free slot, and in_submit is stored on every Submit and scanned by
+// the dispatcher at shutdown, so each owns a full line — neither shares a
+// line with the submit-hot local_free vector header.
 // concord-atomics: shared-struct (submitter + dispatcher touch this concurrently)
 struct ProducerSlot {
-  ProducerSlot(Runtime* owner, std::size_t capacity) : ingress(capacity), recycle(capacity) {
-    slab.reserve(capacity);
-    local_free.reserve(capacity);
-    for (std::size_t i = 0; i < capacity; ++i) {
-      slab.push_back(std::make_unique<RuntimeRequest>());
-      slab.back()->home = this;
-      slab.back()->runtime = owner;
-      local_free.push_back(slab.back().get());
-    }
-  }
+  ProducerSlot(Runtime* owner, std::size_t capacity, bool huge_page_slab);
+  ProducerSlot(const ProducerSlot&) = delete;
+  ProducerSlot& operator=(const ProducerSlot&) = delete;
+  ~ProducerSlot();
+
   SpscRing<RuntimeRequest*> ingress;  // submitter -> dispatcher
   SpscRing<RuntimeRequest*> recycle;  // dispatcher -> submitter
   // 0 when unclaimed; otherwise the claiming thread's id hash. Claimed
   // with an acquire CAS that pairs with the release store in the exiting
-  // thread's TLS destructor, which also hands over local_free.
-  std::atomic<std::size_t> claim{0};
+  // thread's TLS destructor, which also hands over local_free. Own line:
+  // foreign threads scan it while the owner is mid-submit.
+  alignas(kCacheLineSize) std::atomic<std::size_t> claim{0};
   // Nonzero while the owning thread is inside Submit() between its
   // accepting check and its ingress push (see the teardown handshake above).
-  std::atomic<std::uint32_t> in_submit{0};
+  // Own line: stored per submit, scanned by the dispatcher's quiescence
+  // check.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> in_submit{0};
   // The slab itself never changes after construction; only the request
   // *pointees* cross threads, each handed over through the rings.
+  // slab_base points into slab_map when the mapping succeeded, else into
+  // heap_slab's elements.
   // concord-atomics: allow-plain-field (immutable after construction)
-  std::vector<std::unique_ptr<RuntimeRequest>> slab;
+  alignas(kCacheLineSize) SlabMapping slab_map;
+  RuntimeRequest* slab_base = nullptr;  // concord-atomics: allow-plain-field (immutable)
+  std::size_t slab_count = 0;           // concord-atomics: allow-plain-field (immutable)
+  // Heap fallback storage, used only when mmap failed (empty otherwise).
+  // concord-atomics: allow-plain-field (immutable after construction)
+  std::vector<std::unique_ptr<RuntimeRequest>> heap_slab;
   // Owned exclusively by the claiming submitter; ownership transfers through
   // the claim word's release/acquire edge.
   // concord-atomics: allow-plain-field (claim handover protects it)
@@ -94,8 +111,11 @@ class IngressLayer {
 
   // `owner` is recorded into every slab request (fiber trampoline);
   // `dispatcher_telemetry` receives the producer-slot high-water mark.
+  // `huge_page_slabs` requests MADV_HUGEPAGE-backed request slabs
+  // (best-effort; see ProducerSlot).
   IngressLayer(Runtime* owner, std::size_t slot_capacity,
-               telemetry::DispatcherCounters* dispatcher_telemetry);
+               telemetry::DispatcherCounters* dispatcher_telemetry,
+               bool huge_page_slabs = false);
   IngressLayer(const IngressLayer&) = delete;
   IngressLayer& operator=(const IngressLayer&) = delete;
   ~IngressLayer();
@@ -140,6 +160,7 @@ class IngressLayer {
   Runtime* const owner_;
   const std::size_t capacity_;
   telemetry::DispatcherCounters* const dispatcher_telemetry_;
+  const bool huge_page_slabs_;
   std::uint64_t instance_id_ = 0;  // distinguishes reuses of this address in TLS caches
 
   std::atomic<bool> accepting_{true};

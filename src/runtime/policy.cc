@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/common/topology.h"
 #include "src/telemetry/export.h"
 
 namespace concord {
@@ -14,6 +15,11 @@ namespace {
 // state save), mirroring src/model/costs.h ipi_notify_ns = 600.0. Kept as a
 // literal so the runtime does not depend on the analytic model library.
 constexpr double kShinjukuIpiCostUs = 0.6;
+
+// Receive-side cost of a UIPI user-interrupt delivery (paper §6: x86
+// user-interrupt architecture skips the kernel entry/exit of the IPI path),
+// mirroring src/model/costs.h uipi_notify_ns = 230.0.
+constexpr double kUipiCostUs = 0.23;
 
 class ConcordJbsqPolicy final : public SchedulingPolicy {
  public:
@@ -106,6 +112,22 @@ class ConcordJbsqAdaptivePolicy final : public SchedulingPolicy {
   bool AdaptiveQuantum() const override { return true; }
 };
 
+// Shinjuku mechanics with the cheaper UIPI delivery cost: the fourth
+// preemption mechanism of the matrix (probe / IPI / UIPI / none). Identical
+// to SingleQueuePreemptivePolicy in every scheduling decision, so any
+// measured or simulated difference against it isolates the mechanism cost.
+class SingleQueueUipiPolicy final : public SchedulingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kSingleQueueUipi; }
+  const char* name() const override { return "single-queue-uipi"; }
+  int WorkerQueueDepth(int /*configured_jbsq_depth*/) const override { return 1; }
+  PreemptMode preempt_mode() const override { return PreemptMode::kAlways; }
+  double PreemptCostUs(double configured_us) const override {
+    return configured_us < 0.0 ? kUipiCostUs : configured_us;
+  }
+  bool AllowWorkConservingDispatcher(bool /*configured*/) const override { return false; }
+};
+
 }  // namespace
 
 bool ParsePolicyKind(std::string_view token, PolicyKind* out) {
@@ -121,6 +143,8 @@ bool ParsePolicyKind(std::string_view token, PolicyKind* out) {
     *out = PolicyKind::kApproxSrpt;
   } else if (token == "concord-adaptive" || token == "adaptive") {
     *out = PolicyKind::kConcordJbsqAdaptive;
+  } else if (token == "single-queue-uipi" || token == "uipi") {
+    *out = PolicyKind::kSingleQueueUipi;
   } else {
     return false;
   }
@@ -141,6 +165,8 @@ const char* PolicyKindName(PolicyKind kind) {
       return "approx-srpt";
     case PolicyKind::kConcordJbsqAdaptive:
       return "concord-adaptive";
+    case PolicyKind::kSingleQueueUipi:
+      return "single-queue-uipi";
   }
   return "unknown";
 }
@@ -159,6 +185,8 @@ std::unique_ptr<SchedulingPolicy> MakeSchedulingPolicy(PolicyKind kind) {
       return std::make_unique<ApproxSrptPolicy>();
     case PolicyKind::kConcordJbsqAdaptive:
       return std::make_unique<ConcordJbsqAdaptivePolicy>();
+    case PolicyKind::kSingleQueueUipi:
+      return std::make_unique<SingleQueueUipiPolicy>();
   }
   CONCORD_CHECK(false) << "unknown PolicyKind";
   return nullptr;
@@ -204,6 +232,13 @@ RuntimeSelection SelectionFromArgsOrEnv(int argc, char** argv) {
     CONCORD_CHECK(ParseShardPlacement(placement_token, &selection.placement))
         << "unknown --placement=" << placement_token << " (valid: " << kPlacementTokenList
         << ")";
+  }
+  const std::string cpus_token =
+      telemetry::OutPathFromFlagOrEnv(argc, argv, "--cpus=", "CONCORD_CPUS");
+  if (!cpus_token.empty()) {
+    // Parse-or-die plus existence validation against the live topology:
+    // a typo'd --cpus= must not silently run unpinned.
+    selection.cpus = AllowedCpusFrom(cpus_token, "", Topology::Discover());
   }
   return selection;
 }

@@ -46,6 +46,7 @@
 
 #include <memory>
 #include <string_view>
+#include <vector>
 
 namespace concord {
 
@@ -56,6 +57,13 @@ enum class PolicyKind {
   kEdfNonPreemptive,
   kApproxSrpt,
   kConcordJbsqAdaptive,
+  // Shinjuku scheduling over user interrupts (UIPI) instead of kernel IPIs:
+  // identical single-queue mechanics, but the modeled receive-side cost is
+  // the ~230ns user-interrupt delivery of the paper's §6 discussion
+  // (model/costs.h uipi_notify_ns) rather than the ~600ns IPI path. The
+  // fourth preemption-cost mechanism, completing the policy × mechanism
+  // matrix: probe (0) / IPI (0.6us) / UIPI (0.23us) / none.
+  kSingleQueueUipi,
 };
 
 class SchedulingPolicy {
@@ -113,7 +121,7 @@ class SchedulingPolicy {
 inline constexpr const char* kPolicyTokenList =
     "concord-jbsq (alias concord), single-queue (alias shinjuku), "
     "fcfs (alias persephone), edf, approx-srpt (alias srpt), "
-    "concord-adaptive (alias adaptive)";
+    "concord-adaptive (alias adaptive), single-queue-uipi (alias uipi)";
 inline constexpr const char* kPlacementTokenList = "rr (alias round-robin), jsq";
 
 // Valid tokens: see kPolicyTokenList.
@@ -133,12 +141,18 @@ const char* ShardPlacementName(ShardPlacement placement);
 
 // Shared runtime-selection flags, parsed identically by every bench and
 // example binary: --policy=NAME (CONCORD_POLICY), --shards=N
-// (CONCORD_SHARDS), --placement=NAME (CONCORD_PLACEMENT); flags win over
-// environment. Unknown tokens abort with the valid spellings listed.
+// (CONCORD_SHARDS), --placement=NAME (CONCORD_PLACEMENT), --cpus=CPULIST
+// (CONCORD_CPUS); flags win over environment. Unknown tokens abort with the
+// valid spellings listed; malformed or nonexistent CPUs in --cpus= abort
+// with the parse error.
 struct RuntimeSelection {
   PolicyKind policy = PolicyKind::kConcordJbsq;
   int shard_count = 1;
   ShardPlacement placement = ShardPlacement::kRoundRobin;
+  // Allowed CPUs for thread placement (src/common/topology.h), validated
+  // against the discovered topology. Empty = not requested: the runtime
+  // runs unpinned unless the binary opts into pinning another way.
+  std::vector<int> cpus;
 };
 
 RuntimeSelection SelectionFromArgsOrEnv(int argc, char** argv);

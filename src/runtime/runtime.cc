@@ -32,14 +32,24 @@ static_assert(alignof(telemetry::DispatcherWorkerCounters) == kCacheLineSize,
               "dispatcher-written per-worker counters must not share the workers' lines");
 static_assert(alignof(telemetry::DispatcherCounters) == kCacheLineSize,
               "dispatcher counters must start on a line boundary");
+// The split writer domains inside shared structs (tests/alignment_audit_test
+// re-checks these and the field-level offsets at runtime):
+static_assert(alignof(ProducerSlot) == kCacheLineSize,
+              "producer slots must start on a line boundary so their aligned words hold");
+static_assert(offsetof(telemetry::DispatcherCounters, ingress_rejected) % kCacheLineSize == 0,
+              "submitter-written dispatcher counters must own their line");
 
 }  // namespace
 
 Runtime::Runtime(Options options, Callbacks callbacks)
     : options_(std::move(options)),
       callbacks_(std::move(callbacks)),
-      ingress_(this, options_.ingress_capacity, &dispatcher_telemetry_) {
+      ingress_(this, options_.ingress_capacity, &dispatcher_telemetry_,
+               options_.huge_page_slabs) {
   CONCORD_CHECK(options_.worker_count >= 1) << "need at least one worker";
+  CONCORD_CHECK(options_.worker_cpus.empty() ||
+                options_.worker_cpus.size() == static_cast<std::size_t>(options_.worker_count))
+      << "worker_cpus must be empty or have one entry per worker";
   CONCORD_CHECK(options_.jbsq_depth >= 1) << "JBSQ depth must be >= 1";
   CONCORD_CHECK(options_.quantum_us > 0.0) << "quantum must be positive";
   CONCORD_CHECK(options_.ingress_capacity >= 1) << "ingress capacity must be positive";
@@ -155,18 +165,37 @@ void Runtime::Start() {
   fiber_free_list_.reserve(64);
   fiber_storage_.reserve(64);
 
-  const bool pin = options_.pin_threads && AvailableCpuCount() > options_.worker_count;
-  threads_.emplace_back([this, pin] {
-    if (pin) {
-      PinThisThreadToCpu(0);
+  // Thread placement: explicit per-thread CPUs (a topology PlacementPlan —
+  // see src/common/topology.h and ShardedRuntime) win; otherwise
+  // pin_threads falls back to the legacy consecutive packing, skipped
+  // gracefully when the host has too few cores. Pinning stays best-effort:
+  // a failed affinity call leaves the thread unpinned and the runtime
+  // functionally unchanged.
+  int dispatcher_cpu = options_.dispatcher_cpu;
+  std::vector<int> worker_cpus = options_.worker_cpus;
+  worker_cpus.resize(static_cast<std::size_t>(options_.worker_count), -1);
+  const bool explicit_placement =
+      dispatcher_cpu >= 0 ||
+      std::any_of(worker_cpus.begin(), worker_cpus.end(), [](int cpu) { return cpu >= 0; });
+  if (!explicit_placement && options_.pin_threads &&
+      AvailableCpuCount() > options_.worker_count) {
+    dispatcher_cpu = 0;
+    for (int i = 0; i < options_.worker_count; ++i) {
+      worker_cpus[static_cast<std::size_t>(i)] = 1 + i;
+    }
+  }
+  threads_.emplace_back([this, dispatcher_cpu] {
+    if (dispatcher_cpu >= 0) {
+      PinThisThreadToCpu(dispatcher_cpu);
     }
     DispatcherLoop();
   });
   // concord-lint: allow-no-probe (startup path, runs before any request exists)
   for (int i = 0; i < options_.worker_count; ++i) {
-    threads_.emplace_back([this, i, pin] {
-      if (pin) {
-        PinThisThreadToCpu(1 + i);
+    const int worker_cpu = worker_cpus[static_cast<std::size_t>(i)];
+    threads_.emplace_back([this, i, worker_cpu] {
+      if (worker_cpu >= 0) {
+        PinThisThreadToCpu(worker_cpu);
       }
       WorkerLoop(i);
     });

@@ -51,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/cacheline.h"
 #include "src/runtime/central_queue.h"
 #include "src/runtime/context.h"
 #include "src/runtime/ingress.h"
@@ -92,8 +93,24 @@ class Runtime {
     double adaptive_step = 1.25;
     double adaptive_span = 4.0;
     // Pin dispatcher/workers to consecutive CPUs (best effort; skipped when
-    // the host has too few cores).
+    // the host has too few cores). Superseded by the explicit placement
+    // below when a PlacementPlan assigned CPUs (src/common/topology.h).
     bool pin_threads = false;
+    // Explicit CPU placement from a topology PlacementPlan. dispatcher_cpu
+    // >= 0 pins the dispatcher thread; worker_cpus[i] >= 0 pins worker i
+    // (when non-empty, the vector's size must equal worker_count). Explicit
+    // assignments win over pin_threads' legacy consecutive packing; -1
+    // entries leave that thread unpinned.
+    int dispatcher_cpu = -1;
+    std::vector<int> worker_cpus;
+    // Preferred NUMA node for this runtime's memory (informational; slabs
+    // are placed by first-touch from the submitting threads, so this is
+    // recorded for diagnostics rather than enforced).
+    int numa_node = -1;
+    // Back producer request slabs with MADV_HUGEPAGE-advised mappings
+    // (best-effort: falls back to normal pages, then to heap allocation,
+    // when the kernel declines).
+    bool huge_page_slabs = false;
     std::size_t fiber_stack_bytes = Fiber::kDefaultStackBytes;
     // Per-producer-thread capacity: each submitting thread's ingress ring,
     // recycle ring and request slab all hold this many requests, so a
@@ -379,8 +396,13 @@ class Runtime {
   std::atomic<bool> drain_requested_{false};
   std::atomic<bool> stop_{false};
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
+  // submitted_ is bumped by submitter threads on every accepted Submit();
+  // completed_ and the three counters after it are dispatcher-written. Each
+  // writer domain owns its cache line (audited by `ctest -L alignment`) so
+  // submit-side increments never invalidate the line the dispatcher bumps
+  // per completion — the same discipline as the telemetry counter blocks.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> submitted_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> preemptions_{0};
   std::atomic<std::uint64_t> dispatcher_started_count_{0};
   std::atomic<std::uint64_t> dispatcher_completed_count_{0};

@@ -25,6 +25,20 @@ thread_local unsigned t_rr_cursor = NextCursorSeed();
 ShardedRuntime::ShardedRuntime(Options options, Runtime::Callbacks callbacks)
     : options_(options) {
   CONCORD_CHECK(options_.shard_count >= 1) << "shard_count must be >= 1";
+  // Locality plan (src/common/topology.h): seat each shard's dispatcher and
+  // workers on adjacent CPUs of one NUMA node, shards spread across nodes.
+  // Requested either explicitly (allowed_cpus, e.g. from --cpus=) or via the
+  // legacy pin_threads switch; both degrade to the unpinned plan when the
+  // host cannot seat every thread on its own CPU.
+  if (!options_.allowed_cpus.empty() || options_.shard.pin_threads) {
+    const Topology topo = Topology::Discover();
+    const std::vector<int> allowed =
+        options_.allowed_cpus.empty() ? AllowedCpusFrom("", "", topo) : options_.allowed_cpus;
+    plan_ = BuildPlacementPlan(topo, allowed, options_.shard_count,
+                               options_.shard.worker_count);
+  } else {
+    plan_.shards.resize(static_cast<std::size_t>(options_.shard_count));
+  }
   shards_.reserve(static_cast<std::size_t>(options_.shard_count));
   for (int s = 0; s < options_.shard_count; ++s) {
     Runtime::Callbacks shard_callbacks = callbacks;
@@ -37,7 +51,17 @@ ShardedRuntime::ShardedRuntime(Options options, Runtime::Callbacks callbacks)
         inner(worker < 0 ? worker : base + worker);
       };
     }
-    shards_.push_back(std::make_unique<Runtime>(options_.shard, std::move(shard_callbacks)));
+    Runtime::Options shard_options = options_.shard;
+    if (plan_.pinned) {
+      const ShardCpuAssignment& seat = plan_.shard(static_cast<std::size_t>(s));
+      shard_options.dispatcher_cpu = seat.dispatcher_cpu;
+      shard_options.worker_cpus = seat.worker_cpus;
+      shard_options.numa_node = seat.numa_node;
+      // The plan supersedes the legacy consecutive packing; without this,
+      // every shard's Runtime would re-pin onto the same CPUs 0..N.
+      shard_options.pin_threads = false;
+    }
+    shards_.push_back(std::make_unique<Runtime>(shard_options, std::move(shard_callbacks)));
   }
   if (shards_.size() == 1) {
     single_ = shards_.front().get();

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/topology.h"
 #include "src/runtime/policy.h"
 #include "src/runtime/runtime.h"
 
@@ -36,6 +37,15 @@ class ShardedRuntime {
     Runtime::Options shard;
     int shard_count = 1;
     ShardPlacement placement = ShardPlacement::kRoundRobin;
+    // CPUs the shards may be seated on (src/common/topology.h). When
+    // non-empty — or when shard.pin_threads is set — the constructor builds
+    // a PlacementPlan over these CPUs (the process affinity mask when
+    // empty): each shard's dispatcher and workers get adjacent CPUs on one
+    // NUMA node, shards spread across nodes. Oversubscription (fewer CPUs
+    // than threads) degrades to the unpinned plan; requested CPUs that do
+    // not exist abort. Per-shard explicit options (shard.dispatcher_cpu /
+    // shard.worker_cpus) are overwritten by the plan when it pins.
+    std::vector<int> allowed_cpus;
   };
 
   // Callbacks are shared across shards with two adaptations: `setup` runs
@@ -109,11 +119,17 @@ class ShardedRuntime {
   double tsc_ghz() const { return shards_.front()->tsc_ghz(); }
   PolicyKind policy_kind() const { return options_.shard.policy; }
 
+  // The CPU placement plan the constructor computed (empty shards / pinned
+  // == false when placement was not requested or could not seat every
+  // thread). Benches and tests read it to report what actually ran pinned.
+  const PlacementPlan& placement_plan() const { return plan_; }
+
  private:
   int PlaceShard();
   bool SubmitMulti(std::uint64_t id, int request_class, void* payload, double deadline_us);
 
   Options options_;
+  PlacementPlan plan_;
   std::vector<std::unique_ptr<Runtime>> shards_;
   Runtime* single_ = nullptr;  // set when shard_count == 1 (fast-path Submit)
   bool started_ = false;

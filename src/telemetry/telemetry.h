@@ -34,6 +34,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -100,7 +101,14 @@ inline constexpr std::size_t kSlackBuckets = 8;
 inline constexpr std::uint64_t kSlackBucketLimitNs[kSlackBuckets - 2] = {
     10'000, 100'000, 1'000'000, 10'000'000, 100'000'000, 1'000'000'000};
 
-// Dispatcher-global counters.
+// Dispatcher-global counters. Two writer domains, kept on disjoint cache
+// lines (enforced by the static_asserts below and `ctest -L alignment`):
+// the leading block is written only by the dispatcher thread, while the
+// trailing aligned block is written by *submitter* threads. Before the split
+// `ingress_rejected`/`producer_slots` shared lines with dispatcher-hot
+// counters, so every backpressured Submit() invalidated a line the
+// dispatcher bumps per batch — exactly the coherence traffic the per-worker
+// counter blocks were laid out to avoid.
 struct alignas(kCacheLineSize) DispatcherCounters {
   std::atomic<std::uint64_t> probe_polls{0};        // probes executed on the dispatcher
   std::atomic<std::uint64_t> quanta_run{0};         // work-conserving quanta executed (§3.3)
@@ -115,20 +123,32 @@ struct alignas(kCacheLineSize) DispatcherCounters {
   std::atomic<std::uint64_t> ingress_drained{0};    // requests adopted from ingress rings
   std::atomic<std::uint64_t> max_ingress_batch{0};  // high-water single-drain size
   std::atomic<std::uint64_t> jbsq_batches{0};       // batched inbox publishes (>= 1 request)
-  std::atomic<std::uint64_t> producer_slots{0};     // high-water registered submitter slots
   // Adaptive-quantum controller retunes applied (kConcordJbsqAdaptive only).
   std::atomic<std::uint64_t> quantum_retunes{0};
-  // Submit() calls rejected for backpressure (slab exhausted or ingress ring
-  // full). Unlike the rest of this block it has *multiple* writers — every
-  // submitter thread on its failure path — so it is bumped with fetch_add
-  // (relaxed: a monotone count with no ordering obligations; backpressure is
-  // already the slow path, the RMW cost is irrelevant there). The flight
-  // recorder's ingress-backpressure trigger watches its windowed delta.
-  std::atomic<std::uint64_t> ingress_rejected{0};
   // Dispatch-time slack histogram (see kSlackBuckets above); dispatcher-only
   // writer, bumped when a dispatched request carries a deadline.
   std::array<std::atomic<std::uint64_t>, kSlackBuckets> slack_histogram{};
+
+  // --- submitter-written block: starts on its own cache line so submit-path
+  // stores never contend with the dispatcher-written counters above. ---
+  // Submit() calls rejected for backpressure (slab exhausted or ingress ring
+  // full). It has *multiple* writers — every submitter thread on its failure
+  // path — so it is bumped with fetch_add (relaxed: a monotone count with no
+  // ordering obligations; backpressure is already the slow path, the RMW
+  // cost is irrelevant there). The flight recorder's ingress-backpressure
+  // trigger watches its windowed delta.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> ingress_rejected{0};
+  // High-water registered submitter slots; written by submitter threads
+  // under the slot-creation mutex (plain monotone store).
+  std::atomic<std::uint64_t> producer_slots{0};
 };
+
+static_assert(offsetof(DispatcherCounters, ingress_rejected) % kCacheLineSize == 0,
+              "submitter-written counters must start on their own cache line");
+static_assert(offsetof(DispatcherCounters, ingress_rejected) -
+                      offsetof(DispatcherCounters, slack_histogram) >=
+                  sizeof(std::uint64_t) * kSlackBuckets,
+              "dispatcher-written block must not extend into the submitter line");
 
 // ---------------------------------------------------------------------------
 // Per-request lifecycle

@@ -491,6 +491,9 @@ INSTANTIATE_TEST_SUITE_P(
         {PolicyKind::kConcordJbsqAdaptive, 1},
         {PolicyKind::kConcordJbsqAdaptive, 2},
         {PolicyKind::kConcordJbsqAdaptive, 4},
+        {PolicyKind::kSingleQueueUipi, 1},
+        {PolicyKind::kSingleQueueUipi, 2},
+        {PolicyKind::kSingleQueueUipi, 4},
     }),
     ParamName);
 
@@ -541,7 +544,7 @@ TEST(PolicyAllocationTest, EveryPolicySteadyStateIsAllocationFree) {
   for (PolicyKind policy :
        {PolicyKind::kConcordJbsq, PolicyKind::kSingleQueuePreemptive,
         PolicyKind::kFcfsNonPreemptive, PolicyKind::kEdfNonPreemptive, PolicyKind::kApproxSrpt,
-        PolicyKind::kConcordJbsqAdaptive}) {
+        PolicyKind::kConcordJbsqAdaptive, PolicyKind::kSingleQueueUipi}) {
     SCOPED_TRACE(PolicyKindName(policy));
     Runtime::Options options;
     options.worker_count = 2;
@@ -603,9 +606,14 @@ TEST(PolicySelectionTest, ParsersAcceptCanonicalAndAliasTokens) {
   EXPECT_EQ(kind, PolicyKind::kConcordJbsqAdaptive);
   EXPECT_TRUE(ParsePolicyKind("adaptive", &kind));
   EXPECT_EQ(kind, PolicyKind::kConcordJbsqAdaptive);
+  EXPECT_TRUE(ParsePolicyKind("single-queue-uipi", &kind));
+  EXPECT_EQ(kind, PolicyKind::kSingleQueueUipi);
+  EXPECT_TRUE(ParsePolicyKind("uipi", &kind));
+  EXPECT_EQ(kind, PolicyKind::kSingleQueueUipi);
   for (PolicyKind p : {PolicyKind::kConcordJbsq, PolicyKind::kSingleQueuePreemptive,
                        PolicyKind::kFcfsNonPreemptive, PolicyKind::kEdfNonPreemptive,
-                       PolicyKind::kApproxSrpt, PolicyKind::kConcordJbsqAdaptive}) {
+                       PolicyKind::kApproxSrpt, PolicyKind::kConcordJbsqAdaptive,
+                       PolicyKind::kSingleQueueUipi}) {
     PolicyKind round_tripped;
     ASSERT_TRUE(ParsePolicyKind(PolicyKindName(p), &round_tripped));
     EXPECT_EQ(round_tripped, p);
@@ -636,7 +644,7 @@ TEST(PolicySelectionDeathTest, UnknownPolicyFlagDiesListingValidTokens) {
   const char* argv[] = {"bench", "--policy=mlfq"};
   EXPECT_DEATH(SelectionFromArgsOrEnv(2, const_cast<char**>(argv)),
                "unknown --policy=mlfq.*valid:.*concord-jbsq.*single-queue.*fcfs"
-               ".*edf.*approx-srpt.*concord-adaptive");
+               ".*edf.*approx-srpt.*concord-adaptive.*single-queue-uipi");
 }
 
 TEST(PolicySelectionDeathTest, UnknownPlacementFlagDiesListingValidTokens) {

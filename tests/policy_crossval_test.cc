@@ -150,6 +150,8 @@ SystemConfig SimPreset(PolicyKind policy, double converged_quantum_us) {
       return MakeApproxSrpt(2);
     case PolicyKind::kConcordJbsqAdaptive:
       return MakeConcordAdaptive(2, UsToNs(converged_quantum_us));
+    case PolicyKind::kSingleQueueUipi:
+      return MakeUipiSystem(2, UsToNs(kQuantumUs));
   }
   return MakeConcord(2, UsToNs(kQuantumUs));
 }
@@ -205,7 +207,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllPolicies, PolicyCrossvalTest,
     ::testing::Values(PolicyKind::kFcfsNonPreemptive, PolicyKind::kSingleQueuePreemptive,
                       PolicyKind::kConcordJbsq, PolicyKind::kEdfNonPreemptive,
-                      PolicyKind::kApproxSrpt, PolicyKind::kConcordJbsqAdaptive),
+                      PolicyKind::kApproxSrpt, PolicyKind::kConcordJbsqAdaptive,
+                      PolicyKind::kSingleQueueUipi),
     [](const ::testing::TestParamInfo<PolicyKind>& param_info) {
       std::string name = PolicyKindName(param_info.param);
       for (char& c : name) {

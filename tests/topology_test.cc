@@ -1,0 +1,246 @@
+// Topology discovery, cpulist parsing, allowed-CPU resolution and placement
+// planning (src/common/topology.h). Everything here runs against synthetic
+// topologies or the live host's — the suite must pass identically on a
+// 1-core container (where every plan degrades to unpinned) and a multi-core
+// NUMA box (where plans actually pin).
+
+#include "src/common/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/runtime/policy.h"
+
+namespace concord {
+namespace {
+
+TEST(ParseCpuListTest, AcceptsSinglesRangesAndMixes) {
+  std::vector<int> cpus;
+  std::string error;
+  ASSERT_TRUE(ParseCpuList("0", &cpus, &error)) << error;
+  EXPECT_EQ(cpus, (std::vector<int>{0}));
+  ASSERT_TRUE(ParseCpuList("0-3", &cpus, &error)) << error;
+  EXPECT_EQ(cpus, (std::vector<int>{0, 1, 2, 3}));
+  ASSERT_TRUE(ParseCpuList("0-3,8,10-11", &cpus, &error)) << error;
+  EXPECT_EQ(cpus, (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  // Whitespace around tokens (sysfs files end in '\n') and duplicates both
+  // normalize away; output is sorted unique regardless of input order.
+  ASSERT_TRUE(ParseCpuList(" 3 , 1-2 , 3 \n", &cpus, &error)) << error;
+  EXPECT_EQ(cpus, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParseCpuListTest, RejectsMalformedInput) {
+  std::vector<int> cpus;
+  std::string error;
+  for (const char* bad : {"", ",", "0,", "a", "1-", "-3", "3-1", "1.5", "0x2", "1 2", "2--3"}) {
+    EXPECT_FALSE(ParseCpuList(bad, &cpus, &error)) << "accepted \"" << bad << "\"";
+    EXPECT_FALSE(error.empty()) << "no reason for \"" << bad << "\"";
+  }
+}
+
+TEST(ParseCpuListDeathTest, ParseOrDieNamesTheFlagInTheFailure) {
+  EXPECT_DEATH(ParseCpuListOrDie("3-1", "--cpus="), "--cpus=.*3-1");
+}
+
+TEST(TopologyTest, SyntheticShapesAreConsistent) {
+  const Topology topo = Topology::Synthetic(2, 4);
+  ASSERT_EQ(topo.CpuCount(), 8);
+  EXPECT_EQ(topo.NodeCount(), 2);
+  EXPECT_EQ(topo.NumaNodeOf(0), 0);
+  EXPECT_EQ(topo.NumaNodeOf(3), 0);
+  EXPECT_EQ(topo.NumaNodeOf(4), 1);
+  EXPECT_EQ(topo.NumaNodeOf(7), 1);
+  EXPECT_EQ(topo.NumaNodeOf(8), -1);  // not in this topology
+}
+
+TEST(TopologyTest, DiscoverAlwaysYieldsAUsableTopology) {
+  // On any host — including a minimal container with no sysfs — Discover()
+  // must return at least one CPU on at least one node (the single-core
+  // fallback), never an empty topology that would crash placement.
+  const Topology topo = Topology::Discover();
+  ASSERT_GE(topo.CpuCount(), 1);
+  EXPECT_GE(topo.NodeCount(), 1);
+  for (const CpuInfo& cpu : topo.cpus) {
+    EXPECT_GE(cpu.cpu, 0);
+    EXPECT_EQ(topo.NumaNodeOf(cpu.cpu), cpu.numa_node);
+  }
+}
+
+TEST(AllowedCpusTest, FlagWinsOverEnvWinsOverAffinityMask) {
+  const Topology topo = Topology::Synthetic(1, 16);
+  // Flag beats env.
+  EXPECT_EQ(AllowedCpusFrom("0-1", "4-7", topo), (std::vector<int>{0, 1}));
+  // Env alone.
+  EXPECT_EQ(AllowedCpusFrom("", "4-7", topo), (std::vector<int>{4, 5, 6, 7}));
+  // Neither: the process affinity mask, which is never empty.
+  EXPECT_FALSE(AllowedCpusFrom("", "", Topology::Discover()).empty());
+}
+
+TEST(AllowedCpusDeathTest, DiesOnMalformedAndNonexistentCpus) {
+  const Topology topo = Topology::Synthetic(1, 4);
+  EXPECT_DEATH(AllowedCpusFrom("0-", "", topo), "cpu list");
+  // CPU 9 does not exist in a 4-CPU topology: a typo'd --cpus= must abort,
+  // not silently run unpinned on the wrong cores.
+  EXPECT_DEATH(AllowedCpusFrom("9", "", topo), "requested cpu 9");
+}
+
+TEST(AllowedCpusTest, ArgvPlumbingReadsFlagThenEnv) {
+  const Topology topo = Topology::Synthetic(1, 16);
+  const char* argv[] = {"bench", "--cpus=2-3"};
+  ::setenv("CONCORD_CPUS", "5", 1);
+  EXPECT_EQ(AllowedCpusFromArgsOrEnv(2, const_cast<char**>(argv), topo),
+            (std::vector<int>{2, 3}));
+  const char* argv_bare[] = {"bench"};
+  EXPECT_EQ(AllowedCpusFromArgsOrEnv(1, const_cast<char**>(argv_bare), topo),
+            (std::vector<int>{5}));
+  ::unsetenv("CONCORD_CPUS");
+}
+
+// --cpus= flows through the shared runtime-selection plumbing like
+// --policy=: malformed input is fatal there too.
+TEST(SelectionCpusDeathTest, MalformedCpusFlagDies) {
+  const char* argv[] = {"bench", "--cpus=1-"};
+  EXPECT_DEATH(SelectionFromArgsOrEnv(2, const_cast<char**>(argv)), "cpu list");
+}
+
+TEST(SelectionCpusTest, ValidCpusFlagLandsInSelection) {
+  // CPU 0 exists on every host, so this passes on the 1-core container too.
+  const char* argv[] = {"bench", "--cpus=0"};
+  const RuntimeSelection selection = SelectionFromArgsOrEnv(2, const_cast<char**>(argv));
+  EXPECT_EQ(selection.cpus, (std::vector<int>{0}));
+  const char* argv_bare[] = {"bench"};
+  EXPECT_TRUE(SelectionFromArgsOrEnv(1, const_cast<char**>(argv_bare)).cpus.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Placement planning.
+
+std::vector<int> AllCpus(const Topology& topo) {
+  std::vector<int> cpus;
+  for (const CpuInfo& cpu : topo.cpus) {
+    cpus.push_back(cpu.cpu);
+  }
+  return cpus;
+}
+
+TEST(PlacementPlanTest, PinsEachShardOnOneNodeWithoutCpuReuse) {
+  const Topology topo = Topology::Synthetic(2, 8);  // 16 CPUs, 2 nodes
+  const PlacementPlan plan = BuildPlacementPlan(topo, AllCpus(topo),
+                                                /*shard_count=*/2, /*workers_per_shard=*/3);
+  ASSERT_TRUE(plan.pinned);
+  ASSERT_EQ(plan.shards.size(), 2u);
+  std::set<int> used;
+  for (const ShardCpuAssignment& shard : plan.shards) {
+    ASSERT_GE(shard.dispatcher_cpu, 0);
+    ASSERT_EQ(shard.worker_cpus.size(), 3u);
+    EXPECT_TRUE(used.insert(shard.dispatcher_cpu).second) << "dispatcher CPU reused";
+    const int node = topo.NumaNodeOf(shard.dispatcher_cpu);
+    EXPECT_EQ(shard.numa_node, node);
+    for (int cpu : shard.worker_cpus) {
+      ASSERT_GE(cpu, 0);
+      EXPECT_TRUE(used.insert(cpu).second) << "worker CPU reused";
+      // Workers sit on their dispatcher's node: the signal lines the
+      // dispatcher writes and the worker polls stay on-die.
+      EXPECT_EQ(topo.NumaNodeOf(cpu), node);
+    }
+  }
+}
+
+TEST(PlacementPlanTest, ShardsSpreadAcrossNumaNodes) {
+  const Topology topo = Topology::Synthetic(2, 4);  // 8 CPUs, 2 nodes
+  const PlacementPlan plan = BuildPlacementPlan(topo, AllCpus(topo),
+                                                /*shard_count=*/2, /*workers_per_shard=*/2);
+  ASSERT_TRUE(plan.pinned);
+  ASSERT_EQ(plan.shards.size(), 2u);
+  EXPECT_NE(plan.shards[0].numa_node, plan.shards[1].numa_node)
+      << "two shards that both fit on their own node must not share one";
+}
+
+TEST(PlacementPlanTest, OversubscriptionDegradesToFullyUnpinned) {
+  // 3 CPUs cannot seat 2 shards x (1 dispatcher + 2 workers) = 6 threads:
+  // the plan must be all-or-nothing unpinned, never a half-pinned hybrid.
+  const Topology topo = Topology::Synthetic(1, 3);
+  const PlacementPlan plan = BuildPlacementPlan(topo, AllCpus(topo),
+                                                /*shard_count=*/2, /*workers_per_shard=*/2);
+  EXPECT_FALSE(plan.pinned);
+  ASSERT_EQ(plan.shards.size(), 2u);
+  for (const ShardCpuAssignment& shard : plan.shards) {
+    EXPECT_EQ(shard.dispatcher_cpu, -1);
+    for (int cpu : shard.worker_cpus) {
+      EXPECT_EQ(cpu, -1);
+    }
+  }
+}
+
+TEST(PlacementPlanTest, SingleCoreHostIsTheCanonicalFallback) {
+  const Topology topo = Topology::Synthetic(1, 1);
+  const PlacementPlan plan = BuildPlacementPlan(topo, AllCpus(topo),
+                                                /*shard_count=*/1, /*workers_per_shard=*/2);
+  EXPECT_FALSE(plan.pinned);
+  ASSERT_EQ(plan.shards.size(), 1u);
+  EXPECT_EQ(plan.shards[0].dispatcher_cpu, -1);
+}
+
+TEST(PlacementPlanTest, ExactFitPinsEveryThread) {
+  const Topology topo = Topology::Synthetic(1, 6);
+  const PlacementPlan plan = BuildPlacementPlan(topo, AllCpus(topo),
+                                                /*shard_count=*/2, /*workers_per_shard=*/2);
+  ASSERT_TRUE(plan.pinned);
+  std::set<int> used;
+  for (const ShardCpuAssignment& shard : plan.shards) {
+    used.insert(shard.dispatcher_cpu);
+    used.insert(shard.worker_cpus.begin(), shard.worker_cpus.end());
+  }
+  EXPECT_EQ(used.size(), 6u);  // every allowed CPU seated exactly once
+  EXPECT_EQ(used.count(-1), 0u);
+}
+
+TEST(PlacementPlanTest, RestrictedAllowedSetIsHonored) {
+  const Topology topo = Topology::Synthetic(2, 8);
+  const std::vector<int> allowed = {8, 9, 10};  // node 1 only
+  const PlacementPlan plan =
+      BuildPlacementPlan(topo, allowed, /*shard_count=*/1, /*workers_per_shard=*/2);
+  ASSERT_TRUE(plan.pinned);
+  const ShardCpuAssignment& shard = plan.shards[0];
+  EXPECT_EQ(shard.numa_node, 1);
+  std::vector<int> seated = {shard.dispatcher_cpu};
+  seated.insert(seated.end(), shard.worker_cpus.begin(), shard.worker_cpus.end());
+  std::sort(seated.begin(), seated.end());
+  EXPECT_EQ(seated, allowed);
+}
+
+// ---------------------------------------------------------------------------
+// Slab mapping.
+
+TEST(SlabMappingTest, MapWriteUnmapRoundTrip) {
+  SlabMapping mapping = MapSlab(1 << 16, /*huge_pages=*/false);
+  ASSERT_NE(mapping.data, nullptr);
+  ASSERT_GE(mapping.bytes, std::size_t{1} << 16);
+  // First-touch the whole mapping like a ProducerSlot constructor does.
+  unsigned char* bytes = static_cast<unsigned char*>(mapping.data);
+  // concord-lint: allow-no-probe (test setup on the test thread)
+  for (std::size_t i = 0; i < mapping.bytes; i += 4096) {
+    bytes[i] = static_cast<unsigned char>(i);
+  }
+  UnmapSlab(&mapping);
+  EXPECT_EQ(mapping.data, nullptr);
+  EXPECT_EQ(mapping.bytes, 0u);
+  UnmapSlab(&mapping);  // idempotent on the cleared value
+}
+
+TEST(SlabMappingTest, HugePageAdviceIsBestEffort) {
+  // MADV_HUGEPAGE may be refused (no THP in the kernel/container); the
+  // mapping must work either way and record what happened.
+  SlabMapping mapping = MapSlab(std::size_t{4} << 20, /*huge_pages=*/true);
+  ASSERT_NE(mapping.data, nullptr);
+  static_cast<unsigned char*>(mapping.data)[0] = 1;  // must be writable
+  UnmapSlab(&mapping);
+}
+
+}  // namespace
+}  // namespace concord

@@ -10,9 +10,14 @@
 //   bench_compare [options] FRESH.json REFERENCE.json
 //     --min-throughput-ratio=R   fail when fresh/reference median throughput
 //                                falls below R (default 0.5)
+//     --min-2shard-ratio=R       fail when the fresh 2-shard scaling ratio
+//                                (pipelined_throughput_2shard.vs_single_shard)
+//                                falls below R x the reference's (default 0.5;
+//                                skipped when either artifact lacks the block)
 //     --max-p99-ratio=R          fail when fresh p99 slowdown exceeds R x the
-//                                reference (default 0: report only, no gate —
-//                                tail quantiles on shared runners are noise)
+//                                reference (default 4: wide enough for shared-
+//                                runner noise, tight enough to catch a tail
+//                                collapse; 0 disables the gate, report only)
 //
 // Exit codes: 0 = within the band; 1 = outside the band; 2 = usage error or
 // unreadable/mismatched input.
@@ -57,7 +62,8 @@ double NestedDouble(const JsonValue& root, const std::string& section, const std
 
 int main(int argc, char** argv) {
   double min_throughput_ratio = 0.5;
-  double max_p99_ratio = 0.0;  // 0: report only
+  double min_2shard_ratio = 0.5;
+  double max_p99_ratio = 4.0;  // 0: report only
   std::string fresh_path;
   std::string reference_path;
   for (int i = 1; i < argc; ++i) {
@@ -66,9 +72,11 @@ int main(int argc, char** argv) {
       min_throughput_ratio = std::atof(arg.c_str() + std::strlen("--min-throughput-ratio="));
     } else if (arg.rfind("--max-p99-ratio=", 0) == 0) {
       max_p99_ratio = std::atof(arg.c_str() + std::strlen("--max-p99-ratio="));
+    } else if (arg.rfind("--min-2shard-ratio=", 0) == 0) {
+      min_2shard_ratio = std::atof(arg.c_str() + std::strlen("--min-2shard-ratio="));
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "usage: bench_compare [--min-throughput-ratio=R] [--max-p99-ratio=R]\n"
-                   "                     FRESH.json REFERENCE.json\n"
+      std::cerr << "usage: bench_compare [--min-throughput-ratio=R] [--min-2shard-ratio=R]\n"
+                   "                     [--max-p99-ratio=R] FRESH.json REFERENCE.json\n"
                    "exit codes: 0 within band; 1 outside band; 2 usage/input error\n";
       return 2;
     } else if (fresh_path.empty()) {
@@ -115,6 +123,23 @@ int main(int argc, char** argv) {
                 ">= " + TablePrinter::Fixed(min_throughput_ratio, 2),
                 tput_ok ? "ok" : "FAIL"});
   ok = ok && tput_ok;
+  // Inter-shard scaling gate: a locality or ingress regression that only
+  // hurts the multi-shard path shows up here while the single-shard gate
+  // stays green. Compared ratio-to-ratio so the gate is host-relative.
+  const double fresh_2shard =
+      NestedDouble(fresh, "pipelined_throughput_2shard", "vs_single_shard");
+  const double ref_2shard =
+      NestedDouble(reference, "pipelined_throughput_2shard", "vs_single_shard");
+  if (fresh_2shard > 0.0 && ref_2shard > 0.0) {
+    const bool gated = min_2shard_ratio > 0.0;
+    const double scaling_ratio = fresh_2shard / ref_2shard;
+    const bool scaling_ok = !gated || scaling_ratio >= min_2shard_ratio;
+    table.AddRow({"2-shard vs 1-shard", TablePrinter::Fixed(fresh_2shard, 3),
+                  TablePrinter::Fixed(ref_2shard, 3), TablePrinter::Fixed(scaling_ratio, 3),
+                  gated ? ">= " + TablePrinter::Fixed(min_2shard_ratio, 2) : "(report only)",
+                  gated ? (scaling_ok ? "ok" : "FAIL") : "-"});
+    ok = ok && scaling_ok;
+  }
   if (ref_p99 > 0.0) {
     const bool p99_gated = max_p99_ratio > 0.0;
     const bool p99_ok = !p99_gated || p99_ratio <= max_p99_ratio;
