@@ -18,11 +18,13 @@
 #include <chrono>
 #include <sstream>
 
+#include "src/loadgen/loadgen.h"
 #include "src/runtime/instrument.h"
 #include "src/runtime/policy.h"
 #include "src/runtime/runtime.h"
 #include "src/runtime/sharded_runtime.h"
 #include "src/stats/slowdown.h"
+#include "src/workload/distribution.h"
 #include "src/telemetry/event_ring.h"
 #include "src/telemetry/export.h"
 #include "src/trace/chrome_trace.h"
@@ -359,6 +361,41 @@ int RunJsonBench(const std::string& json_out, int argc, char** argv) {
     slowdown_runtime.Shutdown();
   }
 
+  // --duration-s= / CONCORD_BENCH_DURATION_S (> 0): additionally run an
+  // open-loop, time-bounded workload at --offered-krps= (default 25) through
+  // the shared OpenLoopLoadgen::RunFor harness — the same time-bounded mode
+  // net_loadgen uses against a live server — and report achieved vs offered
+  // rate. 0 (the default) keeps the bench count-bounded only.
+  const auto duration_s = static_cast<double>(std::max<long long>(
+      0, telemetry::IntFromFlagOrEnv(argc, argv, "--duration-s=", "CONCORD_BENCH_DURATION_S", 0)));
+  const auto offered_krps = static_cast<double>(std::max<long long>(
+      1, telemetry::IntFromFlagOrEnv(argc, argv, "--offered-krps=",
+                                     "CONCORD_BENCH_OFFERED_KRPS", 25)));
+  LoadgenReport open_loop;
+  if (duration_s > 0.0) {
+    // Same mix as the count-bounded slowdown workload above: 90% 5us / 10%
+    // 100us, so the two blocks are directly comparable.
+    const std::unique_ptr<DiscreteMixtureDistribution> mix = MakeBimodal(90.0, 5.0, 10.0, 100.0);
+    OpenLoopLoadgen loadgen(*mix, {5.0, 100.0}, /*seed=*/42);
+    ShardedRuntime::Options options;
+    options.shard.worker_count = 2;
+    options.shard.quantum_us = 20.0;
+    options.shard.jbsq_depth = 2;
+    options.shard.policy = selection.policy;
+    options.shard_count = selection.shard_count;
+    options.placement = selection.placement;
+    options.allowed_cpus = selection.cpus;
+    Runtime::Callbacks callbacks;
+    callbacks.handle_request = [](const RequestView& view) {
+      SpinWithProbesUs(view.request_class == 1 ? 100.0 : 5.0);
+    };
+    callbacks.on_complete = loadgen.LockedCompletionHook();
+    ShardedRuntime runtime(options, callbacks);
+    runtime.Start();
+    open_loop = loadgen.RunFor(&runtime, offered_krps, duration_s);
+    runtime.Shutdown();
+  }
+
   std::ostringstream json;
   json.precision(6);
   json << std::fixed;
@@ -394,6 +431,23 @@ int RunJsonBench(const std::string& json_out, int argc, char** argv) {
   json << "    \"p99\": " << tracker.QuantileSlowdown(0.99) << ",\n";
   json << "    \"p999\": " << tracker.P999Slowdown() << "\n";
   json << "  }";
+  if (duration_s > 0.0) {
+    json << ",\n  \"open_loop\": {\n";
+    json << "    \"duration_s\": " << duration_s << ",\n";
+    json << "    \"offered_krps\": " << open_loop.offered_krps << ",\n";
+    json << "    \"achieved_krps\": " << open_loop.achieved_krps << ",\n";
+    json << "    \"achieved_vs_offered\": "
+         << (open_loop.offered_krps > 0.0 ? open_loop.achieved_krps / open_loop.offered_krps
+                                          : 0.0)
+         << ",\n";
+    json << "    \"issued\": " << open_loop.issued << ",\n";
+    json << "    \"dropped\": " << open_loop.dropped << ",\n";
+    json << "    \"completed\": " << open_loop.completed << ",\n";
+    json << "    \"p50\": " << open_loop.p50_slowdown << ",\n";
+    json << "    \"p99\": " << open_loop.p99_slowdown << ",\n";
+    json << "    \"p999\": " << open_loop.p999_slowdown << "\n";
+    json << "  }";
+  }
   // Optional reference block so a committed artifact can carry the pre-change
   // numbers it is being compared against (set by whoever records the run).
   const char* baseline_items = std::getenv("CONCORD_BENCH_BASELINE_ITEMS_PER_SEC");
@@ -520,6 +574,7 @@ int RunExportWorkload(int argc, char** argv) {
 // requested artifacts. The CI overhead smoke compares BM_PipelinedThroughput
 // between CONCORD_TELEMETRY ON and OFF builds (and, with
 // CONCORD_BENCH_TRACE=1, with tracing + sampling live).
+// concord-lint: allow-no-probe (bench entry point: flag filtering + harness calls)
 int main(int argc, char** argv) {
   const bool want_export = !concord::telemetry::TelemetryOutPath(argc, argv).empty() ||
                            !concord::telemetry::TraceOutPath(argc, argv).empty() ||
@@ -540,7 +595,9 @@ int main(int argc, char** argv) {
         std::strncmp(argv[i], "--deadline-us=", 14) == 0 ||
         std::strncmp(argv[i], "--requests=", 11) == 0 ||
         std::strncmp(argv[i], "--cpus=", 7) == 0 ||
-        std::strncmp(argv[i], "--warmup-reps=", 14) == 0) {
+        std::strncmp(argv[i], "--warmup-reps=", 14) == 0 ||
+        std::strncmp(argv[i], "--duration-s=", 13) == 0 ||
+        std::strncmp(argv[i], "--offered-krps=", 15) == 0) {
       continue;
     }
     bench_args.push_back(argv[i]);

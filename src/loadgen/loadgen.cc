@@ -53,25 +53,52 @@ LoadgenReport OpenLoopLoadgen::Run(ShardedRuntime* runtime, double offered_krps,
   return RunLoop(runtime, offered_krps, count, warmup_fraction);
 }
 
+LoadgenReport OpenLoopLoadgen::RunFor(Runtime* runtime, double offered_krps, double duration_s,
+                                      double warmup_fraction) {
+  CONCORD_CHECK(duration_s > 0.0) << "duration must be positive";
+  return RunLoopImpl(runtime, offered_krps, 0, duration_s * kNsPerSec, warmup_fraction);
+}
+
+LoadgenReport OpenLoopLoadgen::RunFor(ShardedRuntime* runtime, double offered_krps,
+                                      double duration_s, double warmup_fraction) {
+  CONCORD_CHECK(duration_s > 0.0) << "duration must be positive";
+  return RunLoopImpl(runtime, offered_krps, 0, duration_s * kNsPerSec, warmup_fraction);
+}
+
 template <typename RuntimeT>
 LoadgenReport OpenLoopLoadgen::RunLoop(RuntimeT* runtime, double offered_krps,
                                        std::uint64_t count, double warmup_fraction) {
+  return RunLoopImpl(runtime, offered_krps, count, 0.0, warmup_fraction);
+}
+
+template <typename RuntimeT>
+LoadgenReport OpenLoopLoadgen::RunLoopImpl(RuntimeT* runtime, double offered_krps,
+                                           std::uint64_t count, double duration_ns,
+                                           double warmup_fraction) {
   CONCORD_CHECK(offered_krps > 0.0) << "load must be positive";
+  const bool time_bounded = count == 0;
+  const double mean_gap_ns = KrpsToInterarrivalNs(offered_krps);
   // Pre-run reset: the previous run (if any) ended with WaitIdle, so no
   // completion can be concurrent with this.
   tracker_.Reset();
   completed_ = 0;
-  warmup_ids_ = static_cast<std::uint64_t>(warmup_fraction * static_cast<double>(count));
+  // Time-bounded runs discard the first warmup_fraction of the *expected*
+  // count at the offered rate (ids are assigned in arrival order either way).
+  const double expected_count =
+      time_bounded ? duration_ns / mean_gap_ns : static_cast<double>(count);
+  warmup_ids_ = static_cast<std::uint64_t>(warmup_fraction * expected_count);
   tsc_ghz_ = runtime->tsc_ghz();
 
-  const double mean_gap_ns = KrpsToInterarrivalNs(offered_krps);
   LoadgenReport report;
   report.offered_krps = offered_krps;
 
   const auto start = std::chrono::steady_clock::now();
   double next_arrival_ns = 0.0;
-  for (std::uint64_t id = 0; id < count; ++id) {
+  for (std::uint64_t id = 0; time_bounded || id < count; ++id) {
     next_arrival_ns += rng_.Exponential(mean_gap_ns);
+    if (time_bounded && next_arrival_ns >= duration_ns) {
+      break;  // the schedule ran past the run window
+    }
     // Open loop: wait until the scheduled instant, then submit.
     for (;;) {
       const auto elapsed = std::chrono::steady_clock::now() - start;

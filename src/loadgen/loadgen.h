@@ -68,12 +68,27 @@ class OpenLoopLoadgen {
   LoadgenReport Run(ShardedRuntime* runtime, double offered_krps, std::uint64_t count,
                     double warmup_fraction = 0.1);
 
+  // Time-bounded variant: issues requests at `offered_krps` for `duration_s`
+  // seconds of wall clock (server-style runs share this harness with
+  // net_loadgen's --duration-s mode), waits for the stragglers, and reports.
+  // The warmup discard covers the first `warmup_fraction` of the *expected*
+  // request count at the offered rate.
+  LoadgenReport RunFor(Runtime* runtime, double offered_krps, double duration_s,
+                       double warmup_fraction = 0.1);
+  LoadgenReport RunFor(ShardedRuntime* runtime, double offered_krps, double duration_s,
+                       double warmup_fraction = 0.1);
+
  private:
   void OnComplete(const RequestView& view, std::uint64_t latency_tsc);
 
   template <typename RuntimeT>
   LoadgenReport RunLoop(RuntimeT* runtime, double offered_krps, std::uint64_t count,
                         double warmup_fraction);
+
+  // count-bounded when count > 0, else time-bounded by duration_ns.
+  template <typename RuntimeT>
+  LoadgenReport RunLoopImpl(RuntimeT* runtime, double offered_krps, std::uint64_t count,
+                            double duration_ns, double warmup_fraction);
 
   const ServiceDistribution& distribution_;
   std::vector<double> class_service_us_;

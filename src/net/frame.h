@@ -1,0 +1,243 @@
+// Concord wire framing (docs/networking.md).
+//
+// Every message on a Concord RPC connection is one frame: a fixed 24-byte
+// little-endian header optionally followed by a payload. The header is
+//
+//   offset  size  field
+//   0       2     magic         0xC07D
+//   2       1     type          1 = request, 2 = response, 3 = reject
+//   3       1     request_class scheduling class (Runtime request_class)
+//   4       4     payload_len   bytes of payload following the header
+//   8       8     id            request id, echoed verbatim in the reply
+//   16      8     param         request: relative deadline in microseconds
+//                               (0 = none); response: server-measured
+//                               latency in nanoseconds; reject: reason code
+//
+// The parser is strict and incremental: bytes may arrive one at a time or
+// many frames at once, a frame with a bad magic / unknown type / oversized
+// payload_len poisons the stream (the caller must close the connection — a
+// desynchronized length-prefixed stream cannot be resynchronized), and a
+// truncated frame simply waits for more bytes. The parser owns one
+// preallocated reassembly buffer sized for the largest accepted frame, so
+// feeding it allocates nothing in steady state.
+
+#ifndef CONCORD_SRC_NET_FRAME_H_
+#define CONCORD_SRC_NET_FRAME_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace concord::net {
+
+inline constexpr std::uint16_t kFrameMagic = 0xC07D;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+// Wire-protocol ceiling on payload_len; individual parsers may impose a
+// smaller limit (the server does, to bound per-connection record memory).
+inline constexpr std::size_t kMaxFramePayloadBytes = 64 * 1024;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kReject = 3,
+};
+
+// Reject-frame reason codes (the `param` field of a kReject frame).
+inline constexpr std::uint64_t kRejectBackpressure = 1;  // ingress ring/slab full
+inline constexpr std::uint64_t kRejectServerBusy = 2;    // connection record pool empty
+
+struct FrameHeader {
+  FrameType type = FrameType::kRequest;
+  std::uint8_t request_class = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t id = 0;
+  std::uint64_t param = 0;
+};
+
+namespace internal {
+
+inline void StoreLe16(unsigned char* out, std::uint16_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+}
+inline void StoreLe32(unsigned char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+inline void StoreLe64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+inline std::uint16_t LoadLe16(const unsigned char* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+inline std::uint32_t LoadLe32(const unsigned char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+inline std::uint64_t LoadLe64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace internal
+
+// Serializes `header` into exactly kFrameHeaderBytes at `out`.
+inline void EncodeFrameHeader(const FrameHeader& header, unsigned char* out) {
+  internal::StoreLe16(out, kFrameMagic);
+  out[2] = static_cast<unsigned char>(header.type);
+  out[3] = header.request_class;
+  internal::StoreLe32(out + 4, header.payload_len);
+  internal::StoreLe64(out + 8, header.id);
+  internal::StoreLe64(out + 16, header.param);
+}
+
+// Appends one whole frame (header + payload) to `out`. payload may be null
+// when header.payload_len == 0.
+inline void AppendFrame(std::vector<unsigned char>* out, const FrameHeader& header,
+                        const void* payload) {
+  const std::size_t start = out->size();
+  out->resize(start + kFrameHeaderBytes + header.payload_len);
+  EncodeFrameHeader(header, out->data() + start);
+  CONCORD_DCHECK(header.payload_len == 0 || payload != nullptr)
+      << "payload_len > 0 with null payload";
+  if (header.payload_len > 0 && payload != nullptr) {
+    std::memcpy(out->data() + start + kFrameHeaderBytes, payload, header.payload_len);
+  }
+}
+
+// One complete frame as seen by the parser callback. `payload` points into
+// the parser's reassembly buffer and is valid only for the duration of the
+// callback.
+struct DecodedFrame {
+  FrameHeader header;
+  const unsigned char* payload = nullptr;
+};
+
+enum class FrameError {
+  kNone = 0,
+  kBadMagic,   // garbage prefix / desynchronized stream
+  kBadType,    // type byte outside the known set
+  kOversized,  // payload_len above this parser's limit
+};
+
+inline const char* FrameErrorName(FrameError error) {
+  switch (error) {
+    case FrameError::kNone:
+      return "none";
+    case FrameError::kBadMagic:
+      return "bad-magic";
+    case FrameError::kBadType:
+      return "bad-type";
+    case FrameError::kOversized:
+      return "oversized";
+  }
+  return "unknown";
+}
+
+// Strict incremental frame parser. Feed() consumes an arbitrary byte chunk,
+// invoking `on_frame(const DecodedFrame&)` once per completed frame, in
+// order. Returns false once the stream is poisoned (error() says why); every
+// later Feed() also returns false without consuming anything.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_payload_bytes = kMaxFramePayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {
+    CONCORD_CHECK(max_payload_bytes_ <= kMaxFramePayloadBytes)
+        << "parser payload limit above the wire-protocol ceiling";
+    buffer_.resize(kFrameHeaderBytes + max_payload_bytes_);
+  }
+
+  template <typename OnFrame>
+  bool Feed(const unsigned char* data, std::size_t len, OnFrame&& on_frame) {
+    if (error_ != FrameError::kNone) {
+      return false;
+    }
+    // concord-lint: allow-no-probe (event-loop parse path, bounded by the fed chunk)
+    while (true) {
+      if (!have_header_) {
+        const std::size_t take = std::min(kFrameHeaderBytes - have_, len);
+        std::memcpy(buffer_.data() + have_, data, take);
+        have_ += take;
+        data += take;
+        len -= take;
+        if (have_ < kFrameHeaderBytes) {
+          return true;  // truncated header: wait for more bytes
+        }
+        if (!DecodeHeader()) {
+          return false;
+        }
+        have_header_ = true;
+      }
+      const std::size_t total = kFrameHeaderBytes + header_.payload_len;
+      const std::size_t take = std::min(total - have_, len);
+      std::memcpy(buffer_.data() + have_, data, take);
+      have_ += take;
+      data += take;
+      len -= take;
+      if (have_ < total) {
+        return true;  // truncated payload: wait for more bytes
+      }
+      ++frames_decoded_;
+      on_frame(DecodedFrame{header_, buffer_.data() + kFrameHeaderBytes});
+      have_ = 0;
+      have_header_ = false;
+      if (len == 0) {
+        return true;
+      }
+    }
+  }
+
+  FrameError error() const { return error_; }
+  std::uint64_t frames_decoded() const { return frames_decoded_; }
+  // Bytes of the in-progress frame buffered so far (test/diagnostic hook).
+  std::size_t pending_bytes() const { return have_; }
+
+ private:
+  bool DecodeHeader() {
+    if (internal::LoadLe16(buffer_.data()) != kFrameMagic) {
+      error_ = FrameError::kBadMagic;
+      return false;
+    }
+    const unsigned char type = buffer_[2];
+    if (type < static_cast<unsigned char>(FrameType::kRequest) ||
+        type > static_cast<unsigned char>(FrameType::kReject)) {
+      error_ = FrameError::kBadType;
+      return false;
+    }
+    header_.type = static_cast<FrameType>(type);
+    header_.request_class = buffer_[3];
+    header_.payload_len = internal::LoadLe32(buffer_.data() + 4);
+    header_.id = internal::LoadLe64(buffer_.data() + 8);
+    header_.param = internal::LoadLe64(buffer_.data() + 16);
+    if (header_.payload_len > max_payload_bytes_) {
+      error_ = FrameError::kOversized;
+      return false;
+    }
+    return true;
+  }
+
+  std::size_t max_payload_bytes_;  // non-const so parsers stay move-assignable
+  std::vector<unsigned char> buffer_;  // reassembly: header + payload of the frame in progress
+  std::size_t have_ = 0;
+  bool have_header_ = false;
+  FrameHeader header_;
+  FrameError error_ = FrameError::kNone;
+  std::uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace concord::net
+
+#endif  // CONCORD_SRC_NET_FRAME_H_

@@ -1,0 +1,605 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/common/cycles.h"
+#include "src/common/logging.h"
+
+namespace concord::net {
+
+namespace {
+
+// epoll_event.data.u64 tags: the two singleton fds, then connection slots.
+constexpr std::uint64_t kTagListener = 0;
+constexpr std::uint64_t kTagWake = 1;
+constexpr std::uint64_t kTagConnBase = 2;
+
+constexpr std::size_t kReadScratchBytes = 64 * 1024;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// One accepted socket. Owned exclusively by the event-loop thread; the only
+// cross-thread traffic about a connection is the NetRequest records flowing
+// through the runtime and back over the completion stack, which carry
+// (conn_index, conn_generation) instead of a pointer the dispatcher could
+// dereference.
+struct RpcServer::Connection {
+  int fd = -1;
+  std::uint32_t index = 0;
+  std::uint32_t generation = 0;
+  bool open = false;
+  int shard = 0;
+  std::uint32_t epoll_events = 0;  // interest set currently registered
+  std::uint64_t in_flight = 0;     // records submitted, not yet drained back
+
+  FrameParser parser;
+  std::vector<unsigned char> out;  // unflushed response bytes
+  std::size_t out_head = 0;        // bytes of `out` already sent
+
+  // Preallocated record pool + payload arena: record i owns the fixed arena
+  // slice [i * max_payload, (i+1) * max_payload).
+  std::vector<NetRequest> records;
+  std::vector<NetRequest*> free_records;
+  std::vector<unsigned char> payload_arena;
+
+  Connection(std::uint32_t idx, const RpcServerOptions& options)
+      : parser(options.max_payload_bytes) {
+    index = idx;
+    records.resize(options.records_per_connection);
+    free_records.reserve(options.records_per_connection);
+    payload_arena.resize(options.records_per_connection * options.max_payload_bytes);
+    // concord-lint: allow-no-probe (pool construction, no handler code)
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      records[i].conn_index = idx;
+      records[i].payload = payload_arena.data() + i * options.max_payload_bytes;
+      free_records.push_back(&records[i]);
+    }
+    out.reserve(options.records_per_connection * kFrameHeaderBytes);
+  }
+
+  // Re-arms a recycled slot for a freshly accepted fd. The record pool is
+  // full by construction here: RecycleIfIdle only frees slots whose every
+  // record came home.
+  void Reset(int new_fd, int new_shard, std::size_t max_payload_bytes) {
+    fd = new_fd;
+    ++generation;
+    open = true;
+    shard = new_shard;
+    epoll_events = 0;
+    in_flight = 0;
+    parser = FrameParser(max_payload_bytes);
+    out.clear();
+    out_head = 0;
+    // concord-lint: allow-no-probe (pool re-arm on accept path, no handler code)
+    for (NetRequest& record : records) {
+      record.conn_generation = generation;
+    }
+  }
+};
+
+RpcServer::RpcServer(RpcServerOptions options) : options_(options), sink_(this) {
+  CONCORD_CHECK(options_.max_payload_bytes <= kMaxFramePayloadBytes)
+      << "max_payload_bytes above the wire-protocol ceiling";
+  CONCORD_CHECK(options_.max_connections > 0 && options_.records_per_connection > 0);
+  read_scratch_.resize(kReadScratchBytes);
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+// Dispatcher-thread completion path: stamp, push, wake-if-parked. Lock-free
+// and socket-free — the event loop owns all I/O.
+// concord-lint: allow-no-probe (dispatcher-side sink, bounded CAS retry)
+void RpcServer::Sink::OnComplete(const RequestView& view, std::uint64_t latency_tsc) {
+  auto* record = static_cast<NetRequest*>(view.payload);
+  record->latency_tsc = latency_tsc;
+  // Treiber push. The success order is seq_cst (with the loop_parked_
+  // exchange below and the consumer's store/load pair) so the Dekker-style
+  // parked handshake has a single total order: either this push is visible
+  // to the consumer's post-park recheck, or the exchange below observes
+  // parked==true and wakes. Anything weaker than seq_cst could let both
+  // sides miss each other and strand a completion until the next wakeup.
+  NetRequest* head = server_->completed_head_.load(std::memory_order_relaxed);
+  do {
+    record->next = head;
+  } while (!server_->completed_head_.compare_exchange_weak(
+      head, record, std::memory_order_seq_cst, std::memory_order_relaxed));
+  // seq_cst RMW: second half of the Dekker handshake (rationale above). Only
+  // the producer that actually observes parked==true pays the eventfd
+  // syscall; steady-state completions see false and skip it.
+  if (server_->loop_parked_.exchange(false, std::memory_order_seq_cst)) {
+    const std::uint64_t one = 1;
+    CONCORD_CHECK(::write(server_->wake_fd_, &one, sizeof(one)) == sizeof(one))
+        << "completion wake failed; event loop would hang";
+  }
+}
+
+bool RpcServer::Start(ShardedRuntime* runtime) {
+  CONCORD_CHECK(!started_) << "rpc server already started";
+  runtime_ = runtime;
+  tsc_ghz_ = runtime->tsc_ghz();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback-only front-end
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.max_connections) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return false;
+  }
+  epoll_event listen_event{};
+  listen_event.events = EPOLLIN;
+  listen_event.data.u64 = kTagListener;
+  epoll_event wake_event{};
+  wake_event.events = EPOLLIN;
+  wake_event.data.u64 = kTagWake;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_event) != 0 ||
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_event) != 0) {
+    Stop();
+    return false;
+  }
+
+  // One RequestSource (one ProducerSlot) per shard, owned by the event-loop
+  // thread: its first submit pins the slot's SPSC producer endpoints there.
+  sources_.clear();
+  sources_.reserve(static_cast<std::size_t>(runtime->shard_count()));
+  for (int s = 0; s < runtime->shard_count(); ++s) {
+    sources_.push_back(runtime->shard(s).BindSource());
+    if (!sources_.back()) {
+      sources_.clear();
+      Stop();
+      return false;
+    }
+  }
+
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void RpcServer::Stop() {
+  if (started_ && !stopped_) {
+    stopped_ = true;
+    // Release store pairs with the loop's acquire load; the eventfd write
+    // makes the loop observe it promptly even when parked.
+    stop_requested_.store(true, std::memory_order_release);
+    const std::uint64_t one = 1;
+    CONCORD_CHECK(::write(wake_fd_, &one, sizeof(one)) == sizeof(one))
+        << "stop wake failed; event loop would hang";
+    thread_.join();
+    // The loop has exited: release the per-shard producer slots so future
+    // claimants (or runtime teardown checks) can adopt them.
+    sources_.clear();
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+telemetry::NetSnapshot RpcServer::Snapshot() const {
+  telemetry::NetSnapshot snap;
+  // Relaxed monitoring reads of single-writer counters (exact once the
+  // event loop stopped; racy-but-monotonic mid-run, like GetTelemetry).
+  snap.connections_opened = counters_.connections_opened.load(std::memory_order_relaxed);
+  snap.connections_closed = counters_.connections_closed.load(std::memory_order_relaxed);
+  snap.frames_decoded = counters_.frames_decoded.load(std::memory_order_relaxed);
+  snap.decode_errors = counters_.decode_errors.load(std::memory_order_relaxed);
+  snap.requests_submitted = counters_.requests_submitted.load(std::memory_order_relaxed);
+  snap.requests_rejected = counters_.requests_rejected.load(std::memory_order_relaxed);
+  snap.responses_written = counters_.responses_written.load(std::memory_order_relaxed);
+  snap.responses_dropped = counters_.responses_dropped.load(std::memory_order_relaxed);
+  for (std::size_t c = 0; c < telemetry::kNetClassSlots; ++c) {
+    snap.rejected_by_class[c] = counters_.rejected_by_class[c].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+bool RpcServer::ConservationHolds() const {
+  const telemetry::NetSnapshot snap = Snapshot();
+  return snap.frames_decoded == snap.requests_submitted + snap.requests_rejected &&
+         snap.requests_submitted == snap.responses_written + snap.responses_dropped;
+}
+
+// The event loop. Single thread, owns every fd and every Connection.
+// concord-lint: allow-no-probe (network event loop, never runs handler code)
+void RpcServer::Loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  double drain_deadline_s = 0.0;
+  while (true) {
+    DrainCompletions();
+
+    if (draining_) {
+      bool writes_pending = false;
+      for (const auto& conn : connections_) {
+        if (conn != nullptr && conn->open && conn->out.size() > conn->out_head) {
+          writes_pending = true;
+          break;
+        }
+      }
+      if ((in_flight_ == 0 && !writes_pending) || NowSeconds() >= drain_deadline_s) {
+        break;
+      }
+    }
+
+    // Park/recheck handshake (Dekker; see Sink::OnComplete): publish
+    // parked==true with a seq_cst store, then recheck the stack with a
+    // seq_cst load. Any push that missed this store in the total order is
+    // caught by the recheck; any push after it observes parked and wakes.
+    loop_parked_.store(true, std::memory_order_seq_cst);
+    if (completed_head_.load(std::memory_order_seq_cst) != nullptr) {
+      loop_parked_.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Bounded wait while draining so the drain deadline is honored even if
+    // no event ever fires.
+    const int timeout_ms = draining_ ? 20 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    loop_parked_.store(false, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // epoll itself failed; nothing sane left to do
+    }
+    // Connection events first, accepts last: a close in this batch may
+    // recycle a slot index, and handling accepts after every stale event for
+    // the old fd has been consumed keeps those events from being
+    // misattributed to the slot's new occupant.
+    bool accept_pending = false;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kTagListener) {
+        accept_pending = true;
+        continue;
+      }
+      if (tag == kTagWake) {
+        std::uint64_t drained = 0;
+        const ssize_t got = ::read(wake_fd_, &drained, sizeof(drained));
+        (void)got;  // nonbinding: the wake already happened
+        // Acquire pairs with Stop()'s release store.
+        if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+          BeginDraining();
+          drain_deadline_s = NowSeconds() + options_.drain_timeout_s;
+        }
+        continue;
+      }
+      Connection* conn = ConnectionAt(tag);
+      if (conn == nullptr || !conn->open) {
+        continue;  // churned while this event was queued
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        FlushWrites(conn);
+      }
+      if (conn->open && (events[i].events & EPOLLIN) != 0) {
+        HandleReadable(conn);
+      }
+    }
+    if (accept_pending) {
+      AcceptConnections();
+    }
+  }
+
+  // Loop exit: force-close whatever drained cleanly or timed out. Requests
+  // still inside the runtime will surface at the sink and be dropped by the
+  // generation check next DrainCompletions — but Stop() joins us first, so
+  // account them as dropped here by draining one final time.
+  // concord-lint: allow-no-probe (teardown sweep over the connection table)
+  for (auto& conn : connections_) {
+    if (conn != nullptr && conn->open) {
+      CloseConnection(conn.get());
+    }
+  }
+  DrainCompletions();
+}
+
+// concord-lint: allow-no-probe (accept loop, bounded by the listen backlog)
+void RpcServer::AcceptConnections() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) {
+      return;  // EAGAIN (drained) or transient error: either way, done here
+    }
+    if (draining_ || open_connections_ >= static_cast<std::size_t>(options_.max_connections)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::uint32_t index;
+    if (!free_connections_.empty()) {
+      index = free_connections_.back();
+      free_connections_.pop_back();
+    } else {
+      index = static_cast<std::uint32_t>(connections_.size());
+      connections_.push_back(nullptr);
+    }
+    const int shard =
+        static_cast<int>(next_connection_ordinal_++ %
+                         static_cast<std::uint64_t>(runtime_->shard_count()));
+    if (connections_[index] == nullptr) {
+      connections_[index] = std::make_unique<Connection>(index, options_);
+    }
+    connections_[index]->Reset(fd, shard, options_.max_payload_bytes);
+    ++open_connections_;
+    telemetry::BumpSingleWriter(counters_.connections_opened);
+
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = kTagConnBase + index;
+    connections_[index]->epoll_events = EPOLLIN;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      CloseConnection(connections_[index].get());
+    }
+  }
+}
+
+RpcServer::Connection* RpcServer::ConnectionAt(std::uint64_t epoll_tag) {
+  const std::uint64_t index = epoll_tag - kTagConnBase;
+  if (index >= connections_.size()) {
+    return nullptr;
+  }
+  return connections_[index].get();
+}
+
+// concord-lint: allow-no-probe (event-loop read path, bounded by kernel buffer)
+void RpcServer::HandleReadable(Connection* conn) {
+  while (conn->open) {
+    const ssize_t got = ::recv(conn->fd, read_scratch_.data(), read_scratch_.size(), 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        CloseConnection(conn);
+      }
+      return;
+    }
+    if (got == 0) {
+      CloseConnection(conn);  // peer closed; in-flight responses will drop
+      return;
+    }
+    const bool ok = conn->parser.Feed(
+        read_scratch_.data(), static_cast<std::size_t>(got),
+        [&](const DecodedFrame& frame) { OnRequestFrame(conn, frame); });
+    if (!ok || !conn->open) {
+      if (!ok && conn->open) {
+        telemetry::BumpSingleWriter(counters_.decode_errors);
+        CloseConnection(conn);
+      }
+      return;
+    }
+    if (static_cast<std::size_t>(got) < read_scratch_.size()) {
+      return;  // kernel buffer drained
+    }
+  }
+}
+
+void RpcServer::OnRequestFrame(Connection* conn, const DecodedFrame& frame) {
+  if (!conn->open) {
+    return;  // closed mid-chunk (bad frame type); ignore the rest of the feed
+  }
+  if (frame.header.type != FrameType::kRequest) {
+    // Clients must not send response/reject frames; poison the stream the
+    // same way a parse error would.
+    telemetry::BumpSingleWriter(counters_.decode_errors);
+    CloseConnection(conn);
+    return;
+  }
+  telemetry::BumpSingleWriter(counters_.frames_decoded);
+
+  if (conn->free_records.empty()) {
+    QueueReject(conn, frame.header, kRejectServerBusy);
+    return;
+  }
+  NetRequest* record = conn->free_records.back();
+  conn->free_records.pop_back();
+  record->id = frame.header.id;
+  record->request_class = frame.header.request_class;
+  record->payload_len = frame.header.payload_len;
+  record->deadline_us = frame.header.param;
+  record->conn_generation = conn->generation;
+  if (frame.header.payload_len > 0) {
+    std::memcpy(record->payload, frame.payload, frame.header.payload_len);
+  }
+  const bool accepted = sources_[static_cast<std::size_t>(conn->shard)].Submit(
+      record->id, record->request_class, record,
+      static_cast<double>(record->deadline_us));
+  if (!accepted) {
+    conn->free_records.push_back(record);
+    QueueReject(conn, frame.header, kRejectBackpressure);
+    return;
+  }
+  ++conn->in_flight;
+  ++in_flight_;
+  telemetry::BumpSingleWriter(counters_.requests_submitted);
+}
+
+void RpcServer::QueueReject(Connection* conn, const FrameHeader& request, std::uint64_t reason) {
+  telemetry::BumpSingleWriter(counters_.requests_rejected);
+  const std::size_t slot =
+      std::min<std::size_t>(request.request_class, telemetry::kNetClassSlots - 1);
+  telemetry::BumpSingleWriter(counters_.rejected_by_class[slot]);
+  FrameHeader reject;
+  reject.type = FrameType::kReject;
+  reject.request_class = request.request_class;
+  reject.payload_len = 0;
+  reject.id = request.id;
+  reject.param = reason;
+  AppendFrame(&conn->out, reject, nullptr);
+  FlushWrites(conn);
+}
+
+// concord-lint: allow-no-probe (event-loop write path, bounded by the out buffer)
+void RpcServer::FlushWrites(Connection* conn) {
+  while (conn->out.size() > conn->out_head) {
+    const ssize_t sent = ::send(conn->fd, conn->out.data() + conn->out_head,
+                                conn->out.size() - conn->out_head, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      CloseConnection(conn);
+      return;
+    }
+    conn->out_head += static_cast<std::size_t>(sent);
+  }
+  if (conn->out_head == conn->out.size()) {
+    conn->out.clear();
+    conn->out_head = 0;
+  } else if (conn->out.size() > options_.max_write_buffer_bytes) {
+    // Slow client: it is not reading responses while pushing more requests.
+    CloseConnection(conn);
+    return;
+  }
+  UpdateEpollInterest(conn);
+}
+
+void RpcServer::UpdateEpollInterest(Connection* conn) {
+  if (!conn->open) {
+    return;
+  }
+  std::uint32_t want = draining_ ? 0u : static_cast<std::uint32_t>(EPOLLIN);
+  if (conn->out.size() > conn->out_head) {
+    want |= EPOLLOUT;
+  }
+  if (want == conn->epoll_events) {
+    return;
+  }
+  epoll_event event{};
+  event.events = want;
+  event.data.u64 = kTagConnBase + conn->index;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event) == 0) {
+    conn->epoll_events = want;
+  }
+}
+
+void RpcServer::CloseConnection(Connection* conn) {
+  if (!conn->open) {
+    return;
+  }
+  ::close(conn->fd);  // kernel drops the epoll registration with the fd
+  conn->fd = -1;
+  conn->open = false;
+  conn->out.clear();
+  conn->out_head = 0;
+  telemetry::BumpSingleWriter(counters_.connections_closed);
+  --open_connections_;
+  RecycleIfIdle(conn);
+}
+
+void RpcServer::RecycleIfIdle(Connection* conn) {
+  // A closed slot returns to the free list only once every record came home
+  // (the generation bump in Reset would otherwise race in-flight records'
+  // pool membership).
+  if (!conn->open && conn->in_flight == 0) {
+    free_connections_.push_back(conn->index);
+  }
+}
+
+// concord-lint: allow-no-probe (event-loop completion drain, bounded by in-flight)
+void RpcServer::DrainCompletions() {
+  // seq_cst exchange: the consumer half of the parked handshake (see
+  // Sink::OnComplete); also the acquire that publishes each record's fields.
+  NetRequest* head = completed_head_.exchange(nullptr, std::memory_order_seq_cst);
+  if (head == nullptr) {
+    return;
+  }
+  // The stack pops LIFO; reverse to process completions in push order.
+  NetRequest* ordered = nullptr;
+  while (head != nullptr) {
+    NetRequest* next = head->next;
+    head->next = ordered;
+    ordered = head;
+    head = next;
+  }
+  while (ordered != nullptr) {
+    NetRequest* record = ordered;
+    ordered = ordered->next;
+    record->next = nullptr;
+    Connection* conn = connections_[record->conn_index].get();
+    --in_flight_;
+    --conn->in_flight;
+    if (conn->open && record->conn_generation == conn->generation) {
+      FrameHeader response;
+      response.type = FrameType::kResponse;
+      response.request_class = record->request_class;
+      response.payload_len = 0;
+      response.id = record->id;
+      response.param =
+          static_cast<std::uint64_t>(static_cast<double>(record->latency_tsc) / tsc_ghz_);
+      AppendFrame(&conn->out, response, nullptr);
+      telemetry::BumpSingleWriter(counters_.responses_written);
+      conn->free_records.push_back(record);
+      FlushWrites(conn);
+    } else {
+      // Connection churned while the request was in flight.
+      telemetry::BumpSingleWriter(counters_.responses_dropped);
+      conn->free_records.push_back(record);
+      RecycleIfIdle(conn);
+    }
+  }
+}
+
+void RpcServer::BeginDraining() {
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  }
+  // Stop reading new frames; keep EPOLLOUT wherever responses are pending.
+  // concord-lint: allow-no-probe (drain transition sweep over the connection table)
+  for (auto& conn : connections_) {
+    if (conn != nullptr && conn->open) {
+      UpdateEpollInterest(conn.get());
+    }
+  }
+}
+
+}  // namespace concord::net

@@ -1,0 +1,217 @@
+// RpcServer: the epoll network front-end over the source/sink seam
+// (docs/networking.md).
+//
+// One event-loop thread owns every socket: it accepts loopback connections,
+// feeds received bytes through a strict FrameParser, and submits each
+// decoded request frame into the runtime through a per-shard RequestSource —
+// the same lock-free ProducerSlot handshake in-process submitters use, with
+// zero steady-state allocations on the submit path (request records and
+// payload bytes live in per-connection preallocated pools). Completions
+// come back through the server's CompletionSink: the dispatcher pushes the
+// completed record onto a lock-free MPSC stack and wakes the event loop
+// through an eventfd only when it is parked in epoll_wait; the event loop
+// drains the stack and writes response frames from its own thread, so no
+// dispatcher ever touches a socket or a connection structure.
+//
+// Connection -> producer-slot mapping: connection i is pinned to shard
+// (i % shard_count) at accept time, and each shard has exactly one
+// RequestSource (one ProducerSlot) owned by the event-loop thread. A
+// connection's requests therefore keep FIFO arrival order into its shard,
+// and the ingress-capacity backpressure bound applies per shard, not per
+// connection.
+//
+// Wire backpressure: when the shard's ingress rejects a submit (ring full /
+// slab exhausted) or the connection's record pool is empty, the server
+// answers with a reject frame (FrameType::kReject, param = reason) instead
+// of queueing unboundedly — the client sees backpressure explicitly and
+// immediately. Conservation identities (checked by the loopback CI job):
+// frames_decoded == requests_submitted + requests_rejected, and once
+// drained requests_submitted == responses_written + responses_dropped.
+
+#ifndef CONCORD_SRC_NET_SERVER_H_
+#define CONCORD_SRC_NET_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/cacheline.h"
+#include "src/net/frame.h"
+#include "src/runtime/completion_sink.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/telemetry/telemetry.h"
+
+namespace concord::net {
+
+// One in-flight socket request. The server submits its address as the
+// request payload, so the application handler sees it via
+// RequestView::payload (RequestBytes below); after completion the same
+// record carries the response back to the event loop through the MPSC
+// completion stack.
+struct NetRequest {
+  std::uint64_t id = 0;
+  std::uint8_t request_class = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t deadline_us = 0;
+  // Points at this record's fixed slice of the owning connection's payload
+  // arena (immutable after server start).
+  unsigned char* payload = nullptr;
+  // Stamped by the completion sink (dispatcher thread) before the record is
+  // pushed onto the completion stack; read by the event loop afterwards —
+  // the stack's release/acquire edge orders the handoff.
+  std::uint64_t latency_tsc = 0;
+  // Routing back to the owning connection; generation detects connections
+  // that churned while the request was in flight.
+  std::uint32_t conn_index = 0;
+  std::uint32_t conn_generation = 0;
+  // MPSC completion-stack link. Written by the pushing dispatcher before the
+  // head CAS publishes it; private to the event loop after the exchange.
+  NetRequest* next = nullptr;
+};
+
+// Handler-side accessors for socket-submitted requests. Valid only inside
+// handle_request for requests that entered through an RpcServer.
+inline const NetRequest& RequestOf(const RequestView& view) {
+  return *static_cast<const NetRequest*>(view.payload);
+}
+inline const unsigned char* RequestBytes(const RequestView& view) {
+  return RequestOf(view).payload;
+}
+inline std::uint32_t RequestLen(const RequestView& view) { return RequestOf(view).payload_len; }
+
+struct RpcServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral (read the bound port from port())
+  int max_connections = 256;
+  // Server-side cap on request-frame payload bytes (<= kMaxFramePayloadBytes;
+  // bounds each connection's payload arena at records_per_connection * this).
+  std::size_t max_payload_bytes = 2048;
+  // In-flight request records per connection; a burstier client sees
+  // kRejectServerBusy reject frames beyond this.
+  std::size_t records_per_connection = 256;
+  // Slow-client bound: a connection whose unflushed response bytes exceed
+  // this is closed (its in-flight responses count as dropped).
+  std::size_t max_write_buffer_bytes = 1 << 20;
+  // Graceful-stop bound: how long Stop() waits for in-flight requests to
+  // complete and responses to flush before force-closing.
+  double drain_timeout_s = 10.0;
+};
+
+class RpcServer {
+ public:
+  explicit RpcServer(RpcServerOptions options);
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+  ~RpcServer();
+
+  // The completion sink to install into Runtime::Callbacks::completion_sink
+  // (for every shard) *before* the runtime starts. Valid for the server's
+  // lifetime; the server must outlive the runtime's Shutdown().
+  CompletionSink* sink() { return &sink_; }
+
+  // Binds the loopback listener, claims one RequestSource per shard and
+  // spawns the event-loop thread. The runtime must already be started.
+  bool Start(ShardedRuntime* runtime);
+
+  // Graceful stop: stops accepting connections and reading frames, drains
+  // in-flight requests (bounded by drain_timeout_s), flushes responses,
+  // closes every socket and joins the event loop. Idempotent.
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+
+  // Socket-layer counters (telemetry.h `net` block). Single-writer counters
+  // written by the event-loop thread; safe to snapshot from any thread
+  // (monitoring reads — exact once the server is stopped).
+  telemetry::NetSnapshot Snapshot() const;
+
+  // True when the conservation identities hold (meaningful after Stop()).
+  bool ConservationHolds() const;
+
+ private:
+  struct Connection;
+
+  // Dispatcher-side completion sink: stamps latency, pushes the record onto
+  // the MPSC stack and wakes the event loop if it is parked. Multi-producer
+  // (every shard's dispatcher), single-consumer (the event loop).
+  class Sink : public CompletionSink {
+   public:
+    explicit Sink(RpcServer* server) : server_(server) {}
+    void OnComplete(const RequestView& view, std::uint64_t latency_tsc) override;
+
+   private:
+    RpcServer* const server_;
+  };
+
+  // Single-writer socket counters (event-loop thread). Monitoring threads
+  // snapshot them concurrently, hence atomics; one writer domain, one line
+  // block (same discipline as telemetry::DispatcherCounters).
+  // concord-atomics: shared-struct (event loop writes, monitors read)
+  struct alignas(kCacheLineSize) Counters {
+    std::atomic<std::uint64_t> connections_opened{0};
+    std::atomic<std::uint64_t> connections_closed{0};
+    std::atomic<std::uint64_t> frames_decoded{0};
+    std::atomic<std::uint64_t> decode_errors{0};
+    std::atomic<std::uint64_t> requests_submitted{0};
+    std::atomic<std::uint64_t> requests_rejected{0};
+    std::atomic<std::uint64_t> responses_written{0};
+    std::atomic<std::uint64_t> responses_dropped{0};
+    std::array<std::atomic<std::uint64_t>, telemetry::kNetClassSlots> rejected_by_class{};
+  };
+
+  void Loop();
+  void AcceptConnections();
+  Connection* ConnectionAt(std::uint64_t epoll_tag);
+  void HandleReadable(Connection* conn);
+  void OnRequestFrame(Connection* conn, const DecodedFrame& frame);
+  void QueueReject(Connection* conn, const FrameHeader& request, std::uint64_t reason);
+  void FlushWrites(Connection* conn);
+  void UpdateEpollInterest(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void RecycleIfIdle(Connection* conn);
+  void DrainCompletions();
+  void BeginDraining();
+
+  const RpcServerOptions options_;
+  Sink sink_;
+
+  ShardedRuntime* runtime_ = nullptr;
+  double tsc_ghz_ = 0.0;
+  std::vector<RequestSource> sources_;  // one per shard, event-loop-owned
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+
+  // Event-loop-owned connection table. Slots are allocated on accept and
+  // recycled (generation-bumped) on close; the unique_ptrs are stable so
+  // NetRequest::conn_index stays valid across churn.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::uint32_t> free_connections_;
+  std::size_t open_connections_ = 0;
+  std::uint64_t next_connection_ordinal_ = 0;  // round-robins shard pinning
+  std::uint64_t in_flight_ = 0;                // submitted, not yet drained back
+  bool draining_ = false;
+  std::vector<unsigned char> read_scratch_;
+
+  Counters counters_;
+
+  // MPSC completion stack (dispatchers push, event loop drains) plus the
+  // parked flag for the eventfd wakeup handshake. Separate lines: the stack
+  // head is contended by producers, the flag is mostly consumer-written.
+  alignas(kCacheLineSize) std::atomic<NetRequest*> completed_head_{nullptr};
+  alignas(kCacheLineSize) std::atomic<bool> loop_parked_{false};
+  // Stop() -> event loop handshake (also wakes through wake_fd_).
+  alignas(kCacheLineSize) std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace concord::net
+
+#endif  // CONCORD_SRC_NET_SERVER_H_

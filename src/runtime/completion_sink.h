@@ -1,0 +1,46 @@
+// CompletionSink: the pluggable completion-side seam of the runtime
+// (docs/networking.md "source/sink seam").
+//
+// The runtime's completion path has always offered `Callbacks::on_complete`,
+// a std::function invoked on the dispatcher thread. That is the right shape
+// for in-process measurement hooks, but a network front-end needs something
+// an *object* can implement without allocation or type erasure on every
+// completion: the server installs one sink at wiring time and routes each
+// completion back to the connection that produced it.
+//
+// Contract:
+//   - OnComplete runs on the dispatcher thread of the completing shard, once
+//     per completed request, after the request's handler has finished and
+//     after `Callbacks::on_complete` (when both are installed).
+//   - The RequestView's payload pointer is whatever the submitter passed to
+//     Submit; the sink owns its interpretation. latency_tsc is the same
+//     arrival-to-completion TSC delta on_complete receives.
+//   - The sink MUST NOT block, take locks shared with submitters, or call
+//     back into the runtime (Submit/Shutdown/WaitIdle). A network sink hands
+//     the completion to its event loop through a lock-free structure and
+//     returns (src/net/server.h is the canonical implementation).
+//   - The sink object must outlive the Runtime it is installed into.
+//
+// The seam costs one predicted-not-taken branch per completion when no sink
+// is installed, keeping the in-process fast path byte-compatible.
+
+#ifndef CONCORD_SRC_RUNTIME_COMPLETION_SINK_H_
+#define CONCORD_SRC_RUNTIME_COMPLETION_SINK_H_
+
+#include <cstdint>
+
+#include "src/runtime/request.h"
+
+namespace concord {
+
+class CompletionSink {
+ public:
+  virtual ~CompletionSink() = default;
+
+  // Dispatcher-thread completion notification. See the contract above.
+  virtual void OnComplete(const RequestView& view, std::uint64_t latency_tsc) = 0;
+};
+
+}  // namespace concord
+
+#endif  // CONCORD_SRC_RUNTIME_COMPLETION_SINK_H_

@@ -231,6 +231,23 @@ bool IngressLayer::Submit(std::uint64_t id, int request_class, void* payload,
   if (slot == nullptr) {
     return false;
   }
+  return SubmitViaSlot(slot, id, request_class, payload, deadline_delta_tsc);
+}
+
+void IngressLayer::ReleaseSlot(ProducerSlot* slot) {
+  // Same endpoint handover as the TLS destructor: the next claimant becomes
+  // the ingress producer and recycle consumer, and the release store on the
+  // claim word publishes local_free and the debug-role resets to the acquire
+  // CAS in TryClaim. Taking the registry mutex is not needed here — the
+  // caller guarantees the layer (and therefore the slot) is alive.
+  slot->ingress.ResetProducerRole();
+  slot->recycle.ResetConsumerRole();
+  ingress_protocol::ReleaseClaim<StdSync>(slot->claim);
+}
+
+// concord-lint: allow-no-probe (submitter-side path; loops are bounded free-list refills)
+bool IngressLayer::SubmitViaSlot(ProducerSlot* slot, std::uint64_t id, int request_class,
+                                 void* payload, std::uint64_t deadline_delta_tsc) {
   // Teardown handshake (header comment): SubmitWithHandshake marks the
   // submit window (seq_cst) before the accepting check and runs the push
   // lambda inside it. seq_cst store + seq_cst load is the one StoreLoad edge

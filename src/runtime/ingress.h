@@ -133,6 +133,27 @@ class IngressLayer {
   bool Submit(std::uint64_t id, int request_class, void* payload,
               std::uint64_t deadline_delta_tsc = 0);
 
+  // Explicit-slot submit seam for external request sources (RequestSource in
+  // runtime.h). Identical protocol and cost to Submit() minus the TLS lookup:
+  // the caller supplies a slot it claimed via ClaimSlot(). The slot's SPSC
+  // endpoints pin to the first thread that pushes through it, so a claimed
+  // slot may be handed to another thread before first use but must then stay
+  // on that thread until released.
+  bool SubmitViaSlot(ProducerSlot* slot, std::uint64_t id, int request_class, void* payload,
+                     std::uint64_t deadline_delta_tsc = 0);
+
+  // Claims a producer slot for an external source, bypassing the TLS cache:
+  // adopts a released slot or creates one. Returns nullptr once
+  // StopAccepting() has been called. The claim is owned by the caller (not
+  // this thread) — release it with ReleaseSlot(), not by exiting the thread.
+  ProducerSlot* ClaimSlot() { return AcquireProducerSlot(); }
+
+  // Releases a ClaimSlot() claim so the slot can be adopted by a future
+  // claimant (the same handover the TLS destructor performs for
+  // thread-cached slots). The caller must guarantee no concurrent
+  // SubmitViaSlot on this slot and that the layer is still alive.
+  void ReleaseSlot(ProducerSlot* slot);
+
   // First phase of shutdown: after this returns, every future Submit()
   // returns false, and no in-flight Submit() whose accepting check has not
   // yet passed can push.

@@ -226,6 +226,40 @@ bool Runtime::Submit(std::uint64_t id, int request_class, void* payload, double 
   return true;
 }
 
+RequestSource Runtime::BindSource() {
+  CONCORD_CHECK(started_.load(std::memory_order_relaxed)) << "runtime not started";
+  ProducerSlot* slot = ingress_.ClaimSlot();
+  if (slot == nullptr) {
+    return RequestSource();  // stopped before the source could register
+  }
+  return RequestSource(this, slot);
+}
+
+// concord-lint: allow-no-probe (submitter-side path; delegates to the lock-free ingress layer)
+bool RequestSource::Submit(std::uint64_t id, int request_class, void* payload,
+                           double deadline_us) {
+  if (slot_ == nullptr) {
+    return false;
+  }
+  const std::uint64_t deadline_delta_tsc =
+      deadline_us > 0.0 ? static_cast<std::uint64_t>(deadline_us * 1000.0 * runtime_->tsc_ghz_)
+                        : 0;
+  if (!runtime_->ingress_.SubmitViaSlot(slot_, id, request_class, payload, deadline_delta_tsc)) {
+    return false;
+  }
+  runtime_->submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void RequestSource::Release() {
+  if (slot_ == nullptr) {
+    return;
+  }
+  runtime_->ingress_.ReleaseSlot(slot_);
+  runtime_ = nullptr;
+  slot_ = nullptr;
+}
+
 void Runtime::WaitIdle() {
   // The acquire on completed_ pairs with the dispatcher's release bump
   // (BumpSingleWriter in RetireRequest), publishing every handler effect to
@@ -433,6 +467,14 @@ void Runtime::CompleteRequest(RuntimeRequest* request, bool on_dispatcher) {
   if (callbacks_.on_complete) {
     callbacks_.on_complete(RequestView{request->id, request->request_class, request->payload},
                            ReadTsc() - request->arrival_tsc);
+  }
+  // Pluggable sink seam (completion_sink.h): the network front-end routes
+  // this completion back to the owning connection's event loop. One
+  // predicted-not-taken branch when no sink is installed.
+  if (callbacks_.completion_sink != nullptr) {
+    callbacks_.completion_sink->OnComplete(
+        RequestView{request->id, request->request_class, request->payload},
+        ReadTsc() - request->arrival_tsc);
   }
   ReleaseFiber(request->fiber);
   request->fiber = nullptr;

@@ -53,6 +53,7 @@
 
 #include "src/common/cacheline.h"
 #include "src/runtime/central_queue.h"
+#include "src/runtime/completion_sink.h"
 #include "src/runtime/context.h"
 #include "src/runtime/ingress.h"
 #include "src/runtime/policy.h"
@@ -64,6 +65,8 @@
 #include "src/trace/trace_record.h"
 
 namespace concord {
+
+class RequestSource;
 
 class Runtime {
  public:
@@ -144,6 +147,11 @@ class Runtime {
     std::function<void(const RequestView&)> handle_request;
     // Completion notification, invoked on the dispatcher thread.
     std::function<void(const RequestView&, std::uint64_t latency_tsc)> on_complete;
+    // Pluggable completion sink (src/runtime/completion_sink.h), invoked on
+    // the dispatcher thread after on_complete. Not owned; must outlive the
+    // runtime. nullptr (the default) keeps the completion path identical to
+    // the pre-seam runtime: one predicted-not-taken branch.
+    CompletionSink* completion_sink = nullptr;
   };
 
   struct Stats {
@@ -176,6 +184,19 @@ class Runtime {
   // policy records dispatch-time slack into the telemetry histogram when a
   // deadline is present.
   bool Submit(std::uint64_t id, int request_class, void* payload, double deadline_us);
+
+  // Binds an explicit request source: claims a producer slot and wraps it in
+  // a RequestSource handle that submits without the TLS lookup. The seam for
+  // external producers (the epoll server binds one source per shard and
+  // submits decoded frames through it). Returns an unbound source (operator
+  // bool == false) once StopAccepting() has been called. The source must be
+  // released/destroyed before this Runtime is destroyed.
+  //
+  // Threading: the slot's SPSC endpoints pin to the first thread that
+  // submits through the source, so a source may be bound on one thread and
+  // used on another — but a single source must never be driven from two
+  // threads concurrently. One thread may own many sources (one per shard).
+  RequestSource BindSource();
 
   // Blocks until every submitted request has completed.
   void WaitIdle();
@@ -253,6 +274,8 @@ class Runtime {
   std::uint64_t EndAllocationAudit();
 
  private:
+  friend class RequestSource;
+
   // Per-loop-thread allocation-audit state (see BeginAllocationAudit).
   struct AllocAuditThreadState {
     std::uint64_t epoch_seen = 0;
@@ -406,6 +429,61 @@ class Runtime {
   std::atomic<std::uint64_t> preemptions_{0};
   std::atomic<std::uint64_t> dispatcher_started_count_{0};
   std::atomic<std::uint64_t> dispatcher_completed_count_{0};
+};
+
+// An explicit, movable submit handle over one claimed producer slot
+// (docs/networking.md "source/sink seam"). Obtained from
+// Runtime::BindSource(); submits through the same lock-free handshake as
+// Runtime::Submit but without the per-call TLS slot lookup, which both
+// shaves the fast path for tight submit loops and — more importantly —
+// decouples slot ownership from thread identity: an event-loop thread can
+// own one source per shard instead of leaking one TLS slot per (thread,
+// runtime) pair.
+//
+// Move-only. Release() (or destruction) returns the slot for adoption by
+// future claimants; the owning Runtime must still be alive at that point.
+class RequestSource {
+ public:
+  RequestSource() = default;
+  RequestSource(RequestSource&& other) noexcept
+      : runtime_(other.runtime_), slot_(other.slot_) {
+    other.runtime_ = nullptr;
+    other.slot_ = nullptr;
+  }
+  RequestSource& operator=(RequestSource&& other) noexcept {
+    if (this != &other) {
+      Release();
+      runtime_ = other.runtime_;
+      slot_ = other.slot_;
+      other.runtime_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    return *this;
+  }
+  RequestSource(const RequestSource&) = delete;
+  RequestSource& operator=(const RequestSource&) = delete;
+  ~RequestSource() { Release(); }
+
+  // True when bound to a live slot (BindSource succeeded and Release has not
+  // run).
+  explicit operator bool() const { return slot_ != nullptr; }
+
+  // Submits one request through the bound slot. Semantics match
+  // Runtime::Submit: returns false on backpressure or once the runtime
+  // stopped accepting, without blocking. deadline_us <= 0 means no deadline.
+  // Must not race with other calls on the *same* source (single logical
+  // producer per slot); distinct sources are independent.
+  bool Submit(std::uint64_t id, int request_class, void* payload, double deadline_us = 0.0);
+
+  // Returns the slot for adoption and unbinds. Safe to call repeatedly.
+  void Release();
+
+ private:
+  friend class Runtime;
+  RequestSource(Runtime* runtime, ProducerSlot* slot) : runtime_(runtime), slot_(slot) {}
+
+  Runtime* runtime_ = nullptr;
+  ProducerSlot* slot_ = nullptr;
 };
 
 // Spins for `us` microseconds of wall-clock time, executing a CONCORD_PROBE

@@ -107,6 +107,7 @@ TelemetrySnapshot TelemetrySnapshot::Diff(const TelemetrySnapshot& before,
     diff.dispatcher.slack_histogram[i] -= before.dispatcher.slack_histogram[i];
   }
   diff.anatomy.Subtract(before.anatomy);
+  diff.net.Subtract(before.net);
   // max_ingress_batch and producer_slots are high-water marks: keep the
   // later value rather than subtracting.
   return diff;
@@ -292,6 +293,58 @@ void AnatomyFromJson(const JsonValue& root, AnatomySnapshot* out) {
   }
 }
 
+// Additive v1 field `net`: socket-layer counters, emitted only when any
+// counter is nonzero (in-process runs never carry it) and with the per-class
+// reject array sparse as [class, count] pairs.
+JsonValue NetToJson(const NetSnapshot& net) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("connections_opened", JsonValue::MakeUint(net.connections_opened));
+  object.Set("connections_closed", JsonValue::MakeUint(net.connections_closed));
+  object.Set("frames_decoded", JsonValue::MakeUint(net.frames_decoded));
+  object.Set("decode_errors", JsonValue::MakeUint(net.decode_errors));
+  object.Set("requests_submitted", JsonValue::MakeUint(net.requests_submitted));
+  object.Set("requests_rejected", JsonValue::MakeUint(net.requests_rejected));
+  object.Set("responses_written", JsonValue::MakeUint(net.responses_written));
+  object.Set("responses_dropped", JsonValue::MakeUint(net.responses_dropped));
+  JsonValue rejected = JsonValue::MakeArray();
+  for (std::size_t c = 0; c < kNetClassSlots; ++c) {
+    if (net.rejected_by_class[c] == 0) {
+      continue;
+    }
+    JsonValue pair = JsonValue::MakeArray();
+    pair.MutableArray().push_back(JsonValue::MakeUint(c));
+    pair.MutableArray().push_back(JsonValue::MakeUint(net.rejected_by_class[c]));
+    rejected.MutableArray().push_back(std::move(pair));
+  }
+  object.Set("rejected_by_class", std::move(rejected));
+  return object;
+}
+
+void NetFromJson(const JsonValue& object, NetSnapshot* out) {
+  *out = NetSnapshot{};
+  out->connections_opened = object.GetUint("connections_opened");
+  out->connections_closed = object.GetUint("connections_closed");
+  out->frames_decoded = object.GetUint("frames_decoded");
+  out->decode_errors = object.GetUint("decode_errors");
+  out->requests_submitted = object.GetUint("requests_submitted");
+  out->requests_rejected = object.GetUint("requests_rejected");
+  out->responses_written = object.GetUint("responses_written");
+  out->responses_dropped = object.GetUint("responses_dropped");
+  if (const JsonValue* rejected = object.Get("rejected_by_class");
+      rejected != nullptr && rejected->is_array()) {
+    for (const JsonValue& pair : rejected->AsArray()) {
+      if (!pair.is_array() || pair.AsArray().size() != 2) {
+        continue;
+      }
+      const std::uint64_t c = pair.AsArray()[0].AsUint();
+      if (c >= kNetClassSlots) {
+        continue;
+      }
+      out->rejected_by_class[c] = pair.AsArray()[1].AsUint();
+    }
+  }
+}
+
 }  // namespace
 
 std::string TelemetrySnapshot::ToJson() const {
@@ -334,6 +387,12 @@ std::string TelemetrySnapshot::ToJson() const {
   root.Set("dispatcher", std::move(dispatcher_object));
 
   root.Set("anatomy", AnatomyToJson(anatomy));
+
+  // Additive sparse v1 field: only socket-serving binaries produce nonzero
+  // net counters; FromJson tolerates absence (the block then stays zero).
+  if (!net.Empty()) {
+    root.Set("net", NetToJson(net));
+  }
 
   JsonValue lifecycle_array = JsonValue::MakeArray();
   for (const RequestLifecycle& lifecycle : lifecycles) {
@@ -396,6 +455,10 @@ bool TelemetrySnapshot::FromJson(const std::string& json, TelemetrySnapshot* out
   if (const JsonValue* anatomy = root.Get("anatomy");
       anatomy != nullptr && anatomy->is_object()) {
     AnatomyFromJson(*anatomy, &out->anatomy);
+  }
+  out->net = NetSnapshot{};
+  if (const JsonValue* net = root.Get("net"); net != nullptr && net->is_object()) {
+    NetFromJson(*net, &out->net);
   }
   out->lifecycles.clear();
   if (const JsonValue* lifecycles = root.Get("lifecycles");

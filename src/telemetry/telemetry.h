@@ -233,6 +233,49 @@ struct DispatcherSnapshot {
   static DispatcherSnapshot Capture(const DispatcherCounters& counters);
 };
 
+// Socket-layer counters (src/net/server.h), snapshotted into the telemetry
+// document as the additive v1 field `net`. Classes beyond the slot bound
+// share the last slot (same convention as the anatomy classes).
+inline constexpr std::size_t kNetClassSlots = 8;
+
+struct NetSnapshot {
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_closed = 0;
+  // Request frames decoded off the wire. Conservation identity (enforced by
+  // the loopback CI job): frames_decoded == requests_submitted +
+  // requests_rejected, and once drained requests_submitted ==
+  // responses_written + responses_dropped.
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t responses_written = 0;
+  std::uint64_t responses_dropped = 0;
+  // Ingress-backpressure rejects by request class (wire backpressure is a
+  // per-class reject frame; docs/networking.md).
+  std::array<std::uint64_t, kNetClassSlots> rejected_by_class{};
+
+  bool Empty() const {
+    return connections_opened == 0 && connections_closed == 0 && frames_decoded == 0 &&
+           decode_errors == 0 && requests_submitted == 0 && requests_rejected == 0 &&
+           responses_written == 0 && responses_dropped == 0;
+  }
+
+  void Subtract(const NetSnapshot& before) {
+    connections_opened -= before.connections_opened;
+    connections_closed -= before.connections_closed;
+    frames_decoded -= before.frames_decoded;
+    decode_errors -= before.decode_errors;
+    requests_submitted -= before.requests_submitted;
+    requests_rejected -= before.requests_rejected;
+    responses_written -= before.responses_written;
+    responses_dropped -= before.responses_dropped;
+    for (std::size_t i = 0; i < kNetClassSlots; ++i) {
+      rejected_by_class[i] -= before.rejected_by_class[i];
+    }
+  }
+};
+
 struct TelemetrySnapshot {
   bool enabled = kEnabled;
   double tsc_ghz = 0.0;
@@ -244,6 +287,10 @@ struct TelemetrySnapshot {
   // Per-class latency-anatomy stage histograms (concord.telemetry.v1
   // additive field `anatomy`; docs/observability.md).
   AnatomySnapshot anatomy;
+  // Socket-layer counters (additive sparse field `net`: emitted only when
+  // non-empty, all-zero when absent — the runtime itself never fills it; the
+  // embedding binary copies its RpcServer's counters in before export).
+  NetSnapshot net;
   // Most recent completed-request lifecycles (bounded history).
   std::vector<RequestLifecycle> lifecycles;
 

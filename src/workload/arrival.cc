@@ -1,0 +1,66 @@
+#include "src/workload/arrival.h"
+
+#include <string>
+
+#include "src/telemetry/export.h"
+
+namespace concord {
+
+bool ParseArrivalKind(std::string_view token, ArrivalKind* out) {
+  if (token == "poisson") {
+    *out = ArrivalKind::kPoisson;
+  } else if (token == "uniform") {
+    *out = ArrivalKind::kUniform;
+  } else if (token == "bursty") {
+    *out = ArrivalKind::kBursty;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kUniform:
+      return "uniform";
+    case ArrivalKind::kBursty:
+      return "bursty";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(ArrivalKind kind, double mean_gap_ns) {
+  CONCORD_CHECK(mean_gap_ns > 0.0) << "mean gap must be positive";
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonArrivals>(mean_gap_ns);
+    case ArrivalKind::kUniform:
+      return std::make_unique<UniformArrivals>(mean_gap_ns);
+    case ArrivalKind::kBursty: {
+      // ON a fifth of the time at 5x the average rate: same long-run mean
+      // gap, markedly burstier tail pressure (interrupted Poisson / MMPP).
+      const double duty = 0.2;
+      const double on_gap_ns = mean_gap_ns * duty;
+      const double burst_len_ns = on_gap_ns * 50.0;
+      return std::make_unique<BurstyArrivals>(on_gap_ns, duty, burst_len_ns);
+    }
+  }
+  CONCORD_CHECK(false) << "unknown ArrivalKind";
+  return nullptr;
+}
+
+ArrivalKind ArrivalKindFromArgsOrEnv(int argc, char** argv, ArrivalKind fallback) {
+  const std::string token =
+      telemetry::OutPathFromFlagOrEnv(argc, argv, "--arrival=", "CONCORD_ARRIVAL");
+  if (token.empty()) {
+    return fallback;
+  }
+  ArrivalKind kind = fallback;
+  CONCORD_CHECK(ParseArrivalKind(token, &kind))
+      << "unknown --arrival=" << token << " (valid: " << kArrivalTokenList << ")";
+  return kind;
+}
+
+}  // namespace concord

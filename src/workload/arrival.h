@@ -9,6 +9,7 @@
 #define CONCORD_SRC_WORKLOAD_ARRIVAL_H_
 
 #include <memory>
+#include <string_view>
 
 #include "src/common/logging.h"
 #include "src/common/rng.h"
@@ -96,6 +97,34 @@ class BurstyArrivals final : public ArrivalProcess {
   double on_remaining_ns_ = 0.0;
   double accumulated_off_ns_ = 0.0;
 };
+
+// Selectable arrival-process kind for load-generating tools (net_loadgen,
+// bench harnesses). Same parse-or-die flag discipline as PolicyKind
+// (src/runtime/policy.h): unknown tokens crash with the valid list.
+enum class ArrivalKind {
+  kPoisson,
+  kUniform,
+  kBursty,
+};
+
+inline constexpr const char* kArrivalTokenList = "poisson, uniform, bursty";
+
+// Token -> kind; false on unknown token (callers CONCORD_CHECK with
+// kArrivalTokenList, matching SelectionFromArgsOrEnv's parser hardening).
+bool ParseArrivalKind(std::string_view token, ArrivalKind* out);
+
+const char* ArrivalKindName(ArrivalKind kind);
+
+// Builds an arrival process with long-run mean gap `mean_gap_ns`. The bursty
+// process uses duty 0.2 with exponential ON bursts of mean 50x the ON-state
+// gap — an interrupted Poisson whose ON-state rate is 5x the average rate.
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(ArrivalKind kind, double mean_gap_ns);
+
+// `--arrival=` / CONCORD_ARRIVAL selection through the shared flag helpers
+// (telemetry/export.h). Returns `fallback` when neither is set; dies on an
+// unknown token.
+ArrivalKind ArrivalKindFromArgsOrEnv(int argc, char** argv,
+                                     ArrivalKind fallback = ArrivalKind::kPoisson);
 
 }  // namespace concord
 

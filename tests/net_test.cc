@@ -1,0 +1,651 @@
+// Network front-end tests (docs/networking.md): wire framing (round trip,
+// strict-parser poisoning, incremental reassembly at every byte boundary and
+// under seeded random fragmentation), the RequestSource/CompletionSink seam
+// the front-end is built on, and the epoll RpcServer end to end over
+// loopback — including the conservation identities, explicit wire
+// backpressure, decode-error handling and the steady-state allocation audit
+// with socket-driven submits.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/alloc_hooks.h"
+#include "src/common/rng.h"
+#include "src/net/frame.h"
+#include "src/net/server.h"
+#include "src/runtime/instrument.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/workload/arrival.h"
+
+// Counting allocator (see runtime_test.cc): lets the socket-driven
+// allocation-audit case fold every heap operation on the runtime's loop
+// threads — including the completion sink's Treiber push — into the audit.
+void* operator new(std::size_t size) {
+  concord::NoteAllocOp();
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* ptr) noexcept {
+  concord::NoteAllocOp();
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, std::size_t) noexcept { ::operator delete(ptr); }
+void operator delete[](void* ptr) noexcept { ::operator delete(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { ::operator delete(ptr); }
+
+namespace concord {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing
+
+net::FrameHeader RequestHeader(std::uint64_t id, std::uint8_t cls, std::uint32_t payload_len,
+                               std::uint64_t deadline_us = 0) {
+  net::FrameHeader header;
+  header.type = net::FrameType::kRequest;
+  header.request_class = cls;
+  header.payload_len = payload_len;
+  header.id = id;
+  header.param = deadline_us;
+  return header;
+}
+
+TEST(FrameTest, HeaderRoundTripsThroughParser) {
+  std::vector<unsigned char> payload = {1, 2, 3, 4, 5};
+  std::vector<unsigned char> wire;
+  net::AppendFrame(&wire, RequestHeader(0xDEADBEEFCAFE, 3, 5, 250), payload.data());
+  ASSERT_EQ(wire.size(), net::kFrameHeaderBytes + 5);
+
+  net::FrameParser parser;
+  std::vector<net::DecodedFrame> frames;
+  std::vector<std::vector<unsigned char>> payloads;
+  EXPECT_TRUE(parser.Feed(wire.data(), wire.size(), [&](const net::DecodedFrame& frame) {
+    frames.push_back(frame);
+    payloads.emplace_back(frame.payload, frame.payload + frame.header.payload_len);
+  }));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, net::FrameType::kRequest);
+  EXPECT_EQ(frames[0].header.request_class, 3);
+  EXPECT_EQ(frames[0].header.payload_len, 5u);
+  EXPECT_EQ(frames[0].header.id, 0xDEADBEEFCAFEu);
+  EXPECT_EQ(frames[0].header.param, 250u);
+  EXPECT_EQ(payloads[0], payload);
+  EXPECT_EQ(parser.frames_decoded(), 1u);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(FrameTest, TruncatedFramesWaitWithoutEmitting) {
+  std::vector<unsigned char> wire;
+  net::AppendFrame(&wire, RequestHeader(7, 0, 8), std::vector<unsigned char>(8, 0xEE).data());
+
+  net::FrameParser parser;
+  int emitted = 0;
+  // Truncated header: nothing emitted, bytes held.
+  EXPECT_TRUE(parser.Feed(wire.data(), net::kFrameHeaderBytes - 1,
+                          [&](const net::DecodedFrame&) { ++emitted; }));
+  EXPECT_EQ(emitted, 0);
+  EXPECT_EQ(parser.pending_bytes(), net::kFrameHeaderBytes - 1);
+  // Complete the header plus part of the payload: still nothing.
+  EXPECT_TRUE(parser.Feed(wire.data() + net::kFrameHeaderBytes - 1, 4,
+                          [&](const net::DecodedFrame&) { ++emitted; }));
+  EXPECT_EQ(emitted, 0);
+  // Deliver the rest: exactly one frame.
+  EXPECT_TRUE(parser.Feed(wire.data() + net::kFrameHeaderBytes + 3,
+                          wire.size() - net::kFrameHeaderBytes - 3,
+                          [&](const net::DecodedFrame& frame) {
+                            ++emitted;
+                            EXPECT_EQ(frame.header.id, 7u);
+                          }));
+  EXPECT_EQ(emitted, 1);
+}
+
+TEST(FrameTest, GarbagePrefixPoisonsTheStream) {
+  std::vector<unsigned char> wire(net::kFrameHeaderBytes, 0x55);  // wrong magic
+  net::FrameParser parser;
+  int emitted = 0;
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size(), [&](const net::DecodedFrame&) { ++emitted; }));
+  EXPECT_EQ(parser.error(), net::FrameError::kBadMagic);
+  EXPECT_EQ(emitted, 0);
+  // Poisoned forever: even a valid frame is refused.
+  std::vector<unsigned char> valid;
+  net::AppendFrame(&valid, RequestHeader(1, 0, 0), nullptr);
+  EXPECT_FALSE(parser.Feed(valid.data(), valid.size(), [&](const net::DecodedFrame&) { ++emitted; }));
+  EXPECT_EQ(emitted, 0);
+}
+
+TEST(FrameTest, UnknownTypePoisonsTheStream) {
+  std::vector<unsigned char> wire;
+  net::AppendFrame(&wire, RequestHeader(1, 0, 0), nullptr);
+  wire[2] = 9;  // type outside {request, response, reject}
+  net::FrameParser parser;
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size(), [](const net::DecodedFrame&) {}));
+  EXPECT_EQ(parser.error(), net::FrameError::kBadType);
+}
+
+TEST(FrameTest, OversizedPayloadPoisonsTheStream) {
+  std::vector<unsigned char> wire;
+  net::FrameHeader header = RequestHeader(1, 0, 64);
+  net::AppendFrame(&wire, header, std::vector<unsigned char>(64, 0).data());
+  net::FrameParser parser(/*max_payload_bytes=*/32);
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size(), [](const net::DecodedFrame&) {}));
+  EXPECT_EQ(parser.error(), net::FrameError::kOversized);
+}
+
+std::vector<unsigned char> MultiFrameWire(std::size_t count) {
+  std::vector<unsigned char> wire;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto payload_len = static_cast<std::uint32_t>((i * 7) % 32);
+    std::vector<unsigned char> payload(payload_len, static_cast<unsigned char>(i));
+    net::AppendFrame(&wire, RequestHeader(i, static_cast<std::uint8_t>(i % 4), payload_len, i),
+                     payload.empty() ? nullptr : payload.data());
+  }
+  return wire;
+}
+
+void ExpectFramesInOrder(const std::vector<net::DecodedFrame>& frames, std::size_t count) {
+  ASSERT_EQ(frames.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(frames[i].header.id, i);
+    EXPECT_EQ(frames[i].header.payload_len, (i * 7) % 32);
+  }
+}
+
+TEST(FrameTest, ReassemblesAcrossEveryByteBoundary) {
+  constexpr std::size_t kFrames = 5;
+  const std::vector<unsigned char> wire = MultiFrameWire(kFrames);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    net::FrameParser parser;
+    std::vector<net::DecodedFrame> frames;
+    auto collect = [&](const net::DecodedFrame& frame) {
+      frames.push_back(net::DecodedFrame{frame.header, nullptr});
+    };
+    ASSERT_TRUE(parser.Feed(wire.data(), split, collect)) << "split at " << split;
+    ASSERT_TRUE(parser.Feed(wire.data() + split, wire.size() - split, collect))
+        << "split at " << split;
+    ExpectFramesInOrder(frames, kFrames);
+  }
+}
+
+TEST(FrameTest, ReassemblesByteByByte) {
+  constexpr std::size_t kFrames = 4;
+  const std::vector<unsigned char> wire = MultiFrameWire(kFrames);
+  net::FrameParser parser;
+  std::vector<net::DecodedFrame> frames;
+  for (unsigned char byte : wire) {
+    ASSERT_TRUE(parser.Feed(&byte, 1, [&](const net::DecodedFrame& frame) {
+      frames.push_back(net::DecodedFrame{frame.header, nullptr});
+    }));
+  }
+  ExpectFramesInOrder(frames, kFrames);
+}
+
+TEST(FrameTest, SeededRandomFragmentationDecodesEverything) {
+  std::uint64_t seed = 20260809;
+  if (const char* env = std::getenv("CONCORD_TEST_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("reproduce with CONCORD_TEST_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+  constexpr std::size_t kFrames = 300;
+  const std::vector<unsigned char> wire = MultiFrameWire(kFrames);
+
+  net::FrameParser parser;
+  std::size_t decoded = 0;
+  std::uint64_t next_id = 0;
+  std::size_t offset = 0;
+  while (offset < wire.size()) {
+    // Chunk sizes biased small so frames routinely straddle chunks.
+    const std::size_t chunk =
+        1 + static_cast<std::size_t>(rng.NextDouble() * rng.NextDouble() * 64.0);
+    const std::size_t take = std::min(chunk, wire.size() - offset);
+    ASSERT_TRUE(parser.Feed(wire.data() + offset, take, [&](const net::DecodedFrame& frame) {
+      EXPECT_EQ(frame.header.id, next_id);
+      ++next_id;
+      ++decoded;
+    }));
+    offset += take;
+  }
+  EXPECT_EQ(decoded, kFrames);
+  EXPECT_EQ(parser.frames_decoded(), kFrames);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RequestSource / CompletionSink seam
+
+Runtime::Options SmallOptions() {
+  Runtime::Options options;
+  options.worker_count = 2;
+  options.quantum_us = 50.0;
+  options.jbsq_depth = 2;
+  options.work_conserving_dispatcher = false;
+  return options;
+}
+
+TEST(RequestSourceTest, SubmitsFromAForeignThread) {
+  // The seam's reason to exist: a producer slot claimed on one thread
+  // (bound here on the main thread) and driven from another — the epoll
+  // event loop in production — with per-request deadlines.
+  std::atomic<int> handled{0};
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [&](const RequestView&) { handled.fetch_add(1); };
+  Runtime runtime(SmallOptions(), callbacks);
+  runtime.Start();
+  RequestSource source = runtime.BindSource();
+  ASSERT_TRUE(static_cast<bool>(source));
+
+  std::thread producer([&source] {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      while (!source.Submit(i, 0, nullptr, /*deadline_us=*/i % 2 == 0 ? 0.0 : 100.0)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_EQ(handled.load(), 200);
+}
+
+TEST(RequestSourceTest, MoveTransfersTheSlotAndReleaseReturnsIt) {
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView&) {};
+  Runtime runtime(SmallOptions(), callbacks);
+  runtime.Start();
+
+  RequestSource source = runtime.BindSource();
+  ASSERT_TRUE(static_cast<bool>(source));
+  RequestSource moved = std::move(source);
+  EXPECT_FALSE(static_cast<bool>(source));  // NOLINT(bugprone-use-after-move): post-move state is the contract
+  ASSERT_TRUE(static_cast<bool>(moved));
+  EXPECT_TRUE(moved.Submit(1, 0, nullptr));
+  moved.Release();
+  EXPECT_FALSE(static_cast<bool>(moved));
+
+  // The released slot is claimable again (slot table is finite, so leaking
+  // claims would eventually exhaust BindSource).
+  RequestSource again = runtime.BindSource();
+  EXPECT_TRUE(static_cast<bool>(again));
+  EXPECT_TRUE(again.Submit(2, 0, nullptr));
+  again.Release();
+  runtime.WaitIdle();
+  runtime.Shutdown();
+}
+
+TEST(CompletionSinkTest, RunsAfterOnCompleteWithMatchingView) {
+  struct RecordingSink : CompletionSink {
+    std::atomic<int>* hook_count;
+    std::atomic<int> sink_count{0};
+    std::atomic<int> hook_seen_first{0};
+    void OnComplete(const RequestView& view, std::uint64_t latency_tsc) override {
+      // Contract: the sink runs after on_complete for the same request.
+      if (hook_count->load(std::memory_order_relaxed) > sink_count.load(std::memory_order_relaxed)) {
+        hook_seen_first.fetch_add(1, std::memory_order_relaxed);
+      }
+      EXPECT_EQ(view.request_class, 2);
+      EXPECT_GT(latency_tsc, 0u);
+      sink_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::atomic<int> hook_count{0};
+  RecordingSink sink;
+  sink.hook_count = &hook_count;
+  Runtime::Callbacks callbacks;
+  callbacks.handle_request = [](const RequestView&) { SpinWithProbesUs(1.0); };
+  callbacks.on_complete = [&](const RequestView&, std::uint64_t) {
+    hook_count.fetch_add(1, std::memory_order_relaxed);
+  };
+  callbacks.completion_sink = &sink;
+  Runtime runtime(SmallOptions(), callbacks);
+  runtime.Start();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    while (!runtime.Submit(i, 2, nullptr)) {
+      std::this_thread::yield();
+    }
+  }
+  runtime.WaitIdle();
+  runtime.Shutdown();
+  EXPECT_EQ(hook_count.load(), 100);
+  EXPECT_EQ(sink.sink_count.load(), 100);
+  EXPECT_EQ(sink.hook_seen_first.load(), 100) << "sink must run after on_complete";
+}
+
+// ---------------------------------------------------------------------------
+// RpcServer over loopback
+
+int ConnectBlocking(std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void SendAll(int fd, const std::vector<unsigned char>& bytes) {
+  std::size_t sent_total = 0;
+  while (sent_total < bytes.size()) {
+    const ssize_t sent =
+        send(fd, bytes.data() + sent_total, bytes.size() - sent_total, MSG_NOSIGNAL);
+    ASSERT_GT(sent, 0) << std::strerror(errno);
+    sent_total += static_cast<std::size_t>(sent);
+  }
+}
+
+// Blocking-reads `count` frames from `fd` (10 s safety timeout).
+std::vector<net::FrameHeader> ReadFrames(int fd, std::size_t count) {
+  timeval timeout{};
+  timeout.tv_sec = 10;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  net::FrameParser parser;
+  std::vector<net::FrameHeader> frames;
+  unsigned char scratch[4096];
+  while (frames.size() < count) {
+    const ssize_t got = recv(fd, scratch, sizeof(scratch), 0);
+    if (got <= 0) {
+      ADD_FAILURE() << "recv: " << (got == 0 ? "eof" : std::strerror(errno)) << " after "
+                    << frames.size() << "/" << count << " frames";
+      break;
+    }
+    EXPECT_TRUE(parser.Feed(scratch, static_cast<std::size_t>(got),
+                            [&](const net::DecodedFrame& frame) {
+                              frames.push_back(frame.header);
+                            }));
+  }
+  return frames;
+}
+
+struct ServerHarness {
+  explicit ServerHarness(net::RpcServerOptions server_options = {}, int shard_count = 1,
+                         std::function<void(const RequestView&)> handler = nullptr)
+      : server(server_options) {
+    ShardedRuntime::Options options;
+    options.shard.worker_count = 2;
+    options.shard.quantum_us = 50.0;
+    options.shard.jbsq_depth = 2;
+    options.shard.work_conserving_dispatcher = false;
+    options.shard_count = shard_count;
+    Runtime::Callbacks callbacks;
+    callbacks.handle_request =
+        handler != nullptr ? std::move(handler)
+                           : [](const RequestView&) { SpinWithProbesUs(1.0); };
+    callbacks.completion_sink = server.sink();
+    runtime = std::make_unique<ShardedRuntime>(options, callbacks);
+    runtime->Start();
+    started = server.Start(runtime.get());
+  }
+
+  ~ServerHarness() {
+    server.Stop();
+    runtime->Shutdown();
+  }
+
+  net::RpcServer server;
+  std::unique_ptr<ShardedRuntime> runtime;
+  bool started = false;
+};
+
+TEST(RpcServerTest, LoopbackRoundTripConservesEveryFrame) {
+  // The whole burst arrives in one chunk, so the record pool must cover it —
+  // smaller pools answer the tail with busy rejects (tested separately).
+  net::RpcServerOptions server_options;
+  server_options.records_per_connection = 512;
+  ServerHarness harness(server_options);
+  ASSERT_TRUE(harness.started);
+  const int fd = ConnectBlocking(harness.server.port());
+
+  constexpr std::uint64_t kRequests = 500;
+  std::vector<unsigned char> wire;
+  std::vector<unsigned char> payload(16, 0x5A);
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    net::AppendFrame(&wire, RequestHeader(i, static_cast<std::uint8_t>(i % 2), 16), payload.data());
+  }
+  SendAll(fd, wire);
+  const std::vector<net::FrameHeader> replies = ReadFrames(fd, kRequests);
+  ASSERT_EQ(replies.size(), kRequests);
+  std::set<std::uint64_t> ids;
+  for (const net::FrameHeader& reply : replies) {
+    EXPECT_EQ(reply.type, net::FrameType::kResponse);
+    EXPECT_GT(reply.param, 0u) << "response must carry the server-measured latency";
+    ids.insert(reply.id);
+  }
+  EXPECT_EQ(ids.size(), kRequests) << "every id answered exactly once";
+  close(fd);
+  harness.server.Stop();
+
+  const telemetry::NetSnapshot snap = harness.server.Snapshot();
+  EXPECT_EQ(snap.frames_decoded, kRequests);
+  EXPECT_EQ(snap.requests_submitted + snap.requests_rejected, snap.frames_decoded);
+  EXPECT_EQ(snap.responses_written + snap.responses_dropped, snap.requests_submitted);
+  EXPECT_EQ(snap.decode_errors, 0u);
+  EXPECT_TRUE(harness.server.ConservationHolds());
+}
+
+TEST(RpcServerTest, TwoShardRoundTripPinsConnectionsAcrossShards) {
+  ServerHarness harness({}, /*shard_count=*/2);
+  ASSERT_TRUE(harness.started);
+  constexpr std::uint64_t kPerConn = 100;
+  const int fd_a = ConnectBlocking(harness.server.port());
+  const int fd_b = ConnectBlocking(harness.server.port());
+  for (int fd : {fd_a, fd_b}) {
+    std::vector<unsigned char> wire;
+    for (std::uint64_t i = 0; i < kPerConn; ++i) {
+      net::AppendFrame(&wire, RequestHeader(i, 0, 0), nullptr);
+    }
+    SendAll(fd, wire);
+  }
+  EXPECT_EQ(ReadFrames(fd_a, kPerConn).size(), kPerConn);
+  EXPECT_EQ(ReadFrames(fd_b, kPerConn).size(), kPerConn);
+  close(fd_a);
+  close(fd_b);
+  harness.server.Stop();
+  EXPECT_TRUE(harness.server.ConservationHolds());
+  EXPECT_EQ(harness.server.Snapshot().frames_decoded, 2 * kPerConn);
+}
+
+TEST(RpcServerTest, GarbageStreamCountsDecodeErrorAndClosesConnection) {
+  ServerHarness harness;
+  ASSERT_TRUE(harness.started);
+  const int fd = ConnectBlocking(harness.server.port());
+  SendAll(fd, std::vector<unsigned char>(64, 0x55));  // wrong magic
+  // The server closes the poisoned connection; the blocking read sees EOF.
+  timeval timeout{};
+  timeout.tv_sec = 10;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  unsigned char byte = 0;
+  EXPECT_EQ(recv(fd, &byte, 1, 0), 0) << "expected EOF on a poisoned stream";
+  close(fd);
+  harness.server.Stop();
+  const telemetry::NetSnapshot snap = harness.server.Snapshot();
+  EXPECT_EQ(snap.decode_errors, 1u);
+  EXPECT_EQ(snap.frames_decoded, 0u);
+  EXPECT_TRUE(harness.server.ConservationHolds());
+}
+
+TEST(RpcServerTest, ResponseFrameFromClientPoisonsTheConnection) {
+  ServerHarness harness;
+  ASSERT_TRUE(harness.started);
+  const int fd = ConnectBlocking(harness.server.port());
+  std::vector<unsigned char> wire;
+  net::FrameHeader bogus = RequestHeader(1, 0, 0);
+  bogus.type = net::FrameType::kResponse;  // clients must only send requests
+  net::AppendFrame(&wire, bogus, nullptr);
+  SendAll(fd, wire);
+  timeval timeout{};
+  timeout.tv_sec = 10;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  unsigned char byte = 0;
+  EXPECT_EQ(recv(fd, &byte, 1, 0), 0) << "expected EOF after a non-request frame";
+  close(fd);
+  harness.server.Stop();
+  EXPECT_EQ(harness.server.Snapshot().decode_errors, 1u);
+  EXPECT_TRUE(harness.server.ConservationHolds());
+}
+
+TEST(RpcServerTest, RecordPoolExhaustionAnswersServerBusyRejects) {
+  // A blocked handler keeps every record in flight, so a burst larger than
+  // the per-connection pool must see explicit kRejectServerBusy frames
+  // instead of unbounded queueing — and the reject counters must say so.
+  std::atomic<bool> release{false};
+  net::RpcServerOptions server_options;
+  server_options.records_per_connection = 2;
+  ServerHarness harness(server_options, 1, [&release](const RequestView&) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  ASSERT_TRUE(harness.started);
+  const int fd = ConnectBlocking(harness.server.port());
+
+  constexpr std::uint64_t kBurst = 5;
+  std::vector<unsigned char> wire;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    net::AppendFrame(&wire, RequestHeader(i, 1, 0), nullptr);
+  }
+  SendAll(fd, wire);
+  // 2 records exist, so exactly 3 rejects come back first (responses cannot
+  // be produced while the handler is blocked).
+  const std::vector<net::FrameHeader> rejects = ReadFrames(fd, kBurst - 2);
+  for (const net::FrameHeader& reject : rejects) {
+    EXPECT_EQ(reject.type, net::FrameType::kReject);
+    EXPECT_EQ(reject.param, net::kRejectServerBusy);
+    EXPECT_EQ(reject.request_class, 1);
+  }
+  release.store(true, std::memory_order_release);
+  const std::vector<net::FrameHeader> replies = ReadFrames(fd, 2);
+  for (const net::FrameHeader& reply : replies) {
+    EXPECT_EQ(reply.type, net::FrameType::kResponse);
+  }
+  close(fd);
+  harness.server.Stop();
+  const telemetry::NetSnapshot snap = harness.server.Snapshot();
+  EXPECT_EQ(snap.frames_decoded, kBurst);
+  EXPECT_EQ(snap.requests_submitted, 2u);
+  EXPECT_EQ(snap.requests_rejected, kBurst - 2);
+  EXPECT_EQ(snap.rejected_by_class[1], kBurst - 2);
+  EXPECT_TRUE(harness.server.ConservationHolds());
+}
+
+TEST(RpcServerTest, AbruptClientCloseDropsInFlightResponses) {
+  // Close with requests in flight: the server must neither crash nor leak —
+  // completions for the dead generation count as responses_dropped and
+  // conservation still holds.
+  std::atomic<bool> release{false};
+  ServerHarness harness({}, 1, [&release](const RequestView&) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  ASSERT_TRUE(harness.started);
+  const int fd = ConnectBlocking(harness.server.port());
+  std::vector<unsigned char> wire;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    net::AppendFrame(&wire, RequestHeader(i, 0, 0), nullptr);
+  }
+  SendAll(fd, wire);
+  // Give the event loop a moment to decode and submit, then vanish.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  close(fd);
+  release.store(true, std::memory_order_release);
+  harness.server.Stop();
+  const telemetry::NetSnapshot snap = harness.server.Snapshot();
+  EXPECT_EQ(snap.frames_decoded, snap.requests_submitted + snap.requests_rejected);
+  EXPECT_EQ(snap.responses_written + snap.responses_dropped, snap.requests_submitted);
+  EXPECT_GT(snap.responses_dropped, 0u) << "in-flight responses should drop on churn";
+  EXPECT_TRUE(harness.server.ConservationHolds());
+}
+
+TEST(RpcServerTest, SocketDrivenSubmitPathIsAllocationFree) {
+  // The PR's structural guarantee: routing submits through sockets must not
+  // reintroduce steady-state allocations on the runtime's loop threads —
+  // including the completion sink's push, which runs on the dispatcher.
+  ServerHarness harness;
+  ASSERT_TRUE(harness.started);
+  const int fd = ConnectBlocking(harness.server.port());
+  std::vector<unsigned char> payload(16, 0x5A);
+  auto drive = [&](std::uint64_t first, std::uint64_t count) {
+    std::vector<unsigned char> wire;
+    for (std::uint64_t i = first; i < first + count; ++i) {
+      net::AppendFrame(&wire, RequestHeader(i, 0, 16), payload.data());
+    }
+    SendAll(fd, wire);
+    ASSERT_EQ(ReadFrames(fd, count).size(), count);
+  };
+  drive(0, 300);  // warmup: fiber pool, rings, record pools all touched
+  harness.runtime->shard(0).BeginAllocationAudit();
+  drive(300, 300);
+  const std::uint64_t audited_ops = harness.runtime->shard(0).EndAllocationAudit();
+  close(fd);
+  EXPECT_EQ(audited_ops, 0u) << "socket-driven dispatch hot path performed heap operations";
+}
+
+// ---------------------------------------------------------------------------
+// Arrival selection (PR 7 parser-hardening discipline)
+
+TEST(ArrivalKindTest, ParsesEveryToken) {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  EXPECT_TRUE(ParseArrivalKind("poisson", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kPoisson);
+  EXPECT_TRUE(ParseArrivalKind("uniform", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kUniform);
+  EXPECT_TRUE(ParseArrivalKind("bursty", &kind));
+  EXPECT_EQ(kind, ArrivalKind::kBursty);
+  EXPECT_FALSE(ParseArrivalKind("sawtooth", &kind));
+}
+
+TEST(ArrivalKindTest, FactoryPreservesTheMeanGap) {
+  Rng rng(7);
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kUniform, ArrivalKind::kBursty}) {
+    const std::unique_ptr<ArrivalProcess> process = MakeArrivalProcess(kind, 1000.0);
+    EXPECT_NEAR(process->MeanGapNs(), 1000.0, 1e-9) << ArrivalKindName(kind);
+    double total = 0.0;
+    constexpr int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i) {
+      total += process->NextGapNs(rng);
+    }
+    EXPECT_NEAR(total / kDraws, 1000.0, 100.0) << ArrivalKindName(kind);
+  }
+}
+
+TEST(ArrivalKindTest, FlagSelectsTheProcess) {
+  const char* argv[] = {"net_test", "--arrival=bursty"};
+  EXPECT_EQ(ArrivalKindFromArgsOrEnv(2, const_cast<char**>(argv)), ArrivalKind::kBursty);
+  const char* fallback_argv[] = {"net_test"};
+  EXPECT_EQ(ArrivalKindFromArgsOrEnv(1, const_cast<char**>(fallback_argv), ArrivalKind::kUniform),
+            ArrivalKind::kUniform);
+}
+
+TEST(ArrivalKindDeathTest, UnknownTokenDiesListingValidTokens) {
+  const char* argv[] = {"net_test", "--arrival=sawtooth"};
+  EXPECT_DEATH(ArrivalKindFromArgsOrEnv(2, const_cast<char**>(argv)),
+               "unknown --arrival=sawtooth.*poisson, uniform, bursty");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,492 @@
+// net_loadgen: open-loop RPC load generator for the Concord network
+// front-end (docs/networking.md).
+//
+// Plays the paper's client machine against a server started with
+// kvstore_server --listen= (or any RpcServer embedder): opens N loopback
+// connections, issues length-prefixed request frames on a configurable
+// arrival process (Poisson by default, §5.1), round-robins them across
+// connections, and accounts for every request it sent — each one ends as a
+// response, a wire reject, or (under --churn-every=) a loss on a connection
+// the client deliberately closed with requests in flight. Slowdown is
+// computed from the server-measured latency echoed in each response frame
+// (the paper's metric measures time at the server; client-side RTT is
+// intentionally excluded).
+//
+// Flags (shared --flag= / CONCORD_* env helpers, unknown tokens die with the
+// valid list):
+//   --port=P            server port (required; CONCORD_NET_PORT)
+//   --connections=N     concurrent connections (default 4)
+//   --arrival=KIND      poisson | uniform | bursty (default poisson)
+//   --offered-krps=R    offered load in krps (default 25)
+//   --requests=N        count-bounded run (default 20000)
+//   --duration-s=S      time-bounded run; overrides --requests= when > 0
+//   --deadline-us=A,B   per-class relative deadlines carried in the frame
+//   --service-us=A,B    per-class clean service times for slowdown (5,100)
+//   --payload-bytes=N   request payload size (default 16)
+//   --churn-every=N     close + reopen a connection every N sends (0 = off)
+//   --seed=N            RNG seed (default 42)
+//   --json-out=PATH     bench_compare-compatible JSON report
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/net/frame.h"
+#include "src/stats/slowdown.h"
+#include "src/telemetry/export.h"
+#include "src/workload/arrival.h"
+
+namespace concord {
+namespace {
+
+constexpr std::size_t kReadScratchBytes = 64 * 1024;
+constexpr double kNsPerSec = 1.0e9;
+constexpr double kDrainTimeoutS = 10.0;
+
+// One client connection: outgoing byte backlog plus an incremental parser
+// for the response stream. in_flight counts requests sent but not yet
+// answered; abrupt churn forfeits them (the server's generation check drops
+// the completions as responses_dropped).
+struct ClientConn {
+  int fd = -1;
+  net::FrameParser parser;
+  std::vector<unsigned char> out;
+  std::size_t out_head = 0;
+  std::uint64_t in_flight = 0;
+  bool want_write = false;
+};
+
+std::vector<double> ParseCommaList(const std::string& spec) {
+  std::vector<double> values;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    values.push_back(std::atof(item.c_str()));
+  }
+  return values;
+}
+
+int ConnectLoopback(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  CONCORD_CHECK(fd >= 0) << "socket: " << std::strerror(errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  CONCORD_CHECK(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      << "connect to 127.0.0.1:" << port << ": " << std::strerror(errno);
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = fcntl(fd, F_GETFL, 0);
+  CONCORD_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0)
+      << "O_NONBLOCK: " << std::strerror(errno);
+  return fd;
+}
+
+class NetLoadgen {
+ public:
+  struct Options {
+    int port = 0;
+    int connections = 4;
+    ArrivalKind arrival = ArrivalKind::kPoisson;
+    double offered_krps = 25.0;
+    std::uint64_t requests = 20000;
+    double duration_s = 0.0;  // > 0: time-bounded, overrides requests
+    std::vector<double> deadline_us;
+    std::vector<double> service_us = {5.0, 100.0};
+    std::size_t payload_bytes = 16;
+    std::uint64_t churn_every = 0;
+    std::uint64_t seed = 42;
+  };
+
+  struct Report {
+    std::uint64_t issued = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t rejects_backpressure = 0;
+    std::uint64_t rejects_busy = 0;
+    std::uint64_t lost_to_churn = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t unaccounted = 0;  // nonzero: drain timed out
+    double elapsed_s = 0.0;
+    double achieved_krps = 0.0;
+    double p50_slowdown = 0.0;
+    double p99_slowdown = 0.0;
+    double p999_slowdown = 0.0;
+    std::uint64_t samples = 0;
+  };
+
+  explicit NetLoadgen(const Options& options) : options_(options), rng_(options.seed) {}
+
+  // concord-lint: allow-no-probe (client tool; paces and drains on the main thread)
+  Report Run() {
+    CONCORD_CHECK(options_.port > 0) << "net_loadgen needs --port=";
+    CONCORD_CHECK(options_.connections > 0) << "need at least one connection";
+    CONCORD_CHECK(options_.offered_krps > 0.0) << "load must be positive";
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    CONCORD_CHECK(epoll_fd_ >= 0) << "epoll_create1: " << std::strerror(errno);
+    conns_.resize(static_cast<std::size_t>(options_.connections));
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      OpenConn(i);
+    }
+    scratch_.resize(kReadScratchBytes);
+
+    const double mean_gap_ns = 1.0e6 / options_.offered_krps;
+    const std::unique_ptr<ArrivalProcess> arrival =
+        MakeArrivalProcess(options_.arrival, mean_gap_ns);
+    const bool time_bounded = options_.duration_s > 0.0;
+    const double duration_ns = options_.duration_s * kNsPerSec;
+    const double expected_count =
+        time_bounded ? duration_ns / mean_gap_ns : static_cast<double>(options_.requests);
+    warmup_ids_ = static_cast<std::uint64_t>(0.1 * expected_count);
+
+    std::vector<unsigned char> payload(options_.payload_bytes, 0xAB);
+    const auto start = std::chrono::steady_clock::now();
+    double next_arrival_ns = arrival->NextGapNs(rng_);
+    std::uint64_t id = 0;
+    // Send phase: open loop — the schedule advances regardless of responses.
+    // concord-lint: allow-no-probe (open-loop pacing on the main thread)
+    while (time_bounded || id < options_.requests) {
+      const double elapsed_ns = ElapsedNs(start);
+      if (time_bounded && next_arrival_ns >= duration_ns) {
+        break;  // the schedule ran past the run window
+      }
+      if (elapsed_ns < next_arrival_ns) {
+        PollOnce(0);  // drain responses while waiting for the next arrival
+        if (next_arrival_ns - elapsed_ns > 50000.0) {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      SendRequest(id, payload);
+      ++id;
+      next_arrival_ns += arrival->NextGapNs(rng_);
+      if (options_.churn_every > 0 && id % options_.churn_every == 0) {
+        ChurnConn(static_cast<std::size_t>(id / options_.churn_every) % conns_.size());
+      }
+    }
+
+    // Drain phase: every sent request must come back as a response, a
+    // reject, or have been forfeited to churn.
+    const auto drain_start = std::chrono::steady_clock::now();
+    // concord-lint: allow-no-probe (bounded drain loop on the main thread)
+    while (report_.responses + report_.rejects + report_.lost_to_churn < report_.issued) {
+      if (ElapsedNs(drain_start) > kDrainTimeoutS * kNsPerSec) {
+        break;
+      }
+      PollOnce(10);
+    }
+    report_.unaccounted =
+        report_.issued - report_.responses - report_.rejects - report_.lost_to_churn;
+    report_.elapsed_s = ElapsedNs(start) / kNsPerSec;
+    report_.achieved_krps = report_.elapsed_s > 0.0
+                                ? static_cast<double>(report_.responses) /
+                                      report_.elapsed_s / 1000.0
+                                : 0.0;
+    report_.p50_slowdown = tracker_.QuantileSlowdown(0.50);
+    report_.p99_slowdown = tracker_.QuantileSlowdown(0.99);
+    report_.p999_slowdown = tracker_.P999Slowdown();
+
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      CloseConn(i);
+    }
+    close(epoll_fd_);
+    return report_;
+  }
+
+ private:
+  static double ElapsedNs(std::chrono::steady_clock::time_point since) {
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - since)
+        .count();
+  }
+
+  void OpenConn(std::size_t index) {
+    ClientConn& conn = conns_[index];
+    conn.fd = ConnectLoopback(options_.port);
+    conn.parser = net::FrameParser(net::kMaxFramePayloadBytes);
+    conn.out.clear();
+    conn.out_head = 0;
+    conn.in_flight = 0;
+    conn.want_write = false;
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = index;
+    CONCORD_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &event) == 0)
+        << "epoll_ctl ADD: " << std::strerror(errno);
+  }
+
+  void CloseConn(std::size_t index) {
+    ClientConn& conn = conns_[index];
+    if (conn.fd < 0) {
+      return;
+    }
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    close(conn.fd);
+    conn.fd = -1;
+  }
+
+  // Abrupt churn: close with requests in flight (forfeiting them — the
+  // server's generation counter turns their completions into
+  // responses_dropped) and reconnect in place.
+  void ChurnConn(std::size_t index) {
+    report_.lost_to_churn += conns_[index].in_flight;
+    CloseConn(index);
+    OpenConn(index);
+    ++report_.reconnects;
+  }
+
+  void SendRequest(std::uint64_t id, const std::vector<unsigned char>& payload) {
+    const int request_class = id % 10 == 9 ? 1 : 0;
+    const auto cls = static_cast<std::size_t>(request_class);
+    const double deadline_us =
+        cls < options_.deadline_us.size() ? options_.deadline_us[cls] : 0.0;
+    net::FrameHeader header;
+    header.type = net::FrameType::kRequest;
+    header.request_class = static_cast<std::uint8_t>(request_class);
+    header.payload_len = static_cast<std::uint32_t>(payload.size());
+    header.id = id;
+    header.param = deadline_us > 0.0 ? static_cast<std::uint64_t>(deadline_us) : 0;
+    ClientConn& conn = conns_[id % conns_.size()];
+    net::AppendFrame(&conn.out, header, payload.empty() ? nullptr : payload.data());
+    ++conn.in_flight;
+    ++report_.issued;
+    FlushWrites(id % conns_.size());
+  }
+
+  void FlushWrites(std::size_t index) {
+    ClientConn& conn = conns_[index];
+    // concord-lint: allow-no-probe (bounded by the connection's backlog)
+    while (conn.out_head < conn.out.size()) {
+      const ssize_t sent = send(conn.fd, conn.out.data() + conn.out_head,
+                                conn.out.size() - conn.out_head, MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn.out_head += static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      if (sent < 0 && errno == EINTR) {
+        continue;
+      }
+      CONCORD_CHECK(false) << "send: " << std::strerror(errno);
+    }
+    if (conn.out_head == conn.out.size()) {
+      conn.out.clear();
+      conn.out_head = 0;
+    }
+    const bool want_write = !conn.out.empty();
+    if (want_write != conn.want_write) {
+      conn.want_write = want_write;
+      epoll_event event{};
+      event.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+      event.data.u64 = index;
+      CONCORD_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &event) == 0)
+          << "epoll_ctl MOD: " << std::strerror(errno);
+    }
+  }
+
+  void PollOnce(int timeout_ms) {
+    epoll_event events[16];
+    const int n = epoll_wait(epoll_fd_, events, 16, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const auto index = static_cast<std::size_t>(events[i].data.u64);
+      if (conns_[index].fd < 0) {
+        continue;  // stale event for a churned connection
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        FlushWrites(index);
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        HandleReadable(index);
+      }
+    }
+  }
+
+  void HandleReadable(std::size_t index) {
+    ClientConn& conn = conns_[index];
+    // concord-lint: allow-no-probe (recv loop, bounded by the socket buffer)
+    for (;;) {
+      const ssize_t got = recv(conn.fd, scratch_.data(), scratch_.size(), 0);
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;
+      }
+      if (got < 0 && errno == EINTR) {
+        continue;
+      }
+      CONCORD_CHECK(got >= 0) << "recv: " << std::strerror(errno);
+      if (got == 0) {
+        // Server closed (drain deadline / slow-client eviction). Whatever is
+        // still in flight on this connection will never be answered.
+        report_.lost_to_churn += conn.in_flight;
+        conn.in_flight = 0;
+        CloseConn(index);
+        return;
+      }
+      const bool ok = conn.parser.Feed(
+          scratch_.data(), static_cast<std::size_t>(got),
+          [this, &conn](const net::DecodedFrame& frame) { OnFrame(conn, frame); });
+      CONCORD_CHECK(ok) << "response stream poisoned: "
+                        << net::FrameErrorName(conn.parser.error());
+      if (static_cast<std::size_t>(got) < scratch_.size()) {
+        return;
+      }
+    }
+  }
+
+  void OnFrame(ClientConn& conn, const net::DecodedFrame& frame) {
+    if (conn.in_flight > 0) {
+      --conn.in_flight;
+    }
+    if (frame.header.type == net::FrameType::kReject) {
+      ++report_.rejects;
+      if (frame.header.param == net::kRejectBackpressure) {
+        ++report_.rejects_backpressure;
+      } else if (frame.header.param == net::kRejectServerBusy) {
+        ++report_.rejects_busy;
+      }
+      return;
+    }
+    CONCORD_CHECK(frame.header.type == net::FrameType::kResponse)
+        << "unexpected frame type from server";
+    ++report_.responses;
+    if (frame.header.id < warmup_ids_) {
+      return;  // §5.1: discard warmup samples
+    }
+    const auto cls = static_cast<std::size_t>(frame.header.request_class);
+    const double service_ns =
+        (cls < options_.service_us.size() ? options_.service_us[cls] : 1.0) * 1000.0;
+    // param carries the server-measured latency in nanoseconds.
+    tracker_.Record(static_cast<double>(frame.header.param), service_ns,
+                    static_cast<int>(cls));
+    ++report_.samples;
+  }
+
+  Options options_;
+  Rng rng_;
+  std::vector<ClientConn> conns_;
+  std::vector<unsigned char> scratch_;
+  int epoll_fd_ = -1;
+  std::uint64_t warmup_ids_ = 0;
+  SlowdownTracker tracker_;
+  Report report_;
+};
+
+int WriteJsonReport(const std::string& path, const NetLoadgen::Options& options,
+                    const NetLoadgen::Report& report) {
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n";
+  json << "  \"benchmark\": \"net_loadgen\",\n";
+  json << "  \"connections\": " << options.connections << ",\n";
+  json << "  \"arrival\": \"" << ArrivalKindName(options.arrival) << "\",\n";
+  json << "  \"payload_bytes\": " << options.payload_bytes << ",\n";
+  // bench_compare reads pipelined_throughput.median_items_per_sec and
+  // slowdown.p99, so a net_loadgen run can be compared like any bench run.
+  json << "  \"pipelined_throughput\": {\n";
+  json << "    \"median_items_per_sec\": " << report.achieved_krps * 1000.0 << "\n";
+  json << "  },\n";
+  json << "  \"slowdown\": {\n";
+  json << "    \"completed\": " << report.samples << ",\n";
+  json << "    \"p50\": " << report.p50_slowdown << ",\n";
+  json << "    \"p99\": " << report.p99_slowdown << ",\n";
+  json << "    \"p999\": " << report.p999_slowdown << "\n";
+  json << "  },\n";
+  json << "  \"open_loop\": {\n";
+  json << "    \"offered_krps\": " << options.offered_krps << ",\n";
+  json << "    \"achieved_krps\": " << report.achieved_krps << ",\n";
+  json << "    \"achieved_vs_offered\": "
+       << (options.offered_krps > 0.0 ? report.achieved_krps / options.offered_krps : 0.0)
+       << ",\n";
+  json << "    \"elapsed_s\": " << report.elapsed_s << "\n";
+  json << "  },\n";
+  json << "  \"net\": {\n";
+  json << "    \"issued\": " << report.issued << ",\n";
+  json << "    \"responses\": " << report.responses << ",\n";
+  json << "    \"rejects\": " << report.rejects << ",\n";
+  json << "    \"rejects_backpressure\": " << report.rejects_backpressure << ",\n";
+  json << "    \"rejects_busy\": " << report.rejects_busy << ",\n";
+  json << "    \"lost_to_churn\": " << report.lost_to_churn << ",\n";
+  json << "    \"reconnects\": " << report.reconnects << ",\n";
+  json << "    \"unaccounted\": " << report.unaccounted << "\n";
+  json << "  }\n";
+  json << "}\n";
+  return telemetry::WriteTextFile(json.str(), path, "net_loadgen json") ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  NetLoadgen::Options options;
+  options.port = static_cast<int>(
+      telemetry::IntFromFlagOrEnv(argc, argv, "--port=", "CONCORD_NET_PORT", 0));
+  options.connections = static_cast<int>(std::max<long long>(
+      1, telemetry::IntFromFlagOrEnv(argc, argv, "--connections=", "CONCORD_NET_CONNECTIONS",
+                                     4)));
+  options.arrival = ArrivalKindFromArgsOrEnv(argc, argv);
+  options.offered_krps = static_cast<double>(std::max<long long>(
+      1,
+      telemetry::IntFromFlagOrEnv(argc, argv, "--offered-krps=", "CONCORD_OFFERED_KRPS", 25)));
+  options.requests = static_cast<std::uint64_t>(std::max<long long>(
+      1, telemetry::IntFromFlagOrEnv(argc, argv, "--requests=", "CONCORD_NET_REQUESTS", 20000)));
+  options.duration_s = static_cast<double>(std::max<long long>(
+      0, telemetry::IntFromFlagOrEnv(argc, argv, "--duration-s=", "CONCORD_NET_DURATION_S", 0)));
+  options.payload_bytes = static_cast<std::size_t>(std::max<long long>(
+      0, telemetry::IntFromFlagOrEnv(argc, argv, "--payload-bytes=", "CONCORD_NET_PAYLOAD_BYTES",
+                                     16)));
+  options.churn_every = static_cast<std::uint64_t>(std::max<long long>(
+      0, telemetry::IntFromFlagOrEnv(argc, argv, "--churn-every=", "CONCORD_NET_CHURN_EVERY",
+                                     0)));
+  options.seed = static_cast<std::uint64_t>(std::max<long long>(
+      1, telemetry::IntFromFlagOrEnv(argc, argv, "--seed=", "CONCORD_NET_SEED", 42)));
+  const std::string deadline_spec =
+      telemetry::OutPathFromFlagOrEnv(argc, argv, "--deadline-us=", "CONCORD_DEADLINE_US");
+  if (!deadline_spec.empty()) {
+    options.deadline_us = ParseCommaList(deadline_spec);
+  }
+  const std::string service_spec =
+      telemetry::OutPathFromFlagOrEnv(argc, argv, "--service-us=", "CONCORD_NET_SERVICE_US");
+  if (!service_spec.empty()) {
+    options.service_us = ParseCommaList(service_spec);
+  }
+  const std::string json_out =
+      telemetry::OutPathFromFlagOrEnv(argc, argv, "--json-out=", "CONCORD_NET_JSON_OUT");
+
+  NetLoadgen loadgen(options);
+  const NetLoadgen::Report report = loadgen.Run();
+
+  std::cout << "net_loadgen: issued " << report.issued << " responses " << report.responses
+            << " rejects " << report.rejects << " lost_to_churn " << report.lost_to_churn
+            << " unaccounted " << report.unaccounted << "\n";
+  std::cout << "net_loadgen: offered " << options.offered_krps << " krps achieved "
+            << report.achieved_krps << " krps (" << report.elapsed_s << " s)\n";
+  std::cout << "net_loadgen: slowdown p50 " << report.p50_slowdown << " p99 "
+            << report.p99_slowdown << " p999 " << report.p999_slowdown << " over "
+            << report.samples << " samples\n";
+  int status = report.unaccounted == 0 ? 0 : 1;
+  if (!json_out.empty()) {
+    const int json_status = WriteJsonReport(json_out, options, report);
+    status = status != 0 ? status : json_status;
+  }
+  return status;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main(int argc, char** argv) { return concord::Main(argc, argv); }
